@@ -1,0 +1,72 @@
+//! E2 — **Figure 2**: regenerates the paper's decomposition diagrams
+//! (block-scatter, block, scatter of 15 elements on 4 processors) and
+//! times the `proc`/`local` address computations each layout needs — the
+//! per-access cost a generated node program pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vcal_core::Bounds;
+use vcal_decomp::{Decomp1, LayoutMap};
+
+fn print_fig2() {
+    eprintln!("\nFigure 2 — data decompositions (n = 15, pmax = 4):\n");
+    for dec in [
+        Decomp1::block_scatter(2, 4, Bounds::range(0, 14)),
+        Decomp1::block(4, Bounds::range(0, 14)),
+        Decomp1::scatter(4, Bounds::range(0, 14)),
+    ] {
+        eprintln!("{}\n", LayoutMap::of(&dec));
+    }
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    print_fig2();
+    let n: i64 = 1 << 18;
+    let e = Bounds::range(0, n - 1);
+    let layouts = vec![
+        ("block", Decomp1::block(16, e)),
+        ("scatter", Decomp1::scatter(16, e)),
+        ("bs8", Decomp1::block_scatter(8, 16, e)),
+    ];
+    let mut group = c.benchmark_group("fig2/proc_local");
+    for (name, dec) in &layouts {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for i in (0..n).step_by(17) {
+                    acc = acc.wrapping_add(dec.proc_of(i)).wrapping_add(dec.local_of(i));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // inverse mapping throughput (gather/scatter address generation)
+    let mut group = c.benchmark_group("fig2/global_of");
+    for (name, dec) in &layouts {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for p in 0..dec.pmax() {
+                    let cnt = dec.local_count(p);
+                    for l in (0..cnt).step_by(64) {
+                        acc = acc.wrapping_add(dec.global_of(p, l));
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E6 — **Section 4**: the run-time cost of computing `gcd(a, pmax)` and
+//! the Diophantine constant `C(a, pmax)` on every node, which the paper
+//! argues is cheap enough to skip host-side precomputation:
+//!
+//! * step counts for realistic strides `a <= 7` (paper: max 5, mean 2.65);
+//! * wall time of `ext_gcd` vs the cost model of broadcasting two
+//!   integers from a host (one message per node);
+//! * full Theorem 3 schedule construction (congruence solve + clipping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcal_bench::{write_report, ReportRow};
+use vcal_numth::euclid::{ext_gcd, gcd_steps};
+use vcal_numth::solve_congruence;
+
+fn step_statistics() {
+    let mut rows = Vec::new();
+    for a in 1..=7i64 {
+        let mut max_s = 0u32;
+        let mut total = 0u64;
+        let mut cnt = 0u64;
+        for pmax in 2..=4096i64 {
+            let (_, s) = gcd_steps(pmax, a);
+            max_s = max_s.max(s);
+            total += s as u64;
+            cnt += 1;
+        }
+        rows.push(ReportRow::new(
+            "gcd_steps",
+            format!("a={a}"),
+            max_s as f64,
+            total as f64 / cnt as f64,
+        ));
+    }
+    eprintln!("\nSection 4 — Euclid step counts over pmax in 2..=4096:");
+    eprintln!("{:<8} {:>6} {:>8}", "stride", "max", "mean");
+    for r in &rows {
+        eprintln!("{:<8} {:>6} {:>8.2}", r.label, r.baseline, r.optimized);
+    }
+    eprintln!("(paper: for a <= 7, max 5 steps, mean ~2.65)");
+    write_report("gcd_steps", &rows);
+}
+
+fn bench_gcd(c: &mut Criterion) {
+    step_statistics();
+
+    let mut group = c.benchmark_group("gcd/ext_gcd");
+    for a in [2i64, 5, 7, 97] {
+        group.bench_with_input(BenchmarkId::from_parameter(a), &a, |b, &a| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for pmax in [4i64, 16, 64, 256, 1024] {
+                    let e = ext_gcd(black_box(a), black_box(pmax));
+                    acc = acc.wrapping_add(e.x).wrapping_add(e.g);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // the full compile-per-node cost of a Theorem 3 schedule: one
+    // congruence solve + range clipping per (p, access)
+    let mut group = c.benchmark_group("gcd/theorem3_schedule_setup");
+    for pmax in [16i64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(pmax), &pmax, |b, &pmax| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for p in 0..pmax {
+                    if let Some(cg) = solve_congruence(black_box(6), p - 1, pmax) {
+                        acc = acc
+                            .wrapping_add(cg.first_at_or_above(0))
+                            .wrapping_add(cg.count_in(0, 1 << 20));
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_gcd
+}
+criterion_main!(benches);

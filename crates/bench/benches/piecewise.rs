@@ -1,0 +1,77 @@
+//! E5 — **Section 3.3**: piecewise-monotonic access functions (rotate /
+//! shuffle views). Breakpoint splitting turns `f(i) = (i+s) mod z` into
+//! two (or more) de-modded affine pieces, each optimized by its own
+//! Table I row; the naive alternative tests every index. We time both on
+//! the paper's rotate example scaled up, under block and scatter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcal_bench::{write_report, ReportRow};
+use vcal_core::func::Fn1;
+use vcal_core::Bounds;
+use vcal_decomp::Decomp1;
+use vcal_spmd::{naive_schedule, optimize, OptKind};
+
+fn bench_piecewise(c: &mut Criterion) {
+    let n: i64 = 1 << 16;
+    let pmax = 16i64;
+    let shift = n / 3;
+    let f = Fn1::rotate(shift, n); // (i + n/3) mod n
+    let mut rows = Vec::new();
+
+    for (dname, dec) in [
+        ("block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
+        ("scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
+        ("bs8", Decomp1::block_scatter(8, pmax, Bounds::range(0, n - 1))),
+    ] {
+        let p = 2i64;
+        let opt = optimize(&f, &dec, 0, n - 1, p);
+        assert_eq!(opt.kind, OptKind::PiecewiseSplit, "{dname}");
+        let naive = naive_schedule(&f, &dec, 0, n - 1, p);
+        assert_eq!(opt.schedule.to_sorted_vec(), naive.to_sorted_vec(), "{dname}");
+
+        let mut group = c.benchmark_group(format!("piecewise/rotate/{dname}"));
+        group.bench_function(BenchmarkId::new("naive", dname), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                naive.for_each(|i| acc = acc.wrapping_add(i));
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("split", dname), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                opt.schedule.for_each(|i| acc = acc.wrapping_add(i));
+                black_box(acc)
+            })
+        });
+        group.finish();
+
+        rows.push(ReportRow::new(
+            "piecewise",
+            format!("rotate/{dname}"),
+            naive.work_estimate() as f64,
+            opt.schedule.work_estimate() as f64,
+        ));
+    }
+
+    eprintln!("\nSection 3.3 — rotate view (i+{shift}) mod {n} (static work, p=2):");
+    eprintln!("{:<24} {:>10} {:>10} {:>8}", "case", "naive", "split", "ratio");
+    for r in &rows {
+        eprintln!(
+            "{:<24} {:>10} {:>10} {:>8.1}",
+            r.label, r.baseline, r.optimized, r.speedup
+        );
+    }
+    write_report("piecewise", &rows);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_piecewise
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E8 — **Section 3.2.i**: repeated block vs repeated scatter for a
+//! block-scatter decomposition `BS(b)`. The paper claims the repeated
+//! scatter form "is more favorable … under the condition
+//! `b <= f(imax) / (2*pmax)`". We sweep `b` across that threshold and
+//! time both formulations for identity and strided access functions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcal_bench::{write_report, ReportRow};
+use vcal_core::func::Fn1;
+use vcal_core::Bounds;
+use vcal_decomp::Decomp1;
+use vcal_spmd::{repeated_block_kmax, Schedule};
+
+fn both_schedules(
+    f: &Fn1,
+    b: i64,
+    pmax: i64,
+    imin: i64,
+    imax: i64,
+    n: i64,
+    p: i64,
+) -> (Schedule, Schedule) {
+    let dec = Decomp1::block_scatter(b, pmax, Bounds::range(0, n - 1));
+    let ext_lo = dec.extent().lo()[0];
+    let k_max = repeated_block_kmax(f, imin, imax, b, pmax, p, ext_lo);
+    let rb = Schedule::RepeatedBlock {
+        f: f.clone(),
+        imin,
+        imax,
+        b,
+        pmax,
+        p,
+        ext_lo,
+        k_max,
+    };
+    let rs = Schedule::RepeatedScatter {
+        f: f.clone(),
+        imin,
+        imax,
+        b,
+        pmax,
+        p,
+        ext_lo,
+        k_max,
+    };
+    (rb, rs)
+}
+
+fn bench_rb_rs(c: &mut Criterion) {
+    let pmax = 16i64;
+    let imax: i64 = 1 << 15;
+    let mut rows = Vec::new();
+
+    for (fname, f, n) in [
+        ("f=i", Fn1::identity(), imax + 1),
+        ("f=3i+1", Fn1::affine(3, 1), 3 * imax + 2),
+    ] {
+        let threshold = (f.eval(imax)) / (2 * pmax);
+        for b in [1i64, 8, 64, 512, 4096] {
+            let (rb, rs) = both_schedules(&f, b, pmax, 0, imax, n, 1);
+            assert_eq!(rb.to_sorted_vec(), rs.to_sorted_vec(), "b={b} {fname}");
+
+            let mut group = c.benchmark_group(format!("rb_vs_rs/{fname}/b{b}"));
+            group.bench_function(BenchmarkId::new("repeated_block", b), |bch| {
+                bch.iter(|| {
+                    let mut acc = 0i64;
+                    rb.for_each(|i| acc = acc.wrapping_add(i));
+                    black_box(acc)
+                })
+            });
+            group.bench_function(BenchmarkId::new("repeated_scatter", b), |bch| {
+                bch.iter(|| {
+                    let mut acc = 0i64;
+                    rs.for_each(|i| acc = acc.wrapping_add(i));
+                    black_box(acc)
+                })
+            });
+            group.finish();
+
+            rows.push(ReportRow::new(
+                "rb_vs_rs",
+                format!(
+                    "{fname} b={b} ({} paper threshold {threshold})",
+                    if b <= threshold { "<=" } else { ">" }
+                ),
+                rb.work_estimate() as f64,
+                rs.work_estimate() as f64,
+            ));
+        }
+    }
+
+    eprintln!("\nSection 3.2.i — repeated block vs repeated scatter (static work):");
+    eprintln!("{:<44} {:>10} {:>10}", "case", "RB work", "RS work");
+    for r in &rows {
+        eprintln!("{:<44} {:>10} {:>10}", r.label, r.baseline, r.optimized);
+    }
+    write_report("rb_vs_rs", &rows);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_rb_rs
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E9 — **Section 5 extension**: dynamic redistribution. Times plan
+//! construction and reports the communication volumes for the
+//! block ↔ scatter ↔ block-scatter conversions across sizes and
+//! processor counts, plus the overlapped-decomposition ghost-exchange
+//! volumes as the second Section 5 extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcal_bench::{write_report, ReportRow};
+use vcal_core::Bounds;
+use vcal_decomp::{Decomp1, OverlapDecomp, RedistPlan};
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    eprintln!("\nSection 5 — redistribution volumes:");
+    eprintln!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "conversion", "moved", "messages", "stay"
+    );
+    for pmax in [4i64, 16] {
+        for n in [1i64 << 10, 1 << 14] {
+            let e = Bounds::range(0, n - 1);
+            let block = Decomp1::block(pmax, e);
+            let scatter = Decomp1::scatter(pmax, e);
+            let bs = Decomp1::block_scatter(8, pmax, e);
+            for (label, from, to) in [
+                ("block->scatter", &block, &scatter),
+                ("scatter->block", &scatter, &block),
+                ("block->bs8", &block, &bs),
+            ] {
+                let plan = RedistPlan::build(from, to);
+                eprintln!(
+                    "{:<28} {:>10} {:>10} {:>8}",
+                    format!("{label} n={n} p={pmax}"),
+                    plan.moved_elements(),
+                    plan.message_count(),
+                    plan.stationary
+                );
+                rows.push(ReportRow::new(
+                    "redistribution",
+                    format!("{label} n={n} p={pmax}"),
+                    n as f64,
+                    plan.moved_elements() as f64,
+                ));
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("redistribution/plan_build");
+    for n in [1i64 << 12, 1 << 16] {
+        let e = Bounds::range(0, n - 1);
+        let from = Decomp1::block(16, e);
+        let to = Decomp1::scatter(16, e);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(RedistPlan::build(&from, &to).message_count()))
+        });
+    }
+    group.finish();
+
+    eprintln!("\noverlap (halo) exchange volumes, n=4096:");
+    eprintln!("{:<20} {:>10} {:>10}", "halo", "messages", "elements");
+    for h in [1i64, 2, 8] {
+        for pmax in [4i64, 16] {
+            let ov =
+                OverlapDecomp::new(Decomp1::block(pmax, Bounds::range(0, 4095)), h);
+            eprintln!(
+                "{:<20} {:>10} {:>10}",
+                format!("h={h} p={pmax}"),
+                ov.exchange_plan().len(),
+                ov.exchange_volume()
+            );
+            rows.push(ReportRow::new(
+                "overlap_exchange",
+                format!("h={h} p={pmax}"),
+                4096.0,
+                ov.exchange_volume() as f64,
+            ));
+        }
+    }
+    write_report("redistribution", &rows);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_redistribution
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E3 — **Table I**: for every function row and decomposition column,
+//! time one processor's iteration over its ownership set, naive
+//! (run-time membership tests over the whole loop) vs closed form
+//! (the paper's `gen_p(t)`).
+//!
+//! The paper's claim: naive costs `imax - imin + 1` tests per processor
+//! while only `(imax - imin) / pmax` indices are actually processed, so
+//! the closed forms should win by roughly a factor `pmax` — growing with
+//! the processor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vcal_bench::{table1_decomps, table1_functions, write_report, ReportRow};
+use vcal_spmd::{naive_schedule, optimize, validate};
+
+fn bench_table1(c: &mut Criterion) {
+    let n: i64 = 1 << 16;
+    let pmax = 16;
+    let mut rows = Vec::new();
+
+    for (fname, f, imin, imax) in table1_functions(n) {
+        for (dname, dec) in table1_decomps(n, pmax) {
+            // correctness gate before timing anything
+            for p in [0, pmax / 2, pmax - 1] {
+                let opt = optimize(&f, &dec, imin, imax, p);
+                validate::check_optimized(&opt, &f, &dec, imin, imax, p)
+                    .expect("schedule must be exact before it is timed");
+            }
+
+            let p = 1i64; // a representative non-zero processor
+            let opt = optimize(&f, &dec, imin, imax, p);
+            let naive = naive_schedule(&f, &dec, imin, imax, p);
+            let mut group = c.benchmark_group(format!("table1/{fname}/{dname}"));
+            group.bench_function(BenchmarkId::new("naive", pmax), |b| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    naive.for_each(|i| acc = acc.wrapping_add(i));
+                    black_box(acc)
+                })
+            });
+            group.bench_function(
+                BenchmarkId::new(opt.kind.name(), pmax),
+                |b| {
+                    b.iter(|| {
+                        let mut acc = 0i64;
+                        opt.schedule.for_each(|i| acc = acc.wrapping_add(i));
+                        black_box(acc)
+                    })
+                },
+            );
+            group.finish();
+
+            rows.push(ReportRow::new(
+                "table1",
+                format!("{fname}/{dname} via {}", opt.kind.name()),
+                naive.work_estimate() as f64,
+                opt.schedule.work_estimate() as f64,
+            ));
+        }
+    }
+
+    // static work summary (the paper's complexity argument, exactly)
+    eprintln!("\nTable I static work (tests+visits) for p=1, n={n}, pmax={pmax}:");
+    eprintln!("{:<40} {:>10} {:>10} {:>8}", "cell", "naive", "closed", "ratio");
+    for r in &rows {
+        eprintln!(
+            "{:<40} {:>10} {:>10} {:>8.1}",
+            r.label, r.baseline, r.optimized, r.speedup
+        );
+    }
+    write_report("table1", &rows);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_table1
+}
+criterion_main!(benches);

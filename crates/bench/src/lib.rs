@@ -1,0 +1,143 @@
+//! # vcal-bench — shared workload builders for the benchmark harness
+//!
+//! Each Criterion bench target under `benches/` regenerates one table or
+//! figure of the paper (see DESIGN.md §3 for the experiment index). This
+//! library holds the common workload constructors so every bench uses
+//! identical inputs, plus a tiny report type serialized to JSON so
+//! EXPERIMENTS.md numbers can be traced to a run.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use vcal_core::func::Fn1;
+use vcal_core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
+use vcal_decomp::Decomp1;
+use vcal_spmd::DecompMap;
+
+/// The Table I function rows, as named constructors:
+/// `(label, f, imin, imax)` with all accesses inside `[0, n-1]`.
+pub fn table1_functions(n: i64) -> Vec<(&'static str, Fn1, i64, i64)> {
+    vec![
+        ("f=c", Fn1::Const(n / 2), 0, n - 1),
+        ("f=i+c", Fn1::shift(3), 0, n - 4),
+        ("f=a*i+c (pmax|a)", Fn1::affine(2, 1), 0, (n - 2) / 2),
+        ("f=a*i+c (gcd)", Fn1::affine(3, 1), 0, (n - 2) / 3),
+        ("f=monotonic", Fn1::i_plus_i_div(4), 0, (n - 1) * 4 / 5),
+    ]
+}
+
+/// The decomposition columns of Table I for a given extent.
+pub fn table1_decomps(n: i64, pmax: i64) -> Vec<(&'static str, Decomp1)> {
+    let e = Bounds::range(0, n - 1);
+    vec![
+        ("block", Decomp1::block(pmax, e)),
+        ("scatter", Decomp1::scatter(pmax, e)),
+        ("bs4", Decomp1::block_scatter(4, pmax, e)),
+    ]
+}
+
+/// A simple copy clause `A[f(i)] := B[g(i)] + 0.5` over `[imin, imax]`.
+pub fn copy_clause(f: Fn1, g: Fn1, imin: i64, imax: i64) -> Clause {
+    Clause {
+        iter: IndexSet::range(imin, imax),
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs: ArrayRef::d1("A", f),
+        rhs: Expr::add(Expr::Ref(ArrayRef::d1("B", g)), Expr::Lit(0.5)),
+    }
+}
+
+/// The 1-D Jacobi stencil clause over the interior of `[0, n-1]`:
+/// `V[i] := 0.5 * (U[i-1] + U[i+1])`.
+pub fn stencil_clause(n: i64) -> Clause {
+    Clause {
+        iter: IndexSet::range(1, n - 2),
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs: ArrayRef::d1("V", Fn1::identity()),
+        rhs: Expr::mul(
+            Expr::add(
+                Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+                Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+            ),
+            Expr::Lit(0.5),
+        ),
+    }
+}
+
+/// An environment with arrays `A` (zeros, `[0, n-1]`) and `B` (ramp,
+/// `[0, m-1]`).
+pub fn env_ab(n: i64, m: i64) -> Env {
+    let mut env = Env::new();
+    env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
+    env.insert("B", Array::from_fn(Bounds::range(0, m - 1), |i| i.scalar() as f64));
+    env
+}
+
+/// Decomposition map for the A/B copy clauses.
+pub fn decomps_ab(dec_a: Decomp1, dec_b: Decomp1) -> DecompMap {
+    let mut dm = DecompMap::new();
+    dm.insert("A".into(), dec_a);
+    dm.insert("B".into(), dec_b);
+    dm
+}
+
+/// One measured row of an experiment, for the JSON report.
+#[derive(Debug, Serialize)]
+pub struct ReportRow {
+    /// Experiment id (e.g. "table1").
+    pub experiment: &'static str,
+    /// Row label.
+    pub label: String,
+    /// Work or time of the baseline.
+    pub baseline: f64,
+    /// Work or time of the optimized version.
+    pub optimized: f64,
+    /// `baseline / optimized`.
+    pub speedup: f64,
+}
+
+impl ReportRow {
+    /// Build a row computing the speedup.
+    pub fn new(experiment: &'static str, label: String, baseline: f64, optimized: f64) -> Self {
+        ReportRow {
+            experiment,
+            label,
+            baseline,
+            optimized,
+            speedup: if optimized > 0.0 { baseline / optimized } else { f64::INFINITY },
+        }
+    }
+}
+
+/// Append rows to `target/vcal-reports/<experiment>.json`.
+pub fn write_report(experiment: &str, rows: &[ReportRow]) {
+    let dir = std::path::Path::new("target").join("vcal-reports");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{experiment}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(rows) {
+        let _ = std::fs::write(&path, json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_in_bounds_accesses() {
+        let n = 512;
+        for (label, f, imin, imax) in table1_functions(n) {
+            for i in imin..=imax {
+                let v = f.eval(i);
+                assert!((0..n).contains(&v), "{label}: f({i}) = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn report_rows_compute_speedup() {
+        let r = ReportRow::new("x", "y".into(), 10.0, 2.0);
+        assert_eq!(r.speedup, 5.0);
+    }
+}

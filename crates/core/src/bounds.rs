@@ -1,0 +1,284 @@
+//! Bounded sets (paper Definition 1).
+//!
+//! A bounded set `N_b` with `b = (l, u)` is the Cartesian product
+//! `N_1 x .. x N_d` with `N_i = { n | l_i <= n <= u_i }` — an axis-aligned
+//! integer box with **inclusive** bounds, exactly as in the paper. An empty
+//! box is represented by any `lo > hi` on some axis and is normalized by
+//! [`Bounds::canonical_empty`] when needed.
+
+use crate::ix::Ix;
+use std::fmt;
+
+/// An axis-aligned integer box with inclusive bounds — the paper's
+/// *bounded set* `N_(l,u)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bounds {
+    lo: Ix,
+    hi: Ix,
+}
+
+impl Bounds {
+    /// Create a bounded set from lower and upper bound vectors.
+    /// Panics on dimension mismatch.
+    #[inline]
+    pub fn new(lo: Ix, hi: Ix) -> Self {
+        assert_eq!(lo.dims(), hi.dims(), "bound vectors of different dimension");
+        Bounds { lo, hi }
+    }
+
+    /// 1-D range `lo:hi` (inclusive, paper notation).
+    #[inline]
+    pub fn range(lo: i64, hi: i64) -> Self {
+        Bounds { lo: Ix::d1(lo), hi: Ix::d1(hi) }
+    }
+
+    /// 2-D box `(lo0:hi0) x (lo1:hi1)`.
+    #[inline]
+    pub fn range2(lo0: i64, hi0: i64, lo1: i64, hi1: i64) -> Self {
+        Bounds { lo: Ix::d2(lo0, lo1), hi: Ix::d2(hi0, hi1) }
+    }
+
+    /// The canonical empty 1-D bounded set `(0 : -1)` used by the paper's
+    /// Table I for inactive processors.
+    #[inline]
+    pub fn empty(dims: usize) -> Self {
+        let lo = Ix::new(&vec![0; dims]);
+        let hi = Ix::new(&vec![-1; dims]);
+        Bounds { lo, hi }
+    }
+
+    /// Lower bound vector `l`.
+    #[inline]
+    pub fn lo(&self) -> Ix {
+        self.lo
+    }
+
+    /// Upper bound vector `u`.
+    #[inline]
+    pub fn hi(&self) -> Ix {
+        self.hi
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.dims()
+    }
+
+    /// Whether the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..self.dims()).any(|d| self.lo[d] > self.hi[d])
+    }
+
+    /// Number of points in the box (0 if empty). Saturates at `u64::MAX`.
+    pub fn count(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut n: u64 = 1;
+        for d in 0..self.dims() {
+            let extent = (self.hi[d] - self.lo[d] + 1) as u64;
+            n = n.saturating_mul(extent);
+        }
+        n
+    }
+
+    /// Extent along axis `d` (`hi - lo + 1`, possibly negative -> 0).
+    #[inline]
+    pub fn extent(&self, d: usize) -> i64 {
+        (self.hi[d] - self.lo[d] + 1).max(0)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: &Ix) -> bool {
+        debug_assert_eq!(i.dims(), self.dims());
+        (0..self.dims()).all(|d| self.lo[d] <= i[d] && i[d] <= self.hi[d])
+    }
+
+    /// The paper's `&` operator: bound vector of the intersection of two
+    /// bounded sets (Definition 4).
+    pub fn intersect(&self, other: &Bounds) -> Bounds {
+        assert_eq!(self.dims(), other.dims(), "intersect: dimension mismatch");
+        let lo = Ix::new(
+            &(0..self.dims()).map(|d| self.lo[d].max(other.lo[d])).collect::<Vec<_>>(),
+        );
+        let hi = Ix::new(
+            &(0..self.dims()).map(|d| self.hi[d].min(other.hi[d])).collect::<Vec<_>>(),
+        );
+        Bounds { lo, hi }
+    }
+
+    /// Normalize any empty representation to the canonical `(0 : -1)^d`.
+    pub fn canonical_empty(&self) -> Bounds {
+        if self.is_empty() {
+            Bounds::empty(self.dims())
+        } else {
+            *self
+        }
+    }
+
+    /// Translate the whole box by `offset`.
+    pub fn translate(&self, offset: &Ix) -> Bounds {
+        Bounds { lo: self.lo.add(offset), hi: self.hi.add(offset) }
+    }
+
+    /// Iterate all points in lexicographic (row-major) order.
+    pub fn iter(&self) -> BoundsIter {
+        BoundsIter { bounds: *self, next: if self.is_empty() { None } else { Some(self.lo) } }
+    }
+
+    /// Row-major linear offset of `i` within the box (for array storage).
+    #[inline]
+    pub fn linear_offset(&self, i: &Ix) -> usize {
+        debug_assert!(self.contains(i), "index {i} outside bounds {self}");
+        let mut off: i64 = 0;
+        for d in 0..self.dims() {
+            off = off * self.extent(d) + (i[d] - self.lo[d]);
+        }
+        off as usize
+    }
+
+    /// Inverse of [`Bounds::linear_offset`].
+    pub fn from_linear_offset(&self, mut off: usize) -> Ix {
+        let d = self.dims();
+        let mut coords = vec![0i64; d];
+        for axis in (0..d).rev() {
+            let e = self.extent(axis) as usize;
+            coords[axis] = self.lo[axis] + (off % e) as i64;
+            off /= e;
+        }
+        Ix::new(&coords)
+    }
+}
+
+/// Lexicographic iterator over the points of a [`Bounds`] box.
+pub struct BoundsIter {
+    bounds: Bounds,
+    next: Option<Ix>,
+}
+
+impl Iterator for BoundsIter {
+    type Item = Ix;
+
+    fn next(&mut self) -> Option<Ix> {
+        let cur = self.next?;
+        // advance like an odometer, last axis fastest
+        let mut nxt = cur;
+        let d = self.bounds.dims();
+        let mut axis = d;
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            if nxt[axis] < self.bounds.hi[axis] {
+                nxt[axis] += 1;
+                for a in axis + 1..d {
+                    nxt[a] = self.bounds.lo[a];
+                }
+                self.next = Some(nxt);
+                break;
+            }
+        }
+        Some(cur)
+    }
+}
+
+impl fmt::Debug for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bounds({self})")
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in 0..self.dims() {
+            if d > 0 {
+                write!(f, "\u{d7}")?; // ×
+            }
+            write!(f, "{}:{}", self.lo[d], self.hi[d])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_empty() {
+        assert_eq!(Bounds::range(0, 4).count(), 5);
+        assert_eq!(Bounds::range(3, 2).count(), 0);
+        assert!(Bounds::range(3, 2).is_empty());
+        assert_eq!(Bounds::range2(0, 1, 0, 2).count(), 6);
+        assert_eq!(Bounds::empty(2).count(), 0);
+    }
+
+    #[test]
+    fn paper_example_1_containment() {
+        // {(2,3),(2,4),(3,3),(3,4)} lies within l=(2,3), u=(3,4) and within
+        // l=(1,0), u=(8,7).
+        let tight = Bounds::range2(2, 3, 3, 4);
+        let loose = Bounds::range2(1, 8, 0, 7);
+        for p in [(2, 3), (2, 4), (3, 3), (3, 4)] {
+            assert!(tight.contains(&Ix::from(p)));
+            assert!(loose.contains(&Ix::from(p)));
+        }
+        assert_eq!(tight.count(), 4);
+    }
+
+    #[test]
+    fn intersection_is_paper_amp_operator() {
+        let a = Bounds::range(0, 10);
+        let b = Bounds::range(-2, 8);
+        assert_eq!(a.intersect(&b), Bounds::range(0, 8));
+        // Example 5 of the paper: (0,1) & (-2, 8) = (0,1)
+        let v = Bounds::range(0, 1);
+        assert_eq!(v.intersect(&b), Bounds::range(0, 1));
+        // disjoint -> empty
+        assert!(Bounds::range(0, 3).intersect(&Bounds::range(5, 9)).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_lexicographic_and_complete() {
+        let b = Bounds::range2(0, 1, 0, 2);
+        let pts: Vec<Ix> = b.iter().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Ix::d2(0, 0),
+                Ix::d2(0, 1),
+                Ix::d2(0, 2),
+                Ix::d2(1, 0),
+                Ix::d2(1, 1),
+                Ix::d2(1, 2),
+            ]
+        );
+        assert_eq!(Bounds::range(2, 1).iter().count(), 0);
+    }
+
+    #[test]
+    fn linear_offsets_roundtrip() {
+        let b = Bounds::range2(1, 3, -1, 1);
+        for (n, p) in b.iter().enumerate() {
+            assert_eq!(b.linear_offset(&p), n);
+            assert_eq!(b.from_linear_offset(n), p);
+        }
+    }
+
+    #[test]
+    fn translate_moves_box() {
+        let b = Bounds::range(0, 4).translate(&Ix::d1(10));
+        assert_eq!(b, Bounds::range(10, 14));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Bounds::range(0, 2).to_string(), "0:2");
+        assert_eq!(Bounds::range2(0, 2, 0, 2).to_string(), "0:2\u{d7}0:2");
+    }
+}

@@ -1,0 +1,419 @@
+//! Symbolic V-cal terms and the paper's rewrite rules, at the level the
+//! paper presents them (Sections 2.5–2.7).
+//!
+//! The typed structures in [`crate::clause`] carry the *executable*
+//! semantics; [`Term`] carries the *derivational* one: it renders the
+//! notation of the paper (`∆(i ∈ (imin:imax | P)) ◊ [f(i)](A) := ...`) and
+//! implements the rewrite steps the paper applies to reach SPMD form —
+//! decomposition substitution, parameter-expression contraction
+//! (Definition 5), the *renaming* rule, and parameter interchange — so an
+//! example binary can print the full Eq. (1) → Eq. (2) → Eq. (3) chain.
+
+use std::fmt;
+
+/// Ordering glyph for a parameter expression.
+pub use crate::clause::Ordering;
+
+/// A symbolic V-cal term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A parameter expression `∆(var ∈ range | cond) ◊ body`.
+    Param {
+        /// Bound variable name.
+        var: String,
+        /// Range text, e.g. `imin:imax` or `0:pmax-1`.
+        range: String,
+        /// Optional predicate text, e.g. `procA(f(i))=p`.
+        cond: Option<String>,
+        /// Ordering operator.
+        ord: Ordering,
+        /// The body.
+        body: Box<Term>,
+    },
+    /// A selection `[sel](target)`, e.g. `[f(i)](A)` or
+    /// `[procA(f(i)), localA(f(i))](A')`.
+    Select {
+        /// Selector component texts.
+        sel: Vec<String>,
+        /// The selected term.
+        target: Box<Term>,
+    },
+    /// A named data structure.
+    Array(String),
+    /// An assignment `lhs := rhs`.
+    Assign {
+        /// Left-hand side.
+        lhs: Box<Term>,
+        /// Right-hand side.
+        rhs: Box<Term>,
+    },
+    /// A function application `name(args...)` such as `Expr(...)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Term>,
+    },
+}
+
+impl Term {
+    /// `∆(var ∈ range) ◊ body`.
+    pub fn param(var: &str, range: &str, ord: Ordering, body: Term) -> Term {
+        Term::Param {
+            var: var.into(),
+            range: range.into(),
+            cond: None,
+            ord,
+            body: Box::new(body),
+        }
+    }
+
+    /// `∆(var ∈ (range | cond)) ◊ body`.
+    pub fn param_cond(var: &str, range: &str, cond: &str, ord: Ordering, body: Term) -> Term {
+        Term::Param {
+            var: var.into(),
+            range: range.into(),
+            cond: Some(cond.into()),
+            ord,
+            body: Box::new(body),
+        }
+    }
+
+    /// `[sel](target)`.
+    pub fn select(sel: &[&str], target: Term) -> Term {
+        Term::Select {
+            sel: sel.iter().map(|s| s.to_string()).collect(),
+            target: Box::new(target),
+        }
+    }
+
+    /// `lhs := rhs`.
+    pub fn assign(lhs: Term, rhs: Term) -> Term {
+        Term::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Rewrite rule: **decomposition substitution** (Section 2.6).
+    /// Replaces every `Array(name)` with
+    /// `∆(j ∈ range) ◊ [proc(j), local(j)](name')` — the array becomes a
+    /// view on its machine image.
+    pub fn substitute_decomposition(&self, name: &str, range: &str) -> Term {
+        self.map_arrays(&|a| {
+            if a == name {
+                Term::param(
+                    "j",
+                    range,
+                    Ordering::Par,
+                    Term::Select {
+                        sel: vec![format!("proc{a}(j)"), format!("local{a}(j)")],
+                        target: Box::new(Term::Array(format!("{a}'"))),
+                    },
+                )
+            } else {
+                Term::Array(a.to_string())
+            }
+        })
+    }
+
+    /// Rewrite rule: **contraction** (derived from Definition 5).
+    /// `[f(i)](∆(j ∈ R) ◊ [g(j)](T))  ⇒  [g(f(i))](T)`: a selection of a
+    /// parameter expression composes the two index propagation functions
+    /// by substituting the outer selector for the inner parameter.
+    pub fn contract(&self) -> Term {
+        match self {
+            Term::Select { sel, target } => {
+                let target = target.contract();
+                if let Term::Param { var, body, .. } = &target {
+                    if sel.len() == 1 {
+                        if let Term::Select { sel: inner_sel, target: inner_t } = body.as_ref()
+                        {
+                            let substituted: Vec<String> = inner_sel
+                                .iter()
+                                .map(|s| s.replace(var.as_str(), &sel[0]))
+                                .collect();
+                            return Term::Select {
+                                sel: substituted,
+                                target: Box::new(inner_t.contract()),
+                            };
+                        }
+                    }
+                }
+                Term::Select { sel: sel.clone(), target: Box::new(target) }
+            }
+            Term::Param { var, range, cond, ord, body } => Term::Param {
+                var: var.clone(),
+                range: range.clone(),
+                cond: cond.clone(),
+                ord: *ord,
+                body: Box::new(body.contract()),
+            },
+            Term::Assign { lhs, rhs } => Term::Assign {
+                lhs: Box::new(lhs.contract()),
+                rhs: Box::new(rhs.contract()),
+            },
+            Term::Call { name, args } => Term::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| a.contract()).collect(),
+            },
+            Term::Array(_) => self.clone(),
+        }
+    }
+
+    /// Rewrite rule: **renaming** (Section 2.6):
+    /// `[E(i), ...] ⇒ ∆(e ∈ (emin:emax | E(i) = e)) ◊ [e, ...]`.
+    /// Replaces the first selector component matching `expr` in the body
+    /// with fresh variable `fresh`, wrapping the term in the new parameter
+    /// expression carrying the equality condition.
+    pub fn rename(&self, expr: &str, fresh: &str, fresh_range: &str) -> Term {
+        let body = self.replace_selector(expr, fresh);
+        Term::param_cond(
+            fresh,
+            fresh_range,
+            &format!("{expr} = {fresh}"),
+            Ordering::Par,
+            body,
+        )
+    }
+
+    /// Rewrite rule: **interchange** (Section 2.6): for a term
+    /// `∆(a ...) ◊ ∆(b ∈ (R | C)) ◊ body`, swap the two parameter
+    /// expressions, moving the condition `C` onto the (now inner) `a`
+    /// parameter — producing the SPMD form where the processor parameter
+    /// is outermost.
+    pub fn interchange(&self) -> Option<Term> {
+        if let Term::Param { var: va, range: ra, cond: ca, ord: oa, body } = self {
+            if let Term::Param { var: vb, range: rb, cond: cb, ord: ob, body: inner } =
+                body.as_ref()
+            {
+                return Some(Term::Param {
+                    var: vb.clone(),
+                    range: rb.clone(),
+                    cond: None,
+                    ord: *ob,
+                    body: Box::new(Term::Param {
+                        var: va.clone(),
+                        range: ra.clone(),
+                        cond: match (ca, cb) {
+                            (None, c) => c.clone(),
+                            (Some(a), None) => Some(a.clone()),
+                            (Some(a), Some(b)) => Some(format!("{a} \u{2227} {b}")),
+                        },
+                        ord: *oa,
+                        body: inner.clone(),
+                    }),
+                });
+            }
+        }
+        None
+    }
+
+    fn map_arrays(&self, f: &impl Fn(&str) -> Term) -> Term {
+        match self {
+            Term::Array(a) => f(a),
+            Term::Param { var, range, cond, ord, body } => Term::Param {
+                var: var.clone(),
+                range: range.clone(),
+                cond: cond.clone(),
+                ord: *ord,
+                body: Box::new(body.map_arrays(f)),
+            },
+            Term::Select { sel, target } => Term::Select {
+                sel: sel.clone(),
+                target: Box::new(target.map_arrays(f)),
+            },
+            Term::Assign { lhs, rhs } => Term::Assign {
+                lhs: Box::new(lhs.map_arrays(f)),
+                rhs: Box::new(rhs.map_arrays(f)),
+            },
+            Term::Call { name, args } => Term::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| a.map_arrays(f)).collect(),
+            },
+        }
+    }
+
+    fn replace_selector(&self, expr: &str, fresh: &str) -> Term {
+        match self {
+            Term::Select { sel, target } => Term::Select {
+                sel: sel
+                    .iter()
+                    .map(|s| if s == expr { fresh.to_string() } else { s.clone() })
+                    .collect(),
+                target: Box::new(target.replace_selector(expr, fresh)),
+            },
+            Term::Param { var, range, cond, ord, body } => Term::Param {
+                var: var.clone(),
+                range: range.clone(),
+                cond: cond.clone(),
+                ord: *ord,
+                body: Box::new(body.replace_selector(expr, fresh)),
+            },
+            Term::Assign { lhs, rhs } => Term::Assign {
+                lhs: Box::new(lhs.replace_selector(expr, fresh)),
+                rhs: Box::new(rhs.replace_selector(expr, fresh)),
+            },
+            Term::Call { name, args } => Term::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| a.replace_selector(expr, fresh)).collect(),
+            },
+            Term::Array(_) => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Param { var, range, cond, ord, body } => {
+                match cond {
+                    Some(c) => write!(f, "\u{2206}({var} \u{2208} ({range} | {c}))")?,
+                    None => write!(f, "\u{2206}({var} \u{2208} ({range}))")?,
+                }
+                write!(f, " {} {body}", ord.symbol())
+            }
+            Term::Select { sel, target } => {
+                write!(f, "[{}]({target})", sel.join(", "))
+            }
+            Term::Array(a) => write!(f, "{a}"),
+            Term::Assign { lhs, rhs } => write!(f, "{lhs} := {rhs}"),
+            Term::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (n, a) in args.iter().enumerate() {
+                    if n > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Eq. (1) of the paper: ∆(i ∈ (imin:imax)) ◊ [f(i)]A := Expr([g(i)](B))
+    fn eq1() -> Term {
+        Term::param(
+            "i",
+            "imin:imax",
+            Ordering::Par,
+            Term::assign(
+                Term::select(&["f(i)"], Term::Array("A".into())),
+                Term::Call {
+                    name: "Expr".into(),
+                    args: vec![Term::select(&["g(i)"], Term::Array("B".into()))],
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn fig1_rendering() {
+        let t = Term::param_cond(
+            "i",
+            "k+1:n",
+            "[i]A>0",
+            Ordering::Par,
+            Term::assign(
+                Term::select(&["i"], Term::Array("A".into())),
+                Term::select(&["f(i)"], Term::Array("B".into())),
+            ),
+        );
+        assert_eq!(
+            t.to_string(),
+            "\u{2206}(i \u{2208} (k+1:n | [i]A>0)) // [i](A) := [f(i)](B)"
+        );
+    }
+
+    #[test]
+    fn decomposition_substitution_then_contraction_gives_eq2() {
+        // Substitute A -> ∆(j ∈ 0:n-1) ◊ [procA(j), localA(j)](A') and
+        // B likewise, then contract: the result must be Eq. (2):
+        // [procA(f(i)), localA(f(i))]A' := Expr([procB(g(i)), localB(g(i))]B')
+        let t = eq1()
+            .substitute_decomposition("A", "0:n-1")
+            .substitute_decomposition("B", "0:m-1");
+        let c = t.contract();
+        let s = c.to_string();
+        assert!(
+            s.contains("[procA(f(i)), localA(f(i))](A')"),
+            "lhs not contracted: {s}"
+        );
+        assert!(
+            s.contains("[procB(g(i)), localB(g(i))](B')"),
+            "rhs not contracted: {s}"
+        );
+        // no nested parameter expression over j remains
+        assert!(!s.contains("(j \u{2208}"), "leftover inner param: {s}");
+    }
+
+    #[test]
+    fn renaming_introduces_processor_parameter() {
+        let eq2_body = Term::assign(
+            Term::select(&["procA(f(i))", "localA(f(i))"], Term::Array("A'".into())),
+            Term::Call {
+                name: "Expr".into(),
+                args: vec![Term::select(
+                    &["procB(g(i))", "localB(g(i))"],
+                    Term::Array("B'".into()),
+                )],
+            },
+        );
+        let renamed = eq2_body.rename("procA(f(i))", "p", "0:pmax-1");
+        let s = renamed.to_string();
+        assert!(s.starts_with("\u{2206}(p \u{2208} (0:pmax-1 | procA(f(i)) = p))"), "{s}");
+        assert!(s.contains("[p, localA(f(i))](A')"), "{s}");
+    }
+
+    #[test]
+    fn interchange_moves_processor_outermost() {
+        // ∆(i ∈ I) ◊ ∆(p ∈ (0:pmax-1 | procA(f(i))=p)) ◊ body
+        // ⇒ ∆(p ∈ 0:pmax-1) ◊ ∆(i ∈ (I | procA(f(i))=p)) ◊ body  (Eq. 3)
+        let body = Term::Array("body".into());
+        let t = Term::param(
+            "i",
+            "imin:imax",
+            Ordering::Par,
+            Term::param_cond("p", "0:pmax-1", "procA(f(i))=p", Ordering::Par, body),
+        );
+        let swapped = t.interchange().unwrap();
+        let s = swapped.to_string();
+        assert_eq!(
+            s,
+            "\u{2206}(p \u{2208} (0:pmax-1)) // \u{2206}(i \u{2208} (imin:imax | procA(f(i))=p)) // body"
+        );
+    }
+
+    #[test]
+    fn interchange_requires_nested_params() {
+        assert!(Term::Array("A".into()).interchange().is_none());
+    }
+
+    #[test]
+    fn full_chain_eq1_to_eq3() {
+        // The complete derivation the paper walks through in Section 2.6.
+        let eq2 = eq1()
+            .substitute_decomposition("A", "0:n-1")
+            .substitute_decomposition("B", "0:m-1")
+            .contract();
+        // extract the body of the outer ∆(i...) to rename inside it
+        if let Term::Param { var, range, cond, ord, body } = &eq2 {
+            let renamed = body.rename("procA(f(i))", "p", "0:pmax-1");
+            let with_i = Term::Param {
+                var: var.clone(),
+                range: range.clone(),
+                cond: cond.clone(),
+                ord: *ord,
+                body: Box::new(renamed),
+            };
+            let eq3 = with_i.interchange().unwrap();
+            let s = eq3.to_string();
+            assert!(s.starts_with("\u{2206}(p \u{2208} (0:pmax-1))"), "{s}");
+            assert!(s.contains("(imin:imax | procA(f(i)) = p)"), "{s}");
+        } else {
+            panic!("eq2 should be a parameter expression");
+        }
+    }
+}

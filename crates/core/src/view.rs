@@ -1,0 +1,310 @@
+//! Views (paper Definitions 4 and 5).
+//!
+//! A view `√(K, dp, ip)` relates a source index set `I` to a result index
+//! set `J`: `ip` is an integer total function from `J` to `I` (a *gather*
+//! map: the element at result index `j` comes from source index `ip(j)`),
+//! `dp` is a monotonically increasing transform on bound vectors, and `K`
+//! is an index set constraining the result. Applying the view:
+//!
+//! ```text
+//! J = ( b_K & dp(b_I),  (P_I ∘ ip) ∧ P_K )
+//! ```
+//!
+//! Views compose (Definition 5); composition is what the paper calls
+//! *contraction* of nested parameter expressions, and it is the rewrite
+//! that lets a data decomposition be folded into an algorithm's access
+//! functions in closed form.
+
+use crate::bounds::Bounds;
+use crate::func::Fn1;
+use crate::map::IndexMap;
+use crate::pred::Pred;
+use crate::set::IndexSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// The `dp` component of a view: a monotone transform on bound vectors.
+#[derive(Clone)]
+pub enum DpMap {
+    /// Apply one monotonically increasing [`Fn1`] per dimension to both the
+    /// lower and the upper bound vector.
+    PerDim(Vec<Fn1>),
+    /// An arbitrary bounds transform (used e.g. by the general
+    /// decomposition view of Section 2.6, which collapses a `(proc, local)`
+    /// bound pair into a flat size).
+    Custom {
+        /// Display label.
+        label: String,
+        /// The transform.
+        f: Arc<dyn Fn(&Bounds) -> Bounds + Send + Sync>,
+    },
+}
+
+impl DpMap {
+    /// Identity on `d` dimensions.
+    pub fn identity(d: usize) -> DpMap {
+        DpMap::PerDim(vec![Fn1::identity(); d])
+    }
+
+    /// Apply to a bounds box.
+    pub fn apply(&self, b: &Bounds) -> Bounds {
+        match self {
+            DpMap::PerDim(fs) => {
+                assert_eq!(fs.len(), b.dims(), "DpMap dimension mismatch");
+                let lo: Vec<i64> =
+                    fs.iter().enumerate().map(|(d, f)| f.eval(b.lo()[d])).collect();
+                let hi: Vec<i64> =
+                    fs.iter().enumerate().map(|(d, f)| f.eval(b.hi()[d])).collect();
+                Bounds::new(crate::ix::Ix::new(&lo), crate::ix::Ix::new(&hi))
+            }
+            DpMap::Custom { f, .. } => f(b),
+        }
+    }
+
+    /// Composition `(self ∘ inner)(b) = self(inner(b))`.
+    pub fn compose(&self, inner: &DpMap) -> DpMap {
+        match (self, inner) {
+            (DpMap::PerDim(outer), DpMap::PerDim(inner_fs))
+                if outer.len() == inner_fs.len() =>
+            {
+                DpMap::PerDim(
+                    outer
+                        .iter()
+                        .zip(inner_fs)
+                        .map(|(o, i)| o.compose(i))
+                        .collect(),
+                )
+            }
+            _ => {
+                let outer = self.clone();
+                let inner = inner.clone();
+                DpMap::Custom {
+                    label: "composed".into(),
+                    f: Arc::new(move |b: &Bounds| outer.apply(&inner.apply(b))),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DpMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpMap::PerDim(fs) => write!(f, "DpMap::PerDim({fs:?})"),
+            DpMap::Custom { label, .. } => write!(f, "DpMap::Custom({label})"),
+        }
+    }
+}
+
+/// A view `√(K, dp, ip)` (Definition 4).
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The constraining index set `K`.
+    pub k: IndexSet,
+    /// The bounds transform `dp`.
+    pub dp: DpMap,
+    /// The index propagation function `ip : J -> I`.
+    pub ip: IndexMap,
+}
+
+impl View {
+    /// A view that merely remaps indices through `ip` with unconstrained
+    /// `K` (the common case for algorithmic access functions). The `dp`
+    /// bounds transform is derived from the map's structure: result dim
+    /// `d` spans the preimage of source dim `ip.dims()[d].src` under the
+    /// per-dim function's monotone endpoints (exact for affine and
+    /// permutation maps; conservative otherwise).
+    pub fn from_map(ip: IndexMap) -> View {
+        let d = ip.d_in();
+        let map_for_dp = ip.clone();
+        let dp = DpMap::Custom {
+            label: "from-map".into(),
+            f: Arc::new(move |b: &Bounds| {
+                let lo: Vec<i64> = map_for_dp
+                    .dims()
+                    .iter()
+                    .map(|df| preimage_endpoints(&df.f, b.lo()[df.src], b.hi()[df.src]).0)
+                    .collect();
+                let hi: Vec<i64> = map_for_dp
+                    .dims()
+                    .iter()
+                    .map(|df| preimage_endpoints(&df.f, b.lo()[df.src], b.hi()[df.src]).1)
+                    .collect();
+                Bounds::new(crate::ix::Ix::new(&lo), crate::ix::Ix::new(&hi))
+            }),
+        };
+        View {
+            k: IndexSet::full(Bounds::new(
+                crate::ix::Ix::new(&vec![i64::MIN / 4; d]),
+                crate::ix::Ix::new(&vec![i64::MAX / 4; d]),
+            )),
+            dp,
+            ip,
+        }
+    }
+
+    /// 1-D convenience: view with `ip = f`, `dp = dp_f`, and `K = (k_bounds, k_pred)`.
+    pub fn d1(k_bounds: Bounds, k_pred: Pred, dp_f: Fn1, ip_f: Fn1) -> View {
+        View {
+            k: IndexSet::new(k_bounds, k_pred),
+            dp: DpMap::PerDim(vec![dp_f]),
+            ip: IndexMap::d1(ip_f),
+        }
+    }
+
+    /// Apply the view to a source index set (Definition 4):
+    /// `J = (b_K & dp(b_I), (P_I ∘ ip) ∧ P_K)`.
+    pub fn apply(&self, src: &IndexSet) -> IndexSet {
+        let bounds = self.k.bounds.intersect(&self.dp.apply(&src.bounds));
+        let pred = src.pred.compose_map(&self.ip).and(self.k.pred.clone());
+        IndexSet::new(bounds, pred)
+    }
+
+    /// View composition (Definition 5): `(self ∘ w)(I) = self(w(I))`, i.e.
+    /// `self` is the *outer* view `V`, `w` the *inner* `W`:
+    ///
+    /// ```text
+    /// ip_u = ip_w ∘ ip_v      dp_u = dp_v ∘ dp_w
+    /// b_u  = b_Kv & dp_v(b_Kw)
+    /// P_u  = (P_Kw ∘ ip_v) ∧ P_Kv
+    /// ```
+    pub fn compose(&self, w: &View) -> View {
+        let ip = w.ip.compose(&self.ip);
+        let dp = self.dp.compose(&w.dp);
+        let bounds = self.k.bounds.intersect(&self.dp.apply(&w.k.bounds));
+        let pred = w.k.pred.compose_map(&self.ip).and(self.k.pred.clone());
+        View { k: IndexSet::new(bounds, pred), dp, ip }
+    }
+}
+
+/// The result-index interval whose image under monotone `f` stays within
+/// `[src_lo, src_hi]`. For non-monotone maps (rotates, squares over mixed
+/// signs) it falls back to the source interval itself — the Booster
+/// convention that a rotate/shuffle view has the shape of its source; the
+/// membership predicate still filters exactly within that box.
+fn preimage_endpoints(f: &Fn1, src_lo: i64, src_hi: i64) -> (i64, i64) {
+    const WIDE: i64 = 1 << 40;
+    if f.monotonicity(-WIDE, WIDE).is_monotone() {
+        match f.preimage_range(src_lo, src_hi, -WIDE, WIDE) {
+            Some((a, b)) => (a, b),
+            None => (1, 0), // monotone but empty preimage: empty box
+        }
+    } else {
+        (src_lo, src_hi)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\u{221a}({}, dp, {})", self.k, self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ix::Ix;
+    use crate::pred::CmpOp;
+
+    fn ge(rhs: i64) -> Pred {
+        Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs }
+    }
+
+    /// The two views of the paper's Example 5.
+    fn example5() -> (View, View) {
+        let v = View::d1(Bounds::range(0, 1), ge(1), Fn1::shift(-2), Fn1::shift(2));
+        let w = View::d1(
+            Bounds::range(0, 10),
+            ge(4),
+            Fn1::Div { inner: Box::new(Fn1::identity()), q: 2 },
+            Fn1::affine(2, 0),
+        );
+        (v, w)
+    }
+
+    #[test]
+    fn example5_composition_components() {
+        let (v, w) = example5();
+        let u = v.compose(&w);
+        // b_u = (0,1) & (-2, 8) = (0,1)
+        assert_eq!(u.k.bounds, Bounds::range(0, 1));
+        // ip_u(i) = 2.(i+2) = 2i+4
+        assert_eq!(u.ip.as_fn1().unwrap().clone(), Fn1::affine(2, 4));
+        // dp_u(i) = (i div 2) - 2
+        if let DpMap::PerDim(fs) = &u.dp {
+            for i in -20..20 {
+                assert_eq!(fs[0].eval(i), (if i >= 0 { i / 2 } else { (i - 1) / 2 }) - 2);
+            }
+        } else {
+            panic!("expected PerDim dp");
+        }
+        // P_u(i) = {i >= 2}: predicate {i>=4} ∘ (i+2) ∧ {i>=1}
+        for i in -5..10 {
+            assert_eq!(u.k.pred.eval(&Ix::d1(i)), i >= 2, "P_u({i})");
+        }
+    }
+
+    #[test]
+    fn composition_law_application_order() {
+        // (V ∘ W)(I) must equal V(W(I)) on both bounds and membership.
+        let (v, w) = example5();
+        let u = v.compose(&w);
+        let i_set = IndexSet::range(0, 30);
+        let via_composed = u.apply(&i_set);
+        let via_sequential = v.apply(&w.apply(&i_set));
+        assert_eq!(via_composed.bounds, via_sequential.bounds);
+        for i in -5..40 {
+            assert_eq!(
+                via_composed.contains(&Ix::d1(i)),
+                via_sequential.contains(&Ix::d1(i)),
+                "membership mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_shifts_bounds_and_predicate() {
+        // A view selecting [i+1] of a source (0:9): result indices j with
+        // ip(j) = j+1 in 0..=9 -> the predicate must reject j=9 via P_I∘ip
+        // if dp narrows bounds to -1:8.
+        let v = View::d1(
+            Bounds::range(-100, 100),
+            Pred::True,
+            Fn1::shift(-1),
+            Fn1::shift(1),
+        );
+        let j = v.apply(&IndexSet::range(0, 9));
+        assert_eq!(j.bounds, Bounds::range(-1, 8));
+        assert_eq!(j.count(), 10);
+        assert!(j.contains(&Ix::d1(-1))); // ip(-1) = 0 ∈ I
+        assert!(!j.contains(&Ix::d1(9)));
+    }
+
+    #[test]
+    fn from_map_is_neutral_on_predicate() {
+        let v = View::from_map(IndexMap::d1(Fn1::identity()));
+        let s = IndexSet::range(3, 7);
+        let j = v.apply(&s);
+        assert_eq!(j.to_vec(), s.to_vec());
+    }
+
+    #[test]
+    fn compose_associativity_on_application() {
+        // (U ∘ V) ∘ W and U ∘ (V ∘ W) agree pointwise on application.
+        let u = View::d1(Bounds::range(0, 50), Pred::True, Fn1::identity(), Fn1::shift(1));
+        let v = View::d1(Bounds::range(0, 50), ge(2), Fn1::identity(), Fn1::affine(2, 0));
+        let w = View::d1(Bounds::range(0, 50), Pred::True, Fn1::identity(), Fn1::shift(3));
+        let left = u.compose(&v).compose(&w);
+        let right = u.compose(&v.compose(&w));
+        let src = IndexSet::range(0, 200);
+        let a = left.apply(&src);
+        let b = right.apply(&src);
+        for i in -10..60 {
+            assert_eq!(a.contains(&Ix::d1(i)), b.contains(&Ix::d1(i)), "at {i}");
+        }
+        assert_eq!(
+            left.ip.as_fn1().unwrap().simplify(),
+            right.ip.as_fn1().unwrap().simplify()
+        );
+    }
+}

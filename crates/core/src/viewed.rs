@@ -1,0 +1,254 @@
+//! Views applied to *data* (paper Section 2.4: "views on data sets,
+//! expressions, and clauses").
+//!
+//! So far views act on index sets; in reality "a data value of a certain
+//! type is related to each index value". A [`ViewedArray`] is a lazy
+//! selection of an [`Array`] through a [`View`]: reading result index
+//! `j` fetches source index `ip(j)` — gather semantics, composable
+//! without copying, materializable when a dense array is needed. This is
+//! the Booster-style surface the paper's front-end citations describe:
+//! rotations, slices, strides and transposes are views, and view
+//! composition (Definition 5) contracts chains of them into a single
+//! index function.
+
+use crate::env::Array;
+use crate::func::Fn1;
+use crate::ix::Ix;
+use crate::map::IndexMap;
+use crate::set::IndexSet;
+use crate::view::View;
+
+/// A lazy, composable selection of an array through a view.
+#[derive(Debug, Clone)]
+pub struct ViewedArray<'a> {
+    source: &'a Array,
+    view: View,
+    index_set: IndexSet,
+}
+
+impl<'a> ViewedArray<'a> {
+    /// Apply a view to an array. The result's index set is the view
+    /// application `J = (b_K & dp(b_I), (P_I ∘ ip) ∧ P_K)`.
+    pub fn new(source: &'a Array, view: View) -> ViewedArray<'a> {
+        let index_set = view.apply(&IndexSet::full(source.bounds()));
+        ViewedArray { source, view, index_set }
+    }
+
+    /// The identity view of an array.
+    pub fn of(source: &'a Array) -> ViewedArray<'a> {
+        let d = source.bounds().dims();
+        ViewedArray::new(source, View::from_map(IndexMap::identity(d)))
+    }
+
+    /// 1-D convenience: view through a single index function.
+    pub fn through(source: &'a Array, f: Fn1) -> ViewedArray<'a> {
+        ViewedArray::new(source, View::from_map(IndexMap::d1(f)))
+    }
+
+    /// The result index set.
+    pub fn index_set(&self) -> &IndexSet {
+        &self.index_set
+    }
+
+    /// Read the element at result index `j` (gathers `source[ip(j)]`).
+    /// Panics if `j` is not in the result index set.
+    pub fn get(&self, j: &Ix) -> f64 {
+        assert!(self.index_set.contains(j), "index {j} outside the view");
+        self.source.get(&self.view.ip.eval(j))
+    }
+
+    /// Compose with a further (outer) view — Definition 5 — without
+    /// touching the data: the index functions contract.
+    pub fn then(self, outer: View) -> ViewedArray<'a> {
+        let composed = outer.compose(&self.view);
+        ViewedArray::new(self.source, composed)
+    }
+
+    /// 1-D convenience for [`ViewedArray::then`].
+    pub fn then_fn(self, f: Fn1) -> ViewedArray<'a> {
+        self.then(View::from_map(IndexMap::d1(f)))
+    }
+
+    /// Materialize the view into a dense array over the result set's
+    /// bounding box (indices outside the predicate read as 0).
+    pub fn materialize(&self) -> Array {
+        let b = self.index_set.bounds;
+        Array::from_fn(b, |j| {
+            if self.index_set.contains(j) {
+                self.source.get(&self.view.ip.eval(j))
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Number of selectable elements.
+    pub fn len(&self) -> u64 {
+        self.index_set.count()
+    }
+
+    /// Whether the view selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.index_set.is_empty()
+    }
+}
+
+/// Convenience constructors for the classic Booster-style views.
+pub mod views {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::pred::Pred;
+    use crate::view::DpMap;
+
+    /// Rotate a 1-D array by `s` positions over period `z`
+    /// (`result[j] = source[(j + s) mod z]`).
+    pub fn rotate(s: i64, z: i64) -> View {
+        View::from_map(IndexMap::d1(Fn1::rotate(s, z)))
+    }
+
+    /// The 1-D slice `lo..=hi` re-based at 0
+    /// (`result[j] = source[lo + j]`, `j in 0..=hi-lo`).
+    pub fn slice(lo: i64, hi: i64) -> View {
+        View {
+            k: IndexSet::full(Bounds::range(0, hi - lo)),
+            dp: DpMap::PerDim(vec![Fn1::shift(-lo)]),
+            ip: IndexMap::d1(Fn1::shift(lo)),
+        }
+    }
+
+    /// Every `step`-th element starting at `offset`
+    /// (`result[j] = source[offset + step*j]`).
+    pub fn stride(offset: i64, step: i64, count: i64) -> View {
+        assert!(step >= 1);
+        View {
+            k: IndexSet::full(Bounds::range(0, count - 1)),
+            // dp maps source bounds to valid result indices:
+            // j valid iff offset + step*j within the source range
+            dp: DpMap::PerDim(vec![Fn1::Div {
+                inner: Box::new(Fn1::shift(-offset)),
+                q: step,
+            }]),
+            ip: IndexMap::d1(Fn1::affine(step, offset)),
+        }
+    }
+
+    /// 2-D transpose (`result[i, j] = source[j, i]`).
+    pub fn transpose() -> View {
+        View::from_map(IndexMap::permutation(2, &[1, 0]))
+    }
+
+    /// The even-indexed elements (`result[j] = source[2j]`) — half of a
+    /// perfect shuffle.
+    pub fn evens(count: i64) -> View {
+        stride(0, 2, count)
+    }
+
+    /// Keep only indices satisfying `pred` (a filtering view; identity
+    /// index function).
+    pub fn filtered(pred: Pred, d: usize) -> View {
+        View {
+            k: IndexSet::new(
+                Bounds::new(
+                    Ix::new(&vec![i64::MIN / 4; d]),
+                    Ix::new(&vec![i64::MAX / 4; d]),
+                ),
+                pred,
+            ),
+            dp: DpMap::identity(d),
+            ip: IndexMap::identity(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::views;
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::pred::{CmpOp, Pred};
+
+    fn ramp(n: i64) -> Array {
+        Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64)
+    }
+
+    #[test]
+    fn rotate_view_gathers() {
+        let a = ramp(20);
+        let v = ViewedArray::new(&a, views::rotate(6, 20));
+        assert_eq!(v.get(&Ix::d1(0)), 6.0);
+        assert_eq!(v.get(&Ix::d1(13)), 19.0);
+        assert_eq!(v.get(&Ix::d1(14)), 0.0); // wraps
+        let m = v.materialize();
+        assert_eq!(m.get(&Ix::d1(19)), 5.0);
+    }
+
+    #[test]
+    fn slice_rebases() {
+        let a = ramp(10);
+        let v = ViewedArray::new(&a, views::slice(3, 7));
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.get(&Ix::d1(0)), 3.0);
+        assert_eq!(v.get(&Ix::d1(4)), 7.0);
+    }
+
+    #[test]
+    fn stride_selects() {
+        let a = ramp(10);
+        let v = ViewedArray::new(&a, views::stride(1, 3, 3));
+        let m = v.materialize();
+        assert_eq!(m.data(), &[1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn composition_contracts() {
+        // slice 2..=9 of a rotate-by-3: one composed index function
+        let a = ramp(12);
+        let v = ViewedArray::new(&a, views::rotate(3, 12)).then(views::slice(2, 9));
+        for j in 0..=7 {
+            assert_eq!(v.get(&Ix::d1(j)), ((j + 2 + 3) % 12) as f64, "j={j}");
+        }
+        // and the chain of evens ∘ evens = stride 4
+        let e = ViewedArray::new(&a, views::evens(6)).then(views::evens(3));
+        assert_eq!(e.materialize().data(), &[0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = Array::from_fn(Bounds::range2(0, 2, 0, 3), |i| (i[0] * 10 + i[1]) as f64);
+        let t = ViewedArray::new(&a, views::transpose());
+        assert_eq!(t.get(&Ix::d2(3, 2)), 23.0);
+        assert_eq!(t.get(&Ix::d2(0, 1)), 10.0);
+    }
+
+    #[test]
+    fn filtered_view() {
+        let a = ramp(10);
+        let v = ViewedArray::new(
+            &a,
+            views::filtered(
+                Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs: 6 },
+                1,
+            ),
+        );
+        assert_eq!(v.len(), 4);
+        assert!(v.index_set().contains(&Ix::d1(7)));
+        assert!(!v.index_set().contains(&Ix::d1(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the view")]
+    fn out_of_view_read_panics() {
+        let a = ramp(10);
+        let v = ViewedArray::new(&a, views::slice(3, 7));
+        let _ = v.get(&Ix::d1(9));
+    }
+
+    #[test]
+    fn identity_of() {
+        let a = ramp(5);
+        let v = ViewedArray::of(&a);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.materialize().max_abs_diff(&a), 0.0);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Layout maps — the executable regeneration of the paper's Figure 2.
+//!
+//! A [`LayoutMap`] tabulates `proc(i)` and `local(i)` for every global
+//! index and renders the same processor-assignment diagrams the paper
+//! draws for block, scatter, and block/scatter decompositions.
+
+use crate::dist::Decomp1;
+use std::fmt;
+
+/// A fully tabulated decomposition layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutMap {
+    /// The decomposition this layout tabulates.
+    pub decomp: Decomp1,
+    /// `procs[i - lo]` = owning processor of global index `i`.
+    pub procs: Vec<i64>,
+    /// `locals[i - lo]` = local offset of global index `i` on its owner.
+    pub locals: Vec<i64>,
+}
+
+impl LayoutMap {
+    /// Tabulate a decomposition.
+    pub fn of(decomp: &Decomp1) -> LayoutMap {
+        let lo = decomp.extent().lo()[0];
+        let hi = decomp.extent().hi()[0];
+        let procs = (lo..=hi).map(|i| decomp.proc_of(i)).collect();
+        let locals = (lo..=hi).map(|i| decomp.local_of(i)).collect();
+        LayoutMap { decomp: decomp.clone(), procs, locals }
+    }
+
+    /// The contiguous runs of equal ownership: `(proc, global_lo, global_hi)`.
+    pub fn runs(&self) -> Vec<(i64, i64, i64)> {
+        let lo = self.decomp.extent().lo()[0];
+        let mut runs = Vec::new();
+        for (off, &p) in self.procs.iter().enumerate() {
+            let i = lo + off as i64;
+            match runs.last_mut() {
+                Some((rp, _, rhi)) if *rp == p && *rhi == i - 1 => *rhi = i,
+                _ => runs.push((p, i, i)),
+            }
+        }
+        runs
+    }
+}
+
+impl fmt::Display for LayoutMap {
+    /// Renders in the style of the paper's Fig. 2:
+    ///
+    /// ```text
+    /// BS(2) of (0:14) on 4 procs
+    /// proc:  0  0  1  1  2  2  3  3  0  0  1  1  2  2  3
+    /// i:     0  1  2  3  4  5  6  7  8  9 10 11 12 13 14
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.decomp)?;
+        write!(f, "proc: ")?;
+        for p in &self.procs {
+            write!(f, "{p:>3}")?;
+        }
+        writeln!(f)?;
+        write!(f, "i:    ")?;
+        let lo = self.decomp.extent().lo()[0];
+        for off in 0..self.procs.len() {
+            write!(f, "{:>3}", lo + off as i64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Bounds;
+
+    #[test]
+    fn fig2_runs() {
+        let e = Bounds::range(0, 14);
+        // (a) BS(2)
+        let bs = LayoutMap::of(&Decomp1::block_scatter(2, 4, e));
+        assert_eq!(
+            bs.runs(),
+            vec![
+                (0, 0, 1),
+                (1, 2, 3),
+                (2, 4, 5),
+                (3, 6, 7),
+                (0, 8, 9),
+                (1, 10, 11),
+                (2, 12, 13),
+                (3, 14, 14),
+            ]
+        );
+        // (b) block
+        let bl = LayoutMap::of(&Decomp1::block(4, e));
+        assert_eq!(bl.runs(), vec![(0, 0, 3), (1, 4, 7), (2, 8, 11), (3, 12, 14)]);
+        // (c) scatter: 15 singleton runs
+        let sc = LayoutMap::of(&Decomp1::scatter(4, e));
+        assert_eq!(sc.runs().len(), 15);
+        assert_eq!(sc.runs()[0], (0, 0, 0));
+        assert_eq!(sc.runs()[1], (1, 1, 1));
+    }
+
+    #[test]
+    fn display_contains_proc_row() {
+        let m = LayoutMap::of(&Decomp1::scatter(4, Bounds::range(0, 7)));
+        let s = m.to_string();
+        assert!(s.contains("proc:   0  1  2  3  0  1  2  3"), "{s}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # vcal-decomp — data decompositions for V-cal
+//!
+//! The decomposition substrate of the reproduction (paper Sections 2.6,
+//! 2.8 and Figure 2):
+//!
+//! * [`dist`] — 1-D block / scatter / block-scatter / replicated
+//!   decompositions with `proc`, `local`, and their exact inverses, plus
+//!   symbolic [`vcal_core::Fn1`] forms that feed the ownership predicate
+//!   `proc(f(i)) = p` to the `vcal-spmd` optimizer;
+//! * [`nd`] — per-axis d-dimensional decompositions on processor grids;
+//! * [`sets`] — the Modify/Reside/All set algebra of Section 2.8 and the
+//!   send/receive/local classification of the Section 2.10 template;
+//! * [`layout`] — tabulated layout maps regenerating Figure 2;
+//! * [`redistribute`] — dynamic redistribution plans (Section 5 future
+//!   work, implemented as an extension);
+//! * [`overlap`] — overlapped (halo) block decompositions with ghost
+//!   exchange schedules (same).
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod layout;
+pub mod nd;
+pub mod overlap;
+pub mod redistribute;
+pub mod sets;
+
+pub use dist::{Decomp1, Distribution};
+pub use layout::LayoutMap;
+pub use nd::DecompNd;
+pub use overlap::{GhostMsg, OverlapDecomp};
+pub use redistribute::{RedistPlan, Transfer};
+pub use sets::{all_set, comm_role, modify_set, ownership_pred, reside_set, CommRole};

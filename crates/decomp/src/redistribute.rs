@@ -1,0 +1,208 @@
+//! Dynamic redistribution (the paper's Section 5 "further research":
+//! dynamic decompositions, i.e. a redistribution of the data at run time).
+//!
+//! A [`RedistPlan`] is the complete message schedule converting an array
+//! laid out by decomposition `from` into layout `to`: for every global
+//! index owned by `p` under `from` and by `q ≠ p` under `to`, the element
+//! must travel `p → q`. Adjacent globals travelling between the same pair
+//! are coalesced into runs, which is what makes block ↔ scatter
+//! redistribution cost measurable rather than hand-waved.
+
+use crate::dist::Decomp1;
+use std::collections::BTreeMap;
+
+/// One coalesced transfer: `count` elements, the `k`-th being global index
+/// `global_start + k*global_stride`, moving from `src`'s local memory
+/// (starting at `src_local_start`) to `dst`'s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source processor.
+    pub src: i64,
+    /// Destination processor.
+    pub dst: i64,
+    /// First global index of the run.
+    pub global_start: i64,
+    /// Stride between consecutive globals of the run.
+    pub global_stride: i64,
+    /// Number of elements.
+    pub count: i64,
+}
+
+/// A complete redistribution schedule between two decompositions of the
+/// same extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedistPlan {
+    /// Source decomposition.
+    pub from: Decomp1,
+    /// Destination decomposition.
+    pub to: Decomp1,
+    /// All transfers with `src != dst`, sorted by `(src, dst, global_start)`.
+    pub transfers: Vec<Transfer>,
+    /// Number of elements that stay on their processor.
+    pub stationary: i64,
+}
+
+impl RedistPlan {
+    /// Build the plan between two decompositions of the same extent.
+    /// Panics if the extents differ.
+    pub fn build(from: &Decomp1, to: &Decomp1) -> RedistPlan {
+        assert_eq!(
+            from.extent(),
+            to.extent(),
+            "redistribution requires identical extents"
+        );
+        assert!(
+            !from.is_replicated() && !to.is_replicated(),
+            "redistribution between replicated layouts is a broadcast, not a plan"
+        );
+        let lo = from.extent().lo()[0];
+        let hi = from.extent().hi()[0];
+        let mut stationary = 0i64;
+        // group moving elements by (src, dst), coalescing constant-stride runs
+        let mut by_pair: BTreeMap<(i64, i64), Vec<Transfer>> = BTreeMap::new();
+        for i in lo..=hi {
+            let src = from.proc_of(i);
+            let dst = to.proc_of(i);
+            if src == dst {
+                stationary += 1;
+                continue;
+            }
+            let runs = by_pair.entry((src, dst)).or_default();
+            match runs.last_mut() {
+                Some(t)
+                    if (t.count == 1 && i > t.global_start)
+                        || (t.count > 1 && i == t.global_start + t.global_stride * t.count) =>
+                {
+                    if t.count == 1 {
+                        t.global_stride = i - t.global_start;
+                        t.count = 2;
+                    } else {
+                        t.count += 1;
+                    }
+                }
+                _ => runs.push(Transfer {
+                    src,
+                    dst,
+                    global_start: i,
+                    global_stride: 1,
+                    count: 1,
+                }),
+            }
+        }
+        let transfers = by_pair.into_values().flatten().collect();
+        RedistPlan { from: from.clone(), to: to.clone(), transfers, stationary }
+    }
+
+    /// Total number of elements moved between processors.
+    pub fn moved_elements(&self) -> i64 {
+        self.transfers.iter().map(|t| t.count).sum()
+    }
+
+    /// Number of point-to-point messages, assuming each coalesced run is
+    /// one message.
+    pub fn message_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Number of distinct communicating processor pairs.
+    pub fn pair_count(&self) -> usize {
+        let mut pairs: Vec<(i64, i64)> =
+            self.transfers.iter().map(|t| (t.src, t.dst)).collect();
+        pairs.dedup();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+
+    /// Iterate the `(global, src, dst)` element moves of the plan.
+    pub fn element_moves(&self) -> impl Iterator<Item = (i64, i64, i64)> + '_ {
+        self.transfers.iter().flat_map(|t| {
+            (0..t.count).map(move |k| (t.global_start + k * t.global_stride, t.src, t.dst))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Bounds;
+
+    #[test]
+    fn identity_redistribution_moves_nothing() {
+        let d = Decomp1::block(4, Bounds::range(0, 15));
+        let plan = RedistPlan::build(&d, &d);
+        assert_eq!(plan.moved_elements(), 0);
+        assert_eq!(plan.stationary, 16);
+        assert_eq!(plan.message_count(), 0);
+    }
+
+    #[test]
+    fn block_to_scatter_plan_is_exact() {
+        let n = 16;
+        let from = Decomp1::block(4, Bounds::range(0, n - 1));
+        let to = Decomp1::scatter(4, Bounds::range(0, n - 1));
+        let plan = RedistPlan::build(&from, &to);
+        // every element's (src,dst) must match the decompositions
+        let mut moved = 0;
+        for (g, src, dst) in plan.element_moves() {
+            assert_eq!(from.proc_of(g), src);
+            assert_eq!(to.proc_of(g), dst);
+            assert_ne!(src, dst);
+            moved += 1;
+        }
+        assert_eq!(moved + plan.stationary, n);
+        // block(4)->scatter(4) on 16: element stays iff
+        // i div 4 == i mod 4 -> i in {0,5,10,15}
+        assert_eq!(plan.stationary, 4);
+        assert_eq!(plan.moved_elements(), 12);
+    }
+
+    #[test]
+    fn coalescing_produces_strided_runs() {
+        // block -> scatter: the elements of one source block going to one
+        // destination are contiguous-to-strided; from scatter -> block the
+        // sources are strided. Either way each (src,dst) pair should
+        // coalesce into a single run here.
+        let n = 16;
+        let from = Decomp1::scatter(4, Bounds::range(0, n - 1));
+        let to = Decomp1::block(4, Bounds::range(0, n - 1));
+        let plan = RedistPlan::build(&from, &to);
+        // 4x4 pairs minus the 4 diagonal-ish stationaries -> 12 pairs,
+        // each one run of 1 element... n=16: each (src,dst) pair has
+        // exactly one element. With larger n runs coalesce:
+        let from_big = Decomp1::scatter(4, Bounds::range(0, 63));
+        let to_big = Decomp1::block(4, Bounds::range(0, 63));
+        let plan_big = RedistPlan::build(&from_big, &to_big);
+        assert_eq!(plan_big.moved_elements(), 48);
+        // scatter->block: for a fixed (src,dst), globals are
+        // {i : i mod 4 = src, i div 16 = dst} = 4 elements stride 4 -> 1 run
+        assert_eq!(plan_big.message_count(), 12, "{:#?}", plan_big.transfers);
+        for t in &plan_big.transfers {
+            assert_eq!(t.count, 4);
+            assert_eq!(t.global_stride, 4);
+        }
+        let _ = plan;
+    }
+
+    #[test]
+    fn bs_to_bs_different_blocksize() {
+        let from = Decomp1::block_scatter(2, 4, Bounds::range(0, 31));
+        let to = Decomp1::block_scatter(4, 4, Bounds::range(0, 31));
+        let plan = RedistPlan::build(&from, &to);
+        for (g, src, dst) in plan.element_moves() {
+            assert_eq!(from.proc_of(g), src);
+            assert_eq!(to.proc_of(g), dst);
+        }
+        let total: i64 = plan.moved_elements() + plan.stationary;
+        assert_eq!(total, 32);
+        assert!(plan.pair_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical extents")]
+    fn extent_mismatch_rejected() {
+        let a = Decomp1::block(4, Bounds::range(0, 15));
+        let b = Decomp1::block(4, Bounds::range(0, 16));
+        let _ = RedistPlan::build(&a, &b);
+    }
+}

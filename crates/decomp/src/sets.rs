@@ -1,0 +1,206 @@
+//! Modify-, Reside-, and All-sets (paper Section 2.8).
+//!
+//! For a clause `∆(i ∈ (imin:imax)) [f(i)]A := Expr([g(i)](B))` under
+//! decompositions of `A` and `B`:
+//!
+//! ```text
+//! Modify_p = { i ∈ (imin:imax) | proc_A(f(i)) = p }   // p computes these
+//! Reside_p = { i ∈ (imin:imax) | proc_B(g(i)) = p }   // operands live here
+//! All_p    = Modify_p ∪ Reside_p
+//! ```
+//!
+//! These are the *naive* run-time-test sets whose enumeration cost
+//! (`imax - imin + 1` tests per processor) the paper's Section 3
+//! optimizations eliminate. They double as the brute-force oracle the
+//! closed-form schedules are verified against.
+
+use crate::dist::Decomp1;
+use vcal_core::func::Fn1;
+use vcal_core::pred::{CmpOp, Pred};
+use vcal_core::set::IndexSet;
+use vcal_core::Bounds;
+
+/// Build the ownership predicate `proc(f(i)) = p` as a structural
+/// [`Pred`] over the loop index.
+pub fn ownership_pred(decomp: &Decomp1, f: &Fn1, p: i64) -> Pred {
+    Pred::Cmp { dim: 0, f: decomp.proc_fn().compose(f).simplify(), op: CmpOp::Eq, rhs: p }
+}
+
+/// The Modify set of processor `p`: loop indices whose *written* element
+/// `A[f(i)]` is owned by `p`.
+pub fn modify_set(loop_bounds: Bounds, decomp_a: &Decomp1, f: &Fn1, p: i64) -> IndexSet {
+    IndexSet::new(loop_bounds, ownership_pred(decomp_a, f, p))
+}
+
+/// The Reside set of processor `p`: loop indices whose *read* element
+/// `B[g(i)]` lives in `p`'s memory. For a replicated `B` every index
+/// resides everywhere.
+pub fn reside_set(loop_bounds: Bounds, decomp_b: &Decomp1, g: &Fn1, p: i64) -> IndexSet {
+    if decomp_b.is_replicated() {
+        IndexSet::full(loop_bounds)
+    } else {
+        IndexSet::new(loop_bounds, ownership_pred(decomp_b, g, p))
+    }
+}
+
+/// The All set: `Modify_p ∪ Reside_p`.
+pub fn all_set(
+    loop_bounds: Bounds,
+    decomp_a: &Decomp1,
+    f: &Fn1,
+    decomp_b: &Decomp1,
+    g: &Fn1,
+    p: i64,
+) -> IndexSet {
+    let m = ownership_pred(decomp_a, f, p);
+    let r = if decomp_b.is_replicated() {
+        Pred::True
+    } else {
+        ownership_pred(decomp_b, g, p)
+    };
+    IndexSet::new(loop_bounds, Pred::Or(Box::new(m), Box::new(r)))
+}
+
+/// Communication classification of one loop index for one processor, per
+/// the distributed-memory template of Section 2.10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommRole {
+    /// `i ∈ Reside_p \ Modify_p`: `p` must send `B[g(i)]` to the owner of
+    /// `A[f(i)]`.
+    SendOnly,
+    /// `i ∈ Modify_p \ Reside_p`: `p` must receive `B[g(i)]` before it can
+    /// update `A[f(i)]`.
+    ReceiveAndUpdate,
+    /// `i ∈ Modify_p ∩ Reside_p`: purely local update.
+    LocalUpdate,
+    /// `i ∉ All_p`: no action on `p`.
+    None,
+}
+
+/// Classify index `i` for processor `p` (Section 2.10's three `if` arms).
+pub fn comm_role(
+    decomp_a: &Decomp1,
+    f: &Fn1,
+    decomp_b: &Decomp1,
+    g: &Fn1,
+    i: i64,
+    p: i64,
+) -> CommRole {
+    let modifies = decomp_a.proc_of(f.eval(i)) == p;
+    let resides = decomp_b.resides_on(g.eval(i), p);
+    match (modifies, resides) {
+        (false, true) => CommRole::SendOnly,
+        (true, false) => CommRole::ReceiveAndUpdate,
+        (true, true) => CommRole::LocalUpdate,
+        (false, false) => CommRole::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Ix;
+
+    fn setup() -> (Bounds, Decomp1, Decomp1) {
+        let loop_bounds = Bounds::range(0, 14);
+        let a = Decomp1::block(4, Bounds::range(0, 14));
+        let b = Decomp1::scatter(4, Bounds::range(0, 14));
+        (loop_bounds, a, b)
+    }
+
+    #[test]
+    fn modify_sets_partition_the_loop() {
+        let (lb, a, _) = setup();
+        let f = Fn1::identity();
+        let mut owned = vec![0u32; 15];
+        for p in 0..4 {
+            for i in modify_set(lb, &a, &f, p).iter() {
+                owned[i.scalar() as usize] += 1;
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1), "not a partition: {owned:?}");
+    }
+
+    #[test]
+    fn modify_with_shifted_access() {
+        // A[i+2] under block(4) of 0..=14 (b=4): owner of f(i)=i+2
+        let (lb, a, _) = setup();
+        let f = Fn1::shift(2);
+        let m0: Vec<i64> = modify_set(Bounds::range(0, 12), &a, &f, 0)
+            .iter()
+            .map(|i| i.scalar())
+            .collect();
+        // f(i) in 0..=3 -> i in 0..=1 (f(i)=2,3)
+        assert_eq!(m0, vec![0, 1]);
+        let _ = lb;
+    }
+
+    #[test]
+    fn reside_replicated_is_everything() {
+        let lb = Bounds::range(0, 9);
+        let b = Decomp1::replicated(4, Bounds::range(0, 9));
+        for p in 0..4 {
+            assert_eq!(reside_set(lb, &b, &Fn1::identity(), p).count(), 10);
+        }
+    }
+
+    #[test]
+    fn all_is_union() {
+        let (lb, a, b) = setup();
+        let f = Fn1::identity();
+        let g = Fn1::identity();
+        for p in 0..4 {
+            let m = modify_set(lb, &a, &f, p);
+            let r = reside_set(lb, &b, &g, p);
+            let all = all_set(lb, &a, &f, &b, &g, p);
+            for i in 0..15 {
+                let ix = Ix::d1(i);
+                assert_eq!(
+                    all.contains(&ix),
+                    m.contains(&ix) || r.contains(&ix),
+                    "p={p} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_roles_cover_and_are_consistent() {
+        let (_, a, b) = setup();
+        let f = Fn1::identity();
+        let g = Fn1::identity();
+        for i in 0..15 {
+            let mut send_count = 0;
+            let mut recv_count = 0;
+            let mut local_count = 0;
+            for p in 0..4 {
+                match comm_role(&a, &f, &b, &g, i, p) {
+                    CommRole::SendOnly => send_count += 1,
+                    CommRole::ReceiveAndUpdate => recv_count += 1,
+                    CommRole::LocalUpdate => local_count += 1,
+                    CommRole::None => {}
+                }
+            }
+            // exactly one processor modifies each i
+            assert_eq!(recv_count + local_count, 1, "i={i}");
+            // a receive is matched by exactly one send
+            assert_eq!(send_count, recv_count, "i={i}");
+        }
+    }
+
+    #[test]
+    fn same_decomposition_needs_no_communication() {
+        // A and B block-decomposed identically, f = g = identity:
+        // everything is a LocalUpdate.
+        let a = Decomp1::block(4, Bounds::range(0, 14));
+        for i in 0..15 {
+            for p in 0..4 {
+                let role = comm_role(&a, &Fn1::identity(), &a, &Fn1::identity(), i, p);
+                assert!(
+                    matches!(role, CommRole::LocalUpdate | CommRole::None),
+                    "unexpected comm at i={i} p={p}: {role:?}"
+                );
+            }
+        }
+    }
+}

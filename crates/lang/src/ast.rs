@@ -1,0 +1,251 @@
+//! Abstract syntax of the miniature imperative language.
+
+use std::fmt;
+
+/// An integer index expression over one loop variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdxExpr {
+    /// Integer constant.
+    Num(i64),
+    /// The loop variable.
+    Var(String),
+    /// `k * e`
+    Scale(i64, Box<IdxExpr>),
+    /// `e1 + e2`
+    Add(Box<IdxExpr>, Box<IdxExpr>),
+    /// `e1 - e2`
+    Sub(Box<IdxExpr>, Box<IdxExpr>),
+    /// `e1 * e2` where both sides mention the variable (only `v * v`,
+    /// i.e. squaring, is accepted by the translator).
+    MulVar(Box<IdxExpr>, Box<IdxExpr>),
+    /// `e mod z`
+    Mod(Box<IdxExpr>, i64),
+    /// `e div q`
+    Div(Box<IdxExpr>, i64),
+}
+
+impl IdxExpr {
+    /// All loop-variable names occurring in the expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            IdxExpr::Num(_) => {}
+            IdxExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            IdxExpr::Scale(_, e) | IdxExpr::Mod(e, _) | IdxExpr::Div(e, _) => e.vars(out),
+            IdxExpr::Add(a, b) | IdxExpr::Sub(a, b) | IdxExpr::MulVar(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for IdxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxExpr::Num(n) => write!(f, "{n}"),
+            IdxExpr::Var(v) => write!(f, "{v}"),
+            IdxExpr::Scale(k, e) => write!(f, "{k}*{e}"),
+            IdxExpr::Add(a, b) => write!(f, "{a}+{b}"),
+            IdxExpr::Sub(a, b) => write!(f, "{a}-{b}"),
+            IdxExpr::MulVar(a, b) => write!(f, "{a}*{b}"),
+            IdxExpr::Mod(e, z) => write!(f, "({e}) mod {z}"),
+            IdxExpr::Div(e, q) => write!(f, "({e}) div {q}"),
+        }
+    }
+}
+
+/// An array subscript reference `A[e]` or `A[e1, e2, ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ARef {
+    /// Array name.
+    pub array: String,
+    /// One subscript expression per array dimension.
+    pub index: Vec<IdxExpr>,
+}
+
+impl ARef {
+    /// 1-D convenience constructor.
+    pub fn d1(array: impl Into<String>, index: IdxExpr) -> ARef {
+        ARef { array: array.into(), index: vec![index] }
+    }
+}
+
+impl fmt::Display for ARef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let subs: Vec<String> = self.index.iter().map(|e| e.to_string()).collect();
+        write!(f, "{}[{}]", self.array, subs.join(", "))
+    }
+}
+
+/// Comparison operator in a guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl RelOp {
+    /// Source form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Eq => "=",
+            RelOp::Ne => "<>",
+        }
+    }
+}
+
+/// A scalar (value) expression on the right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValExpr {
+    /// Array element read.
+    Ref(ARef),
+    /// Numeric literal.
+    Num(f64),
+    /// The loop variable as a value.
+    Var(String),
+    /// Negation.
+    Neg(Box<ValExpr>),
+    /// `a + b`
+    Add(Box<ValExpr>, Box<ValExpr>),
+    /// `a - b`
+    Sub(Box<ValExpr>, Box<ValExpr>),
+    /// `a * b`
+    Mul(Box<ValExpr>, Box<ValExpr>),
+    /// `a / b`
+    Div(Box<ValExpr>, Box<ValExpr>),
+}
+
+impl fmt::Display for ValExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValExpr::Ref(r) => write!(f, "{r}"),
+            ValExpr::Num(x) => write!(f, "{x}"),
+            ValExpr::Var(v) => write!(f, "{v}"),
+            ValExpr::Neg(e) => write!(f, "-({e})"),
+            ValExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            ValExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            ValExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            ValExpr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for v := lo to hi do body od;`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if lhs op rhs then body fi;`
+    If {
+        /// Guarded array read.
+        lhs: ARef,
+        /// Comparison.
+        op: RelOp,
+        /// Constant compared against.
+        rhs: f64,
+        /// Guarded body.
+        body: Vec<Stmt>,
+    },
+    /// `lhs := rhs;`
+    Assign {
+        /// Assigned array element.
+        lhs: ARef,
+        /// Value expression.
+        rhs: ValExpr,
+    },
+}
+
+impl Stmt {
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Stmt::For { var, lo, hi, body } => {
+                writeln!(f, "{pad}for {var} := {lo} to {hi} do")?;
+                for s in body {
+                    s.fmt_indent(f, depth + 1)?;
+                }
+                writeln!(f, "{pad}od;")
+            }
+            Stmt::If { lhs, op, rhs, body } => {
+                writeln!(f, "{pad}if {lhs} {} {rhs} then", op.symbol())?;
+                for s in body {
+                    s.fmt_indent(f, depth + 1)?;
+                }
+                writeln!(f, "{pad}fi;")
+            }
+            Stmt::Assign { lhs, rhs } => writeln!(f, "{pad}{lhs} := {rhs};"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let s = Stmt::For {
+            var: "i".into(),
+            lo: 1,
+            hi: 9,
+            body: vec![Stmt::Assign {
+                lhs: ARef::d1("A", IdxExpr::Var("i".into())),
+                rhs: ValExpr::Ref(ARef::d1(
+                    "B",
+                    IdxExpr::Add(
+                        Box::new(IdxExpr::Var("i".into())),
+                        Box::new(IdxExpr::Num(1)),
+                    ),
+                )),
+            }],
+        };
+        let text = s.to_string();
+        assert!(text.contains("for i := 1 to 9 do"));
+        assert!(text.contains("A[i] := B[i+1];"));
+        assert!(text.contains("od;"));
+    }
+
+    #[test]
+    fn vars_collection() {
+        let e = IdxExpr::Add(
+            Box::new(IdxExpr::Scale(2, Box::new(IdxExpr::Var("i".into())))),
+            Box::new(IdxExpr::Num(3)),
+        );
+        let mut vs = Vec::new();
+        e.vars(&mut vs);
+        assert_eq!(vs, vec!["i".to_string()]);
+    }
+}

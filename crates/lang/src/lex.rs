@@ -1,0 +1,316 @@
+//! Lexer for the miniature imperative language of Fig. 1.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (loop variables, array names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `do`
+    Do,
+    /// `od`
+    Od,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `fi`
+    Fi,
+    /// `mod`
+    Mod,
+    /// `div`
+    Div,
+    /// `:=`
+    Assign,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            other => write!(f, "{}", keyword_str(other)),
+        }
+    }
+}
+
+fn keyword_str(t: &Tok) -> &'static str {
+    match t {
+        Tok::For => "for",
+        Tok::To => "to",
+        Tok::Do => "do",
+        Tok::Od => "od",
+        Tok::If => "if",
+        Tok::Then => "then",
+        Tok::Fi => "fi",
+        Tok::Mod => "mod",
+        Tok::Div => "div",
+        Tok::Assign => ":=",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::Semi => ";",
+        Tok::Comma => ",",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Eq => "=",
+        Tok::Ne => "<>",
+        _ => unreachable!(),
+    }
+}
+
+/// A lexing error with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte position of the offending character.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    toks.push(Tok::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            },
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Assign);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, msg: "expected `:=`".into() });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    toks.push(Tok::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        msg: format!("bad float `{text}`"),
+                    })?));
+                } else {
+                    let text = &src[start..i];
+                    toks.push(Tok::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        msg: format!("bad integer `{text}`"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                toks.push(match word {
+                    "for" => Tok::For,
+                    "to" => Tok::To,
+                    "do" => Tok::Do,
+                    "od" => Tok::Od,
+                    "if" => Tok::If,
+                    "then" => Tok::Then,
+                    "fi" => Tok::Fi,
+                    "mod" => Tok::Mod,
+                    "div" => Tok::Div,
+                    _ => Tok::Ident(word.to_string()),
+                });
+            }
+            other => {
+                return Err(LexError { pos: i, msg: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_tokens() {
+        let toks = lex("for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;").unwrap();
+        assert_eq!(toks[0], Tok::For);
+        assert_eq!(toks[1], Tok::Ident("i".into()));
+        assert_eq!(toks[2], Tok::Assign);
+        assert_eq!(toks[3], Tok::Int(1));
+        assert!(toks.contains(&Tok::If));
+        assert!(toks.contains(&Tok::Gt));
+        assert!(toks.contains(&Tok::Fi));
+        assert_eq!(*toks.last().unwrap(), Tok::Semi);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(lex("42").unwrap(), vec![Tok::Int(42)]);
+        assert_eq!(lex("4.25").unwrap(), vec![Tok::Float(4.25)]);
+        assert_eq!(
+            lex("1.5 + 2").unwrap(),
+            vec![Tok::Float(1.5), Tok::Plus, Tok::Int(2)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("> >= < <= = <>").unwrap(),
+            vec![Tok::Gt, Tok::Ge, Tok::Lt, Tok::Le, Tok::Eq, Tok::Ne]
+        );
+    }
+
+    #[test]
+    fn mod_div_keywords() {
+        let toks = lex("(i+6) mod 20 div 4").unwrap();
+        assert!(toks.contains(&Tok::Mod));
+        assert!(toks.contains(&Tok::Div));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a : b").is_err());
+        assert!(lex("a ? b").is_err());
+        let e = lex("x # y").unwrap_err();
+        assert_eq!(e.pos, 2);
+    }
+}

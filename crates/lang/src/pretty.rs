@@ -1,0 +1,197 @@
+//! Pretty-printing of clauses in the paper's V-cal notation (Fig. 1) and
+//! back into imperative pseudo-code.
+
+use vcal_core::map::{display_fn1, IndexMap};
+use vcal_core::{Clause, Expr, Guard, Ordering};
+
+const VAR_NAMES: [&str; 4] = ["i", "j", "k", "l"];
+
+fn map_text(map: &IndexMap) -> String {
+    if let Some(f) = map.as_fn1() {
+        display_fn1(f, "i")
+    } else {
+        let inner: Vec<String> = map
+            .dims()
+            .iter()
+            .map(|df| display_fn1(&df.f, VAR_NAMES.get(df.src).unwrap_or(&"i")))
+            .collect();
+        inner.join(", ")
+    }
+}
+
+fn range_text(clause: &Clause) -> String {
+    let b = clause.iter.bounds;
+    (0..b.dims())
+        .map(|d| format!("{}:{}", b.lo()[d], b.hi()[d]))
+        .collect::<Vec<_>>()
+        .join("\u{d7}")
+}
+
+fn binder_text(dims: usize) -> String {
+    if dims == 1 {
+        "i".to_string()
+    } else {
+        format!(
+            "({})",
+            (0..dims)
+                .map(|d| VAR_NAMES.get(d).copied().unwrap_or("?").to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Render a clause in the paper's notation, e.g. Fig. 1's
+///
+/// ```text
+/// ∆(i ∈ (k+1:n | [i]A>0)) // ([i](A) := [f(i)](B))
+/// ```
+pub fn to_vcal(clause: &Clause) -> String {
+    let range = range_text(clause);
+    let guard = match &clause.guard {
+        Guard::Always => String::new(),
+        Guard::Cmp { lhs, op, rhs } => {
+            format!(" | [{}]{}{}{rhs}", map_text(&lhs.map), lhs.array, op.symbol())
+        }
+    };
+    let ord = clause.ordering.symbol();
+    format!(
+        "\u{2206}({} \u{2208} ({range}{guard})) {ord} ([{}]({}) := {})",
+        binder_text(clause.iter.dims()),
+        map_text(&clause.lhs.map),
+        clause.lhs.array,
+        expr_vcal(&clause.rhs),
+    )
+}
+
+fn expr_vcal(e: &Expr) -> String {
+    match e {
+        Expr::Ref(r) => format!("[{}]({})", map_text(&r.map), r.array),
+        Expr::Lit(v) => format!("{v}"),
+        Expr::LoopVar { dim } => VAR_NAMES.get(*dim).unwrap_or(&"i").to_string(),
+        Expr::Neg(inner) => format!("-({})", expr_vcal(inner)),
+        Expr::Bin(op, a, b) => {
+            format!("({} {} {})", expr_vcal(a), op.symbol(), expr_vcal(b))
+        }
+    }
+}
+
+/// Render a clause back as the imperative loop nest it came from (Fig. 1
+/// left column) — useful for showing the source ↔ calculus
+/// correspondence.
+pub fn to_imperative(clause: &Clause) -> String {
+    let dims = clause.iter.dims();
+    let b = clause.iter.bounds;
+    let mut out = String::new();
+    for d in 0..dims {
+        out.push_str(&"  ".repeat(d));
+        out.push_str(&format!(
+            "for {} := {} to {} do\n",
+            VAR_NAMES.get(d).unwrap_or(&"?"),
+            b.lo()[d],
+            b.hi()[d]
+        ));
+    }
+    let pad = "  ".repeat(dims);
+    let assign = format!(
+        "{}[{}] := {};",
+        clause.lhs.array,
+        map_text(&clause.lhs.map),
+        expr_imp(&clause.rhs)
+    );
+    match &clause.guard {
+        Guard::Always => out.push_str(&format!("{pad}{assign}\n")),
+        Guard::Cmp { lhs, op, rhs } => {
+            out.push_str(&format!(
+                "{pad}if {}[{}] {} {rhs} then\n{pad}  {assign}\n{pad}fi;\n",
+                lhs.array,
+                map_text(&lhs.map),
+                op.symbol()
+            ));
+        }
+    }
+    if clause.ordering == Ordering::Seq {
+        out.push_str(&format!("{pad}(* sequential: carried dependence *)\n"));
+    }
+    for d in (0..dims).rev() {
+        out.push_str(&"  ".repeat(d));
+        out.push_str("od;\n");
+    }
+    out
+}
+
+fn expr_imp(e: &Expr) -> String {
+    match e {
+        Expr::Ref(r) => format!("{}[{}]", r.array, map_text(&r.map)),
+        Expr::Lit(v) => format!("{v}"),
+        Expr::LoopVar { dim } => VAR_NAMES.get(*dim).unwrap_or(&"i").to_string(),
+        Expr::Neg(inner) => format!("-({})", expr_imp(inner)),
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr_imp(a), op.symbol(), expr_imp(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::translate::translate;
+
+    #[test]
+    fn fig1_vcal_form() {
+        let c = translate(
+            &parse("for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;").unwrap()[0],
+        )
+        .unwrap();
+        let s = to_vcal(&c);
+        assert_eq!(s, "\u{2206}(i \u{2208} (1:9 | [i]A>0)) // ([i](A) := [i+1](B))");
+    }
+
+    #[test]
+    fn two_d_vcal_form() {
+        let c = translate(
+            &parse("for i := 1 to 8 do for j := 0 to 4 do V[i, j] := U[i-1, 2*j]; od; od;")
+                .unwrap()[0],
+        )
+        .unwrap();
+        let s = to_vcal(&c);
+        assert_eq!(
+            s,
+            "\u{2206}((i,j) \u{2208} (1:8\u{d7}0:4)) // ([i, j](V) := [i-1, 2.j](U))"
+        );
+    }
+
+    #[test]
+    fn imperative_roundtrip_shape() {
+        let src = "for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;";
+        let c = translate(&parse(src).unwrap()[0]).unwrap();
+        let back = to_imperative(&c);
+        assert!(back.contains("for i := 1 to 9 do"), "{back}");
+        assert!(back.contains("if A[i] > 0 then"), "{back}");
+        assert!(back.contains("A[i] := B[i+1];"), "{back}");
+        let c2 = translate(
+            &parse(&back.replace("(* sequential: carried dependence *)", "")).unwrap()[0],
+        )
+        .unwrap();
+        assert_eq!(to_vcal(&c), to_vcal(&c2));
+    }
+
+    #[test]
+    fn imperative_2d_roundtrip() {
+        let src = "for i := 0 to 5 do for j := 0 to 5 do B[j, i] := A[i, j]; od; od;";
+        let c = translate(&parse(src).unwrap()[0]).unwrap();
+        let back = to_imperative(&c);
+        let c2 = translate(&parse(&back).unwrap()[0]).unwrap();
+        assert_eq!(to_vcal(&c), to_vcal(&c2));
+    }
+
+    #[test]
+    fn sequential_clause_annotated() {
+        let c = translate(
+            &parse("for i := 1 to 9 do A[i] := A[i-1] + 1; od;").unwrap()[0],
+        )
+        .unwrap();
+        let s = to_vcal(&c);
+        assert!(s.contains("\u{2022}"), "{s}");
+        assert!(to_imperative(&c).contains("sequential"), "{}", to_imperative(&c));
+    }
+}

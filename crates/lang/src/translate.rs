@@ -1,0 +1,424 @@
+//! Translation of parsed loops into V-cal clauses (paper Section 2.5 and
+//! Fig. 1).
+//!
+//! A (possibly nested) `for` loop whose innermost body is a single
+//! assignment (optionally wrapped in one data-dependent `if`) becomes the
+//! clause
+//!
+//! ```text
+//! ∆(i ∈ (lo:hi) [× (lo2:hi2) ...]) ◊ ([f(i)](A) := Expr([g(i)](B), ...))
+//! ```
+//!
+//! The ordering `◊` is inferred: `//` when the selections are independent
+//! (the written array is only read, if at all, through the *same* index
+//! map — element-wise self-reference is safe under snapshot semantics),
+//! `•` otherwise.
+
+use crate::ast::{ARef, IdxExpr, RelOp, Stmt, ValExpr};
+use std::fmt;
+use vcal_core::func::Fn1;
+use vcal_core::map::{DimFn, IndexMap};
+use vcal_core::{
+    ArrayRef, BinOp, Bounds, Clause, CmpOp, Expr, Guard, IndexSet, Ix, Ordering,
+};
+
+/// Translation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The statement is not a `for` loop.
+    NotALoop,
+    /// Loop bodies must be one assignment, optionally inside one `if`.
+    UnsupportedBody,
+    /// A subscript uses a variable that is not a loop variable.
+    ForeignVariable(String),
+    /// A subscript mixes two different loop variables.
+    MixedVariables,
+    /// A subscript multiplies two non-identical variable expressions
+    /// (only squaring `v*v` is in the paper's function classes).
+    NonSquareProduct,
+    /// `mod`/`div` by a non-positive constant.
+    BadModulus(i64),
+    /// Deeper loop nests than [`vcal_core::ix::MAX_DIMS`].
+    TooManyDimensions,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NotALoop => write!(f, "top-level statement must be a for loop"),
+            TranslateError::UnsupportedBody => write!(
+                f,
+                "loop body must be a single assignment, optionally guarded by one if"
+            ),
+            TranslateError::ForeignVariable(v) => {
+                write!(f, "subscript uses `{v}` which is not a loop variable")
+            }
+            TranslateError::MixedVariables => {
+                write!(f, "a subscript may reference only one loop variable")
+            }
+            TranslateError::NonSquareProduct => {
+                write!(f, "only squaring (v*v) is supported among variable products")
+            }
+            TranslateError::BadModulus(z) => write!(f, "mod/div by non-positive {z}"),
+            TranslateError::TooManyDimensions => {
+                write!(f, "loop nests deeper than {} are unsupported", vcal_core::ix::MAX_DIMS)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Convert a subscript expression into a symbolic [`Fn1`] over the single
+/// loop variable `var` (1-D convenience used by tests and external
+/// callers).
+pub fn idx_to_fn1(e: &IdxExpr, var: &str) -> Result<Fn1, TranslateError> {
+    let (f, used) = idx_to_fn1_any(e)?;
+    if let Some(u) = used {
+        if u != var {
+            return Err(TranslateError::ForeignVariable(u));
+        }
+    }
+    Ok(f)
+}
+
+/// Convert a subscript into `(Fn1, which-variable-it-uses)`.
+fn idx_to_fn1_any(e: &IdxExpr) -> Result<(Fn1, Option<String>), TranslateError> {
+    let f = match e {
+        IdxExpr::Num(n) => (Fn1::Const(*n), None),
+        IdxExpr::Var(v) => (Fn1::identity(), Some(v.clone())),
+        IdxExpr::Scale(k, inner) => {
+            let (g, u) = idx_to_fn1_any(inner)?;
+            (Fn1::Scaled { a: *k, c: 0, inner: Box::new(g) }, u)
+        }
+        IdxExpr::Add(a, b) => {
+            let (ga, ua) = idx_to_fn1_any(a)?;
+            let (gb, ub) = idx_to_fn1_any(b)?;
+            (Fn1::Sum(Box::new(ga), Box::new(gb)), merge_vars(ua, ub)?)
+        }
+        IdxExpr::Sub(a, b) => {
+            let (ga, ua) = idx_to_fn1_any(a)?;
+            let (gb, ub) = idx_to_fn1_any(b)?;
+            (
+                Fn1::Sum(
+                    Box::new(ga),
+                    Box::new(Fn1::Scaled { a: -1, c: 0, inner: Box::new(gb) }),
+                ),
+                merge_vars(ua, ub)?,
+            )
+        }
+        IdxExpr::MulVar(a, b) => {
+            if a == b {
+                let (g, u) = idx_to_fn1_any(a)?;
+                (Fn1::Square(Box::new(g)), u)
+            } else {
+                return Err(TranslateError::NonSquareProduct);
+            }
+        }
+        IdxExpr::Mod(inner, z) => {
+            if *z <= 0 {
+                return Err(TranslateError::BadModulus(*z));
+            }
+            let (g, u) = idx_to_fn1_any(inner)?;
+            (Fn1::Mod { inner: Box::new(g), z: *z, d: 0 }, u)
+        }
+        IdxExpr::Div(inner, q) => {
+            if *q <= 0 {
+                return Err(TranslateError::BadModulus(*q));
+            }
+            let (g, u) = idx_to_fn1_any(inner)?;
+            (Fn1::Div { inner: Box::new(g), q: *q }, u)
+        }
+    };
+    Ok((f.0.simplify(), f.1))
+}
+
+fn merge_vars(
+    a: Option<String>,
+    b: Option<String>,
+) -> Result<Option<String>, TranslateError> {
+    match (a, b) {
+        (None, x) | (x, None) => Ok(x),
+        (Some(x), Some(y)) if x == y => Ok(Some(x)),
+        _ => Err(TranslateError::MixedVariables),
+    }
+}
+
+fn aref_to_ref(r: &ARef, vars: &[String]) -> Result<ArrayRef, TranslateError> {
+    let mut dims = Vec::with_capacity(r.index.len());
+    for sub in &r.index {
+        let (f, used) = idx_to_fn1_any(sub)?;
+        let src = match used {
+            None => 0, // constant subscript: source dim irrelevant
+            Some(v) => vars
+                .iter()
+                .position(|lv| *lv == v)
+                .ok_or(TranslateError::ForeignVariable(v))?,
+        };
+        dims.push(DimFn { src, f });
+    }
+    Ok(ArrayRef::new(r.array.clone(), IndexMap::new(vars.len(), dims)))
+}
+
+fn relop_to_cmp(op: RelOp) -> CmpOp {
+    match op {
+        RelOp::Gt => CmpOp::Gt,
+        RelOp::Ge => CmpOp::Ge,
+        RelOp::Lt => CmpOp::Lt,
+        RelOp::Le => CmpOp::Le,
+        RelOp::Eq => CmpOp::Eq,
+        RelOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn val_to_expr(e: &ValExpr, vars: &[String]) -> Result<Expr, TranslateError> {
+    Ok(match e {
+        ValExpr::Ref(r) => Expr::Ref(aref_to_ref(r, vars)?),
+        ValExpr::Num(x) => Expr::Lit(*x),
+        ValExpr::Var(v) => {
+            let dim = vars
+                .iter()
+                .position(|lv| lv == v)
+                .ok_or_else(|| TranslateError::ForeignVariable(v.clone()))?;
+            Expr::LoopVar { dim }
+        }
+        ValExpr::Neg(inner) => Expr::Neg(Box::new(val_to_expr(inner, vars)?)),
+        ValExpr::Add(a, b) => Expr::Bin(
+            BinOp::Add,
+            Box::new(val_to_expr(a, vars)?),
+            Box::new(val_to_expr(b, vars)?),
+        ),
+        ValExpr::Sub(a, b) => Expr::Bin(
+            BinOp::Sub,
+            Box::new(val_to_expr(a, vars)?),
+            Box::new(val_to_expr(b, vars)?),
+        ),
+        ValExpr::Mul(a, b) => Expr::Bin(
+            BinOp::Mul,
+            Box::new(val_to_expr(a, vars)?),
+            Box::new(val_to_expr(b, vars)?),
+        ),
+        ValExpr::Div(a, b) => Expr::Bin(
+            BinOp::Div,
+            Box::new(val_to_expr(a, vars)?),
+            Box::new(val_to_expr(b, vars)?),
+        ),
+    })
+}
+
+/// Translate one (possibly nested) `for` statement into a V-cal [`Clause`].
+pub fn translate(stmt: &Stmt) -> Result<Clause, TranslateError> {
+    // peel the loop nest
+    let mut vars: Vec<String> = Vec::new();
+    let mut los: Vec<i64> = Vec::new();
+    let mut his: Vec<i64> = Vec::new();
+    let mut cur = stmt;
+    loop {
+        let Stmt::For { var, lo, hi, body } = cur else {
+            if vars.is_empty() {
+                return Err(TranslateError::NotALoop);
+            }
+            break;
+        };
+        if vars.len() >= vcal_core::ix::MAX_DIMS {
+            return Err(TranslateError::TooManyDimensions);
+        }
+        vars.push(var.clone());
+        los.push(*lo);
+        his.push(*hi);
+        match body.as_slice() {
+            [single @ Stmt::For { .. }] => cur = single,
+            [single] => {
+                cur = single;
+                break;
+            }
+            _ => return Err(TranslateError::UnsupportedBody),
+        }
+    }
+
+    // unwrap the optional single guard
+    let (guard, assign) = match cur {
+        Stmt::Assign { lhs, rhs } => (Guard::Always, (lhs, rhs)),
+        Stmt::If { lhs, op, rhs, body } => match body.as_slice() {
+            [Stmt::Assign { lhs: alhs, rhs: arhs }] => (
+                Guard::Cmp {
+                    lhs: aref_to_ref(lhs, &vars)?,
+                    op: relop_to_cmp(*op),
+                    rhs: *rhs,
+                },
+                (alhs, arhs),
+            ),
+            _ => return Err(TranslateError::UnsupportedBody),
+        },
+        _ => return Err(TranslateError::UnsupportedBody),
+    };
+    let lhs = aref_to_ref(assign.0, &vars)?;
+    let rhs = val_to_expr(assign.1, &vars)?;
+
+    let bounds = Bounds::new(Ix::new(&los), Ix::new(&his));
+    let clause = Clause {
+        iter: IndexSet::full(bounds),
+        ordering: Ordering::Par, // provisional; fixed below
+        guard,
+        lhs,
+        rhs,
+    };
+    // Ordering inference: parallel iff every read of the written array
+    // uses the same index map as the write.
+    let lhs_map = clause.lhs.map.clone();
+    let independent = clause
+        .read_refs()
+        .iter()
+        .all(|r| r.array != clause.lhs.array || r.map == lhs_map);
+    Ok(Clause {
+        ordering: if independent { Ordering::Par } else { Ordering::Seq },
+        ..clause
+    })
+}
+
+/// Translate a whole program: one clause per top-level loop.
+pub fn translate_program(stmts: &[Stmt]) -> Result<Vec<Clause>, TranslateError> {
+    stmts.iter().map(translate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use vcal_core::{Array, Env};
+
+    fn clause_of(src: &str) -> Clause {
+        translate(&parse(src).unwrap()[0]).unwrap()
+    }
+
+    #[test]
+    fn fig1_translation() {
+        let c = clause_of("for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;");
+        assert_eq!(c.ordering, Ordering::Par);
+        assert_eq!(c.iter.bounds, Bounds::range(1, 9));
+        assert!(matches!(c.guard, Guard::Cmp { .. }));
+        assert_eq!(c.lhs.array, "A");
+        assert_eq!(c.lhs.map.as_fn1().unwrap().clone(), Fn1::identity());
+        let Expr::Ref(b) = &c.rhs else { panic!() };
+        assert_eq!(b.map.as_fn1().unwrap().clone(), Fn1::shift(1));
+    }
+
+    #[test]
+    fn subscripts_become_symbolic_functions() {
+        let c = clause_of("for i := 0 to 9 do A[2*i+1] := B[(i+6) mod 20]; od;");
+        assert_eq!(c.lhs.map.as_fn1().unwrap().clone(), Fn1::affine(2, 1));
+        let Expr::Ref(b) = &c.rhs else { panic!() };
+        assert_eq!(b.map.as_fn1().unwrap().clone(), Fn1::rotate(6, 20));
+    }
+
+    #[test]
+    fn squaring_subscript() {
+        let c = clause_of("for i := 0 to 9 do A[i*i] := 1; od;");
+        assert_eq!(c.lhs.map.as_fn1().unwrap().clone(), Fn1::square());
+    }
+
+    #[test]
+    fn i_plus_i_div_4() {
+        let c = clause_of("for i := 0 to 9 do A[i + i div 4] := 1; od;");
+        let f = c.lhs.map.as_fn1().unwrap().clone();
+        for i in 0..10 {
+            assert_eq!(f.eval(i), i + i / 4);
+        }
+    }
+
+    #[test]
+    fn nested_2d_loop() {
+        // V[i,j] := U[i-1, 2*j]
+        let c = clause_of(
+            "for i := 1 to 8 do for j := 0 to 4 do V[i, j] := U[i-1, 2*j]; od; od;",
+        );
+        assert_eq!(c.iter.bounds, Bounds::range2(1, 8, 0, 4));
+        assert_eq!(c.lhs.map.d_out(), 2);
+        assert_eq!(c.lhs.map.eval(&Ix::d2(3, 2)), Ix::d2(3, 2));
+        let Expr::Ref(u) = &c.rhs else { panic!() };
+        assert_eq!(u.map.eval(&Ix::d2(3, 2)), Ix::d2(2, 4));
+    }
+
+    #[test]
+    fn transpose_subscripts() {
+        // B[j, i] := A[i, j]
+        let c = clause_of("for i := 0 to 5 do for j := 0 to 5 do B[j, i] := A[i, j]; od; od;");
+        assert_eq!(c.lhs.map.eval(&Ix::d2(2, 5)), Ix::d2(5, 2));
+        assert_eq!(c.ordering, Ordering::Par);
+    }
+
+    #[test]
+    fn nested_3d_loop() {
+        let c = clause_of(
+            "for i := 0 to 2 do for j := 0 to 3 do for k := 0 to 4 do \
+             T[i, j, k] := 1; od; od; od;",
+        );
+        assert_eq!(c.iter.bounds.dims(), 3);
+        assert_eq!(c.iter.bounds.count(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn mixed_variable_subscript_rejected() {
+        let prog = parse("for i := 0 to 5 do for j := 0 to 5 do A[i+j, j] := 1; od; od;")
+            .unwrap();
+        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::MixedVariables);
+    }
+
+    #[test]
+    fn loopvar_values_in_2d() {
+        let c = clause_of("for i := 0 to 3 do for j := 0 to 3 do A[i, j] := i + j; od; od;");
+        let mut env = Env::new();
+        env.insert("A", Array::zeros(Bounds::range2(0, 3, 0, 3)));
+        env.exec_clause(&c);
+        assert_eq!(env.get("A").unwrap().get(&Ix::d2(2, 3)), 5.0);
+    }
+
+    #[test]
+    fn recurrence_is_sequential() {
+        let c = clause_of("for i := 1 to 9 do A[i] := A[i-1] + 1; od;");
+        assert_eq!(c.ordering, Ordering::Seq);
+    }
+
+    #[test]
+    fn elementwise_self_reference_is_parallel() {
+        let c = clause_of("for i := 0 to 9 do A[i] := A[i] * 2; od;");
+        assert_eq!(c.ordering, Ordering::Par);
+    }
+
+    #[test]
+    fn translated_clause_executes_like_source() {
+        let src = "for i := 1 to 8 do if A[i] > 2.5 then A[i] := B[i+1] + 0.5; fi; od;";
+        let c = clause_of(src);
+        let mut env = Env::new();
+        env.insert("A", Array::from_fn(Bounds::range(0, 9), |i| i.scalar() as f64));
+        env.insert("B", Array::from_fn(Bounds::range(0, 9), |i| (10 * i.scalar()) as f64));
+        let mut manual = env.clone();
+        {
+            let a0: Vec<f64> = manual.get("A").unwrap().data().to_vec();
+            let b: Vec<f64> = manual.get("B").unwrap().data().to_vec();
+            let a = manual.get_mut("A").unwrap();
+            for i in 1..=8usize {
+                if a0[i] > 2.5 {
+                    a.data_mut()[i] = b[i + 1] + 0.5;
+                }
+            }
+        }
+        env.exec_clause(&c);
+        assert_eq!(env.get("A").unwrap().max_abs_diff(manual.get("A").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        let prog = parse("for i := 0 to 9 do A[j] := 1; od;").unwrap();
+        assert_eq!(
+            translate(&prog[0]).unwrap_err(),
+            TranslateError::ForeignVariable("j".into())
+        );
+        let prog = parse("for i := 0 to 9 do A[i] := 1; B[i] := 2; od;").unwrap();
+        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::UnsupportedBody);
+        let prog = parse("A[0] := 1;").unwrap();
+        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::NotALoop);
+        let prog = parse("for i := 0 to 9 do A[i mod -2] := 1; od;").unwrap();
+        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::BadModulus(-2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Distributed arrays: the machine image `A'` of Section 2.6 — per-node
+//! local memories indexed by the decomposition's `local` function.
+
+use vcal_core::{Array, Ix};
+use vcal_decomp::Decomp1;
+
+/// A 1-D array physically split into per-processor local memories
+/// according to a [`Decomp1`]. Replicated decompositions give every node
+/// a full copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistArray {
+    decomp: Decomp1,
+    parts: Vec<Vec<f64>>,
+}
+
+impl DistArray {
+    /// Zero-filled distributed array.
+    pub fn zeros(decomp: Decomp1) -> Self {
+        let parts = (0..decomp.pmax())
+            .map(|p| vec![0.0; decomp.local_count(p) as usize])
+            .collect();
+        DistArray { decomp, parts }
+    }
+
+    /// Scatter a global array into its distributed image.
+    /// Panics if the bounds do not match the decomposition extent.
+    pub fn scatter_from(global: &Array, decomp: Decomp1) -> Self {
+        assert_eq!(
+            global.bounds(),
+            decomp.extent(),
+            "array bounds must equal the decomposed extent"
+        );
+        let mut d = DistArray::zeros(decomp);
+        for p in 0..d.decomp.pmax() {
+            if d.decomp.is_replicated() {
+                for (l, v) in global.data().iter().enumerate() {
+                    d.parts[p as usize][l] = *v;
+                }
+            } else {
+                for l in 0..d.decomp.local_count(p) {
+                    let g = d.decomp.global_of(p, l);
+                    d.parts[p as usize][l as usize] = global.get(&Ix::d1(g));
+                }
+            }
+        }
+        d
+    }
+
+    /// Gather the distributed image back into a global array.
+    pub fn gather(&self) -> Array {
+        let mut out = Array::zeros(self.decomp.extent());
+        if self.decomp.is_replicated() {
+            for (l, v) in self.parts[0].iter().enumerate() {
+                let g = self.decomp.extent().lo()[0] + l as i64;
+                out.set(&Ix::d1(g), *v);
+            }
+            return out;
+        }
+        for p in 0..self.decomp.pmax() {
+            for l in 0..self.decomp.local_count(p) {
+                let g = self.decomp.global_of(p, l);
+                out.set(&Ix::d1(g), self.parts[p as usize][l as usize]);
+            }
+        }
+        out
+    }
+
+    /// The decomposition.
+    pub fn decomp(&self) -> &Decomp1 {
+        &self.decomp
+    }
+
+    /// Read the value of global index `g` from node `p`'s memory.
+    /// Panics (in debug) if `g` does not reside on `p`.
+    #[inline]
+    pub fn read_local(&self, p: i64, g: i64) -> f64 {
+        debug_assert!(self.decomp.resides_on(g, p), "global {g} not on node {p}");
+        let l = self.decomp.local_of(g) as usize;
+        self.parts[p as usize][l]
+    }
+
+    /// Split into per-node local memories (consumes the array; the
+    /// executor hands each `Vec` to its node thread and reassembles).
+    pub fn into_parts(self) -> (Decomp1, Vec<Vec<f64>>) {
+        (self.decomp, self.parts)
+    }
+
+    /// Reassemble from parts (inverse of [`DistArray::into_parts`]).
+    pub fn from_parts(decomp: Decomp1, parts: Vec<Vec<f64>>) -> Self {
+        assert_eq!(parts.len() as i64, decomp.pmax());
+        for p in 0..decomp.pmax() {
+            assert_eq!(parts[p as usize].len() as i64, decomp.local_count(p));
+        }
+        DistArray { decomp, parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Bounds;
+
+    #[test]
+    fn scatter_gather_roundtrip_all_layouts() {
+        let global = Array::from_fn(Bounds::range(0, 22), |i| i.scalar() as f64 * 1.5);
+        for dec in [
+            Decomp1::block(4, Bounds::range(0, 22)),
+            Decomp1::scatter(4, Bounds::range(0, 22)),
+            Decomp1::block_scatter(3, 4, Bounds::range(0, 22)),
+            Decomp1::replicated(4, Bounds::range(0, 22)),
+        ] {
+            let d = DistArray::scatter_from(&global, dec.clone());
+            let back = d.gather();
+            assert_eq!(back.max_abs_diff(&global), 0.0, "roundtrip failed for {dec}");
+        }
+    }
+
+    #[test]
+    fn read_local_matches_global() {
+        let global = Array::from_fn(Bounds::range(0, 15), |i| (i.scalar() * 10) as f64);
+        let dec = Decomp1::block_scatter(2, 4, Bounds::range(0, 15));
+        let d = DistArray::scatter_from(&global, dec.clone());
+        for g in 0..16 {
+            let p = dec.proc_of(g);
+            assert_eq!(d.read_local(p, g), (g * 10) as f64);
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let dec = Decomp1::scatter(3, Bounds::range(0, 10));
+        let d = DistArray::zeros(dec.clone());
+        let (dec2, parts) = d.clone().into_parts();
+        let d2 = DistArray::from_parts(dec2, parts);
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn replicated_copies_everywhere() {
+        let global = Array::from_slice(&[1.0, 2.0, 3.0]);
+        let dec = Decomp1::replicated(3, Bounds::range(0, 2));
+        let d = DistArray::scatter_from(&global, dec);
+        for p in 0..3 {
+            for g in 0..3 {
+                assert_eq!(d.read_local(p, g), (g + 1) as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-dimensional distributed arrays: per-node local boxes of a
+//! [`DecompNd`] processor-grid decomposition.
+
+use vcal_core::{Array, Ix};
+use vcal_decomp::DecompNd;
+
+/// A d-dimensional array split over a processor grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistArrayNd {
+    decomp: DecompNd,
+    /// `parts[p]` stores node `p`'s local box row-major.
+    parts: Vec<Vec<f64>>,
+}
+
+impl DistArrayNd {
+    /// Zero-filled distributed array.
+    pub fn zeros(decomp: DecompNd) -> Self {
+        let parts = (0..decomp.pmax())
+            .map(|p| vec![0.0; decomp.local_bounds(p).count() as usize])
+            .collect();
+        DistArrayNd { decomp, parts }
+    }
+
+    /// Scatter a global array into per-node boxes.
+    pub fn scatter_from(global: &Array, decomp: DecompNd) -> Self {
+        assert_eq!(global.bounds(), decomp.extent(), "bounds mismatch");
+        let mut d = DistArrayNd::zeros(decomp);
+        for p in 0..d.decomp.pmax() {
+            let lb = d.decomp.local_bounds(p);
+            for (off, l) in lb.iter().enumerate() {
+                let g = d.decomp.global_of(p, &l);
+                d.parts[p as usize][off] = global.get(&g);
+            }
+        }
+        d
+    }
+
+    /// Gather back to a global array.
+    pub fn gather(&self) -> Array {
+        let mut out = Array::zeros(self.decomp.extent());
+        for p in 0..self.decomp.pmax() {
+            let lb = self.decomp.local_bounds(p);
+            for (off, l) in lb.iter().enumerate() {
+                let g = self.decomp.global_of(p, &l);
+                out.set(&g, self.parts[p as usize][off]);
+            }
+        }
+        out
+    }
+
+    /// The decomposition.
+    pub fn decomp(&self) -> &DecompNd {
+        &self.decomp
+    }
+
+    /// Read global `g` from node `p`'s box (must reside there).
+    #[inline]
+    pub fn read_local(&self, p: i64, g: &Ix) -> f64 {
+        debug_assert_eq!(self.decomp.proc_of(g), p, "global {g} not on node {p}");
+        let l = self.decomp.local_of(g);
+        let off = self.decomp.local_bounds(p).linear_offset(&l);
+        self.parts[p as usize][off]
+    }
+
+    /// Disassemble into per-node boxes.
+    pub fn into_parts(self) -> (DecompNd, Vec<Vec<f64>>) {
+        (self.decomp, self.parts)
+    }
+
+    /// Reassemble (inverse of [`DistArrayNd::into_parts`]).
+    pub fn from_parts(decomp: DecompNd, parts: Vec<Vec<f64>>) -> Self {
+        assert_eq!(parts.len() as i64, decomp.pmax());
+        for p in 0..decomp.pmax() {
+            assert_eq!(
+                parts[p as usize].len() as u64,
+                decomp.local_bounds(p).count()
+            );
+        }
+        DistArrayNd { decomp, parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Bounds;
+    use vcal_decomp::Decomp1;
+
+    fn grid() -> DecompNd {
+        DecompNd::new(vec![
+            Decomp1::block(2, Bounds::range(0, 7)),
+            Decomp1::scatter(3, Bounds::range(0, 8)),
+        ])
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| {
+            (i[0] * 100 + i[1]) as f64
+        });
+        let d = DistArrayNd::scatter_from(&global, grid());
+        assert_eq!(d.gather().max_abs_diff(&global), 0.0);
+    }
+
+    #[test]
+    fn read_local_matches() {
+        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| {
+            (i[0] * 10 + i[1]) as f64
+        });
+        let d = DistArrayNd::scatter_from(&global, grid());
+        for g in d.decomp().extent().iter() {
+            let p = d.decomp().proc_of(&g);
+            assert_eq!(d.read_local(p, &g), global.get(&g));
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let d = DistArrayNd::zeros(grid());
+        let (dec, parts) = d.clone().into_parts();
+        assert_eq!(DistArrayNd::from_parts(dec, parts), d);
+    }
+}

@@ -1,0 +1,490 @@
+//! The distributed-memory machine for multi-dimensional clauses on
+//! processor grids — the Section 2.10 template with d-dimensional
+//! Modify/Reside sets (Cartesian products of per-axis Table I schedules,
+//! `vcal_spmd::optimize_nd`) and messages tagged by `(read-slot, Ix)`.
+
+use crate::darray_nd::DistArrayNd;
+use crate::error::MachineError;
+use crate::stats::{ExecReport, NodeStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+use vcal_core::map::IndexMap;
+use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ix, Ordering};
+use vcal_decomp::DecompNd;
+use vcal_spmd::optimize_nd;
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    slot: usize,
+    i: Ix,
+    value: f64,
+}
+
+/// One deduplicated read access of the clause.
+struct ReadSlot {
+    array: String,
+    map: IndexMap,
+}
+
+enum RExpr {
+    Slot(usize),
+    Lit(f64),
+    LoopVar(usize),
+    Neg(Box<RExpr>),
+    Bin(BinOp, Box<RExpr>, Box<RExpr>),
+}
+
+fn resolve(e: &Expr, slots: &[ReadSlot]) -> RExpr {
+    match e {
+        Expr::Ref(r) => RExpr::Slot(
+            slots
+                .iter()
+                .position(|s| s.array == r.array && s.map == r.map)
+                .expect("ref must be a slot"),
+        ),
+        Expr::Lit(v) => RExpr::Lit(*v),
+        Expr::LoopVar { dim } => RExpr::LoopVar(*dim),
+        Expr::Neg(inner) => RExpr::Neg(Box::new(resolve(inner, slots))),
+        Expr::Bin(op, a, b) => {
+            RExpr::Bin(*op, Box::new(resolve(a, slots)), Box::new(resolve(b, slots)))
+        }
+    }
+}
+
+fn eval_r(e: &RExpr, i: &Ix, vals: &[f64]) -> f64 {
+    match e {
+        RExpr::Slot(s) => vals[*s],
+        RExpr::Lit(v) => *v,
+        RExpr::LoopVar(d) => i[*d] as f64,
+        RExpr::Neg(inner) => -eval_r(inner, i, vals),
+        RExpr::Bin(op, a, b) => op.apply(eval_r(a, i, vals), eval_r(b, i, vals)),
+    }
+}
+
+enum RGuard {
+    Always,
+    Cmp { slot: usize, op: CmpOp, rhs: f64 },
+}
+
+/// Iterate the ownership set `{ i ∈ loop_box | proc(map(i)) = p }`, using
+/// the factorized Nd schedule when available and brute-force filtering
+/// otherwise.
+fn for_each_owned(
+    map: &IndexMap,
+    dec: &DecompNd,
+    loop_box: &vcal_core::Bounds,
+    p: i64,
+    mut visit: impl FnMut(&Ix),
+) {
+    match optimize_nd(map, dec, loop_box, p) {
+        Some(s) => s.for_each(&mut visit),
+        None => {
+            for i in loop_box.iter() {
+                if dec.proc_of(&map.eval(&i)) == p {
+                    visit(&i);
+                }
+            }
+        }
+    }
+}
+
+/// Execute a `//` clause of any dimensionality on the distributed grid
+/// machine. All referenced arrays must be in `arrays`, decomposed over
+/// grids with the same total processor count.
+pub fn run_distributed_nd(
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArrayNd>,
+    recv_timeout: Duration,
+) -> Result<ExecReport, MachineError> {
+    if clause.ordering != Ordering::Par {
+        return Err(MachineError::SequentialClause);
+    }
+    // collect read slots (deduplicated)
+    let mut slots: Vec<ReadSlot> = Vec::new();
+    for r in clause.read_refs() {
+        if !slots.iter().any(|s| s.array == r.array && s.map == r.map) {
+            slots.push(ReadSlot { array: r.array.clone(), map: r.map.clone() });
+        }
+    }
+    let lhs_name = clause.lhs.array.clone();
+    let mut referenced: Vec<String> = vec![lhs_name.clone()];
+    for s in &slots {
+        if !referenced.contains(&s.array) {
+            referenced.push(s.array.clone());
+        }
+    }
+    let mut decomps: BTreeMap<String, DecompNd> = BTreeMap::new();
+    let mut pmax = None;
+    for name in &referenced {
+        let da = arrays
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+        match pmax {
+            None => pmax = Some(da.decomp().pmax()),
+            Some(p) if p == da.decomp().pmax() => {}
+            _ => {
+                return Err(MachineError::PlanMismatch(
+                    "all arrays must use the same total processor count".into(),
+                ))
+            }
+        }
+        decomps.insert(name.clone(), da.decomp().clone());
+    }
+    let pmax = pmax.unwrap();
+    let dec_lhs = decomps[&lhs_name].clone();
+
+    let rexpr = resolve(&clause.rhs, &slots);
+    let rguard = match &clause.guard {
+        Guard::Always => RGuard::Always,
+        Guard::Cmp { lhs, op, rhs } => RGuard::Cmp {
+            slot: slots
+                .iter()
+                .position(|s| s.array == lhs.array && s.map == lhs.map)
+                .expect("guard ref is a slot"),
+            op: *op,
+            rhs: *rhs,
+        },
+    };
+
+    // disassemble arrays
+    let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
+        (0..pmax).map(|_| BTreeMap::new()).collect();
+    for name in &referenced {
+        let (_, parts) = arrays.remove(name).unwrap().into_parts();
+        for (p, part) in parts.into_iter().enumerate() {
+            per_node[p].insert(name.clone(), part);
+        }
+    }
+
+    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(pmax as usize);
+    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(pmax as usize);
+    for _ in 0..pmax {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    type NodeOut = (i64, BTreeMap<String, Vec<f64>>, NodeStats, Result<(), MachineError>);
+    let mut results: Vec<NodeOut> = Vec::with_capacity(pmax as usize);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (p, locals) in per_node.into_iter().enumerate() {
+            let p = p as i64;
+            let rx = rxs.remove(0);
+            let txs = txs.clone();
+            let decomps = &decomps;
+            let dec_lhs = &dec_lhs;
+            let slots = &slots;
+            let rexpr = &rexpr;
+            let rguard = &rguard;
+            let lhs_name = &lhs_name;
+            handles.push(scope.spawn(move || {
+                run_node_nd(
+                    p, locals, rx, txs, clause, slots, rexpr, rguard, decomps, dec_lhs,
+                    lhs_name, recv_timeout,
+                )
+            }));
+        }
+        drop(txs);
+        for h in handles {
+            results.push(h.join().expect("nd node thread panicked"));
+        }
+    });
+    results.sort_by_key(|(p, ..)| *p);
+
+    let mut report = ExecReport::default();
+    let mut first_err = None;
+    let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
+    for (_, mut locals, stats, res) in results {
+        for name in &referenced {
+            parts_by_name
+                .entry(name.clone())
+                .or_default()
+                .push(locals.remove(name).unwrap());
+        }
+        report.nodes.push(stats);
+        if let (Err(e), None) = (res, &first_err) {
+            first_err = Some(e);
+        }
+    }
+    for (name, parts) in parts_by_name {
+        let d = decomps[&name].clone();
+        arrays.insert(name, DistArrayNd::from_parts(d, parts));
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_node_nd(
+    p: i64,
+    mut locals: BTreeMap<String, Vec<f64>>,
+    rx: Receiver<Msg>,
+    txs: Vec<Sender<Msg>>,
+    clause: &Clause,
+    slots: &[ReadSlot],
+    rexpr: &RExpr,
+    rguard: &RGuard,
+    decomps: &BTreeMap<String, DecompNd>,
+    dec_lhs: &DecompNd,
+    lhs_name: &String,
+    recv_timeout: Duration,
+) -> (i64, BTreeMap<String, Vec<f64>>, NodeStats, Result<(), MachineError>) {
+    let mut stats = NodeStats::default();
+    let loop_box = &clause.iter.bounds;
+
+    // ---- send phase ------------------------------------------------------
+    for (slot, rs) in slots.iter().enumerate() {
+        let dec_r = &decomps[&rs.array];
+        let local_part = &locals[&rs.array];
+        let local_bounds = dec_r.local_bounds(p);
+        for_each_owned(&rs.map, dec_r, loop_box, p, |i| {
+            let owner = dec_lhs.proc_of(&clause.lhs.map.eval(i));
+            if owner != p {
+                let g = rs.map.eval(i);
+                let off = local_bounds.linear_offset(&dec_r.local_of(&g));
+                stats.msgs_sent += 1;
+                let _ = txs[owner as usize].send(Msg { slot, i: *i, value: local_part[off] });
+            }
+        });
+    }
+    drop(txs);
+
+    // ---- update phase ----------------------------------------------------
+    let mut pending: HashMap<(usize, Ix), f64> = HashMap::new();
+    let mut vals = vec![0.0f64; slots.len()];
+    let mut writes: Vec<(usize, f64)> = Vec::new();
+    let mut err: Option<MachineError> = None;
+    let lhs_local_bounds = dec_lhs.local_bounds(p);
+
+    for_each_owned(&clause.lhs.map, dec_lhs, loop_box, p, |i| {
+        if err.is_some() {
+            return;
+        }
+        stats.iterations += 1;
+        for (slot, rs) in slots.iter().enumerate() {
+            let dec_r = &decomps[&rs.array];
+            let g = rs.map.eval(i);
+            if dec_r.proc_of(&g) == p {
+                stats.local_reads += 1;
+                let off = dec_r.local_bounds(p).linear_offset(&dec_r.local_of(&g));
+                vals[slot] = locals[&rs.array][off];
+            } else {
+                // blocking receive matched on (slot, i)
+                let key = (slot, *i);
+                vals[slot] = if let Some(v) = pending.remove(&key) {
+                    stats.msgs_received += 1;
+                    v
+                } else {
+                    loop {
+                        match rx.recv_timeout(recv_timeout) {
+                            Ok(m) => {
+                                if m.slot == slot && m.i == *i {
+                                    stats.msgs_received += 1;
+                                    break m.value;
+                                }
+                                pending.insert((m.slot, m.i), m.value);
+                            }
+                            Err(_) => {
+                                err = Some(MachineError::MissingMessage {
+                                    node: p,
+                                    array: rs.array.clone(),
+                                    index: i[0],
+                                });
+                                break 0.0;
+                            }
+                        }
+                    }
+                };
+                if err.is_some() {
+                    return;
+                }
+            }
+        }
+        stats.data_guards += 1;
+        let ok = match rguard {
+            RGuard::Always => true,
+            RGuard::Cmp { slot, op, rhs } => op.holds(vals[*slot], *rhs),
+        };
+        if ok {
+            let target = clause.lhs.map.eval(i);
+            let off = lhs_local_bounds.linear_offset(&dec_lhs.local_of(&target));
+            writes.push((off, eval_r(rexpr, i, &vals)));
+        }
+    });
+
+    if err.is_none() {
+        let lhs_local = locals.get_mut(lhs_name).unwrap();
+        for (off, v) in writes {
+            lhs_local[off] = v;
+        }
+    }
+    (p, locals, stats, err.map_or(Ok(()), Err))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{Array, ArrayRef, Bounds, Env, IndexSet};
+    use vcal_decomp::Decomp1;
+
+    fn grid(r: i64, c: i64, n0: i64, n1: i64) -> DecompNd {
+        DecompNd::new(vec![
+            Decomp1::block(r, Bounds::range(0, n0 - 1)),
+            Decomp1::scatter(c, Bounds::range(0, n1 - 1)),
+        ])
+    }
+
+    fn run_and_check(clause: &Clause, env: &Env, decs: &BTreeMap<String, DecompNd>) {
+        let mut reference = env.clone();
+        reference.exec_clause(clause);
+        let mut arrays: BTreeMap<String, DistArrayNd> = BTreeMap::new();
+        for (name, d) in decs {
+            arrays.insert(
+                name.clone(),
+                DistArrayNd::scatter_from(env.get(name).unwrap(), d.clone()),
+            );
+        }
+        run_distributed_nd(clause, &mut arrays, Duration::from_secs(5)).unwrap();
+        let got = arrays[&clause.lhs.array].gather();
+        assert_eq!(
+            got.max_abs_diff(reference.get(&clause.lhs.array).unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn jacobi2d_distributed() {
+        let n = 20i64;
+        let u = |di: i64, dj: i64| {
+            Expr::Ref(ArrayRef::new(
+                "U",
+                IndexMap::per_dim(vec![Fn1::shift(di), Fn1::shift(dj)]),
+            ))
+        };
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(1, n - 2, 1, n - 2)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("V", IndexMap::identity(2)),
+            rhs: Expr::mul(
+                Expr::add(Expr::add(u(-1, 0), u(1, 0)), Expr::add(u(0, -1), u(0, 1))),
+                Expr::Lit(0.25),
+            ),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "U",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
+                ((i[0] * 7 + i[1] * 3) % 11) as f64
+            }),
+        );
+        env.insert("V", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
+        let mut decs = BTreeMap::new();
+        decs.insert("U".to_string(), grid(2, 2, n, n));
+        decs.insert("V".to_string(), grid(2, 2, n, n));
+        run_and_check(&clause, &env, &decs);
+    }
+
+    #[test]
+    fn transpose_across_grids() {
+        // B[j,i] := A[i,j] with DIFFERENT grid decompositions for A and B
+        let n = 12i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("B", IndexMap::permutation(2, &[1, 0])),
+            rhs: Expr::Ref(ArrayRef::new("A", IndexMap::identity(2))),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
+                (i[0] * 100 + i[1]) as f64
+            }),
+        );
+        env.insert("B", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
+        let mut decs = BTreeMap::new();
+        decs.insert("A".to_string(), grid(2, 2, n, n));
+        decs.insert(
+            "B".to_string(),
+            DecompNd::new(vec![
+                Decomp1::scatter(2, Bounds::range(0, n - 1)),
+                Decomp1::block(2, Bounds::range(0, n - 1)),
+            ]),
+        );
+        run_and_check(&clause, &env, &decs);
+    }
+
+    #[test]
+    fn guarded_2d_clause() {
+        let n = 10i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Cmp {
+                lhs: ArrayRef::new("C", IndexMap::identity(2)),
+                op: CmpOp::Gt,
+                rhs: 0.0,
+            },
+            lhs: ArrayRef::new("A", IndexMap::identity(2)),
+            rhs: Expr::add(
+                Expr::Ref(ArrayRef::new("B", IndexMap::identity(2))),
+                Expr::LoopVar { dim: 1 },
+            ),
+        };
+        let mut env = Env::new();
+        env.insert("A", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| (i[0] + i[1]) as f64),
+        );
+        env.insert(
+            "C",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
+                if (i[0] + i[1]) % 2 == 0 { 1.0 } else { -1.0 }
+            }),
+        );
+        let mut decs = BTreeMap::new();
+        decs.insert("A".to_string(), grid(2, 2, n, n));
+        decs.insert(
+            "B".to_string(),
+            DecompNd::new(vec![
+                Decomp1::block(4, Bounds::range(0, n - 1)),
+                Decomp1::block(1, Bounds::range(0, n - 1)),
+            ]),
+        );
+        decs.insert("C".to_string(), grid(4, 1, n, n));
+        run_and_check(&clause, &env, &decs);
+    }
+
+    #[test]
+    fn mismatched_pmax_rejected() {
+        let n = 8i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("A", IndexMap::identity(2)),
+            rhs: Expr::Ref(ArrayRef::new("B", IndexMap::identity(2))),
+        };
+        let mut arrays = BTreeMap::new();
+        arrays.insert(
+            "A".to_string(),
+            DistArrayNd::zeros(grid(2, 2, n, n)),
+        );
+        arrays.insert(
+            "B".to_string(),
+            DistArrayNd::zeros(grid(2, 3, n, n)),
+        );
+        assert!(matches!(
+            run_distributed_nd(&clause, &mut arrays, Duration::from_millis(100)),
+            Err(MachineError::PlanMismatch(_))
+        ));
+    }
+}

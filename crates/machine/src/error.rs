@@ -1,0 +1,45 @@
+//! Machine execution errors.
+
+use std::fmt;
+
+/// Errors raised by the simulated machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The clause uses the `•` (sequential) ordering; SPMD machines only
+    /// execute `//` clauses (the paper: "in the case of a sequential
+    /// operator the expression translates to a sequential program").
+    SequentialClause,
+    /// A referenced array is missing from the environment.
+    UnknownArray(String),
+    /// The distributed machine timed out waiting for a message that never
+    /// arrived (fault injection, or an inconsistent plan).
+    MissingMessage {
+        /// The waiting processor.
+        node: i64,
+        /// The read slot it was waiting on.
+        array: String,
+        /// The loop index whose operand was missing.
+        index: i64,
+    },
+    /// The plan and the supplied arrays disagree (extent or processor
+    /// count mismatch).
+    PlanMismatch(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::SequentialClause => {
+                write!(f, "SPMD machines execute `//` clauses only")
+            }
+            MachineError::UnknownArray(a) => write!(f, "unknown array `{a}`"),
+            MachineError::MissingMessage { node, array, index } => write!(
+                f,
+                "node {node} timed out waiting for {array}[g({index})] — message lost"
+            ),
+            MachineError::PlanMismatch(m) => write!(f, "plan/array mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

@@ -1,0 +1,54 @@
+//! # vcal-machine — simulated SPMD machines
+//!
+//! Executable substitutes for the parallel hardware the paper targets
+//! (see DESIGN.md §5 for the substitution argument):
+//!
+//! * [`shared`] — the Section 2.9 shared-memory machine: one thread per
+//!   virtual processor, pre-state snapshot reads, a barrier, and two
+//!   write strategies (direct disjoint writes vs gather-then-commit);
+//! * [`distributed`] — the Section 2.10 message-passing machine: per-node
+//!   private memories, non-blocking sends / blocking receives over
+//!   channels, tagged-message pairing, fault injection, full statistics;
+//! * [`sequential`] — the single-node reference executor;
+//! * [`darray`] — distributed array images (`A'` of Section 2.6) with
+//!   scatter/gather;
+//! * [`stats`] — per-node counters (iterations, ownership tests,
+//!   messages) that make the paper's complexity claims measurable.
+//!
+//! All machines are verified to produce bit-identical results to the
+//! [`vcal_core::Env::exec_clause`] reference semantics.
+#![warn(missing_docs)]
+
+pub mod darray;
+pub mod darray_nd;
+pub mod distributed;
+pub mod distributed_nd;
+pub mod doacross;
+pub mod error;
+pub mod halo;
+pub mod perfmodel;
+pub mod redistribute;
+pub mod reduce;
+pub mod sequential;
+pub mod session;
+pub mod shared;
+pub mod shared_nd;
+pub mod stats;
+pub mod topology;
+
+pub use darray::DistArray;
+pub use darray_nd::DistArrayNd;
+pub use distributed::{run_distributed, DistOptions, FaultInjection};
+pub use distributed_nd::run_distributed_nd;
+pub use doacross::{carried_distances, run_doacross};
+pub use error::MachineError;
+pub use halo::{exchange_ghosts, run_halo_sweep, HaloArray};
+pub use perfmodel::{PerfModel, SimTime};
+pub use redistribute::run_redistribution;
+pub use reduce::{run_reduce_distributed, run_reduce_shared};
+pub use sequential::run_sequential;
+pub use session::DistSession;
+pub use shared::{run_shared, WriteStrategy};
+pub use shared_nd::run_shared_nd;
+pub use stats::{ExecReport, NodeStats};
+pub use topology::{price_traffic, Topology, TrafficCost};

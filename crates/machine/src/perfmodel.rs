@@ -1,0 +1,249 @@
+//! An analytic performance model for generated SPMD programs.
+//!
+//! The machines of this crate *count* events exactly (iterations,
+//! ownership tests, messages); wall-clock on a modern multicore says
+//! little about a 1991 multiprocessor. This model turns the counts into
+//! *simulated time* with the classic linear cost parameters of the era:
+//!
+//! ```text
+//! T_node = tests*t_test + iterations*t_iter
+//!        + sends*(t_startup + hops*t_hop) + receives*t_recv
+//! T      = max over nodes  (+ one barrier per clause on shared memory)
+//! ```
+//!
+//! yielding clean speedup curves — who wins, by what factor, and where
+//! decompositions cross over — independent of host noise.
+
+use crate::stats::ExecReport;
+use crate::topology::Topology;
+use vcal_spmd::SpmdPlan;
+
+/// Cost parameters, in abstract time units (1 = one local iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct PerfModel {
+    /// One run-time ownership test (naive schedules).
+    pub t_test: f64,
+    /// One executed iteration (evaluate + write).
+    pub t_iter: f64,
+    /// Message startup (software overhead per send).
+    pub t_startup: f64,
+    /// Per-hop transfer time.
+    pub t_hop: f64,
+    /// Receive-side software overhead.
+    pub t_recv: f64,
+    /// The interconnect.
+    pub topology: Topology,
+}
+
+impl Default for PerfModel {
+    /// Message startup two orders of magnitude above an iteration — the
+    /// classic distributed-memory ratio of the paper's era.
+    fn default() -> Self {
+        PerfModel {
+            t_test: 0.25,
+            t_iter: 1.0,
+            t_startup: 100.0,
+            t_hop: 5.0,
+            t_recv: 20.0,
+            topology: Topology::Hypercube,
+        }
+    }
+}
+
+/// The modeled execution time of one clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime {
+    /// Critical-path (max-node) time.
+    pub total: f64,
+    /// The slowest node.
+    pub bottleneck: i64,
+    /// Sum over nodes (the work the machine performs in aggregate).
+    pub aggregate: f64,
+}
+
+impl PerfModel {
+    /// Price a *static plan*: per-node schedule work only (no
+    /// communication), the shared-memory cost of Section 2.9.
+    pub fn price_plan(&self, plan: &SpmdPlan) -> SimTime {
+        let mut total = 0.0f64;
+        let mut aggregate = 0.0;
+        let mut bottleneck = 0;
+        for node in &plan.nodes {
+            let visits = node.modify.schedule.count() as f64;
+            let tests = node.modify.schedule.work_estimate() as f64 - visits;
+            let t = tests * self.t_test + visits * self.t_iter;
+            aggregate += t;
+            if t > total {
+                total = t;
+                bottleneck = node.p;
+            }
+        }
+        SimTime { total, bottleneck, aggregate }
+    }
+
+    /// Price an *execution report* (distributed machine): iterations,
+    /// tests, and the recorded traffic matrix under the model topology.
+    pub fn price_report(&self, report: &ExecReport) -> SimTime {
+        let pmax = report.nodes.len() as i64;
+        let mut total = 0.0f64;
+        let mut aggregate = 0.0;
+        let mut bottleneck = 0;
+        for (p, node) in report.nodes.iter().enumerate() {
+            let tests =
+                (node.guard_tests as f64 - node.iterations as f64).max(0.0);
+            let mut t = tests * self.t_test
+                + node.iterations as f64 * self.t_iter
+                + node.msgs_received as f64 * self.t_recv;
+            if let Some(row) = report.traffic.get(p) {
+                for (dst, &count) in row.iter().enumerate() {
+                    if count == 0 || dst == p {
+                        continue;
+                    }
+                    let hops = self.topology.hops(pmax, p as i64, dst as i64) as f64;
+                    t += count as f64 * (self.t_startup + hops * self.t_hop);
+                }
+            } else {
+                t += node.msgs_sent as f64 * (self.t_startup + self.t_hop);
+            }
+            aggregate += t;
+            if t > total {
+                total = t;
+                bottleneck = p as i64;
+            }
+        }
+        SimTime { total, bottleneck, aggregate }
+    }
+
+    /// Modeled speedup of a plan against the one-processor time of the
+    /// same loop (`n` iterations, no tests, no messages).
+    pub fn speedup_of_plan(&self, plan: &SpmdPlan) -> f64 {
+        let n = (plan.loop_bounds.1 - plan.loop_bounds.0 + 1).max(0) as f64;
+        let seq = n * self.t_iter;
+        let par = self.price_plan(plan).total;
+        if par > 0.0 {
+            seq / par
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Modeled speedup of a distributed execution against sequential.
+    pub fn speedup_of_report(&self, report: &ExecReport, seq_iterations: u64) -> f64 {
+        let seq = seq_iterations as f64 * self.t_iter;
+        let par = self.price_report(report).total;
+        if par > 0.0 {
+            seq / par
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vcal_core::func::Fn1;
+    use vcal_core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
+    use crate::darray::DistArray;
+    use crate::distributed::{run_distributed, DistOptions};
+    use vcal_decomp::Decomp1;
+    use vcal_spmd::{DecompMap, SpmdPlan};
+
+    fn copy_clause(n: i64) -> Clause {
+        Clause {
+            iter: IndexSet::range(0, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("B", Fn1::identity())),
+        }
+    }
+
+    #[test]
+    fn closed_form_plan_speedup_approaches_pmax() {
+        let n = 1 << 14;
+        let clause = copy_clause(n);
+        let model = PerfModel::default();
+        for pmax in [2i64, 8, 32] {
+            let mut dm = DecompMap::new();
+            dm.insert("A".into(), Decomp1::block(pmax, Bounds::range(0, n - 1)));
+            dm.insert("B".into(), Decomp1::block(pmax, Bounds::range(0, n - 1)));
+            let plan = SpmdPlan::build(&clause, &dm).unwrap();
+            let s = model.speedup_of_plan(&plan);
+            let rel = (s - pmax as f64).abs() / (pmax as f64);
+            assert!(rel < 0.05, "pmax={pmax}: modeled speedup {s}");
+            // naive plans pay the tests and scale worse
+            let naive = SpmdPlan::build_naive(&clause, &dm).unwrap();
+            let sn = model.speedup_of_plan(&naive);
+            assert!(sn < s, "naive {sn} should trail closed-form {s}");
+            // naive speedup saturates around t_iter/t_test regardless of pmax
+            assert!(sn <= 1.0 / model.t_test * 1.1, "pmax={pmax}: naive {sn}");
+        }
+    }
+
+    #[test]
+    fn communication_dominates_scatter_stencil() {
+        // block vs scatter for a stencil: the model must rank block far
+        // ahead once message costs enter.
+        let n = 1 << 10;
+        let clause = Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("V", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+        };
+        let mut env = Env::new();
+        env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
+        let model = PerfModel::default();
+        let mut times = Vec::new();
+        for dec in [
+            Decomp1::block(8, Bounds::range(0, n - 1)),
+            Decomp1::scatter(8, Bounds::range(0, n - 1)),
+        ] {
+            let mut dm = DecompMap::new();
+            dm.insert("U".into(), dec.clone());
+            dm.insert("V".into(), dec.clone());
+            let plan = SpmdPlan::build(&clause, &dm).unwrap();
+            let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+            for a in ["U", "V"] {
+                arrays.insert(
+                    a.into(),
+                    DistArray::scatter_from(env.get(a).unwrap(), dm[a].clone()),
+                );
+            }
+            let report =
+                run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
+            times.push(model.price_report(&report).total);
+        }
+        assert!(
+            times[0] * 5.0 < times[1],
+            "block {} should beat scatter {} by far",
+            times[0],
+            times[1]
+        );
+    }
+
+    #[test]
+    fn topology_changes_the_price() {
+        // same traffic, pricier on a ring than a hypercube
+        let mut report = ExecReport {
+            nodes: vec![Default::default(); 8],
+            traffic: vec![vec![0u64; 8]; 8],
+            ..Default::default()
+        };
+        report.traffic[0][4] = 100;
+        let hyper = PerfModel { topology: Topology::Hypercube, ..Default::default() };
+        let ring = PerfModel { topology: Topology::Ring, ..Default::default() };
+        let crossbar = PerfModel { topology: Topology::Crossbar, ..Default::default() };
+        let th = hyper.price_report(&report).total;
+        let tr = ring.price_report(&report).total;
+        let tc = crossbar.price_report(&report).total;
+        // 0 -> 4: one hop on the hypercube (single bit) and the crossbar,
+        // four on the ring (antipodal)
+        assert_eq!(th, tc);
+        assert!(tr > th && th > 0.0);
+    }
+}

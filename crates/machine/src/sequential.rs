@@ -1,0 +1,44 @@
+//! The sequential reference machine — a thin wrapper over
+//! [`vcal_core::Env::exec_clause`] that also reports statistics, so the
+//! parallel machines have a uniform baseline to be compared against.
+
+use crate::stats::{ExecReport, NodeStats};
+use vcal_core::{Clause, Env, Ix};
+
+/// Execute a clause on one processor with no decomposition at all.
+pub fn run_sequential(clause: &Clause, env: &mut Env) -> ExecReport {
+    let mut stats = NodeStats::default();
+    // count work the same way the parallel machines do
+    clause.iter.bounds.iter().for_each(|i| {
+        if clause.iter.pred.eval(&i) {
+            stats.iterations += 1;
+            stats.data_guards += 1;
+            let _ = Ix::d1(i[0]);
+        }
+    });
+    env.exec_clause(clause);
+    ExecReport { nodes: vec![stats], barriers: 0, traffic: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{Array, ArrayRef, Bounds, Expr, Guard, IndexSet, Ordering};
+
+    #[test]
+    fn sequential_runs_and_counts() {
+        let clause = Clause {
+            iter: IndexSet::range(0, 9),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Lit(2.0),
+        };
+        let mut env = Env::new();
+        env.insert("A", Array::zeros(Bounds::range(0, 9)));
+        let report = run_sequential(&clause, &mut env);
+        assert_eq!(report.total().iterations, 10);
+        assert!(env.get("A").unwrap().data().iter().all(|&v| v == 2.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! A distributed-memory *session*: persistent distributed arrays plus the
+//! plan/execute/redistribute cycle, so multi-clause programs (sweeps,
+//! phase changes) read like the original algorithm.
+
+use crate::darray::DistArray;
+use crate::distributed::{run_distributed, DistOptions};
+use crate::error::MachineError;
+use crate::redistribute::run_redistribution;
+use crate::stats::ExecReport;
+use std::collections::BTreeMap;
+use vcal_core::{Array, Clause, Env};
+use vcal_decomp::{Decomp1, RedistPlan};
+use vcal_spmd::{DecompMap, SpmdPlan};
+
+/// Persistent distributed state for a whole program.
+#[derive(Debug)]
+pub struct DistSession {
+    arrays: BTreeMap<String, DistArray>,
+    decomps: DecompMap,
+    opts: DistOptions,
+}
+
+impl DistSession {
+    /// Scatter every array of `env` according to `decomps`.
+    /// Arrays without a decomposition entry are ignored.
+    pub fn new(env: &Env, decomps: DecompMap) -> Result<DistSession, MachineError> {
+        let mut arrays = BTreeMap::new();
+        for (name, dec) in &decomps {
+            let global = env
+                .get(name)
+                .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+            if global.bounds() != dec.extent() {
+                return Err(MachineError::PlanMismatch(format!(
+                    "array `{name}` has bounds {} but decomposition extent {}",
+                    global.bounds(),
+                    dec.extent()
+                )));
+            }
+            arrays.insert(name.clone(), DistArray::scatter_from(global, dec.clone()));
+        }
+        Ok(DistSession { arrays, decomps, opts: DistOptions::default() })
+    }
+
+    /// Override the execution options (timeouts, fault injection).
+    pub fn with_options(mut self, opts: DistOptions) -> DistSession {
+        self.opts = opts;
+        self
+    }
+
+    /// The current decomposition of `name`.
+    pub fn decomp_of(&self, name: &str) -> Option<&Decomp1> {
+        self.decomps.get(name)
+    }
+
+    /// Plan and execute one `//` clause against the session state.
+    pub fn run(&mut self, clause: &Clause) -> Result<ExecReport, MachineError> {
+        let plan = SpmdPlan::build(clause, &self.decomps)
+            .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
+        self.run_plan(&plan, clause)
+    }
+
+    /// Execute a prebuilt plan (reuse across sweeps).
+    pub fn run_plan(
+        &mut self,
+        plan: &SpmdPlan,
+        clause: &Clause,
+    ) -> Result<ExecReport, MachineError> {
+        run_distributed(plan, clause, &mut self.arrays, self.opts)
+    }
+
+    /// Build a plan once for repeated execution.
+    pub fn plan(&self, clause: &Clause) -> Result<SpmdPlan, MachineError> {
+        SpmdPlan::build(clause, &self.decomps)
+            .map_err(|e| MachineError::PlanMismatch(e.to_string()))
+    }
+
+    /// Dynamically redistribute `name` to a new layout (Section 5
+    /// extension), updating the session's decomposition map.
+    pub fn redistribute(
+        &mut self,
+        name: &str,
+        to: Decomp1,
+    ) -> Result<ExecReport, MachineError> {
+        let current = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownArray(name.to_string()))?;
+        let plan = RedistPlan::build(current.decomp(), &to);
+        let (new_array, report) = run_redistribution(&plan, current)?;
+        self.arrays.insert(name.to_string(), new_array);
+        self.decomps.insert(name.to_string(), to);
+        Ok(report)
+    }
+
+    /// Gather one array back to a global image.
+    pub fn gather(&self, name: &str) -> Result<Array, MachineError> {
+        self.arrays
+            .get(name)
+            .map(DistArray::gather)
+            .ok_or_else(|| MachineError::UnknownArray(name.to_string()))
+    }
+
+    /// Gather the whole state back into an [`Env`].
+    pub fn gather_all(&self) -> Env {
+        let mut env = Env::new();
+        for (name, da) in &self.arrays {
+            env.insert(name.clone(), da.gather());
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::Bounds;
+
+    #[test]
+    fn session_sweeps_match_reference() {
+        use vcal_core::func::Fn1;
+        use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+        let n = 64i64;
+        let sweep = Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("V", Fn1::identity()),
+            rhs: Expr::mul(
+                Expr::add(
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+                ),
+                Expr::Lit(0.5),
+            ),
+        };
+        let back = Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("U", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("V", Fn1::identity())),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "U",
+            Array::from_fn(Bounds::range(0, n - 1), |i| if i.scalar() == 10 { 5.0 } else { 0.0 }),
+        );
+        env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
+
+        let mut reference = env.clone();
+        for _ in 0..4 {
+            reference.exec_clause(&sweep);
+            reference.exec_clause(&back);
+        }
+
+        let mut dm = DecompMap::new();
+        dm.insert("U".into(), Decomp1::block(4, Bounds::range(0, n - 1)));
+        dm.insert("V".into(), Decomp1::block(4, Bounds::range(0, n - 1)));
+        let mut session = DistSession::new(&env, dm).unwrap();
+        let sweep_plan = session.plan(&sweep).unwrap();
+        let back_plan = session.plan(&back).unwrap();
+        for _ in 0..4 {
+            session.run_plan(&sweep_plan, &sweep).unwrap();
+            session.run_plan(&back_plan, &back).unwrap();
+        }
+        assert_eq!(
+            session.gather("U").unwrap().max_abs_diff(reference.get("U").unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn session_redistribution_mid_program() {
+        use vcal_core::func::Fn1;
+        use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+        let n = 48i64;
+        let double = Clause {
+            iter: IndexSet::range(0, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::mul(Expr::Ref(ArrayRef::d1("A", Fn1::identity())), Expr::Lit(2.0)),
+        };
+        let mut env = Env::new();
+        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, n - 1)));
+        let mut session = DistSession::new(&env, dm).unwrap();
+        session.run(&double).unwrap();
+        // switch layout mid-program
+        let report = session
+            .redistribute("A", Decomp1::scatter(4, Bounds::range(0, n - 1)))
+            .unwrap();
+        assert!(report.total().msgs_sent > 0);
+        assert_eq!(
+            session.decomp_of("A").unwrap(),
+            &Decomp1::scatter(4, Bounds::range(0, n - 1))
+        );
+        session.run(&double).unwrap();
+        let got = session.gather("A").unwrap();
+        for i in 0..n {
+            assert_eq!(got.get(&vcal_core::Ix::d1(i)), (i * 4) as f64);
+        }
+    }
+
+    #[test]
+    fn bounds_mismatch_rejected() {
+        let mut env = Env::new();
+        env.insert("A", Array::zeros(Bounds::range(0, 9)));
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(2, Bounds::range(0, 15)));
+        assert!(matches!(
+            DistSession::new(&env, dm),
+            Err(MachineError::PlanMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! The shared-memory SPMD machine (paper Section 2.9).
+//!
+//! One OS thread per virtual processor executes the template
+//!
+//! ```text
+//! p := my_node;
+//! forall i in Modify_p do A[f(i)] := Expr(B[g(i)]); od;
+//! barrier;
+//! ```
+//!
+//! with `Modify_p` supplied by the plan's (naive or closed-form)
+//! schedules. Reads go to a pre-state snapshot (the paper's `//` clauses
+//! assume independence; the snapshot makes the semantics deterministic
+//! even when they alias). Two write strategies are provided, benched as
+//! design ablation #5 in DESIGN.md:
+//!
+//! * [`WriteStrategy::GatherCommit`] — every thread collects its
+//!   `(offset, value)` writes and the main thread commits them after the
+//!   join (pure safe Rust);
+//! * [`WriteStrategy::Direct`] — threads write straight into the shared
+//!   output buffer through a raw-pointer cell. Owner-computes partitioning
+//!   plus an injective `f` guarantee disjoint offsets; a debug-mode atomic
+//!   claim table verifies that guarantee at run time.
+
+use crate::error::MachineError;
+use crate::stats::{ExecReport, NodeStats};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use vcal_core::{Clause, Env, Ix, Ordering};
+use vcal_spmd::SpmdPlan;
+
+/// How node threads write their results into the shared array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStrategy {
+    /// Collect per-thread write lists, commit after the barrier.
+    GatherCommit,
+    /// Write directly through a shared raw pointer (owner-computes makes
+    /// the offsets disjoint; checked in debug builds).
+    Direct,
+}
+
+/// A `Sync` cell granting disjoint-offset write access to a `[f64]`.
+struct SharedWriter {
+    ptr: *mut f64,
+    len: usize,
+    /// Debug-only claim table proving write disjointness.
+    claims: Option<Vec<AtomicBool>>,
+}
+
+// SAFETY: every offset is written by at most one thread (owner-computes +
+// injective lhs access function), which the claim table asserts in debug
+// builds. No thread reads through the pointer.
+unsafe impl Sync for SharedWriter {}
+
+impl SharedWriter {
+    fn new(data: &mut [f64]) -> SharedWriter {
+        let claims = if cfg!(debug_assertions) {
+            Some((0..data.len()).map(|_| AtomicBool::new(false)).collect())
+        } else {
+            None
+        };
+        SharedWriter { ptr: data.as_mut_ptr(), len: data.len(), claims }
+    }
+
+    #[inline]
+    fn write(&self, off: usize, v: f64) {
+        assert!(off < self.len, "write offset {off} out of range {}", self.len);
+        if let Some(claims) = &self.claims {
+            let already = claims[off].swap(true, AtomicOrdering::Relaxed);
+            assert!(
+                !already,
+                "two processors wrote offset {off}: lhs access function not injective"
+            );
+        }
+        // SAFETY: bounds-checked above; disjointness per type invariant.
+        unsafe { *self.ptr.add(off) = v };
+    }
+}
+
+/// Execute a `//` clause on the shared-memory machine.
+///
+/// `plan` must have been built from `clause` (same access functions); the
+/// arrays live in `env` as plain global arrays. Returns per-node stats.
+pub fn run_shared(
+    plan: &SpmdPlan,
+    clause: &Clause,
+    env: &mut Env,
+    strategy: WriteStrategy,
+) -> Result<ExecReport, MachineError> {
+    if plan.ordering != Ordering::Par {
+        return Err(MachineError::SequentialClause);
+    }
+    // pre-state snapshot all threads read from
+    let snapshot = env.clone();
+    for r in clause.read_refs() {
+        if snapshot.get(&r.array).is_none() {
+            return Err(MachineError::UnknownArray(r.array.clone()));
+        }
+    }
+    let lhs = env
+        .get_mut(&clause.lhs.array)
+        .ok_or_else(|| MachineError::UnknownArray(clause.lhs.array.clone()))?;
+    let lhs_bounds = lhs.bounds();
+
+    let mut report = ExecReport { nodes: Vec::new(), barriers: 1, traffic: Vec::new() };
+
+    match strategy {
+        WriteStrategy::GatherCommit => {
+            let mut node_writes: Vec<(NodeStats, Vec<(usize, f64)>)> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        let snapshot = &snapshot;
+                        scope.spawn(move || {
+                            let mut stats = NodeStats {
+                                guard_tests: node.modify.schedule.work_estimate(),
+                                ..Default::default()
+                            };
+                            let mut writes = Vec::new();
+                            node.modify.schedule.for_each(|i| {
+                                stats.iterations += 1;
+                                let ix = Ix::d1(i);
+                                stats.data_guards += 1;
+                                if snapshot.eval_guard(&clause.guard, &ix) {
+                                    let v = snapshot.eval_expr(&clause.rhs, &ix);
+                                    let target = clause.lhs.map.eval(&ix);
+                                    writes.push((lhs_bounds.linear_offset(&target), v));
+                                }
+                            });
+                            (stats, writes)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    node_writes.push(h.join().expect("node thread panicked"));
+                }
+            });
+            // "barrier", then commit
+            let data = lhs.data_mut();
+            for (stats, writes) in node_writes {
+                report.nodes.push(stats);
+                for (off, v) in writes {
+                    data[off] = v;
+                }
+            }
+        }
+        WriteStrategy::Direct => {
+            let writer = SharedWriter::new(lhs.data_mut());
+            let mut stats_all: Vec<NodeStats> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        let snapshot = &snapshot;
+                        let writer = &writer;
+                        scope.spawn(move || {
+                            let mut stats = NodeStats {
+                                guard_tests: node.modify.schedule.work_estimate(),
+                                ..Default::default()
+                            };
+                            node.modify.schedule.for_each(|i| {
+                                stats.iterations += 1;
+                                let ix = Ix::d1(i);
+                                stats.data_guards += 1;
+                                if snapshot.eval_guard(&clause.guard, &ix) {
+                                    let v = snapshot.eval_expr(&clause.rhs, &ix);
+                                    let target = clause.lhs.map.eval(&ix);
+                                    writer.write(lhs_bounds.linear_offset(&target), v);
+                                }
+                            });
+                            stats
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    stats_all.push(h.join().expect("node thread panicked"));
+                }
+            });
+            report.nodes = stats_all;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{Array, ArrayRef, Bounds, CmpOp, Expr, Guard, IndexSet};
+    use vcal_decomp::Decomp1;
+    use vcal_spmd::DecompMap;
+
+    fn fig1_setup(n: i64) -> (Clause, Env, DecompMap) {
+        let clause = Clause {
+            iter: IndexSet::range(1, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Cmp {
+                lhs: ArrayRef::d1("A", Fn1::identity()),
+                op: CmpOp::Gt,
+                rhs: 0.0,
+            },
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("B", Fn1::shift(1))),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, n - 1), |i| {
+                if i.scalar() % 3 == 0 { -1.0 } else { i.scalar() as f64 }
+            }),
+        );
+        env.insert("B", Array::from_fn(Bounds::range(0, n), |i| (i.scalar() * 2) as f64));
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, n - 1)));
+        dm.insert("B".into(), Decomp1::scatter(4, Bounds::range(0, n)));
+        (clause, env, dm)
+    }
+
+    fn check_matches_reference(strategy: WriteStrategy, naive: bool) {
+        let (clause, env0, dm) = fig1_setup(64);
+        // reference
+        let mut expect = env0.clone();
+        expect.exec_clause(&clause);
+        // machine
+        let plan = if naive {
+            SpmdPlan::build_naive(&clause, &dm).unwrap()
+        } else {
+            SpmdPlan::build(&clause, &dm).unwrap()
+        };
+        let mut env = env0.clone();
+        let report = run_shared(&plan, &clause, &mut env, strategy).unwrap();
+        assert_eq!(
+            env.get("A").unwrap().max_abs_diff(expect.get("A").unwrap()),
+            0.0,
+            "strategy {strategy:?} naive={naive}"
+        );
+        assert_eq!(report.total().iterations, 63);
+        assert_eq!(report.nodes.len(), 4);
+    }
+
+    #[test]
+    fn gather_commit_matches_reference() {
+        check_matches_reference(WriteStrategy::GatherCommit, false);
+        check_matches_reference(WriteStrategy::GatherCommit, true);
+    }
+
+    #[test]
+    fn direct_matches_reference() {
+        check_matches_reference(WriteStrategy::Direct, false);
+        check_matches_reference(WriteStrategy::Direct, true);
+    }
+
+    #[test]
+    fn naive_plan_reports_more_guard_work() {
+        let (clause, _, dm) = fig1_setup(64);
+        let naive = SpmdPlan::build_naive(&clause, &dm).unwrap();
+        let opt = SpmdPlan::build(&clause, &dm).unwrap();
+        // naive: every node tests all 63 iterations -> 252; optimized:
+        // each node touches only its own ~16
+        assert_eq!(naive.total_work(), 63 * 4);
+        assert!(opt.total_work() <= 63 + 3, "opt work {}", opt.total_work());
+    }
+
+    #[test]
+    fn sequential_clause_rejected() {
+        let (mut clause, mut env, dm) = fig1_setup(16);
+        clause.ordering = Ordering::Seq;
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        assert_eq!(
+            run_shared(&plan, &clause, &mut env, WriteStrategy::Direct).unwrap_err(),
+            MachineError::SequentialClause
+        );
+    }
+
+    #[test]
+    fn strided_write_with_direct_strategy() {
+        // A[2i+1] := B[i]: injective non-identity lhs under scatter
+        let n = 32i64;
+        let clause = Clause {
+            iter: IndexSet::range(0, n / 2 - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::affine(2, 1)),
+            rhs: Expr::Ref(ArrayRef::d1("B", Fn1::identity())),
+        };
+        let mut env = Env::new();
+        env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
+        env.insert("B", Array::from_fn(Bounds::range(0, n / 2 - 1), |i| i.scalar() as f64));
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::scatter(4, Bounds::range(0, n - 1)));
+        dm.insert("B".into(), Decomp1::block(4, Bounds::range(0, n / 2 - 1)));
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+
+        let mut expect = env.clone();
+        expect.exec_clause(&clause);
+        run_shared(&plan, &clause, &mut env, WriteStrategy::Direct).unwrap();
+        assert_eq!(env.get("A").unwrap().max_abs_diff(expect.get("A").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn unknown_array_detected() {
+        let (clause, _, dm) = fig1_setup(16);
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut empty = Env::new();
+        assert!(matches!(
+            run_shared(&plan, &clause, &mut empty, WriteStrategy::Direct),
+            Err(MachineError::UnknownArray(_))
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! Execution statistics collected by the simulated machines.
+
+use std::ops::AddAssign;
+
+/// Per-node counters for one clause execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Iterations the node actually executed (schedule visits).
+    pub iterations: u64,
+    /// Run-time ownership tests evaluated (naive schedules only).
+    pub guard_tests: u64,
+    /// Data-dependent guard evaluations.
+    pub data_guards: u64,
+    /// Messages sent to other nodes.
+    pub msgs_sent: u64,
+    /// Messages received from other nodes.
+    pub msgs_received: u64,
+    /// Values taken directly from local memory.
+    pub local_reads: u64,
+}
+
+impl AddAssign for NodeStats {
+    fn add_assign(&mut self, o: NodeStats) {
+        self.iterations += o.iterations;
+        self.guard_tests += o.guard_tests;
+        self.data_guards += o.data_guards;
+        self.msgs_sent += o.msgs_sent;
+        self.msgs_received += o.msgs_received;
+        self.local_reads += o.local_reads;
+    }
+}
+
+/// Whole-machine execution report.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Per-node statistics, indexed by processor id.
+    pub nodes: Vec<NodeStats>,
+    /// Barriers executed (shared-memory machine).
+    pub barriers: u64,
+    /// Traffic matrix `traffic[src][dst]` = messages sent (distributed
+    /// machine only; empty otherwise). Price it with
+    /// [`crate::topology::price_traffic`].
+    pub traffic: Vec<Vec<u64>>,
+}
+
+impl ExecReport {
+    /// Sum of all node counters.
+    pub fn total(&self) -> NodeStats {
+        let mut t = NodeStats::default();
+        for n in &self.nodes {
+            t += *n;
+        }
+        t
+    }
+
+    /// Largest per-node iteration count — the critical-path work under
+    /// perfect overlap.
+    pub fn max_node_iterations(&self) -> u64 {
+        self.nodes.iter().map(|n| n.iterations).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let report = ExecReport {
+            nodes: vec![
+                NodeStats { iterations: 3, msgs_sent: 1, ..Default::default() },
+                NodeStats { iterations: 5, msgs_received: 1, ..Default::default() },
+            ],
+            barriers: 1,
+            traffic: Vec::new(),
+        };
+        let t = report.total();
+        assert_eq!(t.iterations, 8);
+        assert_eq!(t.msgs_sent, 1);
+        assert_eq!(t.msgs_received, 1);
+        assert_eq!(report.max_node_iterations(), 5);
+    }
+}

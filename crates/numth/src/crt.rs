@@ -1,0 +1,125 @@
+//! Chinese-remainder combination of arithmetic lattices.
+//!
+//! The closed-form schedules of Theorem 3 are residue classes
+//! `x ≡ r (mod m)`. Communication-set algebra (`Reside_p ∩ Modify_q`,
+//! `Reside_p \ Modify_p` of the Section 2.10 template) therefore reduces
+//! to intersecting residue classes — the Chinese Remainder Theorem in its
+//! non-coprime form.
+
+use crate::euclid::ext_gcd;
+use crate::mod_floor;
+
+/// A residue class `{ x | x ≡ r (mod m) }`, `m > 0`, `0 <= r < m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResidueClass {
+    /// The representative, normalized into `0..m`.
+    pub r: i64,
+    /// The modulus.
+    pub m: i64,
+}
+
+impl ResidueClass {
+    /// Normalize a representative into the class.
+    pub fn new(r: i64, m: i64) -> Self {
+        assert!(m > 0, "modulus must be positive");
+        ResidueClass { r: mod_floor(r, m), m }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, x: i64) -> bool {
+        mod_floor(x, self.m) == self.r
+    }
+
+    /// Intersect two residue classes (non-coprime CRT).
+    ///
+    /// Returns `None` when the classes are disjoint
+    /// (`gcd(m1, m2)` does not divide `r1 - r2`); otherwise the unique
+    /// class modulo `lcm(m1, m2)`.
+    pub fn intersect(&self, other: &ResidueClass) -> Option<ResidueClass> {
+        let (r1, m1) = (self.r, self.m);
+        let (r2, m2) = (other.r, other.m);
+        let e = ext_gcd(m1, m2);
+        let g = e.g;
+        if (r2 - r1) % g != 0 {
+            return None;
+        }
+        let lcm = m1 / g * m2;
+        // x = r1 + m1 * t  with  r1 + m1*t ≡ r2 (mod m2)
+        //  => t ≡ (r2 - r1)/g * inv(m1/g) (mod m2/g)
+        // e.x satisfies m1*e.x + m2*e.y = g, so m1/g * e.x ≡ 1 (mod m2/g).
+        let m2g = m2 / g;
+        // all multiplications in i128 to avoid overflow for large moduli
+        let k = ((r2 - r1) / g).rem_euclid(m2g) as i128;
+        let inv = mod_floor(e.x, m2g) as i128;
+        let t = (k * inv).rem_euclid(m2g as i128);
+        let x = (r1 as i128 + (m1 as i128) * t).rem_euclid(lcm as i128);
+        Some(ResidueClass { r: x as i64, m: lcm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(ResidueClass::new(-1, 5), ResidueClass { r: 4, m: 5 });
+        assert_eq!(ResidueClass::new(12, 5), ResidueClass { r: 2, m: 5 });
+    }
+
+    #[test]
+    fn intersect_matches_brute_force() {
+        for m1 in 1..=12i64 {
+            for m2 in 1..=12i64 {
+                for r1 in 0..m1 {
+                    for r2 in 0..m2 {
+                        let a = ResidueClass::new(r1, m1);
+                        let b = ResidueClass::new(r2, m2);
+                        let brute: Vec<i64> = (0..(m1 * m2 * 2))
+                            .filter(|&x| a.contains(x) && b.contains(x))
+                            .collect();
+                        match a.intersect(&b) {
+                            Some(c) => {
+                                let got: Vec<i64> =
+                                    (0..(m1 * m2 * 2)).filter(|&x| c.contains(x)).collect();
+                                assert_eq!(got, brute, "{a:?} ∩ {b:?}");
+                                assert_eq!(c.m, m1 / vcal_gcd(m1, m2) * m2);
+                            }
+                            None => {
+                                assert!(brute.is_empty(), "{a:?} ∩ {b:?} said disjoint");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn vcal_gcd(a: i64, b: i64) -> i64 {
+        crate::gcd(a, b)
+    }
+
+    #[test]
+    fn coprime_classic_example() {
+        // x ≡ 2 (mod 3), x ≡ 3 (mod 5) -> x ≡ 8 (mod 15)
+        let c = ResidueClass::new(2, 3).intersect(&ResidueClass::new(3, 5)).unwrap();
+        assert_eq!(c, ResidueClass { r: 8, m: 15 });
+    }
+
+    #[test]
+    fn disjoint_non_coprime() {
+        // x ≡ 0 (mod 4) and x ≡ 1 (mod 2) never meet
+        assert!(ResidueClass::new(0, 4).intersect(&ResidueClass::new(1, 2)).is_none());
+    }
+
+    #[test]
+    fn large_moduli_no_overflow() {
+        let a = ResidueClass::new(123_456, 1 << 30);
+        let b = ResidueClass::new(789, 3 << 20);
+        if let Some(c) = a.intersect(&b) {
+            assert!(a.contains(c.r));
+            assert!(b.contains(c.r));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Linear Diophantine equations and congruences.
+//!
+//! Theorem 3 of the paper turns the scatter-ownership condition
+//! `(a*i + c) mod pmax = p` into the equation `a*i - pmax*k = p - c` and
+//! enumerates its solution lattice `i = x_p + (pmax / gcd(a, pmax)) * t`.
+//! [`solve_congruence`] produces exactly that lattice.
+
+use crate::euclid::ext_gcd;
+use crate::{div_ceil, div_floor, mod_floor};
+
+/// Solution of `a*x + b*y = c`: the particular point plus the lattice step.
+///
+/// The full solution set is `x = x0 + (b/g)*t`, `y = y0 - (a/g)*t` for all
+/// integers `t` (with `g = gcd(a, b)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DioSolution {
+    /// Particular solution for the first unknown.
+    pub x0: i64,
+    /// Particular solution for the second unknown.
+    pub y0: i64,
+    /// gcd of the coefficients.
+    pub g: i64,
+    /// Lattice period of `x`: `|b / g|`.
+    pub x_period: i64,
+    /// Lattice period of `y`: `|a / g|`.
+    pub y_period: i64,
+}
+
+/// Solve `a*x + b*y = c` over the integers.
+///
+/// Returns `None` if no solution exists (i.e. `gcd(a,b)` does not divide
+/// `c`, or `a == b == 0 != c`).
+pub fn solve(a: i64, b: i64, c: i64) -> Option<DioSolution> {
+    if a == 0 && b == 0 {
+        return if c == 0 {
+            Some(DioSolution { x0: 0, y0: 0, g: 0, x_period: 0, y_period: 0 })
+        } else {
+            None
+        };
+    }
+    let e = ext_gcd(a, b);
+    if c % e.g != 0 {
+        return None;
+    }
+    let m = c / e.g;
+    Some(DioSolution {
+        x0: e.x * m,
+        y0: e.y * m,
+        g: e.g,
+        x_period: (b / e.g).abs(),
+        y_period: (a / e.g).abs(),
+    })
+}
+
+/// The solution lattice of a linear congruence `a*x ≡ r (mod m)`, `m > 0`:
+/// `x = base + period * t` for all integer `t`, with `base` normalized to
+/// `0 <= base < period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Congruence {
+    /// Smallest non-negative solution.
+    pub base: i64,
+    /// Distance between consecutive solutions: `m / gcd(a, m)`.
+    pub period: i64,
+    /// `gcd(a, m)` — the number of residues `r` (mod `m`) that are solvable.
+    pub g: i64,
+}
+
+impl Congruence {
+    /// Smallest solution `x >= lo`.
+    #[inline]
+    pub fn first_at_or_above(&self, lo: i64) -> i64 {
+        self.base + self.period * div_ceil(lo - self.base, self.period)
+    }
+
+    /// Largest solution `x <= hi`.
+    #[inline]
+    pub fn last_at_or_below(&self, hi: i64) -> i64 {
+        self.base + self.period * div_floor(hi - self.base, self.period)
+    }
+
+    /// Number of solutions in the inclusive range `[lo, hi]`.
+    pub fn count_in(&self, lo: i64, hi: i64) -> i64 {
+        if lo > hi {
+            return 0;
+        }
+        let first = self.first_at_or_above(lo);
+        if first > hi {
+            0
+        } else {
+            (hi - first) / self.period + 1
+        }
+    }
+
+    /// Iterate the solutions within `[lo, hi]` in increasing order.
+    pub fn iter_in(&self, lo: i64, hi: i64) -> impl Iterator<Item = i64> {
+        let first = self.first_at_or_above(lo.min(hi.wrapping_add(0)));
+        let period = self.period;
+        let n = self.count_in(lo, hi);
+        (0..n).map(move |t| first + period * t)
+    }
+}
+
+/// Solve `a*x ≡ r (mod m)` with `m > 0`.
+///
+/// Returns `None` when `gcd(a, m)` does not divide `r` — in the paper's
+/// terms: processor `p` with `p - c` not divisible by `gcd(a, pmax)`
+/// executes no iterations at all.
+pub fn solve_congruence(a: i64, r: i64, m: i64) -> Option<Congruence> {
+    assert!(m > 0, "modulus must be positive, got {m}");
+    let e = ext_gcd(a, m);
+    let g = e.g;
+    if g == 0 {
+        // a == 0 (mod m==0 impossible here): 0*x ≡ r
+        return if mod_floor(r, m) == 0 {
+            Some(Congruence { base: 0, period: 1, g: m })
+        } else {
+            None
+        };
+    }
+    if mod_floor(r, g) != 0 {
+        return None;
+    }
+    let period = m / g;
+    // Particular solution: x = e.x * (r / g), reduced mod period.
+    // Use i128 to avoid overflow when |e.x| and |r/g| are both large.
+    let x0 = (e.x as i128) * ((r / g) as i128);
+    let base = x0.rem_euclid(period as i128) as i64;
+    Some(Congruence { base, period, g })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcd;
+
+    #[test]
+    fn solve_finds_valid_particular_solutions() {
+        for a in -15..=15i64 {
+            for b in -15..=15i64 {
+                for c in -30..=30i64 {
+                    match solve(a, b, c) {
+                        Some(s) => {
+                            assert_eq!(a * s.x0 + b * s.y0, c, "({a},{b},{c}): {s:?}");
+                            if s.g != 0 {
+                                // lattice steps stay on the solution set
+                                let x1 = s.x0 + s.x_period;
+                                let y1 = s.y0 - (a / s.g) * (s.x_period / (b / s.g).abs().max(1)) * (b / s.g).signum();
+                                // simpler check: x_period * a must be divisible by b-step relation;
+                                // verify via direct membership when b != 0
+                                if b != 0 {
+                                    let rem = c - a * x1;
+                                    assert_eq!(rem % b, 0, "lattice x step invalid ({a},{b},{c})");
+                                }
+                                let _ = y1;
+                            }
+                        }
+                        None => {
+                            let g = gcd(a, b);
+                            if g != 0 {
+                                assert_ne!(c % g, 0, "solver said None but solvable ({a},{b},{c})");
+                            } else {
+                                assert_ne!(c, 0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congruence_matches_brute_force() {
+        for a in -10..=10i64 {
+            for m in 1..=12i64 {
+                for r in -5..=15i64 {
+                    let brute: Vec<i64> =
+                        (0..m).filter(|&x| mod_floor(a * x - r, m) == 0).collect();
+                    match solve_congruence(a, r, m) {
+                        Some(cg) => {
+                            let got: Vec<i64> = cg.iter_in(0, m - 1).collect();
+                            assert_eq!(got, brute, "a={a} r={r} m={m} cg={cg:?}");
+                        }
+                        None => assert!(brute.is_empty(), "a={a} r={r} m={m}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congruence_range_helpers() {
+        // 3x ≡ 1 (mod 7)  =>  x ≡ 5 (mod 7)
+        let cg = solve_congruence(3, 1, 7).unwrap();
+        assert_eq!(cg.base, 5);
+        assert_eq!(cg.period, 7);
+        assert_eq!(cg.first_at_or_above(6), 12);
+        assert_eq!(cg.last_at_or_below(4), -2);
+        assert_eq!(cg.count_in(0, 20), 3); // 5, 12, 19
+        assert_eq!(cg.iter_in(0, 20).collect::<Vec<_>>(), vec![5, 12, 19]);
+        assert_eq!(cg.count_in(10, 5), 0);
+    }
+
+    #[test]
+    fn paper_theorem3_shape() {
+        // f(i) = a*i + c under scatter on pmax processors: processor p owns
+        // the lattice a*i ≡ p - c (mod pmax) with period pmax/gcd(a,pmax).
+        let (a, c, pmax) = (6, 1, 4); // gcd(6,4)=2
+        let mut covered = [0u32; 40];
+        for p in 0..pmax {
+            if let Some(cg) = solve_congruence(a, p - c, pmax) {
+                assert_eq!(cg.period, pmax / 2);
+                for i in cg.iter_in(0, 39) {
+                    assert_eq!(mod_floor(a * i + c, pmax), p);
+                    covered[i as usize] += 1;
+                }
+            }
+        }
+        // every iteration i is owned by exactly one processor
+        assert!(covered.iter().all(|&n| n == 1));
+    }
+}

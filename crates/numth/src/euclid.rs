@@ -1,0 +1,176 @@
+//! Instrumented (extended) Euclid's algorithm.
+//!
+//! Section 4 of the paper argues that recomputing `gcd(a, pmax)` and the
+//! Diophantine constant `C(a, pmax)` on every node at run time is cheap:
+//! the number of division steps never exceeds `4.8*log10(N) - 0.32` and
+//! averages `1.9504 * log10(n)` (Knuth, TAOCP vol. 2), and is smaller still
+//! because the stride `a` of realistic subscripts is tiny (for `a <= 7` the
+//! maximum is 5 steps, the average about 2.65). The step counters here make
+//! those claims measurable (`benches/gcd_cost.rs`, `tests/gcd_steps.rs`).
+
+/// Result of the extended Euclidean algorithm.
+///
+/// Invariant: `a * x + b * y == g` and `g == gcd(a, b) >= 0` (with
+/// `gcd(0, 0) == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtGcd {
+    /// Greatest common divisor of the inputs (non-negative).
+    pub g: i64,
+    /// Bézout coefficient of the first input.
+    pub x: i64,
+    /// Bézout coefficient of the second input.
+    pub y: i64,
+    /// Number of division (remainder) steps the algorithm performed.
+    pub steps: u32,
+}
+
+/// Plain gcd, non-negative result. `gcd(0, 0) == 0`.
+#[inline]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a as i64
+}
+
+/// Plain gcd that also reports the number of division steps taken.
+#[inline]
+pub fn gcd_steps(a: i64, b: i64) -> (i64, u32) {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    let mut steps = 0u32;
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+        steps += 1;
+    }
+    (a as i64, steps)
+}
+
+/// Extended Euclidean algorithm (iterative), instrumented with a step count.
+///
+/// Returns `ExtGcd { g, x, y, steps }` with `a*x + b*y == g == gcd(a, b)`.
+/// Handles negative inputs; `g` is always non-negative.
+pub fn ext_gcd(a: i64, b: i64) -> ExtGcd {
+    // Work on the absolute values, fixing coefficient signs at the end.
+    let (mut r0, mut r1) = (a.abs(), b.abs());
+    let (mut x0, mut x1) = (1i64, 0i64);
+    let (mut y0, mut y1) = (0i64, 1i64);
+    let mut steps = 0u32;
+    while r1 != 0 {
+        let q = r0 / r1;
+        (r0, r1) = (r1, r0 - q * r1);
+        (x0, x1) = (x1, x0 - q * x1);
+        (y0, y1) = (y1, y0 - q * y1);
+        steps += 1;
+    }
+    let x = if a < 0 { -x0 } else { x0 };
+    let y = if b < 0 { -y0 } else { y0 };
+    ExtGcd { g: r0, x, y, steps }
+}
+
+/// The paper's constant `C(a, pmax)`: a particular solution in `i` of
+/// `a*i - pmax*k = gcd(a, pmax)` (Section 3.2, Eq. (5)/(6)).
+///
+/// With it, the particular solution for any right-hand side
+/// `delta_p * gcd(a, pmax)` is simply `x_p = delta_p * C(a, pmax)`.
+/// Returns `None` when `a == 0 && pmax == 0` (no gcd).
+pub fn c_constant(a: i64, pmax: i64) -> Option<i64> {
+    if a == 0 && pmax == 0 {
+        return None;
+    }
+    // a*x + pmax*y = g  =>  a*x - pmax*(-y) = g, so i = x works for the
+    // paper's form a*i - pmax*k = g (with k = -y).
+    let e = ext_gcd(a, pmax);
+    Some(e.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(18, 12), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity_small_exhaustive() {
+        for a in -40..=40i64 {
+            for b in -40..=40i64 {
+                let e = ext_gcd(a, b);
+                assert_eq!(e.g, gcd(a, b), "gcd mismatch for ({a},{b})");
+                assert_eq!(
+                    a * e.x + b * e.y,
+                    e.g,
+                    "Bézout identity failed for ({a},{b}): {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ext_gcd_steps_match_plain_gcd_steps() {
+        for a in 1..=200i64 {
+            for b in 1..=50i64 {
+                let e = ext_gcd(a, b);
+                let (_, s) = gcd_steps(a, b);
+                assert_eq!(e.steps, s, "step count differs for ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn knuth_worst_case_bound_holds_for_small_strides() {
+        // Paper, Section 4: for a <= 7 the maximal number of steps is 5.
+        let mut max_steps = 0;
+        for a in 1..=7i64 {
+            for pmax in 1..=4096i64 {
+                // The paper runs gcd(a, pmax) on each node; first step
+                // reduces the problem to arguments <= a.
+                let (_, s) = gcd_steps(a, pmax);
+                max_steps = max_steps.max(s);
+            }
+        }
+        assert!(max_steps <= 5, "observed {max_steps} steps, paper claims <= 5");
+    }
+
+    #[test]
+    fn fibonacci_pairs_are_worst_case() {
+        // Consecutive Fibonacci numbers maximize step count (Lamé).
+        let (mut f0, mut f1) = (1i64, 1i64);
+        for _ in 0..40 {
+            (f0, f1) = (f1, f0 + f1);
+        }
+        let (_, s) = gcd_steps(f0, f1);
+        let bound = 4.8 * (f1 as f64).log10() - 0.32;
+        assert!(
+            (s as f64) <= bound + 1.0,
+            "steps {s} exceed Knuth bound {bound:.2}"
+        );
+    }
+
+    #[test]
+    fn c_constant_solves_paper_equation() {
+        for a in 1..=12i64 {
+            for pmax in 1..=32i64 {
+                let g = gcd(a, pmax);
+                let c = c_constant(a, pmax).unwrap();
+                // a * C - pmax * k = g must have an integer k.
+                let lhs = a * c - g;
+                assert_eq!(lhs.rem_euclid(pmax), 0, "C(a={a},pmax={pmax}) wrong");
+            }
+        }
+    }
+}

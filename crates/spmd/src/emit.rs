@@ -1,0 +1,306 @@
+//! Pseudo-code emission: renders the generated SPMD node programs in the
+//! imperative style the paper uses for its templates (Sections 2.6, 2.9,
+//! 2.10 and the loop skeletons of Section 4), with the chosen Table I
+//! optimization noted per loop.
+
+use crate::optimizer::Optimized;
+use crate::program::SpmdPlan;
+use crate::schedule::Schedule;
+use vcal_core::map::display_fn1;
+
+/// Render one schedule as a loop nest over variable `var`, with `body`
+/// lines inside (pre-indented by the caller's `indent`).
+pub fn emit_schedule(s: &Schedule, var: &str, body: &str, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    match s {
+        Schedule::Empty => format!("{pad}(* no iterations on this node *)\n"),
+        Schedule::Range { lo, hi } => format!(
+            "{pad}for {var} := {lo} to {hi} do\n{body}{pad}od;\n"
+        ),
+        Schedule::Strided { start, step, count } => format!(
+            "{pad}for t := 0 to {} do\n{pad}  {var} := {start} + {step}*t;\n{body}{pad}od;\n",
+            count - 1
+        ),
+        Schedule::RepeatedBlock { f, b, pmax, p, ext_lo, k_max, imin, imax } => {
+            let fi = display_fn1(f, var);
+            format!(
+                "{pad}(* repeated block: blocks p + k*pmax of size {b}, f({var}) = {fi} *)\n\
+                 {pad}for k := 0 to {k_max} do\n\
+                 {pad}  lo_v := {ext_lo} + {b}*({p} + k*{pmax});\n\
+                 {pad}  jmin := max({imin}, ceil_finv(lo_v));\n\
+                 {pad}  jmax := min({imax}, floor_finv(lo_v + {b} - 1));\n\
+                 {pad}  for {var} := jmin to jmax do\n{body}{pad}  od;\n{pad}od;\n"
+            )
+        }
+        Schedule::RepeatedScatter { f, b, pmax, p, ext_lo, k_max, .. } => {
+            let fi = display_fn1(f, var);
+            format!(
+                "{pad}(* repeated scatter: probe f^-1 of each owned value, f({var}) = {fi} *)\n\
+                 {pad}for t := {}*{p} to {}*{p} + {} do\n\
+                 {pad}  for k := 0 to {k_max} do\n\
+                 {pad}    v := {ext_lo} + t + {b}*k*{pmax};\n\
+                 {pad}    if finv_integral(v, {var}) then\n{body}{pad}    fi;\n\
+                 {pad}  od;\n{pad}od;\n",
+                b,
+                b,
+                b - 1
+            )
+        }
+        Schedule::Concat(parts) => {
+            let mut out = format!("{pad}(* piecewise split: {} pieces *)\n", parts.len());
+            for part in parts {
+                out.push_str(&emit_schedule(part, var, body, indent));
+            }
+            out
+        }
+        Schedule::Guarded { imin, imax, proc_of_f, p } => {
+            let test = display_fn1(proc_of_f, var);
+            format!(
+                "{pad}for {var} := {imin} to {imax} do\n\
+                 {pad}  if {test} = {p} then\n{body}{pad}  fi;\n{pad}od;\n"
+            )
+        }
+    }
+}
+
+/// Render the shared-memory SPMD template of Section 2.9 for one node of
+/// a plan.
+pub fn emit_shared_node(plan: &SpmdPlan, p: i64) -> String {
+    let node = &plan.nodes[p as usize];
+    let mut out = String::new();
+    out.push_str(&format!("p := my_node;  (* = {p} *)\n"));
+    out.push_str(&format!(
+        "(* Modify_p via {} *)\n",
+        node.modify.kind.name()
+    ));
+    let f = display_fn1(&plan.f, "i");
+    let body = format!("    {}[{}] := Expr(...);\n", plan.lhs_array, f);
+    out.push_str(&emit_schedule(&node.modify.schedule, "i", &body, 0));
+    out.push_str("barrier;\n");
+    out
+}
+
+/// Render the distributed-memory SPMD template of Section 2.10 for one
+/// node of a plan: sends from `Reside_p \ Modify_p`, receives into
+/// `Modify_p \ Reside_p`, then local updates.
+pub fn emit_distributed_node(plan: &SpmdPlan, p: i64) -> String {
+    let node = &plan.nodes[p as usize];
+    let f = display_fn1(&plan.f, "i");
+    let mut out = String::new();
+    out.push_str(&format!("p := my_node;  (* = {p} *)\n"));
+    for rp in &node.resides {
+        if rp.replicated {
+            out.push_str(&format!("(* {} replicated: no sends *)\n", rp.array));
+            continue;
+        }
+        let g = display_fn1(&rp.g, "i");
+        out.push_str(&format!(
+            "(* send phase over Reside_p of {} via {} *)\n",
+            rp.array,
+            rp.opt.kind.name()
+        ));
+        let body = format!(
+            "    if procA({f}) \u{2260} p then\n      send(procA({f}), {}L[local({g})]);\n    fi;\n",
+            rp.array
+        );
+        out.push_str(&emit_schedule(&rp.opt.schedule, "i", &body, 0));
+    }
+    out.push_str(&format!(
+        "(* update phase over Modify_p via {} *)\n",
+        node.modify.kind.name()
+    ));
+    let mut body = String::new();
+    for rp in &node.resides {
+        if rp.replicated {
+            continue;
+        }
+        let g = display_fn1(&rp.g, "i");
+        body.push_str(&format!(
+            "    if procB({g}) \u{2260} p then tmp_{0} := receive(procB({g})); fi;\n",
+            rp.array
+        ));
+    }
+    body.push_str(&format!("    {}L[local({f})] := Expr(...);\n", plan.lhs_array));
+    out.push_str(&emit_schedule(&node.modify.schedule, "i", &body, 0));
+    out
+}
+
+/// Render the distributed template with **closed-form communication
+/// loops** where the set algebra permits: instead of guarding every
+/// Reside iteration with `procA(f(i)) ≠ p`, the send set
+/// `Reside_p \ Modify_p` is computed symbolically (CRT lattice algebra,
+/// [`crate::setops`]) and emitted as bare loops. Falls back to the
+/// guarded form per read when the schedules are not arithmetic.
+pub fn emit_distributed_node_closed(plan: &SpmdPlan, p: i64) -> String {
+    let node = &plan.nodes[p as usize];
+    let f = display_fn1(&plan.f, "i");
+    let mut out = String::new();
+    out.push_str(&format!("p := my_node;  (* = {p} *)\n"));
+    for rp in &node.resides {
+        if rp.replicated {
+            continue;
+        }
+        let g = display_fn1(&rp.g, "i");
+        match crate::setops::comm_sets(&node.modify.schedule, &rp.opt.schedule) {
+            Some(cs) => {
+                out.push_str(&format!(
+                    "(* closed-form send set Reside_p \\ Modify_p of {} ({} iters) *)\n",
+                    rp.array,
+                    cs.send.count()
+                ));
+                let body =
+                    format!("    send(procA({f}), {}L[local({g})]);\n", rp.array);
+                out.push_str(&emit_schedule(&cs.send, "i", &body, 0));
+                out.push_str(&format!(
+                    "(* closed-form receive set Modify_p \\ Reside_p of {} ({} iters) *)\n",
+                    rp.array,
+                    cs.receive.count()
+                ));
+                let body = format!("    tmp_{0} := receive(procB({g}));\n", rp.array);
+                out.push_str(&emit_schedule(&cs.receive, "i", &body, 0));
+            }
+            None => {
+                out.push_str(&format!(
+                    "(* no closed form for {}: guarded send loop *)\n",
+                    rp.array
+                ));
+                let body = format!(
+                    "    if procA({f}) \u{2260} p then send(procA({f}), {}L[local({g})]); fi;\n",
+                    rp.array
+                );
+                out.push_str(&emit_schedule(&rp.opt.schedule, "i", &body, 0));
+            }
+        }
+    }
+    out.push_str("(* update phase over Modify_p *)\n");
+    let body = format!("    {}L[local({f})] := Expr(...);\n", plan.lhs_array);
+    out.push_str(&emit_schedule(&node.modify.schedule, "i", &body, 0));
+    out
+}
+
+/// Summarize the optimization decisions of a plan (one line per node).
+pub fn plan_report(plan: &SpmdPlan) -> String {
+    let mut out = format!(
+        "SPMD plan: {} nodes, loop {}..={}, lhs {}[{}]\n",
+        plan.pmax,
+        plan.loop_bounds.0,
+        plan.loop_bounds.1,
+        plan.lhs_array,
+        display_fn1(&plan.f, "i"),
+    );
+    for node in &plan.nodes {
+        out.push_str(&format!(
+            "  p{}: modify {:>6} iters via {} (work {})",
+            node.p,
+            node.modify.schedule.count(),
+            node.modify.kind.name(),
+            node.modify.schedule.work_estimate(),
+        ));
+        for rp in &node.resides {
+            out.push_str(&format!(
+                ", reside[{}] {} via {}",
+                rp.array,
+                rp.opt.schedule.count(),
+                rp.opt.kind.name()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Helper for an [`Optimized`] in isolation.
+pub fn emit_optimized(opt: &Optimized, var: &str, body: &str) -> String {
+    format!(
+        "(* {} *)\n{}",
+        opt.kind.name(),
+        emit_schedule(&opt.schedule, var, body, 0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::program::{DecompMap, SpmdPlan};
+    use vcal_core::func::Fn1;
+    use vcal_core::{ArrayRef, Bounds, Clause, Expr, Guard, IndexSet, Ordering};
+    use vcal_decomp::Decomp1;
+
+    fn plan() -> (SpmdPlan, DecompMap) {
+        let clause = Clause {
+            iter: IndexSet::range(0, 63),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("B", Fn1::shift(-1))),
+        };
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, 63)));
+        dm.insert("B".into(), Decomp1::block(4, Bounds::range(-1, 63)));
+        // shift B's extent so B[i-1] stays in range for i=0
+        let clause = Clause { iter: IndexSet::range(0, 63), ..clause };
+        (SpmdPlan::build(&clause, &dm).unwrap(), dm)
+    }
+
+    #[test]
+    fn emit_range_loop() {
+        let s = Schedule::range(2, 9);
+        let code = emit_schedule(&s, "i", "  work;\n", 0);
+        assert!(code.contains("for i := 2 to 9 do"), "{code}");
+    }
+
+    #[test]
+    fn emit_strided_loop_shows_gen_function() {
+        let dec = Decomp1::scatter(4, Bounds::range(0, 99));
+        let o = optimize(&Fn1::affine(3, 1), &dec, 0, 32, 2);
+        let code = emit_optimized(&o, "i", "  work;\n");
+        assert!(code.contains("theorem-3"), "{code}");
+        assert!(code.contains("+ 4*t"), "{code}");
+    }
+
+    #[test]
+    fn emit_guarded_shows_membership_test() {
+        let dec = Decomp1::scatter(4, Bounds::range(0, 1000));
+        let o = optimize(&Fn1::square(), &dec, 0, 30, 1);
+        let code = emit_optimized(&o, "i", "  work;\n");
+        assert!(code.contains("if"), "{code}");
+        assert!(code.contains("= 1"), "{code}");
+    }
+
+    #[test]
+    fn shared_template_mentions_barrier() {
+        let (p, _) = plan();
+        let code = emit_shared_node(&p, 0);
+        assert!(code.contains("barrier;"), "{code}");
+        assert!(code.contains("my_node"), "{code}");
+    }
+
+    #[test]
+    fn distributed_template_has_send_and_receive() {
+        let (p, _) = plan();
+        let code = emit_distributed_node(&p, 1);
+        assert!(code.contains("send("), "{code}");
+        assert!(code.contains("receive("), "{code}");
+    }
+
+    #[test]
+    fn closed_form_template_emits_unguarded_sends() {
+        let (p, _) = plan();
+        let code = emit_distributed_node_closed(&p, 1);
+        assert!(code.contains("closed-form send set"), "{code}");
+        assert!(code.contains("send("), "{code}");
+        // the closed-form send loops carry no per-element ownership test
+        let send_section = code.split("update phase").next().unwrap();
+        assert!(!send_section.contains('\u{2260}'), "{code}");
+    }
+
+    #[test]
+    fn report_lists_every_node() {
+        let (p, _) = plan();
+        let r = plan_report(&p);
+        for n in 0..4 {
+            assert!(r.contains(&format!("p{n}:")), "{r}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # vcal-spmd — SPMD program generation and Table I optimization
+//!
+//! The compile-time half of the paper: given a clause and a decomposition
+//! for every array, derive per-processor node programs whose iteration
+//! sets are *closed-form* wherever Section 3's theorems apply:
+//!
+//! * [`schedule`] — run-time iteration schedules (`gen_p(t)` made
+//!   executable): ranges, strides, repeated block, repeated scatter,
+//!   piecewise concatenations, and the naive guarded loop they replace;
+//! * [`optimizer`] — the Table I classification engine (Theorems 1–3,
+//!   Corollaries 1–2, the `df/di < pmax` rule, breakpoint splitting);
+//! * [`program`] — whole-clause SPMD plans: Modify/Reside schedules per
+//!   processor plus communication statistics;
+//! * [`emit`] — pseudo-code rendering of the Section 2.9 / 2.10 templates
+//!   and the Section 4 loop skeletons;
+//! * [`validate`] — brute-force oracles the tests and benches check
+//!   every schedule against.
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod derivation;
+pub mod emit;
+pub mod nd;
+pub mod optimizer;
+pub mod program;
+pub mod schedule;
+pub mod setops;
+pub mod validate;
+
+pub use advisor::{advise, AdvisorOptions, Candidate};
+pub use derivation::derive;
+pub use optimizer::{naive_schedule, optimize, optimize_with, OptKind, OptOptions, Optimized};
+pub use program::{CommStats, DecompMap, NodePlan, PlanError, ResidePlan, SpmdPlan};
+pub use nd::{optimize_nd, ScheduleNd};
+pub use schedule::{repeated_block_kmax, Schedule};
+pub use setops::{comm_sets, intersect, subtract, CommSets};

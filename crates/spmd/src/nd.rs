@@ -1,0 +1,273 @@
+//! Multi-dimensional SPMD schedules.
+//!
+//! The paper carries out its derivations in one dimension "for reasons of
+//! clarity"; the generalization is per-axis: with data decomposed axis by
+//! axis onto a processor grid ([`vcal_decomp::DecompNd`]) and an access
+//! map that sends each output axis through a 1-D function of one input
+//! axis ([`vcal_core::IndexMap`]), the ownership condition factorizes
+//!
+//! ```text
+//! proc(f(i)) = p   ⇔   ∀axis d:  proc_d(f_d(i[src_d])) = grid(p)[d]
+//! ```
+//!
+//! so the per-processor iteration set is a *Cartesian product* of 1-D
+//! schedules, each produced by the Table I optimizer.
+
+use crate::optimizer::{optimize, OptKind};
+use crate::schedule::Schedule;
+use vcal_core::map::IndexMap;
+use vcal_core::{Bounds, Ix};
+use vcal_decomp::DecompNd;
+
+/// A per-processor iteration schedule over a d-dimensional loop box:
+/// the product of one 1-D schedule per *loop* dimension.
+#[derive(Debug, Clone)]
+pub struct ScheduleNd {
+    /// One schedule per loop dimension, in loop-dimension order.
+    pub axes: Vec<Schedule>,
+    /// The Table I kind chosen per loop dimension.
+    pub kinds: Vec<OptKind>,
+}
+
+impl ScheduleNd {
+    /// Visit every scheduled point in lexicographic order of the
+    /// per-axis schedules.
+    pub fn for_each(&self, mut visit: impl FnMut(&Ix)) {
+        // materialize each axis once (axes are small relative to the
+        // product) then walk the product
+        let lists: Vec<Vec<i64>> = self.axes.iter().map(|s| {
+            let mut v = Vec::new();
+            s.for_each(|i| v.push(i));
+            v
+        }).collect();
+        if lists.iter().any(Vec::is_empty) {
+            return;
+        }
+        let d = lists.len();
+        let mut idx = vec![0usize; d];
+        let mut coords: Vec<i64> = lists.iter().map(|l| l[0]).collect();
+        loop {
+            visit(&Ix::new(&coords));
+            // odometer
+            let mut axis = d;
+            loop {
+                if axis == 0 {
+                    return;
+                }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] < lists[axis].len() {
+                    coords[axis] = lists[axis][idx[axis]];
+                    for a in axis + 1..d {
+                        idx[a] = 0;
+                        coords[a] = lists[a][0];
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of scheduled points.
+    pub fn count(&self) -> u64 {
+        self.axes.iter().map(Schedule::count).product()
+    }
+
+    /// Total loop-overhead work: sum of per-axis work times the product
+    /// of the other axes' visit counts (each axis' tests repeat once per
+    /// combination of outer iterations) — an upper bound that reduces to
+    /// the exact product cost for closed forms.
+    pub fn work_estimate(&self) -> u64 {
+        let counts: Vec<u64> = self.axes.iter().map(Schedule::count).collect();
+        let mut total = 0u64;
+        for (d, s) in self.axes.iter().enumerate() {
+            let outer: u64 = counts[..d].iter().product();
+            total += outer.max(1) * s.work_estimate();
+        }
+        total
+    }
+}
+
+/// Derive the d-dimensional schedule of
+/// `{ i ∈ loop_box | proc(map(i)) = p }` under `dec`.
+///
+/// Requirements (checked): the map must have one output axis per
+/// decomposition axis, and each *loop* dimension must feed at most one
+/// output axis (otherwise the ownership condition does not factorize and
+/// the caller should fall back to brute force).
+pub fn optimize_nd(
+    map: &IndexMap,
+    dec: &DecompNd,
+    loop_box: &Bounds,
+    p: i64,
+) -> Option<ScheduleNd> {
+    if map.d_out() != dec.dims() || map.d_in() != loop_box.dims() {
+        return None;
+    }
+    // each loop dim may drive at most one output axis
+    let mut driver_of_loopdim: Vec<Option<usize>> = vec![None; map.d_in()];
+    for (out_axis, df) in map.dims().iter().enumerate() {
+        if driver_of_loopdim[df.src].replace(out_axis).is_some() {
+            return None; // coupled axes: no factorization
+        }
+    }
+    let grid = dec.grid_coords(p);
+    let mut axes = vec![Schedule::Empty; map.d_in()];
+    let mut kinds = vec![OptKind::EmptyLoop; map.d_in()];
+    for (loop_dim, driver) in driver_of_loopdim.iter().enumerate() {
+        let (imin, imax) = (loop_box.lo()[loop_dim], loop_box.hi()[loop_dim]);
+        match driver {
+            Some(out_axis) => {
+                let f = &map.dims()[*out_axis].f;
+                let d1 = &dec.axes()[*out_axis];
+                let opt = optimize(f, d1, imin, imax, grid[*out_axis]);
+                axes[loop_dim] = opt.schedule;
+                kinds[loop_dim] = opt.kind;
+            }
+            None => {
+                // loop dim not used by the access: every index iterates
+                axes[loop_dim] = Schedule::range(imin, imax);
+                kinds[loop_dim] = OptKind::EmptyLoop;
+            }
+        }
+    }
+    Some(ScheduleNd { axes, kinds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::map::DimFn;
+    use vcal_decomp::Decomp1;
+
+    fn grid(n0: i64, n1: i64, p0: i64, p1: i64) -> DecompNd {
+        DecompNd::new(vec![
+            Decomp1::block(p0, Bounds::range(0, n0 - 1)),
+            Decomp1::scatter(p1, Bounds::range(0, n1 - 1)),
+        ])
+    }
+
+    fn brute(map: &IndexMap, dec: &DecompNd, loop_box: &Bounds, p: i64) -> Vec<Ix> {
+        loop_box.iter().filter(|i| dec.proc_of(&map.eval(i)) == p).collect()
+    }
+
+    #[test]
+    fn identity_2d_partition() {
+        let dec = grid(12, 10, 2, 2);
+        let map = IndexMap::identity(2);
+        let lb = Bounds::range2(0, 11, 0, 9);
+        let mut total = 0u64;
+        for p in 0..dec.pmax() {
+            let s = optimize_nd(&map, &dec, &lb, p).unwrap();
+            let mut got = Vec::new();
+            s.for_each(|i| got.push(*i));
+            got.sort();
+            let mut want = brute(&map, &dec, &lb, p);
+            want.sort();
+            assert_eq!(got, want, "p={p}");
+            total += s.count();
+        }
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn shifted_2d_stencil_access() {
+        // A[i-1, 2j+1] under a 2x3 grid
+        let dec = DecompNd::new(vec![
+            Decomp1::block(2, Bounds::range(-1, 10)),
+            Decomp1::block_scatter(2, 3, Bounds::range(0, 25)),
+        ]);
+        let map = IndexMap::per_dim(vec![Fn1::shift(-1), Fn1::affine(2, 1)]);
+        let lb = Bounds::range2(0, 10, 0, 12);
+        for p in 0..dec.pmax() {
+            let s = optimize_nd(&map, &dec, &lb, p).unwrap();
+            let mut got = Vec::new();
+            s.for_each(|i| got.push(*i));
+            got.sort();
+            let mut want = brute(&map, &dec, &lb, p);
+            want.sort();
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn transpose_access_factorizes() {
+        // A[j, i]: output axis 0 reads loop dim 1 and vice versa —
+        // still one driver per loop dim, so it factorizes.
+        let dec = grid(8, 8, 2, 2);
+        let map = IndexMap::permutation(2, &[1, 0]);
+        let lb = Bounds::range2(0, 7, 0, 7);
+        for p in 0..dec.pmax() {
+            let s = optimize_nd(&map, &dec, &lb, p).unwrap();
+            let mut got = Vec::new();
+            s.for_each(|i| got.push(*i));
+            got.sort();
+            let mut want = brute(&map, &dec, &lb, p);
+            want.sort();
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn coupled_axes_rejected() {
+        // A[i, i]: loop dim 0 drives both output axes — not factorizable
+        let dec = grid(8, 8, 2, 2);
+        let map = IndexMap::new(
+            2,
+            vec![
+                DimFn { src: 0, f: Fn1::identity() },
+                DimFn { src: 0, f: Fn1::identity() },
+            ],
+        );
+        assert!(optimize_nd(&map, &dec, &Bounds::range2(0, 7, 0, 7), 0).is_none());
+    }
+
+    #[test]
+    fn unused_loop_dim_iterates_fully() {
+        // 1-D data indexed by the first loop dim of a 2-D loop: every j
+        // iterates on the owner of row i... here out=1 axis, loop 2-D
+        let dec = DecompNd::new(vec![Decomp1::block(4, Bounds::range(0, 15))]);
+        let map = IndexMap::new(2, vec![DimFn { src: 0, f: Fn1::identity() }]);
+        let lb = Bounds::range2(0, 15, 0, 3);
+        for p in 0..4 {
+            let s = optimize_nd(&map, &dec, &lb, p).unwrap();
+            assert_eq!(s.count(), 4 * 4, "p={p}"); // 4 owned rows x 4 js
+        }
+    }
+
+    #[test]
+    fn empty_axis_empties_product() {
+        let dec = grid(12, 10, 2, 2);
+        // constant access on axis 0: only the owner's grid row is active
+        let map = IndexMap::new(
+            2,
+            vec![
+                DimFn { src: 0, f: Fn1::Const(0) },
+                DimFn { src: 1, f: Fn1::identity() },
+            ],
+        );
+        let lb = Bounds::range2(0, 5, 0, 9);
+        let mut nonempty = 0;
+        for p in 0..4 {
+            let s = optimize_nd(&map, &dec, &lb, p).unwrap();
+            if s.count() > 0 {
+                nonempty += 1;
+            }
+            let want = brute(&map, &dec, &lb, p);
+            assert_eq!(s.count() as usize, want.len(), "p={p}");
+        }
+        assert_eq!(nonempty, 2); // grid row 0, both columns
+    }
+
+    #[test]
+    fn work_estimate_reasonable() {
+        let dec = grid(64, 64, 2, 2);
+        let map = IndexMap::identity(2);
+        let lb = Bounds::range2(0, 63, 0, 63);
+        let s = optimize_nd(&map, &dec, &lb, 0).unwrap();
+        assert_eq!(s.count(), 32 * 32);
+        assert!(s.work_estimate() >= s.count());
+        assert!(s.work_estimate() < 4 * s.count());
+    }
+}

@@ -1,0 +1,331 @@
+//! Closed-form set algebra on schedules.
+//!
+//! The distributed-memory template (Section 2.10) iterates the sets
+//! `Reside_p \ Modify_p` (send) and `Modify_p \ Reside_p` (receive).
+//! The baseline implementation tests `proc(f(i)) = p` per element while
+//! iterating the Reside/Modify schedules. When both schedules are
+//! *arithmetic* (ranges and strided lattices from Theorems 1/3), the
+//! difference itself has closed form: lattice intersection is the
+//! Chinese Remainder Theorem, and a set difference against a sub-lattice
+//! is a bounded union of residue classes. This module implements that
+//! algebra with a brute-force-checked fallback of `None` where no closed
+//! form exists (repeated blocks, guards, piecewise splits).
+
+use crate::schedule::Schedule;
+use vcal_numth::{mod_floor, ResidueClass};
+
+/// Maximum number of residue classes a difference may expand into before
+/// we give up on the closed form (each class costs a loop in the
+/// generated program).
+const MAX_CLASSES: i64 = 64;
+
+/// A normalized arithmetic schedule: the lattice `r (mod m)` clipped to
+/// `[lo, hi]`. `Range` is the `m = 1` case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arith {
+    class: ResidueClass,
+    lo: i64,
+    hi: i64,
+}
+
+impl Arith {
+    fn of(s: &Schedule) -> Option<Arith> {
+        match s {
+            Schedule::Range { lo, hi } => {
+                Some(Arith { class: ResidueClass::new(0, 1), lo: *lo, hi: *hi })
+            }
+            Schedule::Strided { start, step, count } => {
+                if *count <= 0 {
+                    return None;
+                }
+                Some(Arith {
+                    class: ResidueClass::new(*start, *step),
+                    lo: *start,
+                    hi: start + step * (count - 1),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.first().is_none()
+    }
+
+    fn first(&self) -> Option<i64> {
+        let m = self.class.m;
+        let first = self.lo + mod_floor(self.class.r - self.lo, m);
+        (first <= self.hi).then_some(first)
+    }
+
+    fn to_schedule(self) -> Schedule {
+        match self.first() {
+            None => Schedule::Empty,
+            Some(first) => {
+                let m = self.class.m;
+                let last = self.hi - mod_floor(self.hi - self.class.r, m);
+                let count = (last - first) / m + 1;
+                if m == 1 {
+                    Schedule::range(first, last)
+                } else if count == 1 {
+                    Schedule::range(first, first)
+                } else {
+                    Schedule::Strided { start: first, step: m, count }
+                }
+            }
+        }
+    }
+
+    fn intersect(&self, other: &Arith) -> Option<Arith> {
+        let class = self.class.intersect(&other.class)?;
+        Some(Arith { class, lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+    }
+}
+
+/// Intersect two schedules in closed form, or `None` when either is not
+/// arithmetic.
+pub fn intersect(a: &Schedule, b: &Schedule) -> Option<Schedule> {
+    match (a, b) {
+        (Schedule::Empty, _) | (_, Schedule::Empty) => Some(Schedule::Empty),
+        (Schedule::Concat(parts), other) => {
+            let pieces: Option<Vec<Schedule>> =
+                parts.iter().map(|p| intersect(p, other)).collect();
+            Some(Schedule::concat(pieces?))
+        }
+        (other, Schedule::Concat(parts)) => {
+            let pieces: Option<Vec<Schedule>> =
+                parts.iter().map(|p| intersect(other, p)).collect();
+            Some(Schedule::concat(pieces?))
+        }
+        _ => {
+            let (aa, bb) = (Arith::of(a)?, Arith::of(b)?);
+            Some(match aa.intersect(&bb) {
+                Some(c) => c.to_schedule(),
+                None => Schedule::Empty,
+            })
+        }
+    }
+}
+
+/// Subtract `b` from `a` in closed form (`a \ b`), or `None` when no
+/// bounded closed form exists.
+pub fn subtract(a: &Schedule, b: &Schedule) -> Option<Schedule> {
+    match (a, b) {
+        (Schedule::Empty, _) => Some(Schedule::Empty),
+        (_, Schedule::Empty) => Some(a.clone()),
+        (Schedule::Concat(parts), other) => {
+            let pieces: Option<Vec<Schedule>> =
+                parts.iter().map(|p| subtract(p, other)).collect();
+            Some(Schedule::concat(pieces?))
+        }
+        (other, Schedule::Concat(parts)) => {
+            // a \ (b1 ∪ b2 ∪ ...) = ((a \ b1) \ b2) \ ...
+            let mut acc = other.clone();
+            for p in parts {
+                acc = subtract(&acc, p)?;
+            }
+            Some(acc)
+        }
+        _ => {
+            let aa = Arith::of(a)?;
+            let bb = Arith::of(b)?;
+            if aa.is_empty() {
+                return Some(Schedule::Empty);
+            }
+            subtract_arith(&aa, &bb)
+        }
+    }
+}
+
+fn subtract_arith(a: &Arith, b: &Arith) -> Option<Schedule> {
+    // portion of a outside b's [lo, hi] window survives unconditionally
+    let mut out: Vec<Schedule> = Vec::new();
+    if b.lo > a.lo {
+        out.push(Arith { class: a.class, lo: a.lo, hi: a.hi.min(b.lo - 1) }.to_schedule());
+    }
+    if b.hi < a.hi {
+        out.push(Arith { class: a.class, lo: a.lo.max(b.hi + 1), hi: a.hi }.to_schedule());
+    }
+    // inside the overlap window, remove b's lattice from a's
+    let w_lo = a.lo.max(b.lo);
+    let w_hi = a.hi.min(b.hi);
+    if w_lo <= w_hi {
+        match a.class.intersect(&b.class) {
+            None => {
+                // disjoint lattices: everything of a in the window stays
+                out.push(Arith { class: a.class, lo: w_lo, hi: w_hi }.to_schedule());
+            }
+            Some(meet) => {
+                // a's lattice mod M = lcm splits into M / m_a classes;
+                // exactly one of them (meet) is removed.
+                let m = meet.m;
+                let classes = m / a.class.m;
+                if classes > MAX_CLASSES {
+                    return None;
+                }
+                for k in 0..classes {
+                    let r = mod_floor(a.class.r + k * a.class.m, m);
+                    if r == meet.r {
+                        continue;
+                    }
+                    out.push(
+                        Arith { class: ResidueClass::new(r, m), lo: w_lo, hi: w_hi }
+                            .to_schedule(),
+                    );
+                }
+            }
+        }
+    }
+    // keep the output ordered by first element for readability
+    let mut parts: Vec<Schedule> =
+        out.into_iter().filter(|s| !matches!(s, Schedule::Empty)).collect();
+    parts.sort_by_key(|s| s.to_sorted_vec().first().copied().unwrap_or(i64::MAX));
+    Some(Schedule::concat(parts))
+}
+
+/// The closed-form communication sets of the Section 2.10 template for
+/// one processor and one read access, when both schedules are
+/// arithmetic: `send = reside \ modify`, `receive = modify \ reside`,
+/// `local = modify ∩ reside`.
+#[derive(Debug, Clone)]
+pub struct CommSets {
+    /// Iterations whose operand `p` owns but does not compute.
+    pub send: Schedule,
+    /// Iterations `p` computes with a remote operand.
+    pub receive: Schedule,
+    /// Iterations `p` computes entirely locally.
+    pub local: Schedule,
+}
+
+/// Derive closed-form communication sets, or `None` when the schedules
+/// are not arithmetic (callers fall back to per-element ownership tests,
+/// which is what the executor does anyway).
+pub fn comm_sets(modify: &Schedule, reside: &Schedule) -> Option<CommSets> {
+    Some(CommSets {
+        send: subtract(reside, modify)?,
+        receive: subtract(modify, reside)?,
+        local: intersect(modify, reside)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::Bounds;
+    use vcal_decomp::Decomp1;
+
+    fn brute(s: &Schedule) -> Vec<i64> {
+        s.to_sorted_vec()
+    }
+
+    fn check_ops(a: &Schedule, b: &Schedule) {
+        let (va, vb) = (brute(a), brute(b));
+        if let Some(i) = intersect(a, b) {
+            let want: Vec<i64> = va.iter().copied().filter(|x| vb.contains(x)).collect();
+            assert_eq!(brute(&i), want, "intersect {a:?} {b:?}");
+        }
+        if let Some(d) = subtract(a, b) {
+            let want: Vec<i64> = va.iter().copied().filter(|x| !vb.contains(x)).collect();
+            assert_eq!(brute(&d), want, "subtract {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn range_range_ops() {
+        let cases = [
+            (Schedule::range(0, 10), Schedule::range(5, 15)),
+            (Schedule::range(0, 10), Schedule::range(3, 6)),
+            (Schedule::range(0, 10), Schedule::range(20, 30)),
+            (Schedule::range(5, 5), Schedule::range(0, 10)),
+        ];
+        for (a, b) in cases {
+            check_ops(&a, &b);
+            check_ops(&b, &a);
+        }
+    }
+
+    #[test]
+    fn strided_strided_ops_exhaustive_small() {
+        for m1 in 1..=6i64 {
+            for r1 in 0..m1 {
+                for m2 in 1..=6i64 {
+                    for r2 in 0..m2 {
+                        let a = Schedule::Strided { start: r1, step: m1, count: 40 / m1 };
+                        let b = Schedule::Strided { start: r2, step: m2, count: 40 / m2 };
+                        check_ops(&a, &b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_strided_mixed() {
+        let r = Schedule::range(3, 57);
+        let s = Schedule::Strided { start: 1, step: 4, count: 20 };
+        check_ops(&r, &s);
+        check_ops(&s, &r);
+    }
+
+    #[test]
+    fn concat_distribution() {
+        let a = Schedule::concat(vec![Schedule::range(0, 9), Schedule::range(20, 29)]);
+        let b = Schedule::Strided { start: 0, step: 3, count: 20 };
+        check_ops(&a, &b);
+        check_ops(&b, &a);
+    }
+
+    #[test]
+    fn non_arithmetic_gives_none() {
+        let g = Schedule::Guarded {
+            imin: 0,
+            imax: 9,
+            proc_of_f: Fn1::identity(),
+            p: 0,
+        };
+        assert!(intersect(&g, &Schedule::range(0, 5)).is_none());
+        assert!(subtract(&Schedule::range(0, 5), &g).is_none());
+        // empty short-circuits still work
+        assert!(matches!(
+            intersect(&g, &Schedule::Empty).unwrap(),
+            Schedule::Empty
+        ));
+    }
+
+    #[test]
+    fn comm_sets_match_template_classification() {
+        // A block-owned write with a scatter-resident read: the real
+        // Modify/Reside schedules from the optimizer.
+        let n = 64i64;
+        let dec_a = Decomp1::block(4, Bounds::range(0, n - 1));
+        let dec_b = Decomp1::scatter(4, Bounds::range(0, n - 1));
+        for p in 0..4 {
+            let modify = crate::optimizer::optimize(&Fn1::identity(), &dec_a, 0, n - 1, p);
+            let reside = crate::optimizer::optimize(&Fn1::identity(), &dec_b, 0, n - 1, p);
+            let cs = comm_sets(&modify.schedule, &reside.schedule)
+                .expect("both schedules arithmetic");
+            for i in 0..n {
+                let modifies = dec_a.proc_of(i) == p;
+                let resides = dec_b.proc_of(i) == p;
+                let in_send = cs.send.to_sorted_vec().contains(&i);
+                let in_recv = cs.receive.to_sorted_vec().contains(&i);
+                let in_local = cs.local.to_sorted_vec().contains(&i);
+                assert_eq!(in_send, resides && !modifies, "send p={p} i={i}");
+                assert_eq!(in_recv, modifies && !resides, "recv p={p} i={i}");
+                assert_eq!(in_local, modifies && resides, "local p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_explosion_is_bounded() {
+        // subtracting a lattice with a huge lcm expansion must bail out
+        let a = Schedule::Strided { start: 0, step: 1, count: 10_000 };
+        let b = Schedule::Strided { start: 0, step: 101, count: 99 };
+        assert!(subtract(&a, &b).is_none(), "101 classes should exceed the cap");
+        // but a small expansion succeeds
+        let b2 = Schedule::Strided { start: 0, step: 7, count: 1000 };
+        assert!(subtract(&a, &b2).is_some());
+    }
+}

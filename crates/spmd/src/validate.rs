@@ -1,0 +1,125 @@
+//! Brute-force oracles for schedules and plans.
+//!
+//! Every closed-form schedule must enumerate *exactly*
+//! `{ i ∈ [imin, imax] | proc(f(i)) = p }`; these checkers are used by the
+//! unit tests, the property tests, and (cheaply, on small sizes) by the
+//! benches before timing anything.
+
+use crate::optimizer::Optimized;
+use crate::program::SpmdPlan;
+use crate::schedule::Schedule;
+use vcal_core::func::Fn1;
+use vcal_decomp::Decomp1;
+
+/// The brute-force membership set `{ i | proc(f(i)) = p }`.
+pub fn brute_modify(f: &Fn1, dec: &Decomp1, imin: i64, imax: i64, p: i64) -> Vec<i64> {
+    (imin..=imax).filter(|&i| dec.proc_of(f.eval(i)) == p).collect()
+}
+
+/// Check that a schedule enumerates the brute-force set exactly (as a
+/// set — `RepeatedScatter` emits in `t`-major order).
+pub fn check_schedule(
+    schedule: &Schedule,
+    f: &Fn1,
+    dec: &Decomp1,
+    imin: i64,
+    imax: i64,
+    p: i64,
+) -> Result<(), String> {
+    let got = schedule.to_sorted_vec();
+    let want = brute_modify(f, dec, imin, imax, p);
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!(
+            "schedule {} for p={p} f={f:?} dec={dec}: got {} elements, want {}\n  got[..10]:  {:?}\n  want[..10]: {:?}",
+            schedule.kind_name(),
+            got.len(),
+            want.len(),
+            &got[..got.len().min(10)],
+            &want[..want.len().min(10)],
+        ))
+    }
+}
+
+/// Check an [`Optimized`] schedule.
+pub fn check_optimized(
+    opt: &Optimized,
+    f: &Fn1,
+    dec: &Decomp1,
+    imin: i64,
+    imax: i64,
+    p: i64,
+) -> Result<(), String> {
+    check_schedule(&opt.schedule, f, dec, imin, imax, p)
+        .map_err(|e| format!("[{}] {e}", opt.kind.name()))
+}
+
+/// Check that the Modify schedules of a plan form an exact partition of
+/// the loop range.
+pub fn check_plan_partition(plan: &SpmdPlan) -> Result<(), String> {
+    let (imin, imax) = plan.loop_bounds;
+    let n = (imax - imin + 1).max(0) as usize;
+    let mut seen = vec![0u32; n];
+    for node in &plan.nodes {
+        node.modify.schedule.for_each(|i| {
+            if i < imin || i > imax {
+                panic!("schedule of p={} emitted out-of-range index {i}", node.p);
+            }
+            seen[(i - imin) as usize] += 1;
+        });
+    }
+    for (off, &c) in seen.iter().enumerate() {
+        if c != 1 {
+            return Err(format!(
+                "iteration {} owned by {c} processors (expected exactly 1)",
+                imin + off as i64
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use vcal_core::Bounds;
+
+    #[test]
+    fn check_schedule_accepts_correct() {
+        let dec = Decomp1::scatter(4, Bounds::range(0, 99));
+        let f = Fn1::affine(3, 1);
+        for p in 0..4 {
+            let opt = optimize(&f, &dec, 0, 32, p);
+            check_optimized(&opt, &f, &dec, 0, 32, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_schedule_rejects_wrong() {
+        let dec = Decomp1::scatter(4, Bounds::range(0, 99));
+        let f = Fn1::identity();
+        // deliberately wrong schedule
+        let s = Schedule::range(0, 3);
+        let err = check_schedule(&s, &f, &dec, 0, 99, 0).unwrap_err();
+        assert!(err.contains("range"), "{err}");
+    }
+
+    #[test]
+    fn partition_check() {
+        use crate::program::{DecompMap, SpmdPlan};
+        use vcal_core::{ArrayRef, Clause, Expr, Guard, IndexSet, Ordering};
+        let clause = Clause {
+            iter: IndexSet::range(0, 63),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Lit(1.0),
+        };
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block_scatter(3, 4, Bounds::range(0, 63)));
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        check_plan_partition(&plan).unwrap();
+    }
+}

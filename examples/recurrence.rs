@@ -1,0 +1,89 @@
+//! Domain example 6 — a sequential recurrence executed as a DOACROSS
+//! pipeline.
+//!
+//! The paper notes that non-trivial orderings of the SPMD form yield
+//! "DOACROSS-style synchronization patterns" (Section 2.6). For a
+//! forward recurrence `A[i] := A[i-d] + B[i]` (`•` ordering — the
+//! front-end infers it automatically from the carried dependence), a
+//! block decomposition lets processor `p` start as soon as the last `d`
+//! values of processor `p-1` arrive: a software pipeline with exactly
+//! `d` boundary messages per processor pair.
+//!
+//! Run with: `cargo run --example recurrence`
+
+use std::collections::BTreeMap;
+use vcal_suite::core::{Array, Bounds, Env};
+use vcal_suite::decomp::Decomp1;
+use vcal_suite::lang;
+use vcal_suite::machine::{carried_distances, run_doacross, DistArray};
+
+fn main() {
+    let n: i64 = 4096;
+    let pmax = 8;
+
+    // prefix-sum-flavoured recurrence; the translator infers `•`
+    let src = "for i := 1 to 4095 do A[i] := A[i-1] + B[i]; od;";
+    let clause = lang::compile(src).expect("compiles")[0].clone();
+    println!("source:\n{src}\n");
+    println!("V-cal (note the sequential ordering \u{2022}):\n  {}\n", lang::to_vcal(&clause));
+    println!("carried distances: {:?}\n", carried_distances(&clause).unwrap());
+
+    let mut env = Env::new();
+    env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
+    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| ((i.scalar() % 10) + 1) as f64));
+
+    // sequential reference
+    let mut reference = env.clone();
+    reference.exec_clause(&clause);
+
+    // DOACROSS pipeline over block-decomposed arrays
+    let dec = Decomp1::block(pmax, Bounds::range(0, n - 1));
+    let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+    for name in ["A", "B"] {
+        arrays.insert(
+            name.into(),
+            DistArray::scatter_from(env.get(name).unwrap(), dec.clone()),
+        );
+    }
+    let report = run_doacross(&clause, &mut arrays).expect("pipeline");
+    let diff = arrays["A"].gather().max_abs_diff(reference.get("A").unwrap());
+    assert_eq!(diff, 0.0, "pipeline result differs");
+
+    println!("DOACROSS pipeline over {pmax} processors:");
+    println!("  iterations executed: {}", report.total().iterations);
+    println!(
+        "  boundary messages:   {} (exactly d = 1 per processor pair)",
+        report.total().msgs_received
+    );
+    println!("  result identical to the sequential loop.");
+    println!();
+    println!(
+        "pipeline intuition: each node's {} iterations overlap with its\n\
+         successor's after a startup delay of d values — wall-clock approaches\n\
+         (n + pmax*d)/pmax instead of n for large n.",
+        n / pmax
+    );
+
+    // higher-order recurrence: d = 3
+    let src3 = "for i := 3 to 4095 do A[i] := A[i-3] + B[i]; od;";
+    let clause3 = lang::compile(src3).expect("compiles")[0].clone();
+    let mut arrays3: BTreeMap<String, DistArray> = BTreeMap::new();
+    for name in ["A", "B"] {
+        arrays3.insert(
+            name.into(),
+            DistArray::scatter_from(env.get(name).unwrap(), dec.clone()),
+        );
+    }
+    let mut reference3 = env.clone();
+    reference3.exec_clause(&clause3);
+    let report3 = run_doacross(&clause3, &mut arrays3).expect("pipeline d=3");
+    assert_eq!(
+        arrays3["A"].gather().max_abs_diff(reference3.get("A").unwrap()),
+        0.0
+    );
+    println!(
+        "\nthird-order recurrence (d = 3): verified, {} boundary messages \
+         (3 per pair).",
+        report3.total().msgs_received
+    );
+}

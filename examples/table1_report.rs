@@ -1,0 +1,81 @@
+//! Regenerates the paper's **Table I** as a live classification report:
+//! for every access-function row and decomposition column, which theorem
+//! the optimizer fires, the resulting schedule shape for a sample
+//! processor, and the work reduction against the naive membership test.
+//!
+//! Run with: `cargo run --example table1_report`
+
+use vcal_suite::core::func::Fn1;
+use vcal_suite::core::Bounds;
+use vcal_suite::decomp::Decomp1;
+use vcal_suite::spmd::{emit, naive_schedule, optimize};
+
+fn main() {
+    let n: i64 = 4096;
+    let pmax = 8;
+    let p = 1;
+
+    let rows: Vec<(&str, Fn1, i64, i64)> = vec![
+        ("c", Fn1::Const(n / 2), 0, n - 1),
+        ("i+c", Fn1::shift(3), 0, n - 4),
+        ("a*i+c (pmax mod a=0)", Fn1::affine(2, 1), 0, (n - 2) / 2),
+        ("a*i+c (a mod pmax=0)", Fn1::affine(8, 1), 0, (n - 2) / 8),
+        ("a*i+c (general)", Fn1::affine(3, 1), 0, (n - 2) / 3),
+        ("monotonic: i+(i div 4)", Fn1::i_plus_i_div(4), 0, (n - 1) * 4 / 5),
+        ("piecewise: (i+c) mod z", Fn1::rotate(n / 3, n), 0, n - 1),
+    ];
+    let cols: Vec<(&str, Decomp1)> = vec![
+        ("Block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
+        ("Scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
+        ("BS(4)", Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1))),
+    ];
+
+    println!(
+        "Table I, regenerated (n = {n}, pmax = {pmax}, shown for p = {p}):\n"
+    );
+    println!(
+        "{:<26} {:<9} {:<26} {:>8} {:>8} {:>7}",
+        "f(i)", "layout", "optimization", "naive", "closed", "ratio"
+    );
+    println!("{}", "-".repeat(88));
+    for (fname, f, imin, imax) in &rows {
+        for (dname, dec) in &cols {
+            let opt = optimize(f, dec, *imin, *imax, p);
+            let naive = naive_schedule(f, dec, *imin, *imax, p);
+            // exactness check before reporting
+            assert_eq!(
+                opt.schedule.to_sorted_vec(),
+                naive.to_sorted_vec(),
+                "{fname}/{dname}"
+            );
+            let (nw, cw) = (naive.work_estimate(), opt.schedule.work_estimate());
+            println!(
+                "{:<26} {:<9} {:<26} {:>8} {:>8} {:>7.1}",
+                fname,
+                dname,
+                opt.kind.name(),
+                nw,
+                cw,
+                nw as f64 / cw.max(1) as f64
+            );
+        }
+        println!();
+    }
+
+    // show one generated loop per interesting kind
+    println!("{}", "=".repeat(88));
+    println!("\ngenerated loops (p = {p}):\n");
+    for (fname, f, imin, imax) in [
+        ("a*i+c (general)", Fn1::affine(3, 1), 0, (n - 2) / 3),
+        ("monotonic under BS(4)", Fn1::i_plus_i_div(4), 0, (n - 1) * 4 / 5),
+    ] {
+        let dec = if fname.contains("BS") {
+            Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1))
+        } else {
+            Decomp1::scatter(pmax, Bounds::range(0, n - 1))
+        };
+        let opt = optimize(&f, &dec, imin, imax, p);
+        println!("f(i) = {fname} under {dec}:");
+        println!("{}", emit::emit_optimized(&opt, "i", "  A'[p, local(f(i))] := ...;\n"));
+    }
+}

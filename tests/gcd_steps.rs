@@ -1,0 +1,89 @@
+//! E6 — Section 4's run-time cost claims for the extended Euclid
+//! algorithm, checked statistically:
+//!
+//! * worst case never exceeds `4.8 * log10(N) - 0.32` steps (Knuth);
+//! * the average is below `1.9504 * log10(n)`;
+//! * for realistic strides `a <= 7` the maximum is 5 steps and the
+//!   average about 2.65.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcal_suite::numth::euclid::{ext_gcd, gcd_steps};
+
+#[test]
+fn worst_case_bound_random_pairs() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..20_000 {
+        let a: i64 = rng.gen_range(1..1_000_000_000);
+        let b: i64 = rng.gen_range(1..1_000_000_000);
+        let (_, steps) = gcd_steps(a, b);
+        let n = a.max(b) as f64;
+        let bound = 4.8 * n.log10() - 0.32;
+        assert!(
+            (steps as f64) <= bound,
+            "gcd({a},{b}) took {steps} steps > bound {bound:.2}"
+        );
+    }
+}
+
+#[test]
+fn average_matches_knuth() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut total_steps = 0u64;
+    let mut total_bound = 0.0f64;
+    let trials = 50_000;
+    for _ in 0..trials {
+        let a: i64 = rng.gen_range(1..100_000);
+        let b: i64 = rng.gen_range(1..100_000);
+        let (_, steps) = gcd_steps(a, b);
+        total_steps += steps as u64;
+        total_bound += 1.9504 * (a.max(b) as f64).log10();
+    }
+    let avg = total_steps as f64 / trials as f64;
+    let bound = total_bound / trials as f64;
+    // Knuth's average is for gcd(n, m) with m uniform; random pairs come
+    // in slightly under the bound
+    assert!(
+        avg <= bound * 1.05,
+        "average {avg:.3} exceeds Knuth average bound {bound:.3}"
+    );
+}
+
+#[test]
+fn small_strides_match_paper_numbers() {
+    // "suppose a <= 7, then the maximal number of steps is 5 and the
+    // average number of steps is ~2.65"
+    let mut max_steps = 0u32;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for a in 1..=7i64 {
+        for pmax in 2..=1024i64 {
+            let (_, s) = gcd_steps(pmax, a); // reduce to args <= a first
+            max_steps = max_steps.max(s);
+            total += s as u64;
+            count += 1;
+        }
+    }
+    assert!(max_steps <= 5, "max steps {max_steps} > 5");
+    let avg = total as f64 / count as f64;
+    assert!(
+        (1.5..=3.2).contains(&avg),
+        "average {avg:.3} outside the paper's ~2.65 neighbourhood"
+    );
+}
+
+#[test]
+fn bezout_holds_for_large_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10_000 {
+        let a: i64 = rng.gen_range(-1_000_000..1_000_000);
+        let b: i64 = rng.gen_range(-1_000_000..1_000_000);
+        let e = ext_gcd(a, b);
+        assert_eq!(a * e.x + b * e.y, e.g, "({a},{b})");
+        if a != 0 || b != 0 {
+            assert!(e.g > 0);
+            assert_eq!(a % e.g, 0);
+            assert_eq!(b % e.g, 0);
+        }
+    }
+}

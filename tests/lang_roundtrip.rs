@@ -1,0 +1,114 @@
+//! Front-end round-trip properties: pretty-printed programs re-parse and
+//! re-translate to semantically identical clauses, for randomized ASTs
+//! drawn from the supported grammar.
+
+use proptest::prelude::*;
+use vcal_suite::core::{Array, Bounds, Env};
+use vcal_suite::lang::{self, ARef, IdxExpr, RelOp, Stmt, ValExpr};
+
+fn arb_idx() -> impl Strategy<Value = IdxExpr> {
+    // subscripts over the loop variable "i", staying in the supported
+    // classes (single variable, positive mod/div)
+    prop_oneof![
+        (0i64..8).prop_map(IdxExpr::Num),
+        Just(IdxExpr::Var("i".into())),
+        (1i64..5).prop_map(|k| IdxExpr::Scale(k, Box::new(IdxExpr::Var("i".into())))),
+        (1i64..5, 0i64..6).prop_map(|(k, c)| IdxExpr::Add(
+            Box::new(IdxExpr::Scale(k, Box::new(IdxExpr::Var("i".into())))),
+            Box::new(IdxExpr::Num(c)),
+        )),
+        (1i64..8, 2i64..30).prop_map(|(s, z)| IdxExpr::Mod(
+            Box::new(IdxExpr::Add(
+                Box::new(IdxExpr::Var("i".into())),
+                Box::new(IdxExpr::Num(s)),
+            )),
+            z,
+        )),
+        (2i64..6).prop_map(|q| IdxExpr::Div(Box::new(IdxExpr::Var("i".into())), q)),
+    ]
+}
+
+fn arb_val() -> impl Strategy<Value = ValExpr> {
+    let leaf = prop_oneof![
+        (0..100i64).prop_map(|n| ValExpr::Num(n as f64 / 4.0)),
+        Just(ValExpr::Var("i".into())),
+        arb_idx().prop_map(|ix| ValExpr::Ref(ARef::d1("B", ix))),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ValExpr::Add(
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ValExpr::Mul(
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner).prop_map(|(a, b)| ValExpr::Sub(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    (
+        0i64..4,
+        10i64..30,
+        arb_idx(),
+        arb_val(),
+        proptest::option::of((arb_idx(), (0..50i64).prop_map(|n| n as f64))),
+    )
+        .prop_map(|(lo, hi, lhs_ix, rhs, guard)| {
+            let assign = Stmt::Assign { lhs: ARef::d1("A", lhs_ix), rhs };
+            let body = match guard {
+                Some((gix, grhs)) => vec![Stmt::If {
+                    lhs: ARef::d1("B", gix),
+                    op: RelOp::Gt,
+                    rhs: grhs,
+                    body: vec![assign],
+                }],
+                None => vec![assign],
+            };
+            Stmt::For { var: "i".into(), lo, hi, body }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn print_parse_print_is_fixpoint(stmt in arb_stmt()) {
+        let text = stmt.to_string();
+        let reparsed = lang::parse(&text)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{text}"));
+        prop_assert_eq!(reparsed.len(), 1);
+        let text2 = reparsed[0].to_string();
+        prop_assert_eq!(&text, &text2, "printing is not a fixpoint");
+    }
+
+    #[test]
+    fn reparsed_clause_executes_identically(stmt in arb_stmt()) {
+        // translate both the original AST and its printed-and-reparsed
+        // sibling; execution over the same data must agree.
+        let c1 = match lang::translate(&stmt) {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // e.g. non-injective writes rejected later
+        };
+        let text = stmt.to_string();
+        let c2 = lang::translate(&lang::parse(&text).unwrap()[0]).unwrap();
+
+        // domain big enough for all generated subscripts: f(i) for
+        // i <= 29 stays under 5*29+6 = 151; mods stay under 30.
+        let n = 256i64;
+        let mut env = Env::new();
+        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| -(i.scalar() as f64)));
+        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 23) as f64));
+        let mut e1 = env.clone();
+        let mut e2 = env;
+        e1.exec_clause(&c1);
+        e2.exec_clause(&c2);
+        prop_assert_eq!(
+            e1.get("A").unwrap().max_abs_diff(e2.get("A").unwrap()),
+            0.0
+        );
+    }
+}

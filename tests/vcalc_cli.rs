@@ -1,0 +1,147 @@
+//! End-to-end tests of the `vcalc` compiler driver binary.
+
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("vcalc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn vcalc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vcalc"))
+        .args(args)
+        .output()
+        .expect("vcalc binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const PROGRAM: &str = "for i := 1 to 62 do if A[i] > 0 then A[i] := B[i+1] * 0.5; fi; od;";
+const SPEC: &str = "processors 4;\narray A[0 to 63] block;\narray B[0 to 63] scatter;\n";
+
+#[test]
+fn compile_and_report() {
+    let p = write_temp("prog1.vc", PROGRAM);
+    let s = write_temp("spec1.dspec", SPEC);
+    let (ok, stdout, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("\u{2206}(i \u{2208} (1:62 | [i]A>0))"), "{stdout}");
+    assert!(stdout.contains("SPMD plan: 4 nodes"), "{stdout}");
+    assert!(stdout.contains("block-affine-range"), "{stdout}");
+}
+
+#[test]
+fn run_verifies_against_reference() {
+    let p = write_temp("prog2.vc", PROGRAM);
+    let s = write_temp("spec2.dspec", SPEC);
+    let (ok, stdout, stderr) =
+        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--run"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("run: OK"), "{stdout}");
+    assert!(stdout.contains("identical to the sequential reference"), "{stdout}");
+}
+
+#[test]
+fn naive_and_closed_plans_report_different_schedules() {
+    let p = write_temp("prog3.vc", PROGRAM);
+    let s = write_temp("spec3.dspec", SPEC);
+    let (_, optimized, _) =
+        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--emit", "plan"]);
+    let (_, naive, _) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--emit",
+        "plan",
+        "--naive",
+    ]);
+    assert!(optimized.contains("block-affine-range"), "{optimized}");
+    assert!(naive.contains("naive-guard"), "{naive}");
+}
+
+#[test]
+fn emit_distributed_templates() {
+    let p = write_temp("prog4.vc", PROGRAM);
+    let s = write_temp("spec4.dspec", SPEC);
+    let (ok, stdout, _) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--emit",
+        "dist-closed",
+        "--node",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("closed-form send set"), "{stdout}");
+    assert!(stdout.contains("send("), "{stdout}");
+}
+
+#[test]
+fn derivation_emits_equation_chain() {
+    let p = write_temp("prog7.vc", PROGRAM);
+    let s = write_temp("spec8.dspec", SPEC);
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--emit",
+        "derivation",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Eq.(1)"), "{stdout}");
+    assert!(stdout.contains("Eq.(2)"), "{stdout}");
+    assert!(stdout.contains("Eq.(3)"), "{stdout}");
+    assert!(stdout.contains("contraction, Def. 5"), "{stdout}");
+    assert!(stdout.contains("renaming + interchange"), "{stdout}");
+}
+
+#[test]
+fn advisor_ranks_layouts() {
+    let p = write_temp("prog8.vc", "for i := 1 to 62 do V[i] := U[i-1] + U[i+1]; od;");
+    let s = write_temp(
+        "spec9.dspec",
+        "processors 4;\narray U[0 to 63] scatter;\narray V[0 to 63] scatter;\n",
+    );
+    let (ok, stdout, stderr) =
+        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--advise"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("decomposition advisor"), "{stdout}");
+    // for a stencil the top-ranked assignment must be Block/Block,
+    // regardless of the (scatter) spec supplied
+    let first = stdout
+        .lines()
+        .skip_while(|l| !l.contains("advisor"))
+        .nth(1)
+        .unwrap_or("");
+    assert!(first.contains("U: Block"), "top candidate: {first}\n{stdout}");
+    assert!(first.contains("V: Block"), "top candidate: {first}\n{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let p = write_temp("prog5.vc", "for i := 1 to");
+    let s = write_temp("spec5.dspec", SPEC);
+    let (ok, _, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("vcalc:"), "{stderr}");
+
+    let p = write_temp("prog6.vc", PROGRAM);
+    let s = write_temp("spec6.dspec", "processors 4;\narray A[0 to 63] wavy;\n");
+    let (ok, _, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("wavy"), "{stderr}");
+
+    // missing array in spec surfaces at plan time
+    let s = write_temp("spec7.dspec", "processors 4;\narray A[0 to 63] block;\n");
+    let (ok, _, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("B"), "{stderr}");
+
+    let (ok, _, stderr) = vcalc(&["only-one-arg"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
