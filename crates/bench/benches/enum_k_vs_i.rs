@@ -31,7 +31,10 @@ fn bench_enum(c: &mut Criterion) {
             0,
             imax,
             p,
-            OptOptions { prefer_repeated_scatter: true, scatter_enum_k: true },
+            OptOptions {
+                prefer_repeated_scatter: true,
+                scatter_enum_k: true,
+            },
         );
         assert!(
             matches!(on_k.schedule, Schedule::RepeatedScatter { .. }),
@@ -68,7 +71,10 @@ fn bench_enum(c: &mut Criterion) {
     }
 
     eprintln!("\nSection 3.2 — enumerate-on-k vs enumerate-on-i (static work):");
-    eprintln!("{:<48} {:>10} {:>10} {:>8}", "case", "on-i", "on-k", "ratio");
+    eprintln!(
+        "{:<48} {:>10} {:>10} {:>8}",
+        "case", "on-i", "on-k", "ratio"
+    );
     for r in &rows {
         eprintln!(
             "{:<48} {:>10} {:>10} {:>8.1}",

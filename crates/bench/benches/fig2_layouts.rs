@@ -34,7 +34,9 @@ fn bench_layouts(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0i64;
                 for i in (0..n).step_by(17) {
-                    acc = acc.wrapping_add(dec.proc_of(i)).wrapping_add(dec.local_of(i));
+                    acc = acc
+                        .wrapping_add(dec.proc_of(i))
+                        .wrapping_add(dec.local_of(i));
                 }
                 black_box(acc)
             })

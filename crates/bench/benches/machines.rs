@@ -93,20 +93,29 @@ fn bench_distributed(c: &mut Criterion) {
     let mut rows = Vec::new();
 
     eprintln!("\nSection 2.10 — stencil communication by decomposition (n={n}, pmax={pmax}):");
-    eprintln!("{:<10} {:>10} {:>14}", "layout", "messages", "local updates");
+    eprintln!(
+        "{:<10} {:>10} {:>14}",
+        "layout", "messages", "local updates"
+    );
 
     let mut group = c.benchmark_group("machines/distributed_stencil");
     for (name, dec) in [
         ("block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
         ("scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
-        ("bs16", Decomp1::block_scatter(16, pmax, Bounds::range(0, n - 1))),
+        (
+            "bs16",
+            Decomp1::block_scatter(16, pmax, Bounds::range(0, n - 1)),
+        ),
     ] {
         let mut dm = DecompMap::new();
         dm.insert("U".into(), dec.clone());
         dm.insert("V".into(), dec.clone());
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
         let stats = CommStats::of_plan(&plan, &dm);
-        eprintln!("{:<10} {:>10} {:>14}", name, stats.sends, stats.local_updates);
+        eprintln!(
+            "{:<10} {:>10} {:>14}",
+            name, stats.sends, stats.local_updates
+        );
         rows.push(ReportRow::new(
             "distributed_stencil_msgs",
             name.to_string(),
@@ -115,7 +124,10 @@ fn bench_distributed(c: &mut Criterion) {
         ));
 
         let mut env = Env::new();
-        env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert(
+            "U",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
         env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
 
         group.bench_function(name, |b| {
@@ -127,8 +139,8 @@ fn bench_distributed(c: &mut Criterion) {
                         DistArray::scatter_from(env.get(a).unwrap(), dm[a].clone()),
                     );
                 }
-                let r = run_distributed(&plan, &clause, &mut arrays, DistOptions::default())
-                    .unwrap();
+                let r =
+                    run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
                 black_box(r.total().msgs_sent)
             })
         });

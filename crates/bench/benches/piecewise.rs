@@ -22,13 +22,20 @@ fn bench_piecewise(c: &mut Criterion) {
     for (dname, dec) in [
         ("block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
         ("scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
-        ("bs8", Decomp1::block_scatter(8, pmax, Bounds::range(0, n - 1))),
+        (
+            "bs8",
+            Decomp1::block_scatter(8, pmax, Bounds::range(0, n - 1)),
+        ),
     ] {
         let p = 2i64;
         let opt = optimize(&f, &dec, 0, n - 1, p);
         assert_eq!(opt.kind, OptKind::PiecewiseSplit, "{dname}");
         let naive = naive_schedule(&f, &dec, 0, n - 1, p);
-        assert_eq!(opt.schedule.to_sorted_vec(), naive.to_sorted_vec(), "{dname}");
+        assert_eq!(
+            opt.schedule.to_sorted_vec(),
+            naive.to_sorted_vec(),
+            "{dname}"
+        );
 
         let mut group = c.benchmark_group(format!("piecewise/rotate/{dname}"));
         group.bench_function(BenchmarkId::new("naive", dname), |b| {
@@ -56,7 +63,10 @@ fn bench_piecewise(c: &mut Criterion) {
     }
 
     eprintln!("\nSection 3.3 — rotate view (i+{shift}) mod {n} (static work, p=2):");
-    eprintln!("{:<24} {:>10} {:>10} {:>8}", "case", "naive", "split", "ratio");
+    eprintln!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "case", "naive", "split", "ratio"
+    );
     for r in &rows {
         eprintln!(
             "{:<24} {:>10} {:>10} {:>8.1}",

@@ -39,7 +39,10 @@ fn bench_doacross(c: &mut Criterion) {
     let clause = recurrence(n);
     let mut env = Env::new();
     env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 9) as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 9) as f64),
+    );
 
     let mut group = c.benchmark_group("pipelines/doacross");
     group.bench_function("sequential", |b| {
@@ -73,7 +76,10 @@ fn bench_halo_vs_template(c: &mut Criterion) {
     let pmax = 8i64;
     let clause = stencil_clause(n);
     let mut env = Env::new();
-    env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 11) as f64));
+    env.insert(
+        "U",
+        Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 11) as f64),
+    );
     env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
 
     // baseline: plain distributed template, per-element boundary messages
@@ -93,8 +99,7 @@ fn bench_halo_vs_template(c: &mut Criterion) {
                     DistArray::scatter_from(env.get(a).unwrap(), dm[a].clone()),
                 );
             }
-            let r = run_distributed(&plan, &clause, &mut arrays, DistOptions::default())
-                .unwrap();
+            let r = run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
             black_box(r.total().msgs_sent)
         })
     });

@@ -62,8 +62,7 @@ fn bench_redistribution(c: &mut Criterion) {
     eprintln!("{:<20} {:>10} {:>10}", "halo", "messages", "elements");
     for h in [1i64, 2, 8] {
         for pmax in [4i64, 16] {
-            let ov =
-                OverlapDecomp::new(Decomp1::block(pmax, Bounds::range(0, 4095)), h);
+            let ov = OverlapDecomp::new(Decomp1::block(pmax, Bounds::range(0, 4095)), h);
             eprintln!(
                 "{:<20} {:>10} {:>10}",
                 format!("h={h} p={pmax}"),

@@ -44,7 +44,10 @@ fn speedup_tables(c: &mut Criterion) {
     let n: i64 = 1 << 12;
     let clause = stencil_clause(n);
     let mut env = Env::new();
-    env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+    env.insert(
+        "U",
+        Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+    );
     env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
     eprintln!("\nmodeled distributed speedup, stencil of n = {n} (hypercube):");
     eprintln!("{:>6} {:>10} {:>10}", "pmax", "block", "scatter");

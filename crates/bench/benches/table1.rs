@@ -38,16 +38,13 @@ fn bench_table1(c: &mut Criterion) {
                     black_box(acc)
                 })
             });
-            group.bench_function(
-                BenchmarkId::new(opt.kind.name(), pmax),
-                |b| {
-                    b.iter(|| {
-                        let mut acc = 0i64;
-                        opt.schedule.for_each(|i| acc = acc.wrapping_add(i));
-                        black_box(acc)
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(opt.kind.name(), pmax), |b| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    opt.schedule.for_each(|i| acc = acc.wrapping_add(i));
+                    black_box(acc)
+                })
+            });
             group.finish();
 
             rows.push(ReportRow::new(
@@ -61,7 +58,10 @@ fn bench_table1(c: &mut Criterion) {
 
     // static work summary (the paper's complexity argument, exactly)
     eprintln!("\nTable I static work (tests+visits) for p=1, n={n}, pmax={pmax}:");
-    eprintln!("{:<40} {:>10} {:>10} {:>8}", "cell", "naive", "closed", "ratio");
+    eprintln!(
+        "{:<40} {:>10} {:>10} {:>8}",
+        "cell", "naive", "closed", "ratio"
+    );
     for r in &rows {
         eprintln!(
             "{:<40} {:>10} {:>10} {:>8.1}",

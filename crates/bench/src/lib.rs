@@ -8,7 +8,6 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use vcal_core::func::Fn1;
 use vcal_core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
 use vcal_decomp::Decomp1;
@@ -70,7 +69,10 @@ pub fn stencil_clause(n: i64) -> Clause {
 pub fn env_ab(n: i64, m: i64) -> Env {
     let mut env = Env::new();
     env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-    env.insert("B", Array::from_fn(Bounds::range(0, m - 1), |i| i.scalar() as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, m - 1), |i| i.scalar() as f64),
+    );
     env
 }
 
@@ -83,7 +85,7 @@ pub fn decomps_ab(dec_a: Decomp1, dec_b: Decomp1) -> DecompMap {
 }
 
 /// One measured row of an experiment, for the JSON report.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ReportRow {
     /// Experiment id (e.g. "table1").
     pub experiment: &'static str,
@@ -105,19 +107,63 @@ impl ReportRow {
             label,
             baseline,
             optimized,
-            speedup: if optimized > 0.0 { baseline / optimized } else { f64::INFINITY },
+            speedup: if optimized > 0.0 {
+                baseline / optimized
+            } else {
+                f64::INFINITY
+            },
         }
     }
 }
 
-/// Append rows to `target/vcal-reports/<experiment>.json`.
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as JSON (infinities and NaN are not representable in
+/// JSON numbers; emit them as strings so reports stay parseable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+/// Append rows to `target/vcal-reports/<experiment>.json` (hand-rolled
+/// JSON — the offline build has no serde).
 pub fn write_report(experiment: &str, rows: &[ReportRow]) {
     let dir = std::path::Path::new("target").join("vcal-reports");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{experiment}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(rows) {
-        let _ = std::fs::write(&path, json);
+    let mut json = String::from("[\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\n    \"experiment\": \"{}\",\n    \"label\": \"{}\",\n    \
+             \"baseline\": {},\n    \"optimized\": {},\n    \"speedup\": {}\n  }}{}\n",
+            json_escape(r.experiment),
+            json_escape(&r.label),
+            json_f64(r.baseline),
+            json_f64(r.optimized),
+            json_f64(r.speedup),
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
     }
+    json.push(']');
+    let _ = std::fs::write(&path, json);
 }
 
 #[cfg(test)]

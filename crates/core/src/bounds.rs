@@ -29,13 +29,19 @@ impl Bounds {
     /// 1-D range `lo:hi` (inclusive, paper notation).
     #[inline]
     pub fn range(lo: i64, hi: i64) -> Self {
-        Bounds { lo: Ix::d1(lo), hi: Ix::d1(hi) }
+        Bounds {
+            lo: Ix::d1(lo),
+            hi: Ix::d1(hi),
+        }
     }
 
     /// 2-D box `(lo0:hi0) x (lo1:hi1)`.
     #[inline]
     pub fn range2(lo0: i64, hi0: i64, lo1: i64, hi1: i64) -> Self {
-        Bounds { lo: Ix::d2(lo0, lo1), hi: Ix::d2(hi0, hi1) }
+        Bounds {
+            lo: Ix::d2(lo0, lo1),
+            hi: Ix::d2(hi0, hi1),
+        }
     }
 
     /// The canonical empty 1-D bounded set `(0 : -1)` used by the paper's
@@ -102,10 +108,14 @@ impl Bounds {
     pub fn intersect(&self, other: &Bounds) -> Bounds {
         assert_eq!(self.dims(), other.dims(), "intersect: dimension mismatch");
         let lo = Ix::new(
-            &(0..self.dims()).map(|d| self.lo[d].max(other.lo[d])).collect::<Vec<_>>(),
+            &(0..self.dims())
+                .map(|d| self.lo[d].max(other.lo[d]))
+                .collect::<Vec<_>>(),
         );
         let hi = Ix::new(
-            &(0..self.dims()).map(|d| self.hi[d].min(other.hi[d])).collect::<Vec<_>>(),
+            &(0..self.dims())
+                .map(|d| self.hi[d].min(other.hi[d]))
+                .collect::<Vec<_>>(),
         );
         Bounds { lo, hi }
     }
@@ -121,12 +131,18 @@ impl Bounds {
 
     /// Translate the whole box by `offset`.
     pub fn translate(&self, offset: &Ix) -> Bounds {
-        Bounds { lo: self.lo.add(offset), hi: self.hi.add(offset) }
+        Bounds {
+            lo: self.lo.add(offset),
+            hi: self.hi.add(offset),
+        }
     }
 
     /// Iterate all points in lexicographic (row-major) order.
     pub fn iter(&self) -> BoundsIter {
-        BoundsIter { bounds: *self, next: if self.is_empty() { None } else { Some(self.lo) } }
+        BoundsIter {
+            bounds: *self,
+            next: if self.is_empty() { None } else { Some(self.lo) },
+        }
     }
 
     /// Row-major linear offset of `i` within the box (for array storage).
@@ -240,7 +256,9 @@ mod tests {
         let v = Bounds::range(0, 1);
         assert_eq!(v.intersect(&b), Bounds::range(0, 1));
         // disjoint -> empty
-        assert!(Bounds::range(0, 3).intersect(&Bounds::range(5, 9)).is_empty());
+        assert!(Bounds::range(0, 3)
+            .intersect(&Bounds::range(5, 9))
+            .is_empty());
     }
 
     #[test]

@@ -46,12 +46,18 @@ pub struct ArrayRef {
 impl ArrayRef {
     /// Build a reference.
     pub fn new(array: impl Into<String>, map: IndexMap) -> Self {
-        ArrayRef { array: array.into(), map }
+        ArrayRef {
+            array: array.into(),
+            map,
+        }
     }
 
     /// 1-D convenience.
     pub fn d1(array: impl Into<String>, f: crate::func::Fn1) -> Self {
-        ArrayRef { array: array.into(), map: IndexMap::d1(f) }
+        ArrayRef {
+            array: array.into(),
+            map: IndexMap::d1(f),
+        }
     }
 }
 
@@ -265,7 +271,13 @@ pub struct Reduction {
 
 impl fmt::Display for Reduction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(i \u{2208} {}) {}", self.op.name(), self.iter.bounds, self.expr)
+        write!(
+            f,
+            "{}(i \u{2208} {}) {}",
+            self.op.name(),
+            self.iter.bounds,
+            self.expr
+        )
     }
 }
 
@@ -310,7 +322,13 @@ impl fmt::Display for Clause {
         if !self.iter.pred.is_true() {
             write!(f, " | {}", self.iter.pred)?;
         }
-        write!(f, ") {} ({} := {})", self.ordering.symbol(), self.lhs, self.rhs)
+        write!(
+            f,
+            ") {} ({} := {})",
+            self.ordering.symbol(),
+            self.lhs,
+            self.rhs
+        )
     }
 }
 
@@ -360,7 +378,10 @@ mod tests {
 
     #[test]
     fn expr_display_and_eval_helpers() {
-        let e = Expr::add(Expr::Lit(1.0), Expr::mul(Expr::Lit(2.0), Expr::LoopVar { dim: 0 }));
+        let e = Expr::add(
+            Expr::Lit(1.0),
+            Expr::mul(Expr::Lit(2.0), Expr::LoopVar { dim: 0 }),
+        );
         assert_eq!(e.to_string(), "(1 + (2 * i))");
         assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
         assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);

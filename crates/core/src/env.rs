@@ -21,7 +21,10 @@ pub struct Array {
 impl Array {
     /// Zero-filled array over `bounds`.
     pub fn zeros(bounds: Bounds) -> Self {
-        Array { bounds, data: vec![0.0; bounds.count() as usize] }
+        Array {
+            bounds,
+            data: vec![0.0; bounds.count() as usize],
+        }
     }
 
     /// Array filled by `f(index)`.
@@ -69,7 +72,10 @@ impl Array {
     /// Largest absolute element-wise difference to another array of the
     /// same bounds.
     pub fn max_abs_diff(&self, other: &Array) -> f64 {
-        assert_eq!(self.bounds, other.bounds, "comparing arrays of different shape");
+        assert_eq!(
+            self.bounds, other.bounds,
+            "comparing arrays of different shape"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -214,8 +220,14 @@ mod tests {
 
     fn env_ab(n: i64) -> Env {
         let mut env = Env::new();
-        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
-        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| (10 * i.scalar()) as f64));
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n - 1), |i| (10 * i.scalar()) as f64),
+        );
         env
     }
 
@@ -272,10 +284,7 @@ mod tests {
             ordering: Ordering::Seq,
             guard: Guard::Always,
             lhs: ArrayRef::d1("A", Fn1::identity()),
-            rhs: Expr::add(
-                Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))),
-                Expr::Lit(1.0),
-            ),
+            rhs: Expr::add(Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))), Expr::Lit(1.0)),
         };
         env.exec_clause(&clause);
         assert_eq!(env.get("A").unwrap().data(), &[5.0, 6.0, 7.0, 8.0]);
@@ -291,10 +300,7 @@ mod tests {
             ordering: Ordering::Par,
             guard: Guard::Always,
             lhs: ArrayRef::d1("A", Fn1::identity()),
-            rhs: Expr::add(
-                Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))),
-                Expr::Lit(1.0),
-            ),
+            rhs: Expr::add(Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))), Expr::Lit(1.0)),
         };
         env.exec_clause(&clause);
         assert_eq!(env.get("A").unwrap().data(), &[5.0, 6.0, 1.0, 1.0]);

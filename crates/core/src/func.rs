@@ -139,7 +139,11 @@ impl Fn1 {
     /// `f(i) = (i+6) mod 20`).
     pub fn rotate(s: i64, z: i64) -> Fn1 {
         assert!(z > 0, "rotate modulus must be positive");
-        Fn1::Mod { inner: Box::new(Fn1::shift(s)), z, d: 0 }
+        Fn1::Mod {
+            inner: Box::new(Fn1::shift(s)),
+            z,
+            d: 0,
+        }
     }
 
     /// `f(i) = i + (i div q)` — the paper's monotone non-linear example.
@@ -147,7 +151,10 @@ impl Fn1 {
         assert!(q > 0);
         Fn1::Sum(
             Box::new(Fn1::identity()),
-            Box::new(Fn1::Div { inner: Box::new(Fn1::identity()), q }),
+            Box::new(Fn1::Div {
+                inner: Box::new(Fn1::identity()),
+                q,
+            }),
         )
     }
 
@@ -182,9 +189,10 @@ impl Fn1 {
             (_, Fn1::Const(c)) => Fn1::Const(self.eval(*c)),
             (Fn1::Affine { a: 1, c: 0 }, g) => g.clone(),
             (f, Fn1::Affine { a: 1, c: 0 }) => f.clone(),
-            (Fn1::Affine { a, c }, Fn1::Affine { a: a2, c: c2 }) => {
-                Fn1::Affine { a: a * a2, c: a * c2 + c }
-            }
+            (Fn1::Affine { a, c }, Fn1::Affine { a: a2, c: c2 }) => Fn1::Affine {
+                a: a * a2,
+                c: a * c2 + c,
+            },
             (Fn1::Affine { a, c }, g) => {
                 // a*g(i) + c = g(i)*a + c; representable as Sum of scaled?
                 // Only a=1 scaling is directly representable; encode
@@ -197,20 +205,32 @@ impl Fn1 {
                     // Mod/Div-free fallback: Square is not applicable, so
                     // wrap as ScaledSum via repeated doubling is overkill.
                     // Retain a dedicated node instead.
-                    Fn1::Scaled { a: *a, c: *c, inner: Box::new(g.clone()) }
+                    Fn1::Scaled {
+                        a: *a,
+                        c: *c,
+                        inner: Box::new(g.clone()),
+                    }
                 }
             }
-            (Fn1::Mod { inner: g, z, d }, h) => {
-                Fn1::Mod { inner: Box::new(g.compose(h)), z: *z, d: *d }
-            }
-            (Fn1::Div { inner: g, q }, h) => Fn1::Div { inner: Box::new(g.compose(h)), q: *q },
+            (Fn1::Mod { inner: g, z, d }, h) => Fn1::Mod {
+                inner: Box::new(g.compose(h)),
+                z: *z,
+                d: *d,
+            },
+            (Fn1::Div { inner: g, q }, h) => Fn1::Div {
+                inner: Box::new(g.compose(h)),
+                q: *q,
+            },
             (Fn1::Sum(l, r), h) => {
                 Fn1::Sum(Box::new(l.compose(h)), Box::new(r.compose(h))).simplify()
             }
             (Fn1::Square(g), h) => Fn1::Square(Box::new(g.compose(h))),
-            (Fn1::Scaled { a, c, inner: g }, h) => {
-                Fn1::Scaled { a: *a, c: *c, inner: Box::new(g.compose(h)) }.simplify()
+            (Fn1::Scaled { a, c, inner: g }, h) => Fn1::Scaled {
+                a: *a,
+                c: *c,
+                inner: Box::new(g.compose(h)),
             }
+            .simplify(),
         }
     }
 
@@ -225,9 +245,10 @@ impl Fn1 {
                     (Fn1::Const(a), Fn1::Const(b)) => Fn1::Const(a + b),
                     (Fn1::Affine { a, c }, Fn1::Const(k)) => Fn1::Affine { a: *a, c: c + k },
                     (Fn1::Const(k), Fn1::Affine { a, c }) => Fn1::Affine { a: *a, c: c + k },
-                    (Fn1::Affine { a: a1, c: c1 }, Fn1::Affine { a: a2, c: c2 }) => {
-                        Fn1::Affine { a: a1 + a2, c: c1 + c2 }
-                    }
+                    (Fn1::Affine { a: a1, c: c1 }, Fn1::Affine { a: a2, c: c2 }) => Fn1::Affine {
+                        a: a1 + a2,
+                        c: c1 + c2,
+                    },
                     _ => Fn1::Sum(Box::new(l), Box::new(r)),
                 }
             }
@@ -235,13 +256,16 @@ impl Fn1 {
                 let inner = inner.simplify();
                 match (&inner, *a) {
                     (Fn1::Const(k), _) => Fn1::Const(a * k + c),
-                    (Fn1::Affine { a: a2, c: c2 }, _) => {
-                        Fn1::Affine { a: a * a2, c: a * c2 + c }
-                    }
-                    (_, 1) => {
-                        Fn1::Sum(Box::new(inner), Box::new(Fn1::Const(*c))).simplify()
-                    }
-                    _ => Fn1::Scaled { a: *a, c: *c, inner: Box::new(inner) },
+                    (Fn1::Affine { a: a2, c: c2 }, _) => Fn1::Affine {
+                        a: a * a2,
+                        c: a * c2 + c,
+                    },
+                    (_, 1) => Fn1::Sum(Box::new(inner), Box::new(Fn1::Const(*c))).simplify(),
+                    _ => Fn1::Scaled {
+                        a: *a,
+                        c: *c,
+                        inner: Box::new(inner),
+                    },
                 }
             }
             Fn1::Mod { inner, z, d } => {
@@ -249,7 +273,11 @@ impl Fn1 {
                 if let Fn1::Const(c) = inner {
                     Fn1::Const(mod_floor(c, *z) + d)
                 } else {
-                    Fn1::Mod { inner: Box::new(inner), z: *z, d: *d }
+                    Fn1::Mod {
+                        inner: Box::new(inner),
+                        z: *z,
+                        d: *d,
+                    }
                 }
             }
             Fn1::Div { inner, q } => {
@@ -257,7 +285,10 @@ impl Fn1 {
                 match (&inner, *q) {
                     (Fn1::Const(c), q) => Fn1::Const(div_floor(*c, q)),
                     (_, 1) => inner,
-                    _ => Fn1::Div { inner: Box::new(inner), q: *q },
+                    _ => Fn1::Div {
+                        inner: Box::new(inner),
+                        q: *q,
+                    },
                 }
             }
             Fn1::Square(inner) => {
@@ -301,7 +332,11 @@ impl Fn1 {
                 let (va, vb) = (inner.eval(lo), inner.eval(hi));
                 let (vmin, vmax) = (va.min(vb), va.max(vb));
                 if lo == hi || vmin == vmax {
-                    return if lo == hi { Monotonicity::Constant } else { weaken(m) };
+                    return if lo == hi {
+                        Monotonicity::Constant
+                    } else {
+                        weaken(m)
+                    };
                 }
                 if vmin >= 0 {
                     // squaring preserves order on non-negatives
@@ -563,14 +598,22 @@ impl Fn1 {
                     let end = last_with(cur, hi, |i| div_floor(inner.eval(i), *z) == k);
                     let demod =
                         Fn1::Sum(inner.clone(), Box::new(Fn1::Const(-z * k + d))).simplify();
-                    pieces.push(MonotonePiece { lo: cur, hi: end, f: demod });
+                    pieces.push(MonotonePiece {
+                        lo: cur,
+                        hi: end,
+                        f: demod,
+                    });
                     cur = end + 1;
                 }
                 Some(pieces)
             }
             f => {
                 if f.monotonicity(lo, hi).is_monotone() {
-                    Some(vec![MonotonePiece { lo, hi, f: f.clone() }])
+                    Some(vec![MonotonePiece {
+                        lo,
+                        hi,
+                        f: f.clone(),
+                    }])
                 } else {
                     None
                 }
@@ -670,8 +713,9 @@ mod tests {
     use super::*;
 
     fn check_preimage(f: &Fn1, y_lo: i64, y_hi: i64, lo: i64, hi: i64) {
-        let brute: Vec<i64> =
-            (lo..=hi).filter(|&i| (y_lo..=y_hi).contains(&f.eval(i))).collect();
+        let brute: Vec<i64> = (lo..=hi)
+            .filter(|&i| (y_lo..=y_hi).contains(&f.eval(i)))
+            .collect();
         match f.preimage_range(y_lo, y_hi, lo, hi) {
             Some((a, b)) => {
                 let got: Vec<i64> = (a..=b).collect();
@@ -722,7 +766,10 @@ mod tests {
             Fn1::rotate(6, 20),
             Fn1::i_plus_i_div(4),
             Fn1::square(),
-            Fn1::Div { inner: Box::new(Fn1::affine(2, 1)), q: 3 },
+            Fn1::Div {
+                inner: Box::new(Fn1::affine(2, 1)),
+                q: 3,
+            },
         ];
         for f in &shapes {
             for g in &shapes {
@@ -738,28 +785,60 @@ mod tests {
     fn simplify_folds() {
         let s = Fn1::Sum(Box::new(Fn1::affine(2, 1)), Box::new(Fn1::Const(4))).simplify();
         assert_eq!(s, Fn1::affine(2, 5));
-        let d = Fn1::Div { inner: Box::new(Fn1::Const(9)), q: 2 }.simplify();
+        let d = Fn1::Div {
+            inner: Box::new(Fn1::Const(9)),
+            q: 2,
+        }
+        .simplify();
         assert_eq!(d, Fn1::Const(4));
-        let m = Fn1::Mod { inner: Box::new(Fn1::Const(26)), z: 20, d: 1 }.simplify();
+        let m = Fn1::Mod {
+            inner: Box::new(Fn1::Const(26)),
+            z: 20,
+            d: 1,
+        }
+        .simplify();
         assert_eq!(m, Fn1::Const(7));
-        let sc = Fn1::Scaled { a: 3, c: 1, inner: Box::new(Fn1::affine(2, 5)) }.simplify();
+        let sc = Fn1::Scaled {
+            a: 3,
+            c: 1,
+            inner: Box::new(Fn1::affine(2, 5)),
+        }
+        .simplify();
         assert_eq!(sc, Fn1::affine(6, 16));
     }
 
     #[test]
     fn monotonicity_classification() {
         assert_eq!(Fn1::Const(3).monotonicity(0, 9), Monotonicity::Constant);
-        assert_eq!(Fn1::affine(2, 0).monotonicity(0, 9), Monotonicity::Increasing);
-        assert_eq!(Fn1::affine(-1, 5).monotonicity(0, 9), Monotonicity::Decreasing);
+        assert_eq!(
+            Fn1::affine(2, 0).monotonicity(0, 9),
+            Monotonicity::Increasing
+        );
+        assert_eq!(
+            Fn1::affine(-1, 5).monotonicity(0, 9),
+            Monotonicity::Decreasing
+        );
         assert_eq!(Fn1::square().monotonicity(0, 9), Monotonicity::Increasing);
         assert_eq!(Fn1::square().monotonicity(-9, -1), Monotonicity::Decreasing);
         assert_eq!(Fn1::square().monotonicity(-3, 3), Monotonicity::Unknown);
-        let div4 = Fn1::Div { inner: Box::new(Fn1::identity()), q: 4 };
+        let div4 = Fn1::Div {
+            inner: Box::new(Fn1::identity()),
+            q: 4,
+        };
         assert_eq!(div4.monotonicity(0, 20), Monotonicity::WeaklyIncreasing);
-        assert_eq!(Fn1::i_plus_i_div(4).monotonicity(0, 20), Monotonicity::Increasing);
-        assert_eq!(Fn1::rotate(6, 20).monotonicity(0, 19), Monotonicity::Piecewise);
+        assert_eq!(
+            Fn1::i_plus_i_div(4).monotonicity(0, 20),
+            Monotonicity::Increasing
+        );
+        assert_eq!(
+            Fn1::rotate(6, 20).monotonicity(0, 19),
+            Monotonicity::Piecewise
+        );
         // rotate with no wrap in the domain stays plain monotone
-        assert_eq!(Fn1::rotate(6, 20).monotonicity(0, 13), Monotonicity::Increasing);
+        assert_eq!(
+            Fn1::rotate(6, 20).monotonicity(0, 13),
+            Monotonicity::Increasing
+        );
     }
 
     #[test]
@@ -776,14 +855,21 @@ mod tests {
         let funcs = vec![
             Fn1::square(),
             Fn1::i_plus_i_div(4),
-            Fn1::Div { inner: Box::new(Fn1::affine(3, 1)), q: 2 },
+            Fn1::Div {
+                inner: Box::new(Fn1::affine(3, 1)),
+                q: 2,
+            },
         ];
         for f in &funcs {
             for y in -5..150 {
                 let brute_ceil = (0..=40).find(|&i| f.eval(i) >= y);
                 let brute_floor = (0..=40).rev().find(|&i| f.eval(i) <= y);
                 assert_eq!(f.inv_ceil(y, 0, 40), brute_ceil, "inv_ceil f={f:?} y={y}");
-                assert_eq!(f.inv_floor(y, 0, 40), brute_floor, "inv_floor f={f:?} y={y}");
+                assert_eq!(
+                    f.inv_floor(y, 0, 40),
+                    brute_floor,
+                    "inv_floor f={f:?} y={y}"
+                );
             }
         }
     }
@@ -801,7 +887,11 @@ mod tests {
             check_preimage(&idiv, ylo, ylo + 7, 0, 40);
         }
         // decreasing non-affine
-        let neg_sq = Fn1::Scaled { a: -1, c: 100, inner: Box::new(Fn1::square()) };
+        let neg_sq = Fn1::Scaled {
+            a: -1,
+            c: 100,
+            inner: Box::new(Fn1::square()),
+        };
         for ylo in (0..100).step_by(13) {
             check_preimage(&neg_sq, ylo, ylo + 20, 0, 12);
         }
@@ -814,8 +904,22 @@ mod tests {
         let f = Fn1::rotate(6, 20);
         let pieces = f.monotone_pieces(0, 19).unwrap();
         assert_eq!(pieces.len(), 2);
-        assert_eq!(pieces[0], MonotonePiece { lo: 0, hi: 13, f: Fn1::affine(1, 6) });
-        assert_eq!(pieces[1], MonotonePiece { lo: 14, hi: 19, f: Fn1::affine(1, -14) });
+        assert_eq!(
+            pieces[0],
+            MonotonePiece {
+                lo: 0,
+                hi: 13,
+                f: Fn1::affine(1, 6)
+            }
+        );
+        assert_eq!(
+            pieces[1],
+            MonotonePiece {
+                lo: 14,
+                hi: 19,
+                f: Fn1::affine(1, -14)
+            }
+        );
         for p in &pieces {
             for i in p.lo..=p.hi {
                 assert_eq!(p.f.eval(i), f.eval(i));
@@ -827,13 +931,24 @@ mod tests {
     fn pieces_of_plain_monotone_is_trivial() {
         let f = Fn1::affine(2, 0);
         let pieces = f.monotone_pieces(0, 9).unwrap();
-        assert_eq!(pieces, vec![MonotonePiece { lo: 0, hi: 9, f: Fn1::affine(2, 0) }]);
+        assert_eq!(
+            pieces,
+            vec![MonotonePiece {
+                lo: 0,
+                hi: 9,
+                f: Fn1::affine(2, 0)
+            }]
+        );
     }
 
     #[test]
     fn pieces_multiple_wraps() {
         // (3i) mod 10 on 0..=9 wraps at ceil(10/3)=4 and at 7
-        let f = Fn1::Mod { inner: Box::new(Fn1::affine(3, 0)), z: 10, d: 0 };
+        let f = Fn1::Mod {
+            inner: Box::new(Fn1::affine(3, 0)),
+            z: 10,
+            d: 0,
+        };
         let pieces = f.monotone_pieces(0, 9).unwrap();
         let mut covered = 0;
         for p in &pieces {
@@ -849,7 +964,11 @@ mod tests {
 
     #[test]
     fn pieces_with_decreasing_inner() {
-        let f = Fn1::Mod { inner: Box::new(Fn1::affine(-3, 25)), z: 10, d: 0 };
+        let f = Fn1::Mod {
+            inner: Box::new(Fn1::affine(-3, 25)),
+            z: 10,
+            d: 0,
+        };
         let pieces = f.monotone_pieces(0, 9).unwrap();
         let mut covered = 0;
         for p in &pieces {

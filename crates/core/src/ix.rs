@@ -32,25 +32,37 @@ impl Ix {
         );
         let mut data = [0i64; MAX_DIMS];
         data[..coords.len()].copy_from_slice(coords);
-        Ix { len: coords.len() as u8, data }
+        Ix {
+            len: coords.len() as u8,
+            data,
+        }
     }
 
     /// One-dimensional index.
     #[inline]
     pub fn d1(i: i64) -> Self {
-        Ix { len: 1, data: [i, 0, 0, 0] }
+        Ix {
+            len: 1,
+            data: [i, 0, 0, 0],
+        }
     }
 
     /// Two-dimensional index.
     #[inline]
     pub fn d2(i: i64, j: i64) -> Self {
-        Ix { len: 2, data: [i, j, 0, 0] }
+        Ix {
+            len: 2,
+            data: [i, j, 0, 0],
+        }
     }
 
     /// Three-dimensional index.
     #[inline]
     pub fn d3(i: i64, j: i64, k: i64) -> Self {
-        Ix { len: 3, data: [i, j, k, 0] }
+        Ix {
+            len: 3,
+            data: [i, j, k, 0],
+        }
     }
 
     /// Dimensionality of the index.
@@ -76,11 +88,17 @@ impl Ix {
     /// Used by decompositions to form `(proc, local)` machine indices.
     #[inline]
     pub fn prepend(&self, head: i64) -> Self {
-        assert!((self.len as usize) < MAX_DIMS, "index dimensionality overflow");
+        assert!(
+            (self.len as usize) < MAX_DIMS,
+            "index dimensionality overflow"
+        );
         let mut data = [0i64; MAX_DIMS];
         data[0] = head;
         data[1..=self.len as usize].copy_from_slice(self.coords());
-        Ix { len: self.len + 1, data }
+        Ix {
+            len: self.len + 1,
+            data,
+        }
     }
 
     /// Drop the first coordinate (inverse of [`Ix::prepend`]).
@@ -89,7 +107,10 @@ impl Ix {
         assert!(self.len >= 2, "tail() needs dims >= 2");
         let mut data = [0i64; MAX_DIMS];
         data[..(self.len - 1) as usize].copy_from_slice(&self.coords()[1..]);
-        Ix { len: self.len - 1, data }
+        Ix {
+            len: self.len - 1,
+            data,
+        }
     }
 
     /// Element-wise addition. Panics in debug on dimension mismatch.

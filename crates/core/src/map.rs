@@ -47,21 +47,33 @@ impl IndexMap {
     /// Identity map on `d` dimensions.
     pub fn identity(d: usize) -> Self {
         IndexMap {
-            dims: (0..d).map(|src| DimFn { src, f: Fn1::identity() }).collect(),
+            dims: (0..d)
+                .map(|src| DimFn {
+                    src,
+                    f: Fn1::identity(),
+                })
+                .collect(),
             d_in: d,
         }
     }
 
     /// 1-D map from a single [`Fn1`].
     pub fn d1(f: Fn1) -> Self {
-        IndexMap { dims: vec![DimFn { src: 0, f }], d_in: 1 }
+        IndexMap {
+            dims: vec![DimFn { src: 0, f }],
+            d_in: 1,
+        }
     }
 
     /// Per-dimension map: output dim `d` applies `fs[d]` to input dim `d`.
     pub fn per_dim(fs: Vec<Fn1>) -> Self {
         let d = fs.len();
         IndexMap {
-            dims: fs.into_iter().enumerate().map(|(src, f)| DimFn { src, f }).collect(),
+            dims: fs
+                .into_iter()
+                .enumerate()
+                .map(|(src, f)| DimFn { src, f })
+                .collect(),
             d_in: d,
         }
     }
@@ -71,7 +83,12 @@ impl IndexMap {
     pub fn permutation(d_in: usize, perm: &[usize]) -> Self {
         IndexMap::new(
             d_in,
-            perm.iter().map(|&src| DimFn { src, f: Fn1::identity() }).collect(),
+            perm.iter()
+                .map(|&src| DimFn {
+                    src,
+                    f: Fn1::identity(),
+                })
+                .collect(),
         )
     }
 
@@ -102,8 +119,7 @@ impl IndexMap {
     /// Apply to an index point.
     pub fn eval(&self, i: &Ix) -> Ix {
         debug_assert_eq!(i.dims(), self.d_in, "IndexMap arity mismatch");
-        let coords: Vec<i64> =
-            self.dims.iter().map(|df| df.f.eval(i[df.src])).collect();
+        let coords: Vec<i64> = self.dims.iter().map(|df| df.f.eval(i[df.src])).collect();
         Ix::new(&coords)
     }
 
@@ -123,10 +139,16 @@ impl IndexMap {
             .iter()
             .map(|outer| {
                 let mid = &inner.dims[outer.src];
-                DimFn { src: mid.src, f: outer.f.compose(&mid.f) }
+                DimFn {
+                    src: mid.src,
+                    f: outer.f.compose(&mid.f),
+                }
             })
             .collect();
-        IndexMap { dims, d_in: inner.d_in }
+        IndexMap {
+            dims,
+            d_in: inner.d_in,
+        }
     }
 
     /// Whether the map is the identity (after simplification).
@@ -158,7 +180,10 @@ fn var_name(src: usize, d_in: usize) -> String {
         "i".to_string()
     } else {
         const NAMES: [&str; 4] = ["i", "j", "k", "l"];
-        NAMES.get(src).map(|s| s.to_string()).unwrap_or_else(|| format!("i{src}"))
+        NAMES
+            .get(src)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("i{src}"))
     }
 }
 
@@ -227,7 +252,16 @@ mod tests {
         // out = (i, 5): a column selection map from a 1-D index
         let m = IndexMap::new(
             1,
-            vec![DimFn { src: 0, f: Fn1::identity() }, DimFn { src: 0, f: Fn1::Const(5) }],
+            vec![
+                DimFn {
+                    src: 0,
+                    f: Fn1::identity(),
+                },
+                DimFn {
+                    src: 0,
+                    f: Fn1::Const(5),
+                },
+            ],
         );
         assert_eq!(m.eval(&Ix::d1(3)), Ix::d2(3, 5));
         assert_eq!(m.d_in(), 1);
@@ -244,7 +278,10 @@ mod tests {
     #[test]
     fn display_paper_notation() {
         assert_eq!(IndexMap::d1(Fn1::affine(2, 1)).to_string(), "[2.i+1]");
-        assert_eq!(IndexMap::d1(Fn1::rotate(6, 20)).to_string(), "[(i+6) mod 20]");
+        assert_eq!(
+            IndexMap::d1(Fn1::rotate(6, 20)).to_string(),
+            "[(i+6) mod 20]"
+        );
         assert_eq!(
             IndexMap::per_dim(vec![Fn1::shift(-1), Fn1::identity()]).to_string(),
             "[i-1, j]"

@@ -132,7 +132,12 @@ impl Pred {
             Pred::False => Pred::False,
             Pred::Cmp { dim, f, op, rhs } => {
                 let df = &ip.dims()[*dim];
-                Pred::Cmp { dim: df.src, f: f.compose(&df.f), op: *op, rhs: *rhs }
+                Pred::Cmp {
+                    dim: df.src,
+                    f: f.compose(&df.f),
+                    op: *op,
+                    rhs: *rhs,
+                }
             }
             Pred::DimCmp { dim_a, op, dim_b } => {
                 let da = &ip.dims()[*dim_a];
@@ -141,10 +146,13 @@ impl Pred {
                 // representable structurally when both are identity — fall
                 // back to an opaque closure otherwise.
                 if da.f == Fn1::identity() && db.f == Fn1::identity() {
-                    Pred::DimCmp { dim_a: da.src, op: *op, dim_b: db.src }
+                    Pred::DimCmp {
+                        dim_a: da.src,
+                        op: *op,
+                        dim_b: db.src,
+                    }
                 } else {
-                    let (fa, fb, sa, sb, op) =
-                        (da.f.clone(), db.f.clone(), da.src, db.src, *op);
+                    let (fa, fb, sa, sb, op) = (da.f.clone(), db.f.clone(), da.src, db.src, *op);
                     Pred::Opaque {
                         label: "dimcmp\u{2218}map".to_string(),
                         f: Arc::new(move |i: &Ix| op.holds(fa.eval(i[sa]), fb.eval(i[sb]))),
@@ -152,9 +160,7 @@ impl Pred {
                 }
             }
             Pred::And(a, b) => a.compose_map(ip).and(b.compose_map(ip)),
-            Pred::Or(a, b) => {
-                Pred::Or(Box::new(a.compose_map(ip)), Box::new(b.compose_map(ip)))
-            }
+            Pred::Or(a, b) => Pred::Or(Box::new(a.compose_map(ip)), Box::new(b.compose_map(ip))),
             Pred::Not(a) => Pred::Not(Box::new(a.compose_map(ip))),
             Pred::Opaque { label, f } => {
                 let ip = ip.clone();
@@ -184,8 +190,17 @@ impl fmt::Display for Pred {
         match self {
             Pred::True => write!(f, "true"),
             Pred::False => write!(f, "false"),
-            Pred::Cmp { dim, f: func, op, rhs } => {
-                let var = if *dim == 0 { "i".to_string() } else { format!("i{dim}") };
+            Pred::Cmp {
+                dim,
+                f: func,
+                op,
+                rhs,
+            } => {
+                let var = if *dim == 0 {
+                    "i".to_string()
+                } else {
+                    format!("i{dim}")
+                };
                 write!(f, "{} {} {}", display_fn1(func, &var), op.symbol(), rhs)
             }
             Pred::DimCmp { dim_a, op, dim_b } => {
@@ -218,7 +233,11 @@ mod tests {
         // yields {(0,1),(0,2),(1,2)} among off-diagonal... actually the
         // paper lists exactly {(0,1),(0,2),(1,2)} (strict <) — the text
         // writes i1 <= i2 but the set shown is strict; we follow the set.
-        let p = Pred::DimCmp { dim_a: 0, op: CmpOp::Lt, dim_b: 1 };
+        let p = Pred::DimCmp {
+            dim_a: 0,
+            op: CmpOp::Lt,
+            dim_b: 1,
+        };
         let sel: Vec<Ix> = crate::bounds::Bounds::range2(0, 2, 0, 2)
             .iter()
             .filter(|i| p.eval(i))
@@ -228,8 +247,18 @@ mod tests {
 
     #[test]
     fn and_or_not() {
-        let ge1 = Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs: 1 };
-        let lt3 = Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Lt, rhs: 3 };
+        let ge1 = Pred::Cmp {
+            dim: 0,
+            f: Fn1::identity(),
+            op: CmpOp::Ge,
+            rhs: 1,
+        };
+        let lt3 = Pred::Cmp {
+            dim: 0,
+            f: Fn1::identity(),
+            op: CmpOp::Lt,
+            rhs: 3,
+        };
         let both = ge1.clone().and(lt3);
         assert!(!both.eval(&Ix::d1(0)));
         assert!(both.eval(&Ix::d1(1)));
@@ -244,7 +273,12 @@ mod tests {
     fn and_simplifies_trivial() {
         assert!(Pred::True.and(Pred::True).is_true());
         assert!(matches!(Pred::True.and(Pred::False), Pred::False));
-        let p = Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs: 1 };
+        let p = Pred::Cmp {
+            dim: 0,
+            f: Fn1::identity(),
+            op: CmpOp::Ge,
+            rhs: 1,
+        };
         assert!(matches!(Pred::True.and(p), Pred::Cmp { .. }));
     }
 
@@ -252,7 +286,12 @@ mod tests {
     fn compose_map_shifts_predicate() {
         // P(i) = i >= 4 composed with ip(i) = i + 2 gives i >= 2
         // (paper Example 5's predicate composition).
-        let p = Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs: 4 };
+        let p = Pred::Cmp {
+            dim: 0,
+            f: Fn1::identity(),
+            op: CmpOp::Ge,
+            rhs: 4,
+        };
         let ip = IndexMap::d1(Fn1::shift(2));
         let q = p.compose_map(&ip);
         for i in -10..10 {
@@ -262,7 +301,11 @@ mod tests {
 
     #[test]
     fn compose_map_on_permutation() {
-        let p = Pred::DimCmp { dim_a: 0, op: CmpOp::Lt, dim_b: 1 };
+        let p = Pred::DimCmp {
+            dim_a: 0,
+            op: CmpOp::Lt,
+            dim_b: 1,
+        };
         let t = IndexMap::permutation(2, &[1, 0]);
         let q = p.compose_map(&t);
         // q(i0,i1) = p(i1,i0) = i1 < i0

@@ -18,7 +18,10 @@ pub struct IndexSet {
 impl IndexSet {
     /// The full bounded set `(b, true)`.
     pub fn full(bounds: Bounds) -> Self {
-        IndexSet { bounds, pred: Pred::True }
+        IndexSet {
+            bounds,
+            pred: Pred::True,
+        }
     }
 
     /// 1-D range `lo:hi` with no predicate.
@@ -74,7 +77,10 @@ impl IndexSet {
     /// Refine with an additional predicate (set intersection with a
     /// comprehension over the same bounds).
     pub fn refine(&self, pred: Pred) -> IndexSet {
-        IndexSet { bounds: self.bounds, pred: self.pred.clone().and(pred) }
+        IndexSet {
+            bounds: self.bounds,
+            pred: self.pred.clone().and(pred),
+        }
     }
 
     /// Intersect with another index set (bounds via the paper's `&`
@@ -108,7 +114,11 @@ mod tests {
         // I = (0:2 x 0:2, i1 < i2) = {(0,1),(0,2),(1,2)}
         let i = IndexSet::new(
             Bounds::range2(0, 2, 0, 2),
-            Pred::DimCmp { dim_a: 0, op: CmpOp::Lt, dim_b: 1 },
+            Pred::DimCmp {
+                dim_a: 0,
+                op: CmpOp::Lt,
+                dim_b: 1,
+            },
         );
         assert_eq!(i.to_vec(), vec![Ix::d2(0, 1), Ix::d2(0, 2), Ix::d2(1, 2)]);
         assert_eq!(i.count(), 3);
@@ -130,7 +140,11 @@ mod tests {
         let s = IndexSet::range(0, 9);
         let evens = s.refine(Pred::Cmp {
             dim: 0,
-            f: Fn1::Mod { inner: Box::new(Fn1::identity()), z: 2, d: 0 },
+            f: Fn1::Mod {
+                inner: Box::new(Fn1::identity()),
+                z: 2,
+                d: 0,
+            },
             op: CmpOp::Eq,
             rhs: 0,
         });

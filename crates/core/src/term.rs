@@ -89,7 +89,10 @@ impl Term {
 
     /// `lhs := rhs`.
     pub fn assign(lhs: Term, rhs: Term) -> Term {
-        Term::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Term::Assign {
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Rewrite rule: **decomposition substitution** (Section 2.6).
@@ -124,7 +127,10 @@ impl Term {
                 let target = target.contract();
                 if let Term::Param { var, body, .. } = &target {
                     if sel.len() == 1 {
-                        if let Term::Select { sel: inner_sel, target: inner_t } = body.as_ref()
+                        if let Term::Select {
+                            sel: inner_sel,
+                            target: inner_t,
+                        } = body.as_ref()
                         {
                             let substituted: Vec<String> = inner_sel
                                 .iter()
@@ -137,9 +143,18 @@ impl Term {
                         }
                     }
                 }
-                Term::Select { sel: sel.clone(), target: Box::new(target) }
+                Term::Select {
+                    sel: sel.clone(),
+                    target: Box::new(target),
+                }
             }
-            Term::Param { var, range, cond, ord, body } => Term::Param {
+            Term::Param {
+                var,
+                range,
+                cond,
+                ord,
+                body,
+            } => Term::Param {
                 var: var.clone(),
                 range: range.clone(),
                 cond: cond.clone(),
@@ -180,9 +195,21 @@ impl Term {
     /// parameter — producing the SPMD form where the processor parameter
     /// is outermost.
     pub fn interchange(&self) -> Option<Term> {
-        if let Term::Param { var: va, range: ra, cond: ca, ord: oa, body } = self {
-            if let Term::Param { var: vb, range: rb, cond: cb, ord: ob, body: inner } =
-                body.as_ref()
+        if let Term::Param {
+            var: va,
+            range: ra,
+            cond: ca,
+            ord: oa,
+            body,
+        } = self
+        {
+            if let Term::Param {
+                var: vb,
+                range: rb,
+                cond: cb,
+                ord: ob,
+                body: inner,
+            } = body.as_ref()
             {
                 return Some(Term::Param {
                     var: vb.clone(),
@@ -209,7 +236,13 @@ impl Term {
     fn map_arrays(&self, f: &impl Fn(&str) -> Term) -> Term {
         match self {
             Term::Array(a) => f(a),
-            Term::Param { var, range, cond, ord, body } => Term::Param {
+            Term::Param {
+                var,
+                range,
+                cond,
+                ord,
+                body,
+            } => Term::Param {
                 var: var.clone(),
                 range: range.clone(),
                 cond: cond.clone(),
@@ -236,11 +269,23 @@ impl Term {
             Term::Select { sel, target } => Term::Select {
                 sel: sel
                     .iter()
-                    .map(|s| if s == expr { fresh.to_string() } else { s.clone() })
+                    .map(|s| {
+                        if s == expr {
+                            fresh.to_string()
+                        } else {
+                            s.clone()
+                        }
+                    })
                     .collect(),
                 target: Box::new(target.replace_selector(expr, fresh)),
             },
-            Term::Param { var, range, cond, ord, body } => Term::Param {
+            Term::Param {
+                var,
+                range,
+                cond,
+                ord,
+                body,
+            } => Term::Param {
                 var: var.clone(),
                 range: range.clone(),
                 cond: cond.clone(),
@@ -253,7 +298,10 @@ impl Term {
             },
             Term::Call { name, args } => Term::Call {
                 name: name.clone(),
-                args: args.iter().map(|a| a.replace_selector(expr, fresh)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| a.replace_selector(expr, fresh))
+                    .collect(),
             },
             Term::Array(_) => self.clone(),
         }
@@ -263,7 +311,13 @@ impl Term {
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Term::Param { var, range, cond, ord, body } => {
+            Term::Param {
+                var,
+                range,
+                cond,
+                ord,
+                body,
+            } => {
                 match cond {
                     Some(c) => write!(f, "\u{2206}({var} \u{2208} ({range} | {c}))")?,
                     None => write!(f, "\u{2206}({var} \u{2208} ({range}))")?,
@@ -363,7 +417,10 @@ mod tests {
         );
         let renamed = eq2_body.rename("procA(f(i))", "p", "0:pmax-1");
         let s = renamed.to_string();
-        assert!(s.starts_with("\u{2206}(p \u{2208} (0:pmax-1 | procA(f(i)) = p))"), "{s}");
+        assert!(
+            s.starts_with("\u{2206}(p \u{2208} (0:pmax-1 | procA(f(i)) = p))"),
+            "{s}"
+        );
         assert!(s.contains("[p, localA(f(i))](A')"), "{s}");
     }
 
@@ -399,7 +456,14 @@ mod tests {
             .substitute_decomposition("B", "0:m-1")
             .contract();
         // extract the body of the outer ∆(i...) to rename inside it
-        if let Term::Param { var, range, cond, ord, body } = &eq2 {
+        if let Term::Param {
+            var,
+            range,
+            cond,
+            ord,
+            body,
+        } = &eq2
+        {
             let renamed = body.rename("procA(f(i))", "p", "0:pmax-1");
             let with_i = Term::Param {
                 var: var.clone(),

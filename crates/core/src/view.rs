@@ -51,10 +51,16 @@ impl DpMap {
         match self {
             DpMap::PerDim(fs) => {
                 assert_eq!(fs.len(), b.dims(), "DpMap dimension mismatch");
-                let lo: Vec<i64> =
-                    fs.iter().enumerate().map(|(d, f)| f.eval(b.lo()[d])).collect();
-                let hi: Vec<i64> =
-                    fs.iter().enumerate().map(|(d, f)| f.eval(b.hi()[d])).collect();
+                let lo: Vec<i64> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(d, f)| f.eval(b.lo()[d]))
+                    .collect();
+                let hi: Vec<i64> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(d, f)| f.eval(b.hi()[d]))
+                    .collect();
                 Bounds::new(crate::ix::Ix::new(&lo), crate::ix::Ix::new(&hi))
             }
             DpMap::Custom { f, .. } => f(b),
@@ -64,9 +70,7 @@ impl DpMap {
     /// Composition `(self ∘ inner)(b) = self(inner(b))`.
     pub fn compose(&self, inner: &DpMap) -> DpMap {
         match (self, inner) {
-            (DpMap::PerDim(outer), DpMap::PerDim(inner_fs))
-                if outer.len() == inner_fs.len() =>
-            {
+            (DpMap::PerDim(outer), DpMap::PerDim(inner_fs)) if outer.len() == inner_fs.len() => {
                 DpMap::PerDim(
                     outer
                         .iter()
@@ -173,7 +177,11 @@ impl View {
         let dp = self.dp.compose(&w.dp);
         let bounds = self.k.bounds.intersect(&self.dp.apply(&w.k.bounds));
         let pred = w.k.pred.compose_map(&self.ip).and(self.k.pred.clone());
-        View { k: IndexSet::new(bounds, pred), dp, ip }
+        View {
+            k: IndexSet::new(bounds, pred),
+            dp,
+            ip,
+        }
     }
 }
 
@@ -207,7 +215,12 @@ mod tests {
     use crate::pred::CmpOp;
 
     fn ge(rhs: i64) -> Pred {
-        Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs }
+        Pred::Cmp {
+            dim: 0,
+            f: Fn1::identity(),
+            op: CmpOp::Ge,
+            rhs,
+        }
     }
 
     /// The two views of the paper's Example 5.
@@ -216,7 +229,10 @@ mod tests {
         let w = View::d1(
             Bounds::range(0, 10),
             ge(4),
-            Fn1::Div { inner: Box::new(Fn1::identity()), q: 2 },
+            Fn1::Div {
+                inner: Box::new(Fn1::identity()),
+                q: 2,
+            },
             Fn1::affine(2, 0),
         );
         (v, w)
@@ -233,7 +249,10 @@ mod tests {
         // dp_u(i) = (i div 2) - 2
         if let DpMap::PerDim(fs) = &u.dp {
             for i in -20..20 {
-                assert_eq!(fs[0].eval(i), (if i >= 0 { i / 2 } else { (i - 1) / 2 }) - 2);
+                assert_eq!(
+                    fs[0].eval(i),
+                    (if i >= 0 { i / 2 } else { (i - 1) / 2 }) - 2
+                );
             }
         } else {
             panic!("expected PerDim dp");
@@ -291,9 +310,24 @@ mod tests {
     #[test]
     fn compose_associativity_on_application() {
         // (U ∘ V) ∘ W and U ∘ (V ∘ W) agree pointwise on application.
-        let u = View::d1(Bounds::range(0, 50), Pred::True, Fn1::identity(), Fn1::shift(1));
-        let v = View::d1(Bounds::range(0, 50), ge(2), Fn1::identity(), Fn1::affine(2, 0));
-        let w = View::d1(Bounds::range(0, 50), Pred::True, Fn1::identity(), Fn1::shift(3));
+        let u = View::d1(
+            Bounds::range(0, 50),
+            Pred::True,
+            Fn1::identity(),
+            Fn1::shift(1),
+        );
+        let v = View::d1(
+            Bounds::range(0, 50),
+            ge(2),
+            Fn1::identity(),
+            Fn1::affine(2, 0),
+        );
+        let w = View::d1(
+            Bounds::range(0, 50),
+            Pred::True,
+            Fn1::identity(),
+            Fn1::shift(3),
+        );
         let left = u.compose(&v).compose(&w);
         let right = u.compose(&v.compose(&w));
         let src = IndexSet::range(0, 200);

@@ -31,7 +31,11 @@ impl<'a> ViewedArray<'a> {
     /// application `J = (b_K & dp(b_I), (P_I ∘ ip) ∧ P_K)`.
     pub fn new(source: &'a Array, view: View) -> ViewedArray<'a> {
         let index_set = view.apply(&IndexSet::full(source.bounds()));
-        ViewedArray { source, view, index_set }
+        ViewedArray {
+            source,
+            view,
+            index_set,
+        }
     }
 
     /// The identity view of an array.
@@ -226,7 +230,12 @@ mod tests {
         let v = ViewedArray::new(
             &a,
             views::filtered(
-                Pred::Cmp { dim: 0, f: Fn1::identity(), op: CmpOp::Ge, rhs: 6 },
+                Pred::Cmp {
+                    dim: 0,
+                    f: Fn1::identity(),
+                    op: CmpOp::Ge,
+                    rhs: 6,
+                },
                 1,
             ),
         );

@@ -143,7 +143,10 @@ impl Decomp1 {
     /// For `Replicated` the canonical owner is processor 0.
     #[inline]
     pub fn proc_of(&self, i: i64) -> i64 {
-        debug_assert!(self.extent.contains(&vcal_core::Ix::d1(i)), "index {i} outside extent");
+        debug_assert!(
+            self.extent.contains(&vcal_core::Ix::d1(i)),
+            "index {i} outside extent"
+        );
         let x = self.zero_based(i);
         match self.dist {
             Distribution::Block { b } => div_floor(x, b),
@@ -157,14 +160,15 @@ impl Decomp1 {
     /// `local(i)`).
     #[inline]
     pub fn local_of(&self, i: i64) -> i64 {
-        debug_assert!(self.extent.contains(&vcal_core::Ix::d1(i)), "index {i} outside extent");
+        debug_assert!(
+            self.extent.contains(&vcal_core::Ix::d1(i)),
+            "index {i} outside extent"
+        );
         let x = self.zero_based(i);
         match self.dist {
             Distribution::Block { b } => mod_floor(x, b),
             Distribution::Scatter => div_floor(x, self.pmax),
-            Distribution::BlockScatter { b } => {
-                b * div_floor(x, b * self.pmax) + mod_floor(x, b)
-            }
+            Distribution::BlockScatter { b } => b * div_floor(x, b * self.pmax) + mod_floor(x, b),
             Distribution::Replicated => x,
         }
     }
@@ -224,7 +228,10 @@ impl Decomp1 {
     /// Size of the largest local memory over all processors (the per-node
     /// allocation size of the machine image `A'`).
     pub fn max_local_count(&self) -> i64 {
-        (0..self.pmax).map(|p| self.local_count(p)).max().unwrap_or(0)
+        (0..self.pmax)
+            .map(|p| self.local_count(p))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterate the global indices owned by `p`, in increasing order.
@@ -240,10 +247,20 @@ impl Decomp1 {
         let lo = self.extent.lo()[0];
         let x = Fn1::shift(-lo);
         match self.dist {
-            Distribution::Block { b } => Fn1::Div { inner: Box::new(x), q: b },
-            Distribution::Scatter => Fn1::Mod { inner: Box::new(x), z: self.pmax, d: 0 },
+            Distribution::Block { b } => Fn1::Div {
+                inner: Box::new(x),
+                q: b,
+            },
+            Distribution::Scatter => Fn1::Mod {
+                inner: Box::new(x),
+                z: self.pmax,
+                d: 0,
+            },
             Distribution::BlockScatter { b } => Fn1::Mod {
-                inner: Box::new(Fn1::Div { inner: Box::new(x), q: b }),
+                inner: Box::new(Fn1::Div {
+                    inner: Box::new(x),
+                    q: b,
+                }),
                 z: self.pmax,
                 d: 0,
             },
@@ -257,15 +274,29 @@ impl Decomp1 {
         let lo = self.extent.lo()[0];
         let x = || Box::new(Fn1::shift(-lo));
         match self.dist {
-            Distribution::Block { b } => Fn1::Mod { inner: x(), z: b, d: 0 },
-            Distribution::Scatter => Fn1::Div { inner: x(), q: self.pmax },
+            Distribution::Block { b } => Fn1::Mod {
+                inner: x(),
+                z: b,
+                d: 0,
+            },
+            Distribution::Scatter => Fn1::Div {
+                inner: x(),
+                q: self.pmax,
+            },
             Distribution::BlockScatter { b } => Fn1::Sum(
                 Box::new(Fn1::Scaled {
                     a: b,
                     c: 0,
-                    inner: Box::new(Fn1::Div { inner: x(), q: b * self.pmax }),
+                    inner: Box::new(Fn1::Div {
+                        inner: x(),
+                        q: b * self.pmax,
+                    }),
                 }),
-                Box::new(Fn1::Mod { inner: x(), z: b, d: 0 }),
+                Box::new(Fn1::Mod {
+                    inner: x(),
+                    z: b,
+                    d: 0,
+                }),
             ),
             Distribution::Replicated => Fn1::shift(-lo),
         }
@@ -275,7 +306,13 @@ impl Decomp1 {
 
 impl std::fmt::Display for Decomp1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} of ({}) on {} procs", self.dist.name(), self.extent, self.pmax)
+        write!(
+            f,
+            "{} of ({}) on {} procs",
+            self.dist.name(),
+            self.extent,
+            self.pmax
+        )
     }
 }
 
@@ -305,10 +342,7 @@ mod tests {
         let procs: Vec<i64> = (0..15).map(|i| d.proc_of(i)).collect();
         assert_eq!(procs, vec![0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3]);
         // locals within p0: i=0,1,8,9 -> 0,1,2,3
-        assert_eq!(
-            [0, 1, 8, 9].map(|i| d.local_of(i)),
-            [0, 1, 2, 3]
-        );
+        assert_eq!([0, 1, 8, 9].map(|i| d.local_of(i)), [0, 1, 2, 3]);
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl LayoutMap {
         let hi = decomp.extent().hi()[0];
         let procs = (lo..=hi).map(|i| decomp.proc_of(i)).collect();
         let locals = (lo..=hi).map(|i| decomp.local_of(i)).collect();
-        LayoutMap { decomp: decomp.clone(), procs, locals }
+        LayoutMap {
+            decomp: decomp.clone(),
+            procs,
+            locals,
+        }
     }
 
     /// The contiguous runs of equal ownership: `(proc, global_lo, global_hi)`.
@@ -92,7 +96,10 @@ mod tests {
         );
         // (b) block
         let bl = LayoutMap::of(&Decomp1::block(4, e));
-        assert_eq!(bl.runs(), vec![(0, 0, 3), (1, 4, 7), (2, 8, 11), (3, 12, 14)]);
+        assert_eq!(
+            bl.runs(),
+            vec![(0, 0, 3), (1, 4, 7), (2, 8, 11), (3, 12, 14)]
+        );
         // (c) scatter: 15 singleton runs
         let sc = LayoutMap::of(&Decomp1::scatter(4, e));
         assert_eq!(sc.runs().len(), 15);

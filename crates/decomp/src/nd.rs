@@ -73,24 +73,27 @@ impl DecompNd {
     /// Owning (flat) processor of global index `i`.
     pub fn proc_of(&self, i: &Ix) -> i64 {
         debug_assert_eq!(i.dims(), self.dims());
-        let coords: Vec<i64> =
-            (0..self.dims()).map(|k| self.axes[k].proc_of(i[k])).collect();
+        let coords: Vec<i64> = (0..self.dims())
+            .map(|k| self.axes[k].proc_of(i[k]))
+            .collect();
         self.flat_proc(&coords)
     }
 
     /// Local index of global index `i` on its owner.
     pub fn local_of(&self, i: &Ix) -> Ix {
         debug_assert_eq!(i.dims(), self.dims());
-        let coords: Vec<i64> =
-            (0..self.dims()).map(|k| self.axes[k].local_of(i[k])).collect();
+        let coords: Vec<i64> = (0..self.dims())
+            .map(|k| self.axes[k].local_of(i[k]))
+            .collect();
         Ix::new(&coords)
     }
 
     /// Global index stored at `(p, local)`.
     pub fn global_of(&self, p: i64, local: &Ix) -> Ix {
         let g = self.grid_coords(p);
-        let coords: Vec<i64> =
-            (0..self.dims()).map(|k| self.axes[k].global_of(g[k], local[k])).collect();
+        let coords: Vec<i64> = (0..self.dims())
+            .map(|k| self.axes[k].global_of(g[k], local[k]))
+            .collect();
         Ix::new(&coords)
     }
 
@@ -99,8 +102,9 @@ impl DecompNd {
     pub fn local_bounds(&self, p: i64) -> Bounds {
         let g = self.grid_coords(p);
         let lo = vec![0i64; self.dims()];
-        let hi: Vec<i64> =
-            (0..self.dims()).map(|k| self.axes[k].local_count(g[k]) - 1).collect();
+        let hi: Vec<i64> = (0..self.dims())
+            .map(|k| self.axes[k].local_count(g[k]) - 1)
+            .collect();
         Bounds::new(Ix::new(&lo), Ix::new(&hi))
     }
 

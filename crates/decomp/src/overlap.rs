@@ -70,7 +70,10 @@ impl OverlapDecomp {
     pub fn stored_range(&self, p: i64) -> Option<(i64, i64)> {
         let (lo, hi) = self.owned_range(p)?;
         let e = self.base.extent();
-        Some(((lo - self.halo).max(e.lo()[0]), (hi + self.halo).min(e.hi()[0])))
+        Some((
+            (lo - self.halo).max(e.lo()[0]),
+            (hi + self.halo).min(e.hi()[0]),
+        ))
     }
 
     /// Whether `p` can read global `i` without communication (owned or
@@ -104,8 +107,12 @@ impl OverlapDecomp {
         let pmax = self.base.pmax();
         let mut msgs = Vec::new();
         for dst in 0..pmax {
-            let Some((olo, ohi)) = self.owned_range(dst) else { continue };
-            let Some((slo, shi)) = self.stored_range(dst) else { continue };
+            let Some((olo, ohi)) = self.owned_range(dst) else {
+                continue;
+            };
+            let Some((slo, shi)) = self.stored_range(dst) else {
+                continue;
+            };
             // left ghosts [slo, olo-1] and right ghosts [ohi+1, shi]
             for (glo, ghi) in [(slo, olo - 1), (ohi + 1, shi)] {
                 if glo > ghi {
@@ -118,7 +125,12 @@ impl OverlapDecomp {
                     let src_cnt = self.base.local_count(src);
                     let src_hi = self.base.global_of(src, src_cnt - 1);
                     let run_hi = src_hi.min(ghi);
-                    msgs.push(GhostMsg { src, dst, global_lo: i, global_hi: run_hi });
+                    msgs.push(GhostMsg {
+                        src,
+                        dst,
+                        global_lo: i,
+                        global_hi: run_hi,
+                    });
                     i = run_hi + 1;
                 }
             }
@@ -193,8 +205,10 @@ mod tests {
         let d = overlap(16, 4, 6); // halo wider than one block of 4
         let plan = d.exchange_plan();
         // p0's right halo covers globals 4..=9, owned by p1 (4..=7) and p2 (8..=9)
-        let p0_right: Vec<_> =
-            plan.iter().filter(|m| m.dst == 0 && m.global_lo > 3).collect();
+        let p0_right: Vec<_> = plan
+            .iter()
+            .filter(|m| m.dst == 0 && m.global_lo > 3)
+            .collect();
         assert_eq!(p0_right.len(), 2);
         assert_eq!(p0_right[0].src, 1);
         assert_eq!(p0_right[1].src, 2);

@@ -90,7 +90,12 @@ impl RedistPlan {
             }
         }
         let transfers = by_pair.into_values().flatten().collect();
-        RedistPlan { from: from.clone(), to: to.clone(), transfers, stationary }
+        RedistPlan {
+            from: from.clone(),
+            to: to.clone(),
+            transfers,
+            stationary,
+        }
     }
 
     /// Total number of elements moved between processors.
@@ -106,8 +111,7 @@ impl RedistPlan {
 
     /// Number of distinct communicating processor pairs.
     pub fn pair_count(&self) -> usize {
-        let mut pairs: Vec<(i64, i64)> =
-            self.transfers.iter().map(|t| (t.src, t.dst)).collect();
+        let mut pairs: Vec<(i64, i64)> = self.transfers.iter().map(|t| (t.src, t.dst)).collect();
         pairs.dedup();
         pairs.sort_unstable();
         pairs.dedup();

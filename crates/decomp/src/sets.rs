@@ -23,7 +23,12 @@ use vcal_core::Bounds;
 /// Build the ownership predicate `proc(f(i)) = p` as a structural
 /// [`Pred`] over the loop index.
 pub fn ownership_pred(decomp: &Decomp1, f: &Fn1, p: i64) -> Pred {
-    Pred::Cmp { dim: 0, f: decomp.proc_fn().compose(f).simplify(), op: CmpOp::Eq, rhs: p }
+    Pred::Cmp {
+        dim: 0,
+        f: decomp.proc_fn().compose(f).simplify(),
+        op: CmpOp::Eq,
+        rhs: p,
+    }
 }
 
 /// The Modify set of processor `p`: loop indices whose *written* element

@@ -70,7 +70,10 @@ pub struct ARef {
 impl ARef {
     /// 1-D convenience constructor.
     pub fn d1(array: impl Into<String>, index: IdxExpr) -> ARef {
-        ARef { array: array.into(), index: vec![index] }
+        ARef {
+            array: array.into(),
+            index: vec![index],
+        }
     }
 }
 

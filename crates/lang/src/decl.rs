@@ -134,22 +134,24 @@ pub fn parse_spec(src: &str) -> Result<DecompSpec, DeclError> {
         let name = ident(&toks, &mut pos)
             .ok_or_else(|| DeclError::Malformed("array needs a name".into()))?;
         if !expect(&toks, &mut pos, &Tok::LBracket) {
-            return Err(DeclError::Malformed(format!("array `{name}` needs `[lo:hi]`")));
+            return Err(DeclError::Malformed(format!(
+                "array `{name}` needs `[lo:hi]`"
+            )));
         }
-        let lo = int(&toks, &mut pos)
-            .ok_or_else(|| DeclError::Malformed("bad lower bound".into()))?;
+        let lo =
+            int(&toks, &mut pos).ok_or_else(|| DeclError::Malformed("bad lower bound".into()))?;
         // the lexer has no `:` token (it demands `:=`), so ranges are
         // written `lo : hi`? No — reuse `to`: `array A[0 to 1023]`.
         if ident(&toks, &mut pos).as_deref().is_some() {
             return Err(DeclError::Malformed(
                 "array bounds use `lo to hi` inside brackets".into(),
-            ))
+            ));
         }
         if !expect(&toks, &mut pos, &Tok::To) {
             return Err(DeclError::Malformed("array bounds use `lo to hi`".into()));
         }
-        let hi = int(&toks, &mut pos)
-            .ok_or_else(|| DeclError::Malformed("bad upper bound".into()))?;
+        let hi =
+            int(&toks, &mut pos).ok_or_else(|| DeclError::Malformed("bad upper bound".into()))?;
         if !expect(&toks, &mut pos, &Tok::RBracket) {
             return Err(DeclError::Malformed("missing `]`".into()));
         }
@@ -206,7 +208,10 @@ mod tests {
         assert_eq!(spec.decomps.len(), 4);
         assert_eq!(spec.decomps["A"].dist(), Distribution::Block { b: 128 });
         assert_eq!(spec.decomps["B"].dist(), Distribution::Scatter);
-        assert_eq!(spec.decomps["C"].dist(), Distribution::BlockScatter { b: 4 });
+        assert_eq!(
+            spec.decomps["C"].dist(),
+            Distribution::BlockScatter { b: 4 }
+        );
         assert!(spec.decomps["D"].is_replicated());
         assert_eq!(spec.decomps["D"].extent(), Bounds::range(-5, 99));
     }
@@ -230,7 +235,10 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(parse_spec("array A[0 to 9] block;").unwrap_err(), DeclError::MissingProcessors);
+        assert_eq!(
+            parse_spec("array A[0 to 9] block;").unwrap_err(),
+            DeclError::MissingProcessors
+        );
         assert!(matches!(
             parse_spec("processors 0;").unwrap_err(),
             DeclError::Malformed(_)

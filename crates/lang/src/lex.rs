@@ -206,7 +206,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     toks.push(Tok::Assign);
                     i += 2;
                 } else {
-                    return Err(LexError { pos: i, msg: "expected `:=`".into() });
+                    return Err(LexError {
+                        pos: i,
+                        msg: "expected `:=`".into(),
+                    });
                 }
             }
             '0'..='9' => {
@@ -257,7 +260,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 });
             }
             other => {
-                return Err(LexError { pos: i, msg: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
             }
         }
     }

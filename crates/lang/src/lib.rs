@@ -78,9 +78,10 @@ mod tests {
 
     #[test]
     fn compile_end_to_end() {
-        let clauses =
-            compile("for i := 0 to 7 do A[i] := B[i] + 1; od; for j := 0 to 7 do C[j] := A[j]; od;")
-                .unwrap();
+        let clauses = compile(
+            "for i := 0 to 7 do A[i] := B[i] + 1; od; for j := 0 to 7 do C[j] := A[j]; od;",
+        )
+        .unwrap();
         assert_eq!(clauses.len(), 2);
     }
 

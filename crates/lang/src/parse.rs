@@ -39,8 +39,15 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { at, found, expected } => {
-                write!(f, "parse error at token {at}: found `{found}`, expected {expected}")
+            ParseError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parse error at token {at}: found `{found}`, expected {expected}"
+                )
             }
         }
     }
@@ -404,14 +411,21 @@ mod tests {
 
     #[test]
     fn fig1_program() {
-        let prog = parse(
-            "for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;",
-        )
-        .unwrap();
+        let prog = parse("for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;").unwrap();
         assert_eq!(prog.len(), 1);
-        let Stmt::For { var, lo, hi, body } = &prog[0] else { panic!() };
+        let Stmt::For { var, lo, hi, body } = &prog[0] else {
+            panic!()
+        };
         assert_eq!((var.as_str(), *lo, *hi), ("i", 1, 9));
-        let Stmt::If { lhs, op, rhs, body: inner } = &body[0] else { panic!() };
+        let Stmt::If {
+            lhs,
+            op,
+            rhs,
+            body: inner,
+        } = &body[0]
+        else {
+            panic!()
+        };
         assert_eq!(lhs.array, "A");
         assert_eq!(*op, RelOp::Gt);
         assert_eq!(*rhs, 0.0);
@@ -420,10 +434,14 @@ mod tests {
 
     #[test]
     fn subscript_shapes() {
-        let prog = parse("for i := 0 to 9 do A[2*i+1] := B[(i+6) mod 20] + C[i div 4]; od;")
-            .unwrap();
-        let Stmt::For { body, .. } = &prog[0] else { panic!() };
-        let Stmt::Assign { lhs, rhs } = &body[0] else { panic!() };
+        let prog =
+            parse("for i := 0 to 9 do A[2*i+1] := B[(i+6) mod 20] + C[i div 4]; od;").unwrap();
+        let Stmt::For { body, .. } = &prog[0] else {
+            panic!()
+        };
+        let Stmt::Assign { lhs, rhs } = &body[0] else {
+            panic!()
+        };
         assert_eq!(
             lhs.index,
             vec![IdxExpr::Add(
@@ -439,25 +457,37 @@ mod tests {
     #[test]
     fn squaring_subscript() {
         let prog = parse("for i := 0 to 9 do A[i*i] := 1; od;").unwrap();
-        let Stmt::For { body, .. } = &prog[0] else { panic!() };
-        let Stmt::Assign { lhs, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &prog[0] else {
+            panic!()
+        };
+        let Stmt::Assign { lhs, .. } = &body[0] else {
+            panic!()
+        };
         assert!(matches!(lhs.index[0], IdxExpr::MulVar(_, _)));
     }
 
     #[test]
     fn value_precedence() {
         let prog = parse("for i := 0 to 3 do A[i] := 1 + 2 * B[i]; od;").unwrap();
-        let Stmt::For { body, .. } = &prog[0] else { panic!() };
-        let Stmt::Assign { rhs, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &prog[0] else {
+            panic!()
+        };
+        let Stmt::Assign { rhs, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "(1 + (2 * B[i]))");
     }
 
     #[test]
     fn negative_bounds_and_literals() {
         let prog = parse("for i := -3 to 3 do A[i] := -1.5; od;").unwrap();
-        let Stmt::For { lo, hi, body, .. } = &prog[0] else { panic!() };
+        let Stmt::For { lo, hi, body, .. } = &prog[0] else {
+            panic!()
+        };
         assert_eq!((*lo, *hi), (-3, 3));
-        let Stmt::Assign { rhs, .. } = &body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(*rhs, ValExpr::Neg(Box::new(ValExpr::Num(1.5))));
     }
 
@@ -467,15 +497,15 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("expected"), "{msg}");
         assert!(parse("").is_err());
-        assert!(parse("for i := 1 to 2 do od;").is_err() || parse("for i := 1 to 2 do od;").is_ok());
+        assert!(
+            parse("for i := 1 to 2 do od;").is_err() || parse("for i := 1 to 2 do od;").is_ok()
+        );
     }
 
     #[test]
     fn multiple_statements() {
-        let prog = parse(
-            "for i := 0 to 9 do A[i] := 0; od; for j := 0 to 9 do B[j] := A[j]; od;",
-        )
-        .unwrap();
+        let prog = parse("for i := 0 to 9 do A[i] := 0; od; for j := 0 to 9 do B[j] := A[j]; od;")
+            .unwrap();
         assert_eq!(prog.len(), 2);
     }
 }

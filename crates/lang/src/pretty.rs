@@ -51,7 +51,12 @@ pub fn to_vcal(clause: &Clause) -> String {
     let guard = match &clause.guard {
         Guard::Always => String::new(),
         Guard::Cmp { lhs, op, rhs } => {
-            format!(" | [{}]{}{}{rhs}", map_text(&lhs.map), lhs.array, op.symbol())
+            format!(
+                " | [{}]{}{}{rhs}",
+                map_text(&lhs.map),
+                lhs.array,
+                op.symbol()
+            )
         }
     };
     let ord = clause.ordering.symbol();
@@ -143,7 +148,10 @@ mod tests {
         )
         .unwrap();
         let s = to_vcal(&c);
-        assert_eq!(s, "\u{2206}(i \u{2208} (1:9 | [i]A>0)) // ([i](A) := [i+1](B))");
+        assert_eq!(
+            s,
+            "\u{2206}(i \u{2208} (1:9 | [i]A>0)) // ([i](A) := [i+1](B))"
+        );
     }
 
     #[test]
@@ -186,12 +194,14 @@ mod tests {
 
     #[test]
     fn sequential_clause_annotated() {
-        let c = translate(
-            &parse("for i := 1 to 9 do A[i] := A[i-1] + 1; od;").unwrap()[0],
-        )
-        .unwrap();
+        let c =
+            translate(&parse("for i := 1 to 9 do A[i] := A[i-1] + 1; od;").unwrap()[0]).unwrap();
         let s = to_vcal(&c);
         assert!(s.contains("\u{2022}"), "{s}");
-        assert!(to_imperative(&c).contains("sequential"), "{}", to_imperative(&c));
+        assert!(
+            to_imperative(&c).contains("sequential"),
+            "{}",
+            to_imperative(&c)
+        );
     }
 }

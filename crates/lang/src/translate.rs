@@ -18,9 +18,7 @@ use crate::ast::{ARef, IdxExpr, RelOp, Stmt, ValExpr};
 use std::fmt;
 use vcal_core::func::Fn1;
 use vcal_core::map::{DimFn, IndexMap};
-use vcal_core::{
-    ArrayRef, BinOp, Bounds, Clause, CmpOp, Expr, Guard, IndexSet, Ix, Ordering,
-};
+use vcal_core::{ArrayRef, BinOp, Bounds, Clause, CmpOp, Expr, Guard, IndexSet, Ix, Ordering};
 
 /// Translation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,11 +55,18 @@ impl fmt::Display for TranslateError {
                 write!(f, "a subscript may reference only one loop variable")
             }
             TranslateError::NonSquareProduct => {
-                write!(f, "only squaring (v*v) is supported among variable products")
+                write!(
+                    f,
+                    "only squaring (v*v) is supported among variable products"
+                )
             }
             TranslateError::BadModulus(z) => write!(f, "mod/div by non-positive {z}"),
             TranslateError::TooManyDimensions => {
-                write!(f, "loop nests deeper than {} are unsupported", vcal_core::ix::MAX_DIMS)
+                write!(
+                    f,
+                    "loop nests deeper than {} are unsupported",
+                    vcal_core::ix::MAX_DIMS
+                )
             }
         }
     }
@@ -89,7 +94,14 @@ fn idx_to_fn1_any(e: &IdxExpr) -> Result<(Fn1, Option<String>), TranslateError> 
         IdxExpr::Var(v) => (Fn1::identity(), Some(v.clone())),
         IdxExpr::Scale(k, inner) => {
             let (g, u) = idx_to_fn1_any(inner)?;
-            (Fn1::Scaled { a: *k, c: 0, inner: Box::new(g) }, u)
+            (
+                Fn1::Scaled {
+                    a: *k,
+                    c: 0,
+                    inner: Box::new(g),
+                },
+                u,
+            )
         }
         IdxExpr::Add(a, b) => {
             let (ga, ua) = idx_to_fn1_any(a)?;
@@ -102,7 +114,11 @@ fn idx_to_fn1_any(e: &IdxExpr) -> Result<(Fn1, Option<String>), TranslateError> 
             (
                 Fn1::Sum(
                     Box::new(ga),
-                    Box::new(Fn1::Scaled { a: -1, c: 0, inner: Box::new(gb) }),
+                    Box::new(Fn1::Scaled {
+                        a: -1,
+                        c: 0,
+                        inner: Box::new(gb),
+                    }),
                 ),
                 merge_vars(ua, ub)?,
             )
@@ -120,23 +136,33 @@ fn idx_to_fn1_any(e: &IdxExpr) -> Result<(Fn1, Option<String>), TranslateError> 
                 return Err(TranslateError::BadModulus(*z));
             }
             let (g, u) = idx_to_fn1_any(inner)?;
-            (Fn1::Mod { inner: Box::new(g), z: *z, d: 0 }, u)
+            (
+                Fn1::Mod {
+                    inner: Box::new(g),
+                    z: *z,
+                    d: 0,
+                },
+                u,
+            )
         }
         IdxExpr::Div(inner, q) => {
             if *q <= 0 {
                 return Err(TranslateError::BadModulus(*q));
             }
             let (g, u) = idx_to_fn1_any(inner)?;
-            (Fn1::Div { inner: Box::new(g), q: *q }, u)
+            (
+                Fn1::Div {
+                    inner: Box::new(g),
+                    q: *q,
+                },
+                u,
+            )
         }
     };
     Ok((f.0.simplify(), f.1))
 }
 
-fn merge_vars(
-    a: Option<String>,
-    b: Option<String>,
-) -> Result<Option<String>, TranslateError> {
+fn merge_vars(a: Option<String>, b: Option<String>) -> Result<Option<String>, TranslateError> {
     match (a, b) {
         (None, x) | (x, None) => Ok(x),
         (Some(x), Some(y)) if x == y => Ok(Some(x)),
@@ -157,7 +183,10 @@ fn aref_to_ref(r: &ARef, vars: &[String]) -> Result<ArrayRef, TranslateError> {
         };
         dims.push(DimFn { src, f });
     }
-    Ok(ArrayRef::new(r.array.clone(), IndexMap::new(vars.len(), dims)))
+    Ok(ArrayRef::new(
+        r.array.clone(),
+        IndexMap::new(vars.len(), dims),
+    ))
 }
 
 fn relop_to_cmp(op: RelOp) -> CmpOp {
@@ -240,7 +269,10 @@ pub fn translate(stmt: &Stmt) -> Result<Clause, TranslateError> {
     let (guard, assign) = match cur {
         Stmt::Assign { lhs, rhs } => (Guard::Always, (lhs, rhs)),
         Stmt::If { lhs, op, rhs, body } => match body.as_slice() {
-            [Stmt::Assign { lhs: alhs, rhs: arhs }] => (
+            [Stmt::Assign {
+                lhs: alhs,
+                rhs: arhs,
+            }] => (
                 Guard::Cmp {
                     lhs: aref_to_ref(lhs, &vars)?,
                     op: relop_to_cmp(*op),
@@ -271,7 +303,11 @@ pub fn translate(stmt: &Stmt) -> Result<Clause, TranslateError> {
         .iter()
         .all(|r| r.array != clause.lhs.array || r.map == lhs_map);
     Ok(Clause {
-        ordering: if independent { Ordering::Par } else { Ordering::Seq },
+        ordering: if independent {
+            Ordering::Par
+        } else {
+            Ordering::Seq
+        },
         ..clause
     })
 }
@@ -329,9 +365,7 @@ mod tests {
     #[test]
     fn nested_2d_loop() {
         // V[i,j] := U[i-1, 2*j]
-        let c = clause_of(
-            "for i := 1 to 8 do for j := 0 to 4 do V[i, j] := U[i-1, 2*j]; od; od;",
-        );
+        let c = clause_of("for i := 1 to 8 do for j := 0 to 4 do V[i, j] := U[i-1, 2*j]; od; od;");
         assert_eq!(c.iter.bounds, Bounds::range2(1, 8, 0, 4));
         assert_eq!(c.lhs.map.d_out(), 2);
         assert_eq!(c.lhs.map.eval(&Ix::d2(3, 2)), Ix::d2(3, 2));
@@ -359,9 +393,11 @@ mod tests {
 
     #[test]
     fn mixed_variable_subscript_rejected() {
-        let prog = parse("for i := 0 to 5 do for j := 0 to 5 do A[i+j, j] := 1; od; od;")
-            .unwrap();
-        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::MixedVariables);
+        let prog = parse("for i := 0 to 5 do for j := 0 to 5 do A[i+j, j] := 1; od; od;").unwrap();
+        assert_eq!(
+            translate(&prog[0]).unwrap_err(),
+            TranslateError::MixedVariables
+        );
     }
 
     #[test]
@@ -390,8 +426,14 @@ mod tests {
         let src = "for i := 1 to 8 do if A[i] > 2.5 then A[i] := B[i+1] + 0.5; fi; od;";
         let c = clause_of(src);
         let mut env = Env::new();
-        env.insert("A", Array::from_fn(Bounds::range(0, 9), |i| i.scalar() as f64));
-        env.insert("B", Array::from_fn(Bounds::range(0, 9), |i| (10 * i.scalar()) as f64));
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, 9), |i| i.scalar() as f64),
+        );
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, 9), |i| (10 * i.scalar()) as f64),
+        );
         let mut manual = env.clone();
         {
             let a0: Vec<f64> = manual.get("A").unwrap().data().to_vec();
@@ -404,7 +446,10 @@ mod tests {
             }
         }
         env.exec_clause(&c);
-        assert_eq!(env.get("A").unwrap().max_abs_diff(manual.get("A").unwrap()), 0.0);
+        assert_eq!(
+            env.get("A").unwrap().max_abs_diff(manual.get("A").unwrap()),
+            0.0
+        );
     }
 
     #[test]
@@ -415,10 +460,16 @@ mod tests {
             TranslateError::ForeignVariable("j".into())
         );
         let prog = parse("for i := 0 to 9 do A[i] := 1; B[i] := 2; od;").unwrap();
-        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::UnsupportedBody);
+        assert_eq!(
+            translate(&prog[0]).unwrap_err(),
+            TranslateError::UnsupportedBody
+        );
         let prog = parse("A[0] := 1;").unwrap();
         assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::NotALoop);
         let prog = parse("for i := 0 to 9 do A[i mod -2] := 1; od;").unwrap();
-        assert_eq!(translate(&prog[0]).unwrap_err(), TranslateError::BadModulus(-2));
+        assert_eq!(
+            translate(&prog[0]).unwrap_err(),
+            TranslateError::BadModulus(-2)
+        );
     }
 }

@@ -111,7 +111,11 @@ mod tests {
         ] {
             let d = DistArray::scatter_from(&global, dec.clone());
             let back = d.gather();
-            assert_eq!(back.max_abs_diff(&global), 0.0, "roundtrip failed for {dec}");
+            assert_eq!(
+                back.max_abs_diff(&global),
+                0.0,
+                "roundtrip failed for {dec}"
+            );
         }
     }
 

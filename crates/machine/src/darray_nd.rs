@@ -95,18 +95,14 @@ mod tests {
 
     #[test]
     fn scatter_gather_roundtrip() {
-        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| {
-            (i[0] * 100 + i[1]) as f64
-        });
+        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| (i[0] * 100 + i[1]) as f64);
         let d = DistArrayNd::scatter_from(&global, grid());
         assert_eq!(d.gather().max_abs_diff(&global), 0.0);
     }
 
     #[test]
     fn read_local_matches() {
-        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| {
-            (i[0] * 10 + i[1]) as f64
-        });
+        let global = Array::from_fn(Bounds::range2(0, 7, 0, 8), |i| (i[0] * 10 + i[1]) as f64);
         let d = DistArrayNd::scatter_from(&global, grid());
         for g in d.decomp().extent().iter() {
             let p = d.decomp().proc_of(&g);

@@ -16,17 +16,38 @@
 //!
 //! The iteration sets come from the plan's schedules (naive or
 //! closed-form), so the machine measures exactly the run-time the paper's
-//! compile-time optimizations buy. Messages are tagged with their
-//! `(read-slot, loop-index)` so arrival order never matters; a per-node
-//! pending buffer absorbs out-of-order traffic. A configurable receive
-//! timeout plus optional fault injection (message dropping) lets the
-//! tests verify the pairing logic detects lost sends instead of hanging.
+//! compile-time optimizations buy.
+//!
+//! Two communication modes implement the template
+//! ([`CommMode`], selected via [`DistOptions`]):
+//!
+//! * **Element** — the literal template: one tagged `(read-slot,
+//!   loop-index)` message per remote element, destination resolved by an
+//!   ownership test at run time, out-of-order arrivals absorbed by an
+//!   ordered pending buffer.
+//! * **Vectorized** (default) — the plan's communication schedule
+//!   ([`vcal_spmd::NodeCommPlan`], derived at plan time from
+//!   `Reside_p ∩ Modify_q`) drives the send phase directly: one vector
+//!   message per coalesced run, packed in run order. The receiver stages
+//!   each packet by its `(source, run)` tag — derived from the *same*
+//!   plan, so no per-element matching happens — and the update phase
+//!   reads values by plan-computed offsets.
+//!
+//! Wire traffic is modeled in [`NodeStats`]: `msgs_sent`/`msgs_received`
+//! always count payload *elements* (identical across modes), while
+//! `packets_sent`/`bytes_sent`/`max_packet_elems` expose the batching
+//! (an element message costs 24 modeled bytes — slot, index, value — and
+//! a vector message 16 header bytes plus 8 per element).
+//!
+//! A configurable receive timeout plus optional fault injection (message
+//! dropping) lets the tests verify the pairing logic detects lost sends
+//! instead of hanging; in vectorized mode `drop_nth` counts packets.
 
 use crate::darray::DistArray;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
 use vcal_decomp::Decomp1;
@@ -43,12 +64,44 @@ struct Msg {
     value: f64,
 }
 
+/// Modeled wire cost of one element message (slot + index + value).
+pub(crate) const ELEM_MSG_BYTES: u64 = 24;
+/// Modeled header cost of one vector message (source + run tag).
+pub(crate) const PACK_HEADER_BYTES: u64 = 16;
+
+/// What actually travels on a channel.
+enum Wire {
+    /// Element mode: one tagged value.
+    Elem(Msg),
+    /// Vectorized mode: all values of one planned run, packed in run
+    /// order. `run_ord` indexes the sender's run list for this pair,
+    /// which the plan guarantees is identical to the receiver's.
+    Pack {
+        src: i64,
+        run_ord: usize,
+        values: Vec<f64>,
+    },
+}
+
+/// How remote operands travel between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommMode {
+    /// One tagged message per element (the literal Section 2.10
+    /// template; kept as the baseline and fallback).
+    Element,
+    /// One vector message per planned communication run.
+    #[default]
+    Vectorized,
+}
+
 /// Deterministic fault injection for testing the template's pairing logic.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultInjection {
     /// Node whose outgoing message is dropped.
     pub drop_from: i64,
-    /// Which of its messages (0-based send order) to drop.
+    /// Which of its wire messages (0-based send order) to drop —
+    /// elements in [`CommMode::Element`], packets in
+    /// [`CommMode::Vectorized`].
     pub drop_nth: u64,
 }
 
@@ -59,11 +112,17 @@ pub struct DistOptions {
     pub recv_timeout: Duration,
     /// Optional fault injection.
     pub faults: Option<FaultInjection>,
+    /// How remote operands are shipped.
+    pub mode: CommMode,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        DistOptions { recv_timeout: Duration::from_secs(5), faults: None }
+        DistOptions {
+            recv_timeout: Duration::from_secs(5),
+            faults: None,
+            mode: CommMode::default(),
+        }
     }
 }
 
@@ -127,7 +186,11 @@ fn resolve_guard(g: &Guard, node: &NodePlan) -> RGuard {
                 .iter()
                 .position(|rp| rp.array == lhs.array && rp.g == *gf)
                 .expect("guard ref must be in the reside list");
-            RGuard::Cmp { slot, op: *op, rhs: *rhs }
+            RGuard::Cmp {
+                slot,
+                op: *op,
+                rhs: *rhs,
+            }
         }
     }
 }
@@ -146,7 +209,7 @@ type NodeOutcome = (
 struct Worker {
     p: i64,
     locals: BTreeMap<String, Vec<f64>>,
-    rx: Receiver<Msg>,
+    rx: Receiver<Wire>,
 }
 
 /// Execute a `//` clause on the distributed-memory machine.
@@ -198,18 +261,28 @@ pub fn run_distributed(
     }
 
     // channels: one receiver per node, senders shared
-    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(pmax as usize);
+    let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(pmax as usize);
     let mut workers: Vec<Worker> = Vec::with_capacity(pmax as usize);
     for (p, locals) in per_node.into_iter().enumerate() {
         let (tx, rx) = unbounded();
         txs.push(tx);
-        workers.push(Worker { p: p as i64, locals, rx });
+        workers.push(Worker {
+            p: p as i64,
+            locals,
+            rx,
+        });
     }
 
-    let rexpr_per_node: Vec<RExpr> =
-        plan.nodes.iter().map(|n| resolve_expr(&clause.rhs, n)).collect();
-    let rguard_per_node: Vec<RGuard> =
-        plan.nodes.iter().map(|n| resolve_guard(&clause.guard, n)).collect();
+    let rexpr_per_node: Vec<RExpr> = plan
+        .nodes
+        .iter()
+        .map(|n| resolve_expr(&clause.rhs, n))
+        .collect();
+    let rguard_per_node: Vec<RGuard> = plan
+        .nodes
+        .iter()
+        .map(|n| resolve_guard(&clause.guard, n))
+        .collect();
 
     let mut results: Vec<NodeOutcome> = Vec::with_capacity(pmax as usize);
 
@@ -224,7 +297,9 @@ pub fn run_distributed(
             let dec_lhs = &dec_lhs;
             let plan = &plan;
             handles.push(scope.spawn(move || {
-                run_node(worker, node, plan, rexpr, rguard, txs, decomps, dec_lhs, opts)
+                run_node(
+                    worker, node, plan, rexpr, rguard, txs, decomps, dec_lhs, opts,
+                )
             }));
         }
         // drop the main thread's senders so lost messages cannot keep
@@ -270,7 +345,7 @@ fn run_node(
     plan: &SpmdPlan,
     rexpr: &RExpr,
     rguard: &RGuard,
-    txs: Vec<Sender<Msg>>,
+    txs: Vec<Sender<Wire>>,
     decomps: &BTreeMap<String, Decomp1>,
     dec_lhs: &Decomp1,
     opts: DistOptions,
@@ -280,39 +355,80 @@ fn run_node(
     stats.guard_tests += node.modify.schedule.work_estimate();
     let mut sent_to = vec![0u64; txs.len()];
 
-    // ---- send phase: Reside_p \ Modify_p --------------------------------
-    let mut sent = 0u64;
-    for (slot, rp) in node.resides.iter().enumerate() {
-        if rp.replicated {
-            continue;
-        }
-        stats.guard_tests += rp.opt.schedule.work_estimate();
-        let dec_r = &decomps[&rp.array];
-        let local_part = &worker.locals[&rp.array];
-        rp.opt.schedule.for_each(|i| {
-            let owner = dec_lhs.proc_of(plan.f.eval(i));
-            if owner != p {
-                let g = rp.g.eval(i);
-                let value = local_part[dec_r.local_of(g) as usize];
-                let dropped = matches!(
-                    opts.faults,
-                    Some(f) if f.drop_from == p && f.drop_nth == sent
-                );
-                if !dropped {
-                    // non-blocking send (unbounded channel)
-                    let _ = txs[owner as usize].send(Msg { slot, i, value });
+    // ---- send phase: Reside_p ∩ Modify_q, q ≠ p -------------------------
+    let mut wire_msgs = 0u64;
+    match opts.mode {
+        CommMode::Element => {
+            // literal template: per-element ownership test + tagged send
+            for (slot, rp) in node.resides.iter().enumerate() {
+                if rp.replicated {
+                    continue;
                 }
-                sent += 1;
-                sent_to[owner as usize] += 1;
-                stats.msgs_sent += 1;
+                stats.guard_tests += rp.opt.schedule.work_estimate();
+                let dec_r = &decomps[&rp.array];
+                let local_part = &worker.locals[&rp.array];
+                rp.opt.schedule.for_each(|i| {
+                    let owner = dec_lhs.proc_of(plan.f.eval(i));
+                    if owner != p {
+                        let g = rp.g.eval(i);
+                        let value = local_part[dec_r.local_of(g) as usize];
+                        let dropped = matches!(
+                            opts.faults,
+                            Some(f) if f.drop_from == p && f.drop_nth == wire_msgs
+                        );
+                        if !dropped {
+                            // non-blocking send (unbounded channel)
+                            let _ = txs[owner as usize].send(Wire::Elem(Msg { slot, i, value }));
+                        }
+                        wire_msgs += 1;
+                        sent_to[owner as usize] += 1;
+                        stats.msgs_sent += 1;
+                        stats.packets_sent += 1;
+                        stats.bytes_sent += ELEM_MSG_BYTES;
+                        stats.max_packet_elems = stats.max_packet_elems.max(1);
+                    }
+                });
             }
-        });
+        }
+        CommMode::Vectorized => {
+            // the plan already knows every destination and run: pack each
+            // run into one vector message, no run-time ownership tests
+            for pair in &node.comm.sends {
+                for (run_ord, run) in pair.runs.iter().enumerate() {
+                    let rp = &node.resides[run.slot];
+                    let dec_r = &decomps[&rp.array];
+                    let local_part = &worker.locals[&rp.array];
+                    let mut values = Vec::with_capacity(run.count as usize);
+                    run.for_each(|i| {
+                        values.push(local_part[dec_r.local_of(rp.g.eval(i)) as usize]);
+                    });
+                    let elems = values.len() as u64;
+                    let dropped = matches!(
+                        opts.faults,
+                        Some(f) if f.drop_from == p && f.drop_nth == wire_msgs
+                    );
+                    if !dropped {
+                        let _ = txs[pair.peer as usize].send(Wire::Pack {
+                            src: p,
+                            run_ord,
+                            values,
+                        });
+                    }
+                    wire_msgs += 1;
+                    sent_to[pair.peer as usize] += elems;
+                    stats.msgs_sent += elems;
+                    stats.packets_sent += 1;
+                    stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
+                    stats.max_packet_elems = stats.max_packet_elems.max(elems);
+                }
+            }
+        }
     }
     drop(txs);
 
     // ---- update phase: Modify_p -----------------------------------------
-    let mut pending: HashMap<(usize, i64), f64> = HashMap::new();
-    let mut writes: Vec<(usize, f64)> = Vec::new();
+    let mut recv = RecvState::new(node, opts.mode, plan.pmax as usize);
+    let mut writes: Vec<(usize, f64)> = Vec::with_capacity(node.modify.schedule.count() as usize);
     let mut vals = vec![0.0f64; node.resides.len()];
     let mut err: Option<MachineError> = None;
 
@@ -332,18 +448,24 @@ fn run_node(
                 stats.local_reads += 1;
                 worker.locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
             } else {
-                // blocking receive with matching on (slot, i)
-                match recv_match(&worker.rx, &mut pending, slot, i, opts.recv_timeout) {
-                    Some(v) => {
+                match recv.remote_value(&worker.rx, slot, i, opts.recv_timeout) {
+                    Ok(v) => {
                         stats.msgs_received += 1;
                         v
                     }
-                    None => {
+                    Err(RecvFail::Timeout) => {
                         err = Some(MachineError::MissingMessage {
                             node: p,
                             array: rp.array.clone(),
                             index: i,
                         });
+                        return;
+                    }
+                    Err(RecvFail::BadWire(why)) => {
+                        err = Some(MachineError::PlanMismatch(format!(
+                            "node {p}, array `{}`, i={i}: {why}",
+                            rp.array
+                        )));
                         return;
                     }
                 }
@@ -372,27 +494,132 @@ fn run_node(
     (p, worker.locals, stats, sent_to, err.map_or(Ok(()), Err))
 }
 
-/// Receive until the `(slot, i)`-tagged message appears, buffering
-/// everything else. `None` on timeout.
-fn recv_match(
-    rx: &Receiver<Msg>,
-    pending: &mut HashMap<(usize, i64), f64>,
-    slot: usize,
-    i: i64,
-    timeout: Duration,
-) -> Option<f64> {
-    if let Some(v) = pending.remove(&(slot, i)) {
-        return Some(v);
-    }
-    loop {
-        match rx.recv_timeout(timeout) {
-            Ok(msg) => {
-                if msg.slot == slot && msg.i == i {
-                    return Some(msg.value);
+/// Why a remote value could not be produced.
+enum RecvFail {
+    /// The wire message never arrived within the timeout.
+    Timeout,
+    /// The wire carried something the mode/plan does not account for.
+    BadWire(&'static str),
+}
+
+/// Per-node receive-side state, by mode.
+enum RecvState {
+    /// Element mode: out-of-order arrivals buffered in an ordered map
+    /// keyed `(slot, i)`.
+    Element {
+        pending: BTreeMap<(usize, i64), f64>,
+    },
+    /// Vectorized mode: packets staged whole by `(source, run)`; each
+    /// remote element resolves to a plan-computed `(source, run,
+    /// offset)` address — no per-element tag matching.
+    Packed {
+        /// source processor id → ordinal in the recv pair list.
+        src_ord: Vec<usize>,
+        /// `staging[source ordinal][run]` = the packet's values.
+        staging: Vec<Vec<Option<Vec<f64>>>>,
+        /// `(slot, i)` → `(source ordinal, run, offset)`, expanded from
+        /// the plan's receive runs before the update loop starts.
+        origin: BTreeMap<(usize, i64), (usize, usize, usize)>,
+    },
+}
+
+impl RecvState {
+    fn new(node: &NodePlan, mode: CommMode, pmax: usize) -> RecvState {
+        match mode {
+            CommMode::Element => RecvState::Element {
+                pending: BTreeMap::new(),
+            },
+            CommMode::Vectorized => {
+                let mut src_ord = vec![usize::MAX; pmax];
+                let mut origin = BTreeMap::new();
+                let mut staging = Vec::with_capacity(node.comm.recvs.len());
+                for (ord, pc) in node.comm.recvs.iter().enumerate() {
+                    src_ord[pc.peer as usize] = ord;
+                    staging.push(vec![None; pc.runs.len()]);
+                    for (run_ord, run) in pc.runs.iter().enumerate() {
+                        let mut off = 0usize;
+                        run.for_each(|i| {
+                            origin.insert((run.slot, i), (ord, run_ord, off));
+                            off += 1;
+                        });
+                    }
                 }
-                pending.insert((msg.slot, msg.i), msg.value);
+                RecvState::Packed {
+                    src_ord,
+                    staging,
+                    origin,
+                }
             }
-            Err(_) => return None,
+        }
+    }
+
+    /// Produce the remote operand for `(slot, i)`, receiving from the
+    /// channel as needed.
+    fn remote_value(
+        &mut self,
+        rx: &Receiver<Wire>,
+        slot: usize,
+        i: i64,
+        timeout: Duration,
+    ) -> Result<f64, RecvFail> {
+        match self {
+            RecvState::Element { pending } => {
+                if let Some(v) = pending.remove(&(slot, i)) {
+                    return Ok(v);
+                }
+                loop {
+                    match rx.recv_timeout(timeout) {
+                        Ok(Wire::Elem(m)) => {
+                            if m.slot == slot && m.i == i {
+                                return Ok(m.value);
+                            }
+                            pending.insert((m.slot, m.i), m.value);
+                        }
+                        Ok(Wire::Pack { .. }) => {
+                            return Err(RecvFail::BadWire("vector packet in element mode"))
+                        }
+                        Err(_) => return Err(RecvFail::Timeout),
+                    }
+                }
+            }
+            RecvState::Packed {
+                src_ord,
+                staging,
+                origin,
+            } => {
+                let &(so, ro, off) = origin
+                    .get(&(slot, i))
+                    .ok_or(RecvFail::BadWire("no planned packet covers this element"))?;
+                while staging[so][ro].is_none() {
+                    match rx.recv_timeout(timeout) {
+                        Ok(Wire::Pack {
+                            src,
+                            run_ord,
+                            values,
+                        }) => {
+                            let ord = src_ord
+                                .get(src as usize)
+                                .copied()
+                                .filter(|&o| o != usize::MAX)
+                                .ok_or(RecvFail::BadWire("packet from unplanned source"))?;
+                            if run_ord >= staging[ord].len() {
+                                return Err(RecvFail::BadWire("packet run tag out of range"));
+                            }
+                            staging[ord][run_ord] = Some(values);
+                        }
+                        Ok(Wire::Elem(_)) => {
+                            return Err(RecvFail::BadWire("element message in vectorized mode"))
+                        }
+                        Err(_) => return Err(RecvFail::Timeout),
+                    }
+                }
+                staging[so][ro]
+                    .as_ref()
+                    .unwrap()
+                    .get(off)
+                    .copied()
+                    .ok_or(RecvFail::BadWire("packet shorter than its planned run"))
+            }
         }
     }
 }
@@ -418,14 +645,14 @@ mod tests {
             ordering: Ordering::Par,
             guard: Guard::Always,
             lhs: ArrayRef::d1("A", f),
-            rhs: Expr::add(
-                Expr::Ref(ArrayRef::d1("B", g)),
-                Expr::Lit(0.5),
-            ),
+            rhs: Expr::add(Expr::Ref(ArrayRef::d1("B", g)), Expr::Lit(0.5)),
         };
         let mut env = Env::new();
         env.insert("A", Array::zeros(dec_a.extent()));
-        env.insert("B", Array::from_fn(dec_b.extent(), |i| (i.scalar() * 3) as f64));
+        env.insert(
+            "B",
+            Array::from_fn(dec_b.extent(), |i| (i.scalar() * 3) as f64),
+        );
         let mut dm = DecompMap::new();
         dm.insert("A".into(), dec_a);
         dm.insert("B".into(), dec_b);
@@ -449,8 +676,7 @@ mod tests {
                 DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
             );
         }
-        let report =
-            run_distributed(&plan, clause, &mut arrays, DistOptions::default()).unwrap();
+        let report = run_distributed(&plan, clause, &mut arrays, DistOptions::default()).unwrap();
         let got = arrays["A"].gather();
         assert_eq!(
             got.max_abs_diff(expect.get("A").unwrap()),
@@ -560,11 +786,18 @@ mod tests {
         };
         let mut env = Env::new();
         env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
         env.insert(
             "C",
             Array::from_fn(Bounds::range(0, n - 1), |i| {
-                if i.scalar() % 2 == 0 { 1.0 } else { -1.0 }
+                if i.scalar() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
             }),
         );
         let mut dm = DecompMap::new();
@@ -583,6 +816,81 @@ mod tests {
             );
         }
         run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
+        assert_eq!(
+            arrays["A"].gather().max_abs_diff(expect.get("A").unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn vectorized_aggregates_packets() {
+        let n = 64;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::identity(),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            0,
+            n - 1,
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut totals = Vec::new();
+        for mode in [CommMode::Element, CommMode::Vectorized] {
+            let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+            for name in ["A", "B"] {
+                arrays.insert(
+                    name.into(),
+                    DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
+                );
+            }
+            let opts = DistOptions {
+                mode,
+                ..DistOptions::default()
+            };
+            let report = run_distributed(&plan, &clause, &mut arrays, opts).unwrap();
+            totals.push(report.total());
+        }
+        let (elem, vect) = (totals[0], totals[1]);
+        // element totals are identical across modes
+        assert_eq!(elem.msgs_sent, vect.msgs_sent);
+        assert_eq!(elem.msgs_received, vect.msgs_received);
+        // element mode: one wire message per element
+        assert_eq!(elem.packets_sent, elem.msgs_sent);
+        assert_eq!(elem.max_packet_elems, 1);
+        // vectorized mode: strictly fewer, larger messages
+        assert!(vect.packets_sent < vect.msgs_sent);
+        assert!(vect.max_packet_elems > 1);
+        assert!(vect.bytes_sent < elem.bytes_sent);
+    }
+
+    #[test]
+    fn element_mode_still_exact() {
+        let n = 128;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::affine(2, 1),
+            Fn1::affine(3, 0),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            Decomp1::block_scatter(4, 4, Bounds::range(0, 3 * n)),
+            0,
+            n / 2 - 1,
+        );
+        let mut expect = env.clone();
+        expect.exec_clause(&clause);
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+        for name in ["A", "B"] {
+            arrays.insert(
+                name.into(),
+                DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
+            );
+        }
+        let opts = DistOptions {
+            mode: CommMode::Element,
+            ..DistOptions::default()
+        };
+        run_distributed(&plan, &clause, &mut arrays, opts).unwrap();
         assert_eq!(
             arrays["A"].gather().max_abs_diff(expect.get("A").unwrap()),
             0.0
@@ -611,7 +919,11 @@ mod tests {
         }
         let opts = DistOptions {
             recv_timeout: Duration::from_millis(200),
-            faults: Some(FaultInjection { drop_from: 1, drop_nth: 0 }),
+            faults: Some(FaultInjection {
+                drop_from: 1,
+                drop_nth: 0,
+            }),
+            ..DistOptions::default()
         };
         let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
         assert!(matches!(err, MachineError::MissingMessage { .. }), "{err}");

@@ -1,13 +1,23 @@
 //! The distributed-memory machine for multi-dimensional clauses on
 //! processor grids — the Section 2.10 template with d-dimensional
 //! Modify/Reside sets (Cartesian products of per-axis Table I schedules,
-//! `vcal_spmd::optimize_nd`) and messages tagged by `(read-slot, Ix)`.
+//! `vcal_spmd::optimize_nd`).
+//!
+//! Like the 1-D machine, it supports two [`CommMode`]s: **Element**
+//! ships one `(read-slot, Ix)`-tagged message per remote value;
+//! **Vectorized** (default) derives the per-ordered-pair send sets up
+//! front — here by enumerating each ownership set once and bucketing by
+//! the write target's owner, since the grid schedules have no 1-D
+//! lattice algebra — and ships one vector message per `(source,
+//! destination, slot)` with values in a deterministic order both sides
+//! compute from the same shared plan.
 
 use crate::darray_nd::DistArrayNd;
+use crate::distributed::{CommMode, ELEM_MSG_BYTES, PACK_HEADER_BYTES};
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 use vcal_core::map::IndexMap;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ix, Ordering};
@@ -20,6 +30,30 @@ struct Msg {
     i: Ix,
     value: f64,
 }
+
+/// What travels on an nd channel.
+enum Wire {
+    Elem(Msg),
+    /// All values of one planned run, tagged by source and the run's
+    /// ordinal in the `(src, dst)` pair's run list.
+    Pack {
+        src: i64,
+        run_ord: usize,
+        values: Vec<f64>,
+    },
+}
+
+/// One planned vector message: the multi-indices whose values it
+/// carries, in packing order.
+struct NdRun {
+    slot: usize,
+    elems: Vec<Ix>,
+}
+
+/// `send_plan[src][dst]` = that pair's runs in wire order. Derived once
+/// on the coordinating thread and shared read-only by every node, so
+/// sender packing order and receiver expectations agree by construction.
+type SendPlan = Vec<Vec<Vec<NdRun>>>;
 
 /// One deduplicated read access of the clause.
 struct ReadSlot {
@@ -46,9 +80,11 @@ fn resolve(e: &Expr, slots: &[ReadSlot]) -> RExpr {
         Expr::Lit(v) => RExpr::Lit(*v),
         Expr::LoopVar { dim } => RExpr::LoopVar(*dim),
         Expr::Neg(inner) => RExpr::Neg(Box::new(resolve(inner, slots))),
-        Expr::Bin(op, a, b) => {
-            RExpr::Bin(*op, Box::new(resolve(a, slots)), Box::new(resolve(b, slots)))
-        }
+        Expr::Bin(op, a, b) => RExpr::Bin(
+            *op,
+            Box::new(resolve(a, slots)),
+            Box::new(resolve(b, slots)),
+        ),
     }
 }
 
@@ -90,12 +126,23 @@ fn for_each_owned(
 }
 
 /// Execute a `//` clause of any dimensionality on the distributed grid
-/// machine. All referenced arrays must be in `arrays`, decomposed over
-/// grids with the same total processor count.
+/// machine with the default (vectorized) communication mode. All
+/// referenced arrays must be in `arrays`, decomposed over grids with
+/// the same total processor count.
 pub fn run_distributed_nd(
     clause: &Clause,
     arrays: &mut BTreeMap<String, DistArrayNd>,
     recv_timeout: Duration,
+) -> Result<ExecReport, MachineError> {
+    run_distributed_nd_mode(clause, arrays, recv_timeout, CommMode::default())
+}
+
+/// Like [`run_distributed_nd`] but with an explicit [`CommMode`].
+pub fn run_distributed_nd_mode(
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArrayNd>,
+    recv_timeout: Duration,
+    mode: CommMode,
 ) -> Result<ExecReport, MachineError> {
     if clause.ordering != Ordering::Par {
         return Err(MachineError::SequentialClause);
@@ -104,7 +151,10 @@ pub fn run_distributed_nd(
     let mut slots: Vec<ReadSlot> = Vec::new();
     for r in clause.read_refs() {
         if !slots.iter().any(|s| s.array == r.array && s.map == r.map) {
-            slots.push(ReadSlot { array: r.array.clone(), map: r.map.clone() });
+            slots.push(ReadSlot {
+                array: r.array.clone(),
+                map: r.map.clone(),
+            });
         }
     }
     let lhs_name = clause.lhs.array.clone();
@@ -147,6 +197,35 @@ pub fn run_distributed_nd(
         },
     };
 
+    // plan-time communication schedule (vectorized mode): enumerate each
+    // ownership set once, bucket by the write target's owner
+    let loop_box = &clause.iter.bounds;
+    let send_plan: SendPlan = if mode == CommMode::Vectorized {
+        let mut sp: SendPlan = (0..pmax)
+            .map(|_| (0..pmax).map(|_| Vec::new()).collect())
+            .collect();
+        for p in 0..pmax {
+            for (slot, rs) in slots.iter().enumerate() {
+                let dec_r = &decomps[&rs.array];
+                let mut buckets: Vec<Vec<Ix>> = vec![Vec::new(); pmax as usize];
+                for_each_owned(&rs.map, dec_r, loop_box, p, |i| {
+                    let owner = dec_lhs.proc_of(&clause.lhs.map.eval(i));
+                    if owner != p {
+                        buckets[owner as usize].push(*i);
+                    }
+                });
+                for (q, elems) in buckets.into_iter().enumerate() {
+                    if !elems.is_empty() {
+                        sp[p as usize][q].push(NdRun { slot, elems });
+                    }
+                }
+            }
+        }
+        sp
+    } else {
+        Vec::new()
+    };
+
     // disassemble arrays
     let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
         (0..pmax).map(|_| BTreeMap::new()).collect();
@@ -157,15 +236,20 @@ pub fn run_distributed_nd(
         }
     }
 
-    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(pmax as usize);
-    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(pmax as usize);
+    let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(pmax as usize);
+    let mut rxs: Vec<Receiver<Wire>> = Vec::with_capacity(pmax as usize);
     for _ in 0..pmax {
         let (tx, rx) = unbounded();
         txs.push(tx);
         rxs.push(rx);
     }
 
-    type NodeOut = (i64, BTreeMap<String, Vec<f64>>, NodeStats, Result<(), MachineError>);
+    type NodeOut = (
+        i64,
+        BTreeMap<String, Vec<f64>>,
+        NodeStats,
+        Result<(), MachineError>,
+    );
     let mut results: Vec<NodeOut> = Vec::with_capacity(pmax as usize);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -179,10 +263,23 @@ pub fn run_distributed_nd(
             let rexpr = &rexpr;
             let rguard = &rguard;
             let lhs_name = &lhs_name;
+            let send_plan = &send_plan;
             handles.push(scope.spawn(move || {
                 run_node_nd(
-                    p, locals, rx, txs, clause, slots, rexpr, rguard, decomps, dec_lhs,
-                    lhs_name, recv_timeout,
+                    p,
+                    locals,
+                    rx,
+                    txs,
+                    clause,
+                    slots,
+                    rexpr,
+                    rguard,
+                    decomps,
+                    dec_lhs,
+                    lhs_name,
+                    recv_timeout,
+                    mode,
+                    send_plan,
                 )
             }));
         }
@@ -218,12 +315,108 @@ pub fn run_distributed_nd(
     }
 }
 
+/// Receive-side state of one nd node, by mode.
+enum RecvStateNd {
+    /// Element mode: out-of-order arrivals in an ordered pending buffer.
+    Element { pending: BTreeMap<(usize, Ix), f64> },
+    /// Vectorized mode: packets staged whole by `(source, run)`; each
+    /// remote element resolves through the plan-expanded `origin` map.
+    Packed {
+        staging: Vec<Vec<Option<Vec<f64>>>>,
+        origin: BTreeMap<(usize, Ix), (usize, usize, usize)>,
+    },
+}
+
+impl RecvStateNd {
+    fn new(mode: CommMode, send_plan: &SendPlan, p: i64, pmax: usize) -> RecvStateNd {
+        match mode {
+            CommMode::Element => RecvStateNd::Element {
+                pending: BTreeMap::new(),
+            },
+            CommMode::Vectorized => {
+                let mut staging = Vec::with_capacity(pmax);
+                let mut origin = BTreeMap::new();
+                for (src, runs) in send_plan.iter().map(|row| &row[p as usize]).enumerate() {
+                    staging.push(vec![None; runs.len()]);
+                    for (run_ord, run) in runs.iter().enumerate() {
+                        for (off, i) in run.elems.iter().enumerate() {
+                            origin.insert((run.slot, *i), (src, run_ord, off));
+                        }
+                    }
+                }
+                RecvStateNd::Packed { staging, origin }
+            }
+        }
+    }
+
+    /// Produce the remote operand for `(slot, i)`. `Ok(None)` means a
+    /// timeout; a plan inconsistency is an error message.
+    fn remote_value(
+        &mut self,
+        rx: &Receiver<Wire>,
+        slot: usize,
+        i: &Ix,
+        timeout: Duration,
+    ) -> Result<Option<f64>, &'static str> {
+        match self {
+            RecvStateNd::Element { pending } => {
+                if let Some(v) = pending.remove(&(slot, *i)) {
+                    return Ok(Some(v));
+                }
+                loop {
+                    match rx.recv_timeout(timeout) {
+                        Ok(Wire::Elem(m)) => {
+                            if m.slot == slot && m.i == *i {
+                                return Ok(Some(m.value));
+                            }
+                            pending.insert((m.slot, m.i), m.value);
+                        }
+                        Ok(Wire::Pack { .. }) => return Err("vector packet in element mode"),
+                        Err(_) => return Ok(None),
+                    }
+                }
+            }
+            RecvStateNd::Packed { staging, origin } => {
+                let &(src, ro, off) = origin
+                    .get(&(slot, *i))
+                    .ok_or("no planned packet covers this element")?;
+                while staging[src][ro].is_none() {
+                    match rx.recv_timeout(timeout) {
+                        Ok(Wire::Pack {
+                            src: s,
+                            run_ord,
+                            values,
+                        }) => {
+                            let row = staging
+                                .get_mut(s as usize)
+                                .ok_or("packet from unplanned source")?;
+                            if run_ord >= row.len() {
+                                return Err("packet run tag out of range");
+                            }
+                            row[run_ord] = Some(values);
+                        }
+                        Ok(Wire::Elem(_)) => return Err("element message in vectorized mode"),
+                        Err(_) => return Ok(None),
+                    }
+                }
+                Ok(Some(
+                    *staging[src][ro]
+                        .as_ref()
+                        .unwrap()
+                        .get(off)
+                        .ok_or("packet shorter than its planned run")?,
+                ))
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_node_nd(
     p: i64,
     mut locals: BTreeMap<String, Vec<f64>>,
-    rx: Receiver<Msg>,
-    txs: Vec<Sender<Msg>>,
+    rx: Receiver<Wire>,
+    txs: Vec<Sender<Wire>>,
     clause: &Clause,
     slots: &[ReadSlot],
     rexpr: &RExpr,
@@ -232,29 +425,73 @@ fn run_node_nd(
     dec_lhs: &DecompNd,
     lhs_name: &String,
     recv_timeout: Duration,
-) -> (i64, BTreeMap<String, Vec<f64>>, NodeStats, Result<(), MachineError>) {
+    mode: CommMode,
+    send_plan: &SendPlan,
+) -> (
+    i64,
+    BTreeMap<String, Vec<f64>>,
+    NodeStats,
+    Result<(), MachineError>,
+) {
     let mut stats = NodeStats::default();
     let loop_box = &clause.iter.bounds;
+    let pmax = txs.len();
 
     // ---- send phase ------------------------------------------------------
-    for (slot, rs) in slots.iter().enumerate() {
-        let dec_r = &decomps[&rs.array];
-        let local_part = &locals[&rs.array];
-        let local_bounds = dec_r.local_bounds(p);
-        for_each_owned(&rs.map, dec_r, loop_box, p, |i| {
-            let owner = dec_lhs.proc_of(&clause.lhs.map.eval(i));
-            if owner != p {
-                let g = rs.map.eval(i);
-                let off = local_bounds.linear_offset(&dec_r.local_of(&g));
-                stats.msgs_sent += 1;
-                let _ = txs[owner as usize].send(Msg { slot, i: *i, value: local_part[off] });
+    match mode {
+        CommMode::Element => {
+            for (slot, rs) in slots.iter().enumerate() {
+                let dec_r = &decomps[&rs.array];
+                let local_part = &locals[&rs.array];
+                let local_bounds = dec_r.local_bounds(p);
+                for_each_owned(&rs.map, dec_r, loop_box, p, |i| {
+                    let owner = dec_lhs.proc_of(&clause.lhs.map.eval(i));
+                    if owner != p {
+                        let g = rs.map.eval(i);
+                        let off = local_bounds.linear_offset(&dec_r.local_of(&g));
+                        stats.msgs_sent += 1;
+                        stats.packets_sent += 1;
+                        stats.bytes_sent += ELEM_MSG_BYTES;
+                        stats.max_packet_elems = stats.max_packet_elems.max(1);
+                        let _ = txs[owner as usize].send(Wire::Elem(Msg {
+                            slot,
+                            i: *i,
+                            value: local_part[off],
+                        }));
+                    }
+                });
             }
-        });
+        }
+        CommMode::Vectorized => {
+            for (q, runs) in send_plan[p as usize].iter().enumerate() {
+                for (run_ord, run) in runs.iter().enumerate() {
+                    let rs = &slots[run.slot];
+                    let dec_r = &decomps[&rs.array];
+                    let local_part = &locals[&rs.array];
+                    let local_bounds = dec_r.local_bounds(p);
+                    let mut values = Vec::with_capacity(run.elems.len());
+                    for i in &run.elems {
+                        let g = rs.map.eval(i);
+                        values.push(local_part[local_bounds.linear_offset(&dec_r.local_of(&g))]);
+                    }
+                    let elems = values.len() as u64;
+                    stats.msgs_sent += elems;
+                    stats.packets_sent += 1;
+                    stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
+                    stats.max_packet_elems = stats.max_packet_elems.max(elems);
+                    let _ = txs[q].send(Wire::Pack {
+                        src: p,
+                        run_ord,
+                        values,
+                    });
+                }
+            }
+        }
     }
     drop(txs);
 
     // ---- update phase ----------------------------------------------------
-    let mut pending: HashMap<(usize, Ix), f64> = HashMap::new();
+    let mut recv = RecvStateNd::new(mode, send_plan, p, pmax);
     let mut vals = vec![0.0f64; slots.len()];
     let mut writes: Vec<(usize, f64)> = Vec::new();
     let mut err: Option<MachineError> = None;
@@ -273,35 +510,27 @@ fn run_node_nd(
                 let off = dec_r.local_bounds(p).linear_offset(&dec_r.local_of(&g));
                 vals[slot] = locals[&rs.array][off];
             } else {
-                // blocking receive matched on (slot, i)
-                let key = (slot, *i);
-                vals[slot] = if let Some(v) = pending.remove(&key) {
-                    stats.msgs_received += 1;
-                    v
-                } else {
-                    loop {
-                        match rx.recv_timeout(recv_timeout) {
-                            Ok(m) => {
-                                if m.slot == slot && m.i == *i {
-                                    stats.msgs_received += 1;
-                                    break m.value;
-                                }
-                                pending.insert((m.slot, m.i), m.value);
-                            }
-                            Err(_) => {
-                                err = Some(MachineError::MissingMessage {
-                                    node: p,
-                                    array: rs.array.clone(),
-                                    index: i[0],
-                                });
-                                break 0.0;
-                            }
-                        }
+                vals[slot] = match recv.remote_value(&rx, slot, i, recv_timeout) {
+                    Ok(Some(v)) => {
+                        stats.msgs_received += 1;
+                        v
+                    }
+                    Ok(None) => {
+                        err = Some(MachineError::MissingMessage {
+                            node: p,
+                            array: rs.array.clone(),
+                            index: i[0],
+                        });
+                        return;
+                    }
+                    Err(why) => {
+                        err = Some(MachineError::PlanMismatch(format!(
+                            "node {p}, array `{}`: {why}",
+                            rs.array
+                        )));
+                        return;
                     }
                 };
-                if err.is_some() {
-                    return;
-                }
             }
         }
         stats.data_guards += 1;
@@ -447,7 +676,11 @@ mod tests {
         env.insert(
             "C",
             Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
-                if (i[0] + i[1]) % 2 == 0 { 1.0 } else { -1.0 }
+                if (i[0] + i[1]) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
             }),
         );
         let mut decs = BTreeMap::new();
@@ -464,6 +697,65 @@ mod tests {
     }
 
     #[test]
+    fn modes_agree_and_vectorized_batches() {
+        // transpose across different grids forces all-to-all traffic
+        let n = 16i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("B", IndexMap::permutation(2, &[1, 0])),
+            rhs: Expr::Ref(ArrayRef::new("A", IndexMap::identity(2))),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
+                (i[0] * 100 + i[1]) as f64
+            }),
+        );
+        env.insert("B", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
+        let mut reference = env.clone();
+        reference.exec_clause(&clause);
+        let mut decs = BTreeMap::new();
+        decs.insert("A".to_string(), grid(2, 2, n, n));
+        decs.insert(
+            "B".to_string(),
+            DecompNd::new(vec![
+                Decomp1::scatter(2, Bounds::range(0, n - 1)),
+                Decomp1::block(2, Bounds::range(0, n - 1)),
+            ]),
+        );
+        let mut totals = Vec::new();
+        for mode in [CommMode::Element, CommMode::Vectorized] {
+            let mut arrays: BTreeMap<String, DistArrayNd> = BTreeMap::new();
+            for (name, d) in &decs {
+                arrays.insert(
+                    name.clone(),
+                    DistArrayNd::scatter_from(env.get(name).unwrap(), d.clone()),
+                );
+            }
+            let report =
+                run_distributed_nd_mode(&clause, &mut arrays, Duration::from_secs(5), mode)
+                    .unwrap();
+            assert_eq!(
+                arrays["B"]
+                    .gather()
+                    .max_abs_diff(reference.get("B").unwrap()),
+                0.0,
+                "{mode:?}"
+            );
+            totals.push(report.total());
+        }
+        let (elem, vect) = (totals[0], totals[1]);
+        assert_eq!(elem.msgs_sent, vect.msgs_sent);
+        assert_eq!(elem.msgs_received, vect.msgs_received);
+        assert_eq!(elem.packets_sent, elem.msgs_sent);
+        assert!(vect.packets_sent < vect.msgs_sent);
+        assert!(vect.max_packet_elems > 1);
+    }
+
+    #[test]
     fn mismatched_pmax_rejected() {
         let n = 8i64;
         let clause = Clause {
@@ -474,14 +766,8 @@ mod tests {
             rhs: Expr::Ref(ArrayRef::new("B", IndexMap::identity(2))),
         };
         let mut arrays = BTreeMap::new();
-        arrays.insert(
-            "A".to_string(),
-            DistArrayNd::zeros(grid(2, 2, n, n)),
-        );
-        arrays.insert(
-            "B".to_string(),
-            DistArrayNd::zeros(grid(2, 3, n, n)),
-        );
+        arrays.insert("A".to_string(), DistArrayNd::zeros(grid(2, 2, n, n)));
+        arrays.insert("B".to_string(), DistArrayNd::zeros(grid(2, 3, n, n)));
         assert!(matches!(
             run_distributed_nd(&clause, &mut arrays, Duration::from_millis(100)),
             Err(MachineError::PlanMismatch(_))

@@ -18,8 +18,8 @@
 use crate::darray::DistArray;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use vcal_core::func::Fn1;
 use vcal_core::{BinOp, Clause, Expr, Guard, Ordering};
 use vcal_decomp::{Decomp1, Distribution};
@@ -95,8 +95,7 @@ pub fn run_doacross(
     let dec = rec.decomp().clone();
     if !matches!(dec.dist(), Distribution::Block { .. }) {
         return Err(MachineError::PlanMismatch(
-            "DOACROSS pipelining requires a block decomposition of the recurrence array"
-                .into(),
+            "DOACROSS pipelining requires a block decomposition of the recurrence array".into(),
         ));
     }
     let pmax = dec.pmax();
@@ -118,9 +117,10 @@ pub fn run_doacross(
         let da = arrays
             .get(&r.array)
             .ok_or_else(|| MachineError::UnknownArray(r.array.clone()))?;
-        let g = r.map.as_fn1().ok_or_else(|| {
-            MachineError::PlanMismatch("1-D accesses only".into())
-        })?;
+        let g = r
+            .map
+            .as_fn1()
+            .ok_or_else(|| MachineError::PlanMismatch("1-D accesses only".into()))?;
         for i in imin..=imax {
             let owner = dec.proc_of(i);
             if !da.decomp().resides_on(g.eval(i), owner) {
@@ -176,7 +176,11 @@ pub fn run_doacross(
                 // iteration sub-range owned by p
                 let my_cnt = dec.local_count(p);
                 let my_lo = if my_cnt > 0 { dec.global_of(p, 0) } else { 0 };
-                let my_hi = if my_cnt > 0 { dec.global_of(p, my_cnt - 1) } else { -1 };
+                let my_hi = if my_cnt > 0 {
+                    dec.global_of(p, my_cnt - 1)
+                } else {
+                    -1
+                };
                 let lo = my_lo.max(imin);
                 let hi = my_hi.min(imax);
                 // forward the *initial* (never-to-be-computed) values in
@@ -187,8 +191,10 @@ pub fn run_doacross(
                         if g < lo || g > hi {
                             let off = dec.local_of(g) as usize;
                             stats.msgs_sent += 1;
-                            let _ = tx
-                                .send(BoundaryMsg { g, value: locals[rec_name][off] });
+                            let _ = tx.send(BoundaryMsg {
+                                g,
+                                value: locals[rec_name][off],
+                            });
                         }
                     }
                 }
@@ -202,8 +208,7 @@ pub fn run_doacross(
                         if !halo.contains_key(&src) {
                             let rx = rx.as_ref().expect("node >0 has a predecessor");
                             loop {
-                                let msg =
-                                    rx.recv().expect("predecessor hung up early");
+                                let msg = rx.recv().expect("predecessor hung up early");
                                 stats.msgs_received += 1;
                                 halo.insert(msg.g, msg.value);
                                 if msg.g == src {
@@ -214,25 +219,10 @@ pub fn run_doacross(
                     }
                     // evaluate
                     stats.iterations += 1;
-                    let guard_ok = eval_guard_local(
-                        &clause.guard,
-                        i,
-                        p,
-                        &locals,
-                        decomps,
-                        rec_name,
-                        &halo,
-                    );
+                    let guard_ok =
+                        eval_guard_local(&clause.guard, i, p, &locals, decomps, rec_name, &halo);
                     if guard_ok {
-                        let v = eval_local(
-                            &clause.rhs,
-                            i,
-                            p,
-                            &locals,
-                            decomps,
-                            rec_name,
-                            &halo,
-                        );
+                        let v = eval_local(&clause.rhs, i, p, &locals, decomps, rec_name, &halo);
                         let off = dec.local_of(i) as usize;
                         locals.get_mut(rec_name).unwrap()[off] = v;
                     }
@@ -362,8 +352,14 @@ mod tests {
     fn setup(n: i64, pmax: i64, d: i64) -> (Clause, Env, BTreeMap<String, DistArray>) {
         let clause = recurrence(n, d);
         let mut env = Env::new();
-        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 5) as f64));
-        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64));
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 5) as f64),
+        );
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64),
+        );
         let dec = Decomp1::block(pmax, Bounds::range(0, n - 1));
         let mut arrays = BTreeMap::new();
         for name in ["A", "B"] {
@@ -408,7 +404,9 @@ mod tests {
             let report = run_doacross(&clause, &mut arrays)
                 .unwrap_or_else(|e| panic!("n={n} pmax={pmax} d={d}: {e}"));
             assert_eq!(
-                arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+                arrays["A"]
+                    .gather()
+                    .max_abs_diff(reference.get("A").unwrap()),
                 0.0,
                 "n={n} pmax={pmax} d={d}"
             );
@@ -437,14 +435,14 @@ mod tests {
                 rhs: 10.0,
             },
             lhs: ArrayRef::d1("A", Fn1::identity()),
-            rhs: Expr::add(
-                Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))),
-                Expr::Lit(1.0),
-            ),
+            rhs: Expr::add(Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))), Expr::Lit(1.0)),
         };
         let mut env = Env::new();
         env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
         let dec = Decomp1::block(4, Bounds::range(0, n - 1));
         let mut arrays = BTreeMap::new();
         for name in ["A", "B"] {
@@ -457,7 +455,9 @@ mod tests {
         reference.exec_clause(&clause);
         run_doacross(&clause, &mut arrays).unwrap();
         assert_eq!(
-            arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+            arrays["A"]
+                .gather()
+                .max_abs_diff(reference.get("A").unwrap()),
             0.0
         );
     }

@@ -127,11 +127,14 @@ pub fn run_halo_sweep(
         let src = reads
             .get(&r.array)
             .ok_or_else(|| MachineError::UnknownArray(r.array.clone()))?;
-        let g = r.map.as_fn1().ok_or_else(|| {
-            MachineError::PlanMismatch("1-D accesses only".into())
-        })?;
+        let g = r
+            .map
+            .as_fn1()
+            .ok_or_else(|| MachineError::PlanMismatch("1-D accesses only".into()))?;
         for p in 0..pmax {
-            let Some((olo, ohi)) = lhs.decomp.owned_range(p) else { continue };
+            let Some((olo, ohi)) = lhs.decomp.owned_range(p) else {
+                continue;
+            };
             for i in olo.max(imin)..=ohi.min(imax) {
                 if !src.decomp.readable_locally(g.eval(i), p) {
                     return Err(MachineError::PlanMismatch(format!(
@@ -191,9 +194,10 @@ fn eval_halo(
         Expr::Lit(v) => *v,
         Expr::LoopVar { .. } => i as f64,
         Expr::Neg(inner) => -eval_halo(inner, i, p, reads, stats),
-        Expr::Bin(op, a, b) => {
-            op.apply(eval_halo(a, i, p, reads, stats), eval_halo(b, i, p, reads, stats))
-        }
+        Expr::Bin(op, a, b) => op.apply(
+            eval_halo(a, i, p, reads, stats),
+            eval_halo(b, i, p, reads, stats),
+        ),
     }
 }
 
@@ -235,7 +239,13 @@ mod tests {
         let mut env = Env::new();
         env.insert(
             "U",
-            Array::from_fn(Bounds::range(0, n - 1), |i| if i.scalar() == 20 { 9.0 } else { 0.0 }),
+            Array::from_fn(Bounds::range(0, n - 1), |i| {
+                if i.scalar() == 20 {
+                    9.0
+                } else {
+                    0.0
+                }
+            }),
         );
         env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
         let sweep = stencil(n);
@@ -264,10 +274,7 @@ mod tests {
             reads.insert("V".to_string(), v.clone());
             run_halo_sweep(&back, &mut u, &reads).unwrap();
         }
-        assert_eq!(
-            u.gather().max_abs_diff(reference.get("U").unwrap()),
-            0.0
-        );
+        assert_eq!(u.gather().max_abs_diff(reference.get("U").unwrap()), 0.0);
         // 2*(pmax-1) boundary messages per exchange, 2 exchanges per sweep
         assert_eq!(total_msgs, (sweeps * 2 * 2 * (pmax - 1)) as u64);
     }
@@ -308,9 +315,16 @@ mod tests {
     fn guarded_halo_sweep() {
         let n = 48i64;
         let mut env = Env::new();
-        env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| {
-            if i.scalar() % 2 == 0 { 1.0 } else { -1.0 }
-        }));
+        env.insert(
+            "U",
+            Array::from_fn(Bounds::range(0, n - 1), |i| {
+                if i.scalar() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }),
+        );
         env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
         let clause = Clause {
             iter: IndexSet::range(1, n - 2),
@@ -329,9 +343,6 @@ mod tests {
         let mut reads = BTreeMap::new();
         reads.insert("U".to_string(), u);
         run_halo_sweep(&clause, &mut v, &reads).unwrap();
-        assert_eq!(
-            v.gather().max_abs_diff(reference.get("V").unwrap()),
-            0.0
-        );
+        assert_eq!(v.gather().max_abs_diff(reference.get("V").unwrap()), 0.0);
     }
 }

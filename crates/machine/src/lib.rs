@@ -38,8 +38,8 @@ pub mod topology;
 
 pub use darray::DistArray;
 pub use darray_nd::DistArrayNd;
-pub use distributed::{run_distributed, DistOptions, FaultInjection};
-pub use distributed_nd::run_distributed_nd;
+pub use distributed::{run_distributed, CommMode, DistOptions, FaultInjection};
+pub use distributed_nd::{run_distributed_nd, run_distributed_nd_mode};
 pub use doacross::{carried_distances, run_doacross};
 pub use error::MachineError;
 pub use halo::{exchange_ghosts, run_halo_sweep, HaloArray};

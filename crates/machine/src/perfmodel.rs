@@ -78,7 +78,11 @@ impl PerfModel {
                 bottleneck = node.p;
             }
         }
-        SimTime { total, bottleneck, aggregate }
+        SimTime {
+            total,
+            bottleneck,
+            aggregate,
+        }
     }
 
     /// Price an *execution report* (distributed machine): iterations,
@@ -89,8 +93,7 @@ impl PerfModel {
         let mut aggregate = 0.0;
         let mut bottleneck = 0;
         for (p, node) in report.nodes.iter().enumerate() {
-            let tests =
-                (node.guard_tests as f64 - node.iterations as f64).max(0.0);
+            let tests = (node.guard_tests as f64 - node.iterations as f64).max(0.0);
             let mut t = tests * self.t_test
                 + node.iterations as f64 * self.t_iter
                 + node.msgs_received as f64 * self.t_recv;
@@ -111,7 +114,11 @@ impl PerfModel {
                 bottleneck = p as i64;
             }
         }
-        SimTime { total, bottleneck, aggregate }
+        SimTime {
+            total,
+            bottleneck,
+            aggregate,
+        }
     }
 
     /// Modeled speedup of a plan against the one-processor time of the
@@ -142,11 +149,11 @@ impl PerfModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::darray::DistArray;
+    use crate::distributed::{run_distributed, DistOptions};
     use std::collections::BTreeMap;
     use vcal_core::func::Fn1;
     use vcal_core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
-    use crate::darray::DistArray;
-    use crate::distributed::{run_distributed, DistOptions};
     use vcal_decomp::Decomp1;
     use vcal_spmd::{DecompMap, SpmdPlan};
 
@@ -195,7 +202,10 @@ mod tests {
             rhs: Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
         };
         let mut env = Env::new();
-        env.insert("U", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert(
+            "U",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
         env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
         let model = PerfModel::default();
         let mut times = Vec::new();
@@ -235,9 +245,18 @@ mod tests {
             ..Default::default()
         };
         report.traffic[0][4] = 100;
-        let hyper = PerfModel { topology: Topology::Hypercube, ..Default::default() };
-        let ring = PerfModel { topology: Topology::Ring, ..Default::default() };
-        let crossbar = PerfModel { topology: Topology::Crossbar, ..Default::default() };
+        let hyper = PerfModel {
+            topology: Topology::Hypercube,
+            ..Default::default()
+        };
+        let ring = PerfModel {
+            topology: Topology::Ring,
+            ..Default::default()
+        };
+        let crossbar = PerfModel {
+            topology: Topology::Crossbar,
+            ..Default::default()
+        };
         let th = hyper.price_report(&report).total;
         let tr = ring.price_report(&report).total;
         let tc = crossbar.price_report(&report).total;

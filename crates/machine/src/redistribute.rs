@@ -10,7 +10,7 @@
 use crate::darray::DistArray;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use vcal_decomp::redistribute::{RedistPlan, Transfer};
 
 /// One coalesced run of values in flight.
@@ -121,7 +121,11 @@ pub fn run_redistribution(
         traffic[t.src as usize][t.dst as usize] += 1;
     }
 
-    let mut report = ExecReport { nodes: Vec::new(), barriers: 0, traffic };
+    let mut report = ExecReport {
+        nodes: Vec::new(),
+        barriers: 0,
+        traffic,
+    };
     let mut parts = Vec::with_capacity(pmax as usize);
     for (_, local, stats) in results {
         parts.push(local);

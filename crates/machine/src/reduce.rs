@@ -11,7 +11,7 @@ use crate::darray::DistArray;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
 use std::collections::BTreeMap;
-use vcal_core::clause::{Reduction, ReduceOp};
+use vcal_core::clause::{ReduceOp, Reduction};
 use vcal_core::{Env, Expr, Ix};
 use vcal_decomp::Decomp1;
 use vcal_spmd::optimize;
@@ -43,13 +43,7 @@ pub fn run_reduce_shared(
                 scope.spawn(move || {
                     let mut stats = NodeStats::default();
                     let mut acc = red.op.identity();
-                    let opt = optimize(
-                        &vcal_core::Fn1::identity(),
-                        iter_decomp,
-                        imin,
-                        imax,
-                        p,
-                    );
+                    let opt = optimize(&vcal_core::Fn1::identity(), iter_decomp, imin, imax, p);
                     opt.schedule.for_each(|i| {
                         stats.iterations += 1;
                         acc = red.op.apply(acc, env.eval_expr(&red.expr, &Ix::d1(i)));
@@ -62,7 +56,10 @@ pub fn run_reduce_shared(
             partials.push(h.join().expect("reduce thread panicked"));
         }
     });
-    let mut report = ExecReport { barriers: 1, ..Default::default() };
+    let mut report = ExecReport {
+        barriers: 1,
+        ..Default::default()
+    };
     let mut acc = red.op.identity();
     for (v, stats) in partials {
         acc = red.op.apply(acc, v);
@@ -85,7 +82,9 @@ pub fn run_reduce_distributed(
     // validate shapes
     let refs = expr.refs();
     if refs.is_empty() {
-        return Err(MachineError::PlanMismatch("reduction reads no arrays".into()));
+        return Err(MachineError::PlanMismatch(
+            "reduction reads no arrays".into(),
+        ));
     }
     let mut dec: Option<&Decomp1> = None;
     for r in &refs {
@@ -153,9 +152,7 @@ fn eval_local(expr: &Expr, g: i64, p: i64, arrays: &BTreeMap<String, DistArray>)
         Expr::Lit(v) => *v,
         Expr::LoopVar { .. } => g as f64,
         Expr::Neg(e) => -eval_local(e, g, p, arrays),
-        Expr::Bin(op, a, b) => {
-            op.apply(eval_local(a, g, p, arrays), eval_local(b, g, p, arrays))
-        }
+        Expr::Bin(op, a, b) => op.apply(eval_local(a, g, p, arrays), eval_local(b, g, p, arrays)),
     }
 }
 
@@ -165,10 +162,20 @@ mod tests {
     use vcal_core::func::Fn1;
     use vcal_core::{Array, ArrayRef, Bounds, IndexSet};
 
-    fn dot_setup(n: i64, pmax: i64, dec: fn(i64, Bounds) -> Decomp1) -> (Env, Reduction, BTreeMap<String, DistArray>) {
+    fn dot_setup(
+        n: i64,
+        pmax: i64,
+        dec: fn(i64, Bounds) -> Decomp1,
+    ) -> (Env, Reduction, BTreeMap<String, DistArray>) {
         let mut env = Env::new();
-        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 7) as f64));
-        env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64));
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 7) as f64),
+        );
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64),
+        );
         let red = Reduction {
             iter: IndexSet::range(0, n - 1),
             op: ReduceOp::Sum,
@@ -209,9 +216,11 @@ mod tests {
         for pmax in [1i64, 2, 4, 8, 7] {
             let (env, red, arrays) = dot_setup(n, pmax, Decomp1::scatter);
             let want = env.eval_reduction(&red);
-            let (got, report) =
-                run_reduce_distributed(ReduceOp::Sum, &red.expr, &arrays).unwrap();
-            assert!((got - want).abs() / want.abs().max(1.0) < 1e-12, "pmax={pmax}");
+            let (got, report) = run_reduce_distributed(ReduceOp::Sum, &red.expr, &arrays).unwrap();
+            assert!(
+                (got - want).abs() / want.abs().max(1.0) < 1e-12,
+                "pmax={pmax}"
+            );
             // a combining tree sends exactly pmax - 1 messages
             assert_eq!(report.total().msgs_sent, (pmax - 1) as u64, "pmax={pmax}");
         }

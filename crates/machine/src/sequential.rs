@@ -17,7 +17,11 @@ pub fn run_sequential(clause: &Clause, env: &mut Env) -> ExecReport {
         }
     });
     env.exec_clause(clause);
-    ExecReport { nodes: vec![stats], barriers: 0, traffic: Vec::new() }
+    ExecReport {
+        nodes: vec![stats],
+        barriers: 0,
+        traffic: Vec::new(),
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,11 @@ impl DistSession {
             }
             arrays.insert(name.clone(), DistArray::scatter_from(global, dec.clone()));
         }
-        Ok(DistSession { arrays, decomps, opts: DistOptions::default() })
+        Ok(DistSession {
+            arrays,
+            decomps,
+            opts: DistOptions::default(),
+        })
     }
 
     /// Override the execution options (timeouts, fault injection).
@@ -76,11 +80,7 @@ impl DistSession {
 
     /// Dynamically redistribute `name` to a new layout (Section 5
     /// extension), updating the session's decomposition map.
-    pub fn redistribute(
-        &mut self,
-        name: &str,
-        to: Decomp1,
-    ) -> Result<ExecReport, MachineError> {
+    pub fn redistribute(&mut self, name: &str, to: Decomp1) -> Result<ExecReport, MachineError> {
         let current = self
             .arrays
             .get(name)
@@ -143,7 +143,13 @@ mod tests {
         let mut env = Env::new();
         env.insert(
             "U",
-            Array::from_fn(Bounds::range(0, n - 1), |i| if i.scalar() == 10 { 5.0 } else { 0.0 }),
+            Array::from_fn(Bounds::range(0, n - 1), |i| {
+                if i.scalar() == 10 {
+                    5.0
+                } else {
+                    0.0
+                }
+            }),
         );
         env.insert("V", Array::zeros(Bounds::range(0, n - 1)));
 
@@ -164,7 +170,10 @@ mod tests {
             session.run_plan(&back_plan, &back).unwrap();
         }
         assert_eq!(
-            session.gather("U").unwrap().max_abs_diff(reference.get("U").unwrap()),
+            session
+                .gather("U")
+                .unwrap()
+                .max_abs_diff(reference.get("U").unwrap()),
             0.0
         );
     }
@@ -179,10 +188,16 @@ mod tests {
             ordering: Ordering::Par,
             guard: Guard::Always,
             lhs: ArrayRef::d1("A", Fn1::identity()),
-            rhs: Expr::mul(Expr::Ref(ArrayRef::d1("A", Fn1::identity())), Expr::Lit(2.0)),
+            rhs: Expr::mul(
+                Expr::Ref(ArrayRef::d1("A", Fn1::identity())),
+                Expr::Lit(2.0),
+            ),
         };
         let mut env = Env::new();
-        env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
 
         let mut dm = DecompMap::new();
         dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, n - 1)));

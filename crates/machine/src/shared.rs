@@ -58,12 +58,20 @@ impl SharedWriter {
         } else {
             None
         };
-        SharedWriter { ptr: data.as_mut_ptr(), len: data.len(), claims }
+        SharedWriter {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            claims,
+        }
     }
 
     #[inline]
     fn write(&self, off: usize, v: f64) {
-        assert!(off < self.len, "write offset {off} out of range {}", self.len);
+        assert!(
+            off < self.len,
+            "write offset {off} out of range {}",
+            self.len
+        );
         if let Some(claims) = &self.claims {
             let already = claims[off].swap(true, AtomicOrdering::Relaxed);
             assert!(
@@ -101,7 +109,11 @@ pub fn run_shared(
         .ok_or_else(|| MachineError::UnknownArray(clause.lhs.array.clone()))?;
     let lhs_bounds = lhs.bounds();
 
-    let mut report = ExecReport { nodes: Vec::new(), barriers: 1, traffic: Vec::new() };
+    let mut report = ExecReport {
+        nodes: Vec::new(),
+        barriers: 1,
+        traffic: Vec::new(),
+    };
 
     match strategy {
         WriteStrategy::GatherCommit => {
@@ -208,10 +220,17 @@ mod tests {
         env.insert(
             "A",
             Array::from_fn(Bounds::range(0, n - 1), |i| {
-                if i.scalar() % 3 == 0 { -1.0 } else { i.scalar() as f64 }
+                if i.scalar() % 3 == 0 {
+                    -1.0
+                } else {
+                    i.scalar() as f64
+                }
             }),
         );
-        env.insert("B", Array::from_fn(Bounds::range(0, n), |i| (i.scalar() * 2) as f64));
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n), |i| (i.scalar() * 2) as f64),
+        );
         let mut dm = DecompMap::new();
         dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, n - 1)));
         dm.insert("B".into(), Decomp1::scatter(4, Bounds::range(0, n)));
@@ -287,7 +306,10 @@ mod tests {
         };
         let mut env = Env::new();
         env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-        env.insert("B", Array::from_fn(Bounds::range(0, n / 2 - 1), |i| i.scalar() as f64));
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, n / 2 - 1), |i| i.scalar() as f64),
+        );
         let mut dm = DecompMap::new();
         dm.insert("A".into(), Decomp1::scatter(4, Bounds::range(0, n - 1)));
         dm.insert("B".into(), Decomp1::block(4, Bounds::range(0, n / 2 - 1)));
@@ -296,7 +318,10 @@ mod tests {
         let mut expect = env.clone();
         expect.exec_clause(&clause);
         run_shared(&plan, &clause, &mut env, WriteStrategy::Direct).unwrap();
-        assert_eq!(env.get("A").unwrap().max_abs_diff(expect.get("A").unwrap()), 0.0);
+        assert_eq!(
+            env.get("A").unwrap().max_abs_diff(expect.get("A").unwrap()),
+            0.0
+        );
     }
 
     #[test]

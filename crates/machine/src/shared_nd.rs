@@ -61,8 +61,7 @@ pub fn run_shared_nd(
                         }
                         None => {
                             // coupled axes: brute-force ownership filter
-                            stats.guard_tests +=
-                                clause.iter.bounds.count();
+                            stats.guard_tests += clause.iter.bounds.count();
                             for i in clause.iter.iter() {
                                 if dec_lhs.proc_of(&clause.lhs.map.eval(&i)) == p {
                                     body(&i);
@@ -80,7 +79,11 @@ pub fn run_shared_nd(
     });
 
     let data = lhs.data_mut();
-    let mut report = ExecReport { nodes: Vec::new(), barriers: 1, traffic: Vec::new() };
+    let mut report = ExecReport {
+        nodes: Vec::new(),
+        barriers: 1,
+        traffic: Vec::new(),
+    };
     for (stats, writes) in node_results {
         report.nodes.push(stats);
         for (off, v) in writes {
@@ -112,10 +115,7 @@ mod tests {
             guard: Guard::Always,
             lhs: ArrayRef::new("V", IndexMap::identity(2)),
             rhs: Expr::mul(
-                Expr::add(
-                    Expr::add(u(-1, 0), u(1, 0)),
-                    Expr::add(u(0, -1), u(0, 1)),
-                ),
+                Expr::add(Expr::add(u(-1, 0), u(1, 0)), Expr::add(u(0, -1), u(0, 1))),
                 Expr::Lit(0.25),
             ),
         };
@@ -144,7 +144,9 @@ mod tests {
         let mut env = env0.clone();
         let report = run_shared_nd(&clause, &dec, &mut env).unwrap();
         assert_eq!(
-            env.get("V").unwrap().max_abs_diff(reference.get("V").unwrap()),
+            env.get("V")
+                .unwrap()
+                .max_abs_diff(reference.get("V").unwrap()),
             0.0
         );
         assert_eq!(report.total().iterations, ((n - 2) * (n - 2)) as u64);
@@ -180,7 +182,9 @@ mod tests {
         let mut got = env.clone();
         run_shared_nd(&clause, &dec, &mut got).unwrap();
         assert_eq!(
-            got.get("B").unwrap().max_abs_diff(reference.get("B").unwrap()),
+            got.get("B")
+                .unwrap()
+                .max_abs_diff(reference.get("B").unwrap()),
             0.0
         );
     }
@@ -198,8 +202,14 @@ mod tests {
                 IndexMap::new(
                     2,
                     vec![
-                        DimFn { src: 0, f: Fn1::identity() },
-                        DimFn { src: 0, f: Fn1::identity() },
+                        DimFn {
+                            src: 0,
+                            f: Fn1::identity(),
+                        },
+                        DimFn {
+                            src: 0,
+                            f: Fn1::identity(),
+                        },
                     ],
                 ),
             ),
@@ -217,7 +227,9 @@ mod tests {
         let mut got = env.clone();
         run_shared_nd(&clause, &dec, &mut got).unwrap();
         assert_eq!(
-            got.get("D").unwrap().max_abs_diff(reference.get("D").unwrap()),
+            got.get("D")
+                .unwrap()
+                .max_abs_diff(reference.get("D").unwrap()),
             0.0
         );
     }

@@ -11,12 +11,21 @@ pub struct NodeStats {
     pub guard_tests: u64,
     /// Data-dependent guard evaluations.
     pub data_guards: u64,
-    /// Messages sent to other nodes.
+    /// Elements sent to other nodes (payload values, independent of how
+    /// they are batched onto the wire).
     pub msgs_sent: u64,
-    /// Messages received from other nodes.
+    /// Elements received from other nodes.
     pub msgs_received: u64,
     /// Values taken directly from local memory.
     pub local_reads: u64,
+    /// Channel messages actually put on the wire: equals `msgs_sent` in
+    /// element mode, the number of coalesced runs in vectorized mode.
+    pub packets_sent: u64,
+    /// Modeled wire bytes sent: 8 bytes per payload element plus a
+    /// fixed per-message header (see the distributed machine docs).
+    pub bytes_sent: u64,
+    /// Largest element count carried by a single wire message.
+    pub max_packet_elems: u64,
 }
 
 impl AddAssign for NodeStats {
@@ -27,6 +36,9 @@ impl AddAssign for NodeStats {
         self.msgs_sent += o.msgs_sent;
         self.msgs_received += o.msgs_received;
         self.local_reads += o.local_reads;
+        self.packets_sent += o.packets_sent;
+        self.bytes_sent += o.bytes_sent;
+        self.max_packet_elems = self.max_packet_elems.max(o.max_packet_elems);
     }
 }
 
@@ -68,8 +80,16 @@ mod tests {
     fn totals_accumulate() {
         let report = ExecReport {
             nodes: vec![
-                NodeStats { iterations: 3, msgs_sent: 1, ..Default::default() },
-                NodeStats { iterations: 5, msgs_received: 1, ..Default::default() },
+                NodeStats {
+                    iterations: 3,
+                    msgs_sent: 1,
+                    ..Default::default()
+                },
+                NodeStats {
+                    iterations: 5,
+                    msgs_received: 1,
+                    ..Default::default()
+                },
             ],
             barriers: 1,
             traffic: Vec::new(),

@@ -45,7 +45,10 @@ impl Topology {
                 ((r1 - r2).abs() + (c1 - c2).abs()) as u64
             }
             Topology::Hypercube => {
-                assert!(pmax.count_ones() == 1, "hypercube needs a power-of-two pmax");
+                assert!(
+                    pmax.count_ones() == 1,
+                    "hypercube needs a power-of-two pmax"
+                );
                 (src ^ dst).count_ones() as u64
             }
         }

@@ -22,7 +22,10 @@ impl ResidueClass {
     /// Normalize a representative into the class.
     pub fn new(r: i64, m: i64) -> Self {
         assert!(m > 0, "modulus must be positive");
-        ResidueClass { r: mod_floor(r, m), m }
+        ResidueClass {
+            r: mod_floor(r, m),
+            m,
+        }
     }
 
     /// Membership test.
@@ -54,7 +57,10 @@ impl ResidueClass {
         let inv = mod_floor(e.x, m2g) as i128;
         let t = (k * inv).rem_euclid(m2g as i128);
         let x = (r1 as i128 + (m1 as i128) * t).rem_euclid(lcm as i128);
-        Some(ResidueClass { r: x as i64, m: lcm })
+        Some(ResidueClass {
+            r: x as i64,
+            m: lcm,
+        })
     }
 }
 
@@ -103,14 +109,18 @@ mod tests {
     #[test]
     fn coprime_classic_example() {
         // x ≡ 2 (mod 3), x ≡ 3 (mod 5) -> x ≡ 8 (mod 15)
-        let c = ResidueClass::new(2, 3).intersect(&ResidueClass::new(3, 5)).unwrap();
+        let c = ResidueClass::new(2, 3)
+            .intersect(&ResidueClass::new(3, 5))
+            .unwrap();
         assert_eq!(c, ResidueClass { r: 8, m: 15 });
     }
 
     #[test]
     fn disjoint_non_coprime() {
         // x ≡ 0 (mod 4) and x ≡ 1 (mod 2) never meet
-        assert!(ResidueClass::new(0, 4).intersect(&ResidueClass::new(1, 2)).is_none());
+        assert!(ResidueClass::new(0, 4)
+            .intersect(&ResidueClass::new(1, 2))
+            .is_none());
     }
 
     #[test]

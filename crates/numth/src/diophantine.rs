@@ -33,7 +33,13 @@ pub struct DioSolution {
 pub fn solve(a: i64, b: i64, c: i64) -> Option<DioSolution> {
     if a == 0 && b == 0 {
         return if c == 0 {
-            Some(DioSolution { x0: 0, y0: 0, g: 0, x_period: 0, y_period: 0 })
+            Some(DioSolution {
+                x0: 0,
+                y0: 0,
+                g: 0,
+                x_period: 0,
+                y_period: 0,
+            })
         } else {
             None
         };
@@ -112,7 +118,11 @@ pub fn solve_congruence(a: i64, r: i64, m: i64) -> Option<Congruence> {
     if g == 0 {
         // a == 0 (mod m==0 impossible here): 0*x ≡ r
         return if mod_floor(r, m) == 0 {
-            Some(Congruence { base: 0, period: 1, g: m })
+            Some(Congruence {
+                base: 0,
+                period: 1,
+                g: m,
+            })
         } else {
             None
         };
@@ -144,7 +154,10 @@ mod tests {
                             if s.g != 0 {
                                 // lattice steps stay on the solution set
                                 let x1 = s.x0 + s.x_period;
-                                let y1 = s.y0 - (a / s.g) * (s.x_period / (b / s.g).abs().max(1)) * (b / s.g).signum();
+                                let y1 = s.y0
+                                    - (a / s.g)
+                                        * (s.x_period / (b / s.g).abs().max(1))
+                                        * (b / s.g).signum();
                                 // simpler check: x_period * a must be divisible by b-step relation;
                                 // verify via direct membership when b != 0
                                 if b != 0 {

@@ -143,7 +143,10 @@ mod tests {
                 max_steps = max_steps.max(s);
             }
         }
-        assert!(max_steps <= 5, "observed {max_steps} steps, paper claims <= 5");
+        assert!(
+            max_steps <= 5,
+            "observed {max_steps} steps, paper claims <= 5"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct AdvisorOptions {
 
 impl Default for AdvisorOptions {
     fn default() -> Self {
-        AdvisorOptions { comm_weight: 16.0, bs_sizes: [4, 16] }
+        AdvisorOptions {
+            comm_weight: 16.0,
+            bs_sizes: [4, 16],
+        }
     }
 }
 
@@ -108,7 +111,12 @@ pub fn advise(
         }
         if feasible {
             let cost = comm as f64 * opts.comm_weight + max_work as f64;
-            out.push(Candidate { decomps: dm, comm, max_work, cost });
+            out.push(Candidate {
+                decomps: dm,
+                comm,
+                max_work,
+                cost,
+            });
         }
         // advance the odometer
         let mut k = 0;
@@ -169,8 +177,7 @@ mod tests {
         let mut extents = BTreeMap::new();
         extents.insert("U".to_string(), Bounds::range(0, n - 1));
         extents.insert("V".to_string(), Bounds::range(0, n - 1));
-        let ranked =
-            advise(&[stencil(n)], &extents, 8, AdvisorOptions::default()).unwrap();
+        let ranked = advise(&[stencil(n)], &extents, 8, AdvisorOptions::default()).unwrap();
         assert!(!ranked.is_empty());
         let best = &ranked[0];
         assert!(
@@ -211,8 +218,13 @@ mod tests {
         for a in ["U", "V", "W"] {
             extents.insert(a.to_string(), Bounds::range(0, n - 1));
         }
-        let ranked =
-            advise(&[stencil(n), consume], &extents, 4, AdvisorOptions::default()).unwrap();
+        let ranked = advise(
+            &[stencil(n), consume],
+            &extents,
+            4,
+            AdvisorOptions::default(),
+        )
+        .unwrap();
         let best = &ranked[0];
         // V and W must agree (zero comm for the consume clause)
         assert_eq!(
@@ -230,8 +242,7 @@ mod tests {
         let mut extents = BTreeMap::new();
         extents.insert("U".to_string(), Bounds::range(0, n - 1));
         extents.insert("V".to_string(), Bounds::range(0, n - 1));
-        let ranked =
-            advise(&[stencil(n)], &extents, 4, AdvisorOptions::default()).unwrap();
+        let ranked = advise(&[stencil(n)], &extents, 4, AdvisorOptions::default()).unwrap();
         for pair in ranked.windows(2) {
             assert!(pair[0].cost <= pair[1].cost);
         }

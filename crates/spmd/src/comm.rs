@@ -1,0 +1,469 @@
+//! Compile-time communication schedules for the distributed machine.
+//!
+//! The Section 2.10 template makes processor `p` send, for every read
+//! slot, the elements `{ i ∈ Reside_p | proc_A(f(i)) ≠ p }` — one tagged
+//! message per element, with the destination computed by an ownership
+//! test *at run time*. But the destination set is itself a V-cal set
+//! expression: the elements `p` sends to `q` for slot `s` are exactly
+//!
+//! ```text
+//! Send_{p→q}(s) = Reside_p(s) ∩ Modify_q
+//! ```
+//!
+//! and both operands are schedules the optimizer already derived in
+//! closed form (Theorems 1–3). This module intersects them per ordered
+//! processor pair at *plan time* — using the lattice algebra of
+//! [`crate::setops`] when both schedules are arithmetic, and falling
+//! back to a single enumeration + run-coalescing pass otherwise — and
+//! stores the result as strided runs ([`CommRun`]) on each node plan.
+//!
+//! Because the pair set is computed once and shared by sender and
+//! receiver, both sides agree on the exact packing order of every run:
+//! the executor can ship one vector message per run (`packets ≈ pairs`
+//! instead of `packets = elements`) and the receiver can unpack by
+//! `(source, run, offset)` with no per-element tag matching.
+
+use crate::program::NodePlan;
+use crate::schedule::Schedule;
+use vcal_core::func::Fn1;
+use vcal_decomp::Decomp1;
+
+/// One coalesced run of loop indices `start + step·t, t ∈ [0, count)`,
+/// all belonging to a single read slot. The values of a run travel in
+/// one message, packed in run order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommRun {
+    /// Index into the node's reside/read slot list.
+    pub slot: usize,
+    /// First loop index of the run.
+    pub start: i64,
+    /// Stride between consecutive indices (≥ 1).
+    pub step: i64,
+    /// Number of indices (≥ 1).
+    pub count: i64,
+}
+
+impl CommRun {
+    /// Visit the loop indices of the run in packing order.
+    pub fn for_each(&self, mut visit: impl FnMut(i64)) {
+        let mut i = self.start;
+        for _ in 0..self.count {
+            visit(i);
+            i += self.step;
+        }
+    }
+
+    /// Number of elements in the run.
+    pub fn len(&self) -> u64 {
+        self.count.max(0) as u64
+    }
+
+    /// Whether the run is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.count <= 0
+    }
+}
+
+/// All runs exchanged with one peer, ordered by slot then derivation
+/// order. `runs[k]` is the `k`-th packet on the wire for this pair —
+/// the index `k` is the packet tag, shared by sender and receiver.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PairComm {
+    /// The other processor.
+    pub peer: i64,
+    /// The runs, in wire order.
+    pub runs: Vec<CommRun>,
+}
+
+impl PairComm {
+    /// Total elements across all runs of the pair.
+    pub fn elems(&self) -> u64 {
+        self.runs.iter().map(CommRun::len).sum()
+    }
+}
+
+/// The plan-time communication schedule of one processor: what it sends
+/// to and expects from every peer, as coalesced runs.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCommPlan {
+    /// Outgoing runs, one entry per destination (ascending peer id,
+    /// empty pairs omitted).
+    pub sends: Vec<PairComm>,
+    /// Incoming runs, one entry per source (ascending peer id, empty
+    /// pairs omitted). `recvs[so].runs[k]` on the receiver is the same
+    /// run as `sends[..].runs[k]` on source `so` — derived once, shared.
+    pub recvs: Vec<PairComm>,
+    /// Read slots whose pair sets came from closed-form intersection.
+    pub closed_form_slots: u64,
+    /// Read slots that needed the enumeration + coalescing fallback.
+    pub enumerated_slots: u64,
+}
+
+impl NodeCommPlan {
+    /// Total elements this node sends.
+    pub fn send_elems(&self) -> u64 {
+        self.sends.iter().map(PairComm::elems).sum()
+    }
+
+    /// Total elements this node expects to receive.
+    pub fn recv_elems(&self) -> u64 {
+        self.recvs.iter().map(PairComm::elems).sum()
+    }
+
+    /// Number of outgoing vector messages (one per run).
+    pub fn send_packets(&self) -> u64 {
+        self.sends.iter().map(|pc| pc.runs.len() as u64).sum()
+    }
+
+    /// Number of incoming vector messages.
+    pub fn recv_packets(&self) -> u64 {
+        self.recvs.iter().map(|pc| pc.runs.len() as u64).sum()
+    }
+}
+
+/// Append `runs` to the pair entry for `peer`, creating it on first use.
+fn push_runs(pairs: &mut Vec<PairComm>, peer: i64, runs: &[CommRun]) {
+    match pairs.iter_mut().find(|pc| pc.peer == peer) {
+        Some(pc) => pc.runs.extend_from_slice(runs),
+        None => pairs.push(PairComm {
+            peer,
+            runs: runs.to_vec(),
+        }),
+    }
+}
+
+/// Flatten an arithmetic schedule into runs for `slot`. `false` when the
+/// schedule has no run form (guarded / repeated shapes).
+fn schedule_to_runs(s: &Schedule, slot: usize, out: &mut Vec<CommRun>) -> bool {
+    match s {
+        Schedule::Empty => true,
+        Schedule::Range { lo, hi } => {
+            if lo <= hi {
+                out.push(CommRun {
+                    slot,
+                    start: *lo,
+                    step: 1,
+                    count: hi - lo + 1,
+                });
+            }
+            true
+        }
+        Schedule::Strided { start, step, count } => {
+            if *count > 0 {
+                out.push(CommRun {
+                    slot,
+                    start: *start,
+                    step: *step,
+                    count: *count,
+                });
+            }
+            true
+        }
+        Schedule::Concat(parts) => parts.iter().all(|p| schedule_to_runs(p, slot, out)),
+        _ => false,
+    }
+}
+
+/// Greedily coalesce a sorted, deduplicated index list into arithmetic
+/// runs: maximal equal-stride progressions, singletons as step-1 runs.
+fn coalesce(v: &[i64], slot: usize) -> Vec<CommRun> {
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < v.len() {
+        if k + 1 == v.len() {
+            out.push(CommRun {
+                slot,
+                start: v[k],
+                step: 1,
+                count: 1,
+            });
+            break;
+        }
+        let step = v[k + 1] - v[k];
+        let mut j = k + 1;
+        while j + 1 < v.len() && v[j + 1] - v[j] == step {
+            j += 1;
+        }
+        out.push(CommRun {
+            slot,
+            start: v[k],
+            step,
+            count: (j - k + 1) as i64,
+        });
+        k = j + 1;
+    }
+    out
+}
+
+/// Derive `Reside_p(slot) ∩ Modify_q` for every destination `q ≠ p` in
+/// closed form. `None` when any required intersection is not arithmetic.
+fn closed_form_slot(
+    nodes: &[NodePlan],
+    p: usize,
+    slot: usize,
+    reside: &Schedule,
+) -> Option<Vec<Vec<CommRun>>> {
+    let mut per_q: Vec<Vec<CommRun>> = vec![Vec::new(); nodes.len()];
+    for (q, dst) in nodes.iter().enumerate() {
+        if q == p {
+            continue;
+        }
+        let set = crate::setops::intersect(reside, &dst.modify.schedule)?;
+        if !schedule_to_runs(&set, slot, &mut per_q[q]) {
+            return None;
+        }
+    }
+    Some(per_q)
+}
+
+/// Derive the same sets by one enumeration pass over the reside
+/// schedule, bucketing each index by the owner of its write target.
+fn enumerate_slot(
+    reside: &Schedule,
+    slot: usize,
+    f: &Fn1,
+    dec_lhs: &Decomp1,
+    p: usize,
+    pmax: usize,
+) -> Vec<Vec<CommRun>> {
+    let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); pmax];
+    reside.for_each(|i| {
+        let q = dec_lhs.proc_of(f.eval(i));
+        if q as usize != p {
+            buckets[q as usize].push(i);
+        }
+    });
+    buckets
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            coalesce(&v, slot)
+        })
+        .collect()
+}
+
+/// Build the per-node communication plans for a whole SPMD program.
+///
+/// Each ordered pair set is derived exactly once and pushed to both the
+/// sender's `sends` and the receiver's `recvs`, so the two sides hold
+/// identical run lists in identical order — the invariant the vectorized
+/// executor's `(source, run, offset)` addressing relies on.
+pub fn plan_comm(nodes: &[NodePlan], f: &Fn1, dec_lhs: &Decomp1) -> Vec<NodeCommPlan> {
+    let pmax = nodes.len();
+    let mut plans: Vec<NodeCommPlan> = vec![NodeCommPlan::default(); pmax];
+    for (p, node) in nodes.iter().enumerate() {
+        for (slot, rp) in node.resides.iter().enumerate() {
+            if rp.replicated {
+                continue;
+            }
+            let reside = &rp.opt.schedule;
+            let per_q = match closed_form_slot(nodes, p, slot, reside) {
+                Some(per_q) => {
+                    plans[p].closed_form_slots += 1;
+                    per_q
+                }
+                None => {
+                    plans[p].enumerated_slots += 1;
+                    enumerate_slot(reside, slot, f, dec_lhs, p, pmax)
+                }
+            };
+            for (q, runs) in per_q.iter().enumerate() {
+                if q == p || runs.is_empty() {
+                    continue;
+                }
+                push_runs(&mut plans[p].sends, q as i64, runs);
+                push_runs(&mut plans[q].recvs, p as i64, runs);
+            }
+        }
+    }
+    for plan in &mut plans {
+        plan.sends.sort_by_key(|pc| pc.peer);
+        plan.recvs.sort_by_key(|pc| pc.peer);
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{DecompMap, SpmdPlan};
+    use vcal_core::{ArrayRef, Bounds, Clause, Expr, Guard, IndexSet, Ordering};
+
+    fn copy_clause(imin: i64, imax: i64, f: Fn1, g: Fn1) -> Clause {
+        Clause {
+            iter: IndexSet::range(imin, imax),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", f),
+            rhs: Expr::Ref(ArrayRef::d1("B", g)),
+        }
+    }
+
+    fn decomps(a: Decomp1, b: Decomp1) -> DecompMap {
+        let mut m = DecompMap::new();
+        m.insert("A".into(), a);
+        m.insert("B".into(), b);
+        m
+    }
+
+    /// Expand every send run of `p` into `(peer, slot, i)` triples.
+    fn expand_sends(plan: &NodeCommPlan) -> Vec<(i64, usize, i64)> {
+        let mut out = Vec::new();
+        for pc in &plan.sends {
+            for run in &pc.runs {
+                run.for_each(|i| out.push((pc.peer, run.slot, i)));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force reference: walk the reside schedules with an
+    /// ownership test per element, exactly as the element-wise executor
+    /// does.
+    fn brute_sends(plan: &SpmdPlan, dec_lhs: &Decomp1, p: usize) -> Vec<(i64, usize, i64)> {
+        let node = &plan.nodes[p];
+        let mut out = Vec::new();
+        for (slot, rp) in node.resides.iter().enumerate() {
+            if rp.replicated {
+                continue;
+            }
+            rp.opt.schedule.for_each(|i| {
+                let q = dec_lhs.proc_of(plan.f.eval(i));
+                if q as usize != p {
+                    out.push((q, slot, i));
+                }
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn check_plan(clause: &Clause, dm: &DecompMap, naive: bool) {
+        let plan = if naive {
+            SpmdPlan::build_naive(clause, dm).unwrap()
+        } else {
+            SpmdPlan::build(clause, dm).unwrap()
+        };
+        let dec_lhs = &dm["A"];
+        for p in 0..plan.pmax as usize {
+            let comm = &plan.nodes[p].comm;
+            assert_eq!(
+                expand_sends(comm),
+                brute_sends(&plan, dec_lhs, p),
+                "send sets p={p} naive={naive}"
+            );
+            // sender and receiver hold the same run lists
+            for pc in &comm.sends {
+                let dst = &plan.nodes[pc.peer as usize].comm;
+                let back = dst
+                    .recvs
+                    .iter()
+                    .find(|r| r.peer == p as i64)
+                    .expect("receiver must expect this pair");
+                assert_eq!(pc.runs, back.runs, "pair ({p} -> {}) runs", pc.peer);
+            }
+        }
+        // global conservation: every element sent is expected somewhere
+        let sent: u64 = plan.nodes.iter().map(|n| n.comm.send_elems()).sum();
+        let recv: u64 = plan.nodes.iter().map(|n| n.comm.recv_elems()).sum();
+        assert_eq!(sent, recv);
+    }
+
+    #[test]
+    fn pair_sets_match_brute_force() {
+        let n = 96i64;
+        let e = Bounds::range(0, n - 1);
+        let decs = [
+            Decomp1::block(4, e),
+            Decomp1::scatter(4, e),
+            Decomp1::block_scatter(3, 4, e),
+            Decomp1::replicated(4, e),
+        ];
+        let fns = [
+            (Fn1::identity(), 0, n - 1),
+            (Fn1::shift(5), 0, n - 6),
+            (Fn1::affine(3, 1), 0, (n - 2) / 3),
+            (Fn1::rotate(7, n), 0, n - 1),
+        ];
+        for da in &decs {
+            if da.is_replicated() {
+                continue; // writes need a real owner
+            }
+            for db in &decs {
+                for (f, flo, fhi) in &fns {
+                    for (g, glo, ghi) in &fns {
+                        let (lo, hi) = ((*flo).max(*glo), (*fhi).min(*ghi));
+                        if lo > hi {
+                            continue;
+                        }
+                        let clause = copy_clause(lo, hi, f.clone(), g.clone());
+                        let dm = decomps(da.clone(), db.clone());
+                        check_plan(&clause, &dm, false);
+                        check_plan(&clause, &dm, true);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_plans_use_closed_forms() {
+        let n = 1024i64;
+        let clause = copy_clause(0, n - 1, Fn1::identity(), Fn1::affine(3, 1));
+        let dm = decomps(
+            Decomp1::scatter(8, Bounds::range(0, n - 1)),
+            Decomp1::scatter(8, Bounds::range(0, 3 * n)),
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        for node in &plan.nodes {
+            assert_eq!(node.comm.enumerated_slots, 0, "p={}", node.p);
+        }
+        // scatter/scatter with an affine access coalesces each pair into
+        // very few strided runs: far fewer packets than elements
+        let elems: u64 = plan.nodes.iter().map(|n| n.comm.send_elems()).sum();
+        let packets: u64 = plan.nodes.iter().map(|n| n.comm.send_packets()).sum();
+        assert!(elems >= 10 * packets, "elems={elems} packets={packets}");
+    }
+
+    #[test]
+    fn naive_plans_fall_back_to_enumeration() {
+        let n = 64i64;
+        let clause = copy_clause(0, n - 1, Fn1::identity(), Fn1::identity());
+        let dm = decomps(
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+        );
+        let plan = SpmdPlan::build_naive(&clause, &dm).unwrap();
+        let enumerated: u64 = plan.nodes.iter().map(|n| n.comm.enumerated_slots).sum();
+        assert!(enumerated > 0);
+    }
+
+    #[test]
+    fn replicated_reads_have_no_runs() {
+        let n = 32i64;
+        let clause = copy_clause(0, n - 1, Fn1::identity(), Fn1::identity());
+        let dm = decomps(
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::replicated(4, Bounds::range(0, n - 1)),
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        for node in &plan.nodes {
+            assert!(node.comm.sends.is_empty());
+            assert!(node.comm.recvs.is_empty());
+        }
+    }
+
+    #[test]
+    fn coalesce_handles_irregular_gaps() {
+        let v = [0, 1, 2, 10, 14, 18, 40];
+        let runs = coalesce(&v, 0);
+        let mut expanded = Vec::new();
+        for r in &runs {
+            r.for_each(|i| expanded.push(i));
+        }
+        assert_eq!(expanded, v);
+        assert!(runs.len() <= 3, "{runs:?}");
+    }
+}

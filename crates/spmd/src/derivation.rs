@@ -29,7 +29,10 @@ pub fn derive(clause: &Clause, decomps: &DecompMap) -> Result<String, String> {
         TOrd::Par,
         Term::assign(
             Term::select(&[&f_txt.to_string()], Term::Array(lhs.clone())),
-            Term::Call { name: "Expr".into(), args: rhs_terms },
+            Term::Call {
+                name: "Expr".into(),
+                args: rhs_terms,
+            },
         ),
     );
     out.push_str(&format!("Eq.(1)  {eq1}\n\n"));
@@ -40,14 +43,23 @@ pub fn derive(clause: &Clause, decomps: &DecompMap) -> Result<String, String> {
         let n = dec.extent().count();
         t = t.substitute_decomposition(name, &format!("0:{}", n as i64 - 1));
     }
-    out.push_str(&format!("substituting decomposition views:\n        {t}\n\n"));
+    out.push_str(&format!(
+        "substituting decomposition views:\n        {t}\n\n"
+    ));
 
     // Eq.(2): contraction
     let eq2 = t.contract();
     out.push_str(&format!("Eq.(2)  {eq2}  (contraction, Def. 5)\n\n"));
 
     // renaming + interchange
-    let Term::Param { var, range: r, cond, ord, body } = &eq2 else {
+    let Term::Param {
+        var,
+        range: r,
+        cond,
+        ord,
+        body,
+    } = &eq2
+    else {
         return Err("Eq.(2) should be a parameter expression".into());
     };
     let proc_expr = format!("proc{lhs}({f_txt})");

@@ -14,14 +14,23 @@ pub fn emit_schedule(s: &Schedule, var: &str, body: &str, indent: usize) -> Stri
     let pad = " ".repeat(indent);
     match s {
         Schedule::Empty => format!("{pad}(* no iterations on this node *)\n"),
-        Schedule::Range { lo, hi } => format!(
-            "{pad}for {var} := {lo} to {hi} do\n{body}{pad}od;\n"
-        ),
+        Schedule::Range { lo, hi } => {
+            format!("{pad}for {var} := {lo} to {hi} do\n{body}{pad}od;\n")
+        }
         Schedule::Strided { start, step, count } => format!(
             "{pad}for t := 0 to {} do\n{pad}  {var} := {start} + {step}*t;\n{body}{pad}od;\n",
             count - 1
         ),
-        Schedule::RepeatedBlock { f, b, pmax, p, ext_lo, k_max, imin, imax } => {
+        Schedule::RepeatedBlock {
+            f,
+            b,
+            pmax,
+            p,
+            ext_lo,
+            k_max,
+            imin,
+            imax,
+        } => {
             let fi = display_fn1(f, var);
             format!(
                 "{pad}(* repeated block: blocks p + k*pmax of size {b}, f({var}) = {fi} *)\n\
@@ -32,7 +41,15 @@ pub fn emit_schedule(s: &Schedule, var: &str, body: &str, indent: usize) -> Stri
                  {pad}  for {var} := jmin to jmax do\n{body}{pad}  od;\n{pad}od;\n"
             )
         }
-        Schedule::RepeatedScatter { f, b, pmax, p, ext_lo, k_max, .. } => {
+        Schedule::RepeatedScatter {
+            f,
+            b,
+            pmax,
+            p,
+            ext_lo,
+            k_max,
+            ..
+        } => {
             let fi = display_fn1(f, var);
             format!(
                 "{pad}(* repeated scatter: probe f^-1 of each owned value, f({var}) = {fi} *)\n\
@@ -53,7 +70,12 @@ pub fn emit_schedule(s: &Schedule, var: &str, body: &str, indent: usize) -> Stri
             }
             out
         }
-        Schedule::Guarded { imin, imax, proc_of_f, p } => {
+        Schedule::Guarded {
+            imin,
+            imax,
+            proc_of_f,
+            p,
+        } => {
             let test = display_fn1(proc_of_f, var);
             format!(
                 "{pad}for {var} := {imin} to {imax} do\n\
@@ -69,10 +91,7 @@ pub fn emit_shared_node(plan: &SpmdPlan, p: i64) -> String {
     let node = &plan.nodes[p as usize];
     let mut out = String::new();
     out.push_str(&format!("p := my_node;  (* = {p} *)\n"));
-    out.push_str(&format!(
-        "(* Modify_p via {} *)\n",
-        node.modify.kind.name()
-    ));
+    out.push_str(&format!("(* Modify_p via {} *)\n", node.modify.kind.name()));
     let f = display_fn1(&plan.f, "i");
     let body = format!("    {}[{}] := Expr(...);\n", plan.lhs_array, f);
     out.push_str(&emit_schedule(&node.modify.schedule, "i", &body, 0));
@@ -120,7 +139,10 @@ pub fn emit_distributed_node(plan: &SpmdPlan, p: i64) -> String {
             rp.array
         ));
     }
-    body.push_str(&format!("    {}L[local({f})] := Expr(...);\n", plan.lhs_array));
+    body.push_str(&format!(
+        "    {}L[local({f})] := Expr(...);\n",
+        plan.lhs_array
+    ));
     out.push_str(&emit_schedule(&node.modify.schedule, "i", &body, 0));
     out
 }
@@ -148,8 +170,7 @@ pub fn emit_distributed_node_closed(plan: &SpmdPlan, p: i64) -> String {
                     rp.array,
                     cs.send.count()
                 ));
-                let body =
-                    format!("    send(procA({f}), {}L[local({g})]);\n", rp.array);
+                let body = format!("    send(procA({f}), {}L[local({g})]);\n", rp.array);
                 out.push_str(&emit_schedule(&cs.send, "i", &body, 0));
                 out.push_str(&format!(
                     "(* closed-form receive set Modify_p \\ Reside_p of {} ({} iters) *)\n",
@@ -239,7 +260,10 @@ mod tests {
         dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, 63)));
         dm.insert("B".into(), Decomp1::block(4, Bounds::range(-1, 63)));
         // shift B's extent so B[i-1] stays in range for i=0
-        let clause = Clause { iter: IndexSet::range(0, 63), ..clause };
+        let clause = Clause {
+            iter: IndexSet::range(0, 63),
+            ..clause
+        };
         (SpmdPlan::build(&clause, &dm).unwrap(), dm)
     }
 

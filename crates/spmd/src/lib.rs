@@ -11,6 +11,9 @@
 //!   Corollaries 1–2, the `df/di < pmax` rule, breakpoint splitting);
 //! * [`program`] — whole-clause SPMD plans: Modify/Reside schedules per
 //!   processor plus communication statistics;
+//! * [`comm`] — plan-time communication schedules: per-ordered-pair
+//!   send/receive sets (`Reside_p ∩ Modify_q`) coalesced into strided
+//!   runs, enabling vectorized message aggregation in the machines;
 //! * [`emit`] — pseudo-code rendering of the Section 2.9 / 2.10 templates
 //!   and the Section 4 loop skeletons;
 //! * [`validate`] — brute-force oracles the tests and benches check
@@ -18,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod comm;
 pub mod derivation;
 pub mod emit;
 pub mod nd;
@@ -28,9 +32,10 @@ pub mod setops;
 pub mod validate;
 
 pub use advisor::{advise, AdvisorOptions, Candidate};
+pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
 pub use derivation::derive;
+pub use nd::{optimize_nd, ScheduleNd};
 pub use optimizer::{naive_schedule, optimize, optimize_with, OptKind, OptOptions, Optimized};
 pub use program::{CommStats, DecompMap, NodePlan, PlanError, ResidePlan, SpmdPlan};
-pub use nd::{optimize_nd, ScheduleNd};
 pub use schedule::{repeated_block_kmax, Schedule};
 pub use setops::{comm_sets, intersect, subtract, CommSets};

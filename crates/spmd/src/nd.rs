@@ -35,11 +35,15 @@ impl ScheduleNd {
     pub fn for_each(&self, mut visit: impl FnMut(&Ix)) {
         // materialize each axis once (axes are small relative to the
         // product) then walk the product
-        let lists: Vec<Vec<i64>> = self.axes.iter().map(|s| {
-            let mut v = Vec::new();
-            s.for_each(|i| v.push(i));
-            v
-        }).collect();
+        let lists: Vec<Vec<i64>> = self
+            .axes
+            .iter()
+            .map(|s| {
+                let mut v = Vec::new();
+                s.for_each(|i| v.push(i));
+                v
+            })
+            .collect();
         if lists.iter().any(Vec::is_empty) {
             return;
         }
@@ -149,7 +153,10 @@ mod tests {
     }
 
     fn brute(map: &IndexMap, dec: &DecompNd, loop_box: &Bounds, p: i64) -> Vec<Ix> {
-        loop_box.iter().filter(|i| dec.proc_of(&map.eval(i)) == p).collect()
+        loop_box
+            .iter()
+            .filter(|i| dec.proc_of(&map.eval(i)) == p)
+            .collect()
     }
 
     #[test]
@@ -216,8 +223,14 @@ mod tests {
         let map = IndexMap::new(
             2,
             vec![
-                DimFn { src: 0, f: Fn1::identity() },
-                DimFn { src: 0, f: Fn1::identity() },
+                DimFn {
+                    src: 0,
+                    f: Fn1::identity(),
+                },
+                DimFn {
+                    src: 0,
+                    f: Fn1::identity(),
+                },
             ],
         );
         assert!(optimize_nd(&map, &dec, &Bounds::range2(0, 7, 0, 7), 0).is_none());
@@ -228,7 +241,13 @@ mod tests {
         // 1-D data indexed by the first loop dim of a 2-D loop: every j
         // iterates on the owner of row i... here out=1 axis, loop 2-D
         let dec = DecompNd::new(vec![Decomp1::block(4, Bounds::range(0, 15))]);
-        let map = IndexMap::new(2, vec![DimFn { src: 0, f: Fn1::identity() }]);
+        let map = IndexMap::new(
+            2,
+            vec![DimFn {
+                src: 0,
+                f: Fn1::identity(),
+            }],
+        );
         let lb = Bounds::range2(0, 15, 0, 3);
         for p in 0..4 {
             let s = optimize_nd(&map, &dec, &lb, p).unwrap();
@@ -243,8 +262,14 @@ mod tests {
         let map = IndexMap::new(
             2,
             vec![
-                DimFn { src: 0, f: Fn1::Const(0) },
-                DimFn { src: 1, f: Fn1::identity() },
+                DimFn {
+                    src: 0,
+                    f: Fn1::Const(0),
+                },
+                DimFn {
+                    src: 1,
+                    f: Fn1::identity(),
+                },
             ],
         );
         let lb = Bounds::range2(0, 5, 0, 9);

@@ -102,7 +102,10 @@ pub struct OptOptions {
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { prefer_repeated_scatter: true, scatter_enum_k: true }
+        OptOptions {
+            prefer_repeated_scatter: true,
+            scatter_enum_k: true,
+        }
     }
 }
 
@@ -126,7 +129,10 @@ pub fn optimize_with(
     opts: OptOptions,
 ) -> Optimized {
     if imin > imax {
-        return Optimized { schedule: Schedule::Empty, kind: OptKind::EmptyLoop };
+        return Optimized {
+            schedule: Schedule::Empty,
+            kind: OptKind::EmptyLoop,
+        };
     }
     let f = f.simplify();
     debug_assert_bounds(&f, dec, imin, imax);
@@ -134,14 +140,27 @@ pub fn optimize_with(
     // Theorem 1: constant access function.
     if let Fn1::Const(c) = f {
         let owner = dec.proc_of(c);
-        let schedule =
-            if owner == p { Schedule::range(imin, imax) } else { Schedule::Empty };
-        return Optimized { schedule, kind: OptKind::ConstantFn };
+        let schedule = if owner == p {
+            Schedule::range(imin, imax)
+        } else {
+            Schedule::Empty
+        };
+        return Optimized {
+            schedule,
+            kind: OptKind::ConstantFn,
+        };
     }
 
     if dec.is_replicated() {
-        let schedule = if p == 0 { Schedule::range(imin, imax) } else { Schedule::Empty };
-        return Optimized { schedule, kind: OptKind::ReplicatedOwner };
+        let schedule = if p == 0 {
+            Schedule::range(imin, imax)
+        } else {
+            Schedule::Empty
+        };
+        return Optimized {
+            schedule,
+            kind: OptKind::ReplicatedOwner,
+        };
     }
 
     let ext_lo = dec.extent().lo()[0];
@@ -177,7 +196,11 @@ pub fn optimize_with(
                         if count == 0 {
                             Schedule::Empty
                         } else {
-                            Schedule::Strided { start, step: cg.period, count }
+                            Schedule::Strided {
+                                start,
+                                step: cg.period,
+                                count,
+                            }
                         }
                     }
                     // no solution to the Diophantine equation: this
@@ -191,7 +214,10 @@ pub fn optimize_with(
                 } else {
                     0
                 };
-                Optimized { schedule, kind: OptKind::ScatterLinear { corollary } }
+                Optimized {
+                    schedule,
+                    kind: OptKind::ScatterLinear { corollary },
+                }
             } else if mono.is_monotone() {
                 // "limited optimization (as repeated block decomposition)
                 // if df/di < pmax": probe k instead of testing every i.
@@ -212,7 +238,10 @@ pub fn optimize_with(
                             k_max,
                         }
                     };
-                    Optimized { schedule, kind: OptKind::ScatterMonotonicViaK }
+                    Optimized {
+                        schedule,
+                        kind: OptKind::ScatterMonotonicViaK,
+                    }
                 } else {
                     naive(&f, dec, imin, imax, p)
                 }
@@ -336,7 +365,9 @@ mod tests {
 
     /// Brute-force oracle: `{ i | proc(f(i)) = p }`.
     fn brute(f: &Fn1, dec: &Decomp1, imin: i64, imax: i64, p: i64) -> Vec<i64> {
-        (imin..=imax).filter(|&i| dec.proc_of(f.eval(i)) == p).collect()
+        (imin..=imax)
+            .filter(|&i| dec.proc_of(f.eval(i)) == p)
+            .collect()
     }
 
     fn check_exact(f: &Fn1, dec: &Decomp1, imin: i64, imax: i64) -> Vec<OptKind> {
@@ -350,7 +381,11 @@ mod tests {
             total += got.len() as u64;
             kinds.push(opt.kind);
         }
-        assert_eq!(total, (imax - imin + 1).max(0) as u64, "not a partition: f={f:?} {dec}");
+        assert_eq!(
+            total,
+            (imax - imin + 1).max(0) as u64,
+            "not a partition: f={f:?} {dec}"
+        );
         kinds
     }
 
@@ -409,7 +444,9 @@ mod tests {
                     let (imin, imax) = (imin.min(imax), imin.max(imax));
                     let kinds = check_exact(&Fn1::affine(a, c), &dec, imin.max(0), imax);
                     assert!(
-                        kinds.iter().all(|k| matches!(k, OptKind::ScatterLinear { .. })),
+                        kinds
+                            .iter()
+                            .all(|k| matches!(k, OptKind::ScatterLinear { .. })),
                         "a={a} c={c} pmax={pmax}: {kinds:?}"
                     );
                 }
@@ -459,7 +496,10 @@ mod tests {
         let dec = Decomp1::block_scatter(48, 4, Bounds::range(0, 299));
         // b = 48 > 299/(2*4) = 37: repeated block chosen
         let kinds = check_exact(&Fn1::identity(), &dec, 0, 299);
-        assert!(kinds.iter().all(|k| *k == OptKind::RepeatedBlock), "{kinds:?}");
+        assert!(
+            kinds.iter().all(|k| *k == OptKind::RepeatedBlock),
+            "{kinds:?}"
+        );
     }
 
     #[test]
@@ -467,7 +507,10 @@ mod tests {
         let dec = Decomp1::block_scatter(2, 4, Bounds::range(0, 299));
         // b=2 <= 299/(2*4)=37: RS chosen
         let kinds = check_exact(&Fn1::identity(), &dec, 0, 299);
-        assert!(kinds.iter().all(|k| *k == OptKind::RepeatedScatter), "{kinds:?}");
+        assert!(
+            kinds.iter().all(|k| *k == OptKind::RepeatedScatter),
+            "{kinds:?}"
+        );
         // and with the option off, RB
         let o = optimize_with(
             &Fn1::identity(),
@@ -475,7 +518,10 @@ mod tests {
             0,
             299,
             0,
-            OptOptions { prefer_repeated_scatter: false, scatter_enum_k: true },
+            OptOptions {
+                prefer_repeated_scatter: false,
+                scatter_enum_k: true,
+            },
         );
         assert_eq!(o.kind, OptKind::RepeatedBlock);
     }
@@ -522,7 +568,9 @@ mod tests {
         let o0 = optimize(&Fn1::identity(), &dec, 0, 15, 0);
         assert_eq!(o0.kind, OptKind::ReplicatedOwner);
         assert_eq!(o0.schedule.count(), 16);
-        assert!(optimize(&Fn1::identity(), &dec, 0, 15, 3).schedule.is_empty());
+        assert!(optimize(&Fn1::identity(), &dec, 0, 15, 3)
+            .schedule
+            .is_empty());
     }
 
     #[test]

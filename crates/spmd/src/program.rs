@@ -12,6 +12,7 @@
 //!   (`Reside_p \ Modify_p`) with an O(1) ownership test per element
 //!   instead of a set-difference enumeration.
 
+use crate::comm::NodeCommPlan;
 use crate::optimizer::{optimize, Optimized};
 use std::collections::BTreeMap;
 use vcal_core::func::Fn1;
@@ -43,6 +44,9 @@ pub struct NodePlan {
     pub modify: Optimized,
     /// Reside schedules, one per distinct read reference.
     pub resides: Vec<ResidePlan>,
+    /// Plan-time communication schedule: per-peer send/receive runs
+    /// derived from `Reside_p ∩ Modify_q` (see [`crate::comm`]).
+    pub comm: NodeCommPlan,
 }
 
 /// A complete SPMD plan for a 1-D clause.
@@ -91,7 +95,10 @@ impl std::fmt::Display for PlanError {
                 write!(f, "all decompositions must use the same processor count")
             }
             PlanError::PredicatedIteration => {
-                write!(f, "iteration sets with compile-time predicates are not supported")
+                write!(
+                    f,
+                    "iteration sets with compile-time predicates are not supported"
+                )
             }
         }
     }
@@ -141,7 +148,11 @@ impl SpmdPlan {
         // gather the distinct read accesses (array, g)
         let mut reads: Vec<(String, Fn1)> = Vec::new();
         for r in clause.read_refs() {
-            let g = r.map.as_fn1().cloned().ok_or(PlanError::NotOneDimensional)?;
+            let g = r
+                .map
+                .as_fn1()
+                .cloned()
+                .ok_or(PlanError::NotOneDimensional)?;
             if !reads.iter().any(|(a, h)| *a == r.array && *h == g) {
                 reads.push((r.array.clone(), g));
             }
@@ -165,7 +176,7 @@ impl SpmdPlan {
                 optimize(g, d, imin, imax, p)
             }
         };
-        let nodes = (0..pmax)
+        let mut nodes = (0..pmax)
             .map(|p| {
                 let modify = pick(&f, dec_lhs, p);
                 let resides = reads
@@ -190,9 +201,19 @@ impl SpmdPlan {
                         }
                     })
                     .collect();
-                NodePlan { p, modify, resides }
+                NodePlan {
+                    p,
+                    modify,
+                    resides,
+                    comm: NodeCommPlan::default(),
+                }
             })
-            .collect();
+            .collect::<Vec<_>>();
+
+        let comms = crate::comm::plan_comm(&nodes, &f, dec_lhs);
+        for (node, comm) in nodes.iter_mut().zip(comms) {
+            node.comm = comm;
+        }
 
         Ok(SpmdPlan {
             pmax,
@@ -207,7 +228,10 @@ impl SpmdPlan {
     /// Sum of the per-processor loop-overhead work (Section 3's complexity
     /// measure): tests + visits across all processors.
     pub fn total_work(&self) -> u64 {
-        self.nodes.iter().map(|n| n.modify.schedule.work_estimate()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.modify.schedule.work_estimate())
+            .sum()
     }
 }
 

@@ -126,7 +126,16 @@ impl Schedule {
                     i += step;
                 }
             }
-            Schedule::RepeatedBlock { f, imin, imax, b, pmax, p, ext_lo, k_max } => {
+            Schedule::RepeatedBlock {
+                f,
+                imin,
+                imax,
+                b,
+                pmax,
+                p,
+                ext_lo,
+                k_max,
+            } => {
                 for k in 0..=*k_max {
                     let y_lo = ext_lo + b * (p + k * pmax);
                     let y_hi = y_lo + b - 1;
@@ -137,7 +146,16 @@ impl Schedule {
                     }
                 }
             }
-            Schedule::RepeatedScatter { f, imin, imax, b, pmax, p, ext_lo, k_max } => {
+            Schedule::RepeatedScatter {
+                f,
+                imin,
+                imax,
+                b,
+                pmax,
+                p,
+                ext_lo,
+                k_max,
+            } => {
                 for t in (b * p)..(b * p + b) {
                     for k in 0..=*k_max {
                         let v = ext_lo + t + b * k * pmax;
@@ -156,7 +174,12 @@ impl Schedule {
                     s.for_each_inner(visit);
                 }
             }
-            Schedule::Guarded { imin, imax, proc_of_f, p } => {
+            Schedule::Guarded {
+                imin,
+                imax,
+                proc_of_f,
+                p,
+            } => {
                 for i in *imin..=*imax {
                     if proc_of_f.eval(i) == *p {
                         visit(i);
@@ -242,8 +265,10 @@ impl Schedule {
 
     /// Build a `Concat`, flattening empties.
     pub fn concat(parts: Vec<Schedule>) -> Schedule {
-        let mut kept: Vec<Schedule> =
-            parts.into_iter().filter(|s| !matches!(s, Schedule::Empty)).collect();
+        let mut kept: Vec<Schedule> = parts
+            .into_iter()
+            .filter(|s| !matches!(s, Schedule::Empty))
+            .collect();
         match kept.len() {
             0 => Schedule::Empty,
             1 => kept.pop().unwrap(),
@@ -285,7 +310,11 @@ mod tests {
 
     #[test]
     fn strided_enumeration() {
-        let s = Schedule::Strided { start: 2, step: 3, count: 4 };
+        let s = Schedule::Strided {
+            start: 2,
+            step: 3,
+            count: 4,
+        };
         assert_eq!(s.to_sorted_vec(), vec![2, 5, 8, 11]);
         assert_eq!(s.count(), 4);
     }
@@ -293,8 +322,17 @@ mod tests {
     #[test]
     fn guarded_matches_brute() {
         // scatter on 4 procs, f = i: proc(f(i)) = i mod 4
-        let pf = Fn1::Mod { inner: Box::new(Fn1::identity()), z: 4, d: 0 };
-        let s = Schedule::Guarded { imin: 0, imax: 14, proc_of_f: pf, p: 2 };
+        let pf = Fn1::Mod {
+            inner: Box::new(Fn1::identity()),
+            z: 4,
+            d: 0,
+        };
+        let s = Schedule::Guarded {
+            imin: 0,
+            imax: 14,
+            proc_of_f: pf,
+            p: 2,
+        };
         assert_eq!(s.to_sorted_vec(), vec![2, 6, 10, 14]);
         assert_eq!(s.work_estimate(), 15); // the whole loop is tested
     }

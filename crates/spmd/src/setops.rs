@@ -31,9 +31,11 @@ struct Arith {
 impl Arith {
     fn of(s: &Schedule) -> Option<Arith> {
         match s {
-            Schedule::Range { lo, hi } => {
-                Some(Arith { class: ResidueClass::new(0, 1), lo: *lo, hi: *hi })
-            }
+            Schedule::Range { lo, hi } => Some(Arith {
+                class: ResidueClass::new(0, 1),
+                lo: *lo,
+                hi: *hi,
+            }),
             Schedule::Strided { start, step, count } => {
                 if *count <= 0 {
                     return None;
@@ -70,7 +72,11 @@ impl Arith {
                 } else if count == 1 {
                     Schedule::range(first, first)
                 } else {
-                    Schedule::Strided { start: first, step: m, count }
+                    Schedule::Strided {
+                        start: first,
+                        step: m,
+                        count,
+                    }
                 }
             }
         }
@@ -78,7 +84,11 @@ impl Arith {
 
     fn intersect(&self, other: &Arith) -> Option<Arith> {
         let class = self.class.intersect(&other.class)?;
-        Some(Arith { class, lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+        Some(Arith {
+            class,
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        })
     }
 }
 
@@ -88,13 +98,11 @@ pub fn intersect(a: &Schedule, b: &Schedule) -> Option<Schedule> {
     match (a, b) {
         (Schedule::Empty, _) | (_, Schedule::Empty) => Some(Schedule::Empty),
         (Schedule::Concat(parts), other) => {
-            let pieces: Option<Vec<Schedule>> =
-                parts.iter().map(|p| intersect(p, other)).collect();
+            let pieces: Option<Vec<Schedule>> = parts.iter().map(|p| intersect(p, other)).collect();
             Some(Schedule::concat(pieces?))
         }
         (other, Schedule::Concat(parts)) => {
-            let pieces: Option<Vec<Schedule>> =
-                parts.iter().map(|p| intersect(other, p)).collect();
+            let pieces: Option<Vec<Schedule>> = parts.iter().map(|p| intersect(other, p)).collect();
             Some(Schedule::concat(pieces?))
         }
         _ => {
@@ -114,8 +122,7 @@ pub fn subtract(a: &Schedule, b: &Schedule) -> Option<Schedule> {
         (Schedule::Empty, _) => Some(Schedule::Empty),
         (_, Schedule::Empty) => Some(a.clone()),
         (Schedule::Concat(parts), other) => {
-            let pieces: Option<Vec<Schedule>> =
-                parts.iter().map(|p| subtract(p, other)).collect();
+            let pieces: Option<Vec<Schedule>> = parts.iter().map(|p| subtract(p, other)).collect();
             Some(Schedule::concat(pieces?))
         }
         (other, Schedule::Concat(parts)) => {
@@ -141,10 +148,24 @@ fn subtract_arith(a: &Arith, b: &Arith) -> Option<Schedule> {
     // portion of a outside b's [lo, hi] window survives unconditionally
     let mut out: Vec<Schedule> = Vec::new();
     if b.lo > a.lo {
-        out.push(Arith { class: a.class, lo: a.lo, hi: a.hi.min(b.lo - 1) }.to_schedule());
+        out.push(
+            Arith {
+                class: a.class,
+                lo: a.lo,
+                hi: a.hi.min(b.lo - 1),
+            }
+            .to_schedule(),
+        );
     }
     if b.hi < a.hi {
-        out.push(Arith { class: a.class, lo: a.lo.max(b.hi + 1), hi: a.hi }.to_schedule());
+        out.push(
+            Arith {
+                class: a.class,
+                lo: a.lo.max(b.hi + 1),
+                hi: a.hi,
+            }
+            .to_schedule(),
+        );
     }
     // inside the overlap window, remove b's lattice from a's
     let w_lo = a.lo.max(b.lo);
@@ -153,7 +174,14 @@ fn subtract_arith(a: &Arith, b: &Arith) -> Option<Schedule> {
         match a.class.intersect(&b.class) {
             None => {
                 // disjoint lattices: everything of a in the window stays
-                out.push(Arith { class: a.class, lo: w_lo, hi: w_hi }.to_schedule());
+                out.push(
+                    Arith {
+                        class: a.class,
+                        lo: w_lo,
+                        hi: w_hi,
+                    }
+                    .to_schedule(),
+                );
             }
             Some(meet) => {
                 // a's lattice mod M = lcm splits into M / m_a classes;
@@ -169,16 +197,22 @@ fn subtract_arith(a: &Arith, b: &Arith) -> Option<Schedule> {
                         continue;
                     }
                     out.push(
-                        Arith { class: ResidueClass::new(r, m), lo: w_lo, hi: w_hi }
-                            .to_schedule(),
+                        Arith {
+                            class: ResidueClass::new(r, m),
+                            lo: w_lo,
+                            hi: w_hi,
+                        }
+                        .to_schedule(),
                     );
                 }
             }
         }
     }
     // keep the output ordered by first element for readability
-    let mut parts: Vec<Schedule> =
-        out.into_iter().filter(|s| !matches!(s, Schedule::Empty)).collect();
+    let mut parts: Vec<Schedule> = out
+        .into_iter()
+        .filter(|s| !matches!(s, Schedule::Empty))
+        .collect();
     parts.sort_by_key(|s| s.to_sorted_vec().first().copied().unwrap_or(i64::MAX));
     Some(Schedule::concat(parts))
 }
@@ -251,8 +285,16 @@ mod tests {
             for r1 in 0..m1 {
                 for m2 in 1..=6i64 {
                     for r2 in 0..m2 {
-                        let a = Schedule::Strided { start: r1, step: m1, count: 40 / m1 };
-                        let b = Schedule::Strided { start: r2, step: m2, count: 40 / m2 };
+                        let a = Schedule::Strided {
+                            start: r1,
+                            step: m1,
+                            count: 40 / m1,
+                        };
+                        let b = Schedule::Strided {
+                            start: r2,
+                            step: m2,
+                            count: 40 / m2,
+                        };
                         check_ops(&a, &b);
                     }
                 }
@@ -263,7 +305,11 @@ mod tests {
     #[test]
     fn range_strided_mixed() {
         let r = Schedule::range(3, 57);
-        let s = Schedule::Strided { start: 1, step: 4, count: 20 };
+        let s = Schedule::Strided {
+            start: 1,
+            step: 4,
+            count: 20,
+        };
         check_ops(&r, &s);
         check_ops(&s, &r);
     }
@@ -271,7 +317,11 @@ mod tests {
     #[test]
     fn concat_distribution() {
         let a = Schedule::concat(vec![Schedule::range(0, 9), Schedule::range(20, 29)]);
-        let b = Schedule::Strided { start: 0, step: 3, count: 20 };
+        let b = Schedule::Strided {
+            start: 0,
+            step: 3,
+            count: 20,
+        };
         check_ops(&a, &b);
         check_ops(&b, &a);
     }
@@ -303,8 +353,8 @@ mod tests {
         for p in 0..4 {
             let modify = crate::optimizer::optimize(&Fn1::identity(), &dec_a, 0, n - 1, p);
             let reside = crate::optimizer::optimize(&Fn1::identity(), &dec_b, 0, n - 1, p);
-            let cs = comm_sets(&modify.schedule, &reside.schedule)
-                .expect("both schedules arithmetic");
+            let cs =
+                comm_sets(&modify.schedule, &reside.schedule).expect("both schedules arithmetic");
             for i in 0..n {
                 let modifies = dec_a.proc_of(i) == p;
                 let resides = dec_b.proc_of(i) == p;
@@ -321,11 +371,26 @@ mod tests {
     #[test]
     fn class_explosion_is_bounded() {
         // subtracting a lattice with a huge lcm expansion must bail out
-        let a = Schedule::Strided { start: 0, step: 1, count: 10_000 };
-        let b = Schedule::Strided { start: 0, step: 101, count: 99 };
-        assert!(subtract(&a, &b).is_none(), "101 classes should exceed the cap");
+        let a = Schedule::Strided {
+            start: 0,
+            step: 1,
+            count: 10_000,
+        };
+        let b = Schedule::Strided {
+            start: 0,
+            step: 101,
+            count: 99,
+        };
+        assert!(
+            subtract(&a, &b).is_none(),
+            "101 classes should exceed the cap"
+        );
         // but a small expansion succeeds
-        let b2 = Schedule::Strided { start: 0, step: 7, count: 1000 };
+        let b2 = Schedule::Strided {
+            start: 0,
+            step: 7,
+            count: 1000,
+        };
         assert!(subtract(&a, &b2).is_some());
     }
 }

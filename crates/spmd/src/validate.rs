@@ -13,7 +13,9 @@ use vcal_decomp::Decomp1;
 
 /// The brute-force membership set `{ i | proc(f(i)) = p }`.
 pub fn brute_modify(f: &Fn1, dec: &Decomp1, imin: i64, imax: i64, p: i64) -> Vec<i64> {
-    (imin..=imax).filter(|&i| dec.proc_of(f.eval(i)) == p).collect()
+    (imin..=imax)
+        .filter(|&i| dec.proc_of(f.eval(i)) == p)
+        .collect()
 }
 
 /// Check that a schedule enumerates the brute-force set exactly (as a
@@ -118,7 +120,10 @@ mod tests {
             rhs: Expr::Lit(1.0),
         };
         let mut dm = DecompMap::new();
-        dm.insert("A".into(), Decomp1::block_scatter(3, 4, Bounds::range(0, 63)));
+        dm.insert(
+            "A".into(),
+            Decomp1::block_scatter(3, 4, Bounds::range(0, 63)),
+        );
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
         check_plan_partition(&plan).unwrap();
     }

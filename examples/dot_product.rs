@@ -23,8 +23,14 @@ fn main() {
     let pmax = 8;
 
     let mut env = Env::new();
-    env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 13) as f64));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| 1.0 / (1.0 + i.scalar() as f64)));
+    env.insert(
+        "A",
+        Array::from_fn(Bounds::range(0, n - 1), |i| (i.scalar() % 13) as f64),
+    );
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| 1.0 / (1.0 + i.scalar() as f64)),
+    );
 
     let dot = Reduction {
         iter: IndexSet::range(0, n - 1),
@@ -88,15 +94,23 @@ fn main() {
     // convergence-tested iteration: max-residual reduction drives the loop
     println!("\nconvergence-driven sweep (max-residual reduction as loop test):");
     let mut u = Env::new();
-    u.insert("U", Array::from_fn(Bounds::range(0, 63), |i| if i.scalar() == 32 { 64.0 } else { 0.0 }));
+    u.insert(
+        "U",
+        Array::from_fn(Bounds::range(0, 63), |i| {
+            if i.scalar() == 32 {
+                64.0
+            } else {
+                0.0
+            }
+        }),
+    );
     u.insert("V", Array::zeros(Bounds::range(0, 63)));
-    let sweep = vcal_suite::lang::compile(
-        "for i := 1 to 62 do V[i] := 0.5 * (U[i-1] + U[i+1]); od;",
-    )
-    .unwrap()[0]
-        .clone();
-    let copy = vcal_suite::lang::compile("for i := 1 to 62 do U[i] := V[i]; od;").unwrap()[0]
-        .clone();
+    let sweep =
+        vcal_suite::lang::compile("for i := 1 to 62 do V[i] := 0.5 * (U[i-1] + U[i+1]); od;")
+            .unwrap()[0]
+            .clone();
+    let copy =
+        vcal_suite::lang::compile("for i := 1 to 62 do U[i] := V[i]; od;").unwrap()[0].clone();
     let residual = Reduction {
         iter: IndexSet::range(1, 62),
         op: ReduceOp::Max,

@@ -12,8 +12,14 @@ fn main() {
     let src = "for i := 1 to 9 do if A[i] > 0 then A[i] := B[i+1]; fi; od;";
     println!("Fig. 1 — example program:\n\n{src}\n");
     let clause = lang::compile(src).expect("compiles")[0].clone();
-    println!("corresponding V-cal expression:\n\n  {}\n", lang::to_vcal(&clause));
-    println!("and back to imperative form:\n\n{}", lang::to_imperative(&clause));
+    println!(
+        "corresponding V-cal expression:\n\n  {}\n",
+        lang::to_vcal(&clause)
+    );
+    println!(
+        "and back to imperative form:\n\n{}",
+        lang::to_imperative(&clause)
+    );
 
     // ---- Section 2.6: the derivation chain ------------------------------
     println!("{}", "-".repeat(72));
@@ -45,7 +51,14 @@ fn main() {
     println!("Eq. (2), after contraction:\n  {eq2}\n");
 
     // renaming: procA(f(i)) ⇒ fresh processor parameter p
-    let Term::Param { var, range, cond, ord, body } = &eq2 else {
+    let Term::Param {
+        var,
+        range,
+        cond,
+        ord,
+        body,
+    } = &eq2
+    else {
         panic!("Eq. (2) must be a parameter expression");
     };
     let renamed = body.rename("procA(f(i))", "p", "0:pmax-1");

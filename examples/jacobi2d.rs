@@ -11,9 +11,7 @@
 
 use vcal_suite::core::func::Fn1;
 use vcal_suite::core::map::IndexMap;
-use vcal_suite::core::{
-    Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering,
-};
+use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
 use vcal_suite::decomp::{Decomp1, DecompNd};
 use vcal_suite::machine::run_shared_nd;
 use vcal_suite::spmd::optimize_nd;
@@ -69,14 +67,22 @@ fn main() {
             kind.name()
         );
     }
-    println!("  product: {} of {} total points\n", s.count(), (n - 2) * (n - 2));
+    println!(
+        "  product: {} of {} total points\n",
+        s.count(),
+        (n - 2) * (n - 2)
+    );
 
     // run the sweeps and verify
     let mut env = Env::new();
     env.insert(
         "U",
         Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
-            if i[0] == 0 || i[0] == n - 1 || i[1] == 0 || i[1] == n - 1 { 1.0 } else { 0.0 }
+            if i[0] == 0 || i[0] == n - 1 || i[1] == 0 || i[1] == n - 1 {
+                1.0
+            } else {
+                0.0
+            }
         }),
     );
     env.insert("V", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
@@ -89,11 +95,20 @@ fn main() {
 
     let mut total_iters = 0;
     for _ in 0..sweeps {
-        total_iters += run_shared_nd(&sweep, &dec, &mut env).unwrap().total().iterations;
+        total_iters += run_shared_nd(&sweep, &dec, &mut env)
+            .unwrap()
+            .total()
+            .iterations;
         run_shared_nd(&copy_back, &dec, &mut env).unwrap();
     }
-    let diff = env.get("U").unwrap().max_abs_diff(reference.get("U").unwrap());
-    assert!(diff < 1e-12, "parallel and sequential results differ by {diff}");
+    let diff = env
+        .get("U")
+        .unwrap()
+        .max_abs_diff(reference.get("U").unwrap());
+    assert!(
+        diff < 1e-12,
+        "parallel and sequential results differ by {diff}"
+    );
     println!(
         "{sweeps} sweeps on the 2x2 grid: {total_iters} stencil updates, result matches the \
          sequential reference exactly."
@@ -110,7 +125,11 @@ fn main() {
     env2.insert(
         "U",
         Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
-            if i[0] == 0 || i[0] == n - 1 || i[1] == 0 || i[1] == n - 1 { 1.0 } else { 0.0 }
+            if i[0] == 0 || i[0] == n - 1 || i[1] == 0 || i[1] == n - 1 {
+                1.0
+            } else {
+                0.0
+            }
         }),
     );
     env2.insert("V", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
@@ -132,7 +151,9 @@ fn main() {
             .total()
             .msgs_sent;
     }
-    let diff2 = arrays["U"].gather().max_abs_diff(reference.get("U").unwrap());
+    let diff2 = arrays["U"]
+        .gather()
+        .max_abs_diff(reference.get("U").unwrap());
     assert!(diff2 < 1e-12);
     println!(
         "\ndistributed grid machine: same result, {msgs} boundary messages over \

@@ -49,10 +49,17 @@ fn main() {
     env.insert(
         "A",
         Array::from_fn(Bounds::range(0, n - 1), |i| {
-            if i.scalar() % 3 == 0 { -1.0 } else { i.scalar() as f64 }
+            if i.scalar() % 3 == 0 {
+                -1.0
+            } else {
+                i.scalar() as f64
+            }
         }),
     );
-    env.insert("B", Array::from_fn(Bounds::range(0, n), |i| (i.scalar() * 2) as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n), |i| (i.scalar() * 2) as f64),
+    );
 
     // sequential reference
     let mut seq_env = env.clone();
@@ -62,7 +69,10 @@ fn main() {
     let mut shm_env = env.clone();
     let shm = run_shared(&plan, &clause, &mut shm_env, WriteStrategy::Direct).expect("shared");
     assert_eq!(
-        shm_env.get("A").unwrap().max_abs_diff(seq_env.get("A").unwrap()),
+        shm_env
+            .get("A")
+            .unwrap()
+            .max_abs_diff(seq_env.get("A").unwrap()),
         0.0
     );
     println!(
@@ -80,8 +90,7 @@ fn main() {
             DistArray::scatter_from(env.get(name).unwrap(), decomps[name].clone()),
         );
     }
-    let dist =
-        run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).expect("dist");
+    let dist = run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).expect("dist");
     assert_eq!(
         arrays["A"].gather().max_abs_diff(seq_env.get("A").unwrap()),
         0.0

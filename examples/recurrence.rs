@@ -25,12 +25,21 @@ fn main() {
     let src = "for i := 1 to 4095 do A[i] := A[i-1] + B[i]; od;";
     let clause = lang::compile(src).expect("compiles")[0].clone();
     println!("source:\n{src}\n");
-    println!("V-cal (note the sequential ordering \u{2022}):\n  {}\n", lang::to_vcal(&clause));
-    println!("carried distances: {:?}\n", carried_distances(&clause).unwrap());
+    println!(
+        "V-cal (note the sequential ordering \u{2022}):\n  {}\n",
+        lang::to_vcal(&clause)
+    );
+    println!(
+        "carried distances: {:?}\n",
+        carried_distances(&clause).unwrap()
+    );
 
     let mut env = Env::new();
     env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| ((i.scalar() % 10) + 1) as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| ((i.scalar() % 10) + 1) as f64),
+    );
 
     // sequential reference
     let mut reference = env.clone();
@@ -46,7 +55,9 @@ fn main() {
         );
     }
     let report = run_doacross(&clause, &mut arrays).expect("pipeline");
-    let diff = arrays["A"].gather().max_abs_diff(reference.get("A").unwrap());
+    let diff = arrays["A"]
+        .gather()
+        .max_abs_diff(reference.get("A").unwrap());
     assert_eq!(diff, 0.0, "pipeline result differs");
 
     println!("DOACROSS pipeline over {pmax} processors:");
@@ -78,7 +89,9 @@ fn main() {
     reference3.exec_clause(&clause3);
     let report3 = run_doacross(&clause3, &mut arrays3).expect("pipeline d=3");
     assert_eq!(
-        arrays3["A"].gather().max_abs_diff(reference3.get("A").unwrap()),
+        arrays3["A"]
+            .gather()
+            .max_abs_diff(reference3.get("A").unwrap()),
         0.0
     );
     println!(

@@ -20,7 +20,8 @@ fn phase_cost(src: &str, dec_write: &Decomp1, dec_read: &Decomp1) -> u64 {
     let mut dm = DecompMap::new();
     dm.insert(clause.lhs.array.clone(), dec_write.clone());
     for r in clause.read_refs() {
-        dm.entry(r.array.clone()).or_insert_with(|| dec_read.clone());
+        dm.entry(r.array.clone())
+            .or_insert_with(|| dec_read.clone());
     }
     let plan = SpmdPlan::build(&clause, &dm).expect("plan");
     CommStats::of_plan(&plan, &dm).sends
@@ -61,8 +62,7 @@ fn main() {
     let s = 20u64;
     let stay_block = s * stencil_block + s * dm_stride_block;
     let stay_scatter = s * stencil_scatter + s * dm_stride_scatter;
-    let redistribute =
-        s * stencil_block + plan.moved_elements() as u64 + s * dm_stride_scatter;
+    let redistribute = s * stencil_block + plan.moved_elements() as u64 + s * dm_stride_scatter;
     println!("\ntotal communication for {s} sweeps of each phase:");
     println!("  stay block all along:    {stay_block:>7} elements");
     println!("  stay scatter all along:  {stay_scatter:>7} elements");

@@ -57,7 +57,10 @@ fn main() {
 
     let mut env = Env::new();
     env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+    );
 
     let mut expect = env.clone();
     expect.exec_clause(&clause);
@@ -69,7 +72,10 @@ fn main() {
 
     let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
     for a in ["A", "B"] {
-        arrays.insert(a.into(), DistArray::scatter_from(env.get(a).unwrap(), dm[a].clone()));
+        arrays.insert(
+            a.into(),
+            DistArray::scatter_from(env.get(a).unwrap(), dm[a].clone()),
+        );
     }
     let report = run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
     let got = arrays["A"].gather();

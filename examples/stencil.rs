@@ -28,7 +28,13 @@ fn main() {
     let mut init = Env::new();
     init.insert(
         "U",
-        Array::from_fn(Bounds::range(0, n - 1), |i| if i.scalar() == n / 2 { 1.0 } else { 0.0 }),
+        Array::from_fn(Bounds::range(0, n - 1), |i| {
+            if i.scalar() == n / 2 {
+                1.0
+            } else {
+                0.0
+            }
+        }),
     );
     init.insert("V", Array::zeros(Bounds::range(0, n - 1)));
 
@@ -41,12 +47,21 @@ fn main() {
     }
 
     println!("per-sweep communication by decomposition of U and V:");
-    println!("{:<14} {:>10} {:>12} {:>14}", "layout", "messages", "local reads", "max node work");
+    println!(
+        "{:<14} {:>10} {:>12} {:>14}",
+        "layout", "messages", "local reads", "max node work"
+    );
     for (name, dec) in [
         ("Block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
         ("Scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
-        ("BS(4)", Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1))),
-        ("BS(16)", Decomp1::block_scatter(16, pmax, Bounds::range(0, n - 1))),
+        (
+            "BS(4)",
+            Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1)),
+        ),
+        (
+            "BS(16)",
+            Decomp1::block_scatter(16, pmax, Bounds::range(0, n - 1)),
+        ),
     ] {
         let mut dm = DecompMap::new();
         dm.insert("U".into(), dec.clone());
@@ -75,8 +90,7 @@ fn main() {
         }
         let mut total_msgs = 0;
         for _ in 0..sweeps {
-            let r1 =
-                run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
+            let r1 = run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
             let r2 =
                 run_distributed(&plan_back, &back, &mut arrays, DistOptions::default()).unwrap();
             total_msgs += r1.total().msgs_sent + r2.total().msgs_sent;

@@ -21,18 +21,24 @@ fn main() {
         ("a*i+c (pmax mod a=0)", Fn1::affine(2, 1), 0, (n - 2) / 2),
         ("a*i+c (a mod pmax=0)", Fn1::affine(8, 1), 0, (n - 2) / 8),
         ("a*i+c (general)", Fn1::affine(3, 1), 0, (n - 2) / 3),
-        ("monotonic: i+(i div 4)", Fn1::i_plus_i_div(4), 0, (n - 1) * 4 / 5),
+        (
+            "monotonic: i+(i div 4)",
+            Fn1::i_plus_i_div(4),
+            0,
+            (n - 1) * 4 / 5,
+        ),
         ("piecewise: (i+c) mod z", Fn1::rotate(n / 3, n), 0, n - 1),
     ];
     let cols: Vec<(&str, Decomp1)> = vec![
         ("Block", Decomp1::block(pmax, Bounds::range(0, n - 1))),
         ("Scatter", Decomp1::scatter(pmax, Bounds::range(0, n - 1))),
-        ("BS(4)", Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1))),
+        (
+            "BS(4)",
+            Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1)),
+        ),
     ];
 
-    println!(
-        "Table I, regenerated (n = {n}, pmax = {pmax}, shown for p = {p}):\n"
-    );
+    println!("Table I, regenerated (n = {n}, pmax = {pmax}, shown for p = {p}):\n");
     println!(
         "{:<26} {:<9} {:<26} {:>8} {:>8} {:>7}",
         "f(i)", "layout", "optimization", "naive", "closed", "ratio"
@@ -67,7 +73,12 @@ fn main() {
     println!("\ngenerated loops (p = {p}):\n");
     for (fname, f, imin, imax) in [
         ("a*i+c (general)", Fn1::affine(3, 1), 0, (n - 2) / 3),
-        ("monotonic under BS(4)", Fn1::i_plus_i_div(4), 0, (n - 1) * 4 / 5),
+        (
+            "monotonic under BS(4)",
+            Fn1::i_plus_i_div(4),
+            0,
+            (n - 1) * 4 / 5,
+        ),
     ] {
         let dec = if fname.contains("BS") {
             Decomp1::block_scatter(4, pmax, Bounds::range(0, n - 1))
@@ -76,6 +87,9 @@ fn main() {
         };
         let opt = optimize(&f, &dec, imin, imax, p);
         println!("f(i) = {fname} under {dec}:");
-        println!("{}", emit::emit_optimized(&opt, "i", "  A'[p, local(f(i))] := ...;\n"));
+        println!(
+            "{}",
+            emit::emit_optimized(&opt, "i", "  A'[p, local(f(i))] := ...;\n")
+        );
     }
 }

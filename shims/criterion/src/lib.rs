@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the benchmark-harness API surface the workspace's benches use:
+//! [`Criterion`] with `sample_size` / `measurement_time` / `warm_up_time`
+//! builders, [`BenchmarkId`], benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! runs `sample_size` samples, each timing one closure invocation, until
+//! `measurement_time` is exhausted (whichever comes first, but always at
+//! least three samples). The harness reports min/mean/max per-iteration
+//! wall time on stdout. No statistical analysis, plots, or baselines —
+//! the repo's EXPERIMENTS.md numbers come from the JSON reports the
+//! benches write themselves.
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Times the benchmark body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Bencher<'_> {
+    /// Run `body` repeatedly, timing each invocation.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            black_box(body());
+        }
+        let started = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 3 && started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Wall-clock budget for one benchmark's samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up running time before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(self, id.into_name(), f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn run_one(config: &Criterion, name: String, mut f: impl FnMut(&mut Bencher)) {
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        budget: config.measurement_time,
+        sample_size: config.sample_size,
+        warm_up: config.warm_up_time,
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_one(self.criterion, full, f);
+        self
+    }
+
+    /// Run one benchmark receiving a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_one(self.criterion, full, |b| f(b, input));
+        self
+    }
+
+    /// Override the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(3);
+        self
+    }
+
+    /// Override the measurement budget for the rest of the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Finish the group (printing is immediate; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 5, "body ran {runs} times");
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7i64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| black_box(3)));
+        group.finish();
+    }
+}

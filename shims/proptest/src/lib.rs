@@ -1,0 +1,505 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of proptest the workspace's property tests use: the
+//! [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`), range and
+//! tuple strategies, [`Just`], `prop_oneof!`, `prop::sample::select`,
+//! `option::of`, `any::<T>()`, the `proptest!` test macro with
+//! [`ProptestConfig`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: inputs are drawn from a fixed seed per test
+//! (deterministic runs), and failing cases are reported without
+//! shrinking. That is sufficient for this repo's CI role: the tests
+//! assert exact algebraic invariants where any counterexample is small
+//! and directly printable.
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+pub use rand::{Rng, SeedableRng};
+
+/// The generator threaded through strategies.
+pub type TestRng = rand::StdRng;
+
+/// Why a test case did not pass: a hard failure or a rejected input
+/// (`prop_assume!`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!`; draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Maximum rejected draws before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map the produced value.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| f(inner.gen_value(rng)))
+    }
+
+    /// Build a recursive strategy: `depth` levels of `expand` applied on
+    /// top of `self` as the leaf (the `desired_size`/`expected_branch`
+    /// hints are accepted for signature compatibility and ignored).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.clone().boxed();
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = expand(cur).boxed();
+            let leaf = leaf.clone();
+            // mix leaves back in so sizes vary below the maximum depth
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.gen_bool(0.33) {
+                    leaf.gen_value(rng)
+                } else {
+                    deeper.gen_value(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng| inner.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a draw function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::new(|rng| rng.gen::<bool>())
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::new(|rng| rng.gen::<$t>())
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+    use rand::Rng as _;
+
+    /// Produce `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+/// Sampling strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use super::BoxedStrategy;
+    use rand::Rng as _;
+
+    /// Pick uniformly from the given values.
+    pub fn select<T: Clone + 'static>(values: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!values.is_empty(), "select: empty choice set");
+        BoxedStrategy::new(move |rng| values[rng.gen_range(0..values.len())].clone())
+    }
+}
+
+/// Union of equally weighted strategies — the engine behind `prop_oneof!`.
+pub fn union<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!choices.is_empty(), "prop_oneof: no choices");
+    BoxedStrategy::new(move |rng| choices[rng.gen_range(0..choices.len())].gen_value(rng))
+}
+
+/// Driver used by the `proptest!` macro expansion. Runs `body` on fresh
+/// draws until `config.cases` accepted cases pass, panicking on the
+/// first failure.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // stable per-test seed so failures reproduce
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: gave up after {rejected} rejected inputs \
+                         ({accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+/// Everything the tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Module alias so `prop::sample::select` / `prop::option::of` work.
+    pub mod prop {
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Equal-weight choice between strategies. Entries may carry an ignored
+/// `weight =>` prefix like upstream.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a `proptest!` body (early-returns a failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?}): {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: {:?}): {}",
+            stringify!($a), stringify!($b), a, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Reject the current input (draw another) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The property-test definition macro. Supports the forms used in this
+/// workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(200))]
+///     #[test]
+///     fn my_prop(x in 0i64..10, y in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $(let $arg = $crate::Strategy::boxed($strat);)+
+            let strategies = ($($arg,)+);
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                let ($($arg,)+) = &strategies;
+                $(let $arg = $crate::Strategy::gen_value($arg, rng);)+
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::SeedableRng;
+
+    fn arb_small() -> impl Strategy<Value = i64> {
+        prop_oneof![0i64..10, (100i64..110).prop_map(|x| x - 100)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..5, y in arb_small()) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((0..10).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_just(pair in (0i64..4, Just(7i64)), flag in any::<bool>()) {
+            prop_assert_eq!(pair.1, 7);
+            prop_assert_ne!(pair.0, 99);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        crate::run_cases("failures_panic", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 3);
+        }
+    }
+}

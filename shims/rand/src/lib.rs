@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *tiny* slice of the `rand 0.8` API its tests and benches
+//! actually call: a seedable deterministic generator (`StdRng`), the
+//! [`Rng`] extension methods `gen`, `gen_range`, `gen_bool`, and the
+//! [`SeedableRng::seed_from_u64`] constructor. The generator is a
+//! xoshiro256++ seeded through SplitMix64 — statistically fine for test
+//! input generation, with no claim of compatibility with upstream
+//! `rand`'s stream (tests here only require determinism, not identical
+//! sequences).
+#![warn(missing_docs)]
+
+/// Common generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A deterministic xoshiro256++ generator, stand-in for `rand::rngs::StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut StdRng) -> $t {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> bool {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1)
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Half-open ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64_impl() as u128) << 64 | rng.next_u64_impl() as u128)
+                    % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64_impl() as u128) << 64 | rng.next_u64_impl() as u128)
+                    % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of any [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::draw(self.as_std_rng())
+    }
+
+    /// Draw uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        <f64 as Standard>::draw(self.as_std_rng()) < p
+    }
+}
+
+/// Helper giving the blanket [`Rng`] methods access to the concrete
+/// generator state.
+pub trait AsStdRng {
+    /// The underlying generator.
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+impl AsStdRng for StdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: i64 = a.gen_range(-50..50);
+            assert_eq!(x, b.gen_range(-50..50));
+            assert!((-50..50).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if c.gen_bool(0.3) {
+                trues += 1;
+            }
+        }
+        assert!(
+            (200..400).contains(&trues),
+            "gen_bool(0.3) gave {trues}/1000"
+        );
+        let _: u8 = c.gen();
+        let f: f64 = c.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -192,7 +192,11 @@ fn run_and_verify(
             name.to_string(),
             Array::from_fn(dec.extent(), |i| {
                 let v = i.scalar();
-                if v % 3 == 0 { -(v as f64) } else { v as f64 * 0.5 }
+                if v % 3 == 0 {
+                    -(v as f64)
+                } else {
+                    v as f64 * 0.5
+                }
             }),
         );
     }

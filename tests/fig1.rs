@@ -32,10 +32,17 @@ fn fig1_executes_identically_on_all_machines() {
         "A",
         Array::from_fn(Bounds::range(0, 9), |i| {
             // mix of guard-passing and guard-failing values
-            if i.scalar() % 2 == 0 { -(i.scalar() as f64) } else { i.scalar() as f64 }
+            if i.scalar() % 2 == 0 {
+                -(i.scalar() as f64)
+            } else {
+                i.scalar() as f64
+            }
         }),
     );
-    env.insert("B", Array::from_fn(Bounds::range(0, 10), |i| 100.0 + i.scalar() as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, 10), |i| 100.0 + i.scalar() as f64),
+    );
 
     let mut reference = env.clone();
     run_sequential(&clause, &mut reference);
@@ -65,7 +72,9 @@ fn fig1_executes_identically_on_all_machines() {
             let mut shm = env.clone();
             run_shared(&plan, &clause, &mut shm, strat).unwrap();
             assert_eq!(
-                shm.get("A").unwrap().max_abs_diff(reference.get("A").unwrap()),
+                shm.get("A")
+                    .unwrap()
+                    .max_abs_diff(reference.get("A").unwrap()),
                 0.0,
                 "shared {strat:?} differs for A={dec_a} B={dec_b}"
             );
@@ -80,7 +89,9 @@ fn fig1_executes_identically_on_all_machines() {
         }
         run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
         assert_eq!(
-            arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+            arrays["A"]
+                .gather()
+                .max_abs_diff(reference.get("A").unwrap()),
             0.0,
             "distributed differs for A={dec_a} B={dec_b}"
         );

@@ -36,14 +36,10 @@ fn arb_val() -> impl Strategy<Value = ValExpr> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| ValExpr::Add(
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| ValExpr::Mul(
-                Box::new(a),
-                Box::new(b)
-            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ValExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ValExpr::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| ValExpr::Sub(Box::new(a), Box::new(b))),
         ]
     })
@@ -58,7 +54,10 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         proptest::option::of((arb_idx(), (0..50i64).prop_map(|n| n as f64))),
     )
         .prop_map(|(lo, hi, lhs_ix, rhs, guard)| {
-            let assign = Stmt::Assign { lhs: ARef::d1("A", lhs_ix), rhs };
+            let assign = Stmt::Assign {
+                lhs: ARef::d1("A", lhs_ix),
+                rhs,
+            };
             let body = match guard {
                 Some((gix, grhs)) => vec![Stmt::If {
                     lhs: ARef::d1("B", gix),
@@ -68,7 +67,12 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                 }],
                 None => vec![assign],
             };
-            Stmt::For { var: "i".into(), lo, hi, body }
+            Stmt::For {
+                var: "i".into(),
+                lo,
+                hi,
+                body,
+            }
         })
 }
 

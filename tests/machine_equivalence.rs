@@ -12,9 +12,7 @@ use vcal_suite::core::{
     Array, ArrayRef, Bounds, Clause, CmpOp, Env, Expr, Guard, IndexSet, Ordering,
 };
 use vcal_suite::decomp::Decomp1;
-use vcal_suite::machine::{
-    run_distributed, run_shared, DistArray, DistOptions, WriteStrategy,
-};
+use vcal_suite::machine::{run_distributed, run_shared, DistArray, DistOptions, WriteStrategy};
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
 /// Random monotone-or-piecewise access function with its valid loop range
@@ -33,7 +31,7 @@ fn random_fn(rng: &mut StdRng, n: i64) -> (Fn1, i64, i64) {
         }
         3 => {
             // decreasing affine
-            let a = -rng.gen_range(1..4);
+            let a = -rng.gen_range(1i64..4);
             (Fn1::affine(a, n - 1), 0, (n - 1) / a.abs())
         }
         4 => {
@@ -64,7 +62,7 @@ fn randomized_equivalence_sweep() {
     let mut rng = StdRng::seed_from_u64(0x5eed_cafe);
     for trial in 0..60 {
         let n: i64 = rng.gen_range(16..128);
-        let pmax: i64 = *[2, 3, 4, 7].get(rng.gen_range(0..4)).unwrap();
+        let pmax: i64 = *[2, 3, 4, 7].get(rng.gen_range(0usize..4)).unwrap();
 
         let (f, f_lo, f_hi) = random_fn(&mut rng, n);
         let (g, g_lo, g_hi) = random_fn(&mut rng, n);
@@ -109,7 +107,11 @@ fn randomized_equivalence_sweep() {
             Array::from_fn(Bounds::range(0, n - 1), |i| {
                 // mixed signs so guards matter
                 let v = i.scalar() as f64;
-                if i.scalar() % 3 == 0 { -v } else { v }
+                if i.scalar() % 3 == 0 {
+                    -v
+                } else {
+                    v
+                }
             }),
         );
         let mut reference = env.clone();
@@ -141,7 +143,9 @@ fn randomized_equivalence_sweep() {
                 let mut shm = env.clone();
                 run_shared(&plan, &clause, &mut shm, strat).unwrap();
                 assert_eq!(
-                    shm.get("A").unwrap().max_abs_diff(reference.get("A").unwrap()),
+                    shm.get("A")
+                        .unwrap()
+                        .max_abs_diff(reference.get("A").unwrap()),
                     0.0,
                     "shared {strat:?} mismatch: {ctx}"
                 );
@@ -157,7 +161,9 @@ fn randomized_equivalence_sweep() {
             run_distributed(&plan, &clause, &mut arrays, DistOptions::default())
                 .unwrap_or_else(|e| panic!("distributed failed: {e} — {ctx}"));
             assert_eq!(
-                arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+                arrays["A"]
+                    .gather()
+                    .max_abs_diff(reference.get("A").unwrap()),
                 0.0,
                 "distributed mismatch: {ctx}"
             );
@@ -175,13 +181,22 @@ fn self_referential_parallel_clause() {
         guard: Guard::Always,
         lhs: ArrayRef::d1("A", Fn1::identity()),
         rhs: Expr::add(
-            Expr::mul(Expr::Ref(ArrayRef::d1("A", Fn1::identity())), Expr::Lit(2.0)),
+            Expr::mul(
+                Expr::Ref(ArrayRef::d1("A", Fn1::identity())),
+                Expr::Lit(2.0),
+            ),
             Expr::Ref(ArrayRef::d1("B", Fn1::identity())),
         ),
     };
     let mut env = Env::new();
-    env.insert("A", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64));
+    env.insert(
+        "A",
+        Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+    );
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| 0.5 * i.scalar() as f64),
+    );
     let mut reference = env.clone();
     reference.exec_clause(&clause);
 
@@ -192,7 +207,12 @@ fn self_referential_parallel_clause() {
 
     let mut shm = env.clone();
     run_shared(&plan, &clause, &mut shm, WriteStrategy::Direct).unwrap();
-    assert_eq!(shm.get("A").unwrap().max_abs_diff(reference.get("A").unwrap()), 0.0);
+    assert_eq!(
+        shm.get("A")
+            .unwrap()
+            .max_abs_diff(reference.get("A").unwrap()),
+        0.0
+    );
 
     let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
     for name in ["A", "B"] {
@@ -203,7 +223,9 @@ fn self_referential_parallel_clause() {
     }
     run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
     assert_eq!(
-        arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+        arrays["A"]
+            .gather()
+            .max_abs_diff(reference.get("A").unwrap()),
         0.0
     );
 }
@@ -222,7 +244,10 @@ fn many_processors_small_problem() {
     };
     let mut env = Env::new();
     env.insert("A", Array::zeros(Bounds::range(0, n - 1)));
-    env.insert("B", Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64));
+    env.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+    );
     let mut reference = env.clone();
     reference.exec_clause(&clause);
 
@@ -239,7 +264,9 @@ fn many_processors_small_problem() {
     }
     run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap();
     assert_eq!(
-        arrays["A"].gather().max_abs_diff(reference.get("A").unwrap()),
+        arrays["A"]
+            .gather()
+            .max_abs_diff(reference.get("A").unwrap()),
         0.0
     );
 }

@@ -9,13 +9,9 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 use vcal_suite::core::func::Fn1;
 use vcal_suite::core::map::{DimFn, IndexMap};
-use vcal_suite::core::{
-    Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering,
-};
+use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
 use vcal_suite::decomp::{Decomp1, DecompNd};
-use vcal_suite::machine::{
-    run_distributed_nd, run_shared_nd, DistArrayNd,
-};
+use vcal_suite::machine::{run_distributed_nd, run_shared_nd, DistArrayNd};
 use vcal_suite::spmd::optimize_nd;
 
 fn axis_decomp(kind: u8, pmax: i64, n: i64) -> Decomp1 {
@@ -115,10 +111,7 @@ fn randomized_grid_machine_equivalence() {
             ),
         };
         let mut env = Env::new();
-        env.insert(
-            "W",
-            Array::zeros(Bounds::range2(0, n0 - 1, 0, n1 - 1)),
-        );
+        env.insert("W", Array::zeros(Bounds::range2(0, n0 - 1, 0, n1 - 1)));
         env.insert(
             "R",
             Array::from_fn(Bounds::range2(0, n0 - 1, 0, n1 - 1), |i| {
@@ -132,7 +125,9 @@ fn randomized_grid_machine_equivalence() {
         let mut shm = env.clone();
         run_shared_nd(&clause, &dec_w, &mut shm).unwrap();
         assert_eq!(
-            shm.get("W").unwrap().max_abs_diff(reference.get("W").unwrap()),
+            shm.get("W")
+                .unwrap()
+                .max_abs_diff(reference.get("W").unwrap()),
             0.0,
             "shared trial {trial}"
         );
@@ -150,7 +145,9 @@ fn randomized_grid_machine_equivalence() {
         run_distributed_nd(&clause, &mut arrays, Duration::from_secs(10))
             .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
         assert_eq!(
-            arrays["W"].gather().max_abs_diff(reference.get("W").unwrap()),
+            arrays["W"]
+                .gather()
+                .max_abs_diff(reference.get("W").unwrap()),
             0.0,
             "distributed trial {trial}"
         );

@@ -32,22 +32,23 @@ fn arb_fn1() -> impl Strategy<Value = Fn1> {
         }),
         (1i64..4, 2i64..6).prop_map(|(a, q)| Fn1::Sum(
             Box::new(Fn1::affine(a, 0)),
-            Box::new(Fn1::Div { inner: Box::new(Fn1::identity()), q }),
+            Box::new(Fn1::Div {
+                inner: Box::new(Fn1::identity()),
+                q
+            }),
         )),
     ]
 }
 
 fn arb_decomp(n: i64) -> impl Strategy<Value = Decomp1> {
-    (1i64..9, 1i64..7, prop::sample::select(vec![0u8, 1, 2])).prop_map(
-        move |(pmax, b, kind)| {
-            let e = Bounds::range(0, n - 1);
-            match kind {
-                0 => Decomp1::block(pmax, e),
-                1 => Decomp1::scatter(pmax, e),
-                _ => Decomp1::block_scatter(b, pmax, e),
-            }
-        },
-    )
+    (1i64..9, 1i64..7, prop::sample::select(vec![0u8, 1, 2])).prop_map(move |(pmax, b, kind)| {
+        let e = Bounds::range(0, n - 1);
+        match kind {
+            0 => Decomp1::block(pmax, e),
+            1 => Decomp1::scatter(pmax, e),
+            _ => Decomp1::block_scatter(b, pmax, e),
+        }
+    })
 }
 
 proptest! {

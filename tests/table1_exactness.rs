@@ -18,13 +18,22 @@ fn check_cell(f: &Fn1, dec: &Decomp1, imin: i64, imax: i64) -> Vec<OptKind> {
     for p in 0..dec.pmax() {
         let opt = optimize(f, dec, imin, imax, p);
         let got = opt.schedule.to_sorted_vec();
-        let want: Vec<i64> =
-            (imin..=imax).filter(|&i| dec.proc_of(f.eval(i)) == p).collect();
-        assert_eq!(got, want, "EXACTNESS p={p} f={f:?} {dec} kind={:?}", opt.kind);
+        let want: Vec<i64> = (imin..=imax)
+            .filter(|&i| dec.proc_of(f.eval(i)) == p)
+            .collect();
+        assert_eq!(
+            got, want,
+            "EXACTNESS p={p} f={f:?} {dec} kind={:?}",
+            opt.kind
+        );
         covered += got.len() as u64;
         kinds.push(opt.kind);
     }
-    assert_eq!(covered, (imax - imin + 1).max(0) as u64, "PARTITION f={f:?} {dec}");
+    assert_eq!(
+        covered,
+        (imax - imin + 1).max(0) as u64,
+        "PARTITION f={f:?} {dec}"
+    );
     kinds
 }
 
@@ -63,7 +72,11 @@ fn row_constant() {
                 assert!(kinds.iter().all(|k| *k == OptKind::ConstantFn));
                 // exactly one processor is active
                 let active = (0..pmax)
-                    .filter(|&p| !optimize(&Fn1::Const(c), &dec, 0, 499, p).schedule.is_empty())
+                    .filter(|&p| {
+                        !optimize(&Fn1::Const(c), &dec, 0, 499, p)
+                            .schedule
+                            .is_empty()
+                    })
                     .count();
                 assert_eq!(active, 1);
             }
@@ -83,7 +96,8 @@ fn row_shift() {
             assert!(kb.iter().all(|k| *k == OptKind::BlockAffine), "{kb:?}");
             let ks = check_cell(&f, &scatter(pmax), imin, imax);
             assert!(
-                ks.iter().all(|k| matches!(k, OptKind::ScatterLinear { corollary: 1 })),
+                ks.iter()
+                    .all(|k| matches!(k, OptKind::ScatterLinear { corollary: 1 })),
                 "a=1 should hit Corollary 1: {ks:?}"
             );
             check_cell(&f, &bs(4, pmax), imin, imax);
@@ -117,7 +131,10 @@ fn row_linear_general_and_corollaries() {
                     0
                 };
                 assert!(
-                    ks.iter().all(|k| *k == OptKind::ScatterLinear { corollary: expected }),
+                    ks.iter().all(|k| *k
+                        == OptKind::ScatterLinear {
+                            corollary: expected
+                        }),
                     "a={a} pmax={pmax}: {ks:?}"
                 );
                 check_cell(&f, &bs(3, pmax), imin, imax);
@@ -162,7 +179,10 @@ fn row_monotonic() {
     }
     // scatter column: slope < pmax -> enumerate on k
     let ks = check_cell(&idiv, &scatter(16), 0, 900);
-    assert!(ks.iter().all(|k| *k == OptKind::ScatterMonotonicViaK), "{ks:?}");
+    assert!(
+        ks.iter().all(|k| *k == OptKind::ScatterMonotonicViaK),
+        "{ks:?}"
+    );
     // slope >= pmax -> naive fallback (still exact)
     let ks = check_cell(&sq, &scatter(4), 0, 34);
     assert!(ks.iter().all(|k| *k == OptKind::Naive), "{ks:?}");
@@ -188,10 +208,17 @@ fn piecewise_rotate_and_multiwrap() {
         Decomp1::block_scatter(2, 4, Bounds::range(0, 19)),
     ] {
         let kinds = check_cell(&rot, &dec, 0, 19);
-        assert!(kinds.iter().all(|k| *k == OptKind::PiecewiseSplit), "{dec}: {kinds:?}");
+        assert!(
+            kinds.iter().all(|k| *k == OptKind::PiecewiseSplit),
+            "{dec}: {kinds:?}"
+        );
     }
     // rotate by a larger span with multiple wraps relative to pieces
-    let rot2 = Fn1::Mod { inner: Box::new(Fn1::affine(1, 250)), z: 300, d: 0 };
+    let rot2 = Fn1::Mod {
+        inner: Box::new(Fn1::affine(1, 250)),
+        z: 300,
+        d: 0,
+    };
     for dec in [
         Decomp1::block(4, Bounds::range(0, 299)),
         Decomp1::scatter(4, Bounds::range(0, 299)),
@@ -212,8 +239,7 @@ fn paper_special_case_mod_multiple_of_pmax() {
     let dec = Decomp1::scatter(pmax, Bounds::range(0, z - 1));
     for p in 0..pmax {
         let rot_sched = optimize(&rot, &dec, 0, z - 1, p).schedule.to_sorted_vec();
-        let inner_sched: Vec<i64> =
-            (0..z).filter(|&i| (i + 6).rem_euclid(pmax) == p).collect();
+        let inner_sched: Vec<i64> = (0..z).filter(|&i| (i + 6).rem_euclid(pmax) == p).collect();
         assert_eq!(rot_sched, inner_sched, "p={p}");
     }
 }

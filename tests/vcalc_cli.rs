@@ -31,7 +31,10 @@ fn compile_and_report() {
     let s = write_temp("spec1.dspec", SPEC);
     let (ok, stdout, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap()]);
     assert!(ok, "stderr: {stderr}");
-    assert!(stdout.contains("\u{2206}(i \u{2208} (1:62 | [i]A>0))"), "{stdout}");
+    assert!(
+        stdout.contains("\u{2206}(i \u{2208} (1:62 | [i]A>0))"),
+        "{stdout}"
+    );
     assert!(stdout.contains("SPMD plan: 4 nodes"), "{stdout}");
     assert!(stdout.contains("block-affine-range"), "{stdout}");
 }
@@ -40,19 +43,20 @@ fn compile_and_report() {
 fn run_verifies_against_reference() {
     let p = write_temp("prog2.vc", PROGRAM);
     let s = write_temp("spec2.dspec", SPEC);
-    let (ok, stdout, stderr) =
-        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--run"]);
+    let (ok, stdout, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--run"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("run: OK"), "{stdout}");
-    assert!(stdout.contains("identical to the sequential reference"), "{stdout}");
+    assert!(
+        stdout.contains("identical to the sequential reference"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn naive_and_closed_plans_report_different_schedules() {
     let p = write_temp("prog3.vc", PROGRAM);
     let s = write_temp("spec3.dspec", SPEC);
-    let (_, optimized, _) =
-        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--emit", "plan"]);
+    let (_, optimized, _) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--emit", "plan"]);
     let (_, naive, _) = vcalc(&[
         p.to_str().unwrap(),
         s.to_str().unwrap(),
@@ -101,13 +105,15 @@ fn derivation_emits_equation_chain() {
 
 #[test]
 fn advisor_ranks_layouts() {
-    let p = write_temp("prog8.vc", "for i := 1 to 62 do V[i] := U[i-1] + U[i+1]; od;");
+    let p = write_temp(
+        "prog8.vc",
+        "for i := 1 to 62 do V[i] := U[i-1] + U[i+1]; od;",
+    );
     let s = write_temp(
         "spec9.dspec",
         "processors 4;\narray U[0 to 63] scatter;\narray V[0 to 63] scatter;\n",
     );
-    let (ok, stdout, stderr) =
-        vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--advise"]);
+    let (ok, stdout, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--advise"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("decomposition advisor"), "{stdout}");
     // for a stencil the top-ranked assignment must be Block/Block,
@@ -117,8 +123,14 @@ fn advisor_ranks_layouts() {
         .skip_while(|l| !l.contains("advisor"))
         .nth(1)
         .unwrap_or("");
-    assert!(first.contains("U: Block"), "top candidate: {first}\n{stdout}");
-    assert!(first.contains("V: Block"), "top candidate: {first}\n{stdout}");
+    assert!(
+        first.contains("U: Block"),
+        "top candidate: {first}\n{stdout}"
+    );
+    assert!(
+        first.contains("V: Block"),
+        "top candidate: {first}\n{stdout}"
+    );
 }
 
 #[test]
