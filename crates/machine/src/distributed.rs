@@ -33,20 +33,32 @@
 //!   plan, so no per-element matching happens — and the update phase
 //!   reads values by plan-computed offsets.
 //!
+//! Both modes ship their messages through the reliable transport of
+//! [`crate::transport`] (per-flow sequence numbers, checksums, duplicate
+//! suppression, NACK/retransmit recovery with bounded retries), so runs
+//! survive transient faults injected by a seeded [`FaultPlan`] and
+//! degrade into typed [`MachineError`]s — never a hang — when a fault is
+//! permanent. A panicking node thread is caught by the supervisor and
+//! surfaced as [`MachineError::NodePanicked`]; local writes are
+//! committed by the host only when *every* node succeeded, so a failed
+//! run leaves the distributed arrays exactly as they were.
+//!
 //! Wire traffic is modeled in [`NodeStats`]: `msgs_sent`/`msgs_received`
 //! always count payload *elements* (identical across modes), while
 //! `packets_sent`/`bytes_sent`/`max_packet_elems` expose the batching
 //! (an element message costs 24 modeled bytes — slot, index, value — and
-//! a vector message 16 header bytes plus 8 per element).
-//!
-//! A configurable receive timeout plus optional fault injection (message
-//! dropping) lets the tests verify the pairing logic detects lost sends
-//! instead of hanging; in vectorized mode `drop_nth` counts packets.
+//! a vector message 16 header bytes plus 8 per element). Reliability
+//! traffic is counted separately (`retransmits`, `dups_dropped`,
+//! `corrupt_detected`, `acks_sent`, `nacks_sent`).
 
 use crate::darray::DistArray;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
+use crate::transport::{
+    await_until, AwaitFail, Endpoint, FaultPlan, Frame, RetryPolicy, WirePayload,
+};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
@@ -69,18 +81,55 @@ pub(crate) const ELEM_MSG_BYTES: u64 = 24;
 /// Modeled header cost of one vector message (source + run tag).
 pub(crate) const PACK_HEADER_BYTES: u64 = 16;
 
-/// What actually travels on a channel.
+/// The machine-level payload of a wire packet.
+#[derive(Debug, Clone)]
 enum Wire {
     /// Element mode: one tagged value.
     Elem(Msg),
     /// Vectorized mode: all values of one planned run, packed in run
     /// order. `run_ord` indexes the sender's run list for this pair,
     /// which the plan guarantees is identical to the receiver's.
-    Pack {
-        src: i64,
-        run_ord: usize,
-        values: Vec<f64>,
-    },
+    Pack { run_ord: usize, values: Vec<f64> },
+}
+
+impl WirePayload for Wire {
+    fn digest(&self) -> u64 {
+        let mut h = 0u64;
+        match self {
+            Wire::Elem(m) => {
+                h ^= 1;
+                h = h
+                    .rotate_left(7)
+                    .wrapping_add(m.slot as u64)
+                    .rotate_left(7)
+                    .wrapping_add(m.i as u64)
+                    .rotate_left(7)
+                    .wrapping_add(m.value.to_bits());
+            }
+            Wire::Pack { run_ord, values } => {
+                h ^= 2;
+                h = h.rotate_left(7).wrapping_add(*run_ord as u64);
+                for v in values {
+                    h = h.rotate_left(7).wrapping_add(v.to_bits());
+                }
+            }
+        }
+        h
+    }
+
+    fn corrupt(&mut self, bits: u64) {
+        match self {
+            Wire::Elem(m) => {
+                m.value = f64::from_bits(m.value.to_bits() ^ (1 << (bits % 52)));
+            }
+            Wire::Pack { values, .. } => {
+                if !values.is_empty() {
+                    let k = (bits as usize) % values.len();
+                    values[k] = f64::from_bits(values[k].to_bits() ^ (1 << (bits % 52)));
+                }
+            }
+        }
+    }
 }
 
 /// How remote operands travel between nodes.
@@ -94,7 +143,9 @@ pub enum CommMode {
     Vectorized,
 }
 
-/// Deterministic fault injection for testing the template's pairing logic.
+/// Legacy deterministic fault injection: drop one wire message of one
+/// node. Kept as a compatibility shim — convert it into the richer
+/// seed-driven [`FaultPlan`] via `From`/`Into`.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultInjection {
     /// Node whose outgoing message is dropped.
@@ -105,15 +156,26 @@ pub struct FaultInjection {
     pub drop_nth: u64,
 }
 
+impl From<FaultInjection> for FaultPlan {
+    fn from(f: FaultInjection) -> FaultPlan {
+        FaultPlan::drop_nth(f.drop_from, f.drop_nth)
+    }
+}
+
 /// Execution options for the distributed machine.
 #[derive(Debug, Clone, Copy)]
 pub struct DistOptions {
-    /// How long a blocking receive waits before reporting a lost message.
+    /// How long a blocking receive waits, in total, before reporting a
+    /// lost message (also caps the post-run drain that services late
+    /// retransmit requests).
     pub recv_timeout: Duration,
-    /// Optional fault injection.
-    pub faults: Option<FaultInjection>,
+    /// Optional seed-driven fault injection.
+    pub faults: Option<FaultPlan>,
     /// How remote operands are shipped.
     pub mode: CommMode,
+    /// NACK/retransmit recovery policy; [`RetryPolicy::none`] restores
+    /// the legacy fail-on-first-timeout behavior.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DistOptions {
@@ -122,6 +184,7 @@ impl Default for DistOptions {
             recv_timeout: Duration::from_secs(5),
             faults: None,
             mode: CommMode::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -136,28 +199,42 @@ enum RExpr {
     Bin(BinOp, Box<RExpr>, Box<RExpr>),
 }
 
-fn resolve_expr(e: &Expr, node: &NodePlan) -> RExpr {
+fn resolve_expr(e: &Expr, node: &NodePlan) -> Result<RExpr, MachineError> {
     match e {
         Expr::Ref(r) => {
-            let g = r.map.as_fn1().expect("1-D plan");
+            let g = r.map.as_fn1().ok_or_else(|| {
+                MachineError::PlanMismatch(format!(
+                    "read ref `{}` is not 1-D but the plan is",
+                    r.array
+                ))
+            })?;
             let slot = node
                 .resides
                 .iter()
                 .position(|rp| rp.array == r.array && rp.g == *g)
-                .expect("read ref must be in the reside list");
-            RExpr::Slot(slot)
+                .ok_or_else(|| {
+                    MachineError::PlanMismatch(format!(
+                        "read ref `{}` missing from the plan's reside list",
+                        r.array
+                    ))
+                })?;
+            Ok(RExpr::Slot(slot))
         }
-        Expr::Lit(v) => RExpr::Lit(*v),
+        Expr::Lit(v) => Ok(RExpr::Lit(*v)),
         Expr::LoopVar { dim } => {
-            assert_eq!(*dim, 0, "1-D plan");
-            RExpr::LoopVar
+            if *dim != 0 {
+                return Err(MachineError::PlanMismatch(format!(
+                    "loop variable of dimension {dim} in a 1-D plan"
+                )));
+            }
+            Ok(RExpr::LoopVar)
         }
-        Expr::Neg(inner) => RExpr::Neg(Box::new(resolve_expr(inner, node))),
-        Expr::Bin(op, a, b) => RExpr::Bin(
+        Expr::Neg(inner) => Ok(RExpr::Neg(Box::new(resolve_expr(inner, node)?))),
+        Expr::Bin(op, a, b) => Ok(RExpr::Bin(
             *op,
-            Box::new(resolve_expr(a, node)),
-            Box::new(resolve_expr(b, node)),
-        ),
+            Box::new(resolve_expr(a, node)?),
+            Box::new(resolve_expr(b, node)?),
+        )),
     }
 }
 
@@ -176,30 +253,43 @@ enum RGuard {
     Cmp { slot: usize, op: CmpOp, rhs: f64 },
 }
 
-fn resolve_guard(g: &Guard, node: &NodePlan) -> RGuard {
+fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, MachineError> {
     match g {
-        Guard::Always => RGuard::Always,
+        Guard::Always => Ok(RGuard::Always),
         Guard::Cmp { lhs, op, rhs } => {
-            let gf = lhs.map.as_fn1().expect("1-D plan");
+            let gf = lhs.map.as_fn1().ok_or_else(|| {
+                MachineError::PlanMismatch(format!(
+                    "guard ref `{}` is not 1-D but the plan is",
+                    lhs.array
+                ))
+            })?;
             let slot = node
                 .resides
                 .iter()
                 .position(|rp| rp.array == lhs.array && rp.g == *gf)
-                .expect("guard ref must be in the reside list");
-            RGuard::Cmp {
+                .ok_or_else(|| {
+                    MachineError::PlanMismatch(format!(
+                        "guard ref `{}` missing from the plan's reside list",
+                        lhs.array
+                    ))
+                })?;
+            Ok(RGuard::Cmp {
                 slot,
                 op: *op,
                 rhs: *rhs,
-            }
+            })
         }
     }
 }
 
-/// What one node thread returns: id, its local memories, statistics,
-/// per-destination send counts, and its error state.
+/// What one node thread returns: id, its (unmodified) local memories,
+/// the local writes it wants committed, statistics, per-destination
+/// send counts, and its error state. Writes are applied by the host
+/// only when every node succeeded, so a failed run restores state.
 type NodeOutcome = (
     i64,
     BTreeMap<String, Vec<f64>>,
+    Vec<(usize, f64)>,
     NodeStats,
     Vec<u64>,
     Result<(), MachineError>,
@@ -209,14 +299,22 @@ type NodeOutcome = (
 struct Worker {
     p: i64,
     locals: BTreeMap<String, Vec<f64>>,
-    rx: Receiver<Wire>,
+    rx: Receiver<Frame<Wire>>,
+}
+
+/// A zero part of the right local size — the last-resort placeholder
+/// when a node thread died without returning its memories.
+fn zero_part(dec: &Decomp1, p: i64) -> Vec<f64> {
+    vec![0.0; dec.local_count(p).max(0) as usize]
 }
 
 /// Execute a `//` clause on the distributed-memory machine.
 ///
 /// `arrays` maps every referenced array to its distributed image; the
 /// decompositions of those images must be the ones the plan was built
-/// with. On success the images are updated in place.
+/// with. On success the images are updated in place; on *any* error the
+/// images are restored to their pre-run state (writes are committed by
+/// the host only after every node succeeded).
 pub fn run_distributed(
     plan: &SpmdPlan,
     clause: &Clause,
@@ -229,8 +327,12 @@ pub fn run_distributed(
     let pmax = plan.pmax;
 
     // collect referenced arrays and their decompositions
+    let node0 = plan
+        .nodes
+        .first()
+        .ok_or_else(|| MachineError::PlanMismatch("plan has no nodes".into()))?;
     let mut referenced: Vec<String> = vec![plan.lhs_array.clone()];
-    for rp in &plan.nodes[0].resides {
+    for rp in &node0.resides {
         if !referenced.contains(&rp.array) {
             referenced.push(rp.array.clone());
         }
@@ -250,18 +352,40 @@ pub fn run_distributed(
     }
     let dec_lhs = decomps[&plan.lhs_array].clone();
 
+    // resolve expressions/guards per node before touching the arrays,
+    // so a malformed plan is a clean typed error with state intact
+    let mut rexpr_per_node: Vec<RExpr> = Vec::with_capacity(plan.nodes.len());
+    let mut rguard_per_node: Vec<RGuard> = Vec::with_capacity(plan.nodes.len());
+    for n in &plan.nodes {
+        rexpr_per_node.push(resolve_expr(&clause.rhs, n)?);
+        rguard_per_node.push(resolve_guard(&clause.guard, n)?);
+    }
+
     // disassemble the distributed images into per-node local memories
+    // (two-phase so a missing array cannot leave a partial removal)
+    let mut taken: Vec<(String, DistArray)> = Vec::with_capacity(referenced.len());
+    for name in &referenced {
+        match arrays.remove(name) {
+            Some(da) => taken.push((name.clone(), da)),
+            None => {
+                for (n, da) in taken {
+                    arrays.insert(n, da);
+                }
+                return Err(MachineError::UnknownArray(name.clone()));
+            }
+        }
+    }
     let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
         (0..pmax).map(|_| BTreeMap::new()).collect();
-    for name in &referenced {
-        let (_, parts) = arrays.remove(name).unwrap().into_parts();
+    for (name, da) in taken {
+        let (_, parts) = da.into_parts();
         for (p, part) in parts.into_iter().enumerate() {
             per_node[p].insert(name.clone(), part);
         }
     }
 
     // channels: one receiver per node, senders shared
-    let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(pmax as usize);
+    let mut txs: Vec<Sender<Frame<Wire>>> = Vec::with_capacity(pmax as usize);
     let mut workers: Vec<Worker> = Vec::with_capacity(pmax as usize);
     for (p, locals) in per_node.into_iter().enumerate() {
         let (tx, rx) = unbounded();
@@ -272,17 +396,6 @@ pub fn run_distributed(
             rx,
         });
     }
-
-    let rexpr_per_node: Vec<RExpr> = plan
-        .nodes
-        .iter()
-        .map(|n| resolve_expr(&clause.rhs, n))
-        .collect();
-    let rguard_per_node: Vec<RGuard> = plan
-        .nodes
-        .iter()
-        .map(|n| resolve_guard(&clause.guard, n))
-        .collect();
 
     let mut results: Vec<NodeOutcome> = Vec::with_capacity(pmax as usize);
 
@@ -305,28 +418,72 @@ pub fn run_distributed(
         // drop the main thread's senders so lost messages cannot keep
         // channels alive artificially (receives use timeouts anyway)
         drop(txs);
-        for h in handles {
-            results.push(h.join().expect("node thread panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            // the supervisor: a panic that escaped the in-thread guard
+            // still becomes a typed error, never a host abort
+            results.push(h.join().unwrap_or_else(|_| {
+                (
+                    p as i64,
+                    BTreeMap::new(),
+                    Vec::new(),
+                    NodeStats::default(),
+                    vec![0u64; pmax as usize],
+                    Err(MachineError::NodePanicked { node: p as i64 }),
+                )
+            }));
         }
     });
     results.sort_by_key(|(p, ..)| *p);
 
-    // reassemble the distributed images (even on error, restore state)
+    // pick the run's error: a panic is the root cause and wins over the
+    // secondary Unrecoverable/Missing* errors it induces on peers
+    let mut first_err: Option<MachineError> = None;
+    for (.., res) in &results {
+        if let Err(e) = res {
+            match (&first_err, e) {
+                (None, _) => first_err = Some(e.clone()),
+                (Some(MachineError::NodePanicked { .. }), _) => {}
+                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    // validate every write before committing any (all-or-nothing)
+    if first_err.is_none() {
+        'validate: for (p, locals, writes, ..) in &results {
+            let len = locals.get(&plan.lhs_array).map_or(0, Vec::len);
+            for (off, _) in writes {
+                if *off >= len {
+                    first_err = Some(MachineError::PlanMismatch(format!(
+                        "write offset {off} outside node {p}'s local part (len {len})"
+                    )));
+                    break 'validate;
+                }
+            }
+        }
+    }
+    let commit = first_err.is_none();
+
+    // reassemble the distributed images (on error: pre-run state)
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
-    let mut first_err = None;
     let mut report = ExecReport::default();
-    for (_, mut locals, stats, sent_to, res) in results {
+    for (p, mut locals, writes, stats, sent_to, _res) in results {
+        if commit {
+            if let Some(lhs_local) = locals.get_mut(&plan.lhs_array) {
+                for (off, v) in writes {
+                    lhs_local[off] = v; // validated above
+                }
+            }
+        }
         for name in &referenced {
-            parts_by_name
-                .entry(name.clone())
-                .or_default()
-                .push(locals.remove(name).unwrap());
+            let part = locals
+                .remove(name)
+                .unwrap_or_else(|| zero_part(&decomps[name], p));
+            parts_by_name.entry(name.clone()).or_default().push(part);
         }
         report.nodes.push(stats);
         report.traffic.push(sent_to);
-        if let (Err(e), None) = (res, &first_err) {
-            first_err = Some(e);
-        }
     }
     for (name, parts) in parts_by_name {
         let dec = decomps[&name].clone();
@@ -338,25 +495,89 @@ pub fn run_distributed(
     }
 }
 
+/// One node thread: run the SPMD phases under a panic guard, then
+/// announce completion and service late retransmit requests. A node
+/// that panicked announces completion (the reset analog) but services
+/// nothing — its unsent data is gone, and peers surface that as
+/// [`MachineError::Unrecoverable`].
 #[allow(clippy::too_many_arguments)]
 fn run_node(
-    mut worker: Worker,
+    worker: Worker,
     node: &NodePlan,
     plan: &SpmdPlan,
     rexpr: &RExpr,
     rguard: &RGuard,
-    txs: Vec<Sender<Wire>>,
+    txs: Vec<Sender<Frame<Wire>>>,
     decomps: &BTreeMap<String, Decomp1>,
     dec_lhs: &Decomp1,
     opts: DistOptions,
 ) -> NodeOutcome {
     let p = worker.p;
+    let rx = worker.rx;
+    let mut locals = worker.locals;
     let mut stats = NodeStats::default();
-    stats.guard_tests += node.modify.schedule.work_estimate();
     let mut sent_to = vec![0u64; txs.len()];
+    let mut writes: Vec<(usize, f64)> = Vec::new();
+    let mut ep = Endpoint::new(p, txs, opts.faults);
+
+    let phases = catch_unwind(AssertUnwindSafe(|| {
+        node_phases(
+            p,
+            &mut locals,
+            node,
+            plan,
+            rexpr,
+            rguard,
+            &mut ep,
+            &rx,
+            decomps,
+            dec_lhs,
+            &opts,
+            &mut stats,
+            &mut sent_to,
+            &mut writes,
+        )
+    }));
+    let res = match phases {
+        Ok(r) => {
+            ep.announce_done();
+            ep.drain(&rx, opts.recv_timeout, &mut stats);
+            r
+        }
+        Err(_) => {
+            ep.announce_done();
+            Err(MachineError::NodePanicked { node: p })
+        }
+    };
+    if res.is_err() {
+        writes.clear();
+    }
+    (p, locals, writes, stats, sent_to, res)
+}
+
+/// The send + update phases of one node (panics are caught by the
+/// caller's supervisor). Local writes are *collected*, not applied —
+/// the host commits them only when the whole run succeeded.
+#[allow(clippy::too_many_arguments)]
+fn node_phases(
+    p: i64,
+    locals: &mut BTreeMap<String, Vec<f64>>,
+    node: &NodePlan,
+    plan: &SpmdPlan,
+    rexpr: &RExpr,
+    rguard: &RGuard,
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    decomps: &BTreeMap<String, Decomp1>,
+    dec_lhs: &Decomp1,
+    opts: &DistOptions,
+    stats: &mut NodeStats,
+    sent_to: &mut [u64],
+    writes: &mut Vec<(usize, f64)>,
+) -> Result<(), MachineError> {
+    stats.guard_tests += node.modify.schedule.work_estimate();
 
     // ---- send phase: Reside_p ∩ Modify_q, q ≠ p -------------------------
-    let mut wire_msgs = 0u64;
     match opts.mode {
         CommMode::Element => {
             // literal template: per-element ownership test + tagged send
@@ -366,21 +587,14 @@ fn run_node(
                 }
                 stats.guard_tests += rp.opt.schedule.work_estimate();
                 let dec_r = &decomps[&rp.array];
-                let local_part = &worker.locals[&rp.array];
+                let local_part = &locals[&rp.array];
                 rp.opt.schedule.for_each(|i| {
                     let owner = dec_lhs.proc_of(plan.f.eval(i));
                     if owner != p {
                         let g = rp.g.eval(i);
                         let value = local_part[dec_r.local_of(g) as usize];
-                        let dropped = matches!(
-                            opts.faults,
-                            Some(f) if f.drop_from == p && f.drop_nth == wire_msgs
-                        );
-                        if !dropped {
-                            // non-blocking send (unbounded channel)
-                            let _ = txs[owner as usize].send(Wire::Elem(Msg { slot, i, value }));
-                        }
-                        wire_msgs += 1;
+                        // non-blocking send through the reliable transport
+                        ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
                         sent_to[owner as usize] += 1;
                         stats.msgs_sent += 1;
                         stats.packets_sent += 1;
@@ -397,24 +611,13 @@ fn run_node(
                 for (run_ord, run) in pair.runs.iter().enumerate() {
                     let rp = &node.resides[run.slot];
                     let dec_r = &decomps[&rp.array];
-                    let local_part = &worker.locals[&rp.array];
+                    let local_part = &locals[&rp.array];
                     let mut values = Vec::with_capacity(run.count as usize);
                     run.for_each(|i| {
                         values.push(local_part[dec_r.local_of(rp.g.eval(i)) as usize]);
                     });
                     let elems = values.len() as u64;
-                    let dropped = matches!(
-                        opts.faults,
-                        Some(f) if f.drop_from == p && f.drop_nth == wire_msgs
-                    );
-                    if !dropped {
-                        let _ = txs[pair.peer as usize].send(Wire::Pack {
-                            src: p,
-                            run_ord,
-                            values,
-                        });
-                    }
-                    wire_msgs += 1;
+                    ep.send(pair.peer as usize, Wire::Pack { run_ord, values });
                     sent_to[pair.peer as usize] += elems;
                     stats.msgs_sent += elems;
                     stats.packets_sent += 1;
@@ -424,11 +627,11 @@ fn run_node(
             }
         }
     }
-    drop(txs);
+    ep.end_send_phase(); // flush delayed packets; crash point
 
     // ---- update phase: Modify_p -----------------------------------------
     let mut recv = RecvState::new(node, opts.mode, plan.pmax as usize);
-    let mut writes: Vec<(usize, f64)> = Vec::with_capacity(node.modify.schedule.count() as usize);
+    writes.reserve(node.modify.schedule.count() as usize);
     let mut vals = vec![0.0f64; node.resides.len()];
     let mut err: Option<MachineError> = None;
 
@@ -443,12 +646,16 @@ fn run_node(
         for slot in 0..n_slots {
             let rp = &node.resides[slot];
             let g = rp.g.eval(i);
-            let local_here = rp.replicated || decomps[&rp.array].proc_of(g) == p;
-            vals[slot] = if local_here {
-                stats.local_reads += 1;
-                worker.locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
+            let owner = if rp.replicated {
+                p
             } else {
-                match recv.remote_value(&worker.rx, slot, i, opts.recv_timeout) {
+                decomps[&rp.array].proc_of(g)
+            };
+            vals[slot] = if owner == p {
+                stats.local_reads += 1;
+                locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
+            } else {
+                match recv.remote_value(ep, rx, slot, i, owner, opts, stats) {
                     Ok(v) => {
                         stats.msgs_received += 1;
                         v
@@ -458,6 +665,23 @@ fn run_node(
                             node: p,
                             array: rp.array.clone(),
                             index: i,
+                        });
+                        return;
+                    }
+                    Err(RecvFail::PacketTimeout { peer, run }) => {
+                        err = Some(MachineError::MissingPacket {
+                            node: p,
+                            peer,
+                            slot,
+                            run,
+                        });
+                        return;
+                    }
+                    Err(RecvFail::Exhausted { peer, retries }) => {
+                        err = Some(MachineError::Unrecoverable {
+                            node: p,
+                            peer,
+                            retries,
                         });
                         return;
                     }
@@ -483,21 +707,20 @@ fn run_node(
         }
     });
 
-    // commit local writes (post-snapshot, Section 2.10's final update)
-    if err.is_none() {
-        let lhs_local = worker.locals.get_mut(&plan.lhs_array).unwrap();
-        for (off, v) in writes {
-            lhs_local[off] = v;
-        }
-    }
-
-    (p, worker.locals, stats, sent_to, err.map_or(Ok(()), Err))
+    err.map_or(Ok(()), Err)
 }
 
 /// Why a remote value could not be produced.
 enum RecvFail {
-    /// The wire message never arrived within the timeout.
+    /// The wire message never arrived within the timeout (recovery
+    /// disabled) — element mode.
     Timeout,
+    /// The planned packet never arrived within the timeout (recovery
+    /// disabled) — vectorized mode, identified by the wire protocol's
+    /// own coordinates.
+    PacketTimeout { peer: i64, run: usize },
+    /// The NACK/retransmit budget was exhausted.
+    Exhausted { peer: i64, retries: u32 },
     /// The wire carried something the mode/plan does not account for.
     BadWire(&'static str),
 }
@@ -515,6 +738,8 @@ enum RecvState {
     Packed {
         /// source processor id → ordinal in the recv pair list.
         src_ord: Vec<usize>,
+        /// source ordinal → processor id (the NACK target).
+        peers: Vec<i64>,
         /// `staging[source ordinal][run]` = the packet's values.
         staging: Vec<Vec<Option<Vec<f64>>>>,
         /// `(slot, i)` → `(source ordinal, run, offset)`, expanded from
@@ -531,10 +756,12 @@ impl RecvState {
             },
             CommMode::Vectorized => {
                 let mut src_ord = vec![usize::MAX; pmax];
+                let mut peers = Vec::with_capacity(node.comm.recvs.len());
                 let mut origin = BTreeMap::new();
                 let mut staging = Vec::with_capacity(node.comm.recvs.len());
                 for (ord, pc) in node.comm.recvs.iter().enumerate() {
                     src_ord[pc.peer as usize] = ord;
+                    peers.push(pc.peer);
                     staging.push(vec![None; pc.runs.len()]);
                     for (run_ord, run) in pc.runs.iter().enumerate() {
                         let mut off = 0usize;
@@ -546,6 +773,7 @@ impl RecvState {
                 }
                 RecvState::Packed {
                     src_ord,
+                    peers,
                     staging,
                     origin,
                 }
@@ -553,72 +781,96 @@ impl RecvState {
         }
     }
 
-    /// Produce the remote operand for `(slot, i)`, receiving from the
-    /// channel as needed.
+    /// Produce the remote operand for `(slot, i)` owed by `owner`,
+    /// receiving (and recovering) through the transport as needed.
+    #[allow(clippy::too_many_arguments)]
     fn remote_value(
         &mut self,
-        rx: &Receiver<Wire>,
+        ep: &mut Endpoint<Wire>,
+        rx: &Receiver<Frame<Wire>>,
         slot: usize,
         i: i64,
-        timeout: Duration,
+        owner: i64,
+        opts: &DistOptions,
+        stats: &mut NodeStats,
     ) -> Result<f64, RecvFail> {
         match self {
-            RecvState::Element { pending } => {
-                if let Some(v) = pending.remove(&(slot, i)) {
-                    return Ok(v);
-                }
-                loop {
-                    match rx.recv_timeout(timeout) {
-                        Ok(Wire::Elem(m)) => {
-                            if m.slot == slot && m.i == i {
-                                return Ok(m.value);
-                            }
-                            pending.insert((m.slot, m.i), m.value);
-                        }
-                        Ok(Wire::Pack { .. }) => {
-                            return Err(RecvFail::BadWire("vector packet in element mode"))
-                        }
-                        Err(_) => return Err(RecvFail::Timeout),
+            RecvState::Element { pending } => await_until(
+                ep,
+                rx,
+                owner,
+                opts.recv_timeout,
+                opts.retry,
+                stats,
+                pending,
+                |pending| pending.remove(&(slot, i)).map(Ok),
+                |pending, _src, wire| match wire {
+                    Wire::Elem(m) => {
+                        pending.insert((m.slot, m.i), m.value);
+                        Ok(())
                     }
-                }
-            }
+                    Wire::Pack { .. } => Err("vector packet in element mode"),
+                },
+            )
+            .map_err(|e| match e {
+                AwaitFail::Timeout => RecvFail::Timeout,
+                AwaitFail::Exhausted { retries } => RecvFail::Exhausted {
+                    peer: owner,
+                    retries,
+                },
+                AwaitFail::BadWire(w) => RecvFail::BadWire(w),
+            }),
             RecvState::Packed {
                 src_ord,
+                peers,
                 staging,
                 origin,
             } => {
                 let &(so, ro, off) = origin
                     .get(&(slot, i))
                     .ok_or(RecvFail::BadWire("no planned packet covers this element"))?;
-                while staging[so][ro].is_none() {
-                    match rx.recv_timeout(timeout) {
-                        Ok(Wire::Pack {
-                            src,
-                            run_ord,
-                            values,
-                        }) => {
+                let peer = peers
+                    .get(so)
+                    .copied()
+                    .ok_or(RecvFail::BadWire("source ordinal out of range"))?;
+                let mut ctx = (staging, &*src_ord);
+                await_until(
+                    ep,
+                    rx,
+                    peer,
+                    opts.recv_timeout,
+                    opts.retry,
+                    stats,
+                    &mut ctx,
+                    |(staging, _)| {
+                        staging[so][ro].as_ref().map(|vals| {
+                            vals.get(off)
+                                .copied()
+                                .ok_or("packet shorter than its planned run")
+                        })
+                    },
+                    |(staging, src_ord), src, wire| match wire {
+                        Wire::Pack { run_ord, values } => {
                             let ord = src_ord
                                 .get(src as usize)
                                 .copied()
                                 .filter(|&o| o != usize::MAX)
-                                .ok_or(RecvFail::BadWire("packet from unplanned source"))?;
-                            if run_ord >= staging[ord].len() {
-                                return Err(RecvFail::BadWire("packet run tag out of range"));
+                                .ok_or("packet from unplanned source")?;
+                            let row = staging.get_mut(ord).ok_or("packet from unplanned source")?;
+                            let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
+                            if cell.is_none() {
+                                *cell = Some(values);
                             }
-                            staging[ord][run_ord] = Some(values);
+                            Ok(())
                         }
-                        Ok(Wire::Elem(_)) => {
-                            return Err(RecvFail::BadWire("element message in vectorized mode"))
-                        }
-                        Err(_) => return Err(RecvFail::Timeout),
-                    }
-                }
-                staging[so][ro]
-                    .as_ref()
-                    .unwrap()
-                    .get(off)
-                    .copied()
-                    .ok_or(RecvFail::BadWire("packet shorter than its planned run"))
+                        Wire::Elem(_) => Err("element message in vectorized mode"),
+                    },
+                )
+                .map_err(|e| match e {
+                    AwaitFail::Timeout => RecvFail::PacketTimeout { peer, run: ro },
+                    AwaitFail::Exhausted { retries } => RecvFail::Exhausted { peer, retries },
+                    AwaitFail::BadWire(w) => RecvFail::BadWire(w),
+                })
             }
         }
     }
@@ -627,6 +879,7 @@ impl RecvState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
     use vcal_core::func::Fn1;
     use vcal_core::{Array, ArrayRef, Bounds, Env, IndexSet};
     use vcal_spmd::DecompMap;
@@ -660,6 +913,17 @@ mod tests {
         (clause, env, dm)
     }
 
+    fn scatter_arrays(env0: &Env, dm: &DecompMap) -> BTreeMap<String, DistArray> {
+        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+        for name in ["A", "B"] {
+            arrays.insert(
+                name.into(),
+                DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
+            );
+        }
+        arrays
+    }
+
     fn run_and_compare(clause: &Clause, env0: &Env, dm: &DecompMap, naive: bool) -> ExecReport {
         let mut expect = env0.clone();
         expect.exec_clause(clause);
@@ -669,13 +933,7 @@ mod tests {
         } else {
             SpmdPlan::build(clause, dm).unwrap()
         };
-        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
-        for name in ["A", "B"] {
-            arrays.insert(
-                name.into(),
-                DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
-            );
-        }
+        let mut arrays = scatter_arrays(env0, dm);
         let report = run_distributed(&plan, clause, &mut arrays, DistOptions::default()).unwrap();
         let got = arrays["A"].gather();
         assert_eq!(
@@ -837,13 +1095,7 @@ mod tests {
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
         let mut totals = Vec::new();
         for mode in [CommMode::Element, CommMode::Vectorized] {
-            let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
-            for name in ["A", "B"] {
-                arrays.insert(
-                    name.into(),
-                    DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
-                );
-            }
+            let mut arrays = scatter_arrays(&env, &dm);
             let opts = DistOptions {
                 mode,
                 ..DistOptions::default()
@@ -879,13 +1131,7 @@ mod tests {
         let mut expect = env.clone();
         expect.exec_clause(&clause);
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
-        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
-        for name in ["A", "B"] {
-            arrays.insert(
-                name.into(),
-                DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
-            );
-        }
+        let mut arrays = scatter_arrays(&env, &dm);
         let opts = DistOptions {
             mode: CommMode::Element,
             ..DistOptions::default()
@@ -898,7 +1144,43 @@ mod tests {
     }
 
     #[test]
-    fn dropped_message_detected_not_hung() {
+    fn dropped_message_recovered_by_retransmit() {
+        // the legacy fatal fault is now transient: the receiver NACKs,
+        // the sender retransmits, and the run completes bit-for-bit
+        let n = 32;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::identity(),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            0,
+            n - 1,
+        );
+        let mut expect = env.clone();
+        expect.exec_clause(&clause);
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut arrays = scatter_arrays(&env, &dm);
+        let opts = DistOptions {
+            recv_timeout: Duration::from_secs(2),
+            faults: Some(FaultPlan::drop_nth(1, 0)),
+            retry: RetryPolicy::fast(),
+            ..DistOptions::default()
+        };
+        let report = run_distributed(&plan, &clause, &mut arrays, opts).unwrap();
+        assert_eq!(
+            arrays["A"].gather().max_abs_diff(expect.get("A").unwrap()),
+            0.0
+        );
+        let t = report.total();
+        assert!(t.retransmits > 0, "recovery must retransmit: {t:?}");
+        assert!(t.nacks_sent > 0);
+        assert!(t.acks_sent > 0);
+    }
+
+    #[test]
+    fn dropped_message_detected_without_retries() {
+        // with recovery disabled the legacy typed error comes back
         let n = 32;
         let (clause, env, dm) = copy_setup(
             n,
@@ -910,23 +1192,148 @@ mod tests {
             n - 1,
         );
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
-        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
-        for name in ["A", "B"] {
-            arrays.insert(
-                name.into(),
-                DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
-            );
-        }
+        let mut arrays = scatter_arrays(&env, &dm);
         let opts = DistOptions {
             recv_timeout: Duration::from_millis(200),
-            faults: Some(FaultInjection {
-                drop_from: 1,
-                drop_nth: 0,
-            }),
-            ..DistOptions::default()
+            faults: Some(FaultPlan::drop_nth(1, 0)),
+            mode: CommMode::Element,
+            retry: RetryPolicy::none(),
         };
         let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
         assert!(matches!(err, MachineError::MissingMessage { .. }), "{err}");
+    }
+
+    #[test]
+    fn dropped_packet_reports_wire_coordinates() {
+        // vectorized mode + no retries: the error names (peer, slot, run)
+        let n = 32;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::identity(),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            0,
+            n - 1,
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut arrays = scatter_arrays(&env, &dm);
+        let opts = DistOptions {
+            recv_timeout: Duration::from_millis(200),
+            faults: Some(FaultPlan::drop_nth(1, 0)),
+            mode: CommMode::Vectorized,
+            retry: RetryPolicy::none(),
+        };
+        let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
+        match err {
+            MachineError::MissingPacket { peer, .. } => assert_eq!(peer, 1),
+            e => panic!("expected MissingPacket, got {e}"),
+        }
+    }
+
+    #[test]
+    fn crashed_node_reported_not_aborted() {
+        let n = 32;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::identity(),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            0,
+            n - 1,
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut arrays = scatter_arrays(&env, &dm);
+        let before = arrays["A"].gather();
+        let opts = DistOptions {
+            recv_timeout: Duration::from_millis(500),
+            faults: Some(FaultPlan::seeded(7).with_crash(2, 0)),
+            retry: RetryPolicy::fast(),
+            ..DistOptions::default()
+        };
+        let t0 = Instant::now();
+        let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
+        assert_eq!(err, MachineError::NodePanicked { node: 2 }, "{err}");
+        // bounded detection, no hang
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        // transactional: the failed run left the array untouched
+        assert_eq!(arrays["A"].gather().max_abs_diff(&before), 0.0);
+    }
+
+    #[test]
+    fn persistent_drop_exhausts_budget() {
+        // drop *everything* node 1 sends (including retransmits): the
+        // waiting peers must give up with a typed error, quickly
+        let n = 32;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::identity(),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            0,
+            n - 1,
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let mut arrays = scatter_arrays(&env, &dm);
+        let opts = DistOptions {
+            recv_timeout: Duration::from_secs(2),
+            faults: Some(FaultPlan::seeded(3).with_drop(1.0).with_from_only(1)),
+            retry: RetryPolicy::fast(),
+            ..DistOptions::default()
+        };
+        let t0 = Instant::now();
+        let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
+        match err {
+            MachineError::Unrecoverable { peer, retries, .. } => {
+                assert_eq!(peer, 1);
+                assert!(retries > 0);
+            }
+            e => panic!("expected Unrecoverable, got {e}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(15));
+    }
+
+    #[test]
+    fn noisy_link_recovered_in_both_modes() {
+        // seeded drop+dup+reorder+corrupt+delay soup, still bit-exact
+        let n = 64;
+        let (clause, env, dm) = copy_setup(
+            n,
+            Fn1::identity(),
+            Fn1::affine(3, 1),
+            Decomp1::scatter(4, Bounds::range(0, n - 1)),
+            Decomp1::scatter(4, Bounds::range(0, 3 * n)),
+            0,
+            n - 1,
+        );
+        let mut expect = env.clone();
+        expect.exec_clause(&clause);
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        for mode in [CommMode::Element, CommMode::Vectorized] {
+            let mut arrays = scatter_arrays(&env, &dm);
+            let opts = DistOptions {
+                recv_timeout: Duration::from_secs(5),
+                faults: Some(
+                    FaultPlan::seeded(11)
+                        .with_drop(0.08)
+                        .with_duplicate(0.08)
+                        .with_reorder(0.08)
+                        .with_corrupt(0.05)
+                        .with_delay(0.08),
+                ),
+                mode,
+                retry: RetryPolicy::fast(),
+            };
+            run_distributed(&plan, &clause, &mut arrays, opts)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert_eq!(
+                arrays["A"].gather().max_abs_diff(expect.get("A").unwrap()),
+                0.0,
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -943,13 +1350,7 @@ mod tests {
         );
         clause.ordering = Ordering::Seq;
         let plan = SpmdPlan::build(&clause, &dm).unwrap();
-        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
-        for name in ["A", "B"] {
-            arrays.insert(
-                name.into(),
-                DistArray::scatter_from(env.get(name).unwrap(), dm[name].clone()),
-            );
-        }
+        let mut arrays = scatter_arrays(&env, &dm);
         assert_eq!(
             run_distributed(&plan, &clause, &mut arrays, DistOptions::default()).unwrap_err(),
             MachineError::SequentialClause

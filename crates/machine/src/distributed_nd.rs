@@ -11,12 +11,20 @@
 //! lattice algebra — and ships one vector message per `(source,
 //! destination, slot)` with values in a deterministic order both sides
 //! compute from the same shared plan.
+//!
+//! Both modes run over the reliable transport of [`crate::transport`]
+//! (sequencing, checksums, duplicate suppression, NACK/retransmit
+//! recovery) with the same seeded fault injection, typed errors, and
+//! panic-safe supervision as the 1-D machine — configure them through
+//! [`run_distributed_nd_opts`].
 
 use crate::darray_nd::DistArrayNd;
-use crate::distributed::{CommMode, ELEM_MSG_BYTES, PACK_HEADER_BYTES};
+use crate::distributed::{CommMode, DistOptions, ELEM_MSG_BYTES, PACK_HEADER_BYTES};
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
+use crate::transport::{await_until, AwaitFail, Endpoint, Frame, WirePayload};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 use vcal_core::map::IndexMap;
@@ -31,16 +39,55 @@ struct Msg {
     value: f64,
 }
 
-/// What travels on an nd channel.
+/// The machine-level payload of an nd wire packet.
+#[derive(Debug, Clone)]
 enum Wire {
     Elem(Msg),
-    /// All values of one planned run, tagged by source and the run's
-    /// ordinal in the `(src, dst)` pair's run list.
+    /// All values of one planned run, tagged by the run's ordinal in the
+    /// `(src, dst)` pair's run list (the source id rides on the packet
+    /// envelope).
     Pack {
-        src: i64,
         run_ord: usize,
         values: Vec<f64>,
     },
+}
+
+impl WirePayload for Wire {
+    fn digest(&self) -> u64 {
+        let mut h = 0u64;
+        match self {
+            Wire::Elem(m) => {
+                h ^= 1;
+                h = h.rotate_left(7).wrapping_add(m.slot as u64);
+                for d in 0..m.i.dims() {
+                    h = h.rotate_left(7).wrapping_add(m.i[d] as u64);
+                }
+                h = h.rotate_left(7).wrapping_add(m.value.to_bits());
+            }
+            Wire::Pack { run_ord, values } => {
+                h ^= 2;
+                h = h.rotate_left(7).wrapping_add(*run_ord as u64);
+                for v in values {
+                    h = h.rotate_left(7).wrapping_add(v.to_bits());
+                }
+            }
+        }
+        h
+    }
+
+    fn corrupt(&mut self, bits: u64) {
+        match self {
+            Wire::Elem(m) => {
+                m.value = f64::from_bits(m.value.to_bits() ^ (1 << (bits % 52)));
+            }
+            Wire::Pack { values, .. } => {
+                if !values.is_empty() {
+                    let k = (bits as usize) % values.len();
+                    values[k] = f64::from_bits(values[k].to_bits() ^ (1 << (bits % 52)));
+                }
+            }
+        }
+    }
 }
 
 /// One planned vector message: the multi-indices whose values it
@@ -54,6 +101,17 @@ struct NdRun {
 /// on the coordinating thread and shared read-only by every node, so
 /// sender packing order and receiver expectations agree by construction.
 type SendPlan = Vec<Vec<Vec<NdRun>>>;
+
+/// What one nd node thread returns: id, its (unmodified) local
+/// memories, the local writes it wants committed, statistics, and its
+/// error state.
+type NodeOutcomeNd = (
+    i64,
+    BTreeMap<String, Vec<f64>>,
+    Vec<(usize, f64)>,
+    NodeStats,
+    Result<(), MachineError>,
+);
 
 /// One deduplicated read access of the clause.
 struct ReadSlot {
@@ -69,22 +127,26 @@ enum RExpr {
     Bin(BinOp, Box<RExpr>, Box<RExpr>),
 }
 
-fn resolve(e: &Expr, slots: &[ReadSlot]) -> RExpr {
+fn resolve(e: &Expr, slots: &[ReadSlot]) -> Result<RExpr, MachineError> {
     match e {
-        Expr::Ref(r) => RExpr::Slot(
-            slots
-                .iter()
-                .position(|s| s.array == r.array && s.map == r.map)
-                .expect("ref must be a slot"),
-        ),
-        Expr::Lit(v) => RExpr::Lit(*v),
-        Expr::LoopVar { dim } => RExpr::LoopVar(*dim),
-        Expr::Neg(inner) => RExpr::Neg(Box::new(resolve(inner, slots))),
-        Expr::Bin(op, a, b) => RExpr::Bin(
+        Expr::Ref(r) => slots
+            .iter()
+            .position(|s| s.array == r.array && s.map == r.map)
+            .map(RExpr::Slot)
+            .ok_or_else(|| {
+                MachineError::PlanMismatch(format!(
+                    "read ref `{}` missing from the collected slot list",
+                    r.array
+                ))
+            }),
+        Expr::Lit(v) => Ok(RExpr::Lit(*v)),
+        Expr::LoopVar { dim } => Ok(RExpr::LoopVar(*dim)),
+        Expr::Neg(inner) => Ok(RExpr::Neg(Box::new(resolve(inner, slots)?))),
+        Expr::Bin(op, a, b) => Ok(RExpr::Bin(
             *op,
-            Box::new(resolve(a, slots)),
-            Box::new(resolve(b, slots)),
-        ),
+            Box::new(resolve(a, slots)?),
+            Box::new(resolve(b, slots)?),
+        )),
     }
 }
 
@@ -144,6 +206,24 @@ pub fn run_distributed_nd_mode(
     recv_timeout: Duration,
     mode: CommMode,
 ) -> Result<ExecReport, MachineError> {
+    run_distributed_nd_opts(
+        clause,
+        arrays,
+        DistOptions {
+            recv_timeout,
+            mode,
+            ..DistOptions::default()
+        },
+    )
+}
+
+/// Like [`run_distributed_nd`] but with full [`DistOptions`] — timeout,
+/// communication mode, seeded fault injection, and retry policy.
+pub fn run_distributed_nd_opts(
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArrayNd>,
+    opts: DistOptions,
+) -> Result<ExecReport, MachineError> {
     if clause.ordering != Ordering::Par {
         return Err(MachineError::SequentialClause);
     }
@@ -181,17 +261,23 @@ pub fn run_distributed_nd_mode(
         }
         decomps.insert(name.clone(), da.decomp().clone());
     }
-    let pmax = pmax.unwrap();
+    let pmax =
+        pmax.ok_or_else(|| MachineError::PlanMismatch("clause references no arrays".into()))?;
     let dec_lhs = decomps[&lhs_name].clone();
 
-    let rexpr = resolve(&clause.rhs, &slots);
+    let rexpr = resolve(&clause.rhs, &slots)?;
     let rguard = match &clause.guard {
         Guard::Always => RGuard::Always,
         Guard::Cmp { lhs, op, rhs } => RGuard::Cmp {
             slot: slots
                 .iter()
                 .position(|s| s.array == lhs.array && s.map == lhs.map)
-                .expect("guard ref is a slot"),
+                .ok_or_else(|| {
+                    MachineError::PlanMismatch(format!(
+                        "guard ref `{}` missing from the collected slot list",
+                        lhs.array
+                    ))
+                })?,
             op: *op,
             rhs: *rhs,
         },
@@ -200,7 +286,7 @@ pub fn run_distributed_nd_mode(
     // plan-time communication schedule (vectorized mode): enumerate each
     // ownership set once, bucket by the write target's owner
     let loop_box = &clause.iter.bounds;
-    let send_plan: SendPlan = if mode == CommMode::Vectorized {
+    let send_plan: SendPlan = if opts.mode == CommMode::Vectorized {
         let mut sp: SendPlan = (0..pmax)
             .map(|_| (0..pmax).map(|_| Vec::new()).collect())
             .collect();
@@ -226,31 +312,38 @@ pub fn run_distributed_nd_mode(
         Vec::new()
     };
 
-    // disassemble arrays
+    // disassemble arrays (two-phase so a missing array cannot leave a
+    // partial removal behind)
+    let mut taken: Vec<(String, DistArrayNd)> = Vec::with_capacity(referenced.len());
+    for name in &referenced {
+        match arrays.remove(name) {
+            Some(da) => taken.push((name.clone(), da)),
+            None => {
+                for (n, da) in taken {
+                    arrays.insert(n, da);
+                }
+                return Err(MachineError::UnknownArray(name.clone()));
+            }
+        }
+    }
     let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
         (0..pmax).map(|_| BTreeMap::new()).collect();
-    for name in &referenced {
-        let (_, parts) = arrays.remove(name).unwrap().into_parts();
+    for (name, da) in taken {
+        let (_, parts) = da.into_parts();
         for (p, part) in parts.into_iter().enumerate() {
             per_node[p].insert(name.clone(), part);
         }
     }
 
-    let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(pmax as usize);
-    let mut rxs: Vec<Receiver<Wire>> = Vec::with_capacity(pmax as usize);
+    let mut txs: Vec<Sender<Frame<Wire>>> = Vec::with_capacity(pmax as usize);
+    let mut rxs: Vec<Receiver<Frame<Wire>>> = Vec::with_capacity(pmax as usize);
     for _ in 0..pmax {
         let (tx, rx) = unbounded();
         txs.push(tx);
         rxs.push(rx);
     }
 
-    type NodeOut = (
-        i64,
-        BTreeMap<String, Vec<f64>>,
-        NodeStats,
-        Result<(), MachineError>,
-    );
-    let mut results: Vec<NodeOut> = Vec::with_capacity(pmax as usize);
+    let mut results: Vec<NodeOutcomeNd> = Vec::with_capacity(pmax as usize);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (p, locals) in per_node.into_iter().enumerate() {
@@ -262,48 +355,76 @@ pub fn run_distributed_nd_mode(
             let slots = &slots;
             let rexpr = &rexpr;
             let rguard = &rguard;
-            let lhs_name = &lhs_name;
             let send_plan = &send_plan;
             handles.push(scope.spawn(move || {
                 run_node_nd(
-                    p,
-                    locals,
-                    rx,
-                    txs,
-                    clause,
-                    slots,
-                    rexpr,
-                    rguard,
-                    decomps,
-                    dec_lhs,
-                    lhs_name,
-                    recv_timeout,
-                    mode,
+                    p, locals, rx, txs, clause, slots, rexpr, rguard, decomps, dec_lhs, &opts,
                     send_plan,
                 )
             }));
         }
         drop(txs);
-        for h in handles {
-            results.push(h.join().expect("nd node thread panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            // supervisor: an escaped panic becomes a typed error
+            results.push(h.join().unwrap_or_else(|_| {
+                (
+                    p as i64,
+                    BTreeMap::new(),
+                    Vec::new(),
+                    NodeStats::default(),
+                    Err(MachineError::NodePanicked { node: p as i64 }),
+                )
+            }));
         }
     });
     results.sort_by_key(|(p, ..)| *p);
 
+    // pick the run's error (a panic is the root cause, it wins)
+    let mut first_err: Option<MachineError> = None;
+    for (.., res) in &results {
+        if let Err(e) = res {
+            match (&first_err, e) {
+                (None, _) => first_err = Some(e.clone()),
+                (Some(MachineError::NodePanicked { .. }), _) => {}
+                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    // validate every write before committing any (all-or-nothing)
+    if first_err.is_none() {
+        'validate: for (p, locals, writes, ..) in &results {
+            let len = locals.get(&lhs_name).map_or(0, Vec::len);
+            for (off, _) in writes {
+                if *off >= len {
+                    first_err = Some(MachineError::PlanMismatch(format!(
+                        "write offset {off} outside node {p}'s local part (len {len})"
+                    )));
+                    break 'validate;
+                }
+            }
+        }
+    }
+    let commit = first_err.is_none();
+
     let mut report = ExecReport::default();
-    let mut first_err = None;
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
-    for (_, mut locals, stats, res) in results {
+    for (p, mut locals, writes, stats, _res) in results {
+        if commit {
+            if let Some(lhs_local) = locals.get_mut(&lhs_name) {
+                for (off, v) in writes {
+                    lhs_local[off] = v; // validated above
+                }
+            }
+        }
         for name in &referenced {
-            parts_by_name
-                .entry(name.clone())
-                .or_default()
-                .push(locals.remove(name).unwrap());
+            let part = locals
+                .remove(name)
+                .unwrap_or_else(|| vec![0.0; decomps[name].local_bounds(p).count() as usize]);
+            parts_by_name.entry(name.clone()).or_default().push(part);
         }
         report.nodes.push(stats);
-        if let (Err(e), None) = (res, &first_err) {
-            first_err = Some(e);
-        }
     }
     for (name, parts) in parts_by_name {
         let d = decomps[&name].clone();
@@ -321,6 +442,7 @@ enum RecvStateNd {
     Element { pending: BTreeMap<(usize, Ix), f64> },
     /// Vectorized mode: packets staged whole by `(source, run)`; each
     /// remote element resolves through the plan-expanded `origin` map.
+    /// Staging rows are indexed by source processor id directly.
     Packed {
         staging: Vec<Vec<Option<Vec<f64>>>>,
         origin: BTreeMap<(usize, Ix), (usize, usize, usize)>,
@@ -349,96 +471,178 @@ impl RecvStateNd {
         }
     }
 
-    /// Produce the remote operand for `(slot, i)`. `Ok(None)` means a
-    /// timeout; a plan inconsistency is an error message.
+    /// Produce the remote operand for `(slot, i)` owed by `owner`,
+    /// receiving (and recovering) through the transport as needed.
+    #[allow(clippy::too_many_arguments)]
     fn remote_value(
         &mut self,
-        rx: &Receiver<Wire>,
+        ep: &mut Endpoint<Wire>,
+        rx: &Receiver<Frame<Wire>>,
         slot: usize,
         i: &Ix,
-        timeout: Duration,
-    ) -> Result<Option<f64>, &'static str> {
+        owner: i64,
+        opts: &DistOptions,
+        stats: &mut NodeStats,
+    ) -> Result<f64, RecvFailNd> {
         match self {
-            RecvStateNd::Element { pending } => {
-                if let Some(v) = pending.remove(&(slot, *i)) {
-                    return Ok(Some(v));
-                }
-                loop {
-                    match rx.recv_timeout(timeout) {
-                        Ok(Wire::Elem(m)) => {
-                            if m.slot == slot && m.i == *i {
-                                return Ok(Some(m.value));
-                            }
-                            pending.insert((m.slot, m.i), m.value);
-                        }
-                        Ok(Wire::Pack { .. }) => return Err("vector packet in element mode"),
-                        Err(_) => return Ok(None),
+            RecvStateNd::Element { pending } => await_until(
+                ep,
+                rx,
+                owner,
+                opts.recv_timeout,
+                opts.retry,
+                stats,
+                pending,
+                |pending| pending.remove(&(slot, *i)).map(Ok),
+                |pending, _src, wire| match wire {
+                    Wire::Elem(m) => {
+                        pending.insert((m.slot, m.i), m.value);
+                        Ok(())
                     }
-                }
-            }
+                    Wire::Pack { .. } => Err("vector packet in element mode"),
+                },
+            )
+            .map_err(|e| match e {
+                AwaitFail::Timeout => RecvFailNd::Timeout,
+                AwaitFail::Exhausted { retries } => RecvFailNd::Exhausted {
+                    peer: owner,
+                    retries,
+                },
+                AwaitFail::BadWire(w) => RecvFailNd::BadWire(w),
+            }),
             RecvStateNd::Packed { staging, origin } => {
                 let &(src, ro, off) = origin
                     .get(&(slot, *i))
-                    .ok_or("no planned packet covers this element")?;
-                while staging[src][ro].is_none() {
-                    match rx.recv_timeout(timeout) {
-                        Ok(Wire::Pack {
-                            src: s,
-                            run_ord,
-                            values,
-                        }) => {
+                    .ok_or(RecvFailNd::BadWire("no planned packet covers this element"))?;
+                let peer = src as i64;
+                await_until(
+                    ep,
+                    rx,
+                    peer,
+                    opts.recv_timeout,
+                    opts.retry,
+                    stats,
+                    staging,
+                    |staging| {
+                        staging[src][ro].as_ref().map(|vals| {
+                            vals.get(off)
+                                .copied()
+                                .ok_or("packet shorter than its planned run")
+                        })
+                    },
+                    |staging, s, wire| match wire {
+                        Wire::Pack { run_ord, values } => {
                             let row = staging
                                 .get_mut(s as usize)
                                 .ok_or("packet from unplanned source")?;
-                            if run_ord >= row.len() {
-                                return Err("packet run tag out of range");
+                            let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
+                            if cell.is_none() {
+                                *cell = Some(values);
                             }
-                            row[run_ord] = Some(values);
+                            Ok(())
                         }
-                        Ok(Wire::Elem(_)) => return Err("element message in vectorized mode"),
-                        Err(_) => return Ok(None),
-                    }
-                }
-                Ok(Some(
-                    *staging[src][ro]
-                        .as_ref()
-                        .unwrap()
-                        .get(off)
-                        .ok_or("packet shorter than its planned run")?,
-                ))
+                        Wire::Elem(_) => Err("element message in vectorized mode"),
+                    },
+                )
+                .map_err(|e| match e {
+                    AwaitFail::Timeout => RecvFailNd::PacketTimeout { peer, run: ro },
+                    AwaitFail::Exhausted { retries } => RecvFailNd::Exhausted { peer, retries },
+                    AwaitFail::BadWire(w) => RecvFailNd::BadWire(w),
+                })
             }
         }
     }
 }
 
+/// Why an nd remote value could not be produced.
+enum RecvFailNd {
+    Timeout,
+    PacketTimeout { peer: i64, run: usize },
+    Exhausted { peer: i64, retries: u32 },
+    BadWire(&'static str),
+}
+
+/// One nd node thread: run the phases under a panic guard, then
+/// announce completion and service late retransmit requests.
 #[allow(clippy::too_many_arguments)]
 fn run_node_nd(
     p: i64,
-    mut locals: BTreeMap<String, Vec<f64>>,
-    rx: Receiver<Wire>,
-    txs: Vec<Sender<Wire>>,
+    locals: BTreeMap<String, Vec<f64>>,
+    rx: Receiver<Frame<Wire>>,
+    txs: Vec<Sender<Frame<Wire>>>,
     clause: &Clause,
     slots: &[ReadSlot],
     rexpr: &RExpr,
     rguard: &RGuard,
     decomps: &BTreeMap<String, DecompNd>,
     dec_lhs: &DecompNd,
-    lhs_name: &String,
-    recv_timeout: Duration,
-    mode: CommMode,
+    opts: &DistOptions,
     send_plan: &SendPlan,
-) -> (
-    i64,
-    BTreeMap<String, Vec<f64>>,
-    NodeStats,
-    Result<(), MachineError>,
-) {
+) -> NodeOutcomeNd {
+    let mut locals = locals;
     let mut stats = NodeStats::default();
+    let mut writes: Vec<(usize, f64)> = Vec::new();
+    let mut ep = Endpoint::new(p, txs, opts.faults);
+
+    let phases = catch_unwind(AssertUnwindSafe(|| {
+        node_phases_nd(
+            p,
+            &mut locals,
+            &rx,
+            &mut ep,
+            clause,
+            slots,
+            rexpr,
+            rguard,
+            decomps,
+            dec_lhs,
+            opts,
+            send_plan,
+            &mut stats,
+            &mut writes,
+        )
+    }));
+    let res = match phases {
+        Ok(r) => {
+            ep.announce_done();
+            ep.drain(&rx, opts.recv_timeout, &mut stats);
+            r
+        }
+        Err(_) => {
+            ep.announce_done();
+            Err(MachineError::NodePanicked { node: p })
+        }
+    };
+    if res.is_err() {
+        writes.clear();
+    }
+    (p, locals, writes, stats, res)
+}
+
+/// The send + update phases of one nd node (panics are caught by the
+/// caller's supervisor). Writes are collected for the host to commit.
+#[allow(clippy::too_many_arguments)]
+fn node_phases_nd(
+    p: i64,
+    locals: &mut BTreeMap<String, Vec<f64>>,
+    rx: &Receiver<Frame<Wire>>,
+    ep: &mut Endpoint<Wire>,
+    clause: &Clause,
+    slots: &[ReadSlot],
+    rexpr: &RExpr,
+    rguard: &RGuard,
+    decomps: &BTreeMap<String, DecompNd>,
+    dec_lhs: &DecompNd,
+    opts: &DistOptions,
+    send_plan: &SendPlan,
+    stats: &mut NodeStats,
+    writes: &mut Vec<(usize, f64)>,
+) -> Result<(), MachineError> {
     let loop_box = &clause.iter.bounds;
-    let pmax = txs.len();
+    let pmax = ep.peer_count();
 
     // ---- send phase ------------------------------------------------------
-    match mode {
+    match opts.mode {
         CommMode::Element => {
             for (slot, rs) in slots.iter().enumerate() {
                 let dec_r = &decomps[&rs.array];
@@ -453,11 +657,14 @@ fn run_node_nd(
                         stats.packets_sent += 1;
                         stats.bytes_sent += ELEM_MSG_BYTES;
                         stats.max_packet_elems = stats.max_packet_elems.max(1);
-                        let _ = txs[owner as usize].send(Wire::Elem(Msg {
-                            slot,
-                            i: *i,
-                            value: local_part[off],
-                        }));
+                        ep.send(
+                            owner as usize,
+                            Wire::Elem(Msg {
+                                slot,
+                                i: *i,
+                                value: local_part[off],
+                            }),
+                        );
                     }
                 });
             }
@@ -479,21 +686,16 @@ fn run_node_nd(
                     stats.packets_sent += 1;
                     stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
                     stats.max_packet_elems = stats.max_packet_elems.max(elems);
-                    let _ = txs[q].send(Wire::Pack {
-                        src: p,
-                        run_ord,
-                        values,
-                    });
+                    ep.send(q, Wire::Pack { run_ord, values });
                 }
             }
         }
     }
-    drop(txs);
+    ep.end_send_phase(); // flush delayed packets; crash point
 
     // ---- update phase ----------------------------------------------------
-    let mut recv = RecvStateNd::new(mode, send_plan, p, pmax);
+    let mut recv = RecvStateNd::new(opts.mode, send_plan, p, pmax);
     let mut vals = vec![0.0f64; slots.len()];
-    let mut writes: Vec<(usize, f64)> = Vec::new();
     let mut err: Option<MachineError> = None;
     let lhs_local_bounds = dec_lhs.local_bounds(p);
 
@@ -505,17 +707,18 @@ fn run_node_nd(
         for (slot, rs) in slots.iter().enumerate() {
             let dec_r = &decomps[&rs.array];
             let g = rs.map.eval(i);
-            if dec_r.proc_of(&g) == p {
+            let owner = dec_r.proc_of(&g);
+            if owner == p {
                 stats.local_reads += 1;
                 let off = dec_r.local_bounds(p).linear_offset(&dec_r.local_of(&g));
                 vals[slot] = locals[&rs.array][off];
             } else {
-                vals[slot] = match recv.remote_value(&rx, slot, i, recv_timeout) {
-                    Ok(Some(v)) => {
+                vals[slot] = match recv.remote_value(ep, rx, slot, i, owner, opts, stats) {
+                    Ok(v) => {
                         stats.msgs_received += 1;
                         v
                     }
-                    Ok(None) => {
+                    Err(RecvFailNd::Timeout) => {
                         err = Some(MachineError::MissingMessage {
                             node: p,
                             array: rs.array.clone(),
@@ -523,7 +726,24 @@ fn run_node_nd(
                         });
                         return;
                     }
-                    Err(why) => {
+                    Err(RecvFailNd::PacketTimeout { peer, run }) => {
+                        err = Some(MachineError::MissingPacket {
+                            node: p,
+                            peer,
+                            slot,
+                            run,
+                        });
+                        return;
+                    }
+                    Err(RecvFailNd::Exhausted { peer, retries }) => {
+                        err = Some(MachineError::Unrecoverable {
+                            node: p,
+                            peer,
+                            retries,
+                        });
+                        return;
+                    }
+                    Err(RecvFailNd::BadWire(why)) => {
                         err = Some(MachineError::PlanMismatch(format!(
                             "node {p}, array `{}`: {why}",
                             rs.array
@@ -545,18 +765,14 @@ fn run_node_nd(
         }
     });
 
-    if err.is_none() {
-        let lhs_local = locals.get_mut(lhs_name).unwrap();
-        for (off, v) in writes {
-            lhs_local[off] = v;
-        }
-    }
-    (p, locals, stats, err.map_or(Ok(()), Err))
+    err.map_or(Ok(()), Err)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::FaultPlan;
+    use crate::transport::RetryPolicy;
     use vcal_core::func::Fn1;
     use vcal_core::{Array, ArrayRef, Bounds, Env, IndexSet};
     use vcal_decomp::Decomp1;
@@ -753,6 +969,91 @@ mod tests {
         assert_eq!(elem.packets_sent, elem.msgs_sent);
         assert!(vect.packets_sent < vect.msgs_sent);
         assert!(vect.max_packet_elems > 1);
+    }
+
+    #[test]
+    fn faulty_transpose_recovers_bit_exact() {
+        // a noisy seeded link on the all-to-all transpose still converges
+        let n = 12i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("B", IndexMap::permutation(2, &[1, 0])),
+            rhs: Expr::Ref(ArrayRef::new("A", IndexMap::identity(2))),
+        };
+        let mut env = Env::new();
+        env.insert(
+            "A",
+            Array::from_fn(Bounds::range2(0, n - 1, 0, n - 1), |i| {
+                (i[0] * 100 + i[1]) as f64
+            }),
+        );
+        env.insert("B", Array::zeros(Bounds::range2(0, n - 1, 0, n - 1)));
+        let mut reference = env.clone();
+        reference.exec_clause(&clause);
+        let mut decs = BTreeMap::new();
+        decs.insert("A".to_string(), grid(2, 2, n, n));
+        decs.insert(
+            "B".to_string(),
+            DecompNd::new(vec![
+                Decomp1::scatter(2, Bounds::range(0, n - 1)),
+                Decomp1::block(2, Bounds::range(0, n - 1)),
+            ]),
+        );
+        for mode in [CommMode::Element, CommMode::Vectorized] {
+            let mut arrays: BTreeMap<String, DistArrayNd> = BTreeMap::new();
+            for (name, d) in &decs {
+                arrays.insert(
+                    name.clone(),
+                    DistArrayNd::scatter_from(env.get(name).unwrap(), d.clone()),
+                );
+            }
+            let opts = DistOptions {
+                recv_timeout: Duration::from_secs(5),
+                faults: Some(
+                    FaultPlan::seeded(42)
+                        .with_drop(0.1)
+                        .with_duplicate(0.1)
+                        .with_reorder(0.1),
+                ),
+                mode,
+                retry: RetryPolicy::fast(),
+            };
+            let report = run_distributed_nd_opts(&clause, &mut arrays, opts)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert_eq!(
+                arrays["B"]
+                    .gather()
+                    .max_abs_diff(reference.get("B").unwrap()),
+                0.0,
+                "{mode:?}"
+            );
+            assert!(report.total().acks_sent > 0);
+        }
+    }
+
+    #[test]
+    fn nd_crash_fault_is_typed_error() {
+        let n = 12i64;
+        let clause = Clause {
+            iter: IndexSet::full(Bounds::range2(0, n - 1, 0, n - 1)),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::new("B", IndexMap::permutation(2, &[1, 0])),
+            rhs: Expr::Ref(ArrayRef::new("A", IndexMap::identity(2))),
+        };
+        let mut arrays: BTreeMap<String, DistArrayNd> = BTreeMap::new();
+        arrays.insert("A".to_string(), DistArrayNd::zeros(grid(2, 2, n, n)));
+        arrays.insert("B".to_string(), DistArrayNd::zeros(grid(2, 2, n, n)));
+        let opts = DistOptions {
+            recv_timeout: Duration::from_millis(500),
+            faults: Some(FaultPlan::seeded(1).with_crash(3, 0)),
+            retry: RetryPolicy::fast(),
+            ..DistOptions::default()
+        };
+        let err = run_distributed_nd_opts(&clause, &mut arrays, opts).unwrap_err();
+        assert_eq!(err, MachineError::NodePanicked { node: 3 });
     }
 
     #[test]

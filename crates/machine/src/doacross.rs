@@ -86,7 +86,11 @@ pub fn run_doacross(
             "clause is not a forward recurrence A[i] := Expr(A[i-d], ...)".into(),
         )
     })?;
-    let max_d = *dists.last().unwrap();
+    let Some(&max_d) = dists.last() else {
+        return Err(MachineError::PlanMismatch(
+            "recurrence has no carried distances".into(),
+        ));
+    };
 
     let rec_name = clause.lhs.array.clone();
     let rec = arrays
@@ -139,8 +143,7 @@ pub fn run_doacross(
     let mut decomps: BTreeMap<String, Decomp1> = BTreeMap::new();
     let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
         (0..pmax).map(|_| BTreeMap::new()).collect();
-    for name in &names {
-        let da = arrays.remove(name).unwrap();
+    for (name, da) in std::mem::take(arrays) {
         decomps.insert(name.clone(), da.decomp().clone());
         let (_, parts) = da.into_parts();
         for (p, part) in parts.into_iter().enumerate() {
@@ -224,7 +227,9 @@ pub fn run_doacross(
                     if guard_ok {
                         let v = eval_local(&clause.rhs, i, p, &locals, decomps, rec_name, &halo);
                         let off = dec.local_of(i) as usize;
-                        locals.get_mut(rec_name).unwrap()[off] = v;
+                        if let Some(rec) = locals.get_mut(rec_name) {
+                            rec[off] = v;
+                        }
                     }
                     // forward boundary values the successor will need:
                     // successor's first max_d iterations read back to
@@ -249,12 +254,12 @@ pub fn run_doacross(
 
     let mut report = ExecReport::default();
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
-    for (_, mut locals, stats) in results {
+    for (p, mut locals, stats) in results {
         for name in &names {
-            parts_by_name
-                .entry(name.clone())
-                .or_default()
-                .push(locals.remove(name).unwrap());
+            let part = locals
+                .remove(name)
+                .unwrap_or_else(|| vec![0.0; decomps[name].local_count(p).max(0) as usize]);
+            parts_by_name.entry(name.clone()).or_default().push(part);
         }
         report.nodes.push(stats);
     }

@@ -21,6 +21,36 @@ pub enum MachineError {
         /// The loop index whose operand was missing.
         index: i64,
     },
+    /// The distributed machine timed out waiting for a planned packet
+    /// in vectorized mode — the lost unit is a whole run, so the
+    /// diagnosis matches the wire protocol: which peer owed which run
+    /// of which read slot.
+    MissingPacket {
+        /// The waiting processor.
+        node: i64,
+        /// The processor that owed the packet.
+        peer: i64,
+        /// The read slot the run belongs to.
+        slot: usize,
+        /// The run ordinal in the `(peer, node)` pair's run list.
+        run: usize,
+    },
+    /// The NACK/retransmit budget was exhausted without recovering the
+    /// missing data — the fault is not transient.
+    Unrecoverable {
+        /// The waiting processor.
+        node: i64,
+        /// The peer that never delivered.
+        peer: i64,
+        /// Retransmit requests sent before giving up.
+        retries: u32,
+    },
+    /// A node thread panicked; the supervisor caught it, quiesced the
+    /// remaining nodes, and restored the array state.
+    NodePanicked {
+        /// The processor whose thread panicked.
+        node: i64,
+    },
     /// The plan and the supplied arrays disagree (extent or processor
     /// count mismatch).
     PlanMismatch(String),
@@ -36,6 +66,30 @@ impl fmt::Display for MachineError {
             MachineError::MissingMessage { node, array, index } => write!(
                 f,
                 "node {node} timed out waiting for {array}[g({index})] — message lost"
+            ),
+            MachineError::MissingPacket {
+                node,
+                peer,
+                slot,
+                run,
+            } => write!(
+                f,
+                "node {node} timed out waiting for packet (peer {peer}, slot {slot}, run {run}) \
+                 — packet lost"
+            ),
+            MachineError::Unrecoverable {
+                node,
+                peer,
+                retries,
+            } => write!(
+                f,
+                "node {node} gave up on peer {peer} after {retries} retransmit requests \
+                 — fault is not transient"
+            ),
+            MachineError::NodePanicked { node } => write!(
+                f,
+                "node {node} panicked during execution; remaining nodes quiesced, \
+                 array state restored"
             ),
             MachineError::PlanMismatch(m) => write!(f, "plan/array mismatch: {m}"),
         }

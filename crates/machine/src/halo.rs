@@ -147,6 +147,22 @@ pub fn run_halo_sweep(
         }
     }
 
+    // resolve the guard once so the sweep loop has no fallible lookups
+    let hguard = match &clause.guard {
+        Guard::Always => None,
+        Guard::Cmp { lhs: gref, op, rhs } => {
+            let gfn = gref
+                .map
+                .as_fn1()
+                .ok_or_else(|| MachineError::PlanMismatch("1-D accesses only".into()))?
+                .clone();
+            let src = reads
+                .get(&gref.array)
+                .ok_or_else(|| MachineError::UnknownArray(gref.array.clone()))?;
+            Some((src, gfn, *op, *rhs))
+        }
+    };
+
     for p in 0..pmax {
         let mut stats = NodeStats::default();
         let Some((olo, ohi)) = lhs.decomp.owned_range(p) else {
@@ -156,13 +172,11 @@ pub fn run_halo_sweep(
         let mut writes: Vec<(i64, f64)> = Vec::new();
         for i in olo.max(imin)..=ohi.min(imax) {
             stats.iterations += 1;
-            let guard_ok = match &clause.guard {
-                Guard::Always => true,
-                Guard::Cmp { lhs: gref, op, rhs } => {
-                    let src = &reads[&gref.array];
-                    let g = gref.map.as_fn1().unwrap().eval(i);
+            let guard_ok = match &hguard {
+                None => true,
+                Some((src, gfn, op, rhs)) => {
                     stats.local_reads += 1;
-                    op.holds(src.read(p, g), *rhs)
+                    op.holds(src.read(p, gfn.eval(i)), *rhs)
                 }
             };
             if guard_ok {

@@ -18,6 +18,8 @@
 //! All machines are verified to produce bit-identical results to the
 //! [`vcal_core::Env::exec_clause`] reference semantics.
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod darray;
 pub mod darray_nd;
@@ -35,16 +37,17 @@ pub mod shared;
 pub mod shared_nd;
 pub mod stats;
 pub mod topology;
+pub mod transport;
 
 pub use darray::DistArray;
 pub use darray_nd::DistArrayNd;
 pub use distributed::{run_distributed, CommMode, DistOptions, FaultInjection};
-pub use distributed_nd::{run_distributed_nd, run_distributed_nd_mode};
+pub use distributed_nd::{run_distributed_nd, run_distributed_nd_mode, run_distributed_nd_opts};
 pub use doacross::{carried_distances, run_doacross};
 pub use error::MachineError;
 pub use halo::{exchange_ghosts, run_halo_sweep, HaloArray};
 pub use perfmodel::{PerfModel, SimTime};
-pub use redistribute::run_redistribution;
+pub use redistribute::{run_redistribution, run_redistribution_opts};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
 pub use session::DistSession;
@@ -52,3 +55,4 @@ pub use shared::{run_shared, WriteStrategy};
 pub use shared_nd::run_shared_nd;
 pub use stats::{ExecReport, NodeStats};
 pub use topology::{price_traffic, Topology, TrafficCost};
+pub use transport::{CrashFault, FaultPlan, RetryPolicy};

@@ -106,7 +106,9 @@ pub fn run_reduce_distributed(
             }
         }
     }
-    let dec = dec.unwrap().clone();
+    let dec = dec
+        .ok_or_else(|| MachineError::PlanMismatch("reduction reads no arrays".into()))?
+        .clone();
     let pmax = dec.pmax();
 
     // 1. local fold per node

@@ -5,7 +5,7 @@
 use crate::darray::DistArray;
 use crate::distributed::{run_distributed, DistOptions};
 use crate::error::MachineError;
-use crate::redistribute::run_redistribution;
+use crate::redistribute::run_redistribution_opts;
 use crate::stats::ExecReport;
 use std::collections::BTreeMap;
 use vcal_core::{Array, Clause, Env};
@@ -86,7 +86,8 @@ impl DistSession {
             .get(name)
             .ok_or_else(|| MachineError::UnknownArray(name.to_string()))?;
         let plan = RedistPlan::build(current.decomp(), &to);
-        let (new_array, report) = run_redistribution(&plan, current)?;
+        // redistribution inherits the session's fault/retry options
+        let (new_array, report) = run_redistribution_opts(&plan, current, self.opts)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
         Ok(report)

@@ -26,6 +26,17 @@ pub struct NodeStats {
     pub bytes_sent: u64,
     /// Largest element count carried by a single wire message.
     pub max_packet_elems: u64,
+    /// Packets this node re-sent in answer to NACKs (reliability
+    /// traffic; not counted in `packets_sent`/`bytes_sent`).
+    pub retransmits: u64,
+    /// Duplicate packets suppressed by receive-side sequence tracking.
+    pub dups_dropped: u64,
+    /// Packets discarded for a checksum mismatch (treated as losses).
+    pub corrupt_detected: u64,
+    /// Cumulative acknowledgements sent for accepted packets.
+    pub acks_sent: u64,
+    /// Retransmit requests sent while waiting on an owed value.
+    pub nacks_sent: u64,
 }
 
 impl AddAssign for NodeStats {
@@ -39,6 +50,11 @@ impl AddAssign for NodeStats {
         self.packets_sent += o.packets_sent;
         self.bytes_sent += o.bytes_sent;
         self.max_packet_elems = self.max_packet_elems.max(o.max_packet_elems);
+        self.retransmits += o.retransmits;
+        self.dups_dropped += o.dups_dropped;
+        self.corrupt_detected += o.corrupt_detected;
+        self.acks_sent += o.acks_sent;
+        self.nacks_sent += o.nacks_sent;
     }
 }
 

@@ -1,0 +1,910 @@
+//! Reliable transport layer under the distributed machines.
+//!
+//! The Section 2.10 template assumes a lossless network: every
+//! `Reside_p ∩ Modify_q` element arrives exactly once, so the executors
+//! historically treated any lost message as fatal. This module replaces
+//! the bare channels with a small reliability protocol so that runs
+//! survive realistic transient faults and degrade into *typed errors*
+//! (never hangs, never host aborts) when a fault is permanent:
+//!
+//! * every data payload travels as a [`Packet`]: per-flow **sequence
+//!   number** (one flow per ordered `(src, dst)` node pair) plus an
+//!   FNV-1a **checksum** over the header and payload;
+//! * the receiver keeps per-source cumulative state: duplicates are
+//!   suppressed (`dups_dropped`), out-of-order arrivals are tolerated
+//!   (accepted into a `seen-ahead` window), and checksum mismatches are
+//!   counted (`corrupt_detected`) and treated as losses;
+//! * every accepted packet is acknowledged (cumulative [`Frame::Ack`],
+//!   `acks_sent`) so the sender can prune its retransmit buffer;
+//! * a receiver that is owed a value and does not get it within
+//!   [`RetryPolicy::nack_timeout`] sends a [`Frame::Nack`] carrying its
+//!   cumulative `next_needed` sequence number; the sender answers by
+//!   retransmitting every retained packet from that number on
+//!   (go-back-N flavoured, `retransmits`). NACKs back off
+//!   exponentially up to [`RetryPolicy::backoff_cap`] and give up after
+//!   [`RetryPolicy::max_retries`] attempts;
+//! * when a node finishes (or fails) it broadcasts [`Frame::Done`] and
+//!   *drains*: it keeps servicing NACKs until every peer has announced
+//!   completion (or a timeout cap expires), so late retransmit requests
+//!   are still answered. A panicked node announces `Done` — the analog
+//!   of a TCP reset — but services nothing further.
+//!
+//! Control frames (ack/nack/done) are modeled as reliable; the fault
+//! plan applies to the data plane only. Retransmissions pass through
+//! the drop/corrupt faults again, so a *persistent* fault exhausts the
+//! retry budget and surfaces as `MachineError::Unrecoverable`.
+//!
+//! Faults are injected deterministically by a seed-driven [`FaultPlan`]:
+//! each node derives an independent SplitMix64 stream from
+//! `seed ⊕ node`, and classifies every outgoing data packet as one of
+//! drop / duplicate / reorder / corrupt / delay (or none). Reordered
+//! packets are held back one send slot; delayed packets are held until
+//! the end of the node's send phase. A [`CrashFault`] panics the node
+//! thread mid-send-phase — the supervisor in the machines catches it
+//! and reports `MachineError::NodePanicked`.
+
+use crate::stats::NodeStats;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// A payload type that can travel as a checksummed packet.
+pub(crate) trait WirePayload: Clone {
+    /// Fold the payload into a 64-bit digest (checksum input).
+    fn digest(&self) -> u64;
+    /// Flip payload bits (fault injection); must change [`digest`]
+    /// whenever the payload carries at least one value.
+    ///
+    /// [`digest`]: WirePayload::digest
+    fn corrupt(&mut self, bits: u64);
+}
+
+/// SplitMix64 step — the deterministic stream behind fault draws.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a raw draw to a uniform f64 in `[0, 1)`.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a over a word sequence — the packet checksum.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Checksum of one packet: header (source, sequence) plus payload digest.
+fn packet_digest<T: WirePayload>(src: i64, seq: u64, payload: &T) -> u64 {
+    fnv1a([src as u64, seq, payload.digest()])
+}
+
+/// A sequence-numbered, checksummed wire packet.
+#[derive(Debug, Clone)]
+pub(crate) struct Packet<T> {
+    /// Sending node.
+    pub src: i64,
+    /// Position in the `(src, dst)` flow, starting at 0.
+    pub seq: u64,
+    /// [`packet_digest`] over header + payload, computed at send time.
+    pub check: u64,
+    /// The machine-level message.
+    pub payload: T,
+}
+
+/// Everything that travels on a node channel.
+#[derive(Debug, Clone)]
+pub(crate) enum Frame<T> {
+    /// A data packet.
+    Data(Packet<T>),
+    /// Cumulative acknowledgement: `from` has every packet with
+    /// `seq < next_needed` on this flow.
+    Ack { from: i64, next_needed: u64 },
+    /// Retransmit request: `from` is missing packets from
+    /// `next_needed` on; resend everything retained from there.
+    Nack { from: i64, next_needed: u64 },
+    /// `from` has finished its run (successfully or not) and will
+    /// never send another NACK.
+    Done { from: i64 },
+}
+
+/// A node crash injected at a deterministic point of the send phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The node that crashes.
+    pub node: i64,
+    /// Crash fires at the first wire send once the node has already put
+    /// this many data packets on the wire — or at the end of its send
+    /// phase if it never sends that many.
+    pub after_packets: u64,
+}
+
+/// Deterministic, seed-driven fault plan for the data plane.
+///
+/// Every outgoing data packet of node `p` is classified by `p`'s own
+/// SplitMix64 stream (derived from `seed` and `p`, so plans are
+/// reproducible and independent of thread scheduling) as dropped,
+/// duplicated, reordered, corrupted, delayed, or delivered normally.
+/// Rates are per-packet probabilities; their sum should stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-node fault streams.
+    pub seed: u64,
+    /// Probability a packet is silently dropped.
+    pub drop: f64,
+    /// Probability a packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability a packet is swapped with the node's next send.
+    pub reorder: f64,
+    /// Probability a payload bit is flipped in flight (the checksum
+    /// still reflects the original payload, so the receiver detects it).
+    pub corrupt: f64,
+    /// Probability a packet is held back until the end of the node's
+    /// send phase.
+    pub delay: f64,
+    /// Restrict the random faults to packets sent *by* this node.
+    pub from_only: Option<i64>,
+    /// Deterministically drop the `n`-th (0-based, first transmissions
+    /// only) data packet of one node: `(node, n)`. The compat shim for
+    /// the old `FaultInjection { drop_from, drop_nth }`.
+    pub drop_exact: Option<(i64, u64)>,
+    /// Crash one node mid-run.
+    pub crash: Option<CrashFault>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults — combine with the
+    /// `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            from_only: None,
+            drop_exact: None,
+            crash: None,
+        }
+    }
+
+    /// Set the per-packet drop probability.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop = p;
+        self
+    }
+
+    /// Set the per-packet duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        self.duplicate = p;
+        self
+    }
+
+    /// Set the per-packet reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> FaultPlan {
+        self.reorder = p;
+        self
+    }
+
+    /// Set the per-packet corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> FaultPlan {
+        self.corrupt = p;
+        self
+    }
+
+    /// Set the per-packet delay probability.
+    pub fn with_delay(mut self, p: f64) -> FaultPlan {
+        self.delay = p;
+        self
+    }
+
+    /// Restrict the random faults to one sending node.
+    pub fn with_from_only(mut self, node: i64) -> FaultPlan {
+        self.from_only = Some(node);
+        self
+    }
+
+    /// Crash `node` once it has put `after_packets` packets on the wire
+    /// (or at the end of its send phase, whichever comes first).
+    pub fn with_crash(mut self, node: i64, after_packets: u64) -> FaultPlan {
+        self.crash = Some(CrashFault {
+            node,
+            after_packets,
+        });
+        self
+    }
+
+    /// Compat constructor reproducing the old `FaultInjection`
+    /// semantics: drop exactly the `nth` (0-based send order) data
+    /// packet of `from`, once. With retries enabled this is a transient
+    /// fault the transport recovers from; with [`RetryPolicy::none`] it
+    /// reproduces the legacy `MissingMessage` / `MissingPacket` error.
+    pub fn drop_nth(from: i64, nth: u64) -> FaultPlan {
+        let mut p = FaultPlan::seeded(0);
+        p.drop_exact = Some((from, nth));
+        p
+    }
+}
+
+/// How hard a receiver tries to recover a missing packet before giving
+/// up with `MachineError::Unrecoverable`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum NACKs sent per awaited value. `0` disables recovery and
+    /// restores the legacy wait-full-timeout-then-fail behavior.
+    pub max_retries: u32,
+    /// How long a receiver waits for an owed value before its first
+    /// NACK; subsequent NACKs back off exponentially.
+    pub nack_timeout: Duration,
+    /// Upper bound of the exponential backoff between NACKs.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            nack_timeout: Duration::from_millis(40),
+            backoff_cap: Duration::from_millis(320),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Disable recovery: timeouts surface immediately as the legacy
+    /// missing-message errors after the full receive timeout.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A fast policy for tests: short NACK timeout, small cap.
+    pub fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 6,
+            nack_timeout: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+        }
+    }
+}
+
+/// What a packet classification decided.
+enum FaultKind {
+    Clean,
+    Drop,
+    Duplicate,
+    Reorder,
+    Corrupt,
+    Delay,
+}
+
+/// Per-node fault stream state.
+struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    /// First transmissions attempted so far by this node.
+    sent: u64,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, p: i64) -> FaultState {
+        // decorrelate node streams without losing determinism
+        let mut s = plan.seed ^ (p as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let _ = splitmix64(&mut s);
+        FaultState {
+            plan,
+            rng: s,
+            sent: 0,
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        splitmix64(&mut self.rng)
+    }
+
+    /// Classify the next first-transmission packet of node `p`;
+    /// panics when the crash fault fires here.
+    fn classify(&mut self, p: i64) -> FaultKind {
+        if let Some(c) = self.plan.crash {
+            if c.node == p && self.sent >= c.after_packets {
+                panic!("injected node crash (node {p})");
+            }
+        }
+        let n = self.sent;
+        self.sent += 1;
+        if self.plan.drop_exact == Some((p, n)) {
+            return FaultKind::Drop;
+        }
+        if self.plan.from_only.is_some_and(|f| f != p) {
+            return FaultKind::Clean;
+        }
+        let u = unit_f64(self.draw());
+        let mut acc = self.plan.drop;
+        if u < acc {
+            return FaultKind::Drop;
+        }
+        acc += self.plan.duplicate;
+        if u < acc {
+            return FaultKind::Duplicate;
+        }
+        acc += self.plan.reorder;
+        if u < acc {
+            return FaultKind::Reorder;
+        }
+        acc += self.plan.corrupt;
+        if u < acc {
+            return FaultKind::Corrupt;
+        }
+        acc += self.plan.delay;
+        if u < acc {
+            return FaultKind::Delay;
+        }
+        FaultKind::Clean
+    }
+
+    /// Classify a retransmission: only drop/corrupt apply (so a
+    /// persistent fault keeps biting, but retransmits are never
+    /// reordered or held back).
+    fn classify_retransmit(&mut self, p: i64) -> FaultKind {
+        if self.plan.from_only.is_some_and(|f| f != p) {
+            return FaultKind::Clean;
+        }
+        let u = unit_f64(self.draw());
+        if u < self.plan.drop {
+            FaultKind::Drop
+        } else if u < self.plan.drop + self.plan.corrupt {
+            FaultKind::Corrupt
+        } else {
+            FaultKind::Clean
+        }
+    }
+
+    /// Crash point at the end of the send phase: guarantees a
+    /// configured crash fires even if the node sent too few packets to
+    /// reach its `after_packets` threshold.
+    fn crash_at_phase_end(&self, p: i64) {
+        if let Some(c) = self.plan.crash {
+            if c.node == p {
+                panic!("injected node crash (node {p}, end of send phase)");
+            }
+        }
+    }
+}
+
+/// A packet held back by a reorder/delay fault.
+struct Stashed<T> {
+    dst: usize,
+    pkt: Packet<T>,
+    /// How many more sends to wait before flushing; `None` = hold
+    /// until the end of the send phase.
+    countdown: Option<u32>,
+}
+
+/// What one serviced frame produced.
+pub(crate) enum Step<T> {
+    /// A fresh (never-seen, checksum-valid) data payload from `src` —
+    /// the machine must stage it.
+    Fresh { src: i64, payload: T },
+    /// A control frame, duplicate, or corrupt packet — handled
+    /// internally.
+    Handled,
+    /// Nothing arrived within the poll slice.
+    TimedOut,
+}
+
+/// Why an awaited value could not be produced.
+pub(crate) enum AwaitFail {
+    /// Recovery disabled (`max_retries == 0`) and the receive timeout
+    /// expired — the legacy failure mode.
+    Timeout,
+    /// The NACK/retransmit budget was exhausted.
+    Exhausted {
+        /// NACKs sent before giving up.
+        retries: u32,
+    },
+    /// The wire carried something the mode/plan does not account for.
+    BadWire(&'static str),
+}
+
+/// One node's endpoint of the reliable transport: sender-side flows
+/// (sequence numbers + retransmit buffers, one per destination),
+/// receiver-side flows (cumulative dedup + reorder windows, one per
+/// source), fault injection, and the completion map.
+pub(crate) struct Endpoint<T: WirePayload> {
+    p: i64,
+    txs: Vec<Sender<Frame<T>>>,
+    next_seq: Vec<u64>,
+    retained: Vec<VecDeque<Packet<T>>>,
+    recv_next: Vec<u64>,
+    recv_ahead: Vec<BTreeSet<u64>>,
+    done: Vec<bool>,
+    stash: Vec<Stashed<T>>,
+    faults: Option<FaultState>,
+}
+
+impl<T: WirePayload> Endpoint<T> {
+    /// Build the endpoint of node `p` over the per-node senders.
+    pub(crate) fn new(
+        p: i64,
+        txs: Vec<Sender<Frame<T>>>,
+        faults: Option<FaultPlan>,
+    ) -> Endpoint<T> {
+        let n = txs.len();
+        let mut done = vec![false; n];
+        if let Some(d) = done.get_mut(p as usize) {
+            *d = true; // a node never waits on itself
+        }
+        Endpoint {
+            p,
+            txs,
+            next_seq: vec![0; n],
+            retained: (0..n).map(|_| VecDeque::new()).collect(),
+            recv_next: vec![0; n],
+            recv_ahead: (0..n).map(|_| BTreeSet::new()).collect(),
+            done,
+            stash: Vec::new(),
+            faults: faults.map(|f| FaultState::new(f, p)),
+        }
+    }
+
+    /// Number of nodes on the interconnect (including this one).
+    pub(crate) fn peer_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn transmit(&self, dst: usize, pkt: Packet<T>) {
+        if let Some(tx) = self.txs.get(dst) {
+            let _ = tx.send(Frame::Data(pkt));
+        }
+    }
+
+    /// Send one payload to `dst` through the fault plan: assign the
+    /// flow sequence number, checksum, retain a clean copy for
+    /// retransmission, and deliver (or drop / duplicate / corrupt /
+    /// hold back) according to the node's fault stream.
+    pub(crate) fn send(&mut self, dst: usize, payload: T) {
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        let check = packet_digest(self.p, seq, &payload);
+        let pkt = Packet {
+            src: self.p,
+            seq,
+            check,
+            payload,
+        };
+        self.retained[dst].push_back(pkt.clone());
+        let kind = match &mut self.faults {
+            None => FaultKind::Clean,
+            Some(fs) => fs.classify(self.p),
+        };
+        let mut stash_current = None;
+        match kind {
+            FaultKind::Clean => self.transmit(dst, pkt),
+            FaultKind::Drop => {}
+            FaultKind::Duplicate => {
+                self.transmit(dst, pkt.clone());
+                self.transmit(dst, pkt);
+            }
+            FaultKind::Corrupt => {
+                let bits = match &mut self.faults {
+                    Some(fs) => fs.draw(),
+                    None => 0,
+                };
+                let mut c = pkt;
+                c.payload.corrupt(bits); // checksum keeps the clean digest
+                self.transmit(dst, c);
+            }
+            FaultKind::Reorder => {
+                stash_current = Some(Stashed {
+                    dst,
+                    pkt,
+                    countdown: Some(1),
+                });
+            }
+            FaultKind::Delay => {
+                stash_current = Some(Stashed {
+                    dst,
+                    pkt,
+                    countdown: None,
+                });
+            }
+        }
+        // age packets stashed by earlier sends; flush the expired ones
+        // *after* this send so a reordered packet really swaps places
+        let mut flushed = Vec::new();
+        self.stash.retain_mut(|s| match &mut s.countdown {
+            Some(c) => {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    flushed.push((s.dst, s.pkt.clone()));
+                    false
+                } else {
+                    true
+                }
+            }
+            None => true,
+        });
+        for (d, pk) in flushed {
+            self.transmit(d, pk);
+        }
+        if let Some(s) = stash_current {
+            self.stash.push(s);
+        }
+    }
+
+    /// End of the send phase: fire a pending crash fault, then flush
+    /// every held-back (delayed/reordered) packet.
+    pub(crate) fn end_send_phase(&mut self) {
+        if let Some(fs) = &self.faults {
+            fs.crash_at_phase_end(self.p);
+        }
+        let stash = std::mem::take(&mut self.stash);
+        for s in stash {
+            self.transmit(s.dst, s.pkt);
+        }
+    }
+
+    fn ack(&mut self, src: usize, stats: &mut NodeStats) {
+        if let Some(tx) = self.txs.get(src) {
+            let _ = tx.send(Frame::Ack {
+                from: self.p,
+                next_needed: self.recv_next[src],
+            });
+            stats.acks_sent += 1;
+        }
+    }
+
+    /// Ask `peer` to retransmit everything this node has not yet seen.
+    pub(crate) fn nack(&mut self, peer: i64, stats: &mut NodeStats) {
+        let q = peer as usize;
+        if let (Some(tx), Some(&next)) = (self.txs.get(q), self.recv_next.get(q)) {
+            let _ = tx.send(Frame::Nack {
+                from: self.p,
+                next_needed: next,
+            });
+            stats.nacks_sent += 1;
+        }
+    }
+
+    /// Service one frame: stage-worthy data is returned, control
+    /// frames (ack pruning, NACK-driven retransmission, completion) are
+    /// handled internally.
+    fn service(&mut self, frame: Frame<T>, stats: &mut NodeStats) -> Step<T> {
+        match frame {
+            Frame::Data(pkt) => {
+                let src = pkt.src as usize;
+                if src >= self.recv_next.len() {
+                    return Step::Handled; // stray source id
+                }
+                if packet_digest(pkt.src, pkt.seq, &pkt.payload) != pkt.check {
+                    stats.corrupt_detected += 1;
+                    return Step::Handled; // treated as a loss; NACK recovers
+                }
+                if pkt.seq < self.recv_next[src] || self.recv_ahead[src].contains(&pkt.seq) {
+                    stats.dups_dropped += 1;
+                    self.ack(src, stats); // re-ack so the sender prunes
+                    return Step::Handled;
+                }
+                self.recv_ahead[src].insert(pkt.seq);
+                while self.recv_ahead[src].remove(&self.recv_next[src]) {
+                    self.recv_next[src] += 1;
+                }
+                self.ack(src, stats);
+                Step::Fresh {
+                    src: pkt.src,
+                    payload: pkt.payload,
+                }
+            }
+            Frame::Ack { from, next_needed } => {
+                if let Some(buf) = self.retained.get_mut(from as usize) {
+                    while buf.front().is_some_and(|pk| pk.seq < next_needed) {
+                        buf.pop_front();
+                    }
+                }
+                Step::Handled
+            }
+            Frame::Nack { from, next_needed } => {
+                let q = from as usize;
+                if q >= self.retained.len() {
+                    return Step::Handled;
+                }
+                let resend: Vec<Packet<T>> = self.retained[q]
+                    .iter()
+                    .filter(|pk| pk.seq >= next_needed)
+                    .cloned()
+                    .collect();
+                for mut pk in resend {
+                    let kind = match &mut self.faults {
+                        None => FaultKind::Clean,
+                        Some(fs) => fs.classify_retransmit(self.p),
+                    };
+                    stats.retransmits += 1;
+                    match kind {
+                        FaultKind::Drop => {}
+                        FaultKind::Corrupt => {
+                            let bits = match &mut self.faults {
+                                Some(fs) => fs.draw(),
+                                None => 0,
+                            };
+                            pk.payload.corrupt(bits);
+                            self.transmit(q, pk);
+                        }
+                        _ => self.transmit(q, pk),
+                    }
+                }
+                Step::Handled
+            }
+            Frame::Done { from } => {
+                if let Some(d) = self.done.get_mut(from as usize) {
+                    *d = true;
+                }
+                Step::Handled
+            }
+        }
+    }
+
+    /// Wait up to `slice` for one frame and service it.
+    pub(crate) fn poll(
+        &mut self,
+        rx: &Receiver<Frame<T>>,
+        slice: Duration,
+        stats: &mut NodeStats,
+    ) -> Step<T> {
+        match rx.recv_timeout(slice) {
+            Ok(frame) => self.service(frame, stats),
+            Err(RecvTimeoutError::Timeout) => Step::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => {
+                // all senders gone — sleep out the slice instead of
+                // spinning, then let the caller's deadline logic decide
+                std::thread::sleep(slice);
+                Step::TimedOut
+            }
+        }
+    }
+
+    /// Broadcast that this node will never NACK again.
+    pub(crate) fn announce_done(&mut self) {
+        for (q, tx) in self.txs.iter().enumerate() {
+            if q != self.p as usize {
+                let _ = tx.send(Frame::Done { from: self.p });
+            }
+        }
+    }
+
+    /// Keep servicing retransmit requests until every peer has
+    /// announced completion or `cap` expires. Fresh data arriving here
+    /// is acknowledged and discarded (stale retransmissions after this
+    /// node already finished its update phase).
+    pub(crate) fn drain(&mut self, rx: &Receiver<Frame<T>>, cap: Duration, stats: &mut NodeStats) {
+        let deadline = Instant::now() + cap;
+        while !self.done.iter().all(|d| *d) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let slice = deadline
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(25));
+            let _ = self.poll(rx, slice, stats);
+        }
+    }
+}
+
+/// Receive until `ready` produces a value, staging every fresh payload
+/// via `stage`, NACKing `peer` per the retry policy while waiting.
+///
+/// `ready` and `stage` both operate on the caller's staging state
+/// `ctx` (passed explicitly so the two closures can share it without
+/// conflicting borrows). `ready` returning `Some(Err(why))` reports a
+/// plan inconsistency discovered on the staged data.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn await_until<T: WirePayload, C, R>(
+    ep: &mut Endpoint<T>,
+    rx: &Receiver<Frame<T>>,
+    peer: i64,
+    recv_timeout: Duration,
+    retry: RetryPolicy,
+    stats: &mut NodeStats,
+    ctx: &mut C,
+    mut ready: impl FnMut(&mut C) -> Option<Result<R, &'static str>>,
+    mut stage: impl FnMut(&mut C, i64, T) -> Result<(), &'static str>,
+) -> Result<R, AwaitFail> {
+    if let Some(r) = ready(ctx) {
+        return r.map_err(AwaitFail::BadWire);
+    }
+    let start = Instant::now();
+    let deadline = start + recv_timeout;
+    let mut retries = 0u32;
+    let mut backoff = retry.nack_timeout;
+    let mut next_nack = if retry.max_retries > 0 {
+        start + backoff
+    } else {
+        deadline
+    };
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(if retries > 0 {
+                AwaitFail::Exhausted { retries }
+            } else {
+                AwaitFail::Timeout
+            });
+        }
+        if retry.max_retries > 0 && now >= next_nack {
+            if retries >= retry.max_retries {
+                return Err(AwaitFail::Exhausted { retries });
+            }
+            ep.nack(peer, stats);
+            retries += 1;
+            backoff = (backoff * 2).min(retry.backoff_cap);
+            next_nack = now + backoff;
+        }
+        let slice = next_nack
+            .min(deadline)
+            .saturating_duration_since(now)
+            .max(Duration::from_millis(1));
+        match ep.poll(rx, slice, stats) {
+            Step::Fresh { src, payload } => {
+                stage(ctx, src, payload).map_err(AwaitFail::BadWire)?;
+                if let Some(r) = ready(ctx) {
+                    return r.map_err(AwaitFail::BadWire);
+                }
+            }
+            Step::Handled | Step::TimedOut => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    impl WirePayload for f64 {
+        fn digest(&self) -> u64 {
+            self.to_bits()
+        }
+        fn corrupt(&mut self, bits: u64) {
+            *self = f64::from_bits(self.to_bits() ^ (1 << (bits % 52)));
+        }
+    }
+
+    type Pair = (
+        Endpoint<f64>,
+        Endpoint<f64>,
+        Receiver<Frame<f64>>,
+        Receiver<Frame<f64>>,
+    );
+
+    fn pair() -> Pair {
+        let (tx0, rx0) = channel();
+        let (tx1, rx1) = channel();
+        let txs = vec![tx0, tx1];
+        (
+            Endpoint::new(0, txs.clone(), None),
+            Endpoint::new(1, txs, None),
+            rx0,
+            rx1,
+        )
+    }
+
+    #[test]
+    fn fresh_then_duplicate_suppressed() {
+        let (mut a, mut b, _rx0, rx1) = pair();
+        let mut sb = NodeStats::default();
+        a.send(1, 2.5);
+        // deliver the packet twice by servicing the same wire frame
+        let f1 = rx1.recv().unwrap();
+        let f2 = match &f1 {
+            Frame::Data(p) => Frame::Data(p.clone()),
+            _ => unreachable!(),
+        };
+        assert!(matches!(b.service(f1, &mut sb), Step::Fresh { src: 0, .. }));
+        assert!(matches!(b.service(f2, &mut sb), Step::Handled));
+        assert_eq!(sb.dups_dropped, 1);
+        assert_eq!(sb.acks_sent, 2);
+    }
+
+    #[test]
+    fn corrupt_detected_and_counted() {
+        let (mut a, mut b, _rx0, rx1) = pair();
+        let mut sb = NodeStats::default();
+        a.send(1, 1.0);
+        let frame = match rx1.recv().unwrap() {
+            Frame::Data(mut p) => {
+                p.payload.corrupt(7);
+                Frame::Data(p)
+            }
+            _ => unreachable!(),
+        };
+        assert!(matches!(b.service(frame, &mut sb), Step::Handled));
+        assert_eq!(sb.corrupt_detected, 1);
+    }
+
+    #[test]
+    fn nack_triggers_retransmission() {
+        let (mut a, mut b, rx0, rx1) = pair();
+        let mut sa = NodeStats::default();
+        let mut sb = NodeStats::default();
+        a.send(1, 4.0);
+        // pretend the wire lost it: drain the channel without staging
+        let _ = rx1.recv().unwrap();
+        b.nack(0, &mut sb);
+        assert_eq!(sb.nacks_sent, 1);
+        // sender services the NACK and retransmits
+        let nack = rx0.recv().unwrap();
+        assert!(matches!(a.service(nack, &mut sa), Step::Handled));
+        assert_eq!(sa.retransmits, 1);
+        match rx1.recv().unwrap() {
+            Frame::Data(p) => {
+                assert_eq!(p.seq, 0);
+                assert!(matches!(
+                    b.service(Frame::Data(p), &mut sb),
+                    Step::Fresh { .. }
+                ));
+            }
+            _ => panic!("expected retransmitted data"),
+        }
+    }
+
+    #[test]
+    fn ack_prunes_retained_buffer() {
+        let (mut a, mut b, rx0, rx1) = pair();
+        let mut sa = NodeStats::default();
+        let mut sb = NodeStats::default();
+        a.send(1, 1.0);
+        a.send(1, 2.0);
+        assert_eq!(a.retained[1].len(), 2);
+        for _ in 0..2 {
+            let f = rx1.recv().unwrap();
+            let _ = b.service(f, &mut sb);
+        }
+        // service both cumulative acks
+        while let Ok(f) = rx0.try_recv() {
+            let _ = a.service(f, &mut sa);
+        }
+        assert!(a.retained[1].is_empty());
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let plan = FaultPlan::seeded(42).with_drop(0.3).with_duplicate(0.2);
+        let mut a = FaultState::new(plan, 3);
+        let mut b = FaultState::new(plan, 3);
+        for _ in 0..64 {
+            let ka = a.classify(3);
+            let kb = b.classify(3);
+            assert_eq!(std::mem::discriminant(&ka), std::mem::discriminant(&kb));
+        }
+    }
+
+    #[test]
+    fn drop_exact_hits_only_nth() {
+        let plan = FaultPlan::drop_nth(0, 1);
+        let (tx1, rx1) = channel();
+        let (tx0, _rx0) = channel();
+        let mut a: Endpoint<f64> = Endpoint::new(0, vec![tx0, tx1], Some(plan));
+        a.send(1, 1.0);
+        a.send(1, 2.0); // dropped
+        a.send(1, 3.0);
+        let mut seqs = Vec::new();
+        while let Ok(Frame::Data(p)) = rx1.try_recv() {
+            seqs.push(p.seq);
+        }
+        assert_eq!(seqs, vec![0, 2]);
+    }
+}

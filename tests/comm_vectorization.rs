@@ -13,7 +13,8 @@ use vcal_suite::core::func::Fn1;
 use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
 use vcal_suite::decomp::Decomp1;
 use vcal_suite::machine::{
-    run_distributed, CommMode, DistArray, DistOptions, FaultInjection, MachineError, NodeStats,
+    run_distributed, CommMode, DistArray, DistOptions, FaultPlan, MachineError, NodeStats,
+    RetryPolicy,
 };
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
@@ -181,11 +182,9 @@ fn scatter_affine_meets_ten_x_aggregation() {
     assert!(vect.bytes_sent < elem.bytes_sent);
 }
 
-#[test]
-fn dropped_packet_detected_within_timeout() {
-    // Drop node 1's first *packet* (a whole run) and require the
-    // receiver to report the loss via MissingMessage within the
-    // configured receive timeout instead of hanging.
+/// Shared setup for the packet-loss tests: a plan where node 1's first
+/// packet carries a whole multi-element run, plus the scattered arrays.
+fn drop_setup() -> (SpmdPlan, Clause, BTreeMap<String, DistArray>) {
     let env0 = env();
     let cl = clause(Fn1::identity(), Fn1::identity(), N - 1);
     let mut dm = DecompMap::new();
@@ -204,22 +203,62 @@ fn dropped_packet_detected_within_timeout() {
             DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
         );
     }
+    (plan, cl, arrays)
+}
+
+#[test]
+fn dropped_packet_recovered_by_retransmission() {
+    // Drop node 1's first *packet* (a whole run). With a retry budget
+    // the receiver NACKs the gap, node 1 retransmits, and the run
+    // completes bit-identically to the fault-free result.
+    let (plan, cl, mut arrays) = drop_setup();
+    let mut reference = env();
+    reference.exec_clause(&cl);
+    let opts = DistOptions {
+        recv_timeout: Duration::from_secs(5),
+        faults: Some(FaultPlan::drop_nth(1, 0)),
+        mode: CommMode::Vectorized,
+        retry: RetryPolicy::fast(),
+    };
+    let report = run_distributed(&plan, &cl, &mut arrays, opts).expect("recoverable drop");
+    let total = report.total();
+    assert!(
+        total.retransmits > 0,
+        "recovery must go through retransmission"
+    );
+    assert!(total.nacks_sent > 0, "receiver must have NACKed the gap");
+    assert_eq!(
+        arrays["A"]
+            .gather()
+            .max_abs_diff(reference.get("A").unwrap()),
+        0.0,
+        "recovered run differs from sequential reference"
+    );
+}
+
+#[test]
+fn dropped_packet_detected_within_timeout() {
+    // With retries disabled (legacy behaviour) the same dropped packet
+    // must surface as a typed MissingPacket error carrying the wire
+    // coordinates (peer, slot, run) within the configured receive
+    // timeout instead of hanging.
+    let (plan, cl, mut arrays) = drop_setup();
     let timeout = Duration::from_millis(250);
     let opts = DistOptions {
         recv_timeout: timeout,
-        faults: Some(FaultInjection {
-            drop_from: 1,
-            drop_nth: 0,
-        }),
+        faults: Some(FaultPlan::drop_nth(1, 0)),
         mode: CommMode::Vectorized,
+        retry: RetryPolicy::none(),
     };
     let t0 = Instant::now();
     let err = run_distributed(&plan, &cl, &mut arrays, opts).unwrap_err();
     let elapsed = t0.elapsed();
-    assert!(
-        matches!(err, MachineError::MissingMessage { .. }),
-        "expected MissingMessage, got {err}"
-    );
+    match err {
+        MachineError::MissingPacket { peer, .. } => {
+            assert_eq!(peer, 1, "loss should be attributed to the dropping peer")
+        }
+        other => panic!("expected MissingPacket, got {other}"),
+    }
     // detection happens within the receive timeout (plus scheduling
     // slack), not after a hang
     assert!(
