@@ -53,6 +53,7 @@
 
 use crate::darray::DistArray;
 use crate::error::MachineError;
+use crate::obs::{trace_plan, EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use crate::transport::{
     await_until, AwaitFail, Endpoint, FaultPlan, Frame, RetryPolicy, WirePayload,
@@ -321,6 +322,22 @@ pub fn run_distributed(
     arrays: &mut BTreeMap<String, DistArray>,
     opts: DistOptions,
 ) -> Result<ExecReport, MachineError> {
+    run_distributed_traced(plan, clause, arrays, opts, &NULL_TRACER)
+}
+
+/// Like [`run_distributed`] but with an observability hook: dispatch
+/// decisions, phase spans, per-element/packet traffic, and transport
+/// reliability events are reported to `tracer` (see [`crate::obs`]).
+/// With a disabled tracer the instrumented paths cost one cached
+/// branch each — [`run_distributed`] simply passes
+/// [`crate::obs::NULL_TRACER`].
+pub fn run_distributed_traced(
+    plan: &SpmdPlan,
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArray>,
+    opts: DistOptions,
+    tracer: &dyn Tracer,
+) -> Result<ExecReport, MachineError> {
     if plan.ordering != Ordering::Par {
         return Err(MachineError::SequentialClause);
     }
@@ -360,6 +377,9 @@ pub fn run_distributed(
         rexpr_per_node.push(resolve_expr(&clause.rhs, n)?);
         rguard_per_node.push(resolve_guard(&clause.guard, n)?);
     }
+
+    // record which Table I row fired for every schedule (plan span)
+    trace_plan(tracer, plan);
 
     // disassemble the distributed images into per-node local memories
     // (two-phase so a missing array cannot leave a partial removal)
@@ -411,7 +431,7 @@ pub fn run_distributed(
             let plan = &plan;
             handles.push(scope.spawn(move || {
                 run_node(
-                    worker, node, plan, rexpr, rguard, txs, decomps, dec_lhs, opts,
+                    worker, node, plan, rexpr, rguard, txs, decomps, dec_lhs, opts, tracer,
                 )
             }));
         }
@@ -466,6 +486,7 @@ pub fn run_distributed(
     let commit = first_err.is_none();
 
     // reassemble the distributed images (on error: pre-run state)
+    let commit_t0 = tracer.enabled().then(std::time::Instant::now);
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
     let mut report = ExecReport::default();
     for (p, mut locals, writes, stats, sent_to, _res) in results {
@@ -489,6 +510,9 @@ pub fn run_distributed(
         let dec = decomps[&name].clone();
         arrays.insert(name, DistArray::from_parts(dec, parts));
     }
+    if let Some(t0) = commit_t0 {
+        tracer.timing(crate::obs::HOST, Phase::Commit, t0.elapsed());
+    }
     match first_err {
         Some(e) => Err(e),
         None => Ok(report),
@@ -511,6 +535,7 @@ fn run_node(
     decomps: &BTreeMap<String, Decomp1>,
     dec_lhs: &Decomp1,
     opts: DistOptions,
+    tracer: &dyn Tracer,
 ) -> NodeOutcome {
     let p = worker.p;
     let rx = worker.rx;
@@ -518,7 +543,8 @@ fn run_node(
     let mut stats = NodeStats::default();
     let mut sent_to = vec![0u64; txs.len()];
     let mut writes: Vec<(usize, f64)> = Vec::new();
-    let mut ep = Endpoint::new(p, txs, opts.faults);
+    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let trace_on = tracer.enabled();
 
     let phases = catch_unwind(AssertUnwindSafe(|| {
         node_phases(
@@ -536,12 +562,21 @@ fn run_node(
             &mut stats,
             &mut sent_to,
             &mut writes,
+            tracer,
         )
     }));
     let res = match phases {
         Ok(r) => {
             ep.announce_done();
-            ep.drain(&rx, opts.recv_timeout, &mut stats);
+            if trace_on {
+                tracer.record(p, EventKind::PhaseStart(Phase::Drain));
+                let t0 = std::time::Instant::now();
+                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                tracer.timing(p, Phase::Drain, t0.elapsed());
+                tracer.record(p, EventKind::PhaseEnd(Phase::Drain));
+            } else {
+                ep.drain(&rx, opts.recv_timeout, &mut stats);
+            }
             r
         }
         Err(_) => {
@@ -574,10 +609,16 @@ fn node_phases(
     stats: &mut NodeStats,
     sent_to: &mut [u64],
     writes: &mut Vec<(usize, f64)>,
+    tracer: &dyn Tracer,
 ) -> Result<(), MachineError> {
     stats.guard_tests += node.modify.schedule.work_estimate();
+    let trace_on = tracer.enabled();
 
     // ---- send phase: Reside_p ∩ Modify_q, q ≠ p -------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Send));
+    }
+    let send_t0 = trace_on.then(std::time::Instant::now);
     match opts.mode {
         CommMode::Element => {
             // literal template: per-element ownership test + tagged send
@@ -595,6 +636,16 @@ fn node_phases(
                         let value = local_part[dec_r.local_of(g) as usize];
                         // non-blocking send through the reliable transport
                         ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
+                        if trace_on {
+                            tracer.record(
+                                p,
+                                EventKind::ElemSend {
+                                    dst: owner,
+                                    slot,
+                                    i,
+                                },
+                            );
+                        }
                         sent_to[owner as usize] += 1;
                         stats.msgs_sent += 1;
                         stats.packets_sent += 1;
@@ -618,6 +669,17 @@ fn node_phases(
                     });
                     let elems = values.len() as u64;
                     ep.send(pair.peer as usize, Wire::Pack { run_ord, values });
+                    if trace_on {
+                        tracer.record(
+                            p,
+                            EventKind::PackSend {
+                                dst: pair.peer,
+                                run: run_ord,
+                                elems,
+                                bytes: PACK_HEADER_BYTES + 8 * elems,
+                            },
+                        );
+                    }
                     sent_to[pair.peer as usize] += elems;
                     stats.msgs_sent += elems;
                     stats.packets_sent += 1;
@@ -628,8 +690,16 @@ fn node_phases(
         }
     }
     ep.end_send_phase(); // flush delayed packets; crash point
+    if let Some(t0) = send_t0 {
+        tracer.timing(p, Phase::Send, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Send));
+    }
 
     // ---- update phase: Modify_p -----------------------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Update));
+    }
+    let update_t0 = trace_on.then(std::time::Instant::now);
     let mut recv = RecvState::new(node, opts.mode, plan.pmax as usize);
     writes.reserve(node.modify.schedule.count() as usize);
     let mut vals = vec![0.0f64; node.resides.len()];
@@ -657,6 +727,16 @@ fn node_phases(
             } else {
                 match recv.remote_value(ep, rx, slot, i, owner, opts, stats) {
                     Ok(v) => {
+                        if trace_on {
+                            tracer.record(
+                                p,
+                                EventKind::RecvValue {
+                                    src: owner,
+                                    slot,
+                                    i,
+                                },
+                            );
+                        }
                         stats.msgs_received += 1;
                         v
                     }
@@ -706,6 +786,10 @@ fn node_phases(
             writes.push((dec_lhs.local_of(target) as usize, v));
         }
     });
+    if let Some(t0) = update_t0 {
+        tracer.timing(p, Phase::Update, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+    }
 
     err.map_or(Ok(()), Err)
 }

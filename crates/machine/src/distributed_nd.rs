@@ -21,6 +21,7 @@
 use crate::darray_nd::DistArrayNd;
 use crate::distributed::{CommMode, DistOptions, ELEM_MSG_BYTES, PACK_HEADER_BYTES};
 use crate::error::MachineError;
+use crate::obs::{EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use crate::transport::{await_until, AwaitFail, Endpoint, Frame, WirePayload};
 use std::collections::BTreeMap;
@@ -224,6 +225,19 @@ pub fn run_distributed_nd_opts(
     arrays: &mut BTreeMap<String, DistArrayNd>,
     opts: DistOptions,
 ) -> Result<ExecReport, MachineError> {
+    run_distributed_nd_traced(clause, arrays, opts, &NULL_TRACER)
+}
+
+/// Like [`run_distributed_nd_opts`] but records per-node phase events
+/// and wall-clock timings through `tracer` (the nd machine traces at
+/// phase granularity; its per-element indices are [`Ix`] and never
+/// enter the event log).
+pub fn run_distributed_nd_traced(
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArrayNd>,
+    opts: DistOptions,
+    tracer: &dyn Tracer,
+) -> Result<ExecReport, MachineError> {
     if clause.ordering != Ordering::Par {
         return Err(MachineError::SequentialClause);
     }
@@ -359,7 +373,7 @@ pub fn run_distributed_nd_opts(
             handles.push(scope.spawn(move || {
                 run_node_nd(
                     p, locals, rx, txs, clause, slots, rexpr, rguard, decomps, dec_lhs, &opts,
-                    send_plan,
+                    send_plan, tracer,
                 )
             }));
         }
@@ -578,11 +592,13 @@ fn run_node_nd(
     dec_lhs: &DecompNd,
     opts: &DistOptions,
     send_plan: &SendPlan,
+    tracer: &dyn Tracer,
 ) -> NodeOutcomeNd {
     let mut locals = locals;
     let mut stats = NodeStats::default();
     let mut writes: Vec<(usize, f64)> = Vec::new();
-    let mut ep = Endpoint::new(p, txs, opts.faults);
+    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let trace_on = tracer.enabled();
 
     let phases = catch_unwind(AssertUnwindSafe(|| {
         node_phases_nd(
@@ -600,12 +616,21 @@ fn run_node_nd(
             send_plan,
             &mut stats,
             &mut writes,
+            tracer,
         )
     }));
     let res = match phases {
         Ok(r) => {
             ep.announce_done();
-            ep.drain(&rx, opts.recv_timeout, &mut stats);
+            if trace_on {
+                tracer.record(p, EventKind::PhaseStart(Phase::Drain));
+                let t0 = std::time::Instant::now();
+                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                tracer.timing(p, Phase::Drain, t0.elapsed());
+                tracer.record(p, EventKind::PhaseEnd(Phase::Drain));
+            } else {
+                ep.drain(&rx, opts.recv_timeout, &mut stats);
+            }
             r
         }
         Err(_) => {
@@ -637,11 +662,17 @@ fn node_phases_nd(
     send_plan: &SendPlan,
     stats: &mut NodeStats,
     writes: &mut Vec<(usize, f64)>,
+    tracer: &dyn Tracer,
 ) -> Result<(), MachineError> {
     let loop_box = &clause.iter.bounds;
     let pmax = ep.peer_count();
+    let trace_on = tracer.enabled();
 
     // ---- send phase ------------------------------------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Send));
+    }
+    let send_t0 = trace_on.then(std::time::Instant::now);
     match opts.mode {
         CommMode::Element => {
             for (slot, rs) in slots.iter().enumerate() {
@@ -692,8 +723,16 @@ fn node_phases_nd(
         }
     }
     ep.end_send_phase(); // flush delayed packets; crash point
+    if let Some(t0) = send_t0 {
+        tracer.timing(p, Phase::Send, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Send));
+    }
 
     // ---- update phase ----------------------------------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Update));
+    }
+    let update_t0 = trace_on.then(std::time::Instant::now);
     let mut recv = RecvStateNd::new(opts.mode, send_plan, p, pmax);
     let mut vals = vec![0.0f64; slots.len()];
     let mut err: Option<MachineError> = None;
@@ -764,6 +803,10 @@ fn node_phases_nd(
             writes.push((off, eval_r(rexpr, i, &vals)));
         }
     });
+    if let Some(t0) = update_t0 {
+        tracer.timing(p, Phase::Update, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+    }
 
     err.map_or(Ok(()), Err)
 }

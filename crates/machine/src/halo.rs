@@ -10,6 +10,7 @@
 //! `machines` bench and `stencil` example measure.
 
 use crate::error::MachineError;
+use crate::obs::{EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use vcal_core::{Array, Clause, Expr, Guard, Ix, Ordering};
 use vcal_decomp::OverlapDecomp;
@@ -75,6 +76,18 @@ impl HaloArray {
 /// Refresh every ghost cell from its owner, following the decomposition's
 /// exchange plan. Returns per-node message statistics.
 pub fn exchange_ghosts(array: &mut HaloArray) -> ExecReport {
+    exchange_ghosts_traced(array, &NULL_TRACER)
+}
+
+/// Like [`exchange_ghosts`] but records one [`EventKind::HaloMsg`] per
+/// planned boundary message (at the sending node) and the whole
+/// exchange's wall-clock as a host-side [`Phase::Halo`] timing.
+pub fn exchange_ghosts_traced(array: &mut HaloArray, tracer: &dyn Tracer) -> ExecReport {
+    let trace_on = tracer.enabled();
+    if trace_on {
+        tracer.record(crate::obs::HOST, EventKind::PhaseStart(Phase::Halo));
+    }
+    let halo_t0 = trace_on.then(std::time::Instant::now);
     let pmax = array.decomp.base().pmax();
     let mut report = ExecReport {
         nodes: vec![NodeStats::default(); pmax as usize],
@@ -88,9 +101,22 @@ pub fn exchange_ghosts(array: &mut HaloArray) -> ExecReport {
             let off = array.decomp.local_of(g, msg.dst) as usize;
             array.parts[msg.dst as usize][off] = v;
         }
+        if trace_on {
+            tracer.record(
+                msg.src,
+                EventKind::HaloMsg {
+                    dst: msg.dst,
+                    elems: (msg.global_hi - msg.global_lo + 1) as u64,
+                },
+            );
+        }
         report.nodes[msg.src as usize].msgs_sent += 1;
         report.nodes[msg.dst as usize].msgs_received += 1;
         report.traffic[msg.src as usize][msg.dst as usize] += 1;
+    }
+    if let Some(t0) = halo_t0 {
+        tracer.timing(crate::obs::HOST, Phase::Halo, t0.elapsed());
+        tracer.record(crate::obs::HOST, EventKind::PhaseEnd(Phase::Halo));
     }
     report
 }

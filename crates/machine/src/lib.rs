@@ -28,6 +28,7 @@ pub mod distributed_nd;
 pub mod doacross;
 pub mod error;
 pub mod halo;
+pub mod obs;
 pub mod perfmodel;
 pub mod redistribute;
 pub mod reduce;
@@ -41,13 +42,21 @@ pub mod transport;
 
 pub use darray::DistArray;
 pub use darray_nd::DistArrayNd;
-pub use distributed::{run_distributed, CommMode, DistOptions, FaultInjection};
-pub use distributed_nd::{run_distributed_nd, run_distributed_nd_mode, run_distributed_nd_opts};
+pub use distributed::{
+    run_distributed, run_distributed_traced, CommMode, DistOptions, FaultInjection,
+};
+pub use distributed_nd::{
+    run_distributed_nd, run_distributed_nd_mode, run_distributed_nd_opts, run_distributed_nd_traced,
+};
 pub use doacross::{carried_distances, run_doacross};
 pub use error::MachineError;
-pub use halo::{exchange_ghosts, run_halo_sweep, HaloArray};
+pub use halo::{exchange_ghosts, exchange_ghosts_traced, run_halo_sweep, HaloArray};
+pub use obs::{
+    replay_check, trace_plan, CollectingTracer, Event, EventKind, NullTracer, Phase, PhaseTiming,
+    ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
+};
 pub use perfmodel::{PerfModel, SimTime};
-pub use redistribute::{run_redistribution, run_redistribution_opts};
+pub use redistribute::{run_redistribution, run_redistribution_opts, run_redistribution_traced};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
 pub use session::DistSession;

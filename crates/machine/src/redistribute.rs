@@ -18,6 +18,7 @@
 use crate::darray::DistArray;
 use crate::distributed::{DistOptions, PACK_HEADER_BYTES};
 use crate::error::MachineError;
+use crate::obs::{EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use crate::transport::{await_until, AwaitFail, Endpoint, Frame, WirePayload};
 use std::collections::VecDeque;
@@ -71,6 +72,18 @@ pub fn run_redistribution_opts(
     src: &DistArray,
     opts: DistOptions,
 ) -> Result<(DistArray, ExecReport), MachineError> {
+    run_redistribution_traced(plan, src, opts, &NULL_TRACER)
+}
+
+/// Like [`run_redistribution_opts`] but records [`EventKind::RedistSend`]
+/// / [`EventKind::RedistRecv`] events and a per-node
+/// [`Phase::Redistribute`] timing through `tracer`.
+pub fn run_redistribution_traced(
+    plan: &RedistPlan,
+    src: &DistArray,
+    opts: DistOptions,
+    tracer: &dyn Tracer,
+) -> Result<(DistArray, ExecReport), MachineError> {
     if src.decomp() != &plan.from {
         return Err(MachineError::PlanMismatch(
             "source array layout differs from the plan's `from` decomposition".into(),
@@ -114,6 +127,7 @@ pub fn run_redistribution_opts(
             handles.push(scope.spawn(move || {
                 redistribute_node(
                     p, src_local, dst_local, rx, txs, my_out, n_in_from, from_dec, to_dec, &opts,
+                    tracer,
                 )
             }));
         }
@@ -180,9 +194,15 @@ fn redistribute_node(
     from_dec: &vcal_decomp::Decomp1,
     to_dec: &vcal_decomp::Decomp1,
     opts: &DistOptions,
+    tracer: &dyn Tracer,
 ) -> (i64, Vec<f64>, NodeStats, Result<(), MachineError>) {
     let mut stats = NodeStats::default();
-    let mut ep = Endpoint::new(p, txs, opts.faults);
+    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let trace_on = tracer.enabled();
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Redistribute));
+    }
+    let redist_t0 = trace_on.then(std::time::Instant::now);
 
     let phases = catch_unwind(AssertUnwindSafe(|| {
         // 1. local (stationary) copies: globals owned by p in both
@@ -205,6 +225,15 @@ fn redistribute_node(
             stats.packets_sent += 1;
             stats.bytes_sent += PACK_HEADER_BYTES + 8 * values.len() as u64;
             stats.max_packet_elems = stats.max_packet_elems.max(values.len() as u64);
+            if trace_on {
+                tracer.record(
+                    p,
+                    EventKind::RedistSend {
+                        dst: t.dst,
+                        elems: values.len() as u64,
+                    },
+                );
+            }
             ep.send(
                 t.dst as usize,
                 RunMsg {
@@ -251,6 +280,15 @@ fn redistribute_node(
                     AwaitFail::BadWire(w) => MachineError::PlanMismatch(format!("node {p}: {w}")),
                 })?;
                 stats.msgs_received += 1;
+                if trace_on {
+                    tracer.record(
+                        p,
+                        EventKind::RedistRecv {
+                            src: srcp as i64,
+                            elems: msg.values.len() as u64,
+                        },
+                    );
+                }
                 for (k, v) in msg.values.iter().enumerate() {
                     let g = msg.global_start + k as i64 * msg.global_stride;
                     dst_local[to_dec.local_of(g) as usize] = *v;
@@ -270,6 +308,10 @@ fn redistribute_node(
             Err(MachineError::NodePanicked { node: p })
         }
     };
+    if let Some(t0) = redist_t0 {
+        tracer.timing(p, Phase::Redistribute, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Redistribute));
+    }
     (p, dst_local, stats, res)
 }
 

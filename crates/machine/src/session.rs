@@ -3,9 +3,10 @@
 //! phase changes) read like the original algorithm.
 
 use crate::darray::DistArray;
-use crate::distributed::{run_distributed, DistOptions};
+use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
-use crate::redistribute::run_redistribution_opts;
+use crate::obs::Tracer;
+use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
 use std::collections::BTreeMap;
 use vcal_core::{Array, Clause, Env};
@@ -63,6 +64,19 @@ impl DistSession {
         self.run_plan(&plan, clause)
     }
 
+    /// Like [`DistSession::run`] but with an observability tracer — plan
+    /// derivation, every machine phase, and all transport traffic are
+    /// recorded through it.
+    pub fn run_traced(
+        &mut self,
+        clause: &Clause,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        let plan = SpmdPlan::build(clause, &self.decomps)
+            .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
+        self.run_plan_traced(&plan, clause, tracer)
+    }
+
     /// Execute a prebuilt plan (reuse across sweeps).
     pub fn run_plan(
         &mut self,
@@ -70,6 +84,16 @@ impl DistSession {
         clause: &Clause,
     ) -> Result<ExecReport, MachineError> {
         run_distributed(plan, clause, &mut self.arrays, self.opts)
+    }
+
+    /// Like [`DistSession::run_plan`] but with an observability tracer.
+    pub fn run_plan_traced(
+        &mut self,
+        plan: &SpmdPlan,
+        clause: &Clause,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        run_distributed_traced(plan, clause, &mut self.arrays, self.opts, tracer)
     }
 
     /// Build a plan once for repeated execution.
@@ -88,6 +112,24 @@ impl DistSession {
         let plan = RedistPlan::build(current.decomp(), &to);
         // redistribution inherits the session's fault/retry options
         let (new_array, report) = run_redistribution_opts(&plan, current, self.opts)?;
+        self.arrays.insert(name.to_string(), new_array);
+        self.decomps.insert(name.to_string(), to);
+        Ok(report)
+    }
+
+    /// Like [`DistSession::redistribute`] but with an observability tracer.
+    pub fn redistribute_traced(
+        &mut self,
+        name: &str,
+        to: Decomp1,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        let current = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownArray(name.to_string()))?;
+        let plan = RedistPlan::build(current.decomp(), &to);
+        let (new_array, report) = run_redistribution_traced(&plan, current, self.opts, tracer)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
         Ok(report)

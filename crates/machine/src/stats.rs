@@ -39,6 +39,19 @@ pub struct NodeStats {
     pub nacks_sent: u64,
 }
 
+impl NodeStats {
+    /// `true` when no reliability machinery fired: no retransmits, no
+    /// duplicates suppressed, no corruption detected, no NACKs sent.
+    /// Every fault-free run must satisfy this (see
+    /// `tests/stats_invariants.rs`).
+    pub fn reliability_quiet(&self) -> bool {
+        self.retransmits == 0
+            && self.dups_dropped == 0
+            && self.corrupt_detected == 0
+            && self.nacks_sent == 0
+    }
+}
+
 impl AddAssign for NodeStats {
     fn add_assign(&mut self, o: NodeStats) {
         self.iterations += o.iterations;
@@ -85,6 +98,12 @@ impl ExecReport {
     /// perfect overlap.
     pub fn max_node_iterations(&self) -> u64 {
         self.nodes.iter().map(|n| n.iterations).max().unwrap_or(0)
+    }
+
+    /// `true` when no node recorded any reliability traffic
+    /// (see [`NodeStats::reliability_quiet`]).
+    pub fn reliability_quiet(&self) -> bool {
+        self.nodes.iter().all(NodeStats::reliability_quiet)
     }
 }
 

@@ -43,6 +43,7 @@
 //! thread mid-send-phase — the supervisor in the machines catches it
 //! and reports `MachineError::NodePanicked`.
 
+use crate::obs::{EventKind, Tracer};
 use crate::stats::NodeStats;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -424,7 +425,7 @@ pub(crate) enum AwaitFail {
 /// (sequence numbers + retransmit buffers, one per destination),
 /// receiver-side flows (cumulative dedup + reorder windows, one per
 /// source), fault injection, and the completion map.
-pub(crate) struct Endpoint<T: WirePayload> {
+pub(crate) struct Endpoint<'t, T: WirePayload> {
     p: i64,
     txs: Vec<Sender<Frame<T>>>,
     next_seq: Vec<u64>,
@@ -434,15 +435,20 @@ pub(crate) struct Endpoint<T: WirePayload> {
     done: Vec<bool>,
     stash: Vec<Stashed<T>>,
     faults: Option<FaultState>,
+    tracer: &'t dyn Tracer,
+    /// Cached [`Tracer::enabled`] so the per-frame hot path pays one
+    /// branch when tracing is off.
+    trace_on: bool,
 }
 
-impl<T: WirePayload> Endpoint<T> {
+impl<'t, T: WirePayload> Endpoint<'t, T> {
     /// Build the endpoint of node `p` over the per-node senders.
     pub(crate) fn new(
         p: i64,
         txs: Vec<Sender<Frame<T>>>,
         faults: Option<FaultPlan>,
-    ) -> Endpoint<T> {
+        tracer: &'t dyn Tracer,
+    ) -> Endpoint<'t, T> {
         let n = txs.len();
         let mut done = vec![false; n];
         if let Some(d) = done.get_mut(p as usize) {
@@ -458,6 +464,8 @@ impl<T: WirePayload> Endpoint<T> {
             done,
             stash: Vec::new(),
             faults: faults.map(|f| FaultState::new(f, p)),
+            trace_on: tracer.enabled(),
+            tracer,
         }
     }
 
@@ -565,6 +573,10 @@ impl<T: WirePayload> Endpoint<T> {
                 next_needed: self.recv_next[src],
             });
             stats.acks_sent += 1;
+            if self.trace_on {
+                self.tracer
+                    .record(self.p, EventKind::Ack { dst: src as i64 });
+            }
         }
     }
 
@@ -577,6 +589,9 @@ impl<T: WirePayload> Endpoint<T> {
                 next_needed: next,
             });
             stats.nacks_sent += 1;
+            if self.trace_on {
+                self.tracer.record(self.p, EventKind::Nack { peer });
+            }
         }
     }
 
@@ -592,10 +607,18 @@ impl<T: WirePayload> Endpoint<T> {
                 }
                 if packet_digest(pkt.src, pkt.seq, &pkt.payload) != pkt.check {
                     stats.corrupt_detected += 1;
+                    if self.trace_on {
+                        self.tracer
+                            .record(self.p, EventKind::CorruptDetected { src: pkt.src });
+                    }
                     return Step::Handled; // treated as a loss; NACK recovers
                 }
                 if pkt.seq < self.recv_next[src] || self.recv_ahead[src].contains(&pkt.seq) {
                     stats.dups_dropped += 1;
+                    if self.trace_on {
+                        self.tracer
+                            .record(self.p, EventKind::DupDropped { src: pkt.src });
+                    }
                     self.ack(src, stats); // re-ack so the sender prunes
                     return Step::Handled;
                 }
@@ -633,6 +656,10 @@ impl<T: WirePayload> Endpoint<T> {
                         Some(fs) => fs.classify_retransmit(self.p),
                     };
                     stats.retransmits += 1;
+                    if self.trace_on {
+                        self.tracer
+                            .record(self.p, EventKind::Retransmit { dst: from });
+                    }
                     match kind {
                         FaultKind::Drop => {}
                         FaultKind::Corrupt => {
@@ -713,7 +740,7 @@ impl<T: WirePayload> Endpoint<T> {
 /// plan inconsistency discovered on the staged data.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn await_until<T: WirePayload, C, R>(
-    ep: &mut Endpoint<T>,
+    ep: &mut Endpoint<'_, T>,
     rx: &Receiver<Frame<T>>,
     peer: i64,
     recv_timeout: Duration,
@@ -752,6 +779,9 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
             retries += 1;
             backoff = (backoff * 2).min(retry.backoff_cap);
             next_nack = now + backoff;
+            if ep.trace_on {
+                ep.tracer.record(ep.p, EventKind::Backoff { peer });
+            }
         }
         let slice = next_nack
             .min(deadline)
@@ -783,9 +813,11 @@ mod tests {
         }
     }
 
+    use crate::obs::NULL_TRACER;
+
     type Pair = (
-        Endpoint<f64>,
-        Endpoint<f64>,
+        Endpoint<'static, f64>,
+        Endpoint<'static, f64>,
         Receiver<Frame<f64>>,
         Receiver<Frame<f64>>,
     );
@@ -795,8 +827,8 @@ mod tests {
         let (tx1, rx1) = channel();
         let txs = vec![tx0, tx1];
         (
-            Endpoint::new(0, txs.clone(), None),
-            Endpoint::new(1, txs, None),
+            Endpoint::new(0, txs.clone(), None, &NULL_TRACER),
+            Endpoint::new(1, txs, None, &NULL_TRACER),
             rx0,
             rx1,
         )
@@ -897,7 +929,7 @@ mod tests {
         let plan = FaultPlan::drop_nth(0, 1);
         let (tx1, rx1) = channel();
         let (tx0, _rx0) = channel();
-        let mut a: Endpoint<f64> = Endpoint::new(0, vec![tx0, tx1], Some(plan));
+        let mut a: Endpoint<'_, f64> = Endpoint::new(0, vec![tx0, tx1], Some(plan), &NULL_TRACER);
         a.send(1, 1.0);
         a.send(1, 2.0); // dropped
         a.send(1, 3.0);

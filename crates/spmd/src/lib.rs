@@ -25,6 +25,7 @@ pub mod comm;
 pub mod derivation;
 pub mod emit;
 pub mod nd;
+pub mod obs;
 pub mod optimizer;
 pub mod program;
 pub mod schedule;
@@ -35,6 +36,7 @@ pub use advisor::{advise, AdvisorOptions, Candidate};
 pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
 pub use derivation::derive;
 pub use nd::{optimize_nd, ScheduleNd};
+pub use obs::{NodeDispatch, PlanSummary, SlotDispatch};
 pub use optimizer::{naive_schedule, optimize, optimize_with, OptKind, OptOptions, Optimized};
 pub use program::{CommStats, DecompMap, NodePlan, PlanError, ResidePlan, SpmdPlan};
 pub use schedule::{repeated_block_kmax, Schedule};

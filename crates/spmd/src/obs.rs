@@ -1,0 +1,188 @@
+//! Plan-level observability hooks: which Table I enumeration row fired
+//! for every Modify/Reside set, how much traffic the communication
+//! schedule commits to, and a tiny timing helper for the planning
+//! phases themselves.
+//!
+//! This is the compile-time half of the observability layer; the
+//! run-time half (per-node phase timings, transport events, the JSONL
+//! event log and its replay checker) lives in `vcal-machine::obs`,
+//! which consumes [`crate::SpmdPlan`] directly. `vcal-spmd` deliberately
+//! knows nothing about machines, so everything here is derived from the
+//! plan alone and is fully deterministic.
+
+use crate::optimizer::OptKind;
+use crate::program::SpmdPlan;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// How one Reside set of one node was scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotDispatch {
+    /// Read-slot ordinal (position in `NodePlan::resides`).
+    pub slot: usize,
+    /// The array this slot reads.
+    pub array: String,
+    /// The Table I row that produced the schedule.
+    pub kind: OptKind,
+    /// `true` unless the optimizer fell back to the naive guarded loop.
+    pub closed_form: bool,
+    /// Replicated operands never communicate; their dispatch is listed
+    /// but carries no traffic.
+    pub replicated: bool,
+}
+
+/// How one node's iteration sets were scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDispatch {
+    /// Processor id.
+    pub p: i64,
+    /// Table I row for the Modify (write-ownership) set.
+    pub modify_kind: OptKind,
+    /// `true` unless the Modify schedule is a naive guarded loop.
+    pub modify_closed_form: bool,
+    /// Per-read-slot dispatch records.
+    pub slots: Vec<SlotDispatch>,
+}
+
+/// A deterministic digest of a whole [`SpmdPlan`]: enumeration dispatch
+/// per node/slot plus the planned communication volume. This is what
+/// the dispatch-exactness tests assert on ("no silent fallback to
+/// membership testing") and what the CLI prints under `--trace`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// One record per node, in processor order.
+    pub nodes: Vec<NodeDispatch>,
+    /// Total elements the plan commits to sending (= receiving).
+    pub send_elems: u64,
+    /// Total elements the plan commits to receiving.
+    pub recv_elems: u64,
+    /// Coalesced packets a vectorized execution would put on the wire.
+    pub send_packets: u64,
+}
+
+impl PlanSummary {
+    /// Digest `plan`.
+    pub fn of(plan: &SpmdPlan) -> PlanSummary {
+        let mut send_elems = 0;
+        let mut recv_elems = 0;
+        let mut send_packets = 0;
+        let nodes = plan
+            .nodes
+            .iter()
+            .map(|n| {
+                send_elems += n.comm.send_elems();
+                recv_elems += n.comm.recv_elems();
+                send_packets += n.comm.send_packets();
+                NodeDispatch {
+                    p: n.p,
+                    modify_kind: n.modify.kind,
+                    modify_closed_form: n.modify.kind.is_closed_form(),
+                    slots: n
+                        .resides
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, rp)| SlotDispatch {
+                            slot,
+                            array: rp.array.clone(),
+                            kind: rp.opt.kind,
+                            closed_form: rp.opt.kind.is_closed_form(),
+                            replicated: rp.replicated,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        PlanSummary {
+            nodes,
+            send_elems,
+            recv_elems,
+            send_packets,
+        }
+    }
+
+    /// Count how often each Table I row fired, keyed by
+    /// [`OptKind::name`] — Modify and Reside dispatches combined.
+    pub fn dispatch_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for n in &self.nodes {
+            *out.entry(n.modify_kind.name()).or_insert(0) += 1;
+            for s in &n.slots {
+                *out.entry(s.kind.name()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of dispatches that fell back to the naive guarded loop
+    /// (run-time membership testing) — the thing Table I exists to
+    /// avoid. Exactness tests assert this is zero for covered rows.
+    pub fn fallback_count(&self) -> u64 {
+        let mut n = 0;
+        for nd in &self.nodes {
+            if !nd.modify_closed_form {
+                n += 1;
+            }
+            n += nd.slots.iter().filter(|s| !s.closed_form).count() as u64;
+        }
+        n
+    }
+
+    /// `true` when every Modify and Reside schedule is closed-form.
+    pub fn is_fully_closed_form(&self) -> bool {
+        self.fallback_count() == 0
+    }
+}
+
+/// Run `f`, returning its result together with the elapsed wall-clock —
+/// the planning-phase counterpart to the machines' per-phase timings
+/// (wrap `SpmdPlan::build`, [`crate::derive`], or [`crate::plan_comm`]
+/// call sites with it).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::DecompMap;
+    use vcal_core::func::Fn1;
+    use vcal_core::{ArrayRef, Bounds, Clause, Expr, Guard, IndexSet, Ordering};
+    use vcal_decomp::Decomp1;
+
+    fn fixture() -> (Clause, DecompMap) {
+        let clause = Clause {
+            iter: IndexSet::range(0, 62),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("B", Fn1::shift(1))),
+        };
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(4, Bounds::range(0, 63)));
+        dm.insert("B".into(), Decomp1::scatter(4, Bounds::range(0, 63)));
+        (clause, dm)
+    }
+
+    #[test]
+    fn summary_counts_dispatches_and_traffic() {
+        let (clause, dm) = fixture();
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let summary = PlanSummary::of(&plan);
+        assert_eq!(summary.nodes.len(), 4);
+        assert!(summary.is_fully_closed_form(), "{summary:?}");
+        assert_eq!(summary.send_elems, summary.recv_elems);
+        assert!(summary.send_packets <= summary.send_elems);
+        let counts = summary.dispatch_counts();
+        assert_eq!(counts.values().sum::<u64>(), 8); // 4 modify + 4 reside
+        assert!(!counts.contains_key("naive-guard"), "{counts:?}");
+    }
+
+    #[test]
+    fn timed_reports_elapsed() {
+        let (v, dt) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(dt.as_nanos() > 0 || dt.is_zero()); // monotone, no panic
+    }
+}

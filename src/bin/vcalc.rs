@@ -9,7 +9,13 @@
 //! ```text
 //! vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]
 //!                        [--run] [--naive] [--node <p>]
+//!                        [--trace] [--trace-out <path>]
 //! ```
+//!
+//! `--trace` executes each clause under a collecting tracer: the
+//! enumeration-dispatch counts, per-phase wall-clock timings (next to
+//! the `perfmodel` prediction), and the replay-checker verdict are
+//! printed, and `--trace-out` writes the deterministic JSONL event log.
 //!
 //! Example files are under `examples/vcalc/`.
 
@@ -17,8 +23,11 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
-use vcal_suite::machine::{run_distributed, DistArray, DistOptions};
-use vcal_suite::spmd::{emit, SpmdPlan};
+use vcal_suite::machine::{
+    replay_check, run_distributed, run_distributed_traced, CollectingTracer, DistArray,
+    DistOptions, PerfModel,
+};
+use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
 struct Options {
     program_path: String,
@@ -28,11 +37,13 @@ struct Options {
     naive: bool,
     advise: bool,
     node: i64,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
-     [--run] [--naive] [--advise] [--node <p>]"
+     [--run] [--naive] [--advise] [--node <p>] [--trace] [--trace-out <path>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -42,6 +53,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut naive = false;
     let mut advise = false;
     let mut node = 0i64;
+    let mut trace = false;
+    let mut trace_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,6 +72,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--node needs an integer")?;
             }
+            "--trace" => trace = true,
+            "--trace-out" => {
+                trace = true;
+                trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -66,6 +84,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if positional.len() != 2 {
         return Err(usage().to_string());
+    }
+    if trace {
+        run = true; // tracing is a property of an execution
     }
     if emits.is_empty() && !run && !advise {
         emits.push("vcal".into());
@@ -79,6 +100,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         naive,
         advise,
         node,
+        trace,
+        trace_out,
     })
 }
 
@@ -163,7 +186,7 @@ fn drive(opts: &Options) -> Result<(), String> {
         }
 
         if opts.run {
-            run_and_verify(clause, &plan, &spec.decomps)?;
+            run_and_verify(clause, &plan, &spec.decomps, opts)?;
         }
     }
     Ok(())
@@ -175,6 +198,7 @@ fn run_and_verify(
     clause: &vcal_suite::core::Clause,
     plan: &SpmdPlan,
     decomps: &vcal_suite::spmd::DecompMap,
+    opts: &Options,
 ) -> Result<(), String> {
     let mut env = Env::new();
     let mut names: Vec<&str> = vec![clause.lhs.array.as_str()];
@@ -211,8 +235,13 @@ fn run_and_verify(
             DistArray::scatter_from(env.get(name).unwrap(), decomps[*name].clone()),
         );
     }
-    let report = run_distributed(plan, clause, &mut arrays, DistOptions::default())
-        .map_err(|e| e.to_string())?;
+    let dist_opts = DistOptions::default();
+    let tracer = opts.trace.then(CollectingTracer::new);
+    let report = match &tracer {
+        Some(t) => run_distributed_traced(plan, clause, &mut arrays, dist_opts, t),
+        None => run_distributed(plan, clause, &mut arrays, dist_opts),
+    }
+    .map_err(|e| e.to_string())?;
     let diff = arrays[&clause.lhs.array]
         .gather()
         .max_abs_diff(reference.get(&clause.lhs.array).unwrap());
@@ -228,5 +257,61 @@ fn run_and_verify(
         t.msgs_sent,
         t.local_reads
     );
+    if let Some(tracer) = tracer {
+        report_trace(&tracer, plan, &report, dist_opts, opts)?;
+    }
+    Ok(())
+}
+
+/// Print the trace digest: dispatch counts, replay verdict, measured
+/// per-phase timings next to the analytical `perfmodel` prediction.
+fn report_trace(
+    tracer: &CollectingTracer,
+    plan: &SpmdPlan,
+    report: &vcal_suite::machine::ExecReport,
+    dist_opts: DistOptions,
+    opts: &Options,
+) -> Result<(), String> {
+    let log = tracer.finish();
+    let summary = replay_check(&log, plan, dist_opts.mode, dist_opts.retry)
+        .map_err(|e| format!("replay check FAILED: {e}"))?;
+    println!(
+        "trace: replay OK — {} deterministic events, {} elems sent / {} received, \
+         {} retransmits",
+        summary.det_events, summary.send_elems, summary.recv_elems, summary.retransmits
+    );
+    let dispatch = PlanSummary::of(plan);
+    print!("trace: enumeration dispatch:");
+    for (kind, n) in dispatch.dispatch_counts() {
+        print!(" {kind}×{n}");
+    }
+    println!(
+        "{}",
+        if dispatch.is_fully_closed_form() {
+            " (all closed-form)"
+        } else {
+            " (CONTAINS NAIVE FALLBACK)"
+        }
+    );
+    let model = PerfModel::default();
+    let predicted = model.price_report(report);
+    println!(
+        "trace: perfmodel predicts {:.1} time units (bottleneck node {})",
+        predicted.total, predicted.bottleneck
+    );
+    for (phase, total) in log.phase_totals() {
+        let max = log.phase_bottlenecks()[&phase];
+        println!(
+            "trace:   phase {:<12} total {:>10.3?}  bottleneck {:>10.3?}",
+            phase.name(),
+            total,
+            max
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, log.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace: deterministic event log written to {path}");
+    }
+    println!();
     Ok(())
 }

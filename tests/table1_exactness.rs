@@ -8,7 +8,8 @@
 use vcal_suite::core::func::Fn1;
 use vcal_suite::core::Bounds;
 use vcal_suite::decomp::Decomp1;
-use vcal_suite::spmd::{naive_schedule, optimize, OptKind};
+use vcal_suite::machine::{trace_plan, CollectingTracer};
+use vcal_suite::spmd::{naive_schedule, optimize, OptKind, PlanSummary, SpmdPlan};
 
 /// Check one (f, dec) pair over the loop range for all processors.
 /// Returns the kinds seen.
@@ -241,6 +242,175 @@ fn paper_special_case_mod_multiple_of_pmax() {
         let rot_sched = optimize(&rot, &dec, 0, z - 1, p).schedule.to_sorted_vec();
         let inner_sched: Vec<i64> = (0..z).filter(|&i| (i + 6).rem_euclid(pmax) == p).collect();
         assert_eq!(rot_sched, inner_sched, "p={p}");
+    }
+}
+
+// ---- edge rows: negative strides ----------------------------------------
+
+#[test]
+fn row_negative_stride_exact_and_closed_form() {
+    // a < 0 across all three decomposition columns: the image runs
+    // backwards through the array, but every schedule must stay exact
+    // and closed-form (Theorem 3 is symmetric in the sign of `a`).
+    for (a, pmax, expected_corollary) in [(-3i64, 4i64, 0u8), (-4, 4, 2), (-2, 8, 1), (-7, 4, 0)] {
+        for c in [N - 1, N - 5] {
+            let f = Fn1::affine(a, c);
+            // f(i) = a*i + c with a < 0 descends from c; keep the image
+            // inside [0, N-1]
+            let imax = c / a.abs();
+            let kb = check_cell(&f, &block(pmax), 0, imax);
+            assert!(
+                kb.iter().all(|k| *k == OptKind::BlockAffine),
+                "a={a}: {kb:?}"
+            );
+            let ks = check_cell(&f, &scatter(pmax), 0, imax);
+            assert!(
+                ks.iter().all(|k| *k
+                    == OptKind::ScatterLinear {
+                        corollary: expected_corollary
+                    }),
+                "a={a} pmax={pmax}: {ks:?}"
+            );
+            let kbs = check_cell(&f, &bs(5, pmax), 0, imax);
+            assert!(kbs.iter().all(|k| k.is_closed_form()), "a={a}: {kbs:?}");
+        }
+    }
+}
+
+// ---- edge rows: offset outside the loop's image --------------------------
+
+#[test]
+fn offset_outside_image_stays_exact() {
+    // `c` alone lies outside the accessed image (negative, or beyond the
+    // far end with a negative stride); the composed accesses f(i) stay
+    // inside the extent for the tested range, and every column must
+    // still classify closed-form — no silent naive fallback.
+    for pmax in [4i64, 8] {
+        // c < 0: f(i) = 7i - 5 ∈ [2, ...] for i >= 1
+        let f = Fn1::affine(7, -5);
+        let (imin, imax) = (1, (N - 1 + 5) / 7);
+        for dec in [block(pmax), scatter(pmax), bs(6, pmax)] {
+            let kinds = check_cell(&f, &dec, imin, imax);
+            assert!(kinds.iter().all(|k| k.is_closed_form()), "{dec}: {kinds:?}");
+        }
+        // c > N-1 with a < 0: f(i) = -3i + (N+3) ∈ [.., N-3] for i >= 2
+        let f = Fn1::affine(-3, N + 3);
+        let (imin, imax) = (2, (N + 3) / 3);
+        for dec in [block(pmax), scatter(pmax), bs(9, pmax)] {
+            let kinds = check_cell(&f, &dec, imin, imax);
+            assert!(kinds.iter().all(|k| k.is_closed_form()), "{dec}: {kinds:?}");
+        }
+    }
+}
+
+// ---- edge rows: degenerate single-element blocks --------------------------
+
+#[test]
+fn degenerate_single_element_blocks() {
+    // b = 1 makes block-scatter collapse onto plain scatter, and a block
+    // decomposition with one element per processor is the finest block —
+    // both must classify closed-form and enumerate exactly.
+    for pmax in [2i64, 4, 8] {
+        for f in [Fn1::identity(), Fn1::shift(2), Fn1::affine(3, 1)] {
+            let imax = match &f {
+                Fn1::Affine { a, c } => (N - 1 - c) / a,
+                _ => N - 3,
+            };
+            let kinds = check_cell(&f, &bs(1, pmax), 0, imax);
+            assert!(
+                kinds.iter().all(|k| k.is_closed_form()),
+                "b=1 pmax={pmax} f={f:?}: {kinds:?}"
+            );
+        }
+    }
+    // one element per processor: extent 0..pmax-1, block size 1
+    let pmax = 16;
+    let tiny = Decomp1::block(pmax, Bounds::range(0, pmax - 1));
+    let kinds = check_cell(&Fn1::identity(), &tiny, 0, pmax - 1);
+    assert!(kinds.iter().all(|k| k.is_closed_form()), "{kinds:?}");
+    for p in 0..pmax {
+        let opt = optimize(&Fn1::identity(), &tiny, 0, pmax - 1, p);
+        assert_eq!(opt.schedule.to_sorted_vec(), vec![p], "p={p}");
+    }
+}
+
+// ---- edge rows: gcd(a, P·b) > 1 Diophantine no-solution -------------------
+
+#[test]
+fn gcd_no_solution_is_empty_not_naive() {
+    // gcd(a, pmax) > 1: the congruence a·i + c ≡ p (mod pmax) has no
+    // solution for half the processors. Theorem 3 must answer with an
+    // *empty* closed-form schedule — falling back to membership testing
+    // would be exact too, which is why only the dispatch kind can catch
+    // the regression.
+    let (a, c, pmax) = (6i64, 1i64, 4i64);
+    let f = Fn1::affine(a, c);
+    let imax = (N - 1 - c) / a;
+    let kinds = check_cell(&f, &scatter(pmax), 0, imax);
+    assert!(
+        kinds
+            .iter()
+            .all(|k| *k == OptKind::ScatterLinear { corollary: 0 }),
+        "{kinds:?}"
+    );
+    for p in 0..pmax {
+        let opt = optimize(&f, &scatter(pmax), 0, imax, p);
+        // 6i+1 mod 4 ∈ {1, 3}: even processors own nothing
+        assert_eq!(opt.schedule.is_empty(), p % 2 == 0, "p={p}");
+        assert!(opt.kind.is_closed_form(), "p={p}: {:?}", opt.kind);
+    }
+    // block-scatter column: gcd(a, P·b) = gcd(6, 4·2) = 2 > 1
+    let kbs = check_cell(&f, &bs(2, pmax), 0, imax);
+    assert!(kbs.iter().all(|k| k.is_closed_form()), "{kbs:?}");
+}
+
+// ---- the dispatch trace is the witness ------------------------------------
+
+#[test]
+fn edge_rows_dispatch_trace_shows_no_fallback() {
+    // Whole-plan check through the observability layer: the recorded
+    // enumeration-dispatch trace for an edge clause (negative stride,
+    // gcd > 1, offset outside the image) must contain no `naive-guard`
+    // row — the paper's closed forms cover all of them.
+    use vcal_suite::core::func::Fn1;
+    use vcal_suite::core::{ArrayRef, Clause, Expr, Guard, IndexSet, Ordering};
+    use vcal_suite::spmd::DecompMap;
+
+    let cases: Vec<(Fn1, Fn1, i64, i64)> = vec![
+        (Fn1::identity(), Fn1::affine(-3, N + 3), 2, (N + 3) / 3), // a<0, c>N-1
+        (Fn1::identity(), Fn1::affine(6, 1), 0, (N - 2) / 6),      // gcd(6,8)=2
+        (Fn1::shift(1), Fn1::affine(7, -5), 1, (N + 4) / 7),       // c<0
+    ];
+    for (f, g, imin, imax) in cases {
+        let clause = Clause {
+            iter: IndexSet::range(imin, imax),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", f),
+            rhs: Expr::Ref(ArrayRef::d1("B", g.clone())),
+        };
+        let mut dm = DecompMap::new();
+        dm.insert("A".into(), Decomp1::block(8, Bounds::range(0, N - 1)));
+        dm.insert("B".into(), Decomp1::scatter(8, Bounds::range(0, N - 1)));
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+
+        // plan-level summary and the machine-level dispatch trace must
+        // agree: fully closed-form, no naive-guard row anywhere
+        let summary = PlanSummary::of(&plan);
+        assert!(
+            summary.is_fully_closed_form(),
+            "g={g:?}: {:?}",
+            summary.dispatch_counts()
+        );
+        let tracer = CollectingTracer::new();
+        trace_plan(&tracer, &plan);
+        let counts = tracer.finish().dispatch_counts();
+        assert!(!counts.contains_key("naive-guard"), "g={g:?}: {counts:?}");
+        assert_eq!(
+            counts.values().sum::<u64>(),
+            summary.dispatch_counts().values().sum::<u64>(),
+            "trace and plan summary disagree for g={g:?}"
+        );
     }
 }
 
