@@ -68,13 +68,13 @@ use vcal_spmd::{NodePlan, SpmdPlan};
 
 /// A tagged value message.
 #[derive(Debug, Clone, Copy)]
-struct Msg {
+pub(crate) struct Msg {
     /// Index into the node's reside/read slot list.
-    slot: usize,
+    pub(crate) slot: usize,
     /// Loop index the value belongs to.
-    i: i64,
+    pub(crate) i: i64,
     /// The payload.
-    value: f64,
+    pub(crate) value: f64,
 }
 
 /// Modeled wire cost of one element message (slot + index + value).
@@ -84,7 +84,7 @@ pub(crate) const PACK_HEADER_BYTES: u64 = 16;
 
 /// The machine-level payload of a wire packet.
 #[derive(Debug, Clone)]
-enum Wire {
+pub(crate) enum Wire {
     /// Element mode: one tagged value.
     Elem(Msg),
     /// Vectorized mode: all values of one planned run, packed in run
@@ -192,7 +192,7 @@ impl Default for DistOptions {
 
 /// Expression with read references resolved to slot indices (so the hot
 /// loop never touches array names).
-enum RExpr {
+pub(crate) enum RExpr {
     Slot(usize),
     Lit(f64),
     LoopVar,
@@ -200,7 +200,7 @@ enum RExpr {
     Bin(BinOp, Box<RExpr>, Box<RExpr>),
 }
 
-fn resolve_expr(e: &Expr, node: &NodePlan) -> Result<RExpr, MachineError> {
+pub(crate) fn resolve_expr(e: &Expr, node: &NodePlan) -> Result<RExpr, MachineError> {
     match e {
         Expr::Ref(r) => {
             let g = r.map.as_fn1().ok_or_else(|| {
@@ -239,7 +239,7 @@ fn resolve_expr(e: &Expr, node: &NodePlan) -> Result<RExpr, MachineError> {
     }
 }
 
-fn eval_rexpr(e: &RExpr, i: i64, vals: &[f64]) -> f64 {
+pub(crate) fn eval_rexpr(e: &RExpr, i: i64, vals: &[f64]) -> f64 {
     match e {
         RExpr::Slot(s) => vals[*s],
         RExpr::Lit(v) => *v,
@@ -249,12 +249,12 @@ fn eval_rexpr(e: &RExpr, i: i64, vals: &[f64]) -> f64 {
     }
 }
 
-enum RGuard {
+pub(crate) enum RGuard {
     Always,
     Cmp { slot: usize, op: CmpOp, rhs: f64 },
 }
 
-fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, MachineError> {
+pub(crate) fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, MachineError> {
     match g {
         Guard::Always => Ok(RGuard::Always),
         Guard::Cmp { lhs, op, rhs } => {
@@ -287,7 +287,7 @@ fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, MachineError> {
 /// the local writes it wants committed, statistics, per-destination
 /// send counts, and its error state. Writes are applied by the host
 /// only when every node succeeded, so a failed run restores state.
-type NodeOutcome = (
+pub(crate) type NodeOutcome = (
     i64,
     BTreeMap<String, Vec<f64>>,
     Vec<(usize, f64)>,
@@ -305,8 +305,119 @@ struct Worker {
 
 /// A zero part of the right local size — the last-resort placeholder
 /// when a node thread died without returning its memories.
-fn zero_part(dec: &Decomp1, p: i64) -> Vec<f64> {
+pub(crate) fn zero_part(dec: &Decomp1, p: i64) -> Vec<f64> {
     vec![0.0; dec.local_count(p).max(0) as usize]
+}
+
+/// Remove every referenced image from `arrays` and split it into
+/// per-node local memories. Two-phase: a missing array restores the
+/// already-removed images and reports a typed error, so the map is
+/// never left partially disassembled.
+pub(crate) fn disassemble(
+    arrays: &mut BTreeMap<String, DistArray>,
+    referenced: &[String],
+    pmax: i64,
+) -> Result<Vec<BTreeMap<String, Vec<f64>>>, MachineError> {
+    let mut taken: Vec<(String, DistArray)> = Vec::with_capacity(referenced.len());
+    for name in referenced {
+        match arrays.remove(name) {
+            Some(da) => taken.push((name.clone(), da)),
+            None => {
+                for (n, da) in taken {
+                    arrays.insert(n, da);
+                }
+                return Err(MachineError::UnknownArray(name.clone()));
+            }
+        }
+    }
+    let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
+        (0..pmax).map(|_| BTreeMap::new()).collect();
+    for (name, da) in taken {
+        let (_, parts) = da.into_parts();
+        for (p, part) in parts.into_iter().enumerate() {
+            per_node[p].insert(name.clone(), part);
+        }
+    }
+    Ok(per_node)
+}
+
+/// The host-side tail every distributed execution shares (cold scoped
+/// threads and the persistent pool alike): order the outcomes, pick the
+/// run's root-cause error, validate all writes, commit them
+/// all-or-nothing, and reassemble the distributed images — on error,
+/// from the *unmodified* local memories, restoring pre-run state.
+pub(crate) fn finalize_run(
+    lhs_array: &str,
+    referenced: &[String],
+    decomps: &BTreeMap<String, Decomp1>,
+    mut results: Vec<NodeOutcome>,
+    arrays: &mut BTreeMap<String, DistArray>,
+    tracer: &dyn Tracer,
+) -> Result<ExecReport, MachineError> {
+    results.sort_by_key(|(p, ..)| *p);
+
+    // pick the run's error: a panic is the root cause and wins over the
+    // secondary Unrecoverable/Missing* errors it induces on peers
+    let mut first_err: Option<MachineError> = None;
+    for (.., res) in &results {
+        if let Err(e) = res {
+            match (&first_err, e) {
+                (None, _) => first_err = Some(e.clone()),
+                (Some(MachineError::NodePanicked { .. }), _) => {}
+                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    // validate every write before committing any (all-or-nothing)
+    if first_err.is_none() {
+        'validate: for (p, locals, writes, ..) in &results {
+            let len = locals.get(lhs_array).map_or(0, Vec::len);
+            for (off, _) in writes {
+                if *off >= len {
+                    first_err = Some(MachineError::PlanMismatch(format!(
+                        "write offset {off} outside node {p}'s local part (len {len})"
+                    )));
+                    break 'validate;
+                }
+            }
+        }
+    }
+    let commit = first_err.is_none();
+
+    // reassemble the distributed images (on error: pre-run state)
+    let commit_t0 = tracer.enabled().then(std::time::Instant::now);
+    let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut report = ExecReport::default();
+    for (p, mut locals, writes, stats, sent_to, _res) in results {
+        if commit {
+            if let Some(lhs_local) = locals.get_mut(lhs_array) {
+                for (off, v) in writes {
+                    lhs_local[off] = v; // validated above
+                }
+            }
+        }
+        for name in referenced {
+            let part = locals
+                .remove(name)
+                .unwrap_or_else(|| zero_part(&decomps[name], p));
+            parts_by_name.entry(name.clone()).or_default().push(part);
+        }
+        report.nodes.push(stats);
+        report.traffic.push(sent_to);
+    }
+    for (name, parts) in parts_by_name {
+        let dec = decomps[&name].clone();
+        arrays.insert(name, DistArray::from_parts(dec, parts));
+    }
+    if let Some(t0) = commit_t0 {
+        tracer.timing(crate::obs::HOST, Phase::Commit, t0.elapsed());
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 /// Execute a `//` clause on the distributed-memory machine.
@@ -382,27 +493,7 @@ pub fn run_distributed_traced(
     trace_plan(tracer, plan);
 
     // disassemble the distributed images into per-node local memories
-    // (two-phase so a missing array cannot leave a partial removal)
-    let mut taken: Vec<(String, DistArray)> = Vec::with_capacity(referenced.len());
-    for name in &referenced {
-        match arrays.remove(name) {
-            Some(da) => taken.push((name.clone(), da)),
-            None => {
-                for (n, da) in taken {
-                    arrays.insert(n, da);
-                }
-                return Err(MachineError::UnknownArray(name.clone()));
-            }
-        }
-    }
-    let mut per_node: Vec<BTreeMap<String, Vec<f64>>> =
-        (0..pmax).map(|_| BTreeMap::new()).collect();
-    for (name, da) in taken {
-        let (_, parts) = da.into_parts();
-        for (p, part) in parts.into_iter().enumerate() {
-            per_node[p].insert(name.clone(), part);
-        }
-    }
+    let per_node = disassemble(arrays, &referenced, pmax)?;
 
     // channels: one receiver per node, senders shared
     let mut txs: Vec<Sender<Frame<Wire>>> = Vec::with_capacity(pmax as usize);
@@ -453,70 +544,15 @@ pub fn run_distributed_traced(
             }));
         }
     });
-    results.sort_by_key(|(p, ..)| *p);
 
-    // pick the run's error: a panic is the root cause and wins over the
-    // secondary Unrecoverable/Missing* errors it induces on peers
-    let mut first_err: Option<MachineError> = None;
-    for (.., res) in &results {
-        if let Err(e) = res {
-            match (&first_err, e) {
-                (None, _) => first_err = Some(e.clone()),
-                (Some(MachineError::NodePanicked { .. }), _) => {}
-                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
-                _ => {}
-            }
-        }
-    }
-
-    // validate every write before committing any (all-or-nothing)
-    if first_err.is_none() {
-        'validate: for (p, locals, writes, ..) in &results {
-            let len = locals.get(&plan.lhs_array).map_or(0, Vec::len);
-            for (off, _) in writes {
-                if *off >= len {
-                    first_err = Some(MachineError::PlanMismatch(format!(
-                        "write offset {off} outside node {p}'s local part (len {len})"
-                    )));
-                    break 'validate;
-                }
-            }
-        }
-    }
-    let commit = first_err.is_none();
-
-    // reassemble the distributed images (on error: pre-run state)
-    let commit_t0 = tracer.enabled().then(std::time::Instant::now);
-    let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
-    let mut report = ExecReport::default();
-    for (p, mut locals, writes, stats, sent_to, _res) in results {
-        if commit {
-            if let Some(lhs_local) = locals.get_mut(&plan.lhs_array) {
-                for (off, v) in writes {
-                    lhs_local[off] = v; // validated above
-                }
-            }
-        }
-        for name in &referenced {
-            let part = locals
-                .remove(name)
-                .unwrap_or_else(|| zero_part(&decomps[name], p));
-            parts_by_name.entry(name.clone()).or_default().push(part);
-        }
-        report.nodes.push(stats);
-        report.traffic.push(sent_to);
-    }
-    for (name, parts) in parts_by_name {
-        let dec = decomps[&name].clone();
-        arrays.insert(name, DistArray::from_parts(dec, parts));
-    }
-    if let Some(t0) = commit_t0 {
-        tracer.timing(crate::obs::HOST, Phase::Commit, t0.elapsed());
-    }
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(report),
-    }
+    finalize_run(
+        &plan.lhs_array,
+        &referenced,
+        &decomps,
+        results,
+        arrays,
+        tracer,
+    )
 }
 
 /// One node thread: run the SPMD phases under a panic guard, then
@@ -795,7 +831,7 @@ fn node_phases(
 }
 
 /// Why a remote value could not be produced.
-enum RecvFail {
+pub(crate) enum RecvFail {
     /// The wire message never arrived within the timeout (recovery
     /// disabled) — element mode.
     Timeout,
@@ -879,85 +915,126 @@ impl RecvState {
         stats: &mut NodeStats,
     ) -> Result<f64, RecvFail> {
         match self {
-            RecvState::Element { pending } => await_until(
-                ep,
-                rx,
-                owner,
-                opts.recv_timeout,
-                opts.retry,
-                stats,
-                pending,
-                |pending| pending.remove(&(slot, i)).map(Ok),
-                |pending, _src, wire| match wire {
-                    Wire::Elem(m) => {
-                        pending.insert((m.slot, m.i), m.value);
-                        Ok(())
-                    }
-                    Wire::Pack { .. } => Err("vector packet in element mode"),
-                },
-            )
-            .map_err(|e| match e {
-                AwaitFail::Timeout => RecvFail::Timeout,
-                AwaitFail::Exhausted { retries } => RecvFail::Exhausted {
-                    peer: owner,
-                    retries,
-                },
-                AwaitFail::BadWire(w) => RecvFail::BadWire(w),
-            }),
+            RecvState::Element { pending } => {
+                recv_element(ep, rx, pending, slot, i, owner, opts, stats)
+            }
             RecvState::Packed {
                 src_ord,
                 peers,
                 staging,
                 origin,
-            } => {
-                let &(so, ro, off) = origin
-                    .get(&(slot, i))
-                    .ok_or(RecvFail::BadWire("no planned packet covers this element"))?;
-                let peer = peers
-                    .get(so)
-                    .copied()
-                    .ok_or(RecvFail::BadWire("source ordinal out of range"))?;
-                let mut ctx = (staging, &*src_ord);
-                await_until(
-                    ep,
-                    rx,
-                    peer,
-                    opts.recv_timeout,
-                    opts.retry,
-                    stats,
-                    &mut ctx,
-                    |(staging, _)| {
-                        staging[so][ro].as_ref().map(|vals| {
-                            vals.get(off)
-                                .copied()
-                                .ok_or("packet shorter than its planned run")
-                        })
-                    },
-                    |(staging, src_ord), src, wire| match wire {
-                        Wire::Pack { run_ord, values } => {
-                            let ord = src_ord
-                                .get(src as usize)
-                                .copied()
-                                .filter(|&o| o != usize::MAX)
-                                .ok_or("packet from unplanned source")?;
-                            let row = staging.get_mut(ord).ok_or("packet from unplanned source")?;
-                            let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
-                            if cell.is_none() {
-                                *cell = Some(values);
-                            }
-                            Ok(())
-                        }
-                        Wire::Elem(_) => Err("element message in vectorized mode"),
-                    },
-                )
-                .map_err(|e| match e {
-                    AwaitFail::Timeout => RecvFail::PacketTimeout { peer, run: ro },
-                    AwaitFail::Exhausted { retries } => RecvFail::Exhausted { peer, retries },
-                    AwaitFail::BadWire(w) => RecvFail::BadWire(w),
-                })
-            }
+            } => recv_packed(
+                ep, rx, staging, src_ord, peers, origin, slot, i, opts, stats,
+            ),
         }
     }
+}
+
+/// Element-mode blocking receive: stage tagged arrivals in `pending`
+/// until `(slot, i)` from `owner` is available. Shared by the per-run
+/// [`RecvState`] and the persistent executor (which keeps `pending`
+/// alive across runs, cleared, not reallocated).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recv_element(
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    pending: &mut BTreeMap<(usize, i64), f64>,
+    slot: usize,
+    i: i64,
+    owner: i64,
+    opts: &DistOptions,
+    stats: &mut NodeStats,
+) -> Result<f64, RecvFail> {
+    await_until(
+        ep,
+        rx,
+        owner,
+        opts.recv_timeout,
+        opts.retry,
+        stats,
+        pending,
+        |pending| pending.remove(&(slot, i)).map(Ok),
+        |pending, _src, wire| match wire {
+            Wire::Elem(m) => {
+                pending.insert((m.slot, m.i), m.value);
+                Ok(())
+            }
+            Wire::Pack { .. } => Err("vector packet in element mode"),
+        },
+    )
+    .map_err(|e| match e {
+        AwaitFail::Timeout => RecvFail::Timeout,
+        AwaitFail::Exhausted { retries } => RecvFail::Exhausted {
+            peer: owner,
+            retries,
+        },
+        AwaitFail::BadWire(w) => RecvFail::BadWire(w),
+    })
+}
+
+/// Vectorized-mode blocking receive: stage whole packets by
+/// `(source, run)` and resolve `(slot, i)` through the plan-computed
+/// `origin` addressing. Shared by the per-run [`RecvState`] (which
+/// expands `origin` on every execution) and the persistent executor
+/// (which reads it from the compiled schedule and reuses `staging`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recv_packed(
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    src_ord: &[usize],
+    peers: &[i64],
+    origin: &BTreeMap<(usize, i64), (usize, usize, usize)>,
+    slot: usize,
+    i: i64,
+    opts: &DistOptions,
+    stats: &mut NodeStats,
+) -> Result<f64, RecvFail> {
+    let &(so, ro, off) = origin
+        .get(&(slot, i))
+        .ok_or(RecvFail::BadWire("no planned packet covers this element"))?;
+    let peer = peers
+        .get(so)
+        .copied()
+        .ok_or(RecvFail::BadWire("source ordinal out of range"))?;
+    let mut ctx = (staging, src_ord);
+    await_until(
+        ep,
+        rx,
+        peer,
+        opts.recv_timeout,
+        opts.retry,
+        stats,
+        &mut ctx,
+        |(staging, _)| {
+            staging[so][ro].as_ref().map(|vals| {
+                vals.get(off)
+                    .copied()
+                    .ok_or("packet shorter than its planned run")
+            })
+        },
+        |(staging, src_ord), src, wire| match wire {
+            Wire::Pack { run_ord, values } => {
+                let ord = src_ord
+                    .get(src as usize)
+                    .copied()
+                    .filter(|&o| o != usize::MAX)
+                    .ok_or("packet from unplanned source")?;
+                let row = staging.get_mut(ord).ok_or("packet from unplanned source")?;
+                let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
+                if cell.is_none() {
+                    *cell = Some(values);
+                }
+                Ok(())
+            }
+            Wire::Elem(_) => Err("element message in vectorized mode"),
+        },
+    )
+    .map_err(|e| match e {
+        AwaitFail::Timeout => RecvFail::PacketTimeout { peer, run: ro },
+        AwaitFail::Exhausted { retries } => RecvFail::Exhausted { peer, retries },
+        AwaitFail::BadWire(w) => RecvFail::BadWire(w),
+    })
 }
 
 #[cfg(test)]

@@ -162,7 +162,13 @@ pub fn run_doacross(
     }
     txs.push(None); // last node has no successor
 
-    let mut results: Vec<(i64, BTreeMap<String, Vec<f64>>, NodeStats)> = Vec::new();
+    type DoacrossOutcome = (
+        i64,
+        BTreeMap<String, Vec<f64>>,
+        NodeStats,
+        Result<(), MachineError>,
+    );
+    let mut results: Vec<DoacrossOutcome> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (p, mut locals) in per_node.into_iter().enumerate() {
@@ -176,85 +182,130 @@ pub fn run_doacross(
             handles.push(scope.spawn(move || {
                 let mut stats = NodeStats::default();
                 let mut halo: HashMap<i64, f64> = HashMap::new();
-                // iteration sub-range owned by p
-                let my_cnt = dec.local_count(p);
-                let my_lo = if my_cnt > 0 { dec.global_of(p, 0) } else { 0 };
-                let my_hi = if my_cnt > 0 {
-                    dec.global_of(p, my_cnt - 1)
-                } else {
-                    -1
-                };
-                let lo = my_lo.max(imin);
-                let hi = my_hi.min(imax);
-                // forward the *initial* (never-to-be-computed) values in
-                // the boundary window first, so the successor's earliest
-                // iterations can read pre-state data across the boundary.
-                if let (Some(tx), true) = (tx.as_ref(), my_cnt > 0) {
-                    for g in (my_hi - max_d + 1).max(my_lo)..=my_hi {
-                        if g < lo || g > hi {
-                            let off = dec.local_of(g) as usize;
-                            stats.msgs_sent += 1;
-                            let _ = tx.send(BoundaryMsg {
-                                g,
-                                value: locals[rec_name][off],
-                            });
-                        }
-                    }
-                }
-                for i in lo..=hi {
-                    // gather carried operands
-                    for &d in dists.iter() {
-                        let src = i - d;
-                        if src >= my_lo || src < dec.extent().lo()[0] {
-                            continue; // local or out of array (guarded by caller)
-                        }
-                        if !halo.contains_key(&src) {
-                            let rx = rx.as_ref().expect("node >0 has a predecessor");
-                            loop {
-                                let msg = rx.recv().expect("predecessor hung up early");
-                                stats.msgs_received += 1;
-                                halo.insert(msg.g, msg.value);
-                                if msg.g == src {
-                                    break;
-                                }
+                let res = (|| -> Result<(), MachineError> {
+                    // iteration sub-range owned by p
+                    let my_cnt = dec.local_count(p);
+                    let my_lo = if my_cnt > 0 { dec.global_of(p, 0) } else { 0 };
+                    let my_hi = if my_cnt > 0 {
+                        dec.global_of(p, my_cnt - 1)
+                    } else {
+                        -1
+                    };
+                    let lo = my_lo.max(imin);
+                    let hi = my_hi.min(imax);
+                    // forward the *initial* (never-to-be-computed) values in
+                    // the boundary window first, so the successor's earliest
+                    // iterations can read pre-state data across the boundary.
+                    if let (Some(tx), true) = (tx.as_ref(), my_cnt > 0) {
+                        for g in (my_hi - max_d + 1).max(my_lo)..=my_hi {
+                            if g < lo || g > hi {
+                                let off = dec.local_of(g) as usize;
+                                stats.msgs_sent += 1;
+                                let _ = tx.send(BoundaryMsg {
+                                    g,
+                                    value: locals[rec_name][off],
+                                });
                             }
                         }
                     }
-                    // evaluate
-                    stats.iterations += 1;
-                    let guard_ok =
-                        eval_guard_local(&clause.guard, i, p, &locals, decomps, rec_name, &halo);
-                    if guard_ok {
-                        let v = eval_local(&clause.rhs, i, p, &locals, decomps, rec_name, &halo);
-                        let off = dec.local_of(i) as usize;
-                        if let Some(rec) = locals.get_mut(rec_name) {
-                            rec[off] = v;
+                    for i in lo..=hi {
+                        // gather carried operands
+                        for &d in dists.iter() {
+                            let src = i - d;
+                            if src >= my_lo || src < dec.extent().lo()[0] {
+                                continue; // local or out of array (guarded by caller)
+                            }
+                            if !halo.contains_key(&src) {
+                                let rx = rx.as_ref().ok_or_else(|| {
+                                    MachineError::PlanMismatch(format!(
+                                        "node {p} needs predecessor values but has no \
+                                         predecessor channel"
+                                    ))
+                                })?;
+                                loop {
+                                    let msg =
+                                        rx.recv().map_err(|_| MachineError::PeerDisconnected {
+                                            node: p,
+                                            peer: p - 1,
+                                        })?;
+                                    stats.msgs_received += 1;
+                                    halo.insert(msg.g, msg.value);
+                                    if msg.g == src {
+                                        break;
+                                    }
+                                }
+                            }
                         }
-                    }
-                    // forward boundary values the successor will need:
-                    // successor's first max_d iterations read back to
-                    // my_hi - max_d + 1.
-                    if i > my_hi - max_d {
-                        if let Some(tx) = tx.as_ref() {
+                        // evaluate
+                        stats.iterations += 1;
+                        let guard_ok = eval_guard_local(
+                            &clause.guard,
+                            i,
+                            p,
+                            &locals,
+                            decomps,
+                            rec_name,
+                            &halo,
+                        )?;
+                        if guard_ok {
+                            let v =
+                                eval_local(&clause.rhs, i, p, &locals, decomps, rec_name, &halo)?;
                             let off = dec.local_of(i) as usize;
-                            let value = locals[rec_name][off];
-                            stats.msgs_sent += 1;
-                            let _ = tx.send(BoundaryMsg { g: i, value });
+                            if let Some(rec) = locals.get_mut(rec_name) {
+                                rec[off] = v;
+                            }
+                        }
+                        // forward boundary values the successor will need:
+                        // successor's first max_d iterations read back to
+                        // my_hi - max_d + 1.
+                        if i > my_hi - max_d {
+                            if let Some(tx) = tx.as_ref() {
+                                let off = dec.local_of(i) as usize;
+                                let value = locals[rec_name][off];
+                                stats.msgs_sent += 1;
+                                let _ = tx.send(BoundaryMsg { g: i, value });
+                            }
                         }
                     }
-                }
-                (p, locals, stats)
+                    Ok(())
+                })();
+                (p, locals, stats, res)
             }));
         }
-        for h in handles {
-            results.push(h.join().expect("doacross thread panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            // the supervisor: an escaped panic becomes a typed error,
+            // never a host abort
+            results.push(h.join().unwrap_or_else(|_| {
+                (
+                    p as i64,
+                    BTreeMap::new(),
+                    NodeStats::default(),
+                    Err(MachineError::NodePanicked { node: p as i64 }),
+                )
+            }));
         }
     });
     results.sort_by_key(|(p, ..)| *p);
 
+    // a panic (or the disconnect it causes downstream) is the root cause
+    let mut first_err: Option<MachineError> = None;
+    for (.., res) in &results {
+        if let Err(e) = res {
+            match (&first_err, e) {
+                (None, _) => first_err = Some(e.clone()),
+                (Some(MachineError::NodePanicked { .. }), _) => {}
+                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    // reassemble even on error so the session keeps its arrays; the
+    // pipeline mutates locals in place, so a failed run is reported as
+    // a typed error over best-effort state, never a panic
     let mut report = ExecReport::default();
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
-    for (p, mut locals, stats) in results {
+    for (p, mut locals, stats, _res) in results {
         for name in &names {
             let part = locals
                 .remove(name)
@@ -267,7 +318,10 @@ pub fn run_doacross(
         let d = decomps[&name].clone();
         arrays.insert(name, DistArray::from_parts(d, parts));
     }
-    Ok(report)
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -279,31 +333,46 @@ fn eval_local(
     decomps: &BTreeMap<String, Decomp1>,
     rec_name: &str,
     halo: &HashMap<i64, f64>,
-) -> f64 {
+) -> Result<f64, MachineError> {
     match e {
         Expr::Ref(r) => {
-            let g = r.map.as_fn1().expect("1-D").eval(i);
+            let g = r
+                .map
+                .as_fn1()
+                .ok_or_else(|| {
+                    MachineError::PlanMismatch(format!(
+                        "read ref `{}` is not 1-D but the pipeline is",
+                        r.array
+                    ))
+                })?
+                .eval(i);
             let dec = &decomps[&r.array];
             if r.array == rec_name && !dec.resides_on(g, p) {
-                halo[&g]
+                halo.get(&g)
+                    .copied()
+                    .ok_or_else(|| MachineError::MissingMessage {
+                        node: p,
+                        array: r.array.clone(),
+                        index: i,
+                    })
             } else {
-                locals[&r.array][dec.local_of(g) as usize]
+                Ok(locals[&r.array][dec.local_of(g) as usize])
             }
         }
-        Expr::Lit(v) => *v,
-        Expr::LoopVar { .. } => i as f64,
-        Expr::Neg(inner) => -eval_local(inner, i, p, locals, decomps, rec_name, halo),
+        Expr::Lit(v) => Ok(*v),
+        Expr::LoopVar { .. } => Ok(i as f64),
+        Expr::Neg(inner) => Ok(-eval_local(inner, i, p, locals, decomps, rec_name, halo)?),
         Expr::Bin(op, a, b) => {
-            let va = eval_local(a, i, p, locals, decomps, rec_name, halo);
-            let vb = eval_local(b, i, p, locals, decomps, rec_name, halo);
-            match op {
+            let va = eval_local(a, i, p, locals, decomps, rec_name, halo)?;
+            let vb = eval_local(b, i, p, locals, decomps, rec_name, halo)?;
+            Ok(match op {
                 BinOp::Add => va + vb,
                 BinOp::Sub => va - vb,
                 BinOp::Mul => va * vb,
                 BinOp::Div => va / vb,
                 BinOp::Min => va.min(vb),
                 BinOp::Max => va.max(vb),
-            }
+            })
         }
     }
 }
@@ -317,9 +386,9 @@ fn eval_guard_local(
     decomps: &BTreeMap<String, Decomp1>,
     rec_name: &str,
     halo: &HashMap<i64, f64>,
-) -> bool {
+) -> Result<bool, MachineError> {
     match g {
-        Guard::Always => true,
+        Guard::Always => Ok(true),
         Guard::Cmp { lhs, op, rhs } => {
             let v = eval_local(
                 &Expr::Ref(lhs.clone()),
@@ -329,8 +398,8 @@ fn eval_guard_local(
                 decomps,
                 rec_name,
                 halo,
-            );
-            op.holds(v, *rhs)
+            )?;
+            Ok(op.holds(v, *rhs))
         }
     }
 }

@@ -51,6 +51,14 @@ pub enum MachineError {
         /// The processor whose thread panicked.
         node: i64,
     },
+    /// A pipeline peer hung up before delivering everything it owed
+    /// (DOACROSS predecessor exited early).
+    PeerDisconnected {
+        /// The waiting processor.
+        node: i64,
+        /// The peer that disconnected.
+        peer: i64,
+    },
     /// The plan and the supplied arrays disagree (extent or processor
     /// count mismatch).
     PlanMismatch(String),
@@ -90,6 +98,11 @@ impl fmt::Display for MachineError {
                 f,
                 "node {node} panicked during execution; remaining nodes quiesced, \
                  array state restored"
+            ),
+            MachineError::PeerDisconnected { node, peer } => write!(
+                f,
+                "node {node}'s pipeline peer {peer} hung up before delivering its \
+                 boundary values"
             ),
             MachineError::PlanMismatch(m) => write!(f, "plan/array mismatch: {m}"),
         }

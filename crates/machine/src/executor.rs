@@ -1,0 +1,850 @@
+//! The steady-state executor: a persistent worker pool replaying
+//! compiled schedules (paper Section 4's amortization discipline).
+//!
+//! [`run_distributed`](crate::run_distributed) pays the full setup bill
+//! on every call: fresh OS threads per clause, channels and staging
+//! reallocated, the closed-form enumerators re-walked into temporaries.
+//! That is the right shape for a one-shot clause and exactly the wrong
+//! shape for a timestep loop, where the same plan executes thousands of
+//! times. This module splits the cost:
+//!
+//! * [`prepare_run`] does everything that depends only on
+//!   `(plan, clause, decompositions)` — expression/guard resolution,
+//!   the [`CompiledSchedule`] materialization of every Table I
+//!   enumeration and the vectorized receive addressing — and freezes it
+//!   in a shareable [`PreparedPlan`].
+//! * [`DistExecutor`] owns `pmax` node threads spawned **once**; between
+//!   runs they park on their job channel. Transport endpoints (sequence
+//!   numbers, dedup windows), receive staging, and operand buffers are
+//!   *reset*, not reallocated, per run.
+//!
+//! The warm path threads the same [`Tracer`] and fault machinery as the
+//! cold path and must stay behaviorally identical to it: same results
+//! bit-for-bit, same statistics, same deterministic event stream (worker
+//! events are buffered thread-locally and replayed into the real tracer
+//! after the run — sound because [`CollectingTracer`] canonicalizes
+//! event order by `(class, node, per-node clock)`). A pooled worker that
+//! crashes is retired without poisoning the session: the caught panic
+//! becomes [`MachineError::NodePanicked`], uncommitted writes are
+//! discarded (the host's all-or-nothing commit restores pre-run state),
+//! and a genuinely dead thread causes the pool to rebuild itself on the
+//! next run.
+//!
+//! [`CollectingTracer`]: crate::obs::CollectingTracer
+
+use crate::darray::DistArray;
+use crate::distributed::{
+    disassemble, eval_rexpr, finalize_run, recv_element, recv_packed, resolve_expr, resolve_guard,
+    CommMode, DistOptions, Msg, NodeOutcome, RExpr, RGuard, RecvFail, Wire, ELEM_MSG_BYTES,
+    PACK_HEADER_BYTES,
+};
+use crate::error::MachineError;
+use crate::obs::{trace_plan, EventKind, Phase, Tracer};
+use crate::stats::{ExecReport, NodeStats};
+use crate::transport::{Endpoint, Frame};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vcal_core::{Clause, Ordering};
+use vcal_decomp::Decomp1;
+use vcal_spmd::{for_each_run, CompiledSchedule, SpmdPlan};
+
+/// Everything a repeated execution needs that depends only on the
+/// `(plan, clause, decompositions)` triple: the plan itself, its
+/// compiled (flattened) schedules, per-node resolved expressions and
+/// guards, the referenced-array list, and the decompositions the plan
+/// was built against. Built once by [`prepare_run`]; shared read-only
+/// (via `Arc`) by the session cache and every pooled worker.
+pub struct PreparedPlan {
+    pub(crate) plan: SpmdPlan,
+    pub(crate) compiled: CompiledSchedule,
+    pub(crate) rexprs: Vec<RExpr>,
+    pub(crate) rguards: Vec<RGuard>,
+    pub(crate) referenced: Vec<String>,
+    pub(crate) decomps: BTreeMap<String, Decomp1>,
+    pub(crate) dec_lhs: Decomp1,
+}
+
+impl PreparedPlan {
+    /// The underlying SPMD plan.
+    pub fn plan(&self) -> &SpmdPlan {
+        &self.plan
+    }
+
+    /// The compiled schedule tables.
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+
+    /// The arrays the plan references (lhs first).
+    pub fn referenced(&self) -> &[String] {
+        &self.referenced
+    }
+}
+
+impl std::fmt::Debug for PreparedPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedPlan")
+            .field("lhs", &self.plan.lhs_array)
+            .field("pmax", &self.plan.pmax)
+            .field("referenced", &self.referenced)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Freeze the run-invariant half of an execution: validate the clause
+/// against the plan, resolve expressions and guards per node, and
+/// compile every schedule into flat run tables. The decompositions are
+/// captured so later runs can detect redistribution.
+pub fn prepare_run(
+    plan: SpmdPlan,
+    clause: &Clause,
+    decomps: &BTreeMap<String, Decomp1>,
+) -> Result<PreparedPlan, MachineError> {
+    if plan.ordering != Ordering::Par {
+        return Err(MachineError::SequentialClause);
+    }
+    let node0 = plan
+        .nodes
+        .first()
+        .ok_or_else(|| MachineError::PlanMismatch("plan has no nodes".into()))?;
+    let mut referenced: Vec<String> = vec![plan.lhs_array.clone()];
+    for rp in &node0.resides {
+        if !referenced.contains(&rp.array) {
+            referenced.push(rp.array.clone());
+        }
+    }
+    let mut captured: BTreeMap<String, Decomp1> = BTreeMap::new();
+    for name in &referenced {
+        let dec = decomps
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+        if dec.pmax() != plan.pmax {
+            return Err(MachineError::PlanMismatch(format!(
+                "array `{name}` decomposed over {} processors, plan has {}",
+                dec.pmax(),
+                plan.pmax
+            )));
+        }
+        captured.insert(name.clone(), dec.clone());
+    }
+    let dec_lhs = captured[&plan.lhs_array].clone();
+    let mut rexprs = Vec::with_capacity(plan.nodes.len());
+    let mut rguards = Vec::with_capacity(plan.nodes.len());
+    for n in &plan.nodes {
+        rexprs.push(resolve_expr(&clause.rhs, n)?);
+        rguards.push(resolve_guard(&clause.guard, n)?);
+    }
+    let compiled = CompiledSchedule::compile(&plan);
+    Ok(PreparedPlan {
+        plan,
+        compiled,
+        rexprs,
+        rguards,
+        referenced,
+        decomps: captured,
+        dec_lhs,
+    })
+}
+
+/// Per-run context shared by every worker of one execution.
+struct RunCtx {
+    prepared: Arc<PreparedPlan>,
+    opts: DistOptions,
+    trace_on: bool,
+    /// Run the purge + Ready/Go barrier before sending. Needed only
+    /// when the previous run may have left frames in the data channels
+    /// (it failed, or its fault plan allowed post-`Done` retransmits);
+    /// after a clean fault-free run the channels are provably empty —
+    /// every frame a peer sends precedes its `Done`, and a worker only
+    /// finishes its drain after consuming every peer's `Done`.
+    handshake: bool,
+}
+
+/// One dispatched execution for one worker.
+struct Job {
+    ctx: Arc<RunCtx>,
+    locals: BTreeMap<String, Vec<f64>>,
+}
+
+/// Host-to-worker control stream. A run is a two-step handshake:
+/// `Job` (reset, purge stale frames, report [`WorkerMsg::Ready`]) then
+/// `Go` (start sending). The barrier exists because the stale-frame
+/// purge must finish on *every* worker before *any* worker may put new
+/// frames on the wire — a fast peer could otherwise have its fresh
+/// frames eaten by a slow peer's purge.
+enum Cmd {
+    Job(Job),
+    Go,
+}
+
+/// What a worker ships back after a run.
+struct Reply {
+    outcome: NodeOutcome,
+    events: Vec<(i64, EventKind)>,
+    timings: Vec<(i64, Phase, Duration)>,
+}
+
+/// Worker-to-host stream: `Ready` answers `Cmd::Job`, `Done` answers
+/// `Cmd::Go`.
+enum WorkerMsg {
+    Ready,
+    Done(Box<Reply>),
+}
+
+#[derive(Default)]
+struct BufInner {
+    events: Vec<(i64, EventKind)>,
+    timings: Vec<(i64, Phase, Duration)>,
+}
+
+/// A thread-local event buffer implementing [`Tracer`]. A pooled worker
+/// cannot borrow the caller's tracer (its thread outlives any one run),
+/// so it records into this buffer and the host replays the buffer into
+/// the real tracer after collecting the reply — per-node event order is
+/// preserved, which is all the collecting tracer's canonical sort needs.
+struct BufTracer {
+    on: AtomicBool,
+    buf: Mutex<BufInner>,
+}
+
+impl BufTracer {
+    fn new() -> BufTracer {
+        BufTracer {
+            on: AtomicBool::new(false),
+            buf: Mutex::new(BufInner::default()),
+        }
+    }
+
+    fn set_enabled(&self, on: bool) {
+        self.on.store(on, AtomicOrdering::Relaxed);
+    }
+
+    fn take(&self) -> BufInner {
+        let mut b = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *b)
+    }
+}
+
+impl Tracer for BufTracer {
+    fn enabled(&self) -> bool {
+        self.on.load(AtomicOrdering::Relaxed)
+    }
+
+    fn record(&self, node: i64, kind: EventKind) {
+        if self.enabled() {
+            let mut b = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+            b.events.push((node, kind));
+        }
+    }
+
+    fn timing(&self, node: i64, phase: Phase, elapsed: Duration) {
+        if self.enabled() {
+            let mut b = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+            b.timings.push((node, phase, elapsed));
+        }
+    }
+}
+
+/// One parked node thread of the pool.
+struct WorkerHandle {
+    job_tx: Sender<Cmd>,
+    reply_rx: Receiver<WorkerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The persistent distributed executor: `pmax` node threads spawned
+/// once, parked between runs, replaying [`PreparedPlan`]s through
+/// reused transport endpoints and staging buffers. See the module docs
+/// for lifecycle and crash-retirement semantics.
+pub struct DistExecutor {
+    pmax: usize,
+    workers: Vec<WorkerHandle>,
+    broken: bool,
+    /// The previous run may have left stale frames behind (see
+    /// [`RunCtx::handshake`]); the next run must purge under a barrier.
+    dirty: bool,
+}
+
+impl std::fmt::Debug for DistExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistExecutor")
+            .field("pmax", &self.pmax)
+            .field("workers", &self.workers.len())
+            .field("broken", &self.broken)
+            .finish()
+    }
+}
+
+fn build_pool(pmax: usize) -> Vec<WorkerHandle> {
+    let mut txs: Vec<Sender<Frame<Wire>>> = Vec::with_capacity(pmax);
+    let mut data_rxs: Vec<Receiver<Frame<Wire>>> = Vec::with_capacity(pmax);
+    for _ in 0..pmax {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        data_rxs.push(rx);
+    }
+    let mut workers = Vec::with_capacity(pmax);
+    for (p, data_rx) in data_rxs.into_iter().enumerate() {
+        let (job_tx, job_rx) = unbounded::<Cmd>();
+        let (reply_tx, reply_rx) = unbounded::<WorkerMsg>();
+        let txs = txs.clone();
+        let handle =
+            std::thread::spawn(move || worker_main(p as i64, txs, data_rx, job_rx, reply_tx));
+        workers.push(WorkerHandle {
+            job_tx,
+            reply_rx,
+            handle: Some(handle),
+        });
+    }
+    workers
+}
+
+/// The placeholder outcome of a worker that died without replying —
+/// identical to the cold path's escaped-panic fallback.
+fn dead_outcome(p: i64, pmax: usize) -> NodeOutcome {
+    (
+        p,
+        BTreeMap::new(),
+        Vec::new(),
+        NodeStats::default(),
+        vec![0u64; pmax],
+        Err(MachineError::NodePanicked { node: p }),
+    )
+}
+
+impl DistExecutor {
+    /// Spawn a pool of `pmax` parked node threads.
+    pub fn new(pmax: i64) -> DistExecutor {
+        let pmax = pmax.max(0) as usize;
+        DistExecutor {
+            pmax,
+            workers: build_pool(pmax),
+            broken: false,
+            dirty: false,
+        }
+    }
+
+    /// Number of pooled node threads.
+    pub fn pmax(&self) -> usize {
+        self.pmax
+    }
+
+    /// Whether a worker died and the pool will rebuild on the next run.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn teardown(&mut self) {
+        let mut handles = Vec::new();
+        for mut w in self.workers.drain(..) {
+            if let Some(h) = w.handle.take() {
+                handles.push(h);
+            }
+            // dropping `w` hangs up its job channel, unparking the thread
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Retire every worker (dead or alive) and spawn a fresh pool.
+    fn rebuild(&mut self) {
+        self.teardown();
+        self.workers = build_pool(self.pmax);
+        self.broken = false;
+        self.dirty = false; // fresh channels start empty
+    }
+
+    /// Execute `prepared` once on the pool. Semantics are identical to
+    /// [`run_distributed_traced`](crate::run_distributed_traced) on the
+    /// same plan: bit-identical results and statistics, same typed
+    /// errors, all-or-nothing commit, replay-valid traces. Only the
+    /// setup cost differs.
+    pub fn run(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        arrays: &mut BTreeMap<String, DistArray>,
+        opts: DistOptions,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        if prepared.plan.pmax.max(0) as usize != self.pmax {
+            return Err(MachineError::PlanMismatch(format!(
+                "prepared plan spans {} processors, pool has {}",
+                prepared.plan.pmax, self.pmax
+            )));
+        }
+        if self.broken {
+            self.rebuild();
+        }
+        // the plan was captured against specific decompositions; a run
+        // against redistributed images would scatter garbage
+        for name in &prepared.referenced {
+            let da = arrays
+                .get(name)
+                .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+            if da.decomp() != &prepared.decomps[name] {
+                return Err(MachineError::PlanMismatch(format!(
+                    "array `{name}` was redistributed since the plan was prepared"
+                )));
+            }
+        }
+        trace_plan(tracer, &prepared.plan);
+        let per_node = disassemble(arrays, &prepared.referenced, prepared.plan.pmax)?;
+        let trace_on = tracer.enabled();
+        let handshake = self.dirty;
+        let ctx = Arc::new(RunCtx {
+            prepared: Arc::clone(prepared),
+            opts,
+            trace_on,
+            handshake,
+        });
+        // Dispatch. When the channels may hold stale frames this is a
+        // two-step handshake (see [`Cmd`]): every worker must finish its
+        // purge before any worker starts sending.
+        let mut running = vec![false; self.pmax];
+        for (p, locals) in per_node.into_iter().enumerate() {
+            let sent = self.workers[p]
+                .job_tx
+                .send(Cmd::Job(Job {
+                    ctx: Arc::clone(&ctx),
+                    locals,
+                }))
+                .is_ok();
+            running[p] = sent;
+            if !sent {
+                self.broken = true;
+            }
+        }
+        if handshake {
+            for (p, w) in self.workers.iter().enumerate() {
+                if running[p] && !matches!(w.reply_rx.recv(), Ok(WorkerMsg::Ready)) {
+                    // died between dispatch and ready: retire, run without it
+                    self.broken = true;
+                    running[p] = false;
+                }
+            }
+            for (p, w) in self.workers.iter().enumerate() {
+                if running[p] && w.job_tx.send(Cmd::Go).is_err() {
+                    self.broken = true;
+                    running[p] = false;
+                }
+            }
+        }
+        let mut results: Vec<NodeOutcome> = Vec::with_capacity(self.pmax);
+        let mut buffered = Vec::new();
+        for (p, w) in self.workers.iter().enumerate() {
+            if !running[p] {
+                results.push(dead_outcome(p as i64, self.pmax));
+                continue;
+            }
+            match w.reply_rx.recv() {
+                Ok(WorkerMsg::Done(reply)) => {
+                    results.push(reply.outcome);
+                    buffered.push((reply.events, reply.timings));
+                }
+                Ok(WorkerMsg::Ready) | Err(_) => {
+                    // the thread died without replying (or broke the
+                    // handshake): retire it and rebuild lazily next run
+                    self.broken = true;
+                    results.push(dead_outcome(p as i64, self.pmax));
+                }
+            }
+        }
+        // a failed node exits without draining, and a fault plan can
+        // retransmit after `Done` — either way the next run must purge
+        self.dirty = opts.faults.is_some() || results.iter().any(|r| r.5.is_err());
+        if trace_on {
+            // replies arrive in node order, and each buffer preserves
+            // its node's recording order — the collecting tracer's
+            // canonical (class, node, clock) sort sees the same stream
+            // a cold run records live
+            for (events, timings) in buffered {
+                for (n, k) in events {
+                    tracer.record(n, k);
+                }
+                for (n, ph, d) in timings {
+                    tracer.timing(n, ph, d);
+                }
+            }
+        }
+        finalize_run(
+            &prepared.plan.lhs_array,
+            &prepared.referenced,
+            &prepared.decomps,
+            results,
+            arrays,
+            tracer,
+        )
+    }
+}
+
+impl Drop for DistExecutor {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// Per-worker scratch reused (cleared, not reallocated) across runs.
+#[derive(Default)]
+struct Scratch {
+    /// Element mode: out-of-order arrivals keyed `(slot, i)`.
+    pending: BTreeMap<(usize, i64), f64>,
+    /// Vectorized mode: `staging[source ordinal][run]` packet values.
+    staging: Vec<Vec<Option<Vec<f64>>>>,
+    /// Operand values of the current iteration, one per read slot.
+    vals: Vec<f64>,
+    /// Collected local writes, committed by the host.
+    writes: Vec<(usize, f64)>,
+}
+
+/// The body of one pooled node thread: park on the job channel, and for
+/// each job reset the endpoint + scratch, run the warm phases under the
+/// panic supervisor, drain, and ship the outcome (plus buffered trace)
+/// back to the host.
+fn worker_main(
+    p: i64,
+    txs: Vec<Sender<Frame<Wire>>>,
+    data_rx: Receiver<Frame<Wire>>,
+    job_rx: Receiver<Cmd>,
+    reply_tx: Sender<WorkerMsg>,
+) {
+    let buf = BufTracer::new();
+    let mut ep: Endpoint<Wire> = Endpoint::new(p, txs, None, &buf);
+    let mut scratch = Scratch::default();
+    while let Ok(cmd) = job_rx.recv() {
+        let Cmd::Job(job) = cmd else {
+            continue; // stray Go (host retired us mid-handshake)
+        };
+        let ctx = job.ctx;
+        let mut locals = job.locals;
+        buf.set_enabled(ctx.trace_on);
+        ep.reset(ctx.opts.faults, ctx.trace_on);
+        if ctx.handshake {
+            // discard frames a previous (failed or faulty) run left
+            // behind; every peer finished that run before the host
+            // dispatched this one, so anything buffered here is stale by
+            // construction — and the Ready/Go barrier below keeps new
+            // frames off the wire until every peer's purge is complete
+            while data_rx.try_recv().is_ok() {}
+        }
+
+        let prepared = &ctx.prepared;
+        let cn = &prepared.compiled.nodes[p as usize];
+        scratch.pending.clear();
+        scratch.staging.resize_with(cn.staging_runs.len(), Vec::new);
+        for (row, &nruns) in scratch.staging.iter_mut().zip(&cn.staging_runs) {
+            row.resize(nruns, None);
+            row.truncate(nruns);
+            for cell in row.iter_mut() {
+                *cell = None;
+            }
+        }
+        scratch.vals.clear();
+        scratch
+            .vals
+            .resize(prepared.plan.nodes[p as usize].resides.len(), 0.0);
+        scratch.writes.clear();
+
+        let mut stats = NodeStats::default();
+        let mut sent_to = vec![0u64; ep.peer_count()];
+        let trace_on = ctx.trace_on;
+
+        if ctx.handshake {
+            // purge complete: report ready, then hold all sends until
+            // every peer has purged too
+            if reply_tx.send(WorkerMsg::Ready).is_err() {
+                break; // host hung up
+            }
+            match job_rx.recv() {
+                Ok(Cmd::Go) => {}
+                Ok(Cmd::Job(_)) | Err(_) => break, // handshake broken
+            }
+        }
+
+        let phases = catch_unwind(AssertUnwindSafe(|| {
+            warm_phases(
+                p,
+                &mut locals,
+                prepared,
+                &ctx.opts,
+                &mut ep,
+                &data_rx,
+                &mut scratch,
+                &mut stats,
+                &mut sent_to,
+                &buf,
+            )
+        }));
+        let res = match phases {
+            Ok(r) => {
+                ep.announce_done();
+                if trace_on {
+                    buf.record(p, EventKind::PhaseStart(Phase::Drain));
+                    let t0 = std::time::Instant::now();
+                    ep.drain(&data_rx, ctx.opts.recv_timeout, &mut stats);
+                    buf.timing(p, Phase::Drain, t0.elapsed());
+                    buf.record(p, EventKind::PhaseEnd(Phase::Drain));
+                } else {
+                    ep.drain(&data_rx, ctx.opts.recv_timeout, &mut stats);
+                }
+                r
+            }
+            Err(_) => {
+                // mirror the cold supervisor: announce completion so
+                // peers stop waiting, service nothing, report typed
+                ep.announce_done();
+                Err(MachineError::NodePanicked { node: p })
+            }
+        };
+        if res.is_err() {
+            scratch.writes.clear();
+        }
+        let BufInner { events, timings } = buf.take();
+        let outcome = (
+            p,
+            locals,
+            std::mem::take(&mut scratch.writes),
+            stats,
+            sent_to,
+            res,
+        );
+        if reply_tx
+            .send(WorkerMsg::Done(Box::new(Reply {
+                outcome,
+                events,
+                timings,
+            })))
+            .is_err()
+        {
+            break; // host hung up
+        }
+    }
+}
+
+/// The send + update phases of one warm run. This mirrors the cold
+/// path's `node_phases` statement for statement — same events, same
+/// statistics, same error mapping — but drives every loop from the
+/// compiled run tables instead of re-deriving the closed forms, and
+/// receives through the persistent scratch instead of per-run state.
+#[allow(clippy::too_many_arguments)]
+fn warm_phases(
+    p: i64,
+    locals: &mut BTreeMap<String, Vec<f64>>,
+    prepared: &PreparedPlan,
+    opts: &DistOptions,
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    scratch: &mut Scratch,
+    stats: &mut NodeStats,
+    sent_to: &mut [u64],
+    tracer: &dyn Tracer,
+) -> Result<(), MachineError> {
+    let plan = &prepared.plan;
+    let node = &plan.nodes[p as usize];
+    let cn = &prepared.compiled.nodes[p as usize];
+    let rexpr = &prepared.rexprs[p as usize];
+    let rguard = &prepared.rguards[p as usize];
+    let decomps = &prepared.decomps;
+    let dec_lhs = &prepared.dec_lhs;
+    let Scratch {
+        pending,
+        staging,
+        vals,
+        writes,
+    } = scratch;
+
+    stats.guard_tests += cn.modify_work;
+    let trace_on = tracer.enabled();
+
+    // ---- send phase: Reside_p ∩ Modify_q, q ≠ p -------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Send));
+    }
+    let send_t0 = trace_on.then(std::time::Instant::now);
+    match opts.mode {
+        CommMode::Element => {
+            for (slot, rp) in node.resides.iter().enumerate() {
+                let Some(runs) = &cn.resides[slot] else {
+                    continue; // replicated: never sent
+                };
+                stats.guard_tests += cn.reside_work[slot];
+                let dec_r = &decomps[&rp.array];
+                let local_part = &locals[&rp.array];
+                for_each_run(runs, |i| {
+                    let owner = dec_lhs.proc_of(plan.f.eval(i));
+                    if owner != p {
+                        let g = rp.g.eval(i);
+                        let value = local_part[dec_r.local_of(g) as usize];
+                        ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
+                        if trace_on {
+                            tracer.record(
+                                p,
+                                EventKind::ElemSend {
+                                    dst: owner,
+                                    slot,
+                                    i,
+                                },
+                            );
+                        }
+                        sent_to[owner as usize] += 1;
+                        stats.msgs_sent += 1;
+                        stats.packets_sent += 1;
+                        stats.bytes_sent += ELEM_MSG_BYTES;
+                        stats.max_packet_elems = stats.max_packet_elems.max(1);
+                    }
+                });
+            }
+        }
+        CommMode::Vectorized => {
+            for pair in &node.comm.sends {
+                for (run_ord, run) in pair.runs.iter().enumerate() {
+                    let rp = &node.resides[run.slot];
+                    let dec_r = &decomps[&rp.array];
+                    let local_part = &locals[&rp.array];
+                    let mut values = Vec::with_capacity(run.count as usize);
+                    run.for_each(|i| {
+                        values.push(local_part[dec_r.local_of(rp.g.eval(i)) as usize]);
+                    });
+                    let elems = values.len() as u64;
+                    ep.send(pair.peer as usize, Wire::Pack { run_ord, values });
+                    if trace_on {
+                        tracer.record(
+                            p,
+                            EventKind::PackSend {
+                                dst: pair.peer,
+                                run: run_ord,
+                                elems,
+                                bytes: PACK_HEADER_BYTES + 8 * elems,
+                            },
+                        );
+                    }
+                    sent_to[pair.peer as usize] += elems;
+                    stats.msgs_sent += elems;
+                    stats.packets_sent += 1;
+                    stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
+                    stats.max_packet_elems = stats.max_packet_elems.max(elems);
+                }
+            }
+        }
+    }
+    ep.end_send_phase(); // flush delayed packets; crash point
+    if let Some(t0) = send_t0 {
+        tracer.timing(p, Phase::Send, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Send));
+    }
+
+    // ---- update phase: Modify_p -----------------------------------------
+    if trace_on {
+        tracer.record(p, EventKind::PhaseStart(Phase::Update));
+    }
+    let update_t0 = trace_on.then(std::time::Instant::now);
+    writes.reserve(cn.modify_iters as usize);
+    let mut err: Option<MachineError> = None;
+
+    let n_slots = node.resides.len();
+    for_each_run(&cn.modify, |i| {
+        if err.is_some() {
+            return;
+        }
+        stats.iterations += 1;
+        #[allow(clippy::needless_range_loop)] // `vals[slot]` is written, not read
+        for slot in 0..n_slots {
+            let rp = &node.resides[slot];
+            let g = rp.g.eval(i);
+            let owner = if rp.replicated {
+                p
+            } else {
+                decomps[&rp.array].proc_of(g)
+            };
+            vals[slot] = if owner == p {
+                stats.local_reads += 1;
+                locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
+            } else {
+                let got = match opts.mode {
+                    CommMode::Element => recv_element(ep, rx, pending, slot, i, owner, opts, stats),
+                    CommMode::Vectorized => recv_packed(
+                        ep,
+                        rx,
+                        staging,
+                        &cn.src_ord,
+                        &cn.src_peers,
+                        &cn.origin,
+                        slot,
+                        i,
+                        opts,
+                        stats,
+                    ),
+                };
+                match got {
+                    Ok(v) => {
+                        if trace_on {
+                            tracer.record(
+                                p,
+                                EventKind::RecvValue {
+                                    src: owner,
+                                    slot,
+                                    i,
+                                },
+                            );
+                        }
+                        stats.msgs_received += 1;
+                        v
+                    }
+                    Err(RecvFail::Timeout) => {
+                        err = Some(MachineError::MissingMessage {
+                            node: p,
+                            array: rp.array.clone(),
+                            index: i,
+                        });
+                        return;
+                    }
+                    Err(RecvFail::PacketTimeout { peer, run }) => {
+                        err = Some(MachineError::MissingPacket {
+                            node: p,
+                            peer,
+                            slot,
+                            run,
+                        });
+                        return;
+                    }
+                    Err(RecvFail::Exhausted { peer, retries }) => {
+                        err = Some(MachineError::Unrecoverable {
+                            node: p,
+                            peer,
+                            retries,
+                        });
+                        return;
+                    }
+                    Err(RecvFail::BadWire(why)) => {
+                        err = Some(MachineError::PlanMismatch(format!(
+                            "node {p}, array `{}`, i={i}: {why}",
+                            rp.array
+                        )));
+                        return;
+                    }
+                }
+            };
+        }
+        stats.data_guards += 1;
+        let guard_ok = match rguard {
+            RGuard::Always => true,
+            RGuard::Cmp { slot, op, rhs } => op.holds(vals[*slot], *rhs),
+        };
+        if guard_ok {
+            let v = eval_rexpr(rexpr, i, vals);
+            let target = plan.f.eval(i);
+            writes.push((dec_lhs.local_of(target) as usize, v));
+        }
+    });
+    if let Some(t0) = update_t0 {
+        tracer.timing(p, Phase::Update, t0.elapsed());
+        tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+    }
+
+    err.map_or(Ok(()), Err)
+}

@@ -27,6 +27,7 @@ pub mod distributed;
 pub mod distributed_nd;
 pub mod doacross;
 pub mod error;
+pub mod executor;
 pub mod halo;
 pub mod obs;
 pub mod perfmodel;
@@ -50,6 +51,7 @@ pub use distributed_nd::{
 };
 pub use doacross::{carried_distances, run_doacross};
 pub use error::MachineError;
+pub use executor::{prepare_run, DistExecutor, PreparedPlan};
 pub use halo::{exchange_ghosts, exchange_ghosts_traced, run_halo_sweep, HaloArray};
 pub use obs::{
     replay_check, trace_plan, CollectingTracer, Event, EventKind, NullTracer, Phase, PhaseTiming,

@@ -168,9 +168,8 @@ pub fn run_redistribution_traced(
     }
 
     let mut report = ExecReport {
-        nodes: Vec::new(),
-        barriers: 0,
         traffic,
+        ..Default::default()
     };
     let mut parts = Vec::with_capacity(pmax as usize);
     for (_, local, stats, _) in results {

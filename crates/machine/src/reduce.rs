@@ -36,6 +36,7 @@ pub fn run_reduce_shared(
     let (imin, imax) = (red.iter.bounds.lo()[0], red.iter.bounds.hi()[0]);
     let pmax = iter_decomp.pmax();
     let mut partials: Vec<(f64, NodeStats)> = Vec::new();
+    let mut first_err: Option<MachineError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pmax)
             .map(|p| {
@@ -52,10 +53,18 @@ pub fn run_reduce_shared(
                 })
             })
             .collect();
-        for h in handles {
-            partials.push(h.join().expect("reduce thread panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(partial) => partials.push(partial),
+                Err(_) => {
+                    first_err.get_or_insert(MachineError::NodePanicked { node: p as i64 });
+                }
+            }
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     let mut report = ExecReport {
         barriers: 1,
         ..Default::default()

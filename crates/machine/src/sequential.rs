@@ -19,8 +19,7 @@ pub fn run_sequential(clause: &Clause, env: &mut Env) -> ExecReport {
     env.exec_clause(clause);
     ExecReport {
         nodes: vec![stats],
-        barriers: 0,
-        traffic: Vec::new(),
+        ..Default::default()
     }
 }
 

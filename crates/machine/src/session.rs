@@ -1,17 +1,39 @@
 //! A distributed-memory *session*: persistent distributed arrays plus the
 //! plan/execute/redistribute cycle, so multi-clause programs (sweeps,
 //! phase changes) read like the original algorithm.
+//!
+//! [`DistSession::run`] is the steady-state entry point: plans are
+//! cached by `(clause signature, decomposition fingerprint)` and
+//! executed on a persistent [`DistExecutor`] worker pool, so a clause
+//! repeated in a timestep loop pays plan derivation, schedule
+//! compilation, and thread spawning exactly once (see DESIGN.md §12).
+//! [`DistSession::redistribute`] and any decomposition change invalidate
+//! the cache. [`ExecReport::cache_hits`]/[`ExecReport::cache_misses`]
+//! report which path a run took.
 
 use crate::darray::DistArray;
 use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
-use crate::obs::Tracer;
+use crate::executor::{prepare_run, DistExecutor, PreparedPlan};
+use crate::obs::{Tracer, NULL_TRACER};
 use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vcal_core::{Array, Clause, Env};
 use vcal_decomp::{Decomp1, RedistPlan};
-use vcal_spmd::{DecompMap, SpmdPlan};
+use vcal_spmd::{clause_arrays, clause_signature, decomp_fingerprint, DecompMap, SpmdPlan};
+
+/// One cached prepared plan, keyed by clause signature + decomposition
+/// fingerprint. The signature identifies *which* clause; the
+/// fingerprint covers the decompositions of exactly the arrays that
+/// clause touches, so redistributing an unrelated array does not evict.
+#[derive(Debug)]
+struct CacheEntry {
+    sig: u64,
+    fp: u64,
+    prepared: Arc<PreparedPlan>,
+}
 
 /// Persistent distributed state for a whole program.
 #[derive(Debug)]
@@ -19,6 +41,8 @@ pub struct DistSession {
     arrays: BTreeMap<String, DistArray>,
     decomps: DecompMap,
     opts: DistOptions,
+    cache: Vec<CacheEntry>,
+    pool: Option<DistExecutor>,
 }
 
 impl DistSession {
@@ -43,6 +67,8 @@ impl DistSession {
             arrays,
             decomps,
             opts: DistOptions::default(),
+            cache: Vec::new(),
+            pool: None,
         })
     }
 
@@ -52,16 +78,27 @@ impl DistSession {
         self
     }
 
+    /// Replace the execution options in place (e.g. clear a fault plan
+    /// after a crashed run). Cached plans stay valid — they depend only
+    /// on clauses and decompositions, never on options.
+    pub fn set_options(&mut self, opts: DistOptions) {
+        self.opts = opts;
+    }
+
     /// The current decomposition of `name`.
     pub fn decomp_of(&self, name: &str) -> Option<&Decomp1> {
         self.decomps.get(name)
     }
 
     /// Plan and execute one `//` clause against the session state.
+    ///
+    /// Steady-state: the prepared plan is cached and the execution runs
+    /// on the session's persistent worker pool, so calling this in a
+    /// timestep loop hits the warm path automatically after the first
+    /// iteration. Results are bit-identical to the cold
+    /// [`crate::run_distributed`] path.
     pub fn run(&mut self, clause: &Clause) -> Result<ExecReport, MachineError> {
-        let plan = SpmdPlan::build(clause, &self.decomps)
-            .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
-        self.run_plan(&plan, clause)
+        self.run_cached(clause, &NULL_TRACER)
     }
 
     /// Like [`DistSession::run`] but with an observability tracer — plan
@@ -72,9 +109,49 @@ impl DistSession {
         clause: &Clause,
         tracer: &dyn Tracer,
     ) -> Result<ExecReport, MachineError> {
-        let plan = SpmdPlan::build(clause, &self.decomps)
-            .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
-        self.run_plan_traced(&plan, clause, tracer)
+        self.run_cached(clause, tracer)
+    }
+
+    /// The cached warm path shared by [`DistSession::run`] and
+    /// [`DistSession::run_traced`].
+    fn run_cached(
+        &mut self,
+        clause: &Clause,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        let sig = clause_signature(clause);
+        let names = clause_arrays(clause);
+        let fp = decomp_fingerprint(&self.decomps, names.iter().map(String::as_str));
+        let (prepared, hit) = match self.cache.iter().find(|e| e.sig == sig && e.fp == fp) {
+            Some(e) => (Arc::clone(&e.prepared), true),
+            None => {
+                let plan = SpmdPlan::build(clause, &self.decomps)
+                    .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
+                let prepared = Arc::new(prepare_run(plan, clause, &self.decomps)?);
+                // one slot per clause: an entry with a stale fingerprint
+                // can never hit again (redistribute also clears outright)
+                self.cache.retain(|e| e.sig != sig);
+                self.cache.push(CacheEntry {
+                    sig,
+                    fp,
+                    prepared: Arc::clone(&prepared),
+                });
+                (prepared, false)
+            }
+        };
+        let pmax = prepared.plan().pmax;
+        if self
+            .pool
+            .as_ref()
+            .is_some_and(|pool| pool.pmax() != pmax.max(0) as usize)
+        {
+            self.pool = None;
+        }
+        let pool = self.pool.get_or_insert_with(|| DistExecutor::new(pmax));
+        let mut report = pool.run(&prepared, &mut self.arrays, self.opts, tracer)?;
+        report.cache_hits = u64::from(hit);
+        report.cache_misses = u64::from(!hit);
+        Ok(report)
     }
 
     /// Execute a prebuilt plan (reuse across sweeps).
@@ -114,6 +191,9 @@ impl DistSession {
         let (new_array, report) = run_redistribution_opts(&plan, current, self.opts)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
+        // the decomposition map changed: every cached plan whose
+        // fingerprint covers `name` is stale, so drop them all
+        self.cache.clear();
         Ok(report)
     }
 
@@ -132,6 +212,7 @@ impl DistSession {
         let (new_array, report) = run_redistribution_traced(&plan, current, self.opts, tracer)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
+        self.cache.clear();
         Ok(report)
     }
 

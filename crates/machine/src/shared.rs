@@ -110,9 +110,8 @@ pub fn run_shared(
     let lhs_bounds = lhs.bounds();
 
     let mut report = ExecReport {
-        nodes: Vec::new(),
         barriers: 1,
-        traffic: Vec::new(),
+        ..Default::default()
     };
 
     match strategy {

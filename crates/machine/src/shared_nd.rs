@@ -37,6 +37,7 @@ pub fn run_shared_nd(
     let pmax = dec_lhs.pmax();
 
     let mut node_results: Vec<(NodeStats, Vec<(usize, f64)>)> = Vec::new();
+    let mut first_err: Option<MachineError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pmax)
             .map(|p| {
@@ -73,16 +74,24 @@ pub fn run_shared_nd(
                 })
             })
             .collect();
-        for h in handles {
-            node_results.push(h.join().expect("node thread panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(result) => node_results.push(result),
+                Err(_) => {
+                    first_err.get_or_insert(MachineError::NodePanicked { node: p as i64 });
+                }
+            }
         }
     });
+    // Transactional: commit nothing if any node crashed.
+    if let Some(e) = first_err {
+        return Err(e);
+    }
 
     let data = lhs.data_mut();
     let mut report = ExecReport {
-        nodes: Vec::new(),
         barriers: 1,
-        traffic: Vec::new(),
+        ..Default::default()
     };
     for (stats, writes) in node_results {
         report.nodes.push(stats);

@@ -82,6 +82,11 @@ pub struct ExecReport {
     /// machine only; empty otherwise). Price it with
     /// [`crate::topology::price_traffic`].
     pub traffic: Vec<Vec<u64>>,
+    /// Runs served by the session plan cache (warm path). Zero for
+    /// direct machine calls, which do not consult a cache.
+    pub cache_hits: u64,
+    /// Runs that had to build and prepare a fresh plan before executing.
+    pub cache_misses: u64,
 }
 
 impl ExecReport {
@@ -127,7 +132,7 @@ mod tests {
                 },
             ],
             barriers: 1,
-            traffic: Vec::new(),
+            ..Default::default()
         };
         let t = report.total();
         assert_eq!(t.iterations, 8);

@@ -474,6 +474,36 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
         self.txs.len()
     }
 
+    /// Return the endpoint to its just-constructed state for reuse by a
+    /// persistent worker: sequence numbers and cumulative-ack windows
+    /// restart at zero, retained/stashed packets and completion flags
+    /// are discarded, and the fault stream is rebuilt from `faults` so a
+    /// warm run reproduces exactly the fault sequence a cold run with
+    /// the same plan would see. Nothing is reallocated beyond clearing.
+    pub(crate) fn reset(&mut self, faults: Option<FaultPlan>, trace_on: bool) {
+        for s in &mut self.next_seq {
+            *s = 0;
+        }
+        for r in &mut self.retained {
+            r.clear();
+        }
+        for r in &mut self.recv_next {
+            *r = 0;
+        }
+        for a in &mut self.recv_ahead {
+            a.clear();
+        }
+        for d in &mut self.done {
+            *d = false;
+        }
+        if let Some(d) = self.done.get_mut(self.p as usize) {
+            *d = true;
+        }
+        self.stash.clear();
+        self.faults = faults.map(|f| FaultState::new(f, self.p));
+        self.trace_on = trace_on;
+    }
+
     fn transmit(&self, dst: usize, pkt: Packet<T>) {
         if let Some(tx) = self.txs.get(dst) {
             let _ = tx.send(Frame::Data(pkt));

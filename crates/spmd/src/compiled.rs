@@ -1,0 +1,477 @@
+//! Compiled (steady-state) schedules — Section 4's amortization made
+//! explicit.
+//!
+//! The paper's run-time cost analysis assumes the closed-form
+//! enumerators (`gen_p`, extended Euclid, `f^{-1}` probes) are paid
+//! once and the resulting loop *templates* replayed for every timestep.
+//! Our executor, however, re-walks [`Schedule::for_each`] on every run:
+//! the repeated-block and repeated-scatter shapes call
+//! `Fn1::preimage_range` per cycle or probe on *every* execution.
+//!
+//! [`CompiledSchedule`] materializes that enumeration output exactly
+//! once, at plan time, into flat strided run tables ([`IterRun`]) — the
+//! same greedy coalescing the communication planner applies to pair
+//! sets — plus the receive-side addressing tables the vectorized
+//! machine otherwise rebuilds per run (`(slot, i)` →
+//! `(source, run, offset)`). A warm execution then iterates plain
+//! strided loops and does no closed-form re-derivation at all.
+//!
+//! The module also provides the plan-cache keys used by the machine's
+//! session layer: a [`clause_signature`] and a [`decomp_fingerprint`]
+//! (FNV-1a over the canonical debug rendering — stable within a
+//! process, which is all a session-lifetime cache needs).
+
+use crate::program::{DecompMap, SpmdPlan};
+use crate::schedule::Schedule;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use vcal_core::Clause;
+
+/// One strided run of loop iterations: `start + step·t` for
+/// `t ∈ [0, count)`. The steady-state analog of
+/// [`CommRun`](crate::comm::CommRun), without a slot tag (runs are
+/// stored per schedule, not per wire pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterRun {
+    /// First loop index.
+    pub start: i64,
+    /// Stride between consecutive indices (may be negative or zero —
+    /// visit *order* is preserved, not sortedness).
+    pub step: i64,
+    /// Number of indices (≥ 1).
+    pub count: i64,
+}
+
+impl IterRun {
+    /// Visit the indices of the run in order.
+    #[inline]
+    pub fn for_each(&self, mut visit: impl FnMut(i64)) {
+        let mut i = self.start;
+        for _ in 0..self.count {
+            visit(i);
+            i += self.step;
+        }
+    }
+
+    /// Number of indices in the run.
+    pub fn len(&self) -> u64 {
+        self.count.max(0) as u64
+    }
+
+    /// Whether the run is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.count <= 0
+    }
+}
+
+/// Visit every index of a run table in order.
+pub fn for_each_run(runs: &[IterRun], mut visit: impl FnMut(i64)) {
+    for r in runs {
+        r.for_each(&mut visit);
+    }
+}
+
+/// Greedily coalesce an index sequence into maximal equal-stride runs,
+/// preserving the sequence order exactly (no sorting, no dedup — a
+/// schedule's visit order is part of its semantics, and
+/// `RepeatedScatter` visits in `t`-major order, not ascending).
+fn coalesce_ordered(v: &[i64], out: &mut Vec<IterRun>) {
+    let mut k = 0usize;
+    while k < v.len() {
+        if k + 1 == v.len() {
+            out.push(IterRun {
+                start: v[k],
+                step: 1,
+                count: 1,
+            });
+            break;
+        }
+        let step = v[k + 1] - v[k];
+        let mut j = k + 1;
+        while j + 1 < v.len() && v[j + 1] - v[j] == step {
+            j += 1;
+        }
+        out.push(IterRun {
+            start: v[k],
+            step,
+            count: (j - k + 1) as i64,
+        });
+        k = j + 1;
+    }
+}
+
+fn flatten_into(s: &Schedule, out: &mut Vec<IterRun>) {
+    match s {
+        Schedule::Empty => {}
+        Schedule::Range { lo, hi } => {
+            if lo <= hi {
+                out.push(IterRun {
+                    start: *lo,
+                    step: 1,
+                    count: hi - lo + 1,
+                });
+            }
+        }
+        Schedule::Strided { start, step, count } => {
+            if *count > 0 {
+                out.push(IterRun {
+                    start: *start,
+                    step: *step,
+                    count: *count,
+                });
+            }
+        }
+        Schedule::Concat(parts) => {
+            for p in parts {
+                flatten_into(p, out);
+            }
+        }
+        // the shapes that re-derive per visit: enumerate once, coalesce
+        other => {
+            let mut idx = Vec::new();
+            other.for_each(|i| idx.push(i));
+            coalesce_ordered(&idx, out);
+        }
+    }
+}
+
+/// Flatten a schedule into strided runs whose concatenated visit order
+/// is *identical* to [`Schedule::for_each`]. Arithmetic shapes convert
+/// directly; the repeated/guarded shapes pay their enumeration cost
+/// here, once, instead of on every execution.
+pub fn flatten_schedule(s: &Schedule) -> Vec<IterRun> {
+    let mut out = Vec::new();
+    flatten_into(s, &mut out);
+    out
+}
+
+/// The steady-state tables of one processor: every enumeration the
+/// executor would otherwise re-derive per run, materialized.
+#[derive(Debug, Clone)]
+pub struct CompiledNode {
+    /// Processor id.
+    pub p: i64,
+    /// `Modify_p` as flat runs, in schedule visit order.
+    pub modify: Vec<IterRun>,
+    /// `Modify_p` iteration count (pre-sizes the write buffer).
+    pub modify_iters: u64,
+    /// `Modify_p` loop-overhead estimate (the `guard_tests` accounting
+    /// the cold path charges via `Schedule::work_estimate`).
+    pub modify_work: u64,
+    /// Per read slot: the reside schedule as flat runs (`None` for
+    /// replicated slots, which never enter the send phase).
+    pub resides: Vec<Option<Vec<IterRun>>>,
+    /// Per read slot: the reside schedule's loop-overhead estimate
+    /// (zero for replicated slots).
+    pub reside_work: Vec<u64>,
+    /// source processor id → ordinal in the recv pair list
+    /// (`usize::MAX` when the source sends nothing).
+    pub src_ord: Vec<usize>,
+    /// source ordinal → processor id (the NACK target).
+    pub src_peers: Vec<i64>,
+    /// source ordinal → number of planned incoming runs (the staging
+    /// shape the receiver pre-sizes).
+    pub staging_runs: Vec<usize>,
+    /// `(slot, i)` → `(source ordinal, run, offset)` — the vectorized
+    /// receive addressing, expanded once from the plan's receive runs.
+    pub origin: BTreeMap<(usize, i64), (usize, usize, usize)>,
+}
+
+/// A whole plan's enumeration output, materialized for repeated
+/// execution. Built once per `(clause, decompositions)`; shared
+/// read-only by every warm run.
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    /// Per-processor tables, indexed by processor id.
+    pub nodes: Vec<CompiledNode>,
+}
+
+impl CompiledSchedule {
+    /// Materialize every node's Table I enumeration output and receive
+    /// addressing from `plan`.
+    pub fn compile(plan: &SpmdPlan) -> CompiledSchedule {
+        let pmax = plan.pmax.max(0) as usize;
+        let nodes = plan
+            .nodes
+            .iter()
+            .map(|node| {
+                let modify = flatten_schedule(&node.modify.schedule);
+                let mut resides = Vec::with_capacity(node.resides.len());
+                let mut reside_work = Vec::with_capacity(node.resides.len());
+                for rp in &node.resides {
+                    if rp.replicated {
+                        resides.push(None);
+                        reside_work.push(0);
+                    } else {
+                        resides.push(Some(flatten_schedule(&rp.opt.schedule)));
+                        reside_work.push(rp.opt.schedule.work_estimate());
+                    }
+                }
+                let mut src_ord = vec![usize::MAX; pmax];
+                let mut src_peers = Vec::with_capacity(node.comm.recvs.len());
+                let mut staging_runs = Vec::with_capacity(node.comm.recvs.len());
+                let mut origin = BTreeMap::new();
+                for (ord, pc) in node.comm.recvs.iter().enumerate() {
+                    if let Some(slot) = src_ord.get_mut(pc.peer as usize) {
+                        *slot = ord;
+                    }
+                    src_peers.push(pc.peer);
+                    staging_runs.push(pc.runs.len());
+                    for (run_ord, run) in pc.runs.iter().enumerate() {
+                        let mut off = 0usize;
+                        run.for_each(|i| {
+                            origin.insert((run.slot, i), (ord, run_ord, off));
+                            off += 1;
+                        });
+                    }
+                }
+                CompiledNode {
+                    p: node.p,
+                    modify,
+                    modify_iters: node.modify.schedule.count(),
+                    modify_work: node.modify.schedule.work_estimate(),
+                    resides,
+                    reside_work,
+                    src_ord,
+                    src_peers,
+                    staging_runs,
+                    origin,
+                }
+            })
+            .collect();
+        CompiledSchedule { nodes }
+    }
+
+    /// Total iterations across all nodes (sanity/report helper).
+    pub fn total_iters(&self) -> u64 {
+        self.nodes.iter().map(|n| n.modify_iters).sum()
+    }
+}
+
+/// FNV-1a over a formatted rendering, via `fmt::Write` — no
+/// intermediate `String`.
+struct FnvWriter(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// A session-lifetime signature of a clause: FNV-1a over its canonical
+/// debug rendering (every field of the clause participates — iteration
+/// set, ordering, guard, lhs access, rhs expression). Two clauses with
+/// equal signatures plan identically for the same decompositions.
+pub fn clause_signature(clause: &Clause) -> u64 {
+    let mut w = FnvWriter(FNV_OFFSET);
+    let _ = write!(w, "{clause:?}");
+    w.0
+}
+
+/// The arrays a clause touches (lhs first, then reads in reference
+/// order, deduplicated) — the set whose decompositions a plan depends
+/// on, and therefore the set a decomposition fingerprint must cover.
+pub fn clause_arrays(clause: &Clause) -> Vec<String> {
+    let mut names = vec![clause.lhs.array.clone()];
+    for r in clause.read_refs() {
+        if !names.contains(&r.array) {
+            names.push(r.array.clone());
+        }
+    }
+    names
+}
+
+/// Fingerprint the decompositions of `names` (order-insensitive: names
+/// are hashed sorted). A missing entry hashes as absent, so adding the
+/// decomposition later changes the fingerprint too. Redistribution or
+/// replacement of any covered array's decomposition changes the result
+/// — the plan-cache invalidation rule.
+pub fn decomp_fingerprint<'a>(
+    decomps: &DecompMap,
+    names: impl IntoIterator<Item = &'a str>,
+) -> u64 {
+    let mut sorted: Vec<&str> = names.into_iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut w = FnvWriter(FNV_OFFSET);
+    for name in sorted {
+        let _ = match decomps.get(name) {
+            Some(dec) => write!(w, "{name}={dec:?};"),
+            None => write!(w, "{name}=<none>;"),
+        };
+    }
+    w.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{ArrayRef, Bounds, Clause, Expr, Guard, IndexSet, Ordering};
+    use vcal_decomp::Decomp1;
+
+    fn copy_clause(imin: i64, imax: i64, f: Fn1, g: Fn1) -> Clause {
+        Clause {
+            iter: IndexSet::range(imin, imax),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", f),
+            rhs: Expr::Ref(ArrayRef::d1("B", g)),
+        }
+    }
+
+    fn decomps(a: Decomp1, b: Decomp1) -> DecompMap {
+        let mut m = DecompMap::new();
+        m.insert("A".into(), a);
+        m.insert("B".into(), b);
+        m
+    }
+
+    fn visit_order(runs: &[IterRun]) -> Vec<i64> {
+        let mut v = Vec::new();
+        for_each_run(runs, |i| v.push(i));
+        v
+    }
+
+    #[test]
+    fn flatten_preserves_visit_order_across_table1_shapes() {
+        let n = 96i64;
+        let e = Bounds::range(0, n - 1);
+        let decs = [
+            Decomp1::block(4, e),
+            Decomp1::scatter(4, e),
+            Decomp1::block_scatter(3, 4, e),
+        ];
+        let fns = [
+            (Fn1::identity(), 0, n - 1),
+            (Fn1::shift(5), 0, n - 6),
+            (Fn1::affine(3, 1), 0, (n - 2) / 3),
+            (Fn1::rotate(7, n), 0, n - 1),
+        ];
+        for da in &decs {
+            for db in &decs {
+                for (f, flo, fhi) in &fns {
+                    for (g, glo, ghi) in &fns {
+                        let (lo, hi) = ((*flo).max(*glo), (*fhi).min(*ghi));
+                        if lo > hi {
+                            continue;
+                        }
+                        let clause = copy_clause(lo, hi, f.clone(), g.clone());
+                        let dm = decomps(da.clone(), db.clone());
+                        for naive in [false, true] {
+                            let plan = if naive {
+                                SpmdPlan::build_naive(&clause, &dm).unwrap()
+                            } else {
+                                SpmdPlan::build(&clause, &dm).unwrap()
+                            };
+                            let compiled = CompiledSchedule::compile(&plan);
+                            for (node, cn) in plan.nodes.iter().zip(&compiled.nodes) {
+                                let mut want = Vec::new();
+                                node.modify.schedule.for_each(|i| want.push(i));
+                                assert_eq!(
+                                    visit_order(&cn.modify),
+                                    want,
+                                    "modify p={} naive={naive}",
+                                    node.p
+                                );
+                                assert_eq!(cn.modify_iters, want.len() as u64);
+                                for (slot, rp) in node.resides.iter().enumerate() {
+                                    if rp.replicated {
+                                        assert!(cn.resides[slot].is_none());
+                                        continue;
+                                    }
+                                    let mut want = Vec::new();
+                                    rp.opt.schedule.for_each(|i| want.push(i));
+                                    let got = cn.resides[slot]
+                                        .as_deref()
+                                        .expect("non-replicated slot flattened");
+                                    assert_eq!(
+                                        visit_order(got),
+                                        want,
+                                        "reside p={} slot={slot} naive={naive}",
+                                        node.p
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn origin_tables_match_runtime_expansion() {
+        let n = 1024i64;
+        let clause = copy_clause(0, (n - 2) / 2, Fn1::affine(2, 1), Fn1::affine(3, 2));
+        let dm = decomps(
+            Decomp1::scatter(8, Bounds::range(0, n - 1)),
+            Decomp1::scatter(8, Bounds::range(0, 3 * n)),
+        );
+        let plan = SpmdPlan::build(&clause, &dm).unwrap();
+        let compiled = CompiledSchedule::compile(&plan);
+        for (node, cn) in plan.nodes.iter().zip(&compiled.nodes) {
+            // exactly the expansion the vectorized receiver performs
+            let mut want = BTreeMap::new();
+            for (ord, pc) in node.comm.recvs.iter().enumerate() {
+                assert_eq!(cn.src_ord[pc.peer as usize], ord);
+                assert_eq!(cn.src_peers[ord], pc.peer);
+                assert_eq!(cn.staging_runs[ord], pc.runs.len());
+                for (run_ord, run) in pc.runs.iter().enumerate() {
+                    let mut off = 0usize;
+                    run.for_each(|i| {
+                        want.insert((run.slot, i), (ord, run_ord, off));
+                        off += 1;
+                    });
+                }
+            }
+            assert_eq!(cn.origin, want, "p={}", node.p);
+        }
+    }
+
+    #[test]
+    fn coalesce_keeps_t_major_order() {
+        // a deliberately non-monotone sequence must round-trip exactly
+        let v = [0, 4, 8, 1, 5, 9, 2, 6, 10, 40];
+        let mut runs = Vec::new();
+        coalesce_ordered(&v, &mut runs);
+        assert_eq!(visit_order(&runs), v);
+    }
+
+    #[test]
+    fn signatures_separate_clauses_and_fingerprints_track_decomps() {
+        let c1 = copy_clause(0, 63, Fn1::identity(), Fn1::identity());
+        let c2 = copy_clause(0, 63, Fn1::identity(), Fn1::shift(1));
+        assert_ne!(clause_signature(&c1), clause_signature(&c2));
+        assert_eq!(clause_signature(&c1), clause_signature(&c1.clone()));
+        assert_eq!(clause_arrays(&c1), vec!["A".to_string(), "B".to_string()]);
+
+        let e = Bounds::range(0, 63);
+        let dm1 = decomps(Decomp1::block(4, e), Decomp1::block(4, e));
+        let dm2 = decomps(Decomp1::scatter(4, e), Decomp1::block(4, e));
+        let names = ["A", "B"];
+        assert_ne!(
+            decomp_fingerprint(&dm1, names),
+            decomp_fingerprint(&dm2, names)
+        );
+        // an uncovered array's decomposition does not perturb the print
+        let mut dm3 = dm1.clone();
+        dm3.insert("Z".into(), Decomp1::scatter(4, e));
+        assert_eq!(
+            decomp_fingerprint(&dm1, names),
+            decomp_fingerprint(&dm3, names)
+        );
+        // ... but a covered one does, including appearing at all
+        assert_ne!(
+            decomp_fingerprint(&dm1, names),
+            decomp_fingerprint(&dm1, ["A"])
+        );
+    }
+}

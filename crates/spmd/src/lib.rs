@@ -22,6 +22,7 @@
 
 pub mod advisor;
 pub mod comm;
+pub mod compiled;
 pub mod derivation;
 pub mod emit;
 pub mod nd;
@@ -34,6 +35,10 @@ pub mod validate;
 
 pub use advisor::{advise, AdvisorOptions, Candidate};
 pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
+pub use compiled::{
+    clause_arrays, clause_signature, decomp_fingerprint, flatten_schedule, for_each_run,
+    CompiledNode, CompiledSchedule, IterRun,
+};
 pub use derivation::derive;
 pub use nd::{optimize_nd, ScheduleNd};
 pub use obs::{NodeDispatch, PlanSummary, SlotDispatch};

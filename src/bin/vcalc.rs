@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]
-//!                        [--run] [--naive] [--node <p>]
+//!                        [--run] [--steps <N>] [--naive] [--node <p>]
 //!                        [--trace] [--trace-out <path>]
 //! ```
 //!
@@ -16,6 +16,11 @@
 //! enumeration-dispatch counts, per-phase wall-clock timings (next to
 //! the `perfmodel` prediction), and the replay-checker verdict are
 //! printed, and `--trace-out` writes the deterministic JSONL event log.
+//!
+//! `--steps <N>` executes the whole program as an `N`-iteration timestep
+//! loop through a steady-state [`DistSession`]: plans are cached, node
+//! threads persist across steps, and the printed cache statistics show
+//! that only the first step paid for planning (DESIGN.md §12).
 //!
 //! Example files are under `examples/vcalc/`.
 
@@ -25,7 +30,7 @@ use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
 use vcal_suite::machine::{
     replay_check, run_distributed, run_distributed_traced, CollectingTracer, DistArray,
-    DistOptions, PerfModel,
+    DistOptions, DistSession, PerfModel,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -34,6 +39,7 @@ struct Options {
     spec_path: String,
     emits: Vec<String>,
     run: bool,
+    steps: u64,
     naive: bool,
     advise: bool,
     node: i64,
@@ -43,13 +49,14 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
-     [--run] [--naive] [--advise] [--node <p>] [--trace] [--trace-out <path>]"
+     [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--trace] [--trace-out <path>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut positional = Vec::new();
     let mut emits = Vec::new();
     let mut run = false;
+    let mut steps = 1u64;
     let mut naive = false;
     let mut advise = false;
     let mut node = 0i64;
@@ -63,6 +70,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 emits.push(v.clone());
             }
             "--run" => run = true,
+            "--steps" => {
+                steps = it
+                    .next()
+                    .ok_or("--steps needs a value")?
+                    .parse()
+                    .map_err(|_| "--steps needs a positive integer")?;
+                if steps == 0 {
+                    return Err("--steps needs a positive integer".into());
+                }
+                run = true; // a timestep loop is a kind of execution
+            }
             "--naive" => naive = true,
             "--advise" => advise = true,
             "--node" => {
@@ -92,11 +110,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         emits.push("vcal".into());
         emits.push("plan".into());
     }
+    if steps > 1 && naive {
+        return Err("--naive is a cold-path flag; the --steps loop always runs optimized".into());
+    }
     Ok(Options {
         program_path: positional[0].clone(),
         spec_path: positional[1].clone(),
         emits,
         run,
+        steps,
         naive,
         advise,
         node,
@@ -185,10 +207,104 @@ fn drive(opts: &Options) -> Result<(), String> {
             }
         }
 
-        if opts.run {
+        if opts.run && opts.steps == 1 {
             run_and_verify(clause, &plan, &spec.decomps, opts)?;
         }
     }
+    if opts.steps > 1 {
+        run_timestep_loop(&clauses, &spec.decomps, opts)?;
+    }
+    Ok(())
+}
+
+/// Execute the whole program `--steps` times through a steady-state
+/// [`DistSession`] and verify against the iterated sequential reference.
+/// Prints the plan-cache statistics: only the first step should miss.
+fn run_timestep_loop(
+    clauses: &[vcal_suite::core::Clause],
+    decomps: &vcal_suite::spmd::DecompMap,
+    opts: &Options,
+) -> Result<(), String> {
+    println!("--- timestep loop: {} steps ---", opts.steps);
+    let mut env = Env::new();
+    for (name, dec) in decomps.iter() {
+        // deterministic mixed-sign initial data so guards fire both ways
+        env.insert(
+            name.clone(),
+            Array::from_fn(dec.extent(), |i| {
+                let v = i.scalar();
+                if v % 3 == 0 {
+                    -(v as f64)
+                } else {
+                    v as f64 * 0.5
+                }
+            }),
+        );
+    }
+
+    let mut reference = env.clone();
+    for _ in 0..opts.steps {
+        for clause in clauses {
+            reference.exec_clause(clause);
+        }
+    }
+
+    let mut session = DistSession::new(&env, decomps.clone()).map_err(|e| e.to_string())?;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for step in 0..opts.steps {
+        let last = step + 1 == opts.steps;
+        for (n, clause) in clauses.iter().enumerate() {
+            let tracer = (opts.trace && last).then(CollectingTracer::new);
+            let report = match &tracer {
+                Some(t) => session.run_traced(clause, t),
+                None => session.run(clause),
+            }
+            .map_err(|e| format!("step {step}, clause {n}: {e}"))?;
+            hits += report.cache_hits;
+            misses += report.cache_misses;
+            if let Some(tracer) = tracer {
+                let plan = session.plan(clause).map_err(|e| e.to_string())?;
+                let log = tracer.finish();
+                let summary = replay_check(&log, &plan, DistOptions::default().mode, {
+                    DistOptions::default().retry
+                })
+                .map_err(|e| format!("clause {n}: warm replay check FAILED: {e}"))?;
+                println!(
+                    "trace: step {step} clause {n} replay OK — {} deterministic events, \
+                     {} elems sent / {} received",
+                    summary.det_events, summary.send_elems, summary.recv_elems
+                );
+                if let Some(path) = &opts.trace_out {
+                    std::fs::write(path, log.to_jsonl())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("trace: deterministic event log written to {path}");
+                }
+            }
+        }
+    }
+
+    let got = session.gather_all();
+    for name in decomps.keys() {
+        let diff = got
+            .get(name)
+            .ok_or_else(|| format!("array `{name}` lost"))?
+            .max_abs_diff(reference.get(name).ok_or("reference missing array")?);
+        if diff != 0.0 {
+            return Err(format!(
+                "VERIFICATION FAILED on `{name}` after {} steps: max |diff| = {diff}",
+                opts.steps
+            ));
+        }
+    }
+    println!(
+        "run: OK — {} steps x {} clause(s); plan cache: {} hits / {} misses \
+         (steady state after the first step); result identical to the \
+         iterated sequential reference\n",
+        opts.steps,
+        clauses.len(),
+        hits,
+        misses
+    );
     Ok(())
 }
 
