@@ -64,7 +64,10 @@ use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
 use vcal_decomp::Decomp1;
-use vcal_spmd::{NodePlan, SpmdPlan};
+use vcal_spmd::{
+    AccessPattern, CompiledKernel, CompiledNode, CompiledSchedule, ExecRun, FusedShape, NodePlan,
+    SlotAccess, SlotRef, SpmdPlan,
+};
 
 /// A tagged value message.
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +180,13 @@ pub struct DistOptions {
     /// NACK/retransmit recovery policy; [`RetryPolicy::none`] restores
     /// the legacy fail-on-first-timeout behavior.
     pub retry: RetryPolicy,
+    /// Communication/computation overlap: execute *interior* compiled
+    /// runs (all operands owner-local) while boundary packets are in
+    /// flight, finishing *boundary* runs as receives land. `false`
+    /// executes the compiled runs strictly in schedule visit order.
+    /// Results and the deterministic trace class are identical either
+    /// way; only applies when the plan compiled execution tables.
+    pub overlap: bool,
 }
 
 impl Default for DistOptions {
@@ -186,6 +196,7 @@ impl Default for DistOptions {
             faults: None,
             mode: CommMode::default(),
             retry: RetryPolicy::default(),
+            overlap: true,
         }
     }
 }
@@ -283,6 +294,25 @@ pub(crate) fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, Machin
     }
 }
 
+/// One collected local write of a node: committed by the host, in
+/// collection order, only when the whole run succeeded. The dense form
+/// is the pure-copy fused kernel's `copy_from_slice` degradation — a
+/// unit-stride run commits as one slice copy instead of per-element
+/// stores.
+#[derive(Debug, Clone)]
+pub(crate) enum WriteOp {
+    /// One element: `lhs_local[offset] = value`.
+    El(usize, f64),
+    /// A contiguous span:
+    /// `lhs_local[base..base+values.len()].copy_from_slice(values)`.
+    Dense {
+        /// First local offset of the span.
+        base: usize,
+        /// The values, in offset order.
+        values: Vec<f64>,
+    },
+}
+
 /// What one node thread returns: id, its (unmodified) local memories,
 /// the local writes it wants committed, statistics, per-destination
 /// send counts, and its error state. Writes are applied by the host
@@ -290,7 +320,7 @@ pub(crate) fn resolve_guard(g: &Guard, node: &NodePlan) -> Result<RGuard, Machin
 pub(crate) type NodeOutcome = (
     i64,
     BTreeMap<String, Vec<f64>>,
-    Vec<(usize, f64)>,
+    Vec<WriteOp>,
     NodeStats,
     Vec<u64>,
     Result<(), MachineError>,
@@ -304,9 +334,18 @@ struct Worker {
 }
 
 /// A zero part of the right local size — the last-resort placeholder
-/// when a node thread died without returning its memories.
-pub(crate) fn zero_part(dec: &Decomp1, p: i64) -> Vec<f64> {
-    vec![0.0; dec.local_count(p).max(0) as usize]
+/// when a node thread died without returning its memories. A negative
+/// local count means the decomposition does not cover node `p` at all:
+/// that is a plan/decomposition mismatch and is reported as a typed
+/// error instead of being silently clamped to an empty part.
+pub(crate) fn zero_part(dec: &Decomp1, p: i64) -> Result<Vec<f64>, MachineError> {
+    let count = dec.local_count(p);
+    if count < 0 {
+        return Err(MachineError::PlanMismatch(format!(
+            "decomposition reports negative local count {count} for node {p}"
+        )));
+    }
+    Ok(vec![0.0; count as usize])
 }
 
 /// Remove every referenced image from `arrays` and split it into
@@ -374,10 +413,17 @@ pub(crate) fn finalize_run(
     if first_err.is_none() {
         'validate: for (p, locals, writes, ..) in &results {
             let len = locals.get(lhs_array).map_or(0, Vec::len);
-            for (off, _) in writes {
-                if *off >= len {
+            for w in writes {
+                let bad = match w {
+                    WriteOp::El(off, _) => (*off >= len).then_some((*off, 1usize)),
+                    WriteOp::Dense { base, values } => {
+                        (base + values.len() > len).then_some((*base, values.len()))
+                    }
+                };
+                if let Some((off, span)) = bad {
                     first_err = Some(MachineError::PlanMismatch(format!(
-                        "write offset {off} outside node {p}'s local part (len {len})"
+                        "write span [{off}, {}) outside node {p}'s local part (len {len})",
+                        off + span
                     )));
                     break 'validate;
                 }
@@ -393,15 +439,29 @@ pub(crate) fn finalize_run(
     for (p, mut locals, writes, stats, sent_to, _res) in results {
         if commit {
             if let Some(lhs_local) = locals.get_mut(lhs_array) {
-                for (off, v) in writes {
-                    lhs_local[off] = v; // validated above
+                for w in writes {
+                    match w {
+                        WriteOp::El(off, v) => lhs_local[off] = v, // validated above
+                        WriteOp::Dense { base, values } => {
+                            lhs_local[base..base + values.len()].copy_from_slice(&values)
+                        }
+                    }
                 }
             }
         }
         for name in referenced {
-            let part = locals
-                .remove(name)
-                .unwrap_or_else(|| zero_part(&decomps[name], p));
+            let part = match locals.remove(name) {
+                Some(part) => part,
+                None => match zero_part(&decomps[name], p) {
+                    Ok(z) => z,
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        Vec::new()
+                    }
+                },
+            };
             parts_by_name.entry(name.clone()).or_default().push(part);
         }
         report.nodes.push(stats);
@@ -489,6 +549,12 @@ pub fn run_distributed_traced(
         rguard_per_node.push(resolve_guard(&clause.guard, n)?);
     }
 
+    // compile the kernel + interior/boundary execution tables; a
+    // naive-guard plan yields no tables and keeps the legacy element
+    // path (identical to what the persistent executor does, so cold
+    // and warm runs execute — and trace — the same way)
+    let compiled = CompiledSchedule::compile_exec(plan, clause, &decomps);
+
     // record which Table I row fired for every schedule (plan span)
     trace_plan(tracer, plan);
 
@@ -516,13 +582,17 @@ pub fn run_distributed_traced(
             let node = &plan.nodes[worker.p as usize];
             let rexpr = &rexpr_per_node[worker.p as usize];
             let rguard = &rguard_per_node[worker.p as usize];
+            let exec = match (&compiled.kernel, compiled.nodes.get(worker.p as usize)) {
+                (Some(kernel), Some(cn)) => Some((cn, kernel)),
+                _ => None,
+            };
             let txs = txs.clone();
             let decomps = &decomps;
             let dec_lhs = &dec_lhs;
             let plan = &plan;
             handles.push(scope.spawn(move || {
                 run_node(
-                    worker, node, plan, rexpr, rguard, txs, decomps, dec_lhs, opts, tracer,
+                    worker, node, plan, exec, rexpr, rguard, txs, decomps, dec_lhs, opts, tracer,
                 )
             }));
         }
@@ -565,6 +635,7 @@ fn run_node(
     worker: Worker,
     node: &NodePlan,
     plan: &SpmdPlan,
+    exec: Option<(&CompiledNode, &CompiledKernel)>,
     rexpr: &RExpr,
     rguard: &RGuard,
     txs: Vec<Sender<Frame<Wire>>>,
@@ -578,7 +649,7 @@ fn run_node(
     let mut locals = worker.locals;
     let mut stats = NodeStats::default();
     let mut sent_to = vec![0u64; txs.len()];
-    let mut writes: Vec<(usize, f64)> = Vec::new();
+    let mut writes: Vec<WriteOp> = Vec::new();
     let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
     let trace_on = tracer.enabled();
 
@@ -588,6 +659,7 @@ fn run_node(
             &mut locals,
             node,
             plan,
+            exec,
             rexpr,
             rguard,
             &mut ep,
@@ -635,6 +707,7 @@ fn node_phases(
     locals: &mut BTreeMap<String, Vec<f64>>,
     node: &NodePlan,
     plan: &SpmdPlan,
+    exec: Option<(&CompiledNode, &CompiledKernel)>,
     rexpr: &RExpr,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
@@ -644,7 +717,7 @@ fn node_phases(
     opts: &DistOptions,
     stats: &mut NodeStats,
     sent_to: &mut [u64],
-    writes: &mut Vec<(usize, f64)>,
+    writes: &mut Vec<WriteOp>,
     tracer: &dyn Tracer,
 ) -> Result<(), MachineError> {
     stats.guard_tests += node.modify.schedule.work_estimate();
@@ -655,9 +728,17 @@ fn node_phases(
         tracer.record(p, EventKind::PhaseStart(Phase::Send));
     }
     let send_t0 = trace_on.then(std::time::Instant::now);
-    match opts.mode {
-        CommMode::Element => {
+    match (opts.mode, exec) {
+        (CommMode::Element, Some((cn, _))) => {
+            // compiled: the pair runs know the destination — the
+            // per-element `proc_of(f(i))` owner test is hoisted to the
+            // pair (owner is constant across a pair's runs by
+            // construction: `Send_{p→q} = Reside_p ∩ Modify_q`)
+            send_phase_element_compiled(p, locals, node, cn, decomps, ep, stats, sent_to, tracer);
+        }
+        (CommMode::Element, None) => {
             // literal template: per-element ownership test + tagged send
+            // (the naive-guard fallback — no compiled tables exist)
             for (slot, rp) in node.resides.iter().enumerate() {
                 if rp.replicated {
                     continue;
@@ -691,7 +772,7 @@ fn node_phases(
                 });
             }
         }
-        CommMode::Vectorized => {
+        (CommMode::Vectorized, _) => {
             // the plan already knows every destination and run: pack each
             // run into one vector message, no run-time ownership tests
             for pair in &node.comm.sends {
@@ -736,6 +817,40 @@ fn node_phases(
         tracer.record(p, EventKind::PhaseStart(Phase::Update));
     }
     let update_t0 = trace_on.then(std::time::Instant::now);
+
+    // compiled path: fused/bytecode kernels over the interior/boundary
+    // exec runs — never touches the tree interpreter
+    if let Some((cn, kernel)) = exec {
+        let mut pending: BTreeMap<(usize, i64), f64> = BTreeMap::new();
+        let mut staging: Vec<Vec<Option<Vec<f64>>>> =
+            cn.staging_runs.iter().map(|&n| vec![None; n]).collect();
+        let mut vals = vec![0.0f64; node.resides.len()];
+        let mut stack: Vec<f64> = Vec::with_capacity(kernel.stack_capacity());
+        let res = exec_update_phase(
+            p,
+            locals,
+            node,
+            cn,
+            kernel,
+            rguard,
+            ep,
+            rx,
+            &mut pending,
+            &mut staging,
+            &mut vals,
+            &mut stack,
+            opts,
+            stats,
+            writes,
+            tracer,
+        );
+        if let Some(t0) = update_t0 {
+            tracer.timing(p, Phase::Update, t0.elapsed());
+            tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+        }
+        return res;
+    }
+
     let mut recv = RecvState::new(node, opts.mode, plan.pmax as usize);
     writes.reserve(node.modify.schedule.count() as usize);
     let mut vals = vec![0.0f64; node.resides.len()];
@@ -819,7 +934,7 @@ fn node_phases(
         if guard_ok {
             let v = eval_rexpr(rexpr, i, &vals);
             let target = plan.f.eval(i);
-            writes.push((dec_lhs.local_of(target) as usize, v));
+            writes.push(WriteOp::El(dec_lhs.local_of(target) as usize, v));
         }
     });
     if let Some(t0) = update_t0 {
@@ -828,6 +943,449 @@ fn node_phases(
     }
 
     err.map_or(Ok(()), Err)
+}
+
+/// Element-mode send phase over the plan's pair runs: the wire multiset
+/// is identical to the literal template's reside scan (`Send_{p→q} =
+/// Reside_p ∩ Modify_q`), but the destination is the pair's peer — the
+/// per-element `proc_of(f(i))` owner recomputation is gone. Shared by
+/// the cold machine and the persistent executor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn send_phase_element_compiled(
+    p: i64,
+    locals: &BTreeMap<String, Vec<f64>>,
+    node: &NodePlan,
+    cn: &CompiledNode,
+    decomps: &BTreeMap<String, Decomp1>,
+    ep: &mut Endpoint<Wire>,
+    stats: &mut NodeStats,
+    sent_to: &mut [u64],
+    tracer: &dyn Tracer,
+) {
+    let trace_on = tracer.enabled();
+    // the reside scans' loop-overhead accounting, unchanged from the
+    // literal template (the scan itself is what the pair runs replace)
+    for (slot, rp) in node.resides.iter().enumerate() {
+        if !rp.replicated {
+            stats.guard_tests += cn.reside_work.get(slot).copied().unwrap_or(0);
+        }
+    }
+    for pair in &node.comm.sends {
+        let owner = pair.peer; // hoisted: constant across the pair's runs
+        for run in &pair.runs {
+            let Some(rp) = node.resides.get(run.slot) else {
+                continue;
+            };
+            let slot = run.slot;
+            let (Some(dec_r), Some(local_part)) = (decomps.get(&rp.array), locals.get(&rp.array))
+            else {
+                continue;
+            };
+            run.for_each(|i| {
+                let value = local_part[dec_r.local_of(rp.g.eval(i)) as usize];
+                ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
+                if trace_on {
+                    tracer.record(
+                        p,
+                        EventKind::ElemSend {
+                            dst: owner,
+                            slot,
+                            i,
+                        },
+                    );
+                }
+                sent_to[owner as usize] += 1;
+                stats.msgs_sent += 1;
+                stats.packets_sent += 1;
+                stats.bytes_sent += ELEM_MSG_BYTES;
+                stats.max_packet_elems = stats.max_packet_elems.max(1);
+            });
+        }
+    }
+}
+
+/// The compiled update phase: execute the node's [`ExecRun`] tables with
+/// the compiled kernel. With `opts.overlap` every *interior* run (all
+/// operands owner-local by the Table I dispatch) executes before any
+/// *boundary* run touches the transport, so compute proceeds while
+/// packets are in flight; without it, runs execute in schedule visit
+/// order. Writes are staged per run and flattened back into visit order
+/// before returning, so the commit order — and therefore the result,
+/// even for non-injective `f` — is identical either way.
+///
+/// Shared verbatim by the cold machine and the persistent executor's
+/// warm path (the buffers come from the caller so the executor can
+/// reuse its scratch allocations).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_update_phase(
+    p: i64,
+    locals: &BTreeMap<String, Vec<f64>>,
+    node: &NodePlan,
+    cn: &CompiledNode,
+    kernel: &CompiledKernel,
+    rguard: &RGuard,
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    pending: &mut BTreeMap<(usize, i64), f64>,
+    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    vals: &mut [f64],
+    stack: &mut Vec<f64>,
+    opts: &DistOptions,
+    stats: &mut NodeStats,
+    writes: &mut Vec<WriteOp>,
+    tracer: &dyn Tracer,
+) -> Result<(), MachineError> {
+    let mut parts: Vec<&[f64]> = Vec::with_capacity(node.resides.len());
+    for rp in &node.resides {
+        parts.push(
+            locals
+                .get(&rp.array)
+                .map(Vec::as_slice)
+                .ok_or_else(|| MachineError::UnknownArray(rp.array.clone()))?,
+        );
+    }
+    let mut chunks: Vec<Vec<WriteOp>> = vec![Vec::new(); cn.exec.len()];
+    if opts.overlap {
+        // interior first — boundary runs block on receives, interior
+        // runs never do
+        for boundary_pass in [false, true] {
+            for (k, er) in cn.exec.iter().enumerate() {
+                if er.boundary != boundary_pass {
+                    continue;
+                }
+                exec_one_run(
+                    p,
+                    k,
+                    er,
+                    &parts,
+                    node,
+                    cn,
+                    kernel,
+                    rguard,
+                    ep,
+                    rx,
+                    pending,
+                    staging,
+                    vals,
+                    stack,
+                    opts,
+                    stats,
+                    &mut chunks[k],
+                    tracer,
+                )?;
+            }
+        }
+    } else {
+        for (k, er) in cn.exec.iter().enumerate() {
+            exec_one_run(
+                p,
+                k,
+                er,
+                &parts,
+                node,
+                cn,
+                kernel,
+                rguard,
+                ep,
+                rx,
+                pending,
+                staging,
+                vals,
+                stack,
+                opts,
+                stats,
+                &mut chunks[k],
+                tracer,
+            )?;
+        }
+    }
+    // flatten in visit order: commit order is overlap-independent
+    writes.reserve(chunks.iter().map(Vec::len).sum());
+    for c in &mut chunks {
+        writes.append(c);
+    }
+    Ok(())
+}
+
+#[inline]
+fn read_local(part: &[f64], off: i64, p: i64, array: &str) -> Result<f64, MachineError> {
+    usize::try_from(off)
+        .ok()
+        .and_then(|o| part.get(o))
+        .copied()
+        .ok_or_else(|| {
+            MachineError::PlanMismatch(format!(
+                "node {p}: local offset {off} outside `{array}` part (len {})",
+                part.len()
+            ))
+        })
+}
+
+#[inline]
+fn write_off(off: i64, p: i64) -> Result<usize, MachineError> {
+    usize::try_from(off)
+        .map_err(|_| MachineError::PlanMismatch(format!("node {p}: negative write offset {off}")))
+}
+
+fn fused_local_pattern(er: &ExecRun, slot: usize, p: i64) -> Result<&AccessPattern, MachineError> {
+    match er.slots.get(slot) {
+        Some(SlotAccess::Local(pat)) => Ok(pat),
+        _ => Err(MachineError::PlanMismatch(format!(
+            "node {p}: fused kernel slot {slot} is not owner-local in an interior run"
+        ))),
+    }
+}
+
+fn map_recv_fail(f: RecvFail, p: i64, array: &str, i: i64, slot: usize) -> MachineError {
+    match f {
+        RecvFail::Timeout => MachineError::MissingMessage {
+            node: p,
+            array: array.to_string(),
+            index: i,
+        },
+        RecvFail::PacketTimeout { peer, run } => MachineError::MissingPacket {
+            node: p,
+            peer,
+            slot,
+            run,
+        },
+        RecvFail::Exhausted { peer, retries } => MachineError::Unrecoverable {
+            node: p,
+            peer,
+            retries,
+        },
+        RecvFail::BadWire(why) => {
+            MachineError::PlanMismatch(format!("node {p}, array `{array}`, i={i}: {why}"))
+        }
+    }
+}
+
+/// Execute one compiled run: fused fast path for interior runs of
+/// recognized shapes, generic gather + bytecode everywhere else.
+#[allow(clippy::too_many_arguments)]
+fn exec_one_run(
+    p: i64,
+    k: usize,
+    er: &ExecRun,
+    parts: &[&[f64]],
+    node: &NodePlan,
+    cn: &CompiledNode,
+    kernel: &CompiledKernel,
+    rguard: &RGuard,
+    ep: &mut Endpoint<Wire>,
+    rx: &Receiver<Frame<Wire>>,
+    pending: &mut BTreeMap<(usize, i64), f64>,
+    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    vals: &mut [f64],
+    stack: &mut Vec<f64>,
+    opts: &DistOptions,
+    stats: &mut NodeStats,
+    out: &mut Vec<WriteOp>,
+    tracer: &dyn Tracer,
+) -> Result<(), MachineError> {
+    let trace_on = tracer.enabled();
+    let n = er.run.len() as usize;
+    let n_slots = node.resides.len();
+    // fused paths need every operand owner-local and an always-true
+    // guard; the stats they charge are exactly what the per-element
+    // template would have charged (one gather per slot per iteration)
+    let fused = (!er.boundary && matches!(rguard, RGuard::Always) && n > 0)
+        .then_some(&kernel.fused)
+        .filter(|f| !matches!(f, FusedShape::Generic));
+    match fused {
+        Some(FusedShape::Copy { slot }) => {
+            stats.iterations += n as u64;
+            stats.data_guards += n as u64;
+            stats.local_reads += (n * n_slots) as u64;
+            let pat = fused_local_pattern(er, *slot, p)?;
+            let src = parts.get(*slot).copied().unwrap_or(&[]);
+            match (&er.lhs, pat) {
+                // both runs unit-stride: degrade to one slice copy
+                (
+                    AccessPattern::Affine { base: lb, step: 1 },
+                    AccessPattern::Affine { base: sb, step: 1 },
+                ) => {
+                    let sb_us =
+                        write_off(*sb, p).map_err(|_| read_oob(p, &node.resides[*slot].array))?;
+                    let seg = src
+                        .get(sb_us..sb_us + n)
+                        .ok_or_else(|| read_oob(p, &node.resides[*slot].array))?;
+                    let mut values = vec![0.0f64; n];
+                    values.copy_from_slice(seg);
+                    out.push(WriteOp::Dense {
+                        base: write_off(*lb, p)?,
+                        values,
+                    });
+                }
+                _ => {
+                    for t in 0..n {
+                        let v = read_local(src, pat.offset(t), p, &node.resides[*slot].array)?;
+                        out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
+                    }
+                }
+            }
+        }
+        Some(FusedShape::Axpy { a, slot, b }) => {
+            stats.iterations += n as u64;
+            stats.data_guards += n as u64;
+            stats.local_reads += (n * n_slots) as u64;
+            let pat = fused_local_pattern(er, *slot, p)?;
+            let src = parts.get(*slot).copied().unwrap_or(&[]);
+            for t in 0..n {
+                let mut v = read_local(src, pat.offset(t), p, &node.resides[*slot].array)?;
+                if let Some(a) = a {
+                    v *= *a;
+                }
+                if let Some(b) = b {
+                    v += *b;
+                }
+                out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
+            }
+        }
+        Some(FusedShape::Stencil {
+            slots,
+            left_assoc,
+            scale,
+            offset,
+        }) => {
+            stats.iterations += n as u64;
+            stats.data_guards += n as u64;
+            stats.local_reads += (n * n_slots) as u64;
+            let mut pats = Vec::with_capacity(slots.len());
+            for s in slots {
+                pats.push((
+                    fused_local_pattern(er, *s, p)?,
+                    parts.get(*s).copied().unwrap_or(&[][..]),
+                    *s,
+                ));
+            }
+            for t in 0..n {
+                let read = |j: usize| -> Result<f64, MachineError> {
+                    let (pat, src, s) = &pats[j];
+                    read_local(src, pat.offset(t), p, &node.resides[*s].array)
+                };
+                let x0 = read(0)?;
+                let x1 = read(1)?;
+                let mut v = if slots.len() == 3 {
+                    let x2 = read(2)?;
+                    if *left_assoc {
+                        (x0 + x1) + x2
+                    } else {
+                        x0 + (x1 + x2)
+                    }
+                } else {
+                    x0 + x1
+                };
+                if let Some(s) = scale {
+                    v *= *s;
+                }
+                if let Some(b) = offset {
+                    v += *b;
+                }
+                out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
+            }
+        }
+        Some(FusedShape::Generic) | None => {
+            // generic: gather every slot (local by precomputed offset,
+            // remote through the transport), then run the bytecode
+            let mut i = er.run.start;
+            for t in 0..n {
+                stats.iterations += 1;
+                for slot in 0..n_slots {
+                    let rp = &node.resides[slot];
+                    let v = match &er.slots[slot] {
+                        SlotAccess::Local(pat) => {
+                            stats.local_reads += 1;
+                            read_local(parts[slot], pat.offset(t), p, &rp.array)?
+                        }
+                        SlotAccess::Mixed(refs) => {
+                            match refs.get(t).copied().unwrap_or(SlotRef::Local(0)) {
+                                SlotRef::Local(off) => {
+                                    stats.local_reads += 1;
+                                    read_local(parts[slot], off, p, &rp.array)?
+                                }
+                                SlotRef::Remote(owner) => {
+                                    let res = match opts.mode {
+                                        CommMode::Element => recv_element(
+                                            ep, rx, pending, slot, i, owner, opts, stats,
+                                        ),
+                                        CommMode::Vectorized => recv_packed(
+                                            ep,
+                                            rx,
+                                            staging,
+                                            &cn.src_ord,
+                                            &cn.src_peers,
+                                            &cn.origin,
+                                            slot,
+                                            i,
+                                            opts,
+                                            stats,
+                                        ),
+                                    };
+                                    match res {
+                                        Ok(v) => {
+                                            if trace_on {
+                                                tracer.record(
+                                                    p,
+                                                    EventKind::RecvValue {
+                                                        src: owner,
+                                                        slot,
+                                                        i,
+                                                    },
+                                                );
+                                            }
+                                            stats.msgs_received += 1;
+                                            v
+                                        }
+                                        Err(f) => {
+                                            return Err(map_recv_fail(f, p, &rp.array, i, slot))
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    vals[slot] = v;
+                }
+                stats.data_guards += 1;
+                let guard_ok = match rguard {
+                    RGuard::Always => true,
+                    RGuard::Cmp { slot, op, rhs } => {
+                        op.holds(vals.get(*slot).copied().unwrap_or(0.0), *rhs)
+                    }
+                };
+                if guard_ok {
+                    let v = kernel.eval(&[i], vals, stack);
+                    out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
+                }
+                i += er.run.step;
+            }
+        }
+    }
+    if trace_on {
+        tracer.record(
+            p,
+            if er.boundary {
+                EventKind::BoundaryRun {
+                    run: k,
+                    elems: n as u64,
+                    recvs: er.remote_elems,
+                }
+            } else {
+                EventKind::InteriorRun {
+                    run: k,
+                    elems: n as u64,
+                }
+            },
+        );
+    }
+    Ok(())
+}
+
+fn read_oob(p: i64, array: &str) -> MachineError {
+    MachineError::PlanMismatch(format!(
+        "node {p}: compiled copy run reads outside `{array}` part"
+    ))
 }
 
 /// Why a remote value could not be produced.
@@ -1359,6 +1917,7 @@ mod tests {
             faults: Some(FaultPlan::drop_nth(1, 0)),
             mode: CommMode::Element,
             retry: RetryPolicy::none(),
+            ..DistOptions::default()
         };
         let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
         assert!(matches!(err, MachineError::MissingMessage { .. }), "{err}");
@@ -1384,6 +1943,7 @@ mod tests {
             faults: Some(FaultPlan::drop_nth(1, 0)),
             mode: CommMode::Vectorized,
             retry: RetryPolicy::none(),
+            ..DistOptions::default()
         };
         let err = run_distributed(&plan, &clause, &mut arrays, opts).unwrap_err();
         match err {
@@ -1486,6 +2046,7 @@ mod tests {
                 ),
                 mode,
                 retry: RetryPolicy::fast(),
+                ..DistOptions::default()
             };
             run_distributed(&plan, &clause, &mut arrays, opts)
                 .unwrap_or_else(|e| panic!("{mode:?}: {e}"));

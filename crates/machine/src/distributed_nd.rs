@@ -31,7 +31,7 @@ use std::time::Duration;
 use vcal_core::map::IndexMap;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ix, Ordering};
 use vcal_decomp::DecompNd;
-use vcal_spmd::optimize_nd;
+use vcal_spmd::{optimize_nd, CompiledKernel};
 
 #[derive(Debug, Clone, Copy)]
 struct Msg {
@@ -166,6 +166,26 @@ enum RGuard {
     Cmp { slot: usize, op: CmpOp, rhs: f64 },
 }
 
+/// One plan-time-resolved read access of a compiled nd element.
+enum NdSlotRef {
+    /// Owner-local: linear offset into the slot array's local part.
+    Local(usize),
+    /// Remote: the owning node the value arrives from.
+    Remote(i64),
+}
+
+/// One iteration of a node's modify set with every per-element decision
+/// — write offset, per-slot owner/offset, interior/boundary class —
+/// hoisted to plan time. The node loop does no `proc_of` calls at all.
+struct NdElem {
+    i: Ix,
+    lhs_off: usize,
+    reads: Vec<NdSlotRef>,
+    /// Whether any operand is remote (the element must wait on the
+    /// transport; interior elements never do).
+    boundary: bool,
+}
+
 /// Iterate the ownership set `{ i ∈ loop_box | proc(map(i)) = p }`, using
 /// the factorized Nd schedule when available and brute-force filtering
 /// otherwise.
@@ -297,10 +317,21 @@ pub fn run_distributed_nd_traced(
         },
     };
 
-    // plan-time communication schedule (vectorized mode): enumerate each
-    // ownership set once, bucket by the write target's owner
+    // compile the clause body once into flat postfix bytecode; when it
+    // resolves, the node loops run it (plus the plan-time owner tables
+    // below) instead of the recursive tree walker
+    let kernel = CompiledKernel::compile(&clause.rhs, slots.len(), |r| {
+        slots
+            .iter()
+            .position(|s| s.array == r.array && s.map == r.map)
+    });
+
+    // plan-time communication schedule: enumerate each ownership set
+    // once, bucket by the write target's owner. Vectorized mode packs
+    // these runs; the compiled element path sends from them too (the
+    // bucket index *is* the destination — no per-element `proc_of`)
     let loop_box = &clause.iter.bounds;
-    let send_plan: SendPlan = if opts.mode == CommMode::Vectorized {
+    let send_plan: SendPlan = if opts.mode == CommMode::Vectorized || kernel.is_some() {
         let mut sp: SendPlan = (0..pmax)
             .map(|_| (0..pmax).map(|_| Vec::new()).collect())
             .collect();
@@ -322,6 +353,48 @@ pub fn run_distributed_nd_traced(
             }
         }
         sp
+    } else {
+        Vec::new()
+    };
+
+    // per-node execution tables: every modify element with its write
+    // offset, per-slot local offset or owner, and interior/boundary
+    // class resolved at plan time
+    let exec_plan: Vec<Vec<NdElem>> = if kernel.is_some() {
+        (0..pmax)
+            .map(|p| {
+                let lhs_local_bounds = dec_lhs.local_bounds(p);
+                let mut elems = Vec::new();
+                for_each_owned(&clause.lhs.map, &dec_lhs, loop_box, p, |i| {
+                    let target = clause.lhs.map.eval(i);
+                    let lhs_off = lhs_local_bounds.linear_offset(&dec_lhs.local_of(&target));
+                    let mut boundary = false;
+                    let reads = slots
+                        .iter()
+                        .map(|rs| {
+                            let dec_r = &decomps[&rs.array];
+                            let g = rs.map.eval(i);
+                            let owner = dec_r.proc_of(&g);
+                            if owner == p {
+                                NdSlotRef::Local(
+                                    dec_r.local_bounds(p).linear_offset(&dec_r.local_of(&g)),
+                                )
+                            } else {
+                                boundary = true;
+                                NdSlotRef::Remote(owner)
+                            }
+                        })
+                        .collect();
+                    elems.push(NdElem {
+                        i: *i,
+                        lhs_off,
+                        reads,
+                        boundary,
+                    });
+                });
+                elems
+            })
+            .collect()
     } else {
         Vec::new()
     };
@@ -370,10 +443,14 @@ pub fn run_distributed_nd_traced(
             let rexpr = &rexpr;
             let rguard = &rguard;
             let send_plan = &send_plan;
+            let exec = match (&kernel, exec_plan.get(p as usize)) {
+                (Some(k), Some(elems)) => Some((elems.as_slice(), k)),
+                _ => None,
+            };
             handles.push(scope.spawn(move || {
                 run_node_nd(
-                    p, locals, rx, txs, clause, slots, rexpr, rguard, decomps, dec_lhs, &opts,
-                    send_plan, tracer,
+                    p, locals, rx, txs, clause, slots, exec, rexpr, rguard, decomps, dec_lhs,
+                    &opts, send_plan, tracer,
                 )
             }));
         }
@@ -576,6 +653,32 @@ enum RecvFailNd {
     BadWire(&'static str),
 }
 
+/// The nd machine's uniform receive-failure → typed-error mapping
+/// (identical wording to the legacy update loop's inline arms).
+fn map_recv_fail_nd(f: RecvFailNd, p: i64, array: &str, i: &Ix, slot: usize) -> MachineError {
+    match f {
+        RecvFailNd::Timeout => MachineError::MissingMessage {
+            node: p,
+            array: array.to_string(),
+            index: i[0],
+        },
+        RecvFailNd::PacketTimeout { peer, run } => MachineError::MissingPacket {
+            node: p,
+            peer,
+            slot,
+            run,
+        },
+        RecvFailNd::Exhausted { peer, retries } => MachineError::Unrecoverable {
+            node: p,
+            peer,
+            retries,
+        },
+        RecvFailNd::BadWire(why) => {
+            MachineError::PlanMismatch(format!("node {p}, array `{array}`: {why}"))
+        }
+    }
+}
+
 /// One nd node thread: run the phases under a panic guard, then
 /// announce completion and service late retransmit requests.
 #[allow(clippy::too_many_arguments)]
@@ -586,6 +689,7 @@ fn run_node_nd(
     txs: Vec<Sender<Frame<Wire>>>,
     clause: &Clause,
     slots: &[ReadSlot],
+    exec: Option<(&[NdElem], &CompiledKernel)>,
     rexpr: &RExpr,
     rguard: &RGuard,
     decomps: &BTreeMap<String, DecompNd>,
@@ -608,6 +712,7 @@ fn run_node_nd(
             &mut ep,
             clause,
             slots,
+            exec,
             rexpr,
             rguard,
             decomps,
@@ -654,6 +759,7 @@ fn node_phases_nd(
     ep: &mut Endpoint<Wire>,
     clause: &Clause,
     slots: &[ReadSlot],
+    exec: Option<(&[NdElem], &CompiledKernel)>,
     rexpr: &RExpr,
     rguard: &RGuard,
     decomps: &BTreeMap<String, DecompNd>,
@@ -673,8 +779,38 @@ fn node_phases_nd(
         tracer.record(p, EventKind::PhaseStart(Phase::Send));
     }
     let send_t0 = trace_on.then(std::time::Instant::now);
-    match opts.mode {
-        CommMode::Element => {
+    match (opts.mode, exec.is_some()) {
+        (CommMode::Element, true) => {
+            // compiled: the plan buckets already know every destination —
+            // the per-element `proc_of(lhs(i))` owner test is hoisted to
+            // plan time (the bucket index is the destination)
+            for (q, runs) in send_plan[p as usize].iter().enumerate() {
+                for run in runs {
+                    let rs = &slots[run.slot];
+                    let dec_r = &decomps[&rs.array];
+                    let local_part = &locals[&rs.array];
+                    let local_bounds = dec_r.local_bounds(p);
+                    for i in &run.elems {
+                        let g = rs.map.eval(i);
+                        let off = local_bounds.linear_offset(&dec_r.local_of(&g));
+                        stats.msgs_sent += 1;
+                        stats.packets_sent += 1;
+                        stats.bytes_sent += ELEM_MSG_BYTES;
+                        stats.max_packet_elems = stats.max_packet_elems.max(1);
+                        ep.send(
+                            q,
+                            Wire::Elem(Msg {
+                                slot: run.slot,
+                                i: *i,
+                                value: local_part[off],
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+        (CommMode::Element, false) => {
+            // naive fallback: per-element ownership test + tagged send
             for (slot, rs) in slots.iter().enumerate() {
                 let dec_r = &decomps[&rs.array];
                 let local_part = &locals[&rs.array];
@@ -700,7 +836,7 @@ fn node_phases_nd(
                 });
             }
         }
-        CommMode::Vectorized => {
+        (CommMode::Vectorized, _) => {
             for (q, runs) in send_plan[p as usize].iter().enumerate() {
                 for (run_ord, run) in runs.iter().enumerate() {
                     let rs = &slots[run.slot];
@@ -733,6 +869,78 @@ fn node_phases_nd(
         tracer.record(p, EventKind::PhaseStart(Phase::Update));
     }
     let update_t0 = trace_on.then(std::time::Instant::now);
+
+    // compiled path: bytecode kernel over the plan-time element tables.
+    // With overlap, every interior element (all operands owner-local)
+    // executes before any boundary element blocks on the transport;
+    // writes are staged by visit ordinal so the commit order — and the
+    // result, even for a non-injective write map — is overlap-invariant.
+    if let Some((elems, kernel)) = exec {
+        let mut recv = RecvStateNd::new(opts.mode, send_plan, p, pmax);
+        let mut vals = vec![0.0f64; slots.len()];
+        let mut stack: Vec<f64> = Vec::with_capacity(kernel.stack_capacity());
+        let mut out: Vec<Option<(usize, f64)>> = vec![None; elems.len()];
+        let passes: &[Option<bool>] = if opts.overlap {
+            &[Some(false), Some(true)]
+        } else {
+            &[None]
+        };
+        for pass in passes {
+            for (k, el) in elems.iter().enumerate() {
+                if let Some(want_boundary) = pass {
+                    if el.boundary != *want_boundary {
+                        continue;
+                    }
+                }
+                stats.iterations += 1;
+                for (slot, r) in el.reads.iter().enumerate() {
+                    vals[slot] = match r {
+                        NdSlotRef::Local(off) => {
+                            stats.local_reads += 1;
+                            locals[&slots[slot].array][*off]
+                        }
+                        NdSlotRef::Remote(owner) => {
+                            match recv.remote_value(ep, rx, slot, &el.i, *owner, opts, stats) {
+                                Ok(v) => {
+                                    stats.msgs_received += 1;
+                                    v
+                                }
+                                Err(f) => {
+                                    let res = Err(map_recv_fail_nd(
+                                        f,
+                                        p,
+                                        &slots[slot].array,
+                                        &el.i,
+                                        slot,
+                                    ));
+                                    if let Some(t0) = update_t0 {
+                                        tracer.timing(p, Phase::Update, t0.elapsed());
+                                        tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+                                    }
+                                    return res;
+                                }
+                            }
+                        }
+                    };
+                }
+                stats.data_guards += 1;
+                let ok = match rguard {
+                    RGuard::Always => true,
+                    RGuard::Cmp { slot, op, rhs } => op.holds(vals[*slot], *rhs),
+                };
+                if ok {
+                    out[k] = Some((el.lhs_off, kernel.eval(el.i.coords(), &vals, &mut stack)));
+                }
+            }
+        }
+        writes.extend(out.into_iter().flatten());
+        if let Some(t0) = update_t0 {
+            tracer.timing(p, Phase::Update, t0.elapsed());
+            tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+        }
+        return Ok(());
+    }
+
     let mut recv = RecvStateNd::new(opts.mode, send_plan, p, pmax);
     let mut vals = vec![0.0f64; slots.len()];
     let mut err: Option<MachineError> = None;
@@ -1062,6 +1270,7 @@ mod tests {
                 ),
                 mode,
                 retry: RetryPolicy::fast(),
+                ..DistOptions::default()
             };
             let report = run_distributed_nd_opts(&clause, &mut arrays, opts)
                 .unwrap_or_else(|e| panic!("{mode:?}: {e}"));

@@ -16,13 +16,30 @@
 //! instead of after `p-1` finishes everything.
 
 use crate::darray::DistArray;
+use crate::distributed::zero_part;
 use crate::error::MachineError;
 use crate::stats::{ExecReport, NodeStats};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use vcal_core::func::Fn1;
-use vcal_core::{BinOp, Clause, Expr, Guard, Ordering};
+use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
 use vcal_decomp::{Decomp1, Distribution};
+use vcal_spmd::CompiledKernel;
+
+/// One deduplicated read access of the pipelined clause.
+struct PipeSlot {
+    array: String,
+    g: Fn1,
+    /// Whether this slot reads the recurrence array (and may therefore
+    /// resolve through the predecessor halo instead of the local part).
+    is_rec: bool,
+}
+
+/// The clause guard with its read slot resolved at plan time.
+enum PipeGuard {
+    Always,
+    Cmp { slot: usize, op: CmpOp, rhs: f64 },
+}
 
 /// A value of the recurrence array crossing a block boundary.
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +155,46 @@ pub fn run_doacross(
         }
     }
 
+    // compile the clause body once into flat postfix bytecode over the
+    // deduplicated read slots — the pipeline's inner loop then gathers
+    // operands (local part or predecessor halo) and runs the bytecode
+    // instead of recursing through the `Expr` tree per element
+    let mut slots: Vec<PipeSlot> = Vec::new();
+    for r in clause.read_refs() {
+        if let Some(g) = r.map.as_fn1() {
+            if !slots.iter().any(|s| s.array == r.array && s.g == *g) {
+                slots.push(PipeSlot {
+                    array: r.array.clone(),
+                    g: g.clone(),
+                    is_rec: r.array == rec_name,
+                });
+            }
+        }
+    }
+    let kernel = CompiledKernel::compile(&clause.rhs, slots.len(), |r| {
+        let g = r.map.as_fn1()?;
+        slots.iter().position(|s| s.array == r.array && s.g == *g)
+    });
+    let pguard: Option<PipeGuard> = match &clause.guard {
+        Guard::Always => Some(PipeGuard::Always),
+        Guard::Cmp { lhs, op, rhs } => lhs.map.as_fn1().and_then(|g| {
+            slots
+                .iter()
+                .position(|s| s.array == lhs.array && s.g == *g)
+                .map(|slot| PipeGuard::Cmp {
+                    slot,
+                    op: *op,
+                    rhs: *rhs,
+                })
+        }),
+    };
+    // both the body and the guard must have resolved for the compiled
+    // inner loop; otherwise the tree walker remains (naive fallback)
+    let compiled = match (&kernel, &pguard) {
+        (Some(k), Some(g)) => Some((k, g)),
+        _ => None,
+    };
+
     // disassemble
     let names: Vec<String> = arrays.keys().cloned().collect();
     let mut decomps: BTreeMap<String, Decomp1> = BTreeMap::new();
@@ -179,9 +236,13 @@ pub fn run_doacross(
             let decomps = &decomps;
             let rec_name = &rec_name;
             let dists = &dists;
+            let slots = &slots;
             handles.push(scope.spawn(move || {
                 let mut stats = NodeStats::default();
                 let mut halo: HashMap<i64, f64> = HashMap::new();
+                let mut vals = vec![0.0f64; slots.len()];
+                let mut stack: Vec<f64> =
+                    Vec::with_capacity(compiled.map_or(0, |(k, _)| k.stack_capacity()));
                 let res = (|| -> Result<(), MachineError> {
                     // iteration sub-range owned by p
                     let my_cnt = dec.local_count(p);
@@ -238,21 +299,60 @@ pub fn run_doacross(
                         }
                         // evaluate
                         stats.iterations += 1;
-                        let guard_ok = eval_guard_local(
-                            &clause.guard,
-                            i,
-                            p,
-                            &locals,
-                            decomps,
-                            rec_name,
-                            &halo,
-                        )?;
-                        if guard_ok {
-                            let v =
-                                eval_local(&clause.rhs, i, p, &locals, decomps, rec_name, &halo)?;
-                            let off = dec.local_of(i) as usize;
-                            if let Some(rec) = locals.get_mut(rec_name) {
-                                rec[off] = v;
+                        if let Some((kernel, pguard)) = compiled {
+                            // compiled inner loop: gather each slot once
+                            // (local part, or predecessor halo for
+                            // carried reads), then run the bytecode
+                            for (slot, ps) in slots.iter().enumerate() {
+                                let g = ps.g.eval(i);
+                                let dec_r = &decomps[&ps.array];
+                                vals[slot] = if ps.is_rec && !dec_r.resides_on(g, p) {
+                                    halo.get(&g).copied().ok_or_else(|| {
+                                        MachineError::MissingMessage {
+                                            node: p,
+                                            array: ps.array.clone(),
+                                            index: i,
+                                        }
+                                    })?
+                                } else {
+                                    locals[&ps.array][dec_r.local_of(g) as usize]
+                                };
+                            }
+                            let guard_ok = match pguard {
+                                PipeGuard::Always => true,
+                                PipeGuard::Cmp { slot, op, rhs } => op.holds(vals[*slot], *rhs),
+                            };
+                            if guard_ok {
+                                let v = kernel.eval(&[i], &vals, &mut stack);
+                                let off = dec.local_of(i) as usize;
+                                if let Some(rec) = locals.get_mut(rec_name) {
+                                    rec[off] = v;
+                                }
+                            }
+                        } else {
+                            let guard_ok = eval_guard_local(
+                                &clause.guard,
+                                i,
+                                p,
+                                &locals,
+                                decomps,
+                                rec_name,
+                                &halo,
+                            )?;
+                            if guard_ok {
+                                let v = eval_local(
+                                    &clause.rhs,
+                                    i,
+                                    p,
+                                    &locals,
+                                    decomps,
+                                    rec_name,
+                                    &halo,
+                                )?;
+                                let off = dec.local_of(i) as usize;
+                                if let Some(rec) = locals.get_mut(rec_name) {
+                                    rec[off] = v;
+                                }
                             }
                         }
                         // forward boundary values the successor will need:
@@ -307,9 +407,20 @@ pub fn run_doacross(
     let mut parts_by_name: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
     for (p, mut locals, stats, _res) in results {
         for name in &names {
-            let part = locals
-                .remove(name)
-                .unwrap_or_else(|| vec![0.0; decomps[name].local_count(p).max(0) as usize]);
+            let part = match locals.remove(name) {
+                Some(part) => part,
+                None => match zero_part(&decomps[name], p) {
+                    Ok(part) => part,
+                    Err(e) => {
+                        // a negative local count is a plan-shape bug;
+                        // surface it unless a node error already won
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        Vec::new()
+                    }
+                },
+            };
             parts_by_name.entry(name.clone()).or_default().push(part);
         }
         report.nodes.push(stats);

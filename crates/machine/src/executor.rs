@@ -34,9 +34,9 @@
 
 use crate::darray::DistArray;
 use crate::distributed::{
-    disassemble, eval_rexpr, finalize_run, recv_element, recv_packed, resolve_expr, resolve_guard,
-    CommMode, DistOptions, Msg, NodeOutcome, RExpr, RGuard, RecvFail, Wire, ELEM_MSG_BYTES,
-    PACK_HEADER_BYTES,
+    disassemble, eval_rexpr, exec_update_phase, finalize_run, recv_element, recv_packed,
+    resolve_expr, resolve_guard, send_phase_element_compiled, CommMode, DistOptions, Msg,
+    NodeOutcome, RExpr, RGuard, RecvFail, Wire, WriteOp, ELEM_MSG_BYTES, PACK_HEADER_BYTES,
 };
 use crate::error::MachineError;
 use crate::obs::{trace_plan, EventKind, Phase, Tracer};
@@ -139,7 +139,7 @@ pub fn prepare_run(
         rexprs.push(resolve_expr(&clause.rhs, n)?);
         rguards.push(resolve_guard(&clause.guard, n)?);
     }
-    let compiled = CompiledSchedule::compile(&plan);
+    let compiled = CompiledSchedule::compile_exec(&plan, clause, &captured);
     Ok(PreparedPlan {
         plan,
         compiled,
@@ -498,8 +498,10 @@ struct Scratch {
     staging: Vec<Vec<Option<Vec<f64>>>>,
     /// Operand values of the current iteration, one per read slot.
     vals: Vec<f64>,
+    /// Kernel evaluation stack (compiled path), reused across runs.
+    stack: Vec<f64>,
     /// Collected local writes, committed by the host.
-    writes: Vec<(usize, f64)>,
+    writes: Vec<WriteOp>,
 }
 
 /// The body of one pooled node thread: park on the job channel, and for
@@ -655,8 +657,13 @@ fn warm_phases(
         pending,
         staging,
         vals,
+        stack,
         writes,
     } = scratch;
+    // same gating as the cold machine: the kernel exists iff every
+    // schedule is closed-form and the expression compiled, so cold and
+    // warm runs take the same path (and record the same trace) per plan
+    let exec = prepared.compiled.kernel.as_ref().map(|k| (cn, k));
 
     stats.guard_tests += cn.modify_work;
     let trace_on = tracer.enabled();
@@ -666,8 +673,11 @@ fn warm_phases(
         tracer.record(p, EventKind::PhaseStart(Phase::Send));
     }
     let send_t0 = trace_on.then(std::time::Instant::now);
-    match opts.mode {
-        CommMode::Element => {
+    match (opts.mode, exec) {
+        (CommMode::Element, Some((cn, _))) => {
+            send_phase_element_compiled(p, locals, node, cn, decomps, ep, stats, sent_to, tracer);
+        }
+        (CommMode::Element, None) => {
             for (slot, rp) in node.resides.iter().enumerate() {
                 let Some(runs) = &cn.resides[slot] else {
                     continue; // replicated: never sent
@@ -700,7 +710,7 @@ fn warm_phases(
                 });
             }
         }
-        CommMode::Vectorized => {
+        (CommMode::Vectorized, _) => {
             for pair in &node.comm.sends {
                 for (run_ord, run) in pair.runs.iter().enumerate() {
                     let rp = &node.resides[run.slot];
@@ -743,6 +753,23 @@ fn warm_phases(
         tracer.record(p, EventKind::PhaseStart(Phase::Update));
     }
     let update_t0 = trace_on.then(std::time::Instant::now);
+
+    // compiled path: fused/bytecode kernels over the interior/boundary
+    // exec runs — never touches the tree interpreter
+    if let Some((cn, kernel)) = exec {
+        stack.clear();
+        stack.reserve(kernel.stack_capacity());
+        let res = exec_update_phase(
+            p, locals, node, cn, kernel, rguard, ep, rx, pending, staging, vals, stack, opts,
+            stats, writes, tracer,
+        );
+        if let Some(t0) = update_t0 {
+            tracer.timing(p, Phase::Update, t0.elapsed());
+            tracer.record(p, EventKind::PhaseEnd(Phase::Update));
+        }
+        return res;
+    }
+
     writes.reserve(cn.modify_iters as usize);
     let mut err: Option<MachineError> = None;
 
@@ -838,7 +865,7 @@ fn warm_phases(
         if guard_ok {
             let v = eval_rexpr(rexpr, i, vals);
             let target = plan.f.eval(i);
-            writes.push((dec_lhs.local_of(target) as usize, v));
+            writes.push(WriteOp::El(dec_lhs.local_of(target) as usize, v));
         }
     });
     if let Some(t0) = update_t0 {

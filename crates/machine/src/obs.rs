@@ -135,6 +135,23 @@ pub enum EventKind {
         /// Loop index.
         i: i64,
     },
+    /// One compiled *interior* run completed (all operands owner-local;
+    /// executed while boundary packets may still be in flight).
+    InteriorRun {
+        /// Exec-run ordinal within the node's compiled table.
+        run: usize,
+        /// Iterations the run covered.
+        elems: u64,
+    },
+    /// One compiled *boundary* run completed (consumed remote operands).
+    BoundaryRun {
+        /// Exec-run ordinal within the node's compiled table.
+        run: usize,
+        /// Iterations the run covered.
+        elems: u64,
+        /// Remote operands the run had to receive before completing.
+        recvs: u64,
+    },
     /// One ghost-exchange message (halo machine), recorded at the owner.
     HaloMsg {
         /// Receiving node.
@@ -215,6 +232,8 @@ impl EventKind {
             EventKind::PackSend { .. } => "pack_send",
             EventKind::ElemSend { .. } => "elem_send",
             EventKind::RecvValue { .. } => "recv_value",
+            EventKind::InteriorRun { .. } => "interior_run",
+            EventKind::BoundaryRun { .. } => "boundary_run",
             EventKind::HaloMsg { .. } => "halo_msg",
             EventKind::RedistSend { .. } => "redist_send",
             EventKind::RedistRecv { .. } => "redist_recv",
@@ -406,6 +425,12 @@ fn jsonl_line(out: &mut String, e: &Event) {
         }
         EventKind::RecvValue { src, slot, i } => {
             let _ = write!(out, ",\"src\":{src},\"slot\":{slot},\"i\":{i}");
+        }
+        EventKind::InteriorRun { run, elems } => {
+            let _ = write!(out, ",\"run\":{run},\"elems\":{elems}");
+        }
+        EventKind::BoundaryRun { run, elems, recvs } => {
+            let _ = write!(out, ",\"run\":{run},\"elems\":{elems},\"recvs\":{recvs}");
         }
         EventKind::HaloMsg { dst, elems } => {
             let _ = write!(out, ",\"dst\":{dst},\"elems\":{elems}");
@@ -653,6 +678,9 @@ fn planned_recv_elems(plan: &SpmdPlan, p: usize) -> Vec<(i64, usize, i64)> {
 /// 1. **phase protocol** — the send span opens and closes exactly once,
 ///    strictly before the update span; send events occur only inside
 ///    the send span and receive events only inside the update span;
+///    compiled interior/boundary run completions occur only inside the
+///    update span, and a boundary run may not complete before the
+///    receives it depends on have been consumed (running count);
 /// 2. **sends vs plan** — vectorized packets appear in the plan's exact
 ///    wire order with the planned run length and modeled byte size
 ///    (`16 + 8·elems`); element-mode sends (24 modeled bytes each)
@@ -701,6 +729,10 @@ pub fn replay_check(
         let mut sends: Vec<(i64, usize, i64)> = Vec::new();
         let mut packets: Vec<(i64, usize, u64, u64)> = Vec::new();
         let mut recvs: Vec<(i64, usize, i64)> = Vec::new();
+        // rule 1b bookkeeping: receives consumed so far vs receives the
+        // completed boundary runs claim to have depended on
+        let mut recv_seen: u64 = 0;
+        let mut boundary_recvs: u64 = 0;
         for kind in events {
             match kind {
                 EventKind::PhaseStart(Phase::Send) => {
@@ -769,7 +801,36 @@ pub fn replay_check(
                             why: format!("receive (i={i}) outside the update span"),
                         });
                     }
+                    recv_seen += 1;
                     recvs.push((*src, *slot, *i));
+                }
+                EventKind::InteriorRun { run, .. } if st != St::InUpdate => {
+                    return Err(ReplayError::Phase {
+                        node,
+                        why: format!("interior run {run} outside the update span"),
+                    });
+                }
+                EventKind::BoundaryRun {
+                    run, recvs: need, ..
+                } => {
+                    if st != St::InUpdate {
+                        return Err(ReplayError::Phase {
+                            node,
+                            why: format!("boundary run {run} outside the update span"),
+                        });
+                    }
+                    // a boundary run can only complete after consuming
+                    // its remote operands: the running receive count
+                    // must cover every completed boundary run's claim
+                    boundary_recvs += need;
+                    if recv_seen < boundary_recvs {
+                        return Err(ReplayError::Phase {
+                            node,
+                            why: format!(
+                                "boundary run {run} completed after {recv_seen} receives but the completed boundary runs required {boundary_recvs}"
+                            ),
+                        });
+                    }
                 }
                 _ => {}
             }

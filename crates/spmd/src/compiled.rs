@@ -21,9 +21,10 @@
 //! (FNV-1a over the canonical debug rendering — stable within a
 //! process, which is all a session-lifetime cache needs).
 
+use crate::kernel::CompiledKernel;
 use crate::program::{DecompMap, SpmdPlan};
 use crate::schedule::Schedule;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use vcal_core::Clause;
 
@@ -145,6 +146,121 @@ pub fn flatten_schedule(s: &Schedule) -> Vec<IterRun> {
     out
 }
 
+/// Precomputed local-offset addressing for one strided run: either the
+/// closed-form affine progression `base + step·t` (the common Table I
+/// outcome) or, when the composition `local_of ∘ g ∘ gen_p` is not
+/// affine over the run, an explicit per-element table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// `offset(t) = base + step·t`.
+    Affine {
+        /// Offset of the run's first element.
+        base: i64,
+        /// Offset stride between consecutive run elements.
+        step: i64,
+    },
+    /// Explicit offsets, one per run element.
+    Table(Vec<i64>),
+}
+
+impl AccessPattern {
+    /// The local offset of run element `t`.
+    #[inline]
+    pub fn offset(&self, t: usize) -> i64 {
+        match self {
+            AccessPattern::Affine { base, step } => base + step * t as i64,
+            AccessPattern::Table(offs) => offs.get(t).copied().unwrap_or(0),
+        }
+    }
+
+    /// Whether the pattern is unit-stride (`copy_from_slice` eligible).
+    pub fn is_unit_stride(&self) -> bool {
+        matches!(self, AccessPattern::Affine { step: 1, .. })
+    }
+
+    /// Compress explicit offsets into an affine pattern when possible.
+    fn compress(offs: Vec<i64>) -> AccessPattern {
+        match offs.len() {
+            0 => AccessPattern::Affine { base: 0, step: 0 },
+            1 => AccessPattern::Affine {
+                base: offs[0],
+                step: 0,
+            },
+            _ => {
+                let step = offs[1] - offs[0];
+                if offs.windows(2).all(|w| w[1] - w[0] == step) {
+                    AccessPattern::Affine {
+                        base: offs[0],
+                        step,
+                    }
+                } else {
+                    AccessPattern::Table(offs)
+                }
+            }
+        }
+    }
+}
+
+/// Where one element of one read slot comes from inside a boundary run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRef {
+    /// Owner-local: read the local part at this offset.
+    Local(i64),
+    /// Remote: consume the value the named peer sends for this element.
+    Remote(i64),
+}
+
+/// How one read slot is addressed across a whole [`ExecRun`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotAccess {
+    /// Every element of the run reads owner-local memory (always the
+    /// case for interior runs and replicated slots).
+    Local(AccessPattern),
+    /// Boundary runs: a per-element mix of local reads and remote
+    /// consumptions.
+    Mixed(Vec<SlotRef>),
+}
+
+/// One compiled update-phase run: a strided span of `Modify_p` whose
+/// elements all share the same locality class, with every address the
+/// inner loop needs resolved at plan time.
+///
+/// *Interior* runs (`boundary == false`) read only owner-local memory —
+/// provable from the Table I dispatch, because the plan's receive runs
+/// (`Reside_q ∩ Modify_p` for `q ≠ p`) enumerate exactly the remote
+/// reads. *Boundary* runs consume at least one remote element and must
+/// wait for the matching receives.
+#[derive(Debug, Clone)]
+pub struct ExecRun {
+    /// The loop indices of the run (same visit order as `modify`).
+    pub run: IterRun,
+    /// Whether any element of the run reads remote data.
+    pub boundary: bool,
+    /// Local offsets of the written elements `local_of(f(i))`.
+    pub lhs: AccessPattern,
+    /// Per read slot, the resolved addressing.
+    pub slots: Vec<SlotAccess>,
+    /// Number of remote-element consumptions in the run (zero for
+    /// interior runs).
+    pub remote_elems: u64,
+}
+
+/// Interior/boundary census of a compiled schedule — printed by `vcalc`
+/// next to the Table I dispatch census.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapCensus {
+    /// Interior runs across all nodes.
+    pub interior_runs: u64,
+    /// Elements in interior runs.
+    pub interior_elems: u64,
+    /// Boundary runs across all nodes.
+    pub boundary_runs: u64,
+    /// Elements in boundary runs.
+    pub boundary_elems: u64,
+    /// Remote-element consumptions across all boundary runs.
+    pub remote_elems: u64,
+}
+
 /// The steady-state tables of one processor: every enumeration the
 /// executor would otherwise re-derive per run, materialized.
 #[derive(Debug, Clone)]
@@ -175,6 +291,30 @@ pub struct CompiledNode {
     /// `(slot, i)` → `(source ordinal, run, offset)` — the vectorized
     /// receive addressing, expanded once from the plan's receive runs.
     pub origin: BTreeMap<(usize, i64), (usize, usize, usize)>,
+    /// The interior/boundary execution split of `modify`, with fully
+    /// resolved addressing. Empty when the plan was compiled without
+    /// execution tables ([`CompiledSchedule::compile`]) or contains a
+    /// naive-guard schedule — the machines then run the legacy
+    /// element-at-a-time path.
+    pub exec: Vec<ExecRun>,
+}
+
+impl CompiledNode {
+    /// Interior/boundary census of this node's exec table.
+    pub fn census(&self) -> OverlapCensus {
+        let mut c = OverlapCensus::default();
+        for er in &self.exec {
+            if er.boundary {
+                c.boundary_runs += 1;
+                c.boundary_elems += er.run.len();
+                c.remote_elems += er.remote_elems;
+            } else {
+                c.interior_runs += 1;
+                c.interior_elems += er.run.len();
+            }
+        }
+        c
+    }
 }
 
 /// A whole plan's enumeration output, materialized for repeated
@@ -184,6 +324,10 @@ pub struct CompiledNode {
 pub struct CompiledSchedule {
     /// Per-processor tables, indexed by processor id.
     pub nodes: Vec<CompiledNode>,
+    /// The clause expression compiled to bytecode + fused shape, shared
+    /// by every node (`None` when compiled without execution tables or
+    /// when a reference failed to resolve).
+    pub kernel: Option<CompiledKernel>,
 }
 
 impl CompiledSchedule {
@@ -236,15 +380,179 @@ impl CompiledSchedule {
                     src_peers,
                     staging_runs,
                     origin,
+                    exec: Vec::new(),
                 }
             })
             .collect();
-        CompiledSchedule { nodes }
+        CompiledSchedule {
+            nodes,
+            kernel: None,
+        }
+    }
+
+    /// Like [`CompiledSchedule::compile`], but additionally compile the
+    /// clause kernel and split every node's `Modify_p` into interior and
+    /// boundary [`ExecRun`]s with plan-time-resolved addressing.
+    ///
+    /// The execution tables require every schedule of the plan to be
+    /// closed-form: a naive-guard plan keeps empty tables and the
+    /// machines fall back to the legacy element path (the split is only
+    /// *provable* from the Table I dispatch).
+    pub fn compile_exec(plan: &SpmdPlan, clause: &Clause, decomps: &DecompMap) -> CompiledSchedule {
+        let mut cs = Self::compile(plan);
+        let closed = plan.nodes.iter().all(|n| {
+            n.modify.kind.is_closed_form()
+                && n.resides.iter().all(|rp| rp.opt.kind.is_closed_form())
+        });
+        let (Some(node0), true) = (plan.nodes.first(), closed) else {
+            return cs;
+        };
+        let resolve = |r: &vcal_core::ArrayRef| {
+            let g = r.map.as_fn1()?;
+            node0
+                .resides
+                .iter()
+                .position(|rp| rp.array == r.array && rp.g == *g)
+        };
+        let Some(kernel) = CompiledKernel::compile(&clause.rhs, node0.resides.len(), resolve)
+        else {
+            return cs;
+        };
+        let Some(dec_lhs) = decomps.get(&plan.lhs_array) else {
+            return cs;
+        };
+        for (node, cn) in plan.nodes.iter().zip(&mut cs.nodes) {
+            cn.exec = build_exec(node, cn, plan, dec_lhs, decomps);
+        }
+        cs.kernel = Some(kernel);
+        cs
+    }
+
+    /// Whether the execution tables (kernel + interior/boundary split)
+    /// were built.
+    pub fn has_exec(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// Interior/boundary census summed over all nodes.
+    pub fn overlap_census(&self) -> OverlapCensus {
+        let mut total = OverlapCensus::default();
+        for n in &self.nodes {
+            let c = n.census();
+            total.interior_runs += c.interior_runs;
+            total.interior_elems += c.interior_elems;
+            total.boundary_runs += c.boundary_runs;
+            total.boundary_elems += c.boundary_elems;
+            total.remote_elems += c.remote_elems;
+        }
+        total
     }
 
     /// Total iterations across all nodes (sanity/report helper).
     pub fn total_iters(&self) -> u64 {
         self.nodes.iter().map(|n| n.modify_iters).sum()
+    }
+}
+
+/// Split one node's modify visit sequence into maximal same-class
+/// (interior vs boundary) strided runs and resolve every address.
+///
+/// Classification comes from the receive addressing already expanded in
+/// `cn.origin`: `(slot, i)` has an entry exactly when the plan routes
+/// that read over the wire, i.e. when `g_slot(i)` is owned elsewhere.
+/// An index is *boundary* iff any of its non-replicated reads has such
+/// an entry — no per-element `proc_of` is ever evaluated.
+fn build_exec(
+    node: &crate::program::NodePlan,
+    cn: &CompiledNode,
+    plan: &SpmdPlan,
+    dec_lhs: &vcal_decomp::Decomp1,
+    decomps: &DecompMap,
+) -> Vec<ExecRun> {
+    // indices with at least one remote read
+    let bset: BTreeSet<i64> = cn.origin.keys().map(|&(_, i)| i).collect();
+    let mut seq = Vec::with_capacity(cn.modify_iters as usize);
+    for_each_run(&cn.modify, |i| seq.push(i));
+
+    let mut exec = Vec::new();
+    let mut k = 0usize;
+    while k < seq.len() {
+        let boundary = bset.contains(&seq[k]);
+        let mut j = k + 1;
+        while j < seq.len() && bset.contains(&seq[j]) == boundary {
+            j += 1;
+        }
+        let mut runs = Vec::new();
+        coalesce_ordered(&seq[k..j], &mut runs);
+        for run in runs {
+            exec.push(build_exec_run(
+                run, boundary, node, cn, plan, dec_lhs, decomps,
+            ));
+        }
+        k = j;
+    }
+    exec
+}
+
+fn build_exec_run(
+    run: IterRun,
+    boundary: bool,
+    node: &crate::program::NodePlan,
+    cn: &CompiledNode,
+    plan: &SpmdPlan,
+    dec_lhs: &vcal_decomp::Decomp1,
+    decomps: &DecompMap,
+) -> ExecRun {
+    let n = run.len() as usize;
+    let mut lhs_offs = Vec::with_capacity(n);
+    run.for_each(|i| lhs_offs.push(dec_lhs.local_of(plan.f.eval(i))));
+    let mut remote_elems = 0u64;
+    let slots = node
+        .resides
+        .iter()
+        .enumerate()
+        .map(|(slot, rp)| {
+            let local_off = |i: i64| match decomps.get(&rp.array) {
+                Some(d) => d.local_of(rp.g.eval(i)),
+                None => 0,
+            };
+            if !boundary || rp.replicated {
+                let mut offs = Vec::with_capacity(n);
+                run.for_each(|i| offs.push(local_off(i)));
+                SlotAccess::Local(AccessPattern::compress(offs))
+            } else {
+                let mut refs = Vec::with_capacity(n);
+                run.for_each(|i| {
+                    refs.push(match cn.origin.get(&(slot, i)) {
+                        Some(&(ord, _, _)) => {
+                            remote_elems += 1;
+                            SlotRef::Remote(cn.src_peers.get(ord).copied().unwrap_or(-1))
+                        }
+                        None => SlotRef::Local(local_off(i)),
+                    });
+                });
+                // a boundary run can still be all-local in one slot
+                if refs.iter().all(|r| matches!(r, SlotRef::Local(_))) {
+                    let offs = refs
+                        .iter()
+                        .map(|r| match r {
+                            SlotRef::Local(o) => *o,
+                            SlotRef::Remote(_) => 0,
+                        })
+                        .collect();
+                    SlotAccess::Local(AccessPattern::compress(offs))
+                } else {
+                    SlotAccess::Mixed(refs)
+                }
+            }
+        })
+        .collect();
+    ExecRun {
+        run,
+        boundary,
+        lhs: AccessPattern::compress(lhs_offs),
+        slots,
+        remote_elems,
     }
 }
 
@@ -434,6 +742,102 @@ mod tests {
             }
             assert_eq!(cn.origin, want, "p={}", node.p);
         }
+    }
+
+    #[test]
+    fn exec_split_matches_proc_of_reference() {
+        // stencil-ish clause with remote neighbours at block edges
+        let n = 96i64;
+        let clause = Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::mul(
+                Expr::Lit(0.5),
+                Expr::add(
+                    Expr::Ref(ArrayRef::d1("B", Fn1::shift(-1))),
+                    Expr::Ref(ArrayRef::d1("B", Fn1::shift(1))),
+                ),
+            ),
+        };
+        let e = Bounds::range(0, n - 1);
+        for (da, db) in [
+            (Decomp1::block(4, e), Decomp1::block(4, e)),
+            (Decomp1::block(4, e), Decomp1::scatter(4, e)),
+            (Decomp1::block_scatter(3, 4, e), Decomp1::block(4, e)),
+        ] {
+            let dm = decomps(da, db);
+            let plan = SpmdPlan::build(&clause, &dm).unwrap();
+            let compiled = CompiledSchedule::compile_exec(&plan, &clause, &dm);
+            assert!(compiled.has_exec());
+            let kernel = compiled.kernel.as_ref().unwrap();
+            assert!(matches!(
+                kernel.fused,
+                crate::kernel::FusedShape::Stencil { .. }
+            ));
+            for (node, cn) in plan.nodes.iter().zip(&compiled.nodes) {
+                // exec covers modify exactly, in visit order
+                let mut got = Vec::new();
+                for er in &cn.exec {
+                    er.run.for_each(|i| got.push(i));
+                }
+                assert_eq!(got, visit_order(&cn.modify), "p={}", node.p);
+                // classification agrees with the brute-force proc_of test
+                for er in &cn.exec {
+                    let mut t = 0usize;
+                    er.run.for_each(|i| {
+                        let any_remote = node.resides.iter().any(|rp| {
+                            !rp.replicated && dm[&rp.array].proc_of(rp.g.eval(i)) != node.p
+                        });
+                        assert_eq!(er.boundary, any_remote, "p={} i={i}", node.p);
+                        // lhs addressing matches the runtime computation
+                        assert_eq!(
+                            er.lhs.offset(t),
+                            dm["A"].local_of(plan.f.eval(i)),
+                            "p={} i={i}",
+                            node.p
+                        );
+                        for (slot, rp) in node.resides.iter().enumerate() {
+                            let local = dm[&rp.array].local_of(rp.g.eval(i));
+                            let owner = dm[&rp.array].proc_of(rp.g.eval(i));
+                            match &er.slots[slot] {
+                                SlotAccess::Local(pat) => {
+                                    assert_eq!(owner, node.p, "p={} i={i}", node.p);
+                                    assert_eq!(pat.offset(t), local, "p={} i={i}", node.p);
+                                }
+                                SlotAccess::Mixed(refs) => match refs[t] {
+                                    SlotRef::Local(off) => {
+                                        assert_eq!(owner, node.p);
+                                        assert_eq!(off, local);
+                                    }
+                                    SlotRef::Remote(peer) => {
+                                        assert_eq!(peer, owner, "p={} i={i}", node.p)
+                                    }
+                                },
+                            }
+                        }
+                        t += 1;
+                    });
+                }
+            }
+            // census adds up
+            let c = compiled.overlap_census();
+            assert_eq!(c.interior_elems + c.boundary_elems, compiled.total_iters());
+            assert_eq!(
+                c.remote_elems,
+                plan.nodes.iter().map(|n| n.comm.recv_elems()).sum::<u64>()
+            );
+        }
+        // a naive plan keeps the legacy path
+        let dm = decomps(
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+            Decomp1::block(4, Bounds::range(0, n - 1)),
+        );
+        let naive = SpmdPlan::build_naive(&clause, &dm).unwrap();
+        let compiled = CompiledSchedule::compile_exec(&naive, &clause, &dm);
+        assert!(!compiled.has_exec());
+        assert!(compiled.nodes.iter().all(|cn| cn.exec.is_empty()));
     }
 
     #[test]

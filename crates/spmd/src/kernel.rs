@@ -1,0 +1,493 @@
+//! Compiled compute kernels — the clause's element expression lowered
+//! once, at plan time, into a flat postfix program.
+//!
+//! The paper's cost model charges the update phase *per element*; any
+//! per-element constant therefore multiplies straight into the total.
+//! Walking the [`Expr`] tree per element pays a recursion frame and a
+//! `Box` pointer chase per operator plus a `BTreeMap` array lookup per
+//! reference. [`CompiledKernel::compile`] removes all of it:
+//!
+//! * array references are resolved to dense *slot* numbers (positions
+//!   in the plan's deduplicated read list — identical on every node,
+//!   because the read list is built once from the clause before the
+//!   per-processor split);
+//! * the tree is flattened into postfix [`KernelOp`] bytecode evaluated
+//!   by a single loop over a pre-sized value stack — no recursion, no
+//!   pointer chasing;
+//! * the dominant shapes are recognized into a [`FusedShape`] so the
+//!   machines can run a specialized loop that skips even the bytecode
+//!   dispatch: pure copy (which degrades to `copy_from_slice` on
+//!   unit-stride runs), `a·X[g(i)] + b`, and 2/3-point stencil sums
+//!   with an optional scale and offset.
+//!
+//! Bit-exactness contract: [`CompiledKernel::eval`] performs *exactly*
+//! the operation sequence of [`vcal_core::Env::eval_expr`] — same
+//! [`BinOp::apply`] calls in the same association order — so compiled
+//! results are bit-identical to the interpreted reference. The fused
+//! shapes only ever commute operands of a single `+` or `*` (IEEE-754
+//! commutative for finite values and literals), never re-associate.
+
+use vcal_core::{ArrayRef, BinOp, Expr};
+
+/// One postfix instruction of a compiled kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelOp {
+    /// Push the gathered value of read slot `n`.
+    Slot(u16),
+    /// Push a literal.
+    Lit(f64),
+    /// Push loop coordinate `idx[dim]` as a value.
+    LoopVar(u8),
+    /// Negate the top of stack.
+    Neg,
+    /// Pop two values, apply the operator (left operand popped second).
+    Bin(BinOp),
+}
+
+/// A recognized fast-path shape of the right-hand side. All evaluation
+/// orders mirror the source expression exactly (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedShape {
+    /// `X[g(i)]` — pure copy of one slot.
+    Copy {
+        /// The copied read slot.
+        slot: usize,
+    },
+    /// `(a · X[g(i)]) + b` with the multiply and/or add skipped when the
+    /// source expression has no such factor (skipping matters: `x + 0.0`
+    /// is not the identity for `-0.0`).
+    Axpy {
+        /// Optional scale factor `a`.
+        a: Option<f64>,
+        /// The read slot.
+        slot: usize,
+        /// Optional additive offset `b`.
+        b: Option<f64>,
+    },
+    /// `scale · (X ± Y [± Z]) + offset` — a 2- or 3-point stencil sum
+    /// with optional scale and offset, the Jacobi/heat-equation shape.
+    Stencil {
+        /// The summed read slots, in source order (2 or 3).
+        slots: Vec<usize>,
+        /// For 3-point sums: `true` for `(x+y)+z`, `false` for `x+(y+z)`.
+        left_assoc: bool,
+        /// Optional scale factor.
+        scale: Option<f64>,
+        /// Optional additive offset.
+        offset: Option<f64>,
+    },
+    /// No fast path — evaluate the bytecode.
+    Generic,
+}
+
+/// A clause expression compiled to postfix bytecode plus its recognized
+/// fused shape. One kernel serves every node of a plan: slot numbering
+/// comes from the clause's read list, which is node-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    ops: Vec<KernelOp>,
+    max_stack: usize,
+    /// The recognized fast-path shape (or [`FusedShape::Generic`]).
+    pub fused: FusedShape,
+    /// Number of read slots the kernel consumes.
+    pub n_slots: usize,
+}
+
+impl CompiledKernel {
+    /// Compile `rhs` against a slot resolver (array reference → read
+    /// slot). Returns `None` when a reference fails to resolve — the
+    /// caller falls back to the tree interpreter.
+    pub fn compile<F>(rhs: &Expr, n_slots: usize, resolve: F) -> Option<CompiledKernel>
+    where
+        F: Fn(&ArrayRef) -> Option<usize>,
+    {
+        let mut ops = Vec::new();
+        let max_stack = lower(rhs, &resolve, &mut ops)?;
+        let fused = classify(rhs, &resolve);
+        Some(CompiledKernel {
+            ops,
+            max_stack,
+            fused,
+            n_slots,
+        })
+    }
+
+    /// The postfix program.
+    pub fn ops(&self) -> &[KernelOp] {
+        &self.ops
+    }
+
+    /// Capacity the evaluation stack needs (pre-size once, reuse).
+    pub fn stack_capacity(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Evaluate the bytecode for loop index `idx` over the gathered
+    /// slot values `vals`. Non-recursive: one loop over the ops with an
+    /// explicit value stack (cleared, capacity retained across calls).
+    #[inline]
+    pub fn eval(&self, idx: &[i64], vals: &[f64], stack: &mut Vec<f64>) -> f64 {
+        stack.clear();
+        stack.reserve(self.max_stack);
+        for op in &self.ops {
+            match *op {
+                KernelOp::Slot(s) => stack.push(vals.get(s as usize).copied().unwrap_or(0.0)),
+                KernelOp::Lit(v) => stack.push(v),
+                KernelOp::LoopVar(d) => {
+                    stack.push(idx.get(d as usize).copied().unwrap_or(0) as f64)
+                }
+                KernelOp::Neg => {
+                    if let Some(top) = stack.last_mut() {
+                        *top = -*top;
+                    }
+                }
+                KernelOp::Bin(op) => {
+                    let b = stack.pop().unwrap_or(0.0);
+                    let a = stack.pop().unwrap_or(0.0);
+                    stack.push(op.apply(a, b));
+                }
+            }
+        }
+        stack.pop().unwrap_or(0.0)
+    }
+}
+
+/// Emit postfix ops for `e`; returns the maximum stack depth reached.
+fn lower<F>(e: &Expr, resolve: &F, out: &mut Vec<KernelOp>) -> Option<usize>
+where
+    F: Fn(&ArrayRef) -> Option<usize>,
+{
+    match e {
+        Expr::Ref(r) => {
+            let slot = resolve(r)?;
+            out.push(KernelOp::Slot(u16::try_from(slot).ok()?));
+            Some(1)
+        }
+        Expr::Lit(v) => {
+            out.push(KernelOp::Lit(*v));
+            Some(1)
+        }
+        Expr::LoopVar { dim } => {
+            out.push(KernelOp::LoopVar(u8::try_from(*dim).ok()?));
+            Some(1)
+        }
+        Expr::Neg(inner) => {
+            let d = lower(inner, resolve, out)?;
+            out.push(KernelOp::Neg);
+            Some(d)
+        }
+        Expr::Bin(op, a, b) => {
+            let da = lower(a, resolve, out)?;
+            let db = lower(b, resolve, out)?;
+            out.push(KernelOp::Bin(*op));
+            // left value sits on the stack while the right subtree runs
+            Some(da.max(db + 1))
+        }
+    }
+}
+
+/// Recognize the fused fast-path shape of `rhs`, if any.
+fn classify<F>(rhs: &Expr, resolve: &F) -> FusedShape
+where
+    F: Fn(&ArrayRef) -> Option<usize>,
+{
+    // peel one additive literal offset: `core + b` / `b + core`
+    let (core, offset) = match rhs {
+        Expr::Bin(BinOp::Add, x, y) => match (x.as_ref(), y.as_ref()) {
+            (c, Expr::Lit(b)) => (c, Some(*b)),
+            (Expr::Lit(b), c) => (c, Some(*b)),
+            _ => (rhs, None),
+        },
+        _ => (rhs, None),
+    };
+    // peel one multiplicative literal scale: `core * a` / `a * core`
+    let (core, scale) = match core {
+        Expr::Bin(BinOp::Mul, x, y) => match (x.as_ref(), y.as_ref()) {
+            (c, Expr::Lit(a)) => (c, Some(*a)),
+            (Expr::Lit(a), c) => (c, Some(*a)),
+            _ => (core, None),
+        },
+        _ => (core, None),
+    };
+    let slot_of = |e: &Expr| match e {
+        Expr::Ref(r) => resolve(r),
+        _ => None,
+    };
+    if let Some(slot) = slot_of(core) {
+        return match (scale, offset) {
+            (None, None) => FusedShape::Copy { slot },
+            (a, b) => FusedShape::Axpy { a, slot, b },
+        };
+    }
+    if let Expr::Bin(BinOp::Add, x, y) = core {
+        // 2-point: X + Y
+        if let (Some(s0), Some(s1)) = (slot_of(x), slot_of(y)) {
+            return FusedShape::Stencil {
+                slots: vec![s0, s1],
+                left_assoc: true,
+                scale,
+                offset,
+            };
+        }
+        // 3-point: (X + Y) + Z
+        if let (Expr::Bin(BinOp::Add, xa, xb), Some(s2)) = (x.as_ref(), slot_of(y)) {
+            if let (Some(s0), Some(s1)) = (slot_of(xa), slot_of(xb)) {
+                return FusedShape::Stencil {
+                    slots: vec![s0, s1, s2],
+                    left_assoc: true,
+                    scale,
+                    offset,
+                };
+            }
+        }
+        // 3-point: X + (Y + Z)
+        if let (Some(s0), Expr::Bin(BinOp::Add, ya, yb)) = (slot_of(x), y.as_ref()) {
+            if let (Some(s1), Some(s2)) = (slot_of(ya), slot_of(yb)) {
+                return FusedShape::Stencil {
+                    slots: vec![s0, s1, s2],
+                    left_assoc: false,
+                    scale,
+                    offset,
+                };
+            }
+        }
+    }
+    FusedShape::Generic
+}
+
+impl FusedShape {
+    /// Apply the fused arithmetic to already-gathered slot values `xs`
+    /// (in [`FusedShape`] slot order). Mirrors the source expression's
+    /// operation order exactly.
+    #[inline]
+    pub fn apply(&self, xs: &[f64]) -> f64 {
+        match self {
+            FusedShape::Copy { .. } => xs.first().copied().unwrap_or(0.0),
+            FusedShape::Axpy { a, b, .. } => {
+                let mut v = xs.first().copied().unwrap_or(0.0);
+                if let Some(a) = a {
+                    v *= a;
+                }
+                if let Some(b) = b {
+                    v += b;
+                }
+                v
+            }
+            FusedShape::Stencil {
+                slots,
+                left_assoc,
+                scale,
+                offset,
+            } => {
+                let x0 = xs.first().copied().unwrap_or(0.0);
+                let x1 = xs.get(1).copied().unwrap_or(0.0);
+                let mut v = if slots.len() == 3 {
+                    let x2 = xs.get(2).copied().unwrap_or(0.0);
+                    if *left_assoc {
+                        (x0 + x1) + x2
+                    } else {
+                        x0 + (x1 + x2)
+                    }
+                } else {
+                    x0 + x1
+                };
+                if let Some(s) = scale {
+                    v *= s;
+                }
+                if let Some(b) = offset {
+                    v += b;
+                }
+                v
+            }
+            FusedShape::Generic => 0.0,
+        }
+    }
+
+    /// The read slots this shape consumes, in evaluation order.
+    pub fn read_slots(&self) -> Vec<usize> {
+        match self {
+            FusedShape::Copy { slot } | FusedShape::Axpy { slot, .. } => vec![*slot],
+            FusedShape::Stencil { slots, .. } => slots.clone(),
+            FusedShape::Generic => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{Array, Bounds, Env, Ix};
+
+    fn refs(names: &[(&str, Fn1)]) -> Vec<(String, Fn1)> {
+        names
+            .iter()
+            .map(|(a, g)| (a.to_string(), g.clone()))
+            .collect()
+    }
+
+    fn resolver(reads: &[(String, Fn1)]) -> impl Fn(&ArrayRef) -> Option<usize> + '_ {
+        move |r: &ArrayRef| {
+            let g = r.map.as_fn1()?;
+            reads.iter().position(|(a, h)| *a == r.array && h == g)
+        }
+    }
+
+    fn b(g: Fn1) -> Expr {
+        Expr::Ref(ArrayRef::d1("B", g))
+    }
+
+    #[test]
+    fn bytecode_matches_tree_interpreter_bitwise() {
+        // kernel over two reads, evaluated against an Env the reference
+        // interpreter also sees
+        let reads = refs(&[("B", Fn1::shift(-1)), ("B", Fn1::shift(1))]);
+        let exprs = vec![
+            Expr::mul(
+                Expr::Lit(0.5),
+                Expr::add(b(Fn1::shift(-1)), b(Fn1::shift(1))),
+            ),
+            Expr::add(
+                Expr::Neg(Box::new(b(Fn1::shift(-1)))),
+                Expr::mul(b(Fn1::shift(1)), Expr::Lit(3.25)),
+            ),
+            Expr::Bin(
+                BinOp::Div,
+                Box::new(b(Fn1::shift(1))),
+                Box::new(Expr::add(b(Fn1::shift(-1)), Expr::Lit(1.5e6))),
+            ),
+            Expr::add(Expr::LoopVar { dim: 0 }, b(Fn1::shift(1))),
+        ];
+        let mut env = Env::new();
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(-2, 66), |i| (i.scalar() as f64) * 0.37 - 3.0),
+        );
+        let mut stack = Vec::new();
+        for e in &exprs {
+            let k = CompiledKernel::compile(e, reads.len(), resolver(&reads)).expect("compiles");
+            for i in 0..64i64 {
+                let vals: Vec<f64> = reads
+                    .iter()
+                    .map(|(a, g)| env.get(a).unwrap().get(&Ix::d1(g.eval(i))))
+                    .collect();
+                let want = env.eval_expr(e, &Ix::d1(i));
+                let got = k.eval(&[i], &vals, &mut stack);
+                assert_eq!(got.to_bits(), want.to_bits(), "expr={e:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_shapes_recognized_and_bit_exact() {
+        let reads = refs(&[
+            ("B", Fn1::shift(-1)),
+            ("B", Fn1::shift(1)),
+            ("B", Fn1::identity()),
+        ]);
+        let cases: Vec<(Expr, FusedShape)> = vec![
+            (b(Fn1::shift(-1)), FusedShape::Copy { slot: 0 }),
+            (
+                Expr::mul(Expr::Lit(2.0), b(Fn1::identity())),
+                FusedShape::Axpy {
+                    a: Some(2.0),
+                    slot: 2,
+                    b: None,
+                },
+            ),
+            (
+                Expr::add(
+                    Expr::mul(b(Fn1::identity()), Expr::Lit(2.0)),
+                    Expr::Lit(7.0),
+                ),
+                FusedShape::Axpy {
+                    a: Some(2.0),
+                    slot: 2,
+                    b: Some(7.0),
+                },
+            ),
+            (
+                Expr::mul(
+                    Expr::Lit(0.5),
+                    Expr::add(b(Fn1::shift(-1)), b(Fn1::shift(1))),
+                ),
+                FusedShape::Stencil {
+                    slots: vec![0, 1],
+                    left_assoc: true,
+                    scale: Some(0.5),
+                    offset: None,
+                },
+            ),
+            (
+                Expr::add(
+                    Expr::mul(
+                        Expr::add(
+                            Expr::add(b(Fn1::shift(-1)), b(Fn1::identity())),
+                            b(Fn1::shift(1)),
+                        ),
+                        Expr::Lit(0.25),
+                    ),
+                    Expr::Lit(-1.0),
+                ),
+                FusedShape::Stencil {
+                    slots: vec![0, 2, 1],
+                    left_assoc: true,
+                    scale: Some(0.25),
+                    offset: Some(-1.0),
+                },
+            ),
+        ];
+        let mut env = Env::new();
+        env.insert(
+            "B",
+            Array::from_fn(Bounds::range(-2, 34), |i| (i.scalar() as f64) * -1.7 + 0.3),
+        );
+        for (e, want_shape) in &cases {
+            let k = CompiledKernel::compile(e, reads.len(), resolver(&reads)).expect("compiles");
+            assert_eq!(&k.fused, want_shape, "expr={e:?}");
+            for i in 0..32i64 {
+                let vals: Vec<f64> = reads
+                    .iter()
+                    .map(|(a, g)| env.get(a).unwrap().get(&Ix::d1(g.eval(i))))
+                    .collect();
+                let shape_vals: Vec<f64> = k.fused.read_slots().iter().map(|s| vals[*s]).collect();
+                let want = env.eval_expr(e, &Ix::d1(i));
+                assert_eq!(
+                    k.fused.apply(&shape_vals).to_bits(),
+                    want.to_bits(),
+                    "expr={e:?} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_shapes_fall_back_to_generic() {
+        let reads = refs(&[("B", Fn1::identity()), ("C", Fn1::identity())]);
+        let odd = vec![
+            // subtraction core is not a stencil sum
+            Expr::Bin(
+                BinOp::Sub,
+                Box::new(b(Fn1::identity())),
+                Box::new(Expr::Ref(ArrayRef::d1("C", Fn1::identity()))),
+            ),
+            // scale by a non-literal
+            Expr::mul(
+                b(Fn1::identity()),
+                Expr::Ref(ArrayRef::d1("C", Fn1::identity())),
+            ),
+            Expr::Lit(4.0),
+        ];
+        for e in &odd {
+            let k = CompiledKernel::compile(e, reads.len(), resolver(&reads)).expect("compiles");
+            assert_eq!(k.fused, FusedShape::Generic, "expr={e:?}");
+        }
+    }
+
+    #[test]
+    fn unresolvable_reference_declines() {
+        let reads = refs(&[("B", Fn1::identity())]);
+        let e = b(Fn1::shift(4));
+        assert!(CompiledKernel::compile(&e, reads.len(), resolver(&reads)).is_none());
+    }
+}

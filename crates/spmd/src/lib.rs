@@ -19,12 +19,15 @@
 //! * [`validate`] — brute-force oracles the tests and benches check
 //!   every schedule against.
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod advisor;
 pub mod comm;
 pub mod compiled;
 pub mod derivation;
 pub mod emit;
+pub mod kernel;
 pub mod nd;
 pub mod obs;
 pub mod optimizer;
@@ -37,9 +40,11 @@ pub use advisor::{advise, AdvisorOptions, Candidate};
 pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
 pub use compiled::{
     clause_arrays, clause_signature, decomp_fingerprint, flatten_schedule, for_each_run,
-    CompiledNode, CompiledSchedule, IterRun,
+    AccessPattern, CompiledNode, CompiledSchedule, ExecRun, IterRun, OverlapCensus, SlotAccess,
+    SlotRef,
 };
 pub use derivation::derive;
+pub use kernel::{CompiledKernel, FusedShape, KernelOp};
 pub use nd::{optimize_nd, ScheduleNd};
 pub use obs::{NodeDispatch, PlanSummary, SlotDispatch};
 pub use optimizer::{naive_schedule, optimize, optimize_with, OptKind, OptOptions, Optimized};

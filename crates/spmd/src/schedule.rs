@@ -269,10 +269,13 @@ impl Schedule {
             .into_iter()
             .filter(|s| !matches!(s, Schedule::Empty))
             .collect();
-        match kept.len() {
-            0 => Schedule::Empty,
-            1 => kept.pop().unwrap(),
-            _ => Schedule::Concat(kept),
+        match (kept.len(), kept.pop()) {
+            (1, Some(only)) => only,
+            (0, _) | (_, None) => Schedule::Empty,
+            (_, Some(last)) => {
+                kept.push(last);
+                Schedule::Concat(kept)
+            }
         }
     }
 }

@@ -9,8 +9,13 @@
 //! ```text
 //! vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]
 //!                        [--run] [--steps <N>] [--naive] [--node <p>]
+//!                        [--overlap on|off]
 //!                        [--trace] [--trace-out <path>]
 //! ```
+//!
+//! `--overlap off` disables the interior/boundary split of the compiled
+//! kernel path (DESIGN.md §13): every run then waits for its receives
+//! in visit order. Results are bit-identical either way.
 //!
 //! `--trace` executes each clause under a collecting tracer: the
 //! enumeration-dispatch counts, per-phase wall-clock timings (next to
@@ -43,13 +48,15 @@ struct Options {
     naive: bool,
     advise: bool,
     node: i64,
+    overlap: bool,
     trace: bool,
     trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
-     [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--trace] [--trace-out <path>]"
+     [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--overlap on|off] \
+     [--trace] [--trace-out <path>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -60,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut naive = false;
     let mut advise = false;
     let mut node = 0i64;
+    let mut overlap = true;
     let mut trace = false;
     let mut trace_out = None;
     let mut it = args.iter();
@@ -89,6 +97,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or("--node needs a value")?
                     .parse()
                     .map_err(|_| "--node needs an integer")?;
+            }
+            "--overlap" => {
+                overlap = match it.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err("--overlap needs `on` or `off`".into()),
+                };
             }
             "--trace" => trace = true,
             "--trace-out" => {
@@ -122,6 +137,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         naive,
         advise,
         node,
+        overlap,
         trace,
         trace_out,
     })
@@ -249,7 +265,12 @@ fn run_timestep_loop(
         }
     }
 
-    let mut session = DistSession::new(&env, decomps.clone()).map_err(|e| e.to_string())?;
+    let mut session = DistSession::new(&env, decomps.clone())
+        .map_err(|e| e.to_string())?
+        .with_options(DistOptions {
+            overlap: opts.overlap,
+            ..DistOptions::default()
+        });
     let (mut hits, mut misses) = (0u64, 0u64);
     for step in 0..opts.steps {
         let last = step + 1 == opts.steps;
@@ -351,7 +372,10 @@ fn run_and_verify(
             DistArray::scatter_from(env.get(name).unwrap(), decomps[*name].clone()),
         );
     }
-    let dist_opts = DistOptions::default();
+    let dist_opts = DistOptions {
+        overlap: opts.overlap,
+        ..DistOptions::default()
+    };
     let tracer = opts.trace.then(CollectingTracer::new);
     let report = match &tracer {
         Some(t) => run_distributed_traced(plan, clause, &mut arrays, dist_opts, t),
@@ -374,16 +398,20 @@ fn run_and_verify(
         t.local_reads
     );
     if let Some(tracer) = tracer {
-        report_trace(&tracer, plan, &report, dist_opts, opts)?;
+        report_trace(&tracer, plan, clause, decomps, &report, dist_opts, opts)?;
     }
     Ok(())
 }
 
-/// Print the trace digest: dispatch counts, replay verdict, measured
+/// Print the trace digest: dispatch counts, the interior/boundary run
+/// census of the compiled kernel path, replay verdict, measured
 /// per-phase timings next to the analytical `perfmodel` prediction.
+#[allow(clippy::too_many_arguments)]
 fn report_trace(
     tracer: &CollectingTracer,
     plan: &SpmdPlan,
+    clause: &vcal_suite::core::Clause,
+    decomps: &vcal_suite::spmd::DecompMap,
     report: &vcal_suite::machine::ExecReport,
     dist_opts: DistOptions,
     opts: &Options,
@@ -409,6 +437,22 @@ fn report_trace(
             " (CONTAINS NAIVE FALLBACK)"
         }
     );
+    let compiled = vcal_suite::spmd::CompiledSchedule::compile_exec(plan, clause, decomps);
+    if compiled.has_exec() {
+        let census = compiled.overlap_census();
+        println!(
+            "trace: kernel runs: {} interior ({} elems) / {} boundary \
+             ({} elems, {} remote reads) [overlap {}]",
+            census.interior_runs,
+            census.interior_elems,
+            census.boundary_runs,
+            census.boundary_elems,
+            census.remote_elems,
+            if dist_opts.overlap { "on" } else { "off" }
+        );
+    } else {
+        println!("trace: kernel runs: none (tree-interpreter fallback)");
+    }
     let model = PerfModel::default();
     let predicted = model.price_report(report);
     println!(

@@ -219,6 +219,7 @@ fn dropped_packet_recovered_by_retransmission() {
         faults: Some(FaultPlan::drop_nth(1, 0)),
         mode: CommMode::Vectorized,
         retry: RetryPolicy::fast(),
+        ..DistOptions::default()
     };
     let report = run_distributed(&plan, &cl, &mut arrays, opts).expect("recoverable drop");
     let total = report.total();
@@ -249,6 +250,7 @@ fn dropped_packet_detected_within_timeout() {
         faults: Some(FaultPlan::drop_nth(1, 0)),
         mode: CommMode::Vectorized,
         retry: RetryPolicy::none(),
+        ..DistOptions::default()
     };
     let t0 = Instant::now();
     let err = run_distributed(&plan, &cl, &mut arrays, opts).unwrap_err();

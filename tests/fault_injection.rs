@@ -104,6 +104,7 @@ fn run_faulty(
         faults: Some(faults),
         mode,
         retry,
+        ..DistOptions::default()
     };
     let res = run_distributed(plan, cl, &mut arrays, opts);
     (res, arrays)

@@ -126,6 +126,7 @@ fn opts_for(mode: CommMode, faults: Option<FaultPlan>) -> DistOptions {
         } else {
             RetryPolicy::default()
         },
+        ..DistOptions::default()
     }
 }
 

@@ -20,7 +20,7 @@ use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexS
 use vcal_suite::decomp::Decomp1;
 use vcal_suite::machine::{
     replay_check, run_distributed_traced, CollectingTracer, CommMode, DistArray, DistOptions,
-    FaultPlan, ReplaySummary, RetryPolicy, TraceLog,
+    EventKind, FaultPlan, ReplayError, ReplaySummary, RetryPolicy, TraceLog,
 };
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
@@ -94,6 +94,7 @@ fn traced_run(
         } else {
             RetryPolicy::default()
         },
+        ..DistOptions::default()
     };
     let tracer = CollectingTracer::new();
     run_distributed_traced(plan, cl, &mut arrays, opts, &tracer).map_err(|e| e.to_string())?;
@@ -124,6 +125,132 @@ fn acceptance_1024_scatter_affine() {
             assert!(timed_nodes.contains(&p), "{mode:?}: node {p} untimed");
         }
         assert!(!jsonl1.contains("nanos"), "wall-time leaked into the log");
+    }
+}
+
+/// The Jacobi stencil on a block layout — the canonical config with
+/// both interior runs (owner-local) and boundary runs (halo traffic).
+fn stencil_case(n: i64, pmax: i64) -> (SpmdPlan, Clause, DecompMap, Env) {
+    let cl = Clause {
+        iter: IndexSet::range(1, n - 2),
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs: ArrayRef::d1("A", Fn1::identity()),
+        rhs: Expr::mul(
+            Expr::add(
+                Expr::Ref(ArrayRef::d1("B", Fn1::shift(-1))),
+                Expr::Ref(ArrayRef::d1("B", Fn1::shift(1))),
+            ),
+            Expr::Lit(0.5),
+        ),
+    };
+    let mut env0 = Env::new();
+    env0.insert("A", Array::zeros(Bounds::range(0, n - 1)));
+    env0.insert(
+        "B",
+        Array::from_fn(Bounds::range(0, n - 1), |i| {
+            (i.scalar() % 13) as f64 * 0.75 - 2.0
+        }),
+    );
+    let mut dm = DecompMap::new();
+    dm.insert("A".into(), Decomp1::block(pmax, Bounds::range(0, n - 1)));
+    dm.insert("B".into(), Decomp1::block(pmax, Bounds::range(0, n - 1)));
+    let plan = SpmdPlan::build(&cl, &dm).unwrap();
+    (plan, cl, dm, env0)
+}
+
+/// With compiled kernels + overlap enabled (the defaults) the stencil
+/// log carries interior/boundary run completions, still replays against
+/// its plan, and stays byte-identical across runs; overlap-off replays
+/// too, and both settings trace the same send/recv multiset.
+#[test]
+fn overlap_log_has_runs_replays_and_is_deterministic() {
+    let (plan, cl, dm, env0) = stencil_case(160, 8);
+    for mode in modes() {
+        let (s_on, j_on1, log) = traced_run(&plan, &cl, &env0, &dm, mode, None).unwrap();
+        let (_, j_on2, _) = traced_run(&plan, &cl, &env0, &dm, mode, None).unwrap();
+        assert_eq!(j_on1, j_on2, "{mode:?}: overlap-on log not deterministic");
+        assert!(
+            j_on1.contains("\"kind\":\"interior_run\""),
+            "{mode:?}: no interior runs traced"
+        );
+        assert!(
+            j_on1.contains("\"kind\":\"boundary_run\""),
+            "{mode:?}: no boundary runs traced"
+        );
+        // interior completions precede every boundary completion on each
+        // node: overlap schedules owner-local work while halo packets fly
+        let mut boundary_seen: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
+        for e in log.deterministic() {
+            match &e.kind {
+                EventKind::BoundaryRun { .. } => {
+                    boundary_seen.insert(e.node);
+                }
+                EventKind::InteriorRun { run, .. } => {
+                    assert!(
+                        !boundary_seen.contains(&e.node),
+                        "{mode:?}: node {} interior run {run} after a boundary run",
+                        e.node
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // overlap-off: replay-valid with the identical send/recv multiset
+        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+        for name in ["A", "B"] {
+            arrays.insert(
+                name.to_string(),
+                DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
+            );
+        }
+        let opts = DistOptions {
+            recv_timeout: Duration::from_secs(10),
+            mode,
+            overlap: false,
+            ..DistOptions::default()
+        };
+        let tracer = CollectingTracer::new();
+        run_distributed_traced(&plan, &cl, &mut arrays, opts, &tracer).unwrap();
+        let off_log = tracer.finish();
+        let s_off = replay_check(&off_log, &plan, mode, opts.retry).unwrap();
+        assert_eq!(s_on.send_elems, s_off.send_elems, "{mode:?}");
+        assert_eq!(s_on.recv_elems, s_off.recv_elems, "{mode:?}");
+    }
+}
+
+/// The checker's interior/boundary phase-ordering rule: a log where a
+/// boundary run completes *before* the receives it depends on were
+/// consumed must be rejected.
+#[test]
+fn replay_rejects_boundary_run_before_its_receives() {
+    let (plan, cl, dm, env0) = stencil_case(96, 4);
+    for mode in modes() {
+        let (_, _, mut log) = traced_run(&plan, &cl, &env0, &dm, mode, None).unwrap();
+        // find a boundary-run completion that consumed remote operands…
+        let bidx = log
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::BoundaryRun { recvs, .. } if recvs > 0))
+            .expect("stencil trace must contain a boundary run with receives");
+        let node = log.events[bidx].node;
+        // …and hoist it ahead of that node's first consumed receive
+        let ridx = log
+            .events
+            .iter()
+            .position(|e| e.node == node && matches!(e.kind, EventKind::RecvValue { .. }))
+            .expect("boundary node must have consumed a receive");
+        assert!(ridx < bidx, "{mode:?}: receive should precede completion");
+        let ev = log.events.remove(bidx);
+        log.events.insert(ridx, ev);
+        match replay_check(&log, &plan, mode, RetryPolicy::default()) {
+            Err(ReplayError::Phase { node: n, why }) => {
+                assert_eq!(n, node, "{mode:?}");
+                assert!(why.contains("boundary run"), "{mode:?}: {why}");
+            }
+            other => panic!("{mode:?}: expected a phase rejection, got {other:?}"),
+        }
     }
 }
 
