@@ -100,7 +100,7 @@ fn bytecode_sweep(u: &[f64], kernel: &CompiledKernel, stack: &mut Vec<f64>, out:
 fn fused_sweep(u: &[f64], shape: &FusedShape, out: &mut [f64]) {
     for i in 1..N - 1 {
         let vals = [u[(i - 1) as usize], u[(i + 1) as usize]];
-        out[(i - 1) as usize] = shape.apply(&vals);
+        out[(i - 1) as usize] = shape.apply(&vals).expect("fused arity");
     }
 }
 

@@ -65,8 +65,8 @@ use std::time::Duration;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
 use vcal_decomp::Decomp1;
 use vcal_spmd::{
-    AccessPattern, CompiledKernel, CompiledNode, CompiledSchedule, ExecRun, FusedShape, NodePlan,
-    SlotAccess, SlotRef, SpmdPlan,
+    simd, AccessPattern, CompiledKernel, CompiledNode, CompiledSchedule, ExecRun, FusedShape,
+    NodePlan, SimdPolicy, SlotAccess, SlotRef, SpmdPlan,
 };
 
 /// A tagged value message.
@@ -187,6 +187,11 @@ pub struct DistOptions {
     /// Results and the deterministic trace class are identical either
     /// way; only applies when the plan compiled execution tables.
     pub overlap: bool,
+    /// SIMD lane policy for fused interior runs (see
+    /// `vcal_spmd::simd`). Lane parallelism never re-associates any
+    /// per-element computation, so results are bitwise identical to the
+    /// scalar path under every mode.
+    pub simd: SimdPolicy,
 }
 
 impl Default for DistOptions {
@@ -197,6 +202,7 @@ impl Default for DistOptions {
             mode: CommMode::default(),
             retry: RetryPolicy::default(),
             overlap: true,
+            simd: SimdPolicy::default(),
         }
     }
 }
@@ -1044,6 +1050,14 @@ pub(crate) fn exec_update_phase(
                 .ok_or_else(|| MachineError::UnknownArray(rp.array.clone()))?,
         );
     }
+    // baseline for the per-phase SIMD census event (the executor's warm
+    // path may hand us stats that already carry earlier counts)
+    let simd0 = (
+        stats.simd_runs,
+        stats.simd_fallback_runs,
+        stats.simd_lane_elems,
+        stats.simd_tail_elems,
+    );
     let mut chunks: Vec<Vec<WriteOp>> = vec![Vec::new(); cn.exec.len()];
     if opts.overlap {
         // interior first — boundary runs block on receives, interior
@@ -1103,6 +1117,17 @@ pub(crate) fn exec_update_phase(
     writes.reserve(chunks.iter().map(Vec::len).sum());
     for c in &mut chunks {
         writes.append(c);
+    }
+    if tracer.enabled() {
+        tracer.record(
+            p,
+            EventKind::SimdCensus {
+                vector_runs: stats.simd_runs - simd0.0,
+                fallback_runs: stats.simd_fallback_runs - simd0.1,
+                lane_elems: stats.simd_lane_elems - simd0.2,
+                tail_elems: stats.simd_tail_elems - simd0.3,
+            },
+        );
     }
     Ok(())
 }
@@ -1192,6 +1217,15 @@ fn exec_one_run(
     let fused = (!er.boundary && matches!(rguard, RGuard::Always) && n > 0)
         .then_some(&kernel.fused)
         .filter(|f| !matches!(f, FusedShape::Generic));
+    // SIMD lane tier: the plan-time predicate (unit-stride writes, all
+    // read slots local unit-stride) plus the runtime guard/policy. The
+    // lane kernels perform the exact per-element operation sequence of
+    // the scalar arms below, so results are bitwise identical; only the
+    // WriteOp batching differs (one Dense run instead of n Els), which
+    // `finalize_run` commits identically.
+    let simd_ok =
+        opts.simd.enabled() && matches!(rguard, RGuard::Always) && er.simd_eligible(&kernel.fused);
+    let mut vectorized = false;
     match fused {
         Some(FusedShape::Copy { slot }) => {
             stats.iterations += n as u64;
@@ -1216,6 +1250,9 @@ fn exec_one_run(
                         base: write_off(*lb, p)?,
                         values,
                     });
+                    // the slice copy predates the lane tier; the census
+                    // claims it only when the policy is on
+                    vectorized = simd_ok;
                 }
                 _ => {
                     for t in 0..n {
@@ -1231,15 +1268,27 @@ fn exec_one_run(
             stats.local_reads += (n * n_slots) as u64;
             let pat = fused_local_pattern(er, *slot, p)?;
             let src = parts.get(*slot).copied().unwrap_or(&[]);
-            for t in 0..n {
-                let mut v = read_local(src, pat.offset(t), p, &node.resides[*slot].array)?;
-                if let Some(a) = a {
-                    v *= *a;
+            if simd_ok {
+                let seg = fused_seg(src, pat, n)
+                    .ok_or_else(|| read_oob(p, &node.resides[*slot].array))?;
+                let mut values = vec![0.0f64; n];
+                simd::axpy(opts.simd, *a, *b, seg, &mut values);
+                out.push(WriteOp::Dense {
+                    base: write_off(er.lhs.offset(0), p)?,
+                    values,
+                });
+                vectorized = true;
+            } else {
+                for t in 0..n {
+                    let mut v = read_local(src, pat.offset(t), p, &node.resides[*slot].array)?;
+                    if let Some(a) = a {
+                        v *= *a;
+                    }
+                    if let Some(b) = b {
+                        v += *b;
+                    }
+                    out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
                 }
-                if let Some(b) = b {
-                    v += *b;
-                }
-                out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
             }
         }
         Some(FusedShape::Stencil {
@@ -1259,30 +1308,70 @@ fn exec_one_run(
                     *s,
                 ));
             }
-            for t in 0..n {
-                let read = |j: usize| -> Result<f64, MachineError> {
-                    let (pat, src, s) = &pats[j];
-                    read_local(src, pat.offset(t), p, &node.resides[*s].array)
-                };
-                let x0 = read(0)?;
-                let x1 = read(1)?;
-                let mut v = if slots.len() == 3 {
-                    let x2 = read(2)?;
-                    if *left_assoc {
-                        (x0 + x1) + x2
-                    } else {
-                        x0 + (x1 + x2)
+            let segs = if simd_ok {
+                pats.iter()
+                    .map(|(pat, src, s)| {
+                        fused_seg(src, pat, n).ok_or_else(|| read_oob(p, &node.resides[*s].array))
+                    })
+                    .collect::<Result<Vec<&[f64]>, _>>()?
+            } else {
+                Vec::new()
+            };
+            match segs.as_slice() {
+                [s0, s1] => {
+                    let mut values = vec![0.0f64; n];
+                    simd::stencil2(opts.simd, *scale, *offset, s0, s1, &mut values);
+                    out.push(WriteOp::Dense {
+                        base: write_off(er.lhs.offset(0), p)?,
+                        values,
+                    });
+                    vectorized = true;
+                }
+                [s0, s1, s2] => {
+                    let mut values = vec![0.0f64; n];
+                    simd::stencil3(
+                        opts.simd,
+                        *left_assoc,
+                        *scale,
+                        *offset,
+                        s0,
+                        s1,
+                        s2,
+                        &mut values,
+                    );
+                    out.push(WriteOp::Dense {
+                        base: write_off(er.lhs.offset(0), p)?,
+                        values,
+                    });
+                    vectorized = true;
+                }
+                _ => {
+                    for t in 0..n {
+                        let read = |j: usize| -> Result<f64, MachineError> {
+                            let (pat, src, s) = &pats[j];
+                            read_local(src, pat.offset(t), p, &node.resides[*s].array)
+                        };
+                        let x0 = read(0)?;
+                        let x1 = read(1)?;
+                        let mut v = if slots.len() == 3 {
+                            let x2 = read(2)?;
+                            if *left_assoc {
+                                (x0 + x1) + x2
+                            } else {
+                                x0 + (x1 + x2)
+                            }
+                        } else {
+                            x0 + x1
+                        };
+                        if let Some(s) = scale {
+                            v *= *s;
+                        }
+                        if let Some(b) = offset {
+                            v += *b;
+                        }
+                        out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
                     }
-                } else {
-                    x0 + x1
-                };
-                if let Some(s) = scale {
-                    v *= *s;
                 }
-                if let Some(b) = offset {
-                    v += *b;
-                }
-                out.push(WriteOp::El(write_off(er.lhs.offset(t), p)?, v));
             }
         }
         Some(FusedShape::Generic) | None => {
@@ -1362,6 +1451,17 @@ fn exec_one_run(
             }
         }
     }
+    // SIMD census: every executed run is either vectorized or fallback,
+    // and vectorized elements split into full lanes plus a scalar tail.
+    if vectorized {
+        let lanes = opts.simd.census_lanes() as u64;
+        stats.simd_runs += 1;
+        stats.simd_lane_elems += n as u64 / lanes * lanes;
+        stats.simd_tail_elems += n as u64 % lanes;
+        stats.simd_lanes = stats.simd_lanes.max(lanes);
+    } else {
+        stats.simd_fallback_runs += 1;
+    }
     if trace_on {
         tracer.record(
             p,
@@ -1382,9 +1482,17 @@ fn exec_one_run(
     Ok(())
 }
 
+/// The owner-local slice a unit-stride fused run reads: `src[base..base+n]`.
+/// `None` exactly when any per-element `read_local` of the scalar path
+/// would have failed (the range check subsumes every element check).
+fn fused_seg<'a>(src: &'a [f64], pat: &AccessPattern, n: usize) -> Option<&'a [f64]> {
+    let base = usize::try_from(pat.offset(0)).ok()?;
+    src.get(base..base + n)
+}
+
 fn read_oob(p: i64, array: &str) -> MachineError {
     MachineError::PlanMismatch(format!(
-        "node {p}: compiled copy run reads outside `{array}` part"
+        "node {p}: compiled fused run reads outside `{array}` part"
     ))
 }
 

@@ -31,7 +31,7 @@ use std::time::Duration;
 use vcal_core::map::IndexMap;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ix, Ordering};
 use vcal_decomp::DecompNd;
-use vcal_spmd::{optimize_nd, CompiledKernel};
+use vcal_spmd::{optimize_nd, simd, CompiledKernel, FusedShape};
 
 #[derive(Debug, Clone, Copy)]
 struct Msg {
@@ -184,6 +184,139 @@ struct NdElem {
     /// Whether any operand is remote (the element must wait on the
     /// transport; interior elements never do).
     boundary: bool,
+}
+
+/// L1 column-tile width for the nd SIMD tier, in f64 elements (8 KiB
+/// per operand stream). Must be a multiple of the widest lane width
+/// (16) so only a segment's final tile carries a remainder tail —
+/// keeping the census accounting exact.
+const ND_TILE: usize = 1024;
+
+/// One coalesced unit-stride stretch of interior [`NdElem`]s — for a
+/// row-major 2-D decomposition, an interior row segment. Elements
+/// `k0..k0+len` write `lhs0..lhs0+len` and read each fused slot `j`
+/// from `bases[j]..bases[j]+len`.
+struct NdSeg {
+    k0: usize,
+    len: usize,
+    lhs0: usize,
+    /// Per fused *read slot* (in `FusedShape::read_slots` order), the
+    /// local offset of the segment's first element.
+    bases: Vec<usize>,
+}
+
+fn nd_local_off(el: &NdElem, slot: usize) -> Option<usize> {
+    match el.reads.get(slot) {
+        Some(NdSlotRef::Local(off)) => Some(*off),
+        _ => None,
+    }
+}
+
+/// Coalesce consecutive interior elements with +1-striding write and
+/// fused-read offsets into maximal segments (register + L1 tiling
+/// happens inside [`exec_nd_segment`]; streaming segments in row order
+/// is the L2 level). Single elements stay on the scalar path — a
+/// one-element "vector" would be pure dispatch overhead.
+fn find_nd_segments(elems: &[NdElem], fused: &FusedShape) -> Vec<NdSeg> {
+    let mut segs = Vec::new();
+    if matches!(fused, FusedShape::Generic) {
+        return segs;
+    }
+    let rslots = fused.read_slots();
+    let mut k = 0usize;
+    while k < elems.len() {
+        let el = &elems[k];
+        if el.boundary || rslots.iter().any(|s| nd_local_off(el, *s).is_none()) {
+            k += 1;
+            continue;
+        }
+        let bases: Vec<usize> = rslots
+            .iter()
+            .map(|s| nd_local_off(el, *s).unwrap_or(0))
+            .collect();
+        let lhs0 = el.lhs_off;
+        let mut len = 1usize;
+        while k + len < elems.len() {
+            let e2 = &elems[k + len];
+            if e2.boundary || e2.lhs_off != lhs0 + len {
+                break;
+            }
+            let strided = rslots
+                .iter()
+                .zip(&bases)
+                .all(|(s, b)| nd_local_off(e2, *s) == Some(b + len));
+            if !strided {
+                break;
+            }
+            len += 1;
+        }
+        if len >= 2 {
+            segs.push(NdSeg {
+                k0: k,
+                len,
+                lhs0,
+                bases,
+            });
+        }
+        k += len;
+    }
+    segs
+}
+
+/// Execute one coalesced segment through the lane kernels, one L1 tile
+/// at a time, staging results into the ordinal-indexed `out` exactly
+/// where the scalar loop would have put them.
+#[allow(clippy::too_many_arguments)]
+fn exec_nd_segment(
+    seg: &NdSeg,
+    fused: &FusedShape,
+    slots: &[ReadSlot],
+    locals: &BTreeMap<String, Vec<f64>>,
+    opts: &DistOptions,
+    tile: &mut [f64],
+    out: &mut [Option<(usize, f64)>],
+) {
+    let rslots = fused.read_slots();
+    let mut t0 = 0usize;
+    while t0 < seg.len {
+        let tl = ND_TILE.min(seg.len - t0);
+        let buf = &mut tile[..tl];
+        let src = |j: usize| -> &[f64] {
+            let s = rslots[j];
+            let part = &locals[&slots[s].array];
+            &part[seg.bases[j] + t0..seg.bases[j] + t0 + tl]
+        };
+        match fused {
+            FusedShape::Copy { .. } => simd::copy(opts.simd, src(0), buf),
+            FusedShape::Axpy { a, b, .. } => simd::axpy(opts.simd, *a, *b, src(0), buf),
+            FusedShape::Stencil {
+                slots: ss,
+                left_assoc,
+                scale,
+                offset,
+            } => {
+                if ss.len() == 3 {
+                    simd::stencil3(
+                        opts.simd,
+                        *left_assoc,
+                        *scale,
+                        *offset,
+                        src(0),
+                        src(1),
+                        src(2),
+                        buf,
+                    );
+                } else {
+                    simd::stencil2(opts.simd, *scale, *offset, src(0), src(1), buf);
+                }
+            }
+            FusedShape::Generic => unreachable!("generic shapes never form segments"),
+        }
+        for (j, v) in buf.iter().enumerate() {
+            out[seg.k0 + t0 + j] = Some((seg.lhs0 + t0 + j, *v));
+        }
+        t0 += tl;
+    }
 }
 
 /// Iterate the ownership set `{ i ∈ loop_box | proc(map(i)) = p }`, using
@@ -877,20 +1010,76 @@ fn node_phases_nd(
     // result, even for a non-injective write map — is overlap-invariant.
     if let Some((elems, kernel)) = exec {
         let mut recv = RecvStateNd::new(opts.mode, send_plan, p, pmax);
+        // per-run scratch, allocated once for the whole update phase
         let mut vals = vec![0.0f64; slots.len()];
         let mut stack: Vec<f64> = Vec::with_capacity(kernel.stack_capacity());
         let mut out: Vec<Option<(usize, f64)>> = vec![None; elems.len()];
+        let n_slots = slots.len();
+        // Cache-blocked SIMD tier (DESIGN.md §14): coalesce consecutive
+        // interior elements whose write offset and every fused read
+        // offset advance by +1 — for a row-major 2-D grid these are
+        // exactly the interior row segments — then stream each segment
+        // through L1-sized column tiles of lane chunks. Staging by
+        // ordinal `out[k]` keeps the commit order identical to the
+        // scalar path, so results are bitwise unchanged.
+        let segs = if opts.simd.enabled() && matches!(rguard, RGuard::Always) {
+            find_nd_segments(elems, &kernel.fused)
+        } else {
+            Vec::new()
+        };
+        let mut tile = vec![0.0f64; ND_TILE];
         let passes: &[Option<bool>] = if opts.overlap {
             &[Some(false), Some(true)]
         } else {
             &[None]
         };
         for pass in passes {
-            for (k, el) in elems.iter().enumerate() {
-                if let Some(want_boundary) = pass {
-                    if el.boundary != *want_boundary {
+            let mut si = 0usize;
+            // advance past segments while scalar elements run, counting
+            // each maximal scalar stretch as one fallback "run"
+            let mut in_fallback = false;
+            let mut k = 0usize;
+            while k < elems.len() {
+                if let Some(seg) = segs.get(si) {
+                    if seg.k0 == k {
+                        // segments are interior-only: execute them on the
+                        // interior (or single) pass, skip on the boundary pass
+                        if pass.is_none_or(|want_boundary| !want_boundary) {
+                            exec_nd_segment(
+                                seg,
+                                &kernel.fused,
+                                slots,
+                                locals,
+                                opts,
+                                &mut tile,
+                                &mut out,
+                            );
+                            stats.iterations += seg.len as u64;
+                            stats.local_reads += (seg.len * n_slots) as u64;
+                            stats.data_guards += seg.len as u64;
+                            let lanes = opts.simd.census_lanes() as u64;
+                            stats.simd_runs += 1;
+                            stats.simd_lane_elems += seg.len as u64 / lanes * lanes;
+                            stats.simd_tail_elems += seg.len as u64 % lanes;
+                            stats.simd_lanes = stats.simd_lanes.max(lanes);
+                        }
+                        in_fallback = false;
+                        k += seg.len;
+                        si += 1;
                         continue;
                     }
+                }
+                let el = &elems[k];
+                if let Some(want_boundary) = pass {
+                    if el.boundary != *want_boundary {
+                        in_fallback = false;
+                        k += 1;
+                        continue;
+                    }
+                }
+                if !in_fallback {
+                    stats.simd_fallback_runs += 1;
+                    in_fallback = true;
                 }
                 stats.iterations += 1;
                 for (slot, r) in el.reads.iter().enumerate() {
@@ -931,9 +1120,21 @@ fn node_phases_nd(
                 if ok {
                     out[k] = Some((el.lhs_off, kernel.eval(el.i.coords(), &vals, &mut stack)));
                 }
+                k += 1;
             }
         }
         writes.extend(out.into_iter().flatten());
+        if trace_on {
+            tracer.record(
+                p,
+                EventKind::SimdCensus {
+                    vector_runs: stats.simd_runs,
+                    fallback_runs: stats.simd_fallback_runs,
+                    lane_elems: stats.simd_lane_elems,
+                    tail_elems: stats.simd_tail_elems,
+                },
+            );
+        }
         if let Some(t0) = update_t0 {
             tracer.timing(p, Phase::Update, t0.elapsed());
             tracer.record(p, EventKind::PhaseEnd(Phase::Update));

@@ -24,7 +24,7 @@ use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use vcal_core::func::Fn1;
 use vcal_core::{BinOp, Clause, CmpOp, Expr, Guard, Ordering};
 use vcal_decomp::{Decomp1, Distribution};
-use vcal_spmd::CompiledKernel;
+use vcal_spmd::{CompiledKernel, SimdPolicy};
 
 /// One deduplicated read access of the pipelined clause.
 struct PipeSlot {
@@ -93,6 +93,21 @@ pub fn run_doacross(
     clause: &Clause,
     arrays: &mut BTreeMap<String, DistArray>,
 ) -> Result<ExecReport, MachineError> {
+    run_doacross_with(clause, arrays, SimdPolicy::default())
+}
+
+/// Like [`run_doacross`], with an explicit [`SimdPolicy`] for API
+/// uniformity with the SPMD machines. The carried dependence serializes
+/// every element — lane parallelism would read values the pipeline has
+/// not produced yet — so the tier always declines: the report's SIMD
+/// census shows one fallback run per non-empty pipeline stage and zero
+/// vector runs under every policy, and results are identical.
+pub fn run_doacross_with(
+    clause: &Clause,
+    arrays: &mut BTreeMap<String, DistArray>,
+    simd: SimdPolicy,
+) -> Result<ExecReport, MachineError> {
+    let _ = simd; // never vectorizes; see above
     if clause.ordering != Ordering::Seq {
         return Err(MachineError::PlanMismatch(
             "DOACROSS executes `•` clauses; use the SPMD machines for `//`".into(),
@@ -254,6 +269,11 @@ pub fn run_doacross(
                     };
                     let lo = my_lo.max(imin);
                     let hi = my_hi.min(imax);
+                    if lo <= hi {
+                        // SIMD census: the stage's serial stretch is one
+                        // scalar fallback run (carried dependence)
+                        stats.simd_fallback_runs += 1;
+                    }
                     // forward the *initial* (never-to-be-computed) values in
                     // the boundary window first, so the successor's earliest
                     // iterations can read pre-state data across the boundary.

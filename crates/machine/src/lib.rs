@@ -49,7 +49,7 @@ pub use distributed::{
 pub use distributed_nd::{
     run_distributed_nd, run_distributed_nd_mode, run_distributed_nd_opts, run_distributed_nd_traced,
 };
-pub use doacross::{carried_distances, run_doacross};
+pub use doacross::{carried_distances, run_doacross, run_doacross_with};
 pub use error::MachineError;
 pub use executor::{prepare_run, DistExecutor, PreparedPlan};
 pub use halo::{exchange_ghosts, exchange_ghosts_traced, run_halo_sweep, HaloArray};
@@ -67,3 +67,4 @@ pub use shared_nd::run_shared_nd;
 pub use stats::{ExecReport, NodeStats};
 pub use topology::{price_traffic, Topology, TrafficCost};
 pub use transport::{CrashFault, FaultPlan, RetryPolicy};
+pub use vcal_spmd::{SimdCensus, SimdMode, SimdPolicy};

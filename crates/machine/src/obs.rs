@@ -152,6 +152,19 @@ pub enum EventKind {
         /// Remote operands the run had to receive before completing.
         recvs: u64,
     },
+    /// SIMD census of the node's update phase: how the compiled runs
+    /// split between the lane tier and the scalar fallback (recorded
+    /// once per update phase, after the last run).
+    SimdCensus {
+        /// Runs executed through the SIMD lane tier.
+        vector_runs: u64,
+        /// Runs executed element-at-a-time.
+        fallback_runs: u64,
+        /// Elements processed in full lane chunks.
+        lane_elems: u64,
+        /// Remainder elements handled by scalar tail loops.
+        tail_elems: u64,
+    },
     /// One ghost-exchange message (halo machine), recorded at the owner.
     HaloMsg {
         /// Receiving node.
@@ -234,6 +247,7 @@ impl EventKind {
             EventKind::RecvValue { .. } => "recv_value",
             EventKind::InteriorRun { .. } => "interior_run",
             EventKind::BoundaryRun { .. } => "boundary_run",
+            EventKind::SimdCensus { .. } => "simd_census",
             EventKind::HaloMsg { .. } => "halo_msg",
             EventKind::RedistSend { .. } => "redist_send",
             EventKind::RedistRecv { .. } => "redist_recv",
@@ -431,6 +445,17 @@ fn jsonl_line(out: &mut String, e: &Event) {
         }
         EventKind::BoundaryRun { run, elems, recvs } => {
             let _ = write!(out, ",\"run\":{run},\"elems\":{elems},\"recvs\":{recvs}");
+        }
+        EventKind::SimdCensus {
+            vector_runs,
+            fallback_runs,
+            lane_elems,
+            tail_elems,
+        } => {
+            let _ = write!(
+                out,
+                ",\"vector_runs\":{vector_runs},\"fallback_runs\":{fallback_runs},\"lane_elems\":{lane_elems},\"tail_elems\":{tail_elems}"
+            );
         }
         EventKind::HaloMsg { dst, elems } => {
             let _ = write!(out, ",\"dst\":{dst},\"elems\":{elems}");

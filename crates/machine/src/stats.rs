@@ -37,6 +37,18 @@ pub struct NodeStats {
     pub acks_sent: u64,
     /// Retransmit requests sent while waiting on an owed value.
     pub nacks_sent: u64,
+    /// Update-phase runs executed through the SIMD lane tier.
+    pub simd_runs: u64,
+    /// Update-phase runs executed element-at-a-time (boundary, strided,
+    /// guarded, generic shape, or SIMD off).
+    pub simd_fallback_runs: u64,
+    /// Elements processed in full SIMD lane chunks.
+    pub simd_lane_elems: u64,
+    /// Remainder elements handled by scalar tail loops of vectorized
+    /// runs.
+    pub simd_tail_elems: u64,
+    /// Widest lane width (f64 elements) used by any vectorized run.
+    pub simd_lanes: u64,
 }
 
 impl NodeStats {
@@ -68,6 +80,11 @@ impl AddAssign for NodeStats {
         self.corrupt_detected += o.corrupt_detected;
         self.acks_sent += o.acks_sent;
         self.nacks_sent += o.nacks_sent;
+        self.simd_runs += o.simd_runs;
+        self.simd_fallback_runs += o.simd_fallback_runs;
+        self.simd_lane_elems += o.simd_lane_elems;
+        self.simd_tail_elems += o.simd_tail_elems;
+        self.simd_lanes = self.simd_lanes.max(o.simd_lanes);
     }
 }
 
@@ -109,6 +126,19 @@ impl ExecReport {
     /// (see [`NodeStats::reliability_quiet`]).
     pub fn reliability_quiet(&self) -> bool {
         self.nodes.iter().all(NodeStats::reliability_quiet)
+    }
+
+    /// Runtime SIMD census aggregated over all nodes — the executed-side
+    /// counterpart of [`vcal_spmd::CompiledSchedule::simd_census`].
+    pub fn simd_census(&self) -> vcal_spmd::SimdCensus {
+        let t = self.total();
+        vcal_spmd::SimdCensus {
+            lanes: t.simd_lanes,
+            vector_runs: t.simd_runs,
+            fallback_runs: t.simd_fallback_runs,
+            lane_elems: t.simd_lane_elems,
+            tail_elems: t.simd_tail_elems,
+        }
     }
 }
 

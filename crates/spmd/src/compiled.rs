@@ -21,12 +21,13 @@
 //! (FNV-1a over the canonical debug rendering — stable within a
 //! process, which is all a session-lifetime cache needs).
 
-use crate::kernel::CompiledKernel;
+use crate::kernel::{CompiledKernel, FusedShape};
 use crate::program::{DecompMap, SpmdPlan};
 use crate::schedule::Schedule;
+use crate::simd::{SimdCensus, SimdPolicy};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use vcal_core::Clause;
+use vcal_core::{Clause, Guard};
 
 /// One strided run of loop iterations: `start + step·t` for
 /// `t ∈ [0, count)`. The steady-state analog of
@@ -245,6 +246,24 @@ pub struct ExecRun {
     pub remote_elems: u64,
 }
 
+impl ExecRun {
+    /// Whether the SIMD lane tier can take this run for `fused`: a
+    /// nonempty *interior* run with a recognized (non-Generic) shape,
+    /// unit-stride writes, and every slot the shape reads addressed
+    /// owner-local at unit stride. This is the single eligibility
+    /// predicate shared by the plan-time census and both machines'
+    /// runtime dispatch, so the two never disagree.
+    pub fn simd_eligible(&self, fused: &FusedShape) -> bool {
+        !self.boundary
+            && !self.run.is_empty()
+            && !matches!(fused, FusedShape::Generic)
+            && self.lhs.is_unit_stride()
+            && fused.read_slots().iter().all(
+                |s| matches!(self.slots.get(*s), Some(SlotAccess::Local(p)) if p.is_unit_stride()),
+            )
+    }
+}
+
 /// Interior/boundary census of a compiled schedule — printed by `vcalc`
 /// next to the Table I dispatch census.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -328,6 +347,11 @@ pub struct CompiledSchedule {
     /// by every node (`None` when compiled without execution tables or
     /// when a reference failed to resolve).
     pub kernel: Option<CompiledKernel>,
+    /// Whether the source clause carries a data-dependent guard. Guarded
+    /// clauses never take the fused/SIMD fast path (the guard must be
+    /// tested per element), so the SIMD census classifies all their runs
+    /// as fallback.
+    pub guarded: bool,
 }
 
 impl CompiledSchedule {
@@ -387,6 +411,7 @@ impl CompiledSchedule {
         CompiledSchedule {
             nodes,
             kernel: None,
+            guarded: false,
         }
     }
 
@@ -400,6 +425,7 @@ impl CompiledSchedule {
     /// *provable* from the Table I dispatch).
     pub fn compile_exec(plan: &SpmdPlan, clause: &Clause, decomps: &DecompMap) -> CompiledSchedule {
         let mut cs = Self::compile(plan);
+        cs.guarded = !matches!(clause.guard, Guard::Always);
         let closed = plan.nodes.iter().all(|n| {
             n.modify.kind.is_closed_form()
                 && n.resides.iter().all(|rp| rp.opt.kind.is_closed_form())
@@ -451,6 +477,32 @@ impl CompiledSchedule {
     /// Total iterations across all nodes (sanity/report helper).
     pub fn total_iters(&self) -> u64 {
         self.nodes.iter().map(|n| n.modify_iters).sum()
+    }
+
+    /// Plan-time SIMD census under `policy`, summed over all nodes: how
+    /// many exec runs the lane tier will vectorize and how their
+    /// elements split into full lanes vs remainder tails. Uses the same
+    /// [`ExecRun::simd_eligible`] predicate the machines dispatch on,
+    /// so this predicts the runtime census exactly (`vcalc --trace`
+    /// prints both side by side).
+    pub fn simd_census(&self, policy: SimdPolicy) -> SimdCensus {
+        let mut c = SimdCensus {
+            lanes: policy.census_lanes() as u64,
+            ..Default::default()
+        };
+        let Some(kernel) = &self.kernel else {
+            return c;
+        };
+        for node in &self.nodes {
+            for er in &node.exec {
+                if policy.enabled() && !self.guarded && er.simd_eligible(&kernel.fused) {
+                    c.add_vector_run(er.run.len());
+                } else {
+                    c.fallback_runs += 1;
+                }
+            }
+        }
+        c
     }
 }
 

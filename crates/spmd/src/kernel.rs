@@ -255,16 +255,48 @@ where
     FusedShape::Generic
 }
 
+/// Operand-arity mismatch between a [`FusedShape`] and the slot values
+/// handed to [`FusedShape::apply`]. Shapes are derived from the clause
+/// at plan time, so a short operand slice is always a planner bug — it
+/// is reported as a typed error instead of silently defaulting to 0.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Operands the shape requires.
+    pub expected: usize,
+    /// Operands the caller supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fused shape expects {} operand value(s), got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
 impl FusedShape {
     /// Apply the fused arithmetic to already-gathered slot values `xs`
     /// (in [`FusedShape`] slot order). Mirrors the source expression's
-    /// operation order exactly.
+    /// operation order exactly. Fails with [`ShapeMismatch`] when the
+    /// operand slice is shorter than the shape's arity (a planner bug).
     #[inline]
-    pub fn apply(&self, xs: &[f64]) -> f64 {
-        match self {
-            FusedShape::Copy { .. } => xs.first().copied().unwrap_or(0.0),
+    pub fn apply(&self, xs: &[f64]) -> Result<f64, ShapeMismatch> {
+        let need = self.read_slots().len();
+        if xs.len() < need {
+            return Err(ShapeMismatch {
+                expected: need,
+                got: xs.len(),
+            });
+        }
+        Ok(match self {
+            FusedShape::Copy { .. } => xs[0],
             FusedShape::Axpy { a, b, .. } => {
-                let mut v = xs.first().copied().unwrap_or(0.0);
+                let mut v = xs[0];
                 if let Some(a) = a {
                     v *= a;
                 }
@@ -279,10 +311,10 @@ impl FusedShape {
                 scale,
                 offset,
             } => {
-                let x0 = xs.first().copied().unwrap_or(0.0);
-                let x1 = xs.get(1).copied().unwrap_or(0.0);
+                let x0 = xs[0];
+                let x1 = xs[1];
                 let mut v = if slots.len() == 3 {
-                    let x2 = xs.get(2).copied().unwrap_or(0.0);
+                    let x2 = xs[2];
                     if *left_assoc {
                         (x0 + x1) + x2
                     } else {
@@ -300,15 +332,18 @@ impl FusedShape {
                 v
             }
             FusedShape::Generic => 0.0,
-        }
+        })
     }
 
     /// The read slots this shape consumes, in evaluation order.
-    pub fn read_slots(&self) -> Vec<usize> {
+    ///
+    /// Borrows from the shape (no per-call allocation — this sits on
+    /// per-element hot paths).
+    pub fn read_slots(&self) -> &[usize] {
         match self {
-            FusedShape::Copy { slot } | FusedShape::Axpy { slot, .. } => vec![*slot],
-            FusedShape::Stencil { slots, .. } => slots.clone(),
-            FusedShape::Generic => Vec::new(),
+            FusedShape::Copy { slot } | FusedShape::Axpy { slot, .. } => std::slice::from_ref(slot),
+            FusedShape::Stencil { slots, .. } => slots,
+            FusedShape::Generic => &[],
         }
     }
 }
@@ -453,7 +488,7 @@ mod tests {
                 let shape_vals: Vec<f64> = k.fused.read_slots().iter().map(|s| vals[*s]).collect();
                 let want = env.eval_expr(e, &Ix::d1(i));
                 assert_eq!(
-                    k.fused.apply(&shape_vals).to_bits(),
+                    k.fused.apply(&shape_vals).unwrap().to_bits(),
                     want.to_bits(),
                     "expr={e:?} i={i}"
                 );

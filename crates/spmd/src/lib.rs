@@ -34,6 +34,7 @@ pub mod optimizer;
 pub mod program;
 pub mod schedule;
 pub mod setops;
+pub mod simd;
 pub mod validate;
 
 pub use advisor::{advise, AdvisorOptions, Candidate};
@@ -44,10 +45,11 @@ pub use compiled::{
     SlotRef,
 };
 pub use derivation::derive;
-pub use kernel::{CompiledKernel, FusedShape, KernelOp};
+pub use kernel::{CompiledKernel, FusedShape, KernelOp, ShapeMismatch};
 pub use nd::{optimize_nd, ScheduleNd};
 pub use obs::{NodeDispatch, PlanSummary, SlotDispatch};
 pub use optimizer::{naive_schedule, optimize, optimize_with, OptKind, OptOptions, Optimized};
 pub use program::{CommStats, DecompMap, NodePlan, PlanError, ResidePlan, SpmdPlan};
 pub use schedule::{repeated_block_kmax, Schedule};
 pub use setops::{comm_sets, intersect, subtract, CommSets};
+pub use simd::{SimdCensus, SimdMode, SimdPolicy};

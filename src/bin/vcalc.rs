@@ -9,13 +9,19 @@
 //! ```text
 //! vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]
 //!                        [--run] [--steps <N>] [--naive] [--node <p>]
-//!                        [--overlap on|off]
+//!                        [--overlap on|off] [--simd auto|on|off]
 //!                        [--trace] [--trace-out <path>]
 //! ```
 //!
 //! `--overlap off` disables the interior/boundary split of the compiled
 //! kernel path (DESIGN.md §13): every run then waits for its receives
 //! in visit order. Results are bit-identical either way.
+//!
+//! `--simd` selects the lane execution tier for fused interior runs
+//! (DESIGN.md §14): `auto` (default) uses AVX2 where detected, `on`
+//! forces the portable chunk loops, `off` keeps the scalar per-element
+//! baseline. Results are bit-identical under every setting; `--trace`
+//! prints the SIMD census next to the interior/boundary census.
 //!
 //! `--trace` executes each clause under a collecting tracer: the
 //! enumeration-dispatch counts, per-phase wall-clock timings (next to
@@ -35,7 +41,7 @@ use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
 use vcal_suite::machine::{
     replay_check, run_distributed, run_distributed_traced, CollectingTracer, DistArray,
-    DistOptions, DistSession, PerfModel,
+    DistOptions, DistSession, PerfModel, SimdPolicy,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -49,6 +55,7 @@ struct Options {
     advise: bool,
     node: i64,
     overlap: bool,
+    simd: SimdPolicy,
     trace: bool,
     trace_out: Option<String>,
 }
@@ -56,7 +63,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
      [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--overlap on|off] \
-     [--trace] [--trace-out <path>]"
+     [--simd auto|on|off] [--trace] [--trace-out <path>]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -68,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut advise = false;
     let mut node = 0i64;
     let mut overlap = true;
+    let mut simd = SimdPolicy::default();
     let mut trace = false;
     let mut trace_out = None;
     let mut it = args.iter();
@@ -105,6 +113,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     _ => return Err("--overlap needs `on` or `off`".into()),
                 };
             }
+            "--simd" => {
+                simd = it
+                    .next()
+                    .and_then(|v| SimdPolicy::parse(v))
+                    .ok_or("--simd needs `auto`, `on` or `off`")?;
+            }
             "--trace" => trace = true,
             "--trace-out" => {
                 trace = true;
@@ -138,6 +152,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         advise,
         node,
         overlap,
+        simd,
         trace,
         trace_out,
     })
@@ -269,6 +284,7 @@ fn run_timestep_loop(
         .map_err(|e| e.to_string())?
         .with_options(DistOptions {
             overlap: opts.overlap,
+            simd: opts.simd,
             ..DistOptions::default()
         });
     let (mut hits, mut misses) = (0u64, 0u64);
@@ -374,6 +390,7 @@ fn run_and_verify(
     }
     let dist_opts = DistOptions {
         overlap: opts.overlap,
+        simd: opts.simd,
         ..DistOptions::default()
     };
     let tracer = opts.trace.then(CollectingTracer::new);
@@ -449,6 +466,19 @@ fn report_trace(
             census.boundary_elems,
             census.remote_elems,
             if dist_opts.overlap { "on" } else { "off" }
+        );
+        let planned = compiled.simd_census(dist_opts.simd);
+        let ran = report.simd_census();
+        println!(
+            "trace: simd census: {} lanes, {} vector runs ({} lane elems, \
+             {} tail elems) / {} fallback runs [plan]; {} vector / {} fallback [ran]",
+            planned.lanes,
+            planned.vector_runs,
+            planned.lane_elems,
+            planned.tail_elems,
+            planned.fallback_runs,
+            ran.vector_runs,
+            ran.fallback_runs
         );
     } else {
         println!("trace: kernel runs: none (tree-interpreter fallback)");

@@ -16,10 +16,16 @@
 //!   and consumed, never satisfied from stale staging by an interior
 //!   run;
 //! * the plan-time interior/boundary split is exhaustive: interior plus
-//!   boundary elements equal the clause's iteration count.
+//!   boundary elements equal the clause's iteration count;
+//! * the SIMD lane tier is bit-identical to the scalar path — and both
+//!   to `eval_expr` — across every policy (AVX2 auto, forced chunk
+//!   loops at 4/8/16 lanes, off), with iteration counts chosen to cover
+//!   remainder-lane tails (n not a multiple of the lane width) and
+//!   single-element runs, with and without recoverable fault plans.
 //!
 //! The CI fault matrix runs this suite once per communication mode via
-//! `VCAL_FAULT_MODE=element|vectorized`; unset, both modes run.
+//! `VCAL_FAULT_MODE=element|vectorized`; the SIMD matrix once per
+//! policy via `VCAL_SIMD=on|off|auto`. Unset, all variants run.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -30,7 +36,7 @@ use vcal_suite::core::{
 };
 use vcal_suite::decomp::Decomp1;
 use vcal_suite::machine::{
-    run_distributed, CommMode, DistArray, DistOptions, FaultPlan, RetryPolicy,
+    run_distributed, CommMode, DistArray, DistOptions, FaultPlan, RetryPolicy, SimdMode, SimdPolicy,
 };
 use vcal_suite::spmd::{CompiledKernel, CompiledSchedule, DecompMap, SpmdPlan};
 
@@ -47,6 +53,25 @@ fn modes() -> Vec<CommMode> {
         Ok("element") => vec![CommMode::Element],
         Ok("vectorized") => vec![CommMode::Vectorized],
         _ => vec![CommMode::Element, CommMode::Vectorized],
+    }
+}
+
+/// SIMD policies to exercise, honouring the CI matrix filter. Unset,
+/// every case compares the auto tier (AVX2 where detected), a forced
+/// portable chunk path at a case-chosen lane width, and scalar off.
+fn simd_policies(lanes: usize) -> Vec<SimdPolicy> {
+    match std::env::var("VCAL_SIMD").as_deref() {
+        Ok("on") => vec![SimdPolicy::on()],
+        Ok("off") => vec![SimdPolicy::off()],
+        Ok("auto") => vec![SimdPolicy::auto()],
+        _ => vec![
+            SimdPolicy::auto(),
+            SimdPolicy {
+                mode: SimdMode::On,
+                lanes,
+            },
+            SimdPolicy::off(),
+        ],
     }
 }
 
@@ -151,11 +176,14 @@ fn decomps(a_kind: u8, b_kind: u8, c_kind: u8) -> DecompMap {
     dm
 }
 
-/// `A[i] := rhs` over the full `0..N-1` range, optionally guarded by a
-/// data-dependent comparison on `B[i]` (the paper's Fig. 1 shape).
-fn clause_of(rhs: Expr, guarded: bool) -> Clause {
+/// `A[i] := rhs` over `0..n-1`, optionally guarded by a data-dependent
+/// comparison on `B[i]` (the paper's Fig. 1 shape). `n` below `N`
+/// shrinks per-node runs off lane-width multiples, so the SIMD tier's
+/// remainder tails — down to single-element runs at `n = 1` — are
+/// exercised against the same scalar oracle.
+fn clause_of_n(rhs: Expr, guarded: bool, n: i64) -> Clause {
     Clause {
-        iter: IndexSet::range(0, N - 1),
+        iter: IndexSet::range(0, n - 1),
         ordering: Ordering::Par,
         guard: if guarded {
             Guard::Cmp {
@@ -178,6 +206,7 @@ fn run_dist(
     env0: &Env,
     mode: CommMode,
     overlap: bool,
+    simd: SimdPolicy,
     faults: Option<FaultPlan>,
 ) -> Result<Array, String> {
     let plan = SpmdPlan::build(cl, dm).map_err(|e| e.to_string())?;
@@ -198,6 +227,7 @@ fn run_dist(
             RetryPolicy::default()
         },
         overlap,
+        simd,
     };
     run_distributed(&plan, cl, &mut arrays, opts).map_err(|e| e.to_string())?;
     Ok(arrays["A"].gather())
@@ -282,50 +312,66 @@ proptest! {
     }
 
     /// Machine level: the compiled update path is bit-identical to the
-    /// sequential reference, and overlap-on to overlap-off, across
-    /// random expressions, guards, and decomposition layouts.
+    /// sequential reference — overlap-on to overlap-off, and every SIMD
+    /// policy to the scalar path — across random expressions, guards,
+    /// decomposition layouts, and iteration extents (including extents
+    /// that leave remainder-lane tails or single-element runs).
     #[test]
     fn distributed_matches_sequential_bitwise(
         e in arb_expr(),
         guarded in any::<bool>(),
+        n in 1i64..=N,
         a_kind in 0u8..3,
         b_kind in 0u8..3,
         c_kind in 0u8..3,
         mode_ix in 0usize..2,
+        lanes_ix in 0usize..3,
     ) {
         let all = modes();
         let mode = all[mode_ix % all.len()];
-        let cl = clause_of(e, guarded);
+        let cl = clause_of_n(e, guarded, n);
         let dm = decomps(a_kind, b_kind, c_kind);
         let env0 = operand_env();
         let mut reference = env0.clone();
         reference.exec_clause(&cl);
         let want = bits(reference.get("A").unwrap());
 
-        let on = run_dist(&cl, &dm, &env0, mode, true, None)
-            .map_err(TestCaseError::fail)?;
-        let off = run_dist(&cl, &dm, &env0, mode, false, None)
-            .map_err(TestCaseError::fail)?;
-        prop_assert_eq!(&bits(&on), &want, "{:?} overlap=on diverges: {}", mode, cl);
-        prop_assert_eq!(&bits(&off), &want, "{:?} overlap=off diverges: {}", mode, cl);
+        for simd in simd_policies([4, 8, 16][lanes_ix]) {
+            let on = run_dist(&cl, &dm, &env0, mode, true, simd, None)
+                .map_err(TestCaseError::fail)?;
+            let off = run_dist(&cl, &dm, &env0, mode, false, simd, None)
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(
+                &bits(&on), &want,
+                "{:?} overlap=on simd={:?} n={} diverges: {}", mode, simd, n, cl
+            );
+            prop_assert_eq!(
+                &bits(&off), &want,
+                "{:?} overlap=off simd={:?} n={} diverges: {}", mode, simd, n, cl
+            );
+        }
     }
 
     /// Under a recoverable seeded fault plan the results are *still*
     /// bit-identical to the sequential reference with overlap on and
-    /// off — a dropped boundary packet is recovered and consumed, never
-    /// replaced by stale staging in an interior-first schedule.
+    /// off and under every SIMD policy — a dropped boundary packet is
+    /// recovered and consumed, never replaced by stale staging in an
+    /// interior-first schedule, and retry loops never re-enter the
+    /// vector tier with partial state.
     #[test]
     fn overlap_invariant_under_recoverable_faults(
         e in arb_expr(),
         seed in any::<u64>(),
         p_drop in 0u32..15,
+        n in 1i64..=N,
         a_kind in 0u8..3,
         b_kind in 0u8..3,
         mode_ix in 0usize..2,
+        lanes_ix in 0usize..3,
     ) {
         let all = modes();
         let mode = all[mode_ix % all.len()];
-        let cl = clause_of(e, false);
+        let cl = clause_of_n(e, false, n);
         let dm = decomps(a_kind, b_kind, 0);
         let env0 = operand_env();
         let mut reference = env0.clone();
@@ -336,11 +382,85 @@ proptest! {
             .with_drop(f64::from(p_drop) / 100.0)
             .with_duplicate(0.05)
             .with_reorder(0.05);
-        let on = run_dist(&cl, &dm, &env0, mode, true, Some(fp))
-            .map_err(TestCaseError::fail)?;
-        let off = run_dist(&cl, &dm, &env0, mode, false, Some(fp))
-            .map_err(TestCaseError::fail)?;
-        prop_assert_eq!(&bits(&on), &want, "{:?} overlap=on under faults: {}", mode, cl);
-        prop_assert_eq!(&bits(&off), &want, "{:?} overlap=off under faults: {}", mode, cl);
+        for simd in simd_policies([4, 8, 16][lanes_ix]) {
+            let on = run_dist(&cl, &dm, &env0, mode, true, simd, Some(fp))
+                .map_err(TestCaseError::fail)?;
+            let off = run_dist(&cl, &dm, &env0, mode, false, simd, Some(fp))
+                .map_err(TestCaseError::fail)?;
+            prop_assert_eq!(
+                &bits(&on), &want,
+                "{:?} overlap=on simd={:?} under faults: {}", mode, simd, cl
+            );
+            prop_assert_eq!(
+                &bits(&off), &want,
+                "{:?} overlap=off simd={:?} under faults: {}", mode, simd, cl
+            );
+        }
+    }
+}
+
+/// The plan-time SIMD census and the runtime per-node counters agree:
+/// same lane width, same vectorized/fallback run split, same lane/tail
+/// element accounting. This pins the shared eligibility predicate —
+/// what the planner promises is exactly what the machine executes.
+#[test]
+fn simd_census_plan_matches_runtime() {
+    let rhs = Expr::mul(
+        Expr::add(
+            Expr::Ref(ArrayRef::d1("B", Fn1::shift(-1))),
+            Expr::Ref(ArrayRef::d1("B", Fn1::shift(1))),
+        ),
+        Expr::Lit(0.5),
+    );
+    let cl = Clause {
+        iter: IndexSet::range(1, N - 2),
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs: ArrayRef::d1("A", Fn1::identity()),
+        rhs,
+    };
+    let mut dm = DecompMap::new();
+    dm.insert("A".into(), Decomp1::block(PMAX, Bounds::range(0, N - 1)));
+    dm.insert("B".into(), Decomp1::block(PMAX, Bounds::range(0, N - 1)));
+    let plan = SpmdPlan::build(&cl, &dm).unwrap();
+    let cs = CompiledSchedule::compile_exec(&plan, &cl, &dm);
+    assert!(cs.has_exec(), "stencil clause must compile");
+
+    for simd in [SimdPolicy::auto(), SimdPolicy::on(), SimdPolicy::off()] {
+        let planned = cs.simd_census(simd);
+        let mut env0 = Env::new();
+        env0.insert("A", Array::zeros(Bounds::range(0, N - 1)));
+        env0.insert(
+            "B",
+            Array::from_fn(Bounds::range(0, N - 1), |i| i.scalar() as f64 * 0.25 - 3.0),
+        );
+        let mut arrays: BTreeMap<String, DistArray> = BTreeMap::new();
+        for name in ["A", "B"] {
+            arrays.insert(
+                name.to_string(),
+                DistArray::scatter_from(env0.get(name).unwrap(), dm[name].clone()),
+            );
+        }
+        let report = run_distributed(
+            &plan,
+            &cl,
+            &mut arrays,
+            DistOptions {
+                simd,
+                ..DistOptions::default()
+            },
+        )
+        .unwrap();
+        let ran = report.simd_census();
+        assert_eq!(ran.vector_runs, planned.vector_runs, "simd={simd:?}");
+        assert_eq!(ran.fallback_runs, planned.fallback_runs, "simd={simd:?}");
+        assert_eq!(ran.lane_elems, planned.lane_elems, "simd={simd:?}");
+        assert_eq!(ran.tail_elems, planned.tail_elems, "simd={simd:?}");
+        if simd.enabled() {
+            assert!(planned.vector_runs > 0, "interior stencil must vectorize");
+            assert_eq!(ran.lanes, planned.lanes, "lane width must agree");
+        } else {
+            assert_eq!(planned.vector_runs, 0, "off policy never vectorizes");
+        }
     }
 }
