@@ -53,10 +53,11 @@
 
 use crate::darray::DistArray;
 use crate::error::MachineError;
+use crate::net::ChaosPlan;
 use crate::obs::{trace_plan, EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use crate::transport::{
-    await_until, AwaitFail, Endpoint, FaultPlan, Frame, RetryPolicy, WirePayload,
+    await_until, AwaitFail, Endpoint, FaultPlan, Frame, RetryPolicy, TransportKind, WirePayload,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -192,6 +193,17 @@ pub struct DistOptions {
     /// per-element computation, so results are bitwise identical to the
     /// scalar path under every mode.
     pub simd: SimdPolicy,
+    /// Which carrier moves frames between nodes. [`TransportKind::InProc`]
+    /// (the default) runs nodes as threads over channels; `Uds`/`Tcp`
+    /// run every node as a real OS process exchanging length-prefixed
+    /// frames through a host-side router (DESIGN.md §15). Results,
+    /// statistics, and the deterministic trace class are identical
+    /// across backends.
+    pub transport: TransportKind,
+    /// Byte-level wire chaos (truncate/bitflip/stall/sever), injected by
+    /// a proxy between the workers and the router. Only meaningful on
+    /// the socket backends; ignored under `InProc`.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for DistOptions {
@@ -203,6 +215,8 @@ impl Default for DistOptions {
             retry: RetryPolicy::default(),
             overlap: true,
             simd: SimdPolicy::default(),
+            transport: TransportKind::default(),
+            chaos: None,
         }
     }
 }
@@ -401,16 +415,22 @@ pub(crate) fn finalize_run(
 ) -> Result<ExecReport, MachineError> {
     results.sort_by_key(|(p, ..)| *p);
 
-    // pick the run's error: a panic is the root cause and wins over the
-    // secondary Unrecoverable/Missing* errors it induces on peers
+    // pick the run's error: a panic or a dead worker process is the
+    // root cause and wins over the secondary Unrecoverable/Missing*
+    // errors it induces on peers
+    let root_cause = |e: &MachineError| {
+        matches!(
+            e,
+            MachineError::NodePanicked { .. } | MachineError::Transport { .. }
+        )
+    };
     let mut first_err: Option<MachineError> = None;
     for (.., res) in &results {
         if let Err(e) = res {
-            match (&first_err, e) {
-                (None, _) => first_err = Some(e.clone()),
-                (Some(MachineError::NodePanicked { .. }), _) => {}
-                (Some(_), MachineError::NodePanicked { .. }) => first_err = Some(e.clone()),
-                _ => {}
+            match &first_err {
+                None => first_err = Some(e.clone()),
+                Some(have) if !root_cause(have) && root_cause(e) => first_err = Some(e.clone()),
+                Some(_) => {}
             }
         }
     }
@@ -517,6 +537,11 @@ pub fn run_distributed_traced(
 ) -> Result<ExecReport, MachineError> {
     if plan.ordering != Ordering::Par {
         return Err(MachineError::SequentialClause);
+    }
+    if opts.transport != TransportKind::InProc {
+        // socket backends: a one-shot pool of real worker processes
+        // (persistent pools live in `DistSession`)
+        return crate::proc::run_one_shot(plan, clause, arrays, opts, tracer);
     }
     let pmax = plan.pmax;
 
@@ -651,12 +676,11 @@ fn run_node(
     tracer: &dyn Tracer,
 ) -> NodeOutcome {
     let p = worker.p;
-    let rx = worker.rx;
     let mut locals = worker.locals;
     let mut stats = NodeStats::default();
     let mut sent_to = vec![0u64; txs.len()];
     let mut writes: Vec<WriteOp> = Vec::new();
-    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let mut ep = Endpoint::in_proc(p, txs, worker.rx, opts.faults, tracer);
     let trace_on = tracer.enabled();
 
     let phases = catch_unwind(AssertUnwindSafe(|| {
@@ -669,7 +693,6 @@ fn run_node(
             rexpr,
             rguard,
             &mut ep,
-            &rx,
             decomps,
             dec_lhs,
             &opts,
@@ -685,11 +708,11 @@ fn run_node(
             if trace_on {
                 tracer.record(p, EventKind::PhaseStart(Phase::Drain));
                 let t0 = std::time::Instant::now();
-                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                ep.drain(opts.recv_timeout, &mut stats);
                 tracer.timing(p, Phase::Drain, t0.elapsed());
                 tracer.record(p, EventKind::PhaseEnd(Phase::Drain));
             } else {
-                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                ep.drain(opts.recv_timeout, &mut stats);
             }
             r
         }
@@ -717,7 +740,6 @@ fn node_phases(
     rexpr: &RExpr,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     decomps: &BTreeMap<String, Decomp1>,
     dec_lhs: &Decomp1,
     opts: &DistOptions,
@@ -840,7 +862,6 @@ fn node_phases(
             kernel,
             rguard,
             ep,
-            rx,
             &mut pending,
             &mut staging,
             &mut vals,
@@ -882,7 +903,7 @@ fn node_phases(
                 stats.local_reads += 1;
                 locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
             } else {
-                match recv.remote_value(ep, rx, slot, i, owner, opts, stats) {
+                match recv.remote_value(ep, slot, i, owner, opts, stats) {
                     Ok(v) => {
                         if trace_on {
                             tracer.record(
@@ -1031,7 +1052,6 @@ pub(crate) fn exec_update_phase(
     kernel: &CompiledKernel,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     pending: &mut BTreeMap<(usize, i64), f64>,
     staging: &mut Vec<Vec<Option<Vec<f64>>>>,
     vals: &mut [f64],
@@ -1077,7 +1097,6 @@ pub(crate) fn exec_update_phase(
                     kernel,
                     rguard,
                     ep,
-                    rx,
                     pending,
                     staging,
                     vals,
@@ -1101,7 +1120,6 @@ pub(crate) fn exec_update_phase(
                 kernel,
                 rguard,
                 ep,
-                rx,
                 pending,
                 staging,
                 vals,
@@ -1198,7 +1216,6 @@ fn exec_one_run(
     kernel: &CompiledKernel,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     pending: &mut BTreeMap<(usize, i64), f64>,
     staging: &mut Vec<Vec<Option<Vec<f64>>>>,
     vals: &mut [f64],
@@ -1395,12 +1412,11 @@ fn exec_one_run(
                                 }
                                 SlotRef::Remote(owner) => {
                                     let res = match opts.mode {
-                                        CommMode::Element => recv_element(
-                                            ep, rx, pending, slot, i, owner, opts, stats,
-                                        ),
+                                        CommMode::Element => {
+                                            recv_element(ep, pending, slot, i, owner, opts, stats)
+                                        }
                                         CommMode::Vectorized => recv_packed(
                                             ep,
-                                            rx,
                                             staging,
                                             &cn.src_ord,
                                             &cn.src_peers,
@@ -1573,7 +1589,6 @@ impl RecvState {
     fn remote_value(
         &mut self,
         ep: &mut Endpoint<Wire>,
-        rx: &Receiver<Frame<Wire>>,
         slot: usize,
         i: i64,
         owner: i64,
@@ -1582,16 +1597,14 @@ impl RecvState {
     ) -> Result<f64, RecvFail> {
         match self {
             RecvState::Element { pending } => {
-                recv_element(ep, rx, pending, slot, i, owner, opts, stats)
+                recv_element(ep, pending, slot, i, owner, opts, stats)
             }
             RecvState::Packed {
                 src_ord,
                 peers,
                 staging,
                 origin,
-            } => recv_packed(
-                ep, rx, staging, src_ord, peers, origin, slot, i, opts, stats,
-            ),
+            } => recv_packed(ep, staging, src_ord, peers, origin, slot, i, opts, stats),
         }
     }
 }
@@ -1603,7 +1616,6 @@ impl RecvState {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recv_element(
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     pending: &mut BTreeMap<(usize, i64), f64>,
     slot: usize,
     i: i64,
@@ -1613,7 +1625,6 @@ pub(crate) fn recv_element(
 ) -> Result<f64, RecvFail> {
     await_until(
         ep,
-        rx,
         owner,
         opts.recv_timeout,
         opts.retry,
@@ -1646,7 +1657,6 @@ pub(crate) fn recv_element(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recv_packed(
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     staging: &mut Vec<Vec<Option<Vec<f64>>>>,
     src_ord: &[usize],
     peers: &[i64],
@@ -1666,7 +1676,6 @@ pub(crate) fn recv_packed(
     let mut ctx = (staging, src_ord);
     await_until(
         ep,
-        rx,
         peer,
         opts.recv_timeout,
         opts.retry,

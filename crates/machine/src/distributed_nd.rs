@@ -701,7 +701,6 @@ impl RecvStateNd {
     fn remote_value(
         &mut self,
         ep: &mut Endpoint<Wire>,
-        rx: &Receiver<Frame<Wire>>,
         slot: usize,
         i: &Ix,
         owner: i64,
@@ -711,7 +710,6 @@ impl RecvStateNd {
         match self {
             RecvStateNd::Element { pending } => await_until(
                 ep,
-                rx,
                 owner,
                 opts.recv_timeout,
                 opts.retry,
@@ -741,7 +739,6 @@ impl RecvStateNd {
                 let peer = src as i64;
                 await_until(
                     ep,
-                    rx,
                     peer,
                     opts.recv_timeout,
                     opts.retry,
@@ -834,14 +831,13 @@ fn run_node_nd(
     let mut locals = locals;
     let mut stats = NodeStats::default();
     let mut writes: Vec<(usize, f64)> = Vec::new();
-    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let mut ep = Endpoint::in_proc(p, txs, rx, opts.faults, tracer);
     let trace_on = tracer.enabled();
 
     let phases = catch_unwind(AssertUnwindSafe(|| {
         node_phases_nd(
             p,
             &mut locals,
-            &rx,
             &mut ep,
             clause,
             slots,
@@ -863,11 +859,11 @@ fn run_node_nd(
             if trace_on {
                 tracer.record(p, EventKind::PhaseStart(Phase::Drain));
                 let t0 = std::time::Instant::now();
-                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                ep.drain(opts.recv_timeout, &mut stats);
                 tracer.timing(p, Phase::Drain, t0.elapsed());
                 tracer.record(p, EventKind::PhaseEnd(Phase::Drain));
             } else {
-                ep.drain(&rx, opts.recv_timeout, &mut stats);
+                ep.drain(opts.recv_timeout, &mut stats);
             }
             r
         }
@@ -888,7 +884,6 @@ fn run_node_nd(
 fn node_phases_nd(
     p: i64,
     locals: &mut BTreeMap<String, Vec<f64>>,
-    rx: &Receiver<Frame<Wire>>,
     ep: &mut Endpoint<Wire>,
     clause: &Clause,
     slots: &[ReadSlot],
@@ -1089,7 +1084,7 @@ fn node_phases_nd(
                             locals[&slots[slot].array][*off]
                         }
                         NdSlotRef::Remote(owner) => {
-                            match recv.remote_value(ep, rx, slot, &el.i, *owner, opts, stats) {
+                            match recv.remote_value(ep, slot, &el.i, *owner, opts, stats) {
                                 Ok(v) => {
                                     stats.msgs_received += 1;
                                     v
@@ -1161,7 +1156,7 @@ fn node_phases_nd(
                 let off = dec_r.local_bounds(p).linear_offset(&dec_r.local_of(&g));
                 vals[slot] = locals[&rs.array][off];
             } else {
-                vals[slot] = match recv.remote_value(ep, rx, slot, i, owner, opts, stats) {
+                vals[slot] = match recv.remote_value(ep, slot, i, owner, opts, stats) {
                     Ok(v) => {
                         stats.msgs_received += 1;
                         v

@@ -62,6 +62,16 @@ pub enum MachineError {
     /// The plan and the supplied arrays disagree (extent or processor
     /// count mismatch).
     PlanMismatch(String),
+    /// A transport-level failure on a real wire backend: handshake
+    /// rejection (version mismatch), codec failure, a dead socket that
+    /// outlived its reconnect budget, or a worker process that exited
+    /// without delivering its result.
+    Transport {
+        /// The node whose link failed (-1 for the host/router itself).
+        node: i64,
+        /// Human-readable cause, including any version numbers.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -105,6 +115,9 @@ impl fmt::Display for MachineError {
                  boundary values"
             ),
             MachineError::PlanMismatch(m) => write!(f, "plan/array mismatch: {m}"),
+            MachineError::Transport { node, detail } => {
+                write!(f, "node {node} transport failure: {detail}")
+            }
         }
     }
 }

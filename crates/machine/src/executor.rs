@@ -197,9 +197,9 @@ enum WorkerMsg {
 }
 
 #[derive(Default)]
-struct BufInner {
-    events: Vec<(i64, EventKind)>,
-    timings: Vec<(i64, Phase, Duration)>,
+pub(crate) struct BufInner {
+    pub(crate) events: Vec<(i64, EventKind)>,
+    pub(crate) timings: Vec<(i64, Phase, Duration)>,
 }
 
 /// A thread-local event buffer implementing [`Tracer`]. A pooled worker
@@ -207,24 +207,24 @@ struct BufInner {
 /// so it records into this buffer and the host replays the buffer into
 /// the real tracer after collecting the reply — per-node event order is
 /// preserved, which is all the collecting tracer's canonical sort needs.
-struct BufTracer {
+pub(crate) struct BufTracer {
     on: AtomicBool,
     buf: Mutex<BufInner>,
 }
 
 impl BufTracer {
-    fn new() -> BufTracer {
+    pub(crate) fn new() -> BufTracer {
         BufTracer {
             on: AtomicBool::new(false),
             buf: Mutex::new(BufInner::default()),
         }
     }
 
-    fn set_enabled(&self, on: bool) {
+    pub(crate) fn set_enabled(&self, on: bool) {
         self.on.store(on, AtomicOrdering::Relaxed);
     }
 
-    fn take(&self) -> BufInner {
+    pub(crate) fn take(&self) -> BufInner {
         let mut b = self.buf.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut *b)
     }
@@ -490,8 +490,10 @@ impl Drop for DistExecutor {
 }
 
 /// Per-worker scratch reused (cleared, not reallocated) across runs.
+/// Shared with the process-backed pool (`crate::proc`), whose workers
+/// carry one across jobs exactly like a pooled thread does.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Element mode: out-of-order arrivals keyed `(slot, i)`.
     pending: BTreeMap<(usize, i64), f64>,
     /// Vectorized mode: `staging[source ordinal][run]` packet values.
@@ -501,7 +503,28 @@ struct Scratch {
     /// Kernel evaluation stack (compiled path), reused across runs.
     stack: Vec<f64>,
     /// Collected local writes, committed by the host.
-    writes: Vec<WriteOp>,
+    pub(crate) writes: Vec<WriteOp>,
+}
+
+/// Size (and clear) a worker's scratch for one prepared plan — shared
+/// by the pooled-thread and pooled-process workers so both reuse
+/// buffers instead of reallocating per run.
+pub(crate) fn reset_scratch(scratch: &mut Scratch, prepared: &PreparedPlan, p: i64) {
+    let cn = &prepared.compiled.nodes[p as usize];
+    scratch.pending.clear();
+    scratch.staging.resize_with(cn.staging_runs.len(), Vec::new);
+    for (row, &nruns) in scratch.staging.iter_mut().zip(&cn.staging_runs) {
+        row.resize(nruns, None);
+        row.truncate(nruns);
+        for cell in row.iter_mut() {
+            *cell = None;
+        }
+    }
+    scratch.vals.clear();
+    scratch
+        .vals
+        .resize(prepared.plan.nodes[p as usize].resides.len(), 0.0);
+    scratch.writes.clear();
 }
 
 /// The body of one pooled node thread: park on the job channel, and for
@@ -516,7 +539,7 @@ fn worker_main(
     reply_tx: Sender<WorkerMsg>,
 ) {
     let buf = BufTracer::new();
-    let mut ep: Endpoint<Wire> = Endpoint::new(p, txs, None, &buf);
+    let mut ep: Endpoint<Wire> = Endpoint::in_proc(p, txs, data_rx, None, &buf);
     let mut scratch = Scratch::default();
     while let Ok(cmd) = job_rx.recv() {
         let Cmd::Job(job) = cmd else {
@@ -532,25 +555,11 @@ fn worker_main(
             // dispatched this one, so anything buffered here is stale by
             // construction — and the Ready/Go barrier below keeps new
             // frames off the wire until every peer's purge is complete
-            while data_rx.try_recv().is_ok() {}
+            ep.purge_link();
         }
 
         let prepared = &ctx.prepared;
-        let cn = &prepared.compiled.nodes[p as usize];
-        scratch.pending.clear();
-        scratch.staging.resize_with(cn.staging_runs.len(), Vec::new);
-        for (row, &nruns) in scratch.staging.iter_mut().zip(&cn.staging_runs) {
-            row.resize(nruns, None);
-            row.truncate(nruns);
-            for cell in row.iter_mut() {
-                *cell = None;
-            }
-        }
-        scratch.vals.clear();
-        scratch
-            .vals
-            .resize(prepared.plan.nodes[p as usize].resides.len(), 0.0);
-        scratch.writes.clear();
+        reset_scratch(&mut scratch, prepared, p);
 
         let mut stats = NodeStats::default();
         let mut sent_to = vec![0u64; ep.peer_count()];
@@ -575,7 +584,6 @@ fn worker_main(
                 prepared,
                 &ctx.opts,
                 &mut ep,
-                &data_rx,
                 &mut scratch,
                 &mut stats,
                 &mut sent_to,
@@ -588,11 +596,11 @@ fn worker_main(
                 if trace_on {
                     buf.record(p, EventKind::PhaseStart(Phase::Drain));
                     let t0 = std::time::Instant::now();
-                    ep.drain(&data_rx, ctx.opts.recv_timeout, &mut stats);
+                    ep.drain(ctx.opts.recv_timeout, &mut stats);
                     buf.timing(p, Phase::Drain, t0.elapsed());
                     buf.record(p, EventKind::PhaseEnd(Phase::Drain));
                 } else {
-                    ep.drain(&data_rx, ctx.opts.recv_timeout, &mut stats);
+                    ep.drain(ctx.opts.recv_timeout, &mut stats);
                 }
                 r
             }
@@ -634,13 +642,12 @@ fn worker_main(
 /// compiled run tables instead of re-deriving the closed forms, and
 /// receives through the persistent scratch instead of per-run state.
 #[allow(clippy::too_many_arguments)]
-fn warm_phases(
+pub(crate) fn warm_phases(
     p: i64,
     locals: &mut BTreeMap<String, Vec<f64>>,
     prepared: &PreparedPlan,
     opts: &DistOptions,
     ep: &mut Endpoint<Wire>,
-    rx: &Receiver<Frame<Wire>>,
     scratch: &mut Scratch,
     stats: &mut NodeStats,
     sent_to: &mut [u64],
@@ -760,8 +767,8 @@ fn warm_phases(
         stack.clear();
         stack.reserve(kernel.stack_capacity());
         let res = exec_update_phase(
-            p, locals, node, cn, kernel, rguard, ep, rx, pending, staging, vals, stack, opts,
-            stats, writes, tracer,
+            p, locals, node, cn, kernel, rguard, ep, pending, staging, vals, stack, opts, stats,
+            writes, tracer,
         );
         if let Some(t0) = update_t0 {
             tracer.timing(p, Phase::Update, t0.elapsed());
@@ -793,10 +800,9 @@ fn warm_phases(
                 locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
             } else {
                 let got = match opts.mode {
-                    CommMode::Element => recv_element(ep, rx, pending, slot, i, owner, opts, stats),
+                    CommMode::Element => recv_element(ep, pending, slot, i, owner, opts, stats),
                     CommMode::Vectorized => recv_packed(
                         ep,
-                        rx,
                         staging,
                         &cn.src_ord,
                         &cn.src_peers,

@@ -21,6 +21,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub(crate) mod codec;
 pub mod darray;
 pub mod darray_nd;
 pub mod distributed;
@@ -29,8 +30,10 @@ pub mod doacross;
 pub mod error;
 pub mod executor;
 pub mod halo;
+pub(crate) mod net;
 pub mod obs;
 pub mod perfmodel;
+pub(crate) mod proc;
 pub mod redistribute;
 pub mod reduce;
 pub mod sequential;
@@ -53,11 +56,13 @@ pub use doacross::{carried_distances, run_doacross, run_doacross_with};
 pub use error::MachineError;
 pub use executor::{prepare_run, DistExecutor, PreparedPlan};
 pub use halo::{exchange_ghosts, exchange_ghosts_traced, run_halo_sweep, HaloArray};
+pub use net::ChaosPlan;
 pub use obs::{
     replay_check, trace_plan, CollectingTracer, Event, EventKind, NullTracer, Phase, PhaseTiming,
     ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
 };
 pub use perfmodel::{PerfModel, SimTime};
+pub use proc::worker_entry;
 pub use redistribute::{run_redistribution, run_redistribution_opts, run_redistribution_traced};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
@@ -66,5 +71,5 @@ pub use shared::{run_shared, WriteStrategy};
 pub use shared_nd::run_shared_nd;
 pub use stats::{ExecReport, NodeStats};
 pub use topology::{price_traffic, Topology, TrafficCost};
-pub use transport::{CrashFault, FaultPlan, RetryPolicy};
+pub use transport::{CrashFault, FaultPlan, RetryPolicy, TransportKind};
 pub use vcal_spmd::{SimdCensus, SimdMode, SimdPolicy};

@@ -196,7 +196,7 @@ fn redistribute_node(
     tracer: &dyn Tracer,
 ) -> (i64, Vec<f64>, NodeStats, Result<(), MachineError>) {
     let mut stats = NodeStats::default();
-    let mut ep = Endpoint::new(p, txs, opts.faults, tracer);
+    let mut ep = Endpoint::in_proc(p, txs, rx, opts.faults, tracer);
     let trace_on = tracer.enabled();
     if trace_on {
         tracer.record(p, EventKind::PhaseStart(Phase::Redistribute));
@@ -250,7 +250,6 @@ fn redistribute_node(
             for _ in 0..need {
                 let msg = await_until(
                     &mut ep,
-                    &rx,
                     srcp as i64,
                     opts.recv_timeout,
                     opts.retry,
@@ -299,7 +298,7 @@ fn redistribute_node(
     let res = match phases {
         Ok(r) => {
             ep.announce_done();
-            ep.drain(&rx, opts.recv_timeout, &mut stats);
+            ep.drain(opts.recv_timeout, &mut stats);
             r
         }
         Err(_) => {

@@ -16,8 +16,10 @@ use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
 use crate::executor::{prepare_run, DistExecutor, PreparedPlan};
 use crate::obs::{Tracer, NULL_TRACER};
+use crate::proc::ProcPool;
 use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
+use crate::transport::TransportKind;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vcal_core::{Array, Clause, Env};
@@ -43,6 +45,9 @@ pub struct DistSession {
     opts: DistOptions,
     cache: Vec<CacheEntry>,
     pool: Option<DistExecutor>,
+    /// Worker-process pool, used instead of `pool` when the options
+    /// select a socket backend ([`TransportKind::Uds`] / `Tcp`).
+    procs: Option<ProcPool>,
 }
 
 impl DistSession {
@@ -69,6 +74,7 @@ impl DistSession {
             opts: DistOptions::default(),
             cache: Vec::new(),
             pool: None,
+            procs: None,
         })
     }
 
@@ -140,6 +146,29 @@ impl DistSession {
             }
         };
         let pmax = prepared.plan().pmax;
+        if self.opts.transport != TransportKind::InProc {
+            // socket backend: real worker processes behind the router;
+            // the pool's identity is (backend, pmax, chaos plan)
+            let want = pmax.max(0) as usize;
+            if self.procs.as_ref().is_some_and(|pp| {
+                pp.kind() != self.opts.transport
+                    || pp.pmax() != want
+                    || pp.chaos() != self.opts.chaos
+            }) {
+                self.procs = None;
+            }
+            if self.procs.is_none() {
+                self.procs = Some(ProcPool::new(self.opts.transport, want, self.opts.chaos)?);
+            }
+            let procs = match self.procs.as_mut() {
+                Some(pp) => pp,
+                None => unreachable!("process pool created above"),
+            };
+            let mut report = procs.run(&prepared, clause, &mut self.arrays, self.opts, tracer)?;
+            report.cache_hits = u64::from(hit);
+            report.cache_misses = u64::from(!hit);
+            return Ok(report);
+        }
         if self
             .pool
             .as_ref()
@@ -152,6 +181,13 @@ impl DistSession {
         report.cache_hits = u64::from(hit);
         report.cache_misses = u64::from(!hit);
         Ok(report)
+    }
+
+    /// OS process ids of the live worker processes, in node order —
+    /// empty until a socket-backend run has spawned the pool. Exists so
+    /// supervision tests can kill a specific worker mid-run.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.procs.as_ref().map(ProcPool::pids).unwrap_or_default()
     }
 
     /// Execute a prebuilt plan (reuse across sweeps).

@@ -60,8 +60,111 @@ pub(crate) trait WirePayload: Clone {
     fn corrupt(&mut self, bits: u64);
 }
 
+/// Which carrier moves frames between node endpoints.
+///
+/// The reliability protocol (sequence numbers, checksums, NACK/go-back-N,
+/// fault injection, trace events) is written entirely against
+/// [`Endpoint`]; the carrier underneath is pluggable. `InProc` is the
+/// historical in-process `mpsc` mesh; `Uds`/`Tcp` run every node as a
+/// real OS process exchanging length-prefixed frames over Unix-domain or
+/// TCP sockets through a host-side router (see `DESIGN.md` §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process `mpsc` channels between node threads (default).
+    #[default]
+    InProc,
+    /// Unix-domain sockets between worker OS processes.
+    Uds,
+    /// Loopback TCP sockets between worker OS processes.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Stable lower-case name (CLI flag value / CI matrix key).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "inproc" => Some(TransportKind::InProc),
+            "uds" => Some(TransportKind::Uds),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// The carrier abstraction under one node's [`Endpoint`]: physically
+/// moves [`Frame`]s between nodes without knowing anything about the
+/// reliability protocol above it. A carrier is allowed to be lossy,
+/// reordering, or duplicating — the protocol recovers (or degrades into
+/// typed errors); a carrier must never *invent* frames.
+pub(crate) trait Transport<T> {
+    /// Number of nodes on the interconnect (including this one).
+    fn peer_count(&self) -> usize;
+    /// Best-effort delivery of one frame to `dst`. A carrier failure
+    /// (peer gone, socket error) is indistinguishable from a lost
+    /// packet; the protocol's NACK path retries or reports.
+    fn send(&mut self, dst: usize, frame: Frame<T>);
+    /// Wait up to `slice` for one inbound frame; `None` on timeout.
+    fn recv(&mut self, slice: Duration) -> Option<Frame<T>>;
+    /// Discard every frame already queued toward this endpoint (used
+    /// under the steady-state executor's purge barrier after a dirty
+    /// run).
+    fn purge(&mut self);
+}
+
+/// The in-process carrier: an `mpsc` sender per peer plus this node's
+/// receiver — exactly the mesh the machines always used, now behind the
+/// [`Transport`] seam.
+pub(crate) struct ChannelTransport<T> {
+    txs: Vec<Sender<Frame<T>>>,
+    rx: Receiver<Frame<T>>,
+}
+
+impl<T> ChannelTransport<T> {
+    pub(crate) fn new(txs: Vec<Sender<Frame<T>>>, rx: Receiver<Frame<T>>) -> ChannelTransport<T> {
+        ChannelTransport { txs, rx }
+    }
+}
+
+impl<T> Transport<T> for ChannelTransport<T> {
+    fn peer_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&mut self, dst: usize, frame: Frame<T>) {
+        if let Some(tx) = self.txs.get(dst) {
+            let _ = tx.send(frame); // a hung-up peer is a lossy wire
+        }
+    }
+
+    fn recv(&mut self, slice: Duration) -> Option<Frame<T>> {
+        match self.rx.recv_timeout(slice) {
+            Ok(frame) => Some(frame),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                // all senders gone — sleep out the slice instead of
+                // spinning, then let the caller's deadline logic decide
+                std::thread::sleep(slice);
+                None
+            }
+        }
+    }
+
+    fn purge(&mut self) {
+        while self.rx.try_recv().is_ok() {}
+    }
+}
+
 /// SplitMix64 step — the deterministic stream behind fault draws.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -70,7 +173,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Map a raw draw to a uniform f64 in `[0, 1)`.
-fn unit_f64(x: u64) -> f64 {
+pub(crate) fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -84,6 +187,17 @@ fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
         }
     }
     h
+}
+
+/// Clamp a fault probability into `[0, 1]`; `NaN` maps to `0` (a NaN
+/// never compares below the accumulated threshold, so accepting it
+/// would silently disable the draw — make that explicit instead).
+pub(crate) fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
 }
 
 /// Checksum of one packet: header (source, sequence) plus payload digest.
@@ -181,33 +295,38 @@ impl FaultPlan {
         }
     }
 
-    /// Set the per-packet drop probability.
+    /// Set the per-packet drop probability. Values outside `[0, 1]` are
+    /// clamped into the interval; `NaN` is treated as `0` (no faults).
     pub fn with_drop(mut self, p: f64) -> FaultPlan {
-        self.drop = p;
+        self.drop = clamp_prob(p);
         self
     }
 
-    /// Set the per-packet duplication probability.
+    /// Set the per-packet duplication probability. Values outside
+    /// `[0, 1]` are clamped into the interval; `NaN` is treated as `0`.
     pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
-        self.duplicate = p;
+        self.duplicate = clamp_prob(p);
         self
     }
 
-    /// Set the per-packet reorder probability.
+    /// Set the per-packet reorder probability. Values outside `[0, 1]`
+    /// are clamped into the interval; `NaN` is treated as `0`.
     pub fn with_reorder(mut self, p: f64) -> FaultPlan {
-        self.reorder = p;
+        self.reorder = clamp_prob(p);
         self
     }
 
-    /// Set the per-packet corruption probability.
+    /// Set the per-packet corruption probability. Values outside
+    /// `[0, 1]` are clamped into the interval; `NaN` is treated as `0`.
     pub fn with_corrupt(mut self, p: f64) -> FaultPlan {
-        self.corrupt = p;
+        self.corrupt = clamp_prob(p);
         self
     }
 
-    /// Set the per-packet delay probability.
+    /// Set the per-packet delay probability. Values outside `[0, 1]`
+    /// are clamped into the interval; `NaN` is treated as `0`.
     pub fn with_delay(mut self, p: f64) -> FaultPlan {
-        self.delay = p;
+        self.delay = clamp_prob(p);
         self
     }
 
@@ -251,6 +370,19 @@ pub struct RetryPolicy {
     pub nack_timeout: Duration,
     /// Upper bound of the exponential backoff between NACKs.
     pub backoff_cap: Duration,
+    /// Total wall-clock budget for one awaited value, *including* every
+    /// NACK/backoff cycle. `None` bounds the wait only by the machine's
+    /// receive timeout; `Some(d)` caps it at `min(d, recv_timeout)`, so
+    /// a stalled flow cannot hang for `max_retries × backoff_cap` when
+    /// the caller intended a tighter deadline.
+    pub deadline: Option<Duration>,
+    /// Deterministic backoff jitter in percent of the interval
+    /// (`0..=100`): each backoff wait is scaled by a factor drawn from
+    /// `[1 − jitter_pct/100, 1]` using a hash of `(peer, attempt)`, so
+    /// same-configuration runs jitter identically on every transport
+    /// and peers never synchronize their NACK storms. `0` disables
+    /// jitter (the historical behavior).
+    pub jitter_pct: u32,
 }
 
 impl Default for RetryPolicy {
@@ -259,13 +391,25 @@ impl Default for RetryPolicy {
             max_retries: 5,
             nack_timeout: Duration::from_millis(40),
             backoff_cap: Duration::from_millis(320),
+            deadline: None,
+            jitter_pct: 0,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Disable recovery: timeouts surface immediately as the legacy
-    /// missing-message errors after the full receive timeout.
+    /// Disable recovery entirely: no NACKs are ever sent, so a missing
+    /// value is only discovered when the *full* machine receive timeout
+    /// ([`recv_timeout`] on the run options) expires, and it then
+    /// surfaces as the legacy `MissingMessage`/`MissingPacket` error
+    /// instead of `Unrecoverable`. [`RetryPolicy::deadline`] still
+    /// applies if set (it can only shorten the wait, never extend it);
+    /// [`RetryPolicy::jitter_pct`] is irrelevant because no backoff
+    /// cycle ever runs. This reproduces the pre-transport detect-only
+    /// semantics — use it when a lost message should fail fast and
+    /// loudly rather than be repaired.
+    ///
+    /// [`recv_timeout`]: crate::DistOptions::recv_timeout
     pub fn none() -> RetryPolicy {
         RetryPolicy {
             max_retries: 0,
@@ -279,8 +423,34 @@ impl RetryPolicy {
             max_retries: 6,
             nack_timeout: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(80),
+            ..RetryPolicy::default()
         }
     }
+
+    /// Set the total wall-clock deadline (builder form).
+    pub fn with_deadline(mut self, d: Duration) -> RetryPolicy {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the backoff jitter percentage (builder form; clamped to 100).
+    pub fn with_jitter(mut self, pct: u32) -> RetryPolicy {
+        self.jitter_pct = pct.min(100);
+        self
+    }
+}
+
+/// Deterministically jitter one backoff interval: scale by a factor in
+/// `[1 − pct/100, 1]` derived from a hash of `(peer, attempt)`. Pure —
+/// the same `(policy, peer, attempt)` always waits the same time, so
+/// seeded runs stay reproducible across transports and schedulers.
+pub(crate) fn jittered_backoff(backoff: Duration, pct: u32, peer: i64, attempt: u32) -> Duration {
+    if pct == 0 {
+        return backoff;
+    }
+    let u = unit_f64(fnv1a([peer as u64, attempt as u64]));
+    let frac = f64::from(pct.min(100)) / 100.0;
+    backoff.mul_f64(1.0 - frac * u)
 }
 
 /// What a packet classification decided.
@@ -427,7 +597,7 @@ pub(crate) enum AwaitFail {
 /// source), fault injection, and the completion map.
 pub(crate) struct Endpoint<'t, T: WirePayload> {
     p: i64,
-    txs: Vec<Sender<Frame<T>>>,
+    link: Box<dyn Transport<T> + Send + 't>,
     next_seq: Vec<u64>,
     retained: Vec<VecDeque<Packet<T>>>,
     recv_next: Vec<u64>,
@@ -442,21 +612,21 @@ pub(crate) struct Endpoint<'t, T: WirePayload> {
 }
 
 impl<'t, T: WirePayload> Endpoint<'t, T> {
-    /// Build the endpoint of node `p` over the per-node senders.
+    /// Build the endpoint of node `p` over any frame carrier.
     pub(crate) fn new(
         p: i64,
-        txs: Vec<Sender<Frame<T>>>,
+        link: Box<dyn Transport<T> + Send + 't>,
         faults: Option<FaultPlan>,
         tracer: &'t dyn Tracer,
     ) -> Endpoint<'t, T> {
-        let n = txs.len();
+        let n = link.peer_count();
         let mut done = vec![false; n];
         if let Some(d) = done.get_mut(p as usize) {
             *d = true; // a node never waits on itself
         }
         Endpoint {
             p,
-            txs,
+            link,
             next_seq: vec![0; n],
             retained: (0..n).map(|_| VecDeque::new()).collect(),
             recv_next: vec![0; n],
@@ -469,9 +639,30 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
         }
     }
 
+    /// Build the endpoint of node `p` over the in-process channel mesh
+    /// (the historical constructor shape).
+    pub(crate) fn in_proc(
+        p: i64,
+        txs: Vec<Sender<Frame<T>>>,
+        rx: Receiver<Frame<T>>,
+        faults: Option<FaultPlan>,
+        tracer: &'t dyn Tracer,
+    ) -> Endpoint<'t, T>
+    where
+        T: Send + 'static,
+    {
+        Endpoint::new(p, Box::new(ChannelTransport::new(txs, rx)), faults, tracer)
+    }
+
     /// Number of nodes on the interconnect (including this one).
     pub(crate) fn peer_count(&self) -> usize {
-        self.txs.len()
+        self.link.peer_count()
+    }
+
+    /// Discard every frame already queued toward this node (steady-state
+    /// purge barrier after a dirty run).
+    pub(crate) fn purge_link(&mut self) {
+        self.link.purge();
     }
 
     /// Return the endpoint to its just-constructed state for reuse by a
@@ -504,9 +695,9 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
         self.trace_on = trace_on;
     }
 
-    fn transmit(&self, dst: usize, pkt: Packet<T>) {
-        if let Some(tx) = self.txs.get(dst) {
-            let _ = tx.send(Frame::Data(pkt));
+    fn transmit(&mut self, dst: usize, pkt: Packet<T>) {
+        if dst < self.link.peer_count() {
+            self.link.send(dst, Frame::Data(pkt));
         }
     }
 
@@ -597,11 +788,12 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
     }
 
     fn ack(&mut self, src: usize, stats: &mut NodeStats) {
-        if let Some(tx) = self.txs.get(src) {
-            let _ = tx.send(Frame::Ack {
+        if src < self.link.peer_count() {
+            let frame = Frame::Ack {
                 from: self.p,
                 next_needed: self.recv_next[src],
-            });
+            };
+            self.link.send(src, frame);
             stats.acks_sent += 1;
             if self.trace_on {
                 self.tracer
@@ -613,14 +805,19 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
     /// Ask `peer` to retransmit everything this node has not yet seen.
     pub(crate) fn nack(&mut self, peer: i64, stats: &mut NodeStats) {
         let q = peer as usize;
-        if let (Some(tx), Some(&next)) = (self.txs.get(q), self.recv_next.get(q)) {
-            let _ = tx.send(Frame::Nack {
-                from: self.p,
-                next_needed: next,
-            });
-            stats.nacks_sent += 1;
-            if self.trace_on {
-                self.tracer.record(self.p, EventKind::Nack { peer });
+        if q < self.link.peer_count() {
+            if let Some(&next) = self.recv_next.get(q) {
+                self.link.send(
+                    q,
+                    Frame::Nack {
+                        from: self.p,
+                        next_needed: next,
+                    },
+                );
+                stats.nacks_sent += 1;
+                if self.trace_on {
+                    self.tracer.record(self.p, EventKind::Nack { peer });
+                }
             }
         }
     }
@@ -715,29 +912,18 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
     }
 
     /// Wait up to `slice` for one frame and service it.
-    pub(crate) fn poll(
-        &mut self,
-        rx: &Receiver<Frame<T>>,
-        slice: Duration,
-        stats: &mut NodeStats,
-    ) -> Step<T> {
-        match rx.recv_timeout(slice) {
-            Ok(frame) => self.service(frame, stats),
-            Err(RecvTimeoutError::Timeout) => Step::TimedOut,
-            Err(RecvTimeoutError::Disconnected) => {
-                // all senders gone — sleep out the slice instead of
-                // spinning, then let the caller's deadline logic decide
-                std::thread::sleep(slice);
-                Step::TimedOut
-            }
+    pub(crate) fn poll(&mut self, slice: Duration, stats: &mut NodeStats) -> Step<T> {
+        match self.link.recv(slice) {
+            Some(frame) => self.service(frame, stats),
+            None => Step::TimedOut,
         }
     }
 
     /// Broadcast that this node will never NACK again.
     pub(crate) fn announce_done(&mut self) {
-        for (q, tx) in self.txs.iter().enumerate() {
+        for q in 0..self.link.peer_count() {
             if q != self.p as usize {
-                let _ = tx.send(Frame::Done { from: self.p });
+                self.link.send(q, Frame::Done { from: self.p });
             }
         }
     }
@@ -746,7 +932,7 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
     /// announced completion or `cap` expires. Fresh data arriving here
     /// is acknowledged and discarded (stale retransmissions after this
     /// node already finished its update phase).
-    pub(crate) fn drain(&mut self, rx: &Receiver<Frame<T>>, cap: Duration, stats: &mut NodeStats) {
+    pub(crate) fn drain(&mut self, cap: Duration, stats: &mut NodeStats) {
         let deadline = Instant::now() + cap;
         while !self.done.iter().all(|d| *d) {
             let now = Instant::now();
@@ -756,7 +942,7 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
             let slice = deadline
                 .saturating_duration_since(now)
                 .min(Duration::from_millis(25));
-            let _ = self.poll(rx, slice, stats);
+            let _ = self.poll(slice, stats);
         }
     }
 }
@@ -771,7 +957,6 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn await_until<T: WirePayload, C, R>(
     ep: &mut Endpoint<'_, T>,
-    rx: &Receiver<Frame<T>>,
     peer: i64,
     recv_timeout: Duration,
     retry: RetryPolicy,
@@ -784,11 +969,14 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
         return r.map_err(AwaitFail::BadWire);
     }
     let start = Instant::now();
-    let deadline = start + recv_timeout;
+    // the per-flow deadline can only tighten the machine receive
+    // timeout, never extend it
+    let total = retry.deadline.map_or(recv_timeout, |d| d.min(recv_timeout));
+    let deadline = start + total;
     let mut retries = 0u32;
     let mut backoff = retry.nack_timeout;
     let mut next_nack = if retry.max_retries > 0 {
-        start + backoff
+        start + jittered_backoff(backoff, retry.jitter_pct, peer, 0)
     } else {
         deadline
     };
@@ -808,7 +996,7 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
             ep.nack(peer, stats);
             retries += 1;
             backoff = (backoff * 2).min(retry.backoff_cap);
-            next_nack = now + backoff;
+            next_nack = now + jittered_backoff(backoff, retry.jitter_pct, peer, retries);
             if ep.trace_on {
                 ep.tracer.record(ep.p, EventKind::Backoff { peer });
             }
@@ -817,7 +1005,7 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
             .min(deadline)
             .saturating_duration_since(now)
             .max(Duration::from_millis(1));
-        match ep.poll(rx, slice, stats) {
+        match ep.poll(slice, stats) {
             Step::Fresh { src, payload } => {
                 stage(ctx, src, payload).map_err(AwaitFail::BadWire)?;
                 if let Some(r) = ready(ctx) {
@@ -852,13 +1040,19 @@ mod tests {
         Receiver<Frame<f64>>,
     );
 
+    /// Two endpoints whose *outbound* frames land on the returned
+    /// receivers, so tests can inspect raw wire traffic and feed frames
+    /// to `service` by hand. (The endpoints' own inbound links are
+    /// sterile channels — these tests drive `service` directly.)
     fn pair() -> Pair {
         let (tx0, rx0) = channel();
         let (tx1, rx1) = channel();
         let txs = vec![tx0, tx1];
+        let (_, dead_rx0) = channel();
+        let (_, dead_rx1) = channel();
         (
-            Endpoint::new(0, txs.clone(), None, &NULL_TRACER),
-            Endpoint::new(1, txs, None, &NULL_TRACER),
+            Endpoint::in_proc(0, txs.clone(), dead_rx0, None, &NULL_TRACER),
+            Endpoint::in_proc(1, txs, dead_rx1, None, &NULL_TRACER),
             rx0,
             rx1,
         )
@@ -959,7 +1153,9 @@ mod tests {
         let plan = FaultPlan::drop_nth(0, 1);
         let (tx1, rx1) = channel();
         let (tx0, _rx0) = channel();
-        let mut a: Endpoint<'_, f64> = Endpoint::new(0, vec![tx0, tx1], Some(plan), &NULL_TRACER);
+        let (_, dead_rx) = channel();
+        let mut a: Endpoint<'_, f64> =
+            Endpoint::in_proc(0, vec![tx0, tx1], dead_rx, Some(plan), &NULL_TRACER);
         a.send(1, 1.0);
         a.send(1, 2.0); // dropped
         a.send(1, 3.0);
@@ -968,5 +1164,71 @@ mod tests {
             seqs.push(p.seq);
         }
         assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn fault_probabilities_are_clamped() {
+        let p = FaultPlan::seeded(1)
+            .with_drop(1.7)
+            .with_duplicate(-0.3)
+            .with_reorder(f64::NAN)
+            .with_corrupt(2e9)
+            .with_delay(-f64::INFINITY);
+        assert_eq!(p.drop, 1.0);
+        assert_eq!(p.duplicate, 0.0);
+        assert_eq!(p.reorder, 0.0);
+        assert_eq!(p.corrupt, 1.0);
+        assert_eq!(p.delay, 0.0);
+        // an in-range probability is untouched
+        assert_eq!(FaultPlan::seeded(1).with_drop(0.25).drop, 0.25);
+    }
+
+    #[test]
+    fn retry_deadline_caps_total_wait() {
+        // nothing ever arrives: with a 40 ms flow deadline the await
+        // must give up long before the 10 s machine receive timeout
+        let (_, dead_rx) = channel();
+        let (tx0, _rx0) = channel();
+        let (tx1, _rx1) = channel();
+        let mut ep: Endpoint<'_, f64> =
+            Endpoint::in_proc(1, vec![tx0, tx1], dead_rx, None, &NULL_TRACER);
+        let retry = RetryPolicy {
+            max_retries: 100,
+            nack_timeout: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(5),
+            deadline: Some(Duration::from_millis(40)),
+            jitter_pct: 0,
+        };
+        let mut stats = NodeStats::default();
+        let t0 = Instant::now();
+        let res: Result<(), AwaitFail> = await_until(
+            &mut ep,
+            0,
+            Duration::from_secs(10),
+            retry,
+            &mut stats,
+            &mut (),
+            |_| None,
+            |_, _, _| Ok(()),
+        );
+        let waited = t0.elapsed();
+        assert!(matches!(res, Err(AwaitFail::Exhausted { .. })));
+        assert!(
+            waited < Duration::from_secs(2),
+            "deadline ignored: waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(100);
+        for attempt in 0..8 {
+            let a = jittered_backoff(base, 50, 3, attempt);
+            let b = jittered_backoff(base, 50, 3, attempt);
+            assert_eq!(a, b, "jitter must be a pure function of (peer, attempt)");
+            assert!(a <= base && a >= base / 2, "jitter out of range: {a:?}");
+        }
+        // pct == 0 is exactly the unjittered interval
+        assert_eq!(jittered_backoff(base, 0, 3, 1), base);
     }
 }

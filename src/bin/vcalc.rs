@@ -40,8 +40,8 @@ use std::process::ExitCode;
 use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
 use vcal_suite::machine::{
-    replay_check, run_distributed, run_distributed_traced, CollectingTracer, DistArray,
-    DistOptions, DistSession, PerfModel, SimdPolicy,
+    replay_check, run_distributed, run_distributed_traced, worker_entry, CollectingTracer,
+    DistArray, DistOptions, DistSession, PerfModel, SimdPolicy, TransportKind,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -56,6 +56,7 @@ struct Options {
     node: i64,
     overlap: bool,
     simd: SimdPolicy,
+    transport: TransportKind,
     trace: bool,
     trace_out: Option<String>,
 }
@@ -63,7 +64,13 @@ struct Options {
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
      [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--overlap on|off] \
-     [--simd auto|on|off] [--trace] [--trace-out <path>]"
+     [--simd auto|on|off] [--transport inproc|uds|tcp] [--trace] [--trace-out <path>]\n\
+     \n\
+     --transport selects the execution backend: `inproc` (default) runs the\n\
+     nodes as threads over channels; `uds` and `tcp` run each node as a real\n\
+     worker OS process speaking the framed wire protocol over Unix-domain or\n\
+     loopback TCP sockets. Results are bit-identical on every backend.\n\
+     (vcalc worker <addr> <node> <pmax> is the internal worker entry point.)"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -76,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut node = 0i64;
     let mut overlap = true;
     let mut simd = SimdPolicy::default();
+    let mut transport = TransportKind::default();
     let mut trace = false;
     let mut trace_out = None;
     let mut it = args.iter();
@@ -119,6 +127,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .and_then(|v| SimdPolicy::parse(v))
                     .ok_or("--simd needs `auto`, `on` or `off`")?;
             }
+            "--transport" => {
+                transport = it
+                    .next()
+                    .and_then(|v| TransportKind::parse(v))
+                    .ok_or("--transport needs `inproc`, `uds` or `tcp`")?;
+            }
             "--trace" => trace = true,
             "--trace-out" => {
                 trace = true;
@@ -153,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         node,
         overlap,
         simd,
+        transport,
         trace,
         trace_out,
     })
@@ -160,6 +175,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // internal: `vcalc worker <addr> <node> <pmax>` is the entry point
+    // the socket backends spawn for each node process
+    if args.first().map(String::as_str) == Some("worker") {
+        return match worker_args(&args[1..])
+            .and_then(|(addr, node, pmax)| worker_entry(&addr, node, pmax))
+        {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("vcalc worker: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -174,6 +202,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn worker_args(rest: &[String]) -> Result<(String, i64, usize), String> {
+    if rest.len() != 3 {
+        return Err("usage: vcalc worker <addr> <node> <pmax>".into());
+    }
+    let node = rest[1]
+        .parse::<i64>()
+        .map_err(|_| "worker <node> must be an integer".to_string())?;
+    let pmax = rest[2]
+        .parse::<usize>()
+        .map_err(|_| "worker <pmax> must be a non-negative integer".to_string())?;
+    Ok((rest[0].clone(), node, pmax))
 }
 
 fn drive(opts: &Options) -> Result<(), String> {
@@ -285,6 +326,7 @@ fn run_timestep_loop(
         .with_options(DistOptions {
             overlap: opts.overlap,
             simd: opts.simd,
+            transport: opts.transport,
             ..DistOptions::default()
         });
     let (mut hits, mut misses) = (0u64, 0u64);
@@ -391,6 +433,7 @@ fn run_and_verify(
     let dist_opts = DistOptions {
         overlap: opts.overlap,
         simd: opts.simd,
+        transport: opts.transport,
         ..DistOptions::default()
     };
     let tracer = opts.trace.then(CollectingTracer::new);

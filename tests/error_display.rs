@@ -1,0 +1,176 @@
+//! Rendering contract for [`MachineError`]: every variant's `Display`
+//! output names the failing node and the failure mechanism, because
+//! these strings are what a `vcalc` user (or a CI log reader) gets when
+//! a distributed run dies. The suite also pins the `std::error::Error`
+//! integration — boxing, `source()` chains through wrapper errors —
+//! so typed machine errors compose with ordinary Rust error handling.
+
+use vcal_suite::machine::MachineError;
+
+/// Every variant, with representative payloads.
+fn all_variants() -> Vec<MachineError> {
+    vec![
+        MachineError::SequentialClause,
+        MachineError::UnknownArray("U".to_string()),
+        MachineError::MissingMessage {
+            node: 2,
+            array: "B".to_string(),
+            index: 17,
+        },
+        MachineError::MissingPacket {
+            node: 1,
+            peer: 3,
+            slot: 0,
+            run: 4,
+        },
+        MachineError::Unrecoverable {
+            node: 0,
+            peer: 2,
+            retries: 9,
+        },
+        MachineError::NodePanicked { node: 3 },
+        MachineError::PeerDisconnected { node: 1, peer: 0 },
+        MachineError::PlanMismatch("array `A` was redistributed".to_string()),
+        MachineError::Transport {
+            node: 2,
+            detail: "wire version 1 != host version 2".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn every_variant_renders_nonempty_and_distinct() {
+    let rendered: Vec<String> = all_variants().iter().map(|e| e.to_string()).collect();
+    for (e, s) in all_variants().iter().zip(&rendered) {
+        assert!(!s.is_empty(), "{e:?} renders empty");
+        assert!(
+            !s.contains("MachineError"),
+            "{e:?} leaks the type name into user output: {s}"
+        );
+    }
+    for i in 0..rendered.len() {
+        for j in (i + 1)..rendered.len() {
+            assert_ne!(rendered[i], rendered[j], "two variants render identically");
+        }
+    }
+}
+
+#[test]
+fn displays_name_the_failing_node_and_payload() {
+    let cases: Vec<(MachineError, Vec<&str>)> = vec![
+        (MachineError::SequentialClause, vec!["`//`"]),
+        (MachineError::UnknownArray("Vel".to_string()), vec!["`Vel`"]),
+        (
+            MachineError::MissingMessage {
+                node: 2,
+                array: "B".to_string(),
+                index: 17,
+            },
+            vec!["node 2", "B", "17", "lost"],
+        ),
+        (
+            MachineError::MissingPacket {
+                node: 1,
+                peer: 3,
+                slot: 5,
+                run: 4,
+            },
+            vec!["node 1", "peer 3", "slot 5", "run 4", "lost"],
+        ),
+        (
+            MachineError::Unrecoverable {
+                node: 0,
+                peer: 2,
+                retries: 9,
+            },
+            vec!["node 0", "peer 2", "9 retransmit"],
+        ),
+        (
+            MachineError::NodePanicked { node: 3 },
+            vec!["node 3", "panicked", "restored"],
+        ),
+        (
+            MachineError::PeerDisconnected { node: 1, peer: 0 },
+            vec!["node 1", "peer 0", "hung up"],
+        ),
+        (
+            MachineError::PlanMismatch("extent 7 != 9".to_string()),
+            vec!["mismatch", "extent 7 != 9"],
+        ),
+        (
+            MachineError::Transport {
+                node: 2,
+                detail: "wire version 1 != host version 2".to_string(),
+            },
+            vec!["node 2", "transport", "wire version 1 != host version 2"],
+        ),
+    ];
+    for (err, needles) in cases {
+        let s = err.to_string();
+        for needle in needles {
+            assert!(
+                s.contains(needle),
+                "{err:?} rendering {s:?} lacks {needle:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn transport_host_side_uses_sentinel_node() {
+    // the router itself reports node -1 (no worker to blame)
+    let s = MachineError::Transport {
+        node: -1,
+        detail: "chaos proxy bind failed".to_string(),
+    }
+    .to_string();
+    assert!(s.contains("node -1"), "host-side sentinel missing: {s}");
+}
+
+/// A wrapper in the style of an application error type, to pin the
+/// `source()` chain contract.
+#[derive(Debug)]
+struct StepFailed {
+    step: usize,
+    cause: MachineError,
+}
+
+impl std::fmt::Display for StepFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timestep {} failed", self.step)
+    }
+}
+
+impl std::error::Error for StepFailed {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+#[test]
+fn error_trait_boxes_and_chains() {
+    for err in all_variants() {
+        // a leaf error: no further source
+        assert!(
+            std::error::Error::source(&err).is_none(),
+            "{err:?} is a leaf"
+        );
+
+        // boxing preserves the rendering
+        let display = err.to_string();
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert_eq!(boxed.to_string(), display);
+    }
+
+    // a wrapped machine error is reachable (and typed) via source()
+    let wrapped = StepFailed {
+        step: 12,
+        cause: MachineError::NodePanicked { node: 1 },
+    };
+    let src = std::error::Error::source(&wrapped).expect("wrapper exposes a source");
+    let leaf = src
+        .downcast_ref::<MachineError>()
+        .expect("source downcasts back to MachineError");
+    assert_eq!(*leaf, MachineError::NodePanicked { node: 1 });
+    assert!(src.to_string().contains("node 1"));
+}

@@ -15,6 +15,10 @@
 //!
 //! The CI fault matrix runs this suite once per communication mode by
 //! setting `VCAL_FAULT_MODE=element|vectorized`; unset, both modes run.
+//! Orthogonally, `VCAL_TRANSPORT=inproc|uds|tcp` selects the transport
+//! backend, so the same sweep doubles as the real-wire regression
+//! harness: every property here must hold bit-for-bit when the nodes
+//! are worker OS processes behind a socket.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -24,7 +28,7 @@ use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexS
 use vcal_suite::decomp::{Decomp1, RedistPlan};
 use vcal_suite::machine::{
     run_distributed, run_redistribution_opts, CommMode, DistArray, DistOptions, ExecReport,
-    FaultPlan, MachineError, RetryPolicy,
+    FaultPlan, MachineError, RetryPolicy, TransportKind,
 };
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
@@ -43,6 +47,22 @@ fn modes() -> Vec<CommMode> {
         Ok("vectorized") => vec![CommMode::Vectorized],
         _ => vec![CommMode::Element, CommMode::Vectorized],
     }
+}
+
+/// Transport backend under test, honouring the CI matrix filter
+/// (`VCAL_TRANSPORT=inproc|uds|tcp`; unset means in-process). The
+/// socket backends spawn real worker processes from the prebuilt
+/// `vcalc` binary. Redistribution stays in-process regardless — only
+/// the 1-D clause machine has a wire backend.
+fn transport() -> TransportKind {
+    static WORKER_BIN: std::sync::Once = std::sync::Once::new();
+    let kind = match std::env::var("VCAL_TRANSPORT").as_deref() {
+        Ok("uds") => TransportKind::Uds,
+        Ok("tcp") => TransportKind::Tcp,
+        _ => return TransportKind::InProc,
+    };
+    WORKER_BIN.call_once(|| std::env::set_var("VCAL_WORKER_BIN", env!("CARGO_BIN_EXE_vcalc")));
+    kind
 }
 
 /// `A[i] := B[i+3] * 2 - 1` — A block-decomposed, B scattered, so almost
@@ -104,6 +124,7 @@ fn run_faulty(
         faults: Some(faults),
         mode,
         retry,
+        transport: transport(),
         ..DistOptions::default()
     };
     let res = run_distributed(plan, cl, &mut arrays, opts);

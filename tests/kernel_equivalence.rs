@@ -228,6 +228,7 @@ fn run_dist(
         },
         overlap,
         simd,
+        ..DistOptions::default()
     };
     run_distributed(&plan, cl, &mut arrays, opts).map_err(|e| e.to_string())?;
     Ok(arrays["A"].gather())

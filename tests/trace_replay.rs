@@ -20,7 +20,7 @@ use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexS
 use vcal_suite::decomp::Decomp1;
 use vcal_suite::machine::{
     replay_check, run_distributed_traced, CollectingTracer, CommMode, DistArray, DistOptions,
-    EventKind, FaultPlan, ReplayError, ReplaySummary, RetryPolicy, TraceLog,
+    EventKind, FaultPlan, ReplayError, ReplaySummary, RetryPolicy, TraceLog, TransportKind,
 };
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
@@ -31,6 +31,21 @@ fn modes() -> Vec<CommMode> {
         Ok("vectorized") => vec![CommMode::Vectorized],
         _ => vec![CommMode::Element, CommMode::Vectorized],
     }
+}
+
+/// Transport backend under test (`VCAL_TRANSPORT=inproc|uds|tcp`,
+/// unset means in-process): the trace/replay properties double as the
+/// cross-backend regression harness, since worker processes ship their
+/// buffered trace events back over the wire.
+fn transport() -> TransportKind {
+    static WORKER_BIN: std::sync::Once = std::sync::Once::new();
+    let kind = match std::env::var("VCAL_TRANSPORT").as_deref() {
+        Ok("uds") => TransportKind::Uds,
+        Ok("tcp") => TransportKind::Tcp,
+        _ => return TransportKind::InProc,
+    };
+    WORKER_BIN.call_once(|| std::env::set_var("VCAL_WORKER_BIN", env!("CARGO_BIN_EXE_vcalc")));
+    kind
 }
 
 /// Build `A[i] := B[g(i)] + 1` with A/B decomposed by `(dec_kind % 3)`.
@@ -94,6 +109,7 @@ fn traced_run(
         } else {
             RetryPolicy::default()
         },
+        transport: transport(),
         ..DistOptions::default()
     };
     let tracer = CollectingTracer::new();
@@ -209,6 +225,7 @@ fn overlap_log_has_runs_replays_and_is_deterministic() {
             recv_timeout: Duration::from_secs(10),
             mode,
             overlap: false,
+            transport: transport(),
             ..DistOptions::default()
         };
         let tracer = CollectingTracer::new();
