@@ -1105,6 +1105,18 @@ fn enc_event(e: &mut Enc, ev: &EventKind) {
             e.u8(18);
             e.i64(*peer);
         }
+        EventKind::DagReady { step } => {
+            e.u8(19);
+            e.us(*step);
+        }
+        EventKind::ClauseBegin { step } => {
+            e.u8(20);
+            e.us(*step);
+        }
+        EventKind::ClauseEnd { step } => {
+            e.u8(21);
+            e.us(*step);
+        }
     }
 }
 
@@ -1171,6 +1183,9 @@ fn dec_event(d: &mut Dec) -> R<EventKind> {
         16 => EventKind::DupDropped { src: d.i64()? },
         17 => EventKind::CorruptDetected { src: d.i64()? },
         18 => EventKind::Backoff { peer: d.i64()? },
+        19 => EventKind::DagReady { step: d.us()? },
+        20 => EventKind::ClauseBegin { step: d.us()? },
+        21 => EventKind::ClauseEnd { step: d.us()? },
         _ => return Err(bad("EventKind tag")),
     })
 }

@@ -852,24 +852,15 @@ fn node_phases(
         let mut pending: BTreeMap<(usize, i64), f64> = BTreeMap::new();
         let mut staging: Vec<Vec<Option<Vec<f64>>>> =
             cn.staging_runs.iter().map(|&n| vec![None; n]).collect();
+        let mut rcv = RecvCtx::Single {
+            pending: &mut pending,
+            staging: &mut staging,
+        };
         let mut vals = vec![0.0f64; node.resides.len()];
         let mut stack: Vec<f64> = Vec::with_capacity(kernel.stack_capacity());
         let res = exec_update_phase(
-            p,
-            locals,
-            node,
-            cn,
-            kernel,
-            rguard,
-            ep,
-            &mut pending,
-            &mut staging,
-            &mut vals,
-            &mut stack,
-            opts,
-            stats,
-            writes,
-            tracer,
+            p, locals, node, cn, kernel, rguard, ep, &mut rcv, &mut vals, &mut stack, opts, stats,
+            writes, tracer,
         );
         if let Some(t0) = update_t0 {
             tracer.timing(p, Phase::Update, t0.elapsed());
@@ -1052,8 +1043,7 @@ pub(crate) fn exec_update_phase(
     kernel: &CompiledKernel,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
-    pending: &mut BTreeMap<(usize, i64), f64>,
-    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    rcv: &mut RecvCtx<'_>,
     vals: &mut [f64],
     stack: &mut Vec<f64>,
     opts: &DistOptions,
@@ -1097,8 +1087,7 @@ pub(crate) fn exec_update_phase(
                     kernel,
                     rguard,
                     ep,
-                    pending,
-                    staging,
+                    rcv,
                     vals,
                     stack,
                     opts,
@@ -1120,8 +1109,7 @@ pub(crate) fn exec_update_phase(
                 kernel,
                 rguard,
                 ep,
-                pending,
-                staging,
+                rcv,
                 vals,
                 stack,
                 opts,
@@ -1216,8 +1204,7 @@ fn exec_one_run(
     kernel: &CompiledKernel,
     rguard: &RGuard,
     ep: &mut Endpoint<Wire>,
-    pending: &mut BTreeMap<(usize, i64), f64>,
-    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    rcv: &mut RecvCtx<'_>,
     vals: &mut [f64],
     stack: &mut Vec<f64>,
     opts: &DistOptions,
@@ -1413,11 +1400,11 @@ fn exec_one_run(
                                 SlotRef::Remote(owner) => {
                                     let res = match opts.mode {
                                         CommMode::Element => {
-                                            recv_element(ep, pending, slot, i, owner, opts, stats)
+                                            recv_element(ep, rcv, slot, i, owner, opts, stats)
                                         }
                                         CommMode::Vectorized => recv_packed(
                                             ep,
-                                            staging,
+                                            rcv,
                                             &cn.src_ord,
                                             &cn.src_peers,
                                             &cn.origin,
@@ -1527,6 +1514,144 @@ pub(crate) enum RecvFail {
     BadWire(&'static str),
 }
 
+/// One wave job's private receive buffers. Lanes are strictly per job:
+/// two jobs may await the same `(slot, i)` key from the same owner, so
+/// a shared map would overwrite one job's value and starve the other.
+pub(crate) struct JobLane {
+    /// source processor id → ordinal in this job's recv pair list
+    /// (`usize::MAX` when the source owes this job nothing).
+    pub src_ord: Vec<usize>,
+    /// element-mode arrivals keyed `(slot, i)`.
+    pub pending: BTreeMap<(usize, i64), f64>,
+    /// vectorized-mode packet staging, `[source ordinal][run]`.
+    pub staging: Vec<Vec<Option<Vec<f64>>>>,
+}
+
+/// Wave-mode receive router. A wave is ONE transport run: every job's
+/// frames share the per-source sequence space back-to-back, and frames
+/// may surface out of order (reorder faults), so arrival counting is
+/// unsound. Senders assign dense per-flow seqnos in job-ordinal send
+/// order, which makes plan-derived cumulative frame counts an exact
+/// demultiplexer: the frame with sequence number `s` from source `src`
+/// belongs to the unique job `j` with `cuts[src][j] <= s <
+/// cuts[src][j+1]`, regardless of delivery order.
+pub(crate) struct WaveRecv {
+    /// ordinal of the job currently executing on this node.
+    pub cur: usize,
+    /// per-job receive buffers.
+    pub lanes: Vec<JobLane>,
+    /// `cuts[src][j]` = total data frames `src` sends this node across
+    /// jobs `0..j` (length `jobs + 1`, `cuts[src][0] == 0`).
+    pub cuts: Vec<Vec<u64>>,
+}
+
+impl WaveRecv {
+    /// The job owning sequence number `seq` of flow `src → self`.
+    fn lane_of(&self, src: i64, seq: u64) -> Result<usize, &'static str> {
+        let col = self
+            .cuts
+            .get(usize::try_from(src).map_err(|_| "frame from unknown source")?)
+            .ok_or("frame from unknown source")?;
+        let j = col.partition_point(|&c| c <= seq);
+        if j == 0 || j > self.lanes.len() {
+            return Err("data frame outside the wave's planned windows");
+        }
+        Ok(j - 1)
+    }
+}
+
+/// Receive-side context threaded through the update phase: either the
+/// classic single-clause buffers or a wave router with per-job lanes.
+pub(crate) enum RecvCtx<'a> {
+    /// One clause, one transport run — the pre-wave layout.
+    Single {
+        /// element-mode arrivals keyed `(slot, i)`.
+        pending: &'a mut BTreeMap<(usize, i64), f64>,
+        /// vectorized-mode packet staging, `[source ordinal][run]`.
+        staging: &'a mut Vec<Vec<Option<Vec<f64>>>>,
+    },
+    /// Many jobs sharing one transport run.
+    Wave(&'a mut WaveRecv),
+}
+
+impl RecvCtx<'_> {
+    /// The pending map the currently executing job reads from.
+    fn cur_pending(&mut self) -> &mut BTreeMap<(usize, i64), f64> {
+        match self {
+            RecvCtx::Single { pending, .. } => pending,
+            RecvCtx::Wave(w) => &mut w.lanes[w.cur].pending,
+        }
+    }
+
+    /// The staging rows the currently executing job reads from.
+    fn cur_staging(&mut self) -> &mut Vec<Vec<Option<Vec<f64>>>> {
+        match self {
+            RecvCtx::Single { staging, .. } => staging,
+            RecvCtx::Wave(w) => &mut w.lanes[w.cur].staging,
+        }
+    }
+
+    /// Stage one element-mode arrival into its owning job's lane.
+    fn stage_elem(&mut self, src: i64, seq: u64, m: Msg) -> Result<(), &'static str> {
+        match self {
+            RecvCtx::Single { pending, .. } => {
+                pending.insert((m.slot, m.i), m.value);
+                Ok(())
+            }
+            RecvCtx::Wave(w) => {
+                let lane = w.lane_of(src, seq)?;
+                w.lanes[lane].pending.insert((m.slot, m.i), m.value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stage one packet into its owning job's staging row. `src_ord` is
+    /// the *current* job's source table, used only in single mode; a
+    /// wave routes with the owning lane's own table (jobs generally
+    /// disagree about source ordinals).
+    fn stage_pack(
+        &mut self,
+        src: i64,
+        seq: u64,
+        run_ord: usize,
+        values: Vec<f64>,
+        src_ord: &[usize],
+    ) -> Result<(), &'static str> {
+        let (ord, row_staging) = match self {
+            RecvCtx::Single { staging, .. } => {
+                let ord = src_ord
+                    .get(usize::try_from(src).map_err(|_| "packet from unplanned source")?)
+                    .copied()
+                    .filter(|&o| o != usize::MAX)
+                    .ok_or("packet from unplanned source")?;
+                (ord, staging.as_mut_slice())
+            }
+            RecvCtx::Wave(w) => {
+                let lane = w.lane_of(src, seq)?;
+                let l = &mut w.lanes[lane];
+                let ord = l
+                    .src_ord
+                    .get(usize::try_from(src).map_err(|_| "packet from unplanned source")?)
+                    .copied()
+                    .filter(|&o| o != usize::MAX)
+                    .ok_or("packet from unplanned source")?;
+                (ord, &mut l.staging[..])
+            }
+        };
+        let row = row_staging
+            .get_mut(ord)
+            .ok_or("packet from unplanned source")?;
+        let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
+        if cell.is_none() {
+            // first arrival wins; retransmitted duplicates carry
+            // identical payloads
+            *cell = Some(values);
+        }
+        Ok(())
+    }
+}
+
 /// Per-node receive-side state, by mode.
 enum RecvState {
     /// Element mode: out-of-order arrivals buffered in an ordered map
@@ -1597,14 +1722,26 @@ impl RecvState {
     ) -> Result<f64, RecvFail> {
         match self {
             RecvState::Element { pending } => {
-                recv_element(ep, pending, slot, i, owner, opts, stats)
+                let mut staging = Vec::new();
+                let mut rcv = RecvCtx::Single {
+                    pending,
+                    staging: &mut staging,
+                };
+                recv_element(ep, &mut rcv, slot, i, owner, opts, stats)
             }
             RecvState::Packed {
                 src_ord,
                 peers,
                 staging,
                 origin,
-            } => recv_packed(ep, staging, src_ord, peers, origin, slot, i, opts, stats),
+            } => {
+                let mut pending = BTreeMap::new();
+                let mut rcv = RecvCtx::Single {
+                    pending: &mut pending,
+                    staging,
+                };
+                recv_packed(ep, &mut rcv, src_ord, peers, origin, slot, i, opts, stats)
+            }
         }
     }
 }
@@ -1616,7 +1753,7 @@ impl RecvState {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recv_element(
     ep: &mut Endpoint<Wire>,
-    pending: &mut BTreeMap<(usize, i64), f64>,
+    rcv: &mut RecvCtx<'_>,
     slot: usize,
     i: i64,
     owner: i64,
@@ -1629,13 +1766,10 @@ pub(crate) fn recv_element(
         opts.recv_timeout,
         opts.retry,
         stats,
-        pending,
-        |pending| pending.remove(&(slot, i)).map(Ok),
-        |pending, _src, wire| match wire {
-            Wire::Elem(m) => {
-                pending.insert((m.slot, m.i), m.value);
-                Ok(())
-            }
+        rcv,
+        |rcv| rcv.cur_pending().remove(&(slot, i)).map(Ok),
+        |rcv, src, seq, wire| match wire {
+            Wire::Elem(m) => rcv.stage_elem(src, seq, m),
             Wire::Pack { .. } => Err("vector packet in element mode"),
         },
     )
@@ -1657,7 +1791,7 @@ pub(crate) fn recv_element(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recv_packed(
     ep: &mut Endpoint<Wire>,
-    staging: &mut Vec<Vec<Option<Vec<f64>>>>,
+    rcv: &mut RecvCtx<'_>,
     src_ord: &[usize],
     peers: &[i64],
     origin: &BTreeMap<(usize, i64), (usize, usize, usize)>,
@@ -1673,35 +1807,26 @@ pub(crate) fn recv_packed(
         .get(so)
         .copied()
         .ok_or(RecvFail::BadWire("source ordinal out of range"))?;
-    let mut ctx = (staging, src_ord);
     await_until(
         ep,
         peer,
         opts.recv_timeout,
         opts.retry,
         stats,
-        &mut ctx,
-        |(staging, _)| {
-            staging[so][ro].as_ref().map(|vals| {
-                vals.get(off)
-                    .copied()
-                    .ok_or("packet shorter than its planned run")
-            })
+        rcv,
+        |rcv| {
+            rcv.cur_staging()
+                .get(so)
+                .and_then(|row| row.get(ro))
+                .and_then(Option::as_ref)
+                .map(|vals| {
+                    vals.get(off)
+                        .copied()
+                        .ok_or("packet shorter than its planned run")
+                })
         },
-        |(staging, src_ord), src, wire| match wire {
-            Wire::Pack { run_ord, values } => {
-                let ord = src_ord
-                    .get(src as usize)
-                    .copied()
-                    .filter(|&o| o != usize::MAX)
-                    .ok_or("packet from unplanned source")?;
-                let row = staging.get_mut(ord).ok_or("packet from unplanned source")?;
-                let cell = row.get_mut(run_ord).ok_or("packet run tag out of range")?;
-                if cell.is_none() {
-                    *cell = Some(values);
-                }
-                Ok(())
-            }
+        |rcv, src, seq, wire| match wire {
+            Wire::Pack { run_ord, values } => rcv.stage_pack(src, seq, run_ord, values, src_ord),
             Wire::Elem(_) => Err("element message in vectorized mode"),
         },
     )

@@ -716,7 +716,7 @@ impl RecvStateNd {
                 stats,
                 pending,
                 |pending| pending.remove(&(slot, *i)).map(Ok),
-                |pending, _src, wire| match wire {
+                |pending, _src, _seq, wire| match wire {
                     Wire::Elem(m) => {
                         pending.insert((m.slot, m.i), m.value);
                         Ok(())
@@ -751,7 +751,7 @@ impl RecvStateNd {
                                 .ok_or("packet shorter than its planned run")
                         })
                     },
-                    |staging, s, wire| match wire {
+                    |staging, s, _seq, wire| match wire {
                         Wire::Pack { run_ord, values } => {
                             let row = staging
                                 .get_mut(s as usize)

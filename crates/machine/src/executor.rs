@@ -35,8 +35,9 @@
 use crate::darray::DistArray;
 use crate::distributed::{
     disassemble, eval_rexpr, exec_update_phase, finalize_run, recv_element, recv_packed,
-    resolve_expr, resolve_guard, send_phase_element_compiled, CommMode, DistOptions, Msg,
-    NodeOutcome, RExpr, RGuard, RecvFail, Wire, WriteOp, ELEM_MSG_BYTES, PACK_HEADER_BYTES,
+    resolve_expr, resolve_guard, send_phase_element_compiled, CommMode, DistOptions, JobLane, Msg,
+    NodeOutcome, RExpr, RGuard, RecvCtx, RecvFail, WaveRecv, Wire, WriteOp, ELEM_MSG_BYTES,
+    PACK_HEADER_BYTES,
 };
 use crate::error::MachineError;
 use crate::obs::{trace_plan, EventKind, Phase, Tracer};
@@ -171,14 +172,36 @@ struct Job {
     locals: BTreeMap<String, Vec<f64>>,
 }
 
+/// Shared context of one wave: the jobs of a DAG schedule wave in
+/// program-ordinal order. A wave is ONE transport run — sequence
+/// numbers run continuously across jobs, which is what makes the
+/// plan-derived seq-window demultiplexing of [`WaveRecv`] exact (a
+/// per-job endpoint reset would replay seqnos from 0 and a fast peer's
+/// frames would be dropped as duplicates by a not-yet-reset slow peer).
+struct WaveCtx {
+    jobs: Vec<Arc<PreparedPlan>>,
+    opts: DistOptions,
+    trace_on: bool,
+    handshake: bool,
+}
+
+/// One dispatched wave for one worker: per-job local memories (each
+/// restricted to that job's referenced arrays) cloned from the host's
+/// master parts.
+struct WaveJob {
+    ctx: Arc<WaveCtx>,
+    locals: Vec<BTreeMap<String, Vec<f64>>>,
+}
+
 /// Host-to-worker control stream. A run is a two-step handshake:
-/// `Job` (reset, purge stale frames, report [`WorkerMsg::Ready`]) then
-/// `Go` (start sending). The barrier exists because the stale-frame
-/// purge must finish on *every* worker before *any* worker may put new
-/// frames on the wire — a fast peer could otherwise have its fresh
-/// frames eaten by a slow peer's purge.
+/// `Job`/`Wave` (reset, purge stale frames, report
+/// [`WorkerMsg::Ready`]) then `Go` (start sending). The barrier exists
+/// because the stale-frame purge must finish on *every* worker before
+/// *any* worker may put new frames on the wire — a fast peer could
+/// otherwise have its fresh frames eaten by a slow peer's purge.
 enum Cmd {
     Job(Job),
+    Wave(WaveJob),
     Go,
 }
 
@@ -189,11 +212,33 @@ struct Reply {
     timings: Vec<(i64, Phase, Duration)>,
 }
 
-/// Worker-to-host stream: `Ready` answers `Cmd::Job`, `Done` answers
-/// `Cmd::Go`.
+/// One job's share of a wave reply. Writes stay ordinal-keyed (the
+/// position in [`WaveReply::jobs`] is the job's wave ordinal) so the
+/// host can stage commits in strict program order.
+struct JobReply {
+    writes: Vec<WriteOp>,
+    stats: NodeStats,
+    sent_to: Vec<u64>,
+    res: Result<(), MachineError>,
+    events: Vec<(i64, EventKind)>,
+    timings: Vec<(i64, Phase, Duration)>,
+}
+
+/// What a worker ships back after a wave: one [`JobReply`] per job in
+/// wave order, plus the wave-level drain trace (recorded once — the
+/// drain belongs to the transport run, not to any one job).
+struct WaveReply {
+    jobs: Vec<JobReply>,
+    drain_events: Vec<(i64, EventKind)>,
+    drain_timings: Vec<(i64, Phase, Duration)>,
+}
+
+/// Worker-to-host stream: `Ready` answers `Cmd::Job`/`Cmd::Wave`,
+/// `Done`/`WaveDone` answer `Cmd::Go`.
 enum WorkerMsg {
     Ready,
     Done(Box<Reply>),
+    WaveDone(Box<WaveReply>),
 }
 
 #[derive(Default)]
@@ -447,7 +492,7 @@ impl DistExecutor {
                     results.push(reply.outcome);
                     buffered.push((reply.events, reply.timings));
                 }
-                Ok(WorkerMsg::Ready) | Err(_) => {
+                Ok(WorkerMsg::Ready | WorkerMsg::WaveDone(_)) | Err(_) => {
                     // the thread died without replying (or broke the
                     // handshake): retire it and rebuild lazily next run
                     self.broken = true;
@@ -480,6 +525,501 @@ impl DistExecutor {
             arrays,
             tracer,
         )
+    }
+
+    /// Execute one DAG-schedule wave — a set of pairwise-independent
+    /// jobs, in program-ordinal order — concurrently on the pool.
+    ///
+    /// Every job reads a snapshot of the pre-wave arrays (independence
+    /// guarantees each job's inputs equal its strict-sequential inputs)
+    /// and its writes are staged ordinal-keyed; the host commits them
+    /// job-by-job in program order, so the post-wave arrays are bitwise
+    /// identical to running the jobs strictly sequentially. The whole
+    /// wave is all-or-nothing: any job failing on any node rolls the
+    /// wave back to pre-wave state and reports the root-cause error.
+    ///
+    /// Returns one [`ExecReport`] per job, in wave order.
+    pub fn run_wave(
+        &mut self,
+        jobs: &[Arc<PreparedPlan>],
+        arrays: &mut BTreeMap<String, DistArray>,
+        opts: DistOptions,
+        tracer: &dyn Tracer,
+    ) -> Result<Vec<ExecReport>, MachineError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for prepared in jobs {
+            if prepared.plan.pmax.max(0) as usize != self.pmax {
+                return Err(MachineError::PlanMismatch(format!(
+                    "prepared plan spans {} processors, pool has {}",
+                    prepared.plan.pmax, self.pmax
+                )));
+            }
+        }
+        if self.broken {
+            self.rebuild();
+        }
+        // union of referenced arrays + their captured decompositions;
+        // every plan must still match the live images
+        let mut referenced: Vec<String> = Vec::new();
+        let mut decomps: BTreeMap<String, Decomp1> = BTreeMap::new();
+        for prepared in jobs {
+            for name in &prepared.referenced {
+                let da = arrays
+                    .get(name)
+                    .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+                if da.decomp() != &prepared.decomps[name] {
+                    return Err(MachineError::PlanMismatch(format!(
+                        "array `{name}` was redistributed since the plan was prepared"
+                    )));
+                }
+                if !referenced.contains(name) {
+                    referenced.push(name.clone());
+                    decomps.insert(name.clone(), prepared.decomps[name].clone());
+                }
+            }
+            trace_plan(tracer, &prepared.plan);
+        }
+        let pmax = jobs[0].plan.pmax;
+        let mut master = disassemble(arrays, &referenced, pmax)?;
+        let trace_on = tracer.enabled();
+        let handshake = self.dirty;
+        let ctx = Arc::new(WaveCtx {
+            jobs: jobs.to_vec(),
+            opts,
+            trace_on,
+            handshake,
+        });
+        let mut running = vec![false; self.pmax];
+        for (p, w) in self.workers.iter().enumerate() {
+            // per-job snapshots of this node's master parts, restricted
+            // to each job's referenced arrays
+            let locals: Vec<BTreeMap<String, Vec<f64>>> = jobs
+                .iter()
+                .map(|job| {
+                    job.referenced
+                        .iter()
+                        .map(|name| {
+                            (
+                                name.clone(),
+                                master[p].get(name).cloned().unwrap_or_default(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let sent = w
+                .job_tx
+                .send(Cmd::Wave(WaveJob {
+                    ctx: Arc::clone(&ctx),
+                    locals,
+                }))
+                .is_ok();
+            running[p] = sent;
+            if !sent {
+                self.broken = true;
+            }
+        }
+        if handshake {
+            for (p, w) in self.workers.iter().enumerate() {
+                if running[p] && !matches!(w.reply_rx.recv(), Ok(WorkerMsg::Ready)) {
+                    self.broken = true;
+                    running[p] = false;
+                }
+            }
+            for (p, w) in self.workers.iter().enumerate() {
+                if running[p] && w.job_tx.send(Cmd::Go).is_err() {
+                    self.broken = true;
+                    running[p] = false;
+                }
+            }
+        }
+        let mut replies: Vec<Option<Box<WaveReply>>> = Vec::with_capacity(self.pmax);
+        for (p, w) in self.workers.iter().enumerate() {
+            if !running[p] {
+                replies.push(None);
+                continue;
+            }
+            match w.reply_rx.recv() {
+                Ok(WorkerMsg::WaveDone(reply)) => replies.push(Some(reply)),
+                Ok(WorkerMsg::Ready | WorkerMsg::Done(_)) | Err(_) => {
+                    self.broken = true;
+                    replies.push(None);
+                }
+            }
+        }
+        self.dirty = opts.faults.is_some()
+            || replies.iter().any(|r| match r {
+                None => true,
+                Some(wr) => wr.jobs.iter().any(|j| j.res.is_err()),
+            });
+        if trace_on {
+            // replies arrive in node order; within a node, job streams
+            // in wave order then the drain span — exactly the order a
+            // sequence of single runs would have recorded per node
+            for reply in replies.iter_mut().flatten() {
+                for jr in &mut reply.jobs {
+                    for (n, k) in jr.events.drain(..) {
+                        tracer.record(n, k);
+                    }
+                    for (n, ph, d) in jr.timings.drain(..) {
+                        tracer.timing(n, ph, d);
+                    }
+                }
+                for (n, k) in reply.drain_events.drain(..) {
+                    tracer.record(n, k);
+                }
+                for (n, ph, d) in reply.drain_timings.drain(..) {
+                    tracer.timing(n, ph, d);
+                }
+            }
+        }
+        finalize_wave(
+            jobs,
+            &referenced,
+            &decomps,
+            &mut master,
+            replies,
+            arrays,
+            tracer,
+        )
+    }
+}
+
+/// Host-side tail of a wave (the wave analogue of
+/// [`finalize_run`]): pick the root-cause error across all jobs ×
+/// nodes, validate *every* job's writes before committing *any*
+/// (all-or-nothing for the whole wave), commit job-by-job in
+/// program-ordinal order into the master parts, and reassemble — on
+/// error from the untouched parts, restoring pre-wave state.
+fn finalize_wave(
+    jobs: &[Arc<PreparedPlan>],
+    referenced: &[String],
+    decomps: &BTreeMap<String, Decomp1>,
+    master: &mut [BTreeMap<String, Vec<f64>>],
+    mut replies: Vec<Option<Box<WaveReply>>>,
+    arrays: &mut BTreeMap<String, DistArray>,
+    tracer: &dyn Tracer,
+) -> Result<Vec<ExecReport>, MachineError> {
+    let commit_t0 = tracer.enabled().then(std::time::Instant::now);
+    let root_cause = |e: &MachineError| {
+        matches!(
+            e,
+            MachineError::NodePanicked { .. } | MachineError::Transport { .. }
+        )
+    };
+    let mut first_err: Option<MachineError> = None;
+    {
+        let mut consider = |e: &MachineError| match &first_err {
+            None => first_err = Some(e.clone()),
+            Some(have) if !root_cause(have) && root_cause(e) => first_err = Some(e.clone()),
+            Some(_) => {}
+        };
+        for (p, r) in replies.iter().enumerate() {
+            match r {
+                None => consider(&MachineError::NodePanicked { node: p as i64 }),
+                Some(wr) => {
+                    if wr.jobs.len() != jobs.len() {
+                        consider(&MachineError::PlanMismatch(format!(
+                            "node {p} replied with {} job results for a {}-job wave",
+                            wr.jobs.len(),
+                            jobs.len()
+                        )));
+                        continue;
+                    }
+                    for jr in &wr.jobs {
+                        if let Err(e) = &jr.res {
+                            consider(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // validate every write of every job before committing any
+    if first_err.is_none() {
+        'validate: for (j, job) in jobs.iter().enumerate() {
+            let lhs = &job.plan.lhs_array;
+            for (p, r) in replies.iter().enumerate() {
+                let Some(wr) = r else { continue };
+                let len = master[p].get(lhs).map_or(0, Vec::len);
+                for w in &wr.jobs[j].writes {
+                    let bad = match w {
+                        WriteOp::El(off, _) => (*off >= len).then_some((*off, 1usize)),
+                        WriteOp::Dense { base, values } => {
+                            (base + values.len() > len).then_some((*base, values.len()))
+                        }
+                    };
+                    if let Some((off, span)) = bad {
+                        first_err = Some(MachineError::PlanMismatch(format!(
+                            "write span [{off}, {}) outside node {p}'s local part (len {len})",
+                            off + span
+                        )));
+                        break 'validate;
+                    }
+                }
+            }
+        }
+    }
+    let commit = first_err.is_none();
+
+    // commit staging is ordinal-keyed: job j's writes land before job
+    // j+1's, so the final image equals strict sequential execution even
+    // if two jobs wrote the same element (the DAG builder never
+    // schedules such jobs in one wave; this is defense in depth)
+    if commit {
+        for (j, job) in jobs.iter().enumerate() {
+            let lhs = &job.plan.lhs_array;
+            for (p, r) in replies.iter_mut().enumerate() {
+                let Some(wr) = r else { continue };
+                let Some(part) = master[p].get_mut(lhs) else {
+                    continue;
+                };
+                for w in std::mem::take(&mut wr.jobs[j].writes) {
+                    match w {
+                        WriteOp::El(off, v) => part[off] = v, // validated above
+                        WriteOp::Dense { base, values } => {
+                            part[base..base + values.len()].copy_from_slice(&values)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // reassemble (on error: the parts were never touched → pre-wave)
+    for name in referenced {
+        let parts: Vec<Vec<f64>> = master
+            .iter_mut()
+            .map(|m| m.remove(name).unwrap_or_default())
+            .collect();
+        arrays.insert(
+            name.clone(),
+            DistArray::from_parts(decomps[name].clone(), parts),
+        );
+    }
+
+    let mut reports = Vec::with_capacity(jobs.len());
+    for j in 0..jobs.len() {
+        let mut report = ExecReport::default();
+        for r in &replies {
+            match r {
+                Some(wr) => {
+                    report.nodes.push(wr.jobs[j].stats);
+                    report.traffic.push(wr.jobs[j].sent_to.clone());
+                }
+                None => {
+                    report.nodes.push(NodeStats::default());
+                    report.traffic.push(vec![0u64; replies.len()]);
+                }
+            }
+        }
+        reports.push(report);
+    }
+    if let Some(t0) = commit_t0 {
+        tracer.timing(crate::obs::HOST, Phase::Commit, t0.elapsed());
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(reports),
+    }
+}
+
+/// The worker-side body of one wave: per-job lanes and seq windows
+/// derived from the jobs' plans, then two passes — every job's send
+/// phase first (pre-posting all boundary frames), then every job's
+/// update phase in wave order — and one `Done` + drain for the whole
+/// wave. Pre-posting means an update's receives almost never block on
+/// a peer still parked in an earlier job, which matters most on an
+/// oversubscribed host. After any job fails, the remaining jobs on
+/// this node are skipped (their results carry the first failure) and
+/// the wave aborts all-or-nothing.
+fn wave_worker_body(
+    p: i64,
+    ep: &mut Endpoint<Wire>,
+    scratch: &mut Scratch,
+    buf: &BufTracer,
+    ctx: &WaveCtx,
+    locals: Vec<BTreeMap<String, Vec<f64>>>,
+) -> WaveReply {
+    let pu = p as usize;
+    let pmax = ep.peer_count();
+    let lanes: Vec<JobLane> = ctx
+        .jobs
+        .iter()
+        .map(|job| {
+            let cn = &job.compiled.nodes[pu];
+            JobLane {
+                src_ord: cn.src_ord.clone(),
+                pending: BTreeMap::new(),
+                staging: cn.staging_runs.iter().map(|&n| vec![None; n]).collect(),
+            }
+        })
+        .collect();
+    // cumulative planned data frames per source: element mode sends one
+    // frame per element, vectorized one per planned run — mirrored
+    // exactly by the sender's send phase, which walks the same pair
+    // sets in the same order
+    let mut cuts: Vec<Vec<u64>> = vec![vec![0]; pmax];
+    for job in &ctx.jobs {
+        let node = &job.plan.nodes[pu];
+        let mut from = vec![0u64; pmax];
+        for pair in &node.comm.recvs {
+            let frames = match ctx.opts.mode {
+                CommMode::Element => pair.runs.iter().map(|r| r.count.max(0) as u64).sum::<u64>(),
+                CommMode::Vectorized => pair.runs.len() as u64,
+            };
+            if let Ok(src) = usize::try_from(pair.peer) {
+                if src < pmax {
+                    from[src] += frames;
+                }
+            }
+        }
+        for (src, col) in cuts.iter_mut().enumerate() {
+            let last = col.last().copied().unwrap_or(0);
+            col.push(last + from[src]);
+        }
+    }
+    let mut wr = WaveRecv {
+        cur: 0,
+        lanes,
+        cuts,
+    };
+    let njobs = ctx.jobs.len();
+    let mut jobs_out: Vec<JobReply> = Vec::with_capacity(njobs);
+    let mut first_fail: Option<MachineError> = None;
+    let mut panicked = false;
+    let mut locals = locals;
+    let mut stats_v = vec![NodeStats::default(); njobs];
+    let mut sent_v = vec![vec![0u64; pmax]; njobs];
+    let mut send_buf: Vec<BufInner> = Vec::with_capacity(njobs);
+    // pass 1 — post *every* job's boundary sends before any update
+    // phase blocks on a receive: on an oversubscribed host this turns
+    // k send→recv thread handoffs into one wave-wide exchange. The
+    // per-source seq-window cuts route early frames to the right job
+    // lane, so arrival before the consuming job starts is fine.
+    for (j, (prepared, job_locals)) in ctx.jobs.iter().zip(locals.iter_mut()).enumerate() {
+        let res = if first_fail.is_some() {
+            Ok(())
+        } else {
+            let stats = &mut stats_v[j];
+            let sent_to = &mut sent_v[j];
+            let phases = catch_unwind(AssertUnwindSafe(|| {
+                warm_phases(
+                    p,
+                    job_locals,
+                    prepared,
+                    &ctx.opts,
+                    ep,
+                    scratch,
+                    None,
+                    stats,
+                    sent_to,
+                    buf,
+                    PhaseSpan::SendOnly,
+                )
+            }));
+            match phases {
+                Ok(r) => r,
+                Err(_) => {
+                    panicked = true;
+                    Err(MachineError::NodePanicked { node: p })
+                }
+            }
+        };
+        if let Err(e) = res {
+            if first_fail.is_none() {
+                first_fail = Some(e);
+            }
+        }
+        send_buf.push(buf.take());
+    }
+    // pass 2 — run each job's update phase in wave order, consuming
+    // through its lane. Buffered per-job events replay host-side as
+    // send-then-update per job, so the canonical trace is identical to
+    // the interleaved schedule's.
+    for (j, (prepared, job_locals)) in ctx.jobs.iter().zip(locals.iter_mut()).enumerate() {
+        wr.cur = j;
+        reset_scratch(scratch, prepared, p);
+        let mut stats = std::mem::take(&mut stats_v[j]);
+        let sent_to = std::mem::take(&mut sent_v[j]);
+        let res = match &first_fail {
+            Some(e) => Err(e.clone()),
+            None => {
+                let phases = catch_unwind(AssertUnwindSafe(|| {
+                    warm_phases(
+                        p,
+                        job_locals,
+                        prepared,
+                        &ctx.opts,
+                        ep,
+                        scratch,
+                        Some(&mut wr),
+                        &mut stats,
+                        &mut [],
+                        buf,
+                        PhaseSpan::UpdateOnly,
+                    )
+                }));
+                match phases {
+                    Ok(r) => r,
+                    Err(_) => {
+                        panicked = true;
+                        Err(MachineError::NodePanicked { node: p })
+                    }
+                }
+            }
+        };
+        if res.is_err() {
+            scratch.writes.clear();
+            if first_fail.is_none() {
+                first_fail = res.as_ref().err().cloned();
+            }
+        }
+        let BufInner {
+            mut events,
+            mut timings,
+        } = std::mem::take(&mut send_buf[j]);
+        let BufInner {
+            events: up_events,
+            timings: up_timings,
+        } = buf.take();
+        events.extend(up_events);
+        timings.extend(up_timings);
+        jobs_out.push(JobReply {
+            writes: std::mem::take(&mut scratch.writes),
+            stats,
+            sent_to,
+            res,
+            events,
+            timings,
+        });
+    }
+    ep.announce_done();
+    if !panicked {
+        // drain stats land on the wave's last job, mirroring how a solo
+        // run charges its own drain
+        let mut fallback = NodeStats::default();
+        let dstats = jobs_out
+            .last_mut()
+            .map_or(&mut fallback, |last| &mut last.stats);
+        if ctx.trace_on {
+            buf.record(p, EventKind::PhaseStart(Phase::Drain));
+            let t0 = std::time::Instant::now();
+            ep.drain(ctx.opts.recv_timeout, dstats);
+            buf.timing(p, Phase::Drain, t0.elapsed());
+            buf.record(p, EventKind::PhaseEnd(Phase::Drain));
+        } else {
+            ep.drain(ctx.opts.recv_timeout, dstats);
+        }
+    }
+    let BufInner { events, timings } = buf.take();
+    WaveReply {
+        jobs: jobs_out,
+        drain_events: events,
+        drain_timings: timings,
     }
 }
 
@@ -542,8 +1082,30 @@ fn worker_main(
     let mut ep: Endpoint<Wire> = Endpoint::in_proc(p, txs, data_rx, None, &buf);
     let mut scratch = Scratch::default();
     while let Ok(cmd) = job_rx.recv() {
-        let Cmd::Job(job) = cmd else {
-            continue; // stray Go (host retired us mid-handshake)
+        let job = match cmd {
+            Cmd::Job(job) => job,
+            Cmd::Wave(wj) => {
+                let ctx = Arc::clone(&wj.ctx);
+                buf.set_enabled(ctx.trace_on);
+                ep.reset(ctx.opts.faults, ctx.trace_on);
+                if ctx.handshake {
+                    // same purge + Ready/Go barrier as a single job
+                    ep.purge_link();
+                    if reply_tx.send(WorkerMsg::Ready).is_err() {
+                        break;
+                    }
+                    match job_rx.recv() {
+                        Ok(Cmd::Go) => {}
+                        Ok(Cmd::Job(_) | Cmd::Wave(_)) | Err(_) => break,
+                    }
+                }
+                let reply = wave_worker_body(p, &mut ep, &mut scratch, &buf, &ctx, wj.locals);
+                if reply_tx.send(WorkerMsg::WaveDone(Box::new(reply))).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Cmd::Go => continue, // stray Go (host retired us mid-handshake)
         };
         let ctx = job.ctx;
         let mut locals = job.locals;
@@ -573,7 +1135,7 @@ fn worker_main(
             }
             match job_rx.recv() {
                 Ok(Cmd::Go) => {}
-                Ok(Cmd::Job(_)) | Err(_) => break, // handshake broken
+                Ok(Cmd::Job(_) | Cmd::Wave(_)) | Err(_) => break, // handshake broken
             }
         }
 
@@ -585,9 +1147,11 @@ fn worker_main(
                 &ctx.opts,
                 &mut ep,
                 &mut scratch,
+                None,
                 &mut stats,
                 &mut sent_to,
                 &buf,
+                PhaseSpan::Full,
             )
         }));
         let res = match phases {
@@ -636,6 +1200,18 @@ fn worker_main(
     }
 }
 
+/// Which half of a warm run to execute. A solo run is always
+/// [`PhaseSpan::Full`]; the wave worker splits the run so it can post
+/// *every* job's boundary sends before any job's update phase blocks
+/// on a receive — on an oversubscribed host that collapses the
+/// per-job send/recv thread ping-pong into one wave-wide exchange.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PhaseSpan {
+    Full,
+    SendOnly,
+    UpdateOnly,
+}
+
 /// The send + update phases of one warm run. This mirrors the cold
 /// path's `node_phases` statement for statement — same events, same
 /// statistics, same error mapping — but drives every loop from the
@@ -649,9 +1225,11 @@ pub(crate) fn warm_phases(
     opts: &DistOptions,
     ep: &mut Endpoint<Wire>,
     scratch: &mut Scratch,
+    wave: Option<&mut WaveRecv>,
     stats: &mut NodeStats,
     sent_to: &mut [u64],
     tracer: &dyn Tracer,
+    span: PhaseSpan,
 ) -> Result<(), MachineError> {
     let plan = &prepared.plan;
     let node = &plan.nodes[p as usize];
@@ -667,92 +1245,108 @@ pub(crate) fn warm_phases(
         stack,
         writes,
     } = scratch;
+    // wave jobs receive through their per-job lane in the shared
+    // router; a solo run uses the scratch buffers directly
+    let mut rcv = match wave {
+        Some(w) => RecvCtx::Wave(w),
+        None => RecvCtx::Single { pending, staging },
+    };
     // same gating as the cold machine: the kernel exists iff every
     // schedule is closed-form and the expression compiled, so cold and
     // warm runs take the same path (and record the same trace) per plan
     let exec = prepared.compiled.kernel.as_ref().map(|k| (cn, k));
 
-    stats.guard_tests += cn.modify_work;
+    if span != PhaseSpan::SendOnly {
+        // the modify guard work is charged to the update half, once
+        stats.guard_tests += cn.modify_work;
+    }
     let trace_on = tracer.enabled();
 
     // ---- send phase: Reside_p ∩ Modify_q, q ≠ p -------------------------
-    if trace_on {
-        tracer.record(p, EventKind::PhaseStart(Phase::Send));
-    }
-    let send_t0 = trace_on.then(std::time::Instant::now);
-    match (opts.mode, exec) {
-        (CommMode::Element, Some((cn, _))) => {
-            send_phase_element_compiled(p, locals, node, cn, decomps, ep, stats, sent_to, tracer);
+    if span != PhaseSpan::UpdateOnly {
+        if trace_on {
+            tracer.record(p, EventKind::PhaseStart(Phase::Send));
         }
-        (CommMode::Element, None) => {
-            for (slot, rp) in node.resides.iter().enumerate() {
-                let Some(runs) = &cn.resides[slot] else {
-                    continue; // replicated: never sent
-                };
-                stats.guard_tests += cn.reside_work[slot];
-                let dec_r = &decomps[&rp.array];
-                let local_part = &locals[&rp.array];
-                for_each_run(runs, |i| {
-                    let owner = dec_lhs.proc_of(plan.f.eval(i));
-                    if owner != p {
-                        let g = rp.g.eval(i);
-                        let value = local_part[dec_r.local_of(g) as usize];
-                        ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
+        let send_t0 = trace_on.then(std::time::Instant::now);
+        match (opts.mode, exec) {
+            (CommMode::Element, Some((cn, _))) => {
+                send_phase_element_compiled(
+                    p, locals, node, cn, decomps, ep, stats, sent_to, tracer,
+                );
+            }
+            (CommMode::Element, None) => {
+                for (slot, rp) in node.resides.iter().enumerate() {
+                    let Some(runs) = &cn.resides[slot] else {
+                        continue; // replicated: never sent
+                    };
+                    stats.guard_tests += cn.reside_work[slot];
+                    let dec_r = &decomps[&rp.array];
+                    let local_part = &locals[&rp.array];
+                    for_each_run(runs, |i| {
+                        let owner = dec_lhs.proc_of(plan.f.eval(i));
+                        if owner != p {
+                            let g = rp.g.eval(i);
+                            let value = local_part[dec_r.local_of(g) as usize];
+                            ep.send(owner as usize, Wire::Elem(Msg { slot, i, value }));
+                            if trace_on {
+                                tracer.record(
+                                    p,
+                                    EventKind::ElemSend {
+                                        dst: owner,
+                                        slot,
+                                        i,
+                                    },
+                                );
+                            }
+                            sent_to[owner as usize] += 1;
+                            stats.msgs_sent += 1;
+                            stats.packets_sent += 1;
+                            stats.bytes_sent += ELEM_MSG_BYTES;
+                            stats.max_packet_elems = stats.max_packet_elems.max(1);
+                        }
+                    });
+                }
+            }
+            (CommMode::Vectorized, _) => {
+                for pair in &node.comm.sends {
+                    for (run_ord, run) in pair.runs.iter().enumerate() {
+                        let rp = &node.resides[run.slot];
+                        let dec_r = &decomps[&rp.array];
+                        let local_part = &locals[&rp.array];
+                        let mut values = Vec::with_capacity(run.count as usize);
+                        run.for_each(|i| {
+                            values.push(local_part[dec_r.local_of(rp.g.eval(i)) as usize]);
+                        });
+                        let elems = values.len() as u64;
+                        ep.send(pair.peer as usize, Wire::Pack { run_ord, values });
                         if trace_on {
                             tracer.record(
                                 p,
-                                EventKind::ElemSend {
-                                    dst: owner,
-                                    slot,
-                                    i,
+                                EventKind::PackSend {
+                                    dst: pair.peer,
+                                    run: run_ord,
+                                    elems,
+                                    bytes: PACK_HEADER_BYTES + 8 * elems,
                                 },
                             );
                         }
-                        sent_to[owner as usize] += 1;
-                        stats.msgs_sent += 1;
+                        sent_to[pair.peer as usize] += elems;
+                        stats.msgs_sent += elems;
                         stats.packets_sent += 1;
-                        stats.bytes_sent += ELEM_MSG_BYTES;
-                        stats.max_packet_elems = stats.max_packet_elems.max(1);
+                        stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
+                        stats.max_packet_elems = stats.max_packet_elems.max(elems);
                     }
-                });
-            }
-        }
-        (CommMode::Vectorized, _) => {
-            for pair in &node.comm.sends {
-                for (run_ord, run) in pair.runs.iter().enumerate() {
-                    let rp = &node.resides[run.slot];
-                    let dec_r = &decomps[&rp.array];
-                    let local_part = &locals[&rp.array];
-                    let mut values = Vec::with_capacity(run.count as usize);
-                    run.for_each(|i| {
-                        values.push(local_part[dec_r.local_of(rp.g.eval(i)) as usize]);
-                    });
-                    let elems = values.len() as u64;
-                    ep.send(pair.peer as usize, Wire::Pack { run_ord, values });
-                    if trace_on {
-                        tracer.record(
-                            p,
-                            EventKind::PackSend {
-                                dst: pair.peer,
-                                run: run_ord,
-                                elems,
-                                bytes: PACK_HEADER_BYTES + 8 * elems,
-                            },
-                        );
-                    }
-                    sent_to[pair.peer as usize] += elems;
-                    stats.msgs_sent += elems;
-                    stats.packets_sent += 1;
-                    stats.bytes_sent += PACK_HEADER_BYTES + 8 * elems;
-                    stats.max_packet_elems = stats.max_packet_elems.max(elems);
                 }
             }
         }
+        ep.end_send_phase(); // flush delayed packets; crash point
+        if let Some(t0) = send_t0 {
+            tracer.timing(p, Phase::Send, t0.elapsed());
+            tracer.record(p, EventKind::PhaseEnd(Phase::Send));
+        }
     }
-    ep.end_send_phase(); // flush delayed packets; crash point
-    if let Some(t0) = send_t0 {
-        tracer.timing(p, Phase::Send, t0.elapsed());
-        tracer.record(p, EventKind::PhaseEnd(Phase::Send));
+    if span == PhaseSpan::SendOnly {
+        return Ok(());
     }
 
     // ---- update phase: Modify_p -----------------------------------------
@@ -767,8 +1361,8 @@ pub(crate) fn warm_phases(
         stack.clear();
         stack.reserve(kernel.stack_capacity());
         let res = exec_update_phase(
-            p, locals, node, cn, kernel, rguard, ep, pending, staging, vals, stack, opts, stats,
-            writes, tracer,
+            p, locals, node, cn, kernel, rguard, ep, &mut rcv, vals, stack, opts, stats, writes,
+            tracer,
         );
         if let Some(t0) = update_t0 {
             tracer.timing(p, Phase::Update, t0.elapsed());
@@ -800,10 +1394,10 @@ pub(crate) fn warm_phases(
                 locals[&rp.array][decomps[&rp.array].local_of(g) as usize]
             } else {
                 let got = match opts.mode {
-                    CommMode::Element => recv_element(ep, pending, slot, i, owner, opts, stats),
+                    CommMode::Element => recv_element(ep, &mut rcv, slot, i, owner, opts, stats),
                     CommMode::Vectorized => recv_packed(
                         ep,
-                        staging,
+                        &mut rcv,
                         &cn.src_ord,
                         &cn.src_peers,
                         &cn.origin,

@@ -58,18 +58,18 @@ pub use executor::{prepare_run, DistExecutor, PreparedPlan};
 pub use halo::{exchange_ghosts, exchange_ghosts_traced, run_halo_sweep, HaloArray};
 pub use net::ChaosPlan;
 pub use obs::{
-    replay_check, trace_plan, CollectingTracer, Event, EventKind, NullTracer, Phase, PhaseTiming,
-    ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
+    replay_check, replay_check_dag, trace_plan, CollectingTracer, Event, EventKind, NullTracer,
+    Phase, PhaseTiming, ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
 };
 pub use perfmodel::{PerfModel, SimTime};
 pub use proc::worker_entry;
 pub use redistribute::{run_redistribution, run_redistribution_opts, run_redistribution_traced};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
-pub use session::DistSession;
+pub use session::{DistSession, ProgramReport, ScheduleMode};
 pub use shared::{run_shared, WriteStrategy};
 pub use shared_nd::run_shared_nd;
 pub use stats::{ExecReport, NodeStats};
 pub use topology::{price_traffic, Topology, TrafficCost};
 pub use transport::{CrashFault, FaultPlan, RetryPolicy, TransportKind};
-pub use vcal_spmd::{SimdCensus, SimdMode, SimdPolicy};
+pub use vcal_spmd::{build_dag, ProgramDag, ProgramStep, SimdCensus, SimdMode, SimdPolicy};

@@ -186,6 +186,26 @@ pub enum EventKind {
         /// Elements carried.
         elems: u64,
     },
+    /// The DAG scheduler resolved a program step's dependencies: every
+    /// DAG predecessor has committed and the step may start. Recorded
+    /// by the host, once per step per program round, before the step's
+    /// `clause_begin`.
+    DagReady {
+        /// Program-step ordinal.
+        step: usize,
+    },
+    /// A DAG-scheduled program step began executing. Recorded by the
+    /// host; [`replay_check_dag`] rejects a begin whose predecessors
+    /// have not all ended.
+    ClauseBegin {
+        /// Program-step ordinal.
+        step: usize,
+    },
+    /// A DAG-scheduled program step's writes were committed.
+    ClauseEnd {
+        /// Program-step ordinal.
+        step: usize,
+    },
     // -------- timing-dependent (reliability traffic) -----------------
     /// The node retransmitted one retained packet in answer to a NACK.
     Retransmit {
@@ -251,6 +271,9 @@ impl EventKind {
             EventKind::HaloMsg { .. } => "halo_msg",
             EventKind::RedistSend { .. } => "redist_send",
             EventKind::RedistRecv { .. } => "redist_recv",
+            EventKind::DagReady { .. } => "dag_ready",
+            EventKind::ClauseBegin { .. } => "clause_begin",
+            EventKind::ClauseEnd { .. } => "clause_end",
             EventKind::Retransmit { .. } => "retransmit",
             EventKind::Ack { .. } => "ack",
             EventKind::Nack { .. } => "nack",
@@ -465,6 +488,11 @@ fn jsonl_line(out: &mut String, e: &Event) {
         }
         EventKind::RedistRecv { src, elems } => {
             let _ = write!(out, ",\"src\":{src},\"elems\":{elems}");
+        }
+        EventKind::DagReady { step }
+        | EventKind::ClauseBegin { step }
+        | EventKind::ClauseEnd { step } => {
+            let _ = write!(out, ",\"step\":{step}");
         }
         EventKind::Retransmit { dst } | EventKind::Ack { dst } => {
             let _ = write!(out, ",\"dst\":{dst}");
@@ -1039,6 +1067,113 @@ pub fn replay_check(
                 });
             }
         }
+    }
+    Ok(summary)
+}
+
+/// Re-validate a program-level DAG schedule against its dependency DAG.
+///
+/// Walks the host-side deterministic events of a
+/// [`crate::session::DistSession::run_program`] trace and checks, per
+/// scheduling round (one pass over the whole program):
+///
+/// 1. a `clause_begin` for step `s` is preceded by a `dag_ready` for
+///    `s` in the same round — the scheduler announced the step before
+///    dispatching it;
+/// 2. a `clause_begin` for step `s` occurs only after a `clause_end`
+///    for **every** DAG predecessor of `s` in the same round — no
+///    clause starts before the steps it depends on have committed;
+/// 3. no step begins or ends twice in a round, no step ends without
+///    beginning, and every begun step has ended by the end of the
+///    trace.
+///
+/// Rounds are implicit: when every begun step has ended and a step
+/// that already ran this round is announced again, a new round starts.
+/// Any violation is a forged or reordered schedule and is reported as
+/// [`ReplayError::Phase`] on [`HOST`].
+pub fn replay_check_dag(
+    log: &TraceLog,
+    dag: &vcal_spmd::ProgramDag,
+) -> Result<ReplaySummary, ReplayError> {
+    let n = dag.steps;
+    let mut summary = ReplaySummary::default();
+    let err = |why: String| ReplayError::Phase { node: HOST, why };
+
+    let mut ready = vec![false; n]; // dag_ready seen this round
+    let mut begun = vec![false; n];
+    let mut ended = vec![false; n];
+    let mut open = 0usize; // begun but not yet ended
+    let mut done = 0usize; // ended this round
+    for e in log.deterministic() {
+        if e.node != HOST {
+            continue;
+        }
+        summary.det_events += 1;
+        match &e.kind {
+            EventKind::DagReady { step } => {
+                let s = *step;
+                if s >= n {
+                    return Err(err(format!("dag_ready for step {s}, program has {n}")));
+                }
+                if ready[s] {
+                    // a step is announced once per round: a repeat
+                    // marks the next round, which may only start once
+                    // the current one has fully drained
+                    if open > 0 || done < n {
+                        return Err(err(format!(
+                            "dag_ready for step {s} repeated before the round completed"
+                        )));
+                    }
+                    ready = vec![false; n];
+                    begun = vec![false; n];
+                    ended = vec![false; n];
+                    done = 0;
+                }
+                ready[s] = true;
+            }
+            EventKind::ClauseBegin { step } => {
+                let s = *step;
+                if s >= n {
+                    return Err(err(format!("clause_begin for step {s}, program has {n}")));
+                }
+                if !ready[s] {
+                    return Err(err(format!(
+                        "clause_begin for step {s} without a prior dag_ready"
+                    )));
+                }
+                if begun[s] {
+                    return Err(err(format!("clause_begin for step {s} repeated")));
+                }
+                for p in dag.preds_of(s) {
+                    if !ended[p] {
+                        return Err(err(format!(
+                            "clause_begin for step {s} before its DAG predecessor {p} ended"
+                        )));
+                    }
+                }
+                begun[s] = true;
+                open += 1;
+            }
+            EventKind::ClauseEnd { step } => {
+                let s = *step;
+                if s >= n {
+                    return Err(err(format!("clause_end for step {s}, program has {n}")));
+                }
+                if !begun[s] {
+                    return Err(err(format!("clause_end for step {s} that never began")));
+                }
+                if ended[s] {
+                    return Err(err(format!("clause_end for step {s} repeated")));
+                }
+                ended[s] = true;
+                open -= 1;
+                done += 1;
+            }
+            _ => {}
+        }
+    }
+    if open > 0 {
+        return Err(err(format!("{open} clause(s) begun but never ended")));
     }
     Ok(summary)
 }

@@ -34,7 +34,7 @@ use crate::darray::DistArray;
 use crate::distributed::{disassemble, finalize_run, DistOptions, NodeOutcome, Wire};
 use crate::error::MachineError;
 use crate::executor::{
-    prepare_run, reset_scratch, warm_phases, BufInner, BufTracer, PreparedPlan, Scratch,
+    prepare_run, reset_scratch, warm_phases, BufInner, BufTracer, PhaseSpan, PreparedPlan, Scratch,
 };
 use crate::net::{ChaosProxy, Router, RouterEvent, SockLink};
 use crate::obs::{trace_plan, EventKind, Phase, Tracer};
@@ -776,9 +776,11 @@ fn serve_job(
                 &opts,
                 &mut ep,
                 scratch,
+                None,
                 &mut stats,
                 &mut sent_to,
                 &buf,
+                PhaseSpan::Full,
             )
         }));
         match phases {

@@ -256,7 +256,7 @@ fn redistribute_node(
                     &mut stats,
                     &mut staged,
                     |staged| staged[srcp].pop_front().map(Ok),
-                    |staged, s, m| {
+                    |staged, s, _seq, m| {
                         staged
                             .get_mut(s as usize)
                             .ok_or("run from unknown source")?

@@ -15,16 +15,19 @@ use crate::darray::DistArray;
 use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
 use crate::executor::{prepare_run, DistExecutor, PreparedPlan};
-use crate::obs::{Tracer, NULL_TRACER};
+use crate::obs::{EventKind, Tracer, HOST, NULL_TRACER};
 use crate::proc::ProcPool;
 use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
 use crate::transport::TransportKind;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use vcal_core::{Array, Clause, Env};
 use vcal_decomp::{Decomp1, RedistPlan};
-use vcal_spmd::{clause_arrays, clause_signature, decomp_fingerprint, DecompMap, SpmdPlan};
+use vcal_spmd::{
+    build_dag, clause_arrays, clause_signature, decomp_fingerprint, program_signature, DecompMap,
+    ProgramDag, ProgramStep, SpmdPlan,
+};
 
 /// One cached prepared plan, keyed by clause signature + decomposition
 /// fingerprint. The signature identifies *which* clause; the
@@ -37,6 +40,48 @@ struct CacheEntry {
     prepared: Arc<PreparedPlan>,
 }
 
+/// One cached program dependence DAG, keyed like [`CacheEntry`] but at
+/// program granularity: the program signature identifies the step
+/// sequence, the fingerprint covers the decompositions of every array
+/// any step touches.
+#[derive(Debug)]
+struct DagCacheEntry {
+    sig: u64,
+    fp: u64,
+    dag: Arc<ProgramDag>,
+}
+
+/// How [`DistSession::run_program`] orders a multi-clause program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// Strict program order, one step at a time — the differential
+    /// oracle every other schedule must match bitwise.
+    #[default]
+    Seq,
+    /// Dependence-DAG wave schedule: pairwise-independent steps share a
+    /// wave and execute concurrently on the persistent worker pool,
+    /// with ordinal-keyed commits for bit-identical results.
+    Dag,
+}
+
+/// What one [`DistSession::run_program`] call did: per-step execution
+/// reports (program order) plus the schedule's shape and cache fate.
+#[derive(Debug, Default)]
+pub struct ProgramReport {
+    /// One [`ExecReport`] per program step, in program order.
+    pub steps: Vec<ExecReport>,
+    /// Waves executed (equals `steps.len()` under [`ScheduleMode::Seq`]).
+    pub waves: usize,
+    /// Dependence edges in the program DAG (0 under `Seq`).
+    pub dag_edges: usize,
+    /// Widest wave — peak concurrently-dispatched steps (1 under `Seq`).
+    pub dag_width: usize,
+    /// Whether the program DAG came from the session's DAG cache.
+    pub dag_cache_hits: u64,
+    /// Whether the program DAG had to be built this call.
+    pub dag_cache_misses: u64,
+}
+
 /// Persistent distributed state for a whole program.
 #[derive(Debug)]
 pub struct DistSession {
@@ -44,6 +89,7 @@ pub struct DistSession {
     decomps: DecompMap,
     opts: DistOptions,
     cache: Vec<CacheEntry>,
+    dag_cache: Vec<DagCacheEntry>,
     pool: Option<DistExecutor>,
     /// Worker-process pool, used instead of `pool` when the options
     /// select a socket backend ([`TransportKind::Uds`] / `Tcp`).
@@ -73,6 +119,7 @@ impl DistSession {
             decomps,
             opts: DistOptions::default(),
             cache: Vec::new(),
+            dag_cache: Vec::new(),
             pool: None,
             procs: None,
         })
@@ -118,18 +165,17 @@ impl DistSession {
         self.run_cached(clause, tracer)
     }
 
-    /// The cached warm path shared by [`DistSession::run`] and
-    /// [`DistSession::run_traced`].
-    fn run_cached(
+    /// Look up (or build and cache) the prepared plan for one clause.
+    /// Returns the plan and whether it was a cache hit.
+    fn prepare_cached(
         &mut self,
         clause: &Clause,
-        tracer: &dyn Tracer,
-    ) -> Result<ExecReport, MachineError> {
+    ) -> Result<(Arc<PreparedPlan>, bool), MachineError> {
         let sig = clause_signature(clause);
         let names = clause_arrays(clause);
         let fp = decomp_fingerprint(&self.decomps, names.iter().map(String::as_str));
-        let (prepared, hit) = match self.cache.iter().find(|e| e.sig == sig && e.fp == fp) {
-            Some(e) => (Arc::clone(&e.prepared), true),
+        match self.cache.iter().find(|e| e.sig == sig && e.fp == fp) {
+            Some(e) => Ok((Arc::clone(&e.prepared), true)),
             None => {
                 let plan = SpmdPlan::build(clause, &self.decomps)
                     .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
@@ -142,9 +188,19 @@ impl DistSession {
                     fp,
                     prepared: Arc::clone(&prepared),
                 });
-                (prepared, false)
+                Ok((prepared, false))
             }
-        };
+        }
+    }
+
+    /// The cached warm path shared by [`DistSession::run`] and
+    /// [`DistSession::run_traced`].
+    fn run_cached(
+        &mut self,
+        clause: &Clause,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        let (prepared, hit) = self.prepare_cached(clause)?;
         let pmax = prepared.plan().pmax;
         if self.opts.transport != TransportKind::InProc {
             // socket backend: real worker processes behind the router;
@@ -181,6 +237,196 @@ impl DistSession {
         report.cache_hits = u64::from(hit);
         report.cache_misses = u64::from(!hit);
         Ok(report)
+    }
+
+    /// Look up (or build and cache) the dependence DAG for a program.
+    /// Returns the DAG and whether it was a cache hit.
+    fn dag_cached(&mut self, steps: &[ProgramStep]) -> (Arc<ProgramDag>, bool) {
+        let sig = program_signature(steps);
+        let names: BTreeSet<String> = steps.iter().flat_map(ProgramStep::arrays).collect();
+        let fp = decomp_fingerprint(&self.decomps, names.iter().map(String::as_str));
+        if let Some(e) = self.dag_cache.iter().find(|e| e.sig == sig && e.fp == fp) {
+            return (Arc::clone(&e.dag), true);
+        }
+        let dag = Arc::new(build_dag(steps, &self.decomps));
+        self.dag_cache.retain(|e| e.sig != sig);
+        self.dag_cache.push(DagCacheEntry {
+            sig,
+            fp,
+            dag: Arc::clone(&dag),
+        });
+        (dag, false)
+    }
+
+    /// Execute a whole multi-step program under a [`ScheduleMode`].
+    ///
+    /// [`ScheduleMode::Seq`] runs the steps in strict program order —
+    /// each clause through the cached warm path, each redistribution
+    /// through [`DistSession::redistribute`] — and is the differential
+    /// oracle. [`ScheduleMode::Dag`] builds (or recalls from the DAG
+    /// cache) the program's dependence DAG and executes it wave by
+    /// wave: pairwise-independent clauses of one wave are dispatched
+    /// together to the persistent in-process pool, which pipelines
+    /// clause *k+1*'s sends behind clause *k*'s boundary runs and
+    /// commits per-clause writes in ordinal order, so the results are
+    /// bit-identical to `Seq`. Redistribution steps always run
+    /// host-side, sequentially within their wave; socket-backend
+    /// sessions ([`TransportKind::Uds`]/`Tcp`) execute wave members
+    /// sequentially too (the wave fan-out needs the shared-memory
+    /// pool), preserving the schedule's events and semantics.
+    ///
+    /// With an enabled tracer the host records a deterministic
+    /// `dag_ready` event per wave member at wave entry, `clause_begin`
+    /// when a step is dispatched, and `clause_end` when its writes have
+    /// committed — [`crate::obs::replay_check_dag`] re-validates that
+    /// ordering against the DAG.
+    pub fn run_program(
+        &mut self,
+        steps: &[ProgramStep],
+        schedule: ScheduleMode,
+        tracer: &dyn Tracer,
+    ) -> Result<ProgramReport, MachineError> {
+        match schedule {
+            ScheduleMode::Seq => self.run_program_seq(steps, tracer),
+            ScheduleMode::Dag => self.run_program_dag(steps, tracer),
+        }
+    }
+
+    fn run_program_seq(
+        &mut self,
+        steps: &[ProgramStep],
+        tracer: &dyn Tracer,
+    ) -> Result<ProgramReport, MachineError> {
+        let trace_on = tracer.enabled();
+        let mut reports = Vec::with_capacity(steps.len());
+        for (s, step) in steps.iter().enumerate() {
+            if trace_on {
+                tracer.record(HOST, EventKind::DagReady { step: s });
+                tracer.record(HOST, EventKind::ClauseBegin { step: s });
+            }
+            let report = match step {
+                ProgramStep::Clause(c) => self.run_cached(c, tracer)?,
+                ProgramStep::Redistribute { array, to } => {
+                    self.redistribute_traced(array, to.clone(), tracer)?
+                }
+            };
+            if trace_on {
+                tracer.record(HOST, EventKind::ClauseEnd { step: s });
+            }
+            reports.push(report);
+        }
+        Ok(ProgramReport {
+            waves: steps.len(),
+            dag_width: 1,
+            steps: reports,
+            ..ProgramReport::default()
+        })
+    }
+
+    fn run_program_dag(
+        &mut self,
+        steps: &[ProgramStep],
+        tracer: &dyn Tracer,
+    ) -> Result<ProgramReport, MachineError> {
+        let (dag, dag_hit) = self.dag_cached(steps);
+        let trace_on = tracer.enabled();
+        let mut reports: Vec<Option<ExecReport>> = (0..steps.len()).map(|_| None).collect();
+        for wave in &dag.waves {
+            if trace_on {
+                for &s in wave {
+                    tracer.record(HOST, EventKind::DagReady { step: s });
+                }
+            }
+            // redistributions first: host-side, sequential. A wave is
+            // pairwise independent, so no clause of this wave touches a
+            // redistributed array — order within the wave is free.
+            let mut clause_steps: Vec<(usize, &Clause)> = Vec::new();
+            for &s in wave {
+                match &steps[s] {
+                    ProgramStep::Redistribute { array, to } => {
+                        if trace_on {
+                            tracer.record(HOST, EventKind::ClauseBegin { step: s });
+                        }
+                        let r = self.redistribute_traced(array, to.clone(), tracer)?;
+                        if trace_on {
+                            tracer.record(HOST, EventKind::ClauseEnd { step: s });
+                        }
+                        reports[s] = Some(r);
+                    }
+                    ProgramStep::Clause(c) => clause_steps.push((s, c)),
+                }
+            }
+            if clause_steps.is_empty() {
+                continue;
+            }
+            if self.opts.transport != TransportKind::InProc {
+                // socket backend: no shared-memory wave fan-out — run
+                // the wave's clauses one by one, same events, same
+                // ordinal commit order
+                for &(s, c) in &clause_steps {
+                    if trace_on {
+                        tracer.record(HOST, EventKind::ClauseBegin { step: s });
+                    }
+                    let r = self.run_cached(c, tracer)?;
+                    if trace_on {
+                        tracer.record(HOST, EventKind::ClauseEnd { step: s });
+                    }
+                    reports[s] = Some(r);
+                }
+                continue;
+            }
+            // in-process pool: prepare every member (plans are built
+            // lazily per wave so they see post-redistribution layouts),
+            // then dispatch the whole wave at once
+            let mut jobs = Vec::with_capacity(clause_steps.len());
+            let mut hits = Vec::with_capacity(clause_steps.len());
+            for &(_, c) in &clause_steps {
+                let (prepared, hit) = self.prepare_cached(c)?;
+                jobs.push(prepared);
+                hits.push(hit);
+            }
+            let pmax = jobs[0].plan().pmax;
+            if self
+                .pool
+                .as_ref()
+                .is_some_and(|pool| pool.pmax() != pmax.max(0) as usize)
+            {
+                self.pool = None;
+            }
+            let pool = self.pool.get_or_insert_with(|| DistExecutor::new(pmax));
+            if trace_on {
+                for &(s, _) in &clause_steps {
+                    tracer.record(HOST, EventKind::ClauseBegin { step: s });
+                }
+            }
+            // a width-1 wave is just a single run — skip the wave
+            // machinery (per-job snapshots, staged commits) it exists
+            // to coordinate
+            let wave_reports = if jobs.len() == 1 {
+                vec![pool.run(&jobs[0], &mut self.arrays, self.opts, tracer)?]
+            } else {
+                pool.run_wave(&jobs, &mut self.arrays, self.opts, tracer)?
+            };
+            if trace_on {
+                for &(s, _) in &clause_steps {
+                    tracer.record(HOST, EventKind::ClauseEnd { step: s });
+                }
+            }
+            for (((s, _), mut r), hit) in clause_steps.iter().zip(wave_reports).zip(hits) {
+                r.cache_hits = u64::from(hit);
+                r.cache_misses = u64::from(!hit);
+                reports[*s] = Some(r);
+            }
+        }
+        let steps_out = reports.into_iter().map(|r| r.unwrap_or_default()).collect();
+        Ok(ProgramReport {
+            steps: steps_out,
+            waves: dag.waves.len(),
+            dag_edges: dag.edges.len(),
+            dag_width: dag.width(),
+            dag_cache_hits: u64::from(dag_hit),
+            dag_cache_misses: u64::from(!dag_hit),
+        })
     }
 
     /// OS process ids of the live worker processes, in node order —
@@ -377,6 +623,80 @@ mod tests {
         for i in 0..n {
             assert_eq!(got.get(&vcal_core::Ix::d1(i)), (i * 4) as f64);
         }
+    }
+
+    #[test]
+    fn dag_schedule_matches_seq_oracle() {
+        use vcal_core::func::Fn1;
+        use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+        let n = 40i64;
+        // A and B are independent (wave 0 together); C reads both (wave 1)
+        let write = |lhs: &str, rhs: Expr| Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1(lhs, Fn1::identity()),
+            rhs,
+        };
+        let steps = vec![
+            ProgramStep::Clause(write(
+                "A",
+                Expr::add(Expr::Ref(ArrayRef::d1("A", Fn1::shift(-1))), Expr::Lit(1.0)),
+            )),
+            ProgramStep::Clause(write(
+                "B",
+                Expr::mul(
+                    Expr::Ref(ArrayRef::d1("B", Fn1::identity())),
+                    Expr::Lit(2.0),
+                ),
+            )),
+            ProgramStep::Clause(write(
+                "C",
+                Expr::add(
+                    Expr::Ref(ArrayRef::d1("A", Fn1::identity())),
+                    Expr::Ref(ArrayRef::d1("B", Fn1::identity())),
+                ),
+            )),
+        ];
+        let mut env = Env::new();
+        for name in ["A", "B", "C"] {
+            env.insert(
+                name,
+                Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+            );
+        }
+        let mut dm = DecompMap::new();
+        for name in ["A", "B", "C"] {
+            dm.insert(name.into(), Decomp1::block(4, Bounds::range(0, n - 1)));
+        }
+        let mut seq = DistSession::new(&env, dm.clone()).unwrap();
+        let rs = seq
+            .run_program(&steps, ScheduleMode::Seq, &NULL_TRACER)
+            .unwrap();
+        assert_eq!(rs.waves, 3);
+
+        let mut dag = DistSession::new(&env, dm).unwrap();
+        let rd = dag
+            .run_program(&steps, ScheduleMode::Dag, &NULL_TRACER)
+            .unwrap();
+        assert_eq!(rd.waves, 2, "A and B share a wave");
+        assert_eq!(rd.dag_width, 2);
+        assert_eq!(rd.dag_cache_misses, 1);
+        for name in ["A", "B", "C"] {
+            assert_eq!(
+                dag.gather(name)
+                    .unwrap()
+                    .max_abs_diff(&seq.gather(name).unwrap()),
+                0.0,
+                "array {name} diverged"
+            );
+        }
+        // warm rerun hits the DAG cache
+        let rw = dag
+            .run_program(&steps, ScheduleMode::Dag, &NULL_TRACER)
+            .unwrap();
+        assert_eq!(rw.dag_cache_hits, 1);
+        assert_eq!(rw.steps[0].cache_hits, 1, "clause plans warm too");
     }
 
     #[test]

@@ -568,8 +568,11 @@ struct Stashed<T> {
 /// What one serviced frame produced.
 pub(crate) enum Step<T> {
     /// A fresh (never-seen, checksum-valid) data payload from `src` —
-    /// the machine must stage it.
-    Fresh { src: i64, payload: T },
+    /// the machine must stage it. `seq` is the sender-assigned per-flow
+    /// sequence number: frames may surface out of order under reorder
+    /// faults, so consumers that demultiplex one flow into sub-streams
+    /// (e.g. wave jobs) must route by `seq`, never by arrival count.
+    Fresh { src: i64, seq: u64, payload: T },
     /// A control frame, duplicate, or corrupt packet — handled
     /// internally.
     Handled,
@@ -856,6 +859,7 @@ impl<'t, T: WirePayload> Endpoint<'t, T> {
                 self.ack(src, stats);
                 Step::Fresh {
                     src: pkt.src,
+                    seq: pkt.seq,
                     payload: pkt.payload,
                 }
             }
@@ -963,7 +967,7 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
     stats: &mut NodeStats,
     ctx: &mut C,
     mut ready: impl FnMut(&mut C) -> Option<Result<R, &'static str>>,
-    mut stage: impl FnMut(&mut C, i64, T) -> Result<(), &'static str>,
+    mut stage: impl FnMut(&mut C, i64, u64, T) -> Result<(), &'static str>,
 ) -> Result<R, AwaitFail> {
     if let Some(r) = ready(ctx) {
         return r.map_err(AwaitFail::BadWire);
@@ -1006,8 +1010,8 @@ pub(crate) fn await_until<T: WirePayload, C, R>(
             .saturating_duration_since(now)
             .max(Duration::from_millis(1));
         match ep.poll(slice, stats) {
-            Step::Fresh { src, payload } => {
-                stage(ctx, src, payload).map_err(AwaitFail::BadWire)?;
+            Step::Fresh { src, seq, payload } => {
+                stage(ctx, src, seq, payload).map_err(AwaitFail::BadWire)?;
                 if let Some(r) = ready(ctx) {
                     return r.map_err(AwaitFail::BadWire);
                 }
@@ -1209,7 +1213,7 @@ mod tests {
             &mut stats,
             &mut (),
             |_| None,
-            |_, _, _| Ok(()),
+            |_, _, _, _| Ok(()),
         );
         let waited = t0.elapsed();
         assert!(matches!(res, Err(AwaitFail::Exhausted { .. })));

@@ -25,6 +25,7 @@
 pub mod advisor;
 pub mod comm;
 pub mod compiled;
+pub mod dag;
 pub mod derivation;
 pub mod emit;
 pub mod kernel;
@@ -44,6 +45,7 @@ pub use compiled::{
     AccessPattern, CompiledNode, CompiledSchedule, ExecRun, IterRun, OverlapCensus, SlotAccess,
     SlotRef,
 };
+pub use dag::{build_dag, program_signature, DepEdge, DepKind, ProgramDag, ProgramStep};
 pub use derivation::derive;
 pub use kernel::{CompiledKernel, FusedShape, KernelOp, ShapeMismatch};
 pub use nd::{optimize_nd, ScheduleNd};

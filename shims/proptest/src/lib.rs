@@ -254,6 +254,37 @@ pub mod option {
     }
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use rand::Rng as _;
+
+    /// A `Vec` of `inner` draws with length drawn from `len`.
+    pub fn vec<S: Strategy + 'static>(
+        inner: S,
+        len: core::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        assert!(!len.is_empty(), "collection::vec: empty length range");
+        BoxedStrategy::new(move |rng| {
+            let n = rng.gen_range(len.clone());
+            (0..n).map(|_| inner.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// `bool` strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::BoxedStrategy;
+    use rand::Rng as _;
+
+    /// A uniformly random boolean (`proptest::bool::ANY` is a unit
+    /// struct upstream; a function-backed constant serves the same
+    /// call sites here).
+    pub fn any() -> BoxedStrategy<bool> {
+        BoxedStrategy::new(|rng| rng.gen::<bool>())
+    }
+}
+
 /// Sampling strategies, mirroring `proptest::sample`.
 pub mod sample {
     use super::BoxedStrategy;
@@ -315,6 +346,8 @@ pub mod prelude {
     };
     /// Module alias so `prop::sample::select` / `prop::option::of` work.
     pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
         pub use crate::option;
         pub use crate::sample;
     }

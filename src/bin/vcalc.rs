@@ -10,6 +10,7 @@
 //! vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]
 //!                        [--run] [--steps <N>] [--naive] [--node <p>]
 //!                        [--overlap on|off] [--simd auto|on|off]
+//!                        [--schedule seq|dag]
 //!                        [--trace] [--trace-out <path>]
 //! ```
 //!
@@ -33,6 +34,13 @@
 //! threads persist across steps, and the printed cache statistics show
 //! that only the first step paid for planning (DESIGN.md §12).
 //!
+//! `--schedule` runs the whole program through the program-level
+//! scheduler (DESIGN.md §16): `seq` executes the clauses in strict
+//! program order (the oracle), `dag` analyses the clause dependence DAG
+//! and dispatches independent clauses concurrently as waves on the
+//! persistent pool. Results are bit-identical either way; the DAG shape
+//! (waves, edges, width) is printed after the run.
+//!
 //! Example files are under `examples/vcalc/`.
 
 use std::collections::BTreeMap;
@@ -40,8 +48,9 @@ use std::process::ExitCode;
 use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
 use vcal_suite::machine::{
-    replay_check, run_distributed, run_distributed_traced, worker_entry, CollectingTracer,
-    DistArray, DistOptions, DistSession, PerfModel, SimdPolicy, TransportKind,
+    build_dag, replay_check, replay_check_dag, run_distributed, run_distributed_traced,
+    worker_entry, CollectingTracer, DistArray, DistOptions, DistSession, PerfModel, ProgramStep,
+    ScheduleMode, SimdPolicy, TransportKind, NULL_TRACER,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -57,6 +66,7 @@ struct Options {
     overlap: bool,
     simd: SimdPolicy,
     transport: TransportKind,
+    schedule: Option<ScheduleMode>,
     trace: bool,
     trace_out: Option<String>,
 }
@@ -64,12 +74,16 @@ struct Options {
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
      [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--overlap on|off] \
-     [--simd auto|on|off] [--transport inproc|uds|tcp] [--trace] [--trace-out <path>]\n\
+     [--simd auto|on|off] [--transport inproc|uds|tcp] [--schedule seq|dag] \
+     [--trace] [--trace-out <path>]\n\
      \n\
      --transport selects the execution backend: `inproc` (default) runs the\n\
      nodes as threads over channels; `uds` and `tcp` run each node as a real\n\
      worker OS process speaking the framed wire protocol over Unix-domain or\n\
      loopback TCP sockets. Results are bit-identical on every backend.\n\
+     --schedule runs the whole program through the program-level scheduler:\n\
+     `seq` keeps strict program order, `dag` dispatches independent clauses\n\
+     concurrently as dependence-DAG waves. Results are bit-identical.\n\
      (vcalc worker <addr> <node> <pmax> is the internal worker entry point.)"
 }
 
@@ -84,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut overlap = true;
     let mut simd = SimdPolicy::default();
     let mut transport = TransportKind::default();
+    let mut schedule = None;
     let mut trace = false;
     let mut trace_out = None;
     let mut it = args.iter();
@@ -133,6 +148,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .and_then(|v| TransportKind::parse(v))
                     .ok_or("--transport needs `inproc`, `uds` or `tcp`")?;
             }
+            "--schedule" => {
+                schedule = match it.next().map(String::as_str) {
+                    Some("seq") => Some(ScheduleMode::Seq),
+                    Some("dag") => Some(ScheduleMode::Dag),
+                    _ => return Err("--schedule needs `seq` or `dag`".into()),
+                };
+                run = true; // a scheduled program is a kind of execution
+            }
             "--trace" => trace = true,
             "--trace-out" => {
                 trace = true;
@@ -156,6 +179,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if steps > 1 && naive {
         return Err("--naive is a cold-path flag; the --steps loop always runs optimized".into());
     }
+    if schedule.is_some() && naive {
+        return Err("--naive is a cold-path flag; --schedule always runs optimized".into());
+    }
     Ok(Options {
         program_path: positional[0].clone(),
         spec_path: positional[1].clone(),
@@ -168,6 +194,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         overlap,
         simd,
         transport,
+        schedule,
         trace,
         trace_out,
     })
@@ -279,13 +306,117 @@ fn drive(opts: &Options) -> Result<(), String> {
             }
         }
 
-        if opts.run && opts.steps == 1 {
+        if opts.run && opts.steps == 1 && opts.schedule.is_none() {
             run_and_verify(clause, &plan, &spec.decomps, opts)?;
         }
     }
-    if opts.steps > 1 {
+    if let Some(mode) = opts.schedule {
+        run_program_schedule(&clauses, &spec.decomps, mode, opts)?;
+    } else if opts.steps > 1 {
         run_timestep_loop(&clauses, &spec.decomps, opts)?;
     }
+    Ok(())
+}
+
+/// Execute the whole program `--steps` times through the program-level
+/// scheduler ([`DistSession::run_program`]) and verify against the
+/// iterated sequential reference. Prints the DAG shape and, when
+/// tracing, the `replay_check_dag` verdict for the last step.
+fn run_program_schedule(
+    clauses: &[vcal_suite::core::Clause],
+    decomps: &vcal_suite::spmd::DecompMap,
+    mode: ScheduleMode,
+    opts: &Options,
+) -> Result<(), String> {
+    let mode_name = match mode {
+        ScheduleMode::Seq => "seq",
+        ScheduleMode::Dag => "dag",
+    };
+    println!(
+        "--- program schedule: {mode_name}, {} step(s) ---",
+        opts.steps
+    );
+    let steps: Vec<ProgramStep> = clauses.iter().cloned().map(ProgramStep::Clause).collect();
+    let mut env = Env::new();
+    for (name, dec) in decomps.iter() {
+        // deterministic mixed-sign initial data so guards fire both ways
+        env.insert(
+            name.clone(),
+            Array::from_fn(dec.extent(), |i| {
+                let v = i.scalar();
+                if v % 3 == 0 {
+                    -(v as f64)
+                } else {
+                    v as f64 * 0.5
+                }
+            }),
+        );
+    }
+
+    let mut reference = env.clone();
+    for _ in 0..opts.steps {
+        for clause in clauses {
+            reference.exec_clause(clause);
+        }
+    }
+
+    let mut session = DistSession::new(&env, decomps.clone())
+        .map_err(|e| e.to_string())?
+        .with_options(DistOptions {
+            overlap: opts.overlap,
+            simd: opts.simd,
+            transport: opts.transport,
+            ..DistOptions::default()
+        });
+    let mut last_report = None;
+    for step in 0..opts.steps {
+        let last = step + 1 == opts.steps;
+        let tracer = (opts.trace && last).then(CollectingTracer::new);
+        let report = match &tracer {
+            Some(t) => session.run_program(&steps, mode, t),
+            None => session.run_program(&steps, mode, &NULL_TRACER),
+        }
+        .map_err(|e| format!("step {step}: {e}"))?;
+        if let Some(tracer) = tracer {
+            let dag = build_dag(&steps, decomps);
+            let log = tracer.finish();
+            let summary = replay_check_dag(&log, &dag)
+                .map_err(|e| format!("step {step}: DAG replay check FAILED: {e}"))?;
+            println!(
+                "trace: step {step} DAG replay OK — {} host scheduling events",
+                summary.det_events
+            );
+            if let Some(path) = &opts.trace_out {
+                std::fs::write(path, log.to_jsonl())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("trace: deterministic event log written to {path}");
+            }
+        }
+        last_report = Some(report);
+    }
+
+    let got = session.gather_all();
+    for name in decomps.keys() {
+        let diff = got
+            .get(name)
+            .ok_or_else(|| format!("array `{name}` lost"))?
+            .max_abs_diff(reference.get(name).ok_or("reference missing array")?);
+        if diff != 0.0 {
+            return Err(format!(
+                "VERIFICATION FAILED on `{name}` after {} steps: max |diff| = {diff}",
+                opts.steps
+            ));
+        }
+    }
+    let report = last_report.ok_or("no steps executed")?;
+    println!(
+        "run: OK — schedule {mode_name}: {} clause(s) in {} wave(s), {} dependence edge(s), \
+         width {}; result identical to the iterated sequential reference\n",
+        report.steps.len(),
+        report.waves,
+        report.dag_edges,
+        report.dag_width
+    );
     Ok(())
 }
 

@@ -134,6 +134,101 @@ fn advisor_ranks_layouts() {
 }
 
 #[test]
+fn simd_flag_runs_and_rejects_bad_values() {
+    let p = write_temp("prog9.vc", PROGRAM);
+    let s = write_temp("spec10.dspec", SPEC);
+    for simd in ["auto", "on", "off"] {
+        let (ok, stdout, stderr) = vcalc(&[
+            p.to_str().unwrap(),
+            s.to_str().unwrap(),
+            "--run",
+            "--simd",
+            simd,
+        ]);
+        assert!(ok, "--simd {simd}: {stderr}");
+        assert!(stdout.contains("run: OK"), "--simd {simd}: {stdout}");
+    }
+    let (ok, _, stderr) = vcalc(&[p.to_str().unwrap(), s.to_str().unwrap(), "--simd", "fast"]);
+    assert!(!ok);
+    assert!(stderr.contains("`auto`, `on` or `off`"), "{stderr}");
+}
+
+#[test]
+fn transport_flag_runs_workers_and_rejects_bad_values() {
+    let p = write_temp("prog10.vc", PROGRAM);
+    let s = write_temp("spec11.dspec", SPEC);
+    // uds spawns real worker processes from this very binary
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--steps",
+        "2",
+        "--transport",
+        "uds",
+    ]);
+    assert!(ok, "--transport uds: {stderr}");
+    assert!(stdout.contains("run: OK"), "{stdout}");
+    let (ok, _, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--transport",
+        "carrier-pigeon",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("`inproc`, `uds` or `tcp`"), "{stderr}");
+}
+
+/// Three clauses, the first two independent: the DAG schedule must
+/// compress them into two waves and still verify against the
+/// sequential reference; `seq` keeps one wave per clause.
+const MULTI_PROGRAM: &str = "for i := 1 to 62 do A[i] := A[i] + 1.0; od;\n\
+                             for i := 1 to 62 do B[i] := B[i] * 0.5; od;\n\
+                             for i := 1 to 62 do C[i] := A[i] + B[i]; od;";
+const MULTI_SPEC: &str = "processors 4;\narray A[0 to 63] block;\narray B[0 to 63] block;\n\
+                          array C[0 to 63] block;\n";
+
+#[test]
+fn schedule_flag_runs_both_modes_and_rejects_bad_values() {
+    let p = write_temp("prog11.vc", MULTI_PROGRAM);
+    let s = write_temp("spec12.dspec", MULTI_SPEC);
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--schedule",
+        "dag",
+        "--steps",
+        "2",
+        "--trace",
+    ]);
+    assert!(ok, "--schedule dag: {stderr}");
+    assert!(stdout.contains("3 clause(s) in 2 wave(s)"), "{stdout}");
+    assert!(stdout.contains("width 2"), "{stdout}");
+    assert!(stdout.contains("DAG replay OK"), "{stdout}");
+    assert!(
+        stdout.contains("identical to the iterated sequential reference"),
+        "{stdout}"
+    );
+
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--schedule",
+        "seq",
+    ]);
+    assert!(ok, "--schedule seq: {stderr}");
+    assert!(stdout.contains("3 clause(s) in 3 wave(s)"), "{stdout}");
+
+    let (ok, _, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--schedule",
+        "topological-ish",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("`seq` or `dag`"), "{stderr}");
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let p = write_temp("prog5.vc", "for i := 1 to");
     let s = write_temp("spec5.dspec", SPEC);
