@@ -61,12 +61,12 @@ pub use obs::{
     replay_check, replay_check_dag, trace_plan, CollectingTracer, Event, EventKind, NullTracer,
     Phase, PhaseTiming, ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
 };
-pub use perfmodel::{PerfModel, SimTime};
+pub use perfmodel::{CalibratedModel, CalibrationSample, PerfModel, PlanPrice, SimTime};
 pub use proc::worker_entry;
 pub use redistribute::{run_redistribution, run_redistribution_opts, run_redistribution_traced};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
-pub use session::{DistSession, ProgramReport, ScheduleMode};
+pub use session::{DistSession, ProgramReport, ScheduleMode, TuneOptions, TuneReport};
 pub use shared::{run_shared, WriteStrategy};
 pub use shared_nd::run_shared_nd;
 pub use stats::{ExecReport, NodeStats};

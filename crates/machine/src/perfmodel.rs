@@ -14,8 +14,11 @@
 //! yielding clean speedup curves — who wins, by what factor, and where
 //! decompositions cross over — independent of host noise.
 
+use crate::distributed::CommMode;
+use crate::obs::{Phase, TraceLog};
 use crate::stats::ExecReport;
 use crate::topology::Topology;
+use vcal_decomp::RedistPlan;
 use vcal_spmd::SpmdPlan;
 
 /// Cost parameters, in abstract time units (1 = one local iteration).
@@ -143,6 +146,261 @@ impl PerfModel {
         } else {
             f64::INFINITY
         }
+    }
+}
+
+/// Wire-format constants mirrored from the distributed machine: a
+/// 24-byte element message; a 16-byte header plus 8 bytes per element
+/// for packed vector messages.
+const ELEM_MSG_BYTES: u64 = 24;
+const PACK_HEADER_BYTES: u64 = 16;
+const ELEM_BYTES: u64 = 8;
+
+/// One calibration observation: the hardware-measurable counters of a
+/// profiled (warm) step plus the wall-clock the tracer recorded for it.
+/// Aggregated over all nodes — the fit estimates *per-event* averages,
+/// which is exactly what plan-time pricing needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CalibrationSample {
+    /// Iterations executed (schedule visits across all nodes).
+    pub iterations: u64,
+    /// Wire messages put on the transport.
+    pub packets: u64,
+    /// Modeled wire bytes sent.
+    pub bytes: u64,
+    /// Payload elements received.
+    pub recv_elems: u64,
+    /// Measured update-phase wall-clock, summed over nodes (ns).
+    pub update_ns: f64,
+    /// Measured send-phase wall-clock, summed over nodes (ns).
+    pub send_ns: f64,
+    /// Measured drain/receive wall-clock, summed over nodes (ns).
+    pub drain_ns: f64,
+}
+
+impl CalibrationSample {
+    /// Extract a sample from one traced execution: counters from the
+    /// report, phase wall-clock from the trace's timing side-band.
+    pub fn of(report: &ExecReport, log: &TraceLog) -> CalibrationSample {
+        let t = report.total();
+        let totals = log.phase_totals();
+        let ns = |p: Phase| totals.get(&p).map_or(0.0, |d| d.as_nanos() as f64);
+        CalibrationSample {
+            iterations: t.iterations,
+            packets: t.packets_sent,
+            bytes: t.bytes_sent,
+            recv_elems: t.msgs_received,
+            update_ns: ns(Phase::Update),
+            send_ns: ns(Phase::Send),
+            drain_ns: ns(Phase::Drain),
+        }
+    }
+
+    /// Merge another sample into this one (accumulate a multi-clause
+    /// program step into one observation).
+    pub fn absorb(&mut self, o: &CalibrationSample) {
+        self.iterations += o.iterations;
+        self.packets += o.packets;
+        self.bytes += o.bytes;
+        self.recv_elems += o.recv_elems;
+        self.update_ns += o.update_ns;
+        self.send_ns += o.send_ns;
+        self.drain_ns += o.drain_ns;
+    }
+}
+
+/// The modeled wall-clock of one plan under a [`CalibratedModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanPrice {
+    /// Critical-path (max-node) nanoseconds.
+    pub total_ns: f64,
+    /// The slowest node.
+    pub bottleneck: i64,
+    /// Sum over nodes.
+    pub aggregate_ns: f64,
+}
+
+/// The §4 performance model with its constants *fit from measured
+/// trace timings* instead of the 1991 defaults: nanoseconds per
+/// executed iteration, per wire message, per wire byte, and per
+/// received element, estimated from one or two profiled warm steps.
+///
+/// The structural model is unchanged — linear event costs, critical
+/// path = max over nodes — only the constants move, so predictions
+/// carry the host's actual compute/communication ratio and candidate
+/// decompositions can be ranked by predicted wall-clock without
+/// executing any of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedModel {
+    /// Nanoseconds per executed iteration (evaluate + write).
+    pub iter_ns: f64,
+    /// Nanoseconds of per-message software overhead (startup).
+    pub packet_ns: f64,
+    /// Nanoseconds per wire byte (inverse bandwidth).
+    pub byte_ns: f64,
+    /// Nanoseconds per received payload element.
+    pub recv_ns: f64,
+    /// How many observations the fit consumed.
+    pub samples: usize,
+}
+
+impl Default for CalibratedModel {
+    /// Uncalibrated fallback: the classic ratios of [`PerfModel`]
+    /// expressed in nanoseconds with 1 iteration ≡ 1 ns. Rankings
+    /// under this default match the era-model rankings.
+    fn default() -> Self {
+        let m = PerfModel::default();
+        CalibratedModel {
+            iter_ns: m.t_iter,
+            packet_ns: m.t_startup,
+            byte_ns: m.t_hop / ELEM_BYTES as f64,
+            recv_ns: m.t_recv,
+            samples: 0,
+        }
+    }
+}
+
+impl CalibratedModel {
+    /// Fit the model from profiled samples. Per-iteration and
+    /// per-received-element costs are direct ratios; the send-phase
+    /// pool is attributed to per-message and per-byte terms by a 2×2
+    /// least-squares fit when the samples are independent enough to
+    /// identify both, and split evenly between the two terms otherwise
+    /// (one warm step can never separate startup from bandwidth).
+    /// Constants that a degenerate profile leaves unobserved (no
+    /// packets, no receives) keep their [`CalibratedModel::default`]
+    /// values so pricing still ranks communication-bearing candidates
+    /// sensibly. Returns `None` when no sample carries any measured
+    /// update time — there is nothing to calibrate from.
+    pub fn fit(samples: &[CalibrationSample]) -> Option<CalibratedModel> {
+        let mut out = CalibratedModel::default();
+        let tot_iters: u64 = samples.iter().map(|s| s.iterations).sum();
+        let tot_update: f64 = samples.iter().map(|s| s.update_ns).sum();
+        if tot_iters == 0 || tot_update <= 0.0 {
+            return None;
+        }
+        out.iter_ns = tot_update / tot_iters as f64;
+        out.samples = samples.len();
+
+        let tot_packets: u64 = samples.iter().map(|s| s.packets).sum();
+        let tot_bytes: u64 = samples.iter().map(|s| s.bytes).sum();
+        let tot_send: f64 = samples.iter().map(|s| s.send_ns).sum();
+        if tot_packets > 0 && tot_send > 0.0 {
+            // least squares over send_ns ≈ packets·a + bytes·b
+            let (mut spp, mut spb, mut sbb, mut spy, mut sby) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for s in samples {
+                let (p, b, y) = (s.packets as f64, s.bytes as f64, s.send_ns);
+                spp += p * p;
+                spb += p * b;
+                sbb += b * b;
+                spy += p * y;
+                sby += b * y;
+            }
+            let det = spp * sbb - spb * spb;
+            let rel = det / (spp * sbb).max(f64::MIN_POSITIVE);
+            let (a, b) = if rel > 1e-6 {
+                ((sbb * spy - spb * sby) / det, (spp * sby - spb * spy) / det)
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            if a.is_finite() && b.is_finite() && a >= 0.0 && b >= 0.0 {
+                out.packet_ns = a;
+                out.byte_ns = b;
+            } else {
+                // unidentifiable: split the measured pool evenly
+                out.packet_ns = 0.5 * tot_send / tot_packets as f64;
+                out.byte_ns = if tot_bytes > 0 {
+                    0.5 * tot_send / tot_bytes as f64
+                } else {
+                    0.0
+                };
+            }
+        } else if tot_packets == 0 {
+            // communication-free profile: scale the default comm
+            // constants to the calibrated iteration cost so the classic
+            // startup/iteration ratio is preserved in absolute terms
+            let scale = out.iter_ns / PerfModel::default().t_iter;
+            out.packet_ns *= scale;
+            out.byte_ns *= scale;
+            out.recv_ns *= scale;
+            return Some(out);
+        }
+        let tot_recv: u64 = samples.iter().map(|s| s.recv_elems).sum();
+        let tot_drain: f64 = samples.iter().map(|s| s.drain_ns).sum();
+        if tot_recv > 0 && tot_drain > 0.0 {
+            out.recv_ns = tot_drain / tot_recv as f64;
+        }
+        Some(out)
+    }
+
+    /// Per-node wire traffic of a plan under `mode`: `(packets, bytes)`
+    /// — the same accounting the machines report in
+    /// `packets_sent`/`bytes_sent`.
+    fn node_wire(node: &vcal_spmd::NodePlan, mode: CommMode) -> (u64, u64) {
+        let elems = node.comm.send_elems();
+        match mode {
+            CommMode::Element => (elems, elems * ELEM_MSG_BYTES),
+            CommMode::Vectorized => {
+                let packets = node.comm.send_packets();
+                (packets, packets * PACK_HEADER_BYTES + elems * ELEM_BYTES)
+            }
+        }
+    }
+
+    /// Price a plan from its schedules alone — no execution. Per node:
+    /// iteration, send (packet + byte), and receive terms; the total is
+    /// the critical path (max over nodes), which is what a
+    /// barrier-synchronized step actually waits on.
+    pub fn price_plan(&self, plan: &SpmdPlan, mode: CommMode) -> PlanPrice {
+        let mut total = 0.0f64;
+        let mut aggregate = 0.0;
+        let mut bottleneck = 0;
+        for node in &plan.nodes {
+            let visits = node.modify.schedule.count() as f64;
+            let tests = (node.modify.schedule.work_estimate() as f64 - visits).max(0.0);
+            let (packets, bytes) = Self::node_wire(node, mode);
+            let t = visits * self.iter_ns
+                + tests * 0.25 * self.iter_ns
+                + packets as f64 * self.packet_ns
+                + bytes as f64 * self.byte_ns
+                + node.comm.recv_elems() as f64 * self.recv_ns;
+            aggregate += t;
+            if t > total {
+                total = t;
+                bottleneck = node.p;
+            }
+        }
+        PlanPrice {
+            total_ns: total,
+            bottleneck,
+            aggregate_ns: aggregate,
+        }
+    }
+
+    /// Price a redistribution: every moved element is one send plus one
+    /// receive, batched per ordered processor pair (vectorized wire
+    /// accounting — redistribution always ships runs).
+    pub fn price_redist(&self, plan: &RedistPlan) -> f64 {
+        let packets = plan.message_count() as f64;
+        let elems = plan.moved_elements().max(0) as f64;
+        packets * self.packet_ns
+            + (packets * PACK_HEADER_BYTES as f64 + elems * ELEM_BYTES as f64) * self.byte_ns
+            + elems * self.recv_ns
+    }
+
+    /// Predict the wall-clock of an already-executed report — used to
+    /// close the loop (`model_error` = |predicted − measured| /
+    /// measured on a warm step the model did *not* calibrate from).
+    pub fn predict_report(&self, report: &ExecReport) -> f64 {
+        let mut total = 0.0f64;
+        for node in &report.nodes {
+            let t = node.iterations as f64 * self.iter_ns
+                + node.packets_sent as f64 * self.packet_ns
+                + node.bytes_sent as f64 * self.byte_ns
+                + node.msgs_received as f64 * self.recv_ns;
+            total = total.max(t);
+        }
+        total
     }
 }
 

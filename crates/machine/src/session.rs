@@ -15,7 +15,8 @@ use crate::darray::DistArray;
 use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
 use crate::executor::{prepare_run, DistExecutor, PreparedPlan};
-use crate::obs::{EventKind, Tracer, HOST, NULL_TRACER};
+use crate::obs::{CollectingTracer, EventKind, Tracer, HOST, NULL_TRACER};
+use crate::perfmodel::{CalibratedModel, CalibrationSample};
 use crate::proc::ProcPool;
 use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
@@ -25,8 +26,9 @@ use std::sync::Arc;
 use vcal_core::{Array, Clause, Env};
 use vcal_decomp::{Decomp1, RedistPlan};
 use vcal_spmd::{
-    build_dag, clause_arrays, clause_signature, decomp_fingerprint, program_signature, DecompMap,
-    ProgramDag, ProgramStep, SpmdPlan,
+    build_dag, candidate_for_assignment, clause_arrays, clause_signature, decomp_fingerprint,
+    describe_assignment, enumerate_candidates, program_signature, DecompMap, ProgramDag,
+    ProgramStep, SpmdPlan, TuneCandidate, TuneSpaceOptions,
 };
 
 /// One cached prepared plan, keyed by clause signature + decomposition
@@ -80,6 +82,79 @@ pub struct ProgramReport {
     pub dag_cache_hits: u64,
     /// Whether the program DAG had to be built this call.
     pub dag_cache_misses: u64,
+    /// Candidate decompositions the auto-tuner priced with the
+    /// calibrated cost model (0 outside [`DistSession::run_program_tuned`]).
+    pub candidates_priced: u64,
+    /// Redistribution steps the auto-tuner inserted because a layout
+    /// switch was predicted to amortize (0 outside the tuned path).
+    pub redistributions_inserted: u64,
+    /// Per-clause candidate prices served from the session's tune
+    /// cache instead of being re-priced (0 outside the tuned path).
+    pub tune_cache_hits: u64,
+}
+
+/// Auto-tuner configuration for [`DistSession::run_program_tuned`].
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// Maximum candidates priced with the calibrated model (the
+    /// `--tune-budget`; the incumbent assignment is always priced).
+    pub budget: usize,
+    /// Warm steps profiled (traced) before tuning; clamped to the step
+    /// count. The first profiled step is cold (plans build); only warm
+    /// profiles feed calibration when more than one step runs.
+    pub profile_steps: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            budget: 16,
+            profile_steps: 2,
+        }
+    }
+}
+
+/// What one auto-tuned program run decided and why.
+#[derive(Debug, Clone, Default)]
+pub struct TuneReport {
+    /// Candidate assignments priced with the calibrated model.
+    pub candidates_priced: u64,
+    /// Per-clause prices served from the tune cache.
+    pub tune_cache_hits: u64,
+    /// Redistribution steps inserted (arrays whose layout switched).
+    pub redistributions_inserted: u64,
+    /// Human description of the chosen assignment.
+    pub chosen: String,
+    /// Whether the tuner switched away from the incumbent layout.
+    pub switched: bool,
+    /// Whether the model constants were fit from measured trace
+    /// timings (`false`: degenerate profile, era-default ratios used).
+    pub calibrated: bool,
+    /// Predicted per-step critical path of the chosen assignment (ns).
+    pub predicted_step_ns: f64,
+    /// Predicted per-step critical path of the incumbent (ns).
+    pub baseline_step_ns: f64,
+    /// Predicted per-step critical path of the worst priced candidate (ns).
+    pub worst_step_ns: f64,
+    /// Predicted cost of the inserted redistributions (ns; 0 if none).
+    pub switch_cost_ns: f64,
+    /// Measured wall-clock of the last profiled step (ns).
+    pub measured_step_ns: f64,
+    /// |predicted − measured| / measured for the incumbent on the last
+    /// profiled step — how honest the calibrated model is about the
+    /// layout it actually observed.
+    pub model_error: f64,
+}
+
+/// One cached candidate-clause price, keyed by clause signature + the
+/// fingerprint of the candidate's decompositions restricted to that
+/// clause's arrays — so candidates differing only in arrays a clause
+/// does not touch share the price.
+#[derive(Debug)]
+struct TuneCacheEntry {
+    sig: u64,
+    fp: u64,
+    price_ns: f64,
 }
 
 /// Persistent distributed state for a whole program.
@@ -90,6 +165,7 @@ pub struct DistSession {
     opts: DistOptions,
     cache: Vec<CacheEntry>,
     dag_cache: Vec<DagCacheEntry>,
+    tune_cache: Vec<TuneCacheEntry>,
     pool: Option<DistExecutor>,
     /// Worker-process pool, used instead of `pool` when the options
     /// select a socket backend ([`TransportKind::Uds`] / `Tcp`).
@@ -120,6 +196,7 @@ impl DistSession {
             opts: DistOptions::default(),
             cache: Vec::new(),
             dag_cache: Vec::new(),
+            tune_cache: Vec::new(),
             pool: None,
             procs: None,
         })
@@ -426,7 +503,260 @@ impl DistSession {
             dag_width: dag.width(),
             dag_cache_hits: u64::from(dag_hit),
             dag_cache_misses: u64::from(!dag_hit),
+            ..ProgramReport::default()
         })
+    }
+
+    /// Price one candidate's program cost (sum of per-clause critical
+    /// paths) through the session tune cache: a (clause signature,
+    /// clause-restricted decomposition fingerprint) pair that was
+    /// already priced — by this candidate or an earlier one differing
+    /// only in untouched arrays — is served from the cache.
+    fn price_candidate(
+        &mut self,
+        clauses: &[&Clause],
+        cand: &TuneCandidate,
+        model: &CalibratedModel,
+        hits: &mut u64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (clause, plan) in clauses.iter().zip(&cand.plans) {
+            let sig = clause_signature(clause);
+            let names = clause_arrays(clause);
+            let fp = decomp_fingerprint(&cand.decomps, names.iter().map(String::as_str));
+            if let Some(e) = self.tune_cache.iter().find(|e| e.sig == sig && e.fp == fp) {
+                *hits += 1;
+                total += e.price_ns;
+                continue;
+            }
+            let price_ns = model.price_plan(plan, self.opts.mode).total_ns;
+            self.tune_cache.push(TuneCacheEntry { sig, fp, price_ns });
+            total += price_ns;
+        }
+        total
+    }
+
+    /// Execute an `n_steps` timestep loop of `steps` with the
+    /// cost-driven decomposition auto-tuner in the loop (DESIGN.md §17):
+    ///
+    /// 1. **Profile** — the first `profile_steps` iterations run under
+    ///    the incumbent decompositions with an internal tracer; their
+    ///    counters and measured per-phase wall-clock calibrate the §4
+    ///    cost model's constants ([`CalibratedModel::fit`]).
+    /// 2. **Search** — the candidate space (Block / Scatter /
+    ///    BlockScatter(b) per array, bounded by `budget`) is priced per
+    ///    clause from plans alone through the session tune cache; the
+    ///    incumbent is always priced for the stay/switch comparison.
+    /// 3. **Switch** — if the predicted per-step gain of the argmin
+    ///    candidate, amortized over the remaining steps, exceeds the
+    ///    predicted cost of redistributing every array whose layout
+    ///    changes, the redistributions are inserted (executed
+    ///    immediately, mid-program) and the loop continues under the
+    ///    new layout.
+    ///
+    /// Results are bitwise identical to running the same `n_steps`
+    /// loop untuned — redistribution moves values without transforming
+    /// them, and every candidate executes bit-identically to the
+    /// sequential reference — so the tuner can never trade correctness
+    /// for speed. The returned [`ProgramReport`] is the last step's,
+    /// with the tuner counters filled in; the [`TuneReport`] records
+    /// what the search saw and decided.
+    ///
+    /// Programs that already contain explicit [`ProgramStep::Redistribute`]
+    /// steps are rejected ([`MachineError::PlanMismatch`]): a
+    /// mid-program layout change contradicts the tuner's
+    /// one-assignment-per-loop candidate model.
+    pub fn run_program_tuned(
+        &mut self,
+        steps: &[ProgramStep],
+        n_steps: u64,
+        schedule: ScheduleMode,
+        topts: TuneOptions,
+        tracer: &dyn Tracer,
+    ) -> Result<(ProgramReport, TuneReport), MachineError> {
+        if n_steps == 0 {
+            return Err(MachineError::PlanMismatch(
+                "tuned timestep loop needs at least one step".into(),
+            ));
+        }
+        let clauses: Vec<&Clause> = steps
+            .iter()
+            .map(|s| match s {
+                ProgramStep::Clause(c) => Ok(c),
+                ProgramStep::Redistribute { array, .. } => {
+                    Err(MachineError::PlanMismatch(format!(
+                        "cannot tune a program with an explicit redistribution (array `{array}`)"
+                    )))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let mut tune = TuneReport::default();
+
+        // 1. profile: run the leading steps traced, collect one
+        // calibration sample per step. The first step is cold (plans
+        // build, pools spawn) — when more than one profile step runs,
+        // only the warm ones feed the fit.
+        let profile = topts.profile_steps.clamp(1, n_steps);
+        let mut samples = Vec::new();
+        let mut last_report = None;
+        let mut measured_ns = 0.0;
+        for _ in 0..profile {
+            let t = CollectingTracer::new();
+            let t0 = std::time::Instant::now();
+            let report = self.run_program(steps, schedule, &t)?;
+            measured_ns = t0.elapsed().as_nanos() as f64;
+            // timings come from the step's one trace log; counters are
+            // accumulated over the per-clause reports
+            let mut sample = CalibrationSample::of(&ExecReport::default(), &t.finish());
+            for er in &report.steps {
+                let tot = er.total();
+                sample.iterations += tot.iterations;
+                sample.packets += tot.packets_sent;
+                sample.bytes += tot.bytes_sent;
+                sample.recv_elems += tot.msgs_received;
+            }
+            samples.push(sample);
+            last_report = Some(report);
+        }
+        let warm_samples: &[CalibrationSample] = if samples.len() > 1 {
+            &samples[1..]
+        } else {
+            &samples[..]
+        };
+        let model = match CalibratedModel::fit(warm_samples) {
+            Some(m) => {
+                tune.calibrated = true;
+                m
+            }
+            None => CalibratedModel::default(),
+        };
+        tune.measured_step_ns = measured_ns;
+
+        // 2. search: enumerate and price the candidate space
+        let owned_clauses: Vec<Clause> = clauses.iter().map(|c| (*c).clone()).collect();
+        let names = vcal_spmd::program_arrays(&owned_clauses);
+        let mut extents = BTreeMap::new();
+        for name in &names {
+            let dec = self
+                .decomps
+                .get(name)
+                .ok_or_else(|| MachineError::UnknownArray(name.clone()))?;
+            extents.insert(name.clone(), dec.extent());
+        }
+        let pmax = extents
+            .keys()
+            .next()
+            .and_then(|n| self.decomps.get(n))
+            .map(Decomp1::pmax)
+            .unwrap_or(1);
+        let sopts = TuneSpaceOptions {
+            budget: topts.budget.max(1),
+            ..TuneSpaceOptions::default()
+        };
+        let space = enumerate_candidates(&owned_clauses, &extents, pmax, &sopts)
+            .map_err(MachineError::PlanMismatch)?;
+
+        // the incumbent must participate even if the budget (or an
+        // out-of-family layout) excluded it
+        let incumbent_dm: DecompMap = names
+            .iter()
+            .map(|n| (n.clone(), self.decomps[n].clone()))
+            .collect();
+        let incumbent_fp =
+            decomp_fingerprint(&incumbent_dm, incumbent_dm.keys().map(String::as_str));
+        let mut candidates = space.candidates;
+        if !candidates.iter().any(|c| c.fingerprint == incumbent_fp) {
+            let inc = candidate_for_assignment(&owned_clauses, incumbent_dm.clone(), &sopts)
+                .ok_or_else(|| {
+                    MachineError::PlanMismatch(
+                        "incumbent decomposition has no plan — cannot tune".into(),
+                    )
+                })?;
+            candidates.push(inc);
+        }
+
+        let mut hits = 0u64;
+        let mut best: Option<(f64, usize)> = None;
+        let mut worst = 0.0f64;
+        let mut baseline = 0.0f64;
+        for (k, cand) in candidates.iter().enumerate() {
+            let price = self.price_candidate(&clauses, cand, &model, &mut hits);
+            tune.candidates_priced += 1;
+            if cand.fingerprint == incumbent_fp {
+                baseline = price;
+            }
+            worst = worst.max(price);
+            // strict total order on (price, fingerprint): byte-stable
+            // argmin even under exact cost ties
+            let better = match best {
+                None => true,
+                Some((bp, bk)) => (price, cand.fingerprint) < (bp, candidates[bk].fingerprint),
+            };
+            if better {
+                best = Some((price, k));
+            }
+        }
+        let (best_price, best_k) = best.unwrap_or((baseline, 0));
+        tune.predicted_step_ns = best_price;
+        tune.baseline_step_ns = baseline;
+        tune.worst_step_ns = worst;
+        if measured_ns > 0.0 {
+            tune.model_error = (baseline - measured_ns).abs() / measured_ns;
+        }
+
+        // 3. switch if the amortized gain beats the redistribution bill
+        let remaining = n_steps - profile;
+        let chosen = &candidates[best_k];
+        let mut redists: Vec<(String, Decomp1)> = Vec::new();
+        let mut switch_cost = 0.0;
+        if chosen.fingerprint != incumbent_fp {
+            for (name, to) in &chosen.decomps {
+                let from = &self.decomps[name];
+                if from == to {
+                    continue;
+                }
+                if from.is_replicated() || to.is_replicated() {
+                    // no redistribution plan exists out of (or into) a
+                    // replicated image — the switch is infeasible, keep
+                    // the incumbent
+                    redists.clear();
+                    break;
+                }
+                switch_cost += model.price_redist(&RedistPlan::build(from, to));
+                redists.push((name.clone(), to.clone()));
+            }
+        }
+        let gain = (baseline - best_price) * remaining as f64;
+        let switch = !redists.is_empty() && gain > switch_cost;
+        tune.chosen = describe_assignment(if switch {
+            &chosen.decomps
+        } else {
+            &incumbent_dm
+        });
+        tune.switched = switch;
+        if switch {
+            tune.switch_cost_ns = switch_cost;
+            for (name, to) in redists {
+                self.redistribute_traced(&name, to, tracer)?;
+                tune.redistributions_inserted += 1;
+            }
+        } else {
+            tune.predicted_step_ns = baseline;
+        }
+
+        // run the remaining steps under the (possibly new) layout
+        for _ in 0..remaining {
+            last_report = Some(self.run_program(steps, schedule, tracer)?);
+        }
+        let mut report = match last_report {
+            Some(r) => r,
+            None => self.run_program(steps, schedule, tracer)?,
+        };
+        report.candidates_priced = tune.candidates_priced;
+        report.redistributions_inserted = tune.redistributions_inserted;
+        report.tune_cache_hits = hits;
+        tune.tune_cache_hits = hits;
+        Ok((report, tune))
     }
 
     /// OS process ids of the live worker processes, in node order —

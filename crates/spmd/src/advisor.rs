@@ -8,6 +8,7 @@
 //! It is exhaustive over a small candidate family, which is exactly what
 //! the closed-form cost analysis makes affordable: no execution needed.
 
+use crate::compiled::decomp_fingerprint;
 use crate::program::{CommStats, DecompMap, SpmdPlan};
 use std::collections::BTreeMap;
 use vcal_core::{Bounds, Clause};
@@ -18,6 +19,11 @@ use vcal_decomp::Decomp1;
 pub struct Candidate {
     /// The assignment.
     pub decomps: DecompMap,
+    /// FNV-1a fingerprint of the assignment (see
+    /// [`crate::compiled::decomp_fingerprint`]) — the total-order
+    /// tie-break when two assignments price identically, and the key
+    /// the tuner's pricing cache uses.
+    pub fingerprint: u64,
     /// Total elements communicated across all clauses.
     pub comm: u64,
     /// The largest per-processor work over all clauses (critical path).
@@ -45,7 +51,10 @@ impl Default for AdvisorOptions {
     }
 }
 
-fn candidates_for(extent: Bounds, pmax: i64, opts: &AdvisorOptions) -> Vec<Decomp1> {
+/// The candidate layout family for one array: Block, Scatter, and
+/// BlockScatter(b) for each configured block size that fits the extent.
+/// Deterministic and shared by the advisor and the auto-tuner.
+pub fn candidates_for(extent: Bounds, pmax: i64, opts: &AdvisorOptions) -> Vec<Decomp1> {
     let mut v = vec![Decomp1::block(pmax, extent), Decomp1::scatter(pmax, extent)];
     for b in opts.bs_sizes {
         if b >= 1 && b * pmax <= extent.count() as i64 * 2 {
@@ -111,8 +120,10 @@ pub fn advise(
         }
         if feasible {
             let cost = comm as f64 * opts.comm_weight + max_work as f64;
+            let fingerprint = decomp_fingerprint(&dm, names.iter().map(|n| n.as_str()));
             out.push(Candidate {
                 decomps: dm,
+                fingerprint,
                 comm,
                 max_work,
                 cost,
@@ -122,7 +133,14 @@ pub fn advise(
         let mut k = 0;
         loop {
             if k == names.len() {
-                out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+                // total order: cost first, decomposition fingerprint as
+                // the tie-break — so equal-cost assignments always rank
+                // in the same byte-stable order across runs
+                out.sort_by(|a, b| {
+                    a.cost
+                        .total_cmp(&b.cost)
+                        .then(a.fingerprint.cmp(&b.fingerprint))
+                });
                 return Ok(out);
             }
             pick[k] += 1;
@@ -253,5 +271,42 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(advise(&[], &BTreeMap::new(), 4, AdvisorOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_totally_ordered() {
+        // a clause with no reads: every assignment of the read-free
+        // array family costs the same work and zero comm, so the whole
+        // ranking is one big cost tie — the fingerprint tie-break must
+        // impose a single byte-stable order
+        let n = 64;
+        let constant = Clause {
+            iter: IndexSet::range(0, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("A", Fn1::identity()),
+            rhs: Expr::Lit(1.0),
+        };
+        let mut extents = BTreeMap::new();
+        extents.insert("A".to_string(), Bounds::range(0, n - 1));
+        extents.insert("B".to_string(), Bounds::range(0, n - 1));
+        let a = advise(
+            std::slice::from_ref(&constant),
+            &extents,
+            4,
+            AdvisorOptions::default(),
+        )
+        .unwrap();
+        let b = advise(&[constant], &extents, 4, AdvisorOptions::default()).unwrap();
+        let render = |v: &[Candidate]| -> Vec<String> { v.iter().map(describe).collect() };
+        assert_eq!(render(&a), render(&b), "two runs must rank identically");
+        for pair in a.windows(2) {
+            assert!(
+                (pair[0].cost, pair[0].fingerprint) < (pair[1].cost, pair[1].fingerprint),
+                "strict total order violated: {} !< {}",
+                describe(&pair[0]),
+                describe(&pair[1])
+            );
+        }
     }
 }

@@ -36,9 +36,10 @@ pub mod program;
 pub mod schedule;
 pub mod setops;
 pub mod simd;
+pub mod tuner;
 pub mod validate;
 
-pub use advisor::{advise, AdvisorOptions, Candidate};
+pub use advisor::{advise, candidates_for, AdvisorOptions, Candidate};
 pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
 pub use compiled::{
     clause_arrays, clause_signature, decomp_fingerprint, flatten_schedule, for_each_run,
@@ -55,3 +56,7 @@ pub use program::{CommStats, DecompMap, NodePlan, PlanError, ResidePlan, SpmdPla
 pub use schedule::{repeated_block_kmax, Schedule};
 pub use setops::{comm_sets, intersect, subtract, CommSets};
 pub use simd::{SimdCensus, SimdMode, SimdPolicy};
+pub use tuner::{
+    candidate_for_assignment, describe_assignment, enumerate_candidates, program_arrays,
+    TuneCandidate, TuneSpace, TuneSpaceOptions,
+};

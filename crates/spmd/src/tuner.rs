@@ -1,0 +1,317 @@
+//! Decomposition auto-tuner: the candidate-space half.
+//!
+//! The advisor ([`crate::advisor`]) ranks decomposition assignments by
+//! a *static* heuristic (communication volume × a fixed weight plus
+//! critical-path work). The tuner closes the loop the paper's §4 cost
+//! model opens: it enumerates the same bounded candidate family —
+//! Block / Scatter / BlockScatter(b) per array — but carries the full
+//! per-clause [`SpmdPlan`]s forward so an *execution-calibrated* cost
+//! model (fit from measured trace timings, see
+//! `vcal-machine::perfmodel::CalibratedModel`) can price every
+//! candidate from its plans alone, without executing any of them.
+//!
+//! This module is machine-independent: it owns the candidate space and
+//! its deterministic total order (heuristic cost, then decomposition
+//! fingerprint — so rankings are byte-stable across runs); pricing and
+//! the amortized-redistribution decision live in `vcal-machine`
+//! (`DistSession::run_program_tuned`), which depends on this crate.
+
+use crate::advisor::{candidates_for, AdvisorOptions};
+use crate::compiled::{clause_arrays, decomp_fingerprint};
+use crate::program::{CommStats, DecompMap, SpmdPlan};
+use std::collections::BTreeMap;
+use vcal_core::{Bounds, Clause};
+
+/// Tuner enumeration options.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneSpaceOptions {
+    /// Maximum number of candidates surviving enumeration (the
+    /// `--tune-budget`). The incumbent assignment is priced regardless,
+    /// so the tuner can always compare "switch" against "stay".
+    pub budget: usize,
+    /// The advisor knobs reused for the per-array layout family and the
+    /// heuristic pre-ranking.
+    pub advisor: AdvisorOptions,
+}
+
+impl Default for TuneSpaceOptions {
+    fn default() -> Self {
+        TuneSpaceOptions {
+            budget: 16,
+            advisor: AdvisorOptions::default(),
+        }
+    }
+}
+
+/// One enumerated decomposition assignment, with every clause's plan
+/// built under it — ready for calibrated pricing.
+#[derive(Debug, Clone)]
+pub struct TuneCandidate {
+    /// The assignment (covers exactly the arrays the program touches).
+    pub decomps: DecompMap,
+    /// FNV-1a fingerprint of the assignment over the touched arrays —
+    /// the deterministic tie-break and the pricing-cache key component.
+    pub fingerprint: u64,
+    /// One plan per program clause, in program order.
+    pub plans: Vec<SpmdPlan>,
+    /// The advisor's static heuristic cost (pre-ranking only; the
+    /// calibrated model re-prices every surviving candidate).
+    pub heuristic_cost: f64,
+}
+
+/// The enumerated, deterministically ordered candidate space.
+#[derive(Debug, Clone)]
+pub struct TuneSpace {
+    /// Candidates, best-heuristic-first, truncated to the budget.
+    pub candidates: Vec<TuneCandidate>,
+    /// Assignments enumerated before the budget cut (feasible ones).
+    pub enumerated: usize,
+}
+
+/// Enumerate the candidate space for a clause program.
+///
+/// `extents` maps each *tunable* array (every array the program
+/// touches) to its index range; `pmax` is the processor count. The
+/// cross product of the per-array families is enumerated exhaustively
+/// (bounded to ≤ 5 arrays, like the advisor), each feasible assignment
+/// gets a plan per clause plus the advisor heuristic, and the result is
+/// ordered by `(heuristic_cost, fingerprint)` — a strict total order,
+/// byte-stable across runs — then truncated to `opts.budget`.
+pub fn enumerate_candidates(
+    clauses: &[Clause],
+    extents: &BTreeMap<String, Bounds>,
+    pmax: i64,
+    opts: &TuneSpaceOptions,
+) -> Result<TuneSpace, String> {
+    if clauses.is_empty() {
+        return Err("no clauses to tune".into());
+    }
+    let names: Vec<&String> = extents.keys().collect();
+    if names.is_empty() {
+        return Err("no arrays to decompose".into());
+    }
+    if names.len() > 5 {
+        return Err("tuner search space too large (> 5 arrays)".into());
+    }
+    if opts.budget == 0 {
+        return Err("tune budget must be at least 1".into());
+    }
+    let families: Vec<Vec<_>> = names
+        .iter()
+        .map(|n| candidates_for(extents[*n], pmax, &opts.advisor))
+        .collect();
+
+    let mut out: Vec<TuneCandidate> = Vec::new();
+    let mut enumerated = 0usize;
+    let mut pick = vec![0usize; names.len()];
+    'odometer: loop {
+        let mut dm = DecompMap::new();
+        for (k, name) in names.iter().enumerate() {
+            dm.insert((*name).clone(), families[k][pick[k]].clone());
+        }
+        if let Some(c) = candidate_for_assignment(clauses, dm, opts) {
+            enumerated += 1;
+            out.push(c);
+        }
+        let mut k = 0;
+        loop {
+            if k == names.len() {
+                break 'odometer;
+            }
+            pick[k] += 1;
+            if pick[k] < families[k].len() {
+                break;
+            }
+            pick[k] = 0;
+            k += 1;
+        }
+    }
+    out.sort_by(|a, b| {
+        a.heuristic_cost
+            .total_cmp(&b.heuristic_cost)
+            .then(a.fingerprint.cmp(&b.fingerprint))
+    });
+    out.truncate(opts.budget);
+    Ok(TuneSpace {
+        candidates: out,
+        enumerated,
+    })
+}
+
+/// Build the [`TuneCandidate`] for one specific assignment, or `None`
+/// if any clause has no plan under it. Public so the pricing layer can
+/// force-include the incumbent assignment even when the budget cut or
+/// an out-of-family layout (e.g. replicated) would exclude it.
+pub fn candidate_for_assignment(
+    clauses: &[Clause],
+    dm: DecompMap,
+    opts: &TuneSpaceOptions,
+) -> Option<TuneCandidate> {
+    let mut plans = Vec::with_capacity(clauses.len());
+    let mut comm = 0u64;
+    let mut max_work = 0u64;
+    for clause in clauses {
+        let plan = SpmdPlan::build(clause, &dm).ok()?;
+        let stats = CommStats::of_plan(&plan, &dm);
+        comm += stats.sends;
+        max_work += plan
+            .nodes
+            .iter()
+            .map(|n| n.modify.schedule.work_estimate())
+            .max()
+            .unwrap_or(0);
+        plans.push(plan);
+    }
+    let heuristic_cost = comm as f64 * opts.advisor.comm_weight + max_work as f64;
+    let fingerprint = decomp_fingerprint(&dm, dm.keys().map(String::as_str));
+    Some(TuneCandidate {
+        decomps: dm,
+        fingerprint,
+        plans,
+        heuristic_cost,
+    })
+}
+
+/// The arrays a clause program touches, sorted and deduplicated — the
+/// tunable set whose extents [`enumerate_candidates`] needs.
+pub fn program_arrays(clauses: &[Clause]) -> Vec<String> {
+    let mut names: Vec<String> = clauses.iter().flat_map(clause_arrays).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// One-line description of an assignment: per-array layout names in
+/// array order. Byte-stable for a given assignment.
+pub fn describe_assignment(dm: &DecompMap) -> String {
+    let parts: Vec<String> = dm
+        .iter()
+        .map(|(n, d)| format!("{n}: {}", d.dist().name()))
+        .collect();
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcal_core::func::Fn1;
+    use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+    use vcal_decomp::{Decomp1, Distribution};
+
+    fn stencil(n: i64) -> Clause {
+        Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("V", Fn1::identity()),
+            rhs: Expr::add(
+                Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+                Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+            ),
+        }
+    }
+
+    fn extents(n: i64, arrays: &[&str]) -> BTreeMap<String, Bounds> {
+        arrays
+            .iter()
+            .map(|a| (a.to_string(), Bounds::range(0, n - 1)))
+            .collect()
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_budgeted() {
+        let clauses = [stencil(256)];
+        let ex = extents(256, &["U", "V"]);
+        let opts = TuneSpaceOptions::default();
+        let a = enumerate_candidates(&clauses, &ex, 4, &opts).unwrap();
+        let b = enumerate_candidates(&clauses, &ex, 4, &opts).unwrap();
+        assert_eq!(a.enumerated, 16); // 4 layouts per array, 2 arrays
+        assert_eq!(a.candidates.len(), 16);
+        let fps =
+            |s: &TuneSpace| -> Vec<u64> { s.candidates.iter().map(|c| c.fingerprint).collect() };
+        assert_eq!(fps(&a), fps(&b));
+        // the budget truncates the *tail* of the ranking
+        let tight = enumerate_candidates(
+            &clauses,
+            &ex,
+            4,
+            &TuneSpaceOptions {
+                budget: 3,
+                ..TuneSpaceOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tight.candidates.len(), 3);
+        assert_eq!(tight.enumerated, 16);
+        assert_eq!(fps(&tight), fps(&a)[..3].to_vec());
+    }
+
+    #[test]
+    fn stencil_space_ranks_block_first() {
+        let clauses = [stencil(256)];
+        let ex = extents(256, &["U", "V"]);
+        let space = enumerate_candidates(&clauses, &ex, 8, &TuneSpaceOptions::default()).unwrap();
+        let best = &space.candidates[0];
+        assert!(matches!(
+            best.decomps["U"].dist(),
+            Distribution::Block { .. }
+        ));
+        assert!(matches!(
+            best.decomps["V"].dist(),
+            Distribution::Block { .. }
+        ));
+        assert_eq!(best.plans.len(), 1);
+    }
+
+    #[test]
+    fn incumbent_force_include_handles_out_of_family_layouts() {
+        let clauses = [stencil(64)];
+        let mut dm = DecompMap::new();
+        dm.insert("U".into(), Decomp1::replicated(4, Bounds::range(0, 63)));
+        dm.insert("V".into(), Decomp1::block(4, Bounds::range(0, 63)));
+        let c = candidate_for_assignment(&clauses, dm, &TuneSpaceOptions::default()).unwrap();
+        assert_eq!(c.plans.len(), 1);
+    }
+
+    #[test]
+    fn program_arrays_sorted_dedup() {
+        let n = 32;
+        let copy = Clause {
+            iter: IndexSet::range(0, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("U", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("V", Fn1::identity())),
+        };
+        assert_eq!(program_arrays(&[stencil(n), copy]), vec!["U", "V"]);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let ex = extents(64, &["U", "V"]);
+        assert!(enumerate_candidates(&[], &ex, 4, &TuneSpaceOptions::default()).is_err());
+        assert!(enumerate_candidates(
+            &[stencil(64)],
+            &BTreeMap::new(),
+            4,
+            &TuneSpaceOptions::default()
+        )
+        .is_err());
+        assert!(enumerate_candidates(
+            &[stencil(64)],
+            &ex,
+            4,
+            &TuneSpaceOptions {
+                budget: 0,
+                ..TuneSpaceOptions::default()
+            }
+        )
+        .is_err());
+        let six = extents(64, &["A", "B", "C", "D", "E", "F"]);
+        assert!(
+            enumerate_candidates(&[stencil(64)], &six, 4, &TuneSpaceOptions::default())
+                .unwrap_err()
+                .contains("too large")
+        );
+    }
+}

@@ -50,7 +50,7 @@ use vcal_suite::lang;
 use vcal_suite::machine::{
     build_dag, replay_check, replay_check_dag, run_distributed, run_distributed_traced,
     worker_entry, CollectingTracer, DistArray, DistOptions, DistSession, PerfModel, ProgramStep,
-    ScheduleMode, SimdPolicy, TransportKind, NULL_TRACER,
+    ScheduleMode, SimdPolicy, TransportKind, TuneOptions, NULL_TRACER,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -62,6 +62,8 @@ struct Options {
     steps: u64,
     naive: bool,
     advise: bool,
+    autotune: bool,
+    tune_budget: usize,
     node: i64,
     overlap: bool,
     simd: SimdPolicy,
@@ -73,10 +75,18 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: vcalc <program> <spec> [--emit vcal|plan|shared|dist|dist-closed|derivation]... \
-     [--run] [--steps <N>] [--naive] [--advise] [--node <p>] [--overlap on|off] \
+     [--run] [--steps <N>] [--naive] [--advise] [--autotune] [--tune-budget <K>] \
+     [--node <p>] [--overlap on|off] \
      [--simd auto|on|off] [--transport inproc|uds|tcp] [--schedule seq|dag] \
      [--trace] [--trace-out <path>]\n\
      \n\
+     --autotune runs the --steps loop with the cost-driven decomposition\n\
+     auto-tuner in the loop: the first steps are profiled, the measured\n\
+     timings calibrate the Section 4 cost model, every candidate layout is\n\
+     priced from its plans alone, and a mid-loop redistribution is inserted\n\
+     when switching is predicted to pay for itself over the remaining steps.\n\
+     --tune-budget caps the candidates priced (default 16). Results stay\n\
+     bit-identical to the untuned loop.\n\
      --transport selects the execution backend: `inproc` (default) runs the\n\
      nodes as threads over channels; `uds` and `tcp` run each node as a real\n\
      worker OS process speaking the framed wire protocol over Unix-domain or\n\
@@ -94,6 +104,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut steps = 1u64;
     let mut naive = false;
     let mut advise = false;
+    let mut autotune = false;
+    let mut tune_budget = 16usize;
     let mut node = 0i64;
     let mut overlap = true;
     let mut simd = SimdPolicy::default();
@@ -122,6 +134,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--naive" => naive = true,
             "--advise" => advise = true,
+            "--autotune" => {
+                autotune = true;
+                run = true; // tuning is a property of an execution
+            }
+            "--tune-budget" => {
+                tune_budget = it
+                    .next()
+                    .ok_or("--tune-budget needs a value")?
+                    .parse()
+                    .map_err(|_| "--tune-budget needs a positive integer")?;
+                if tune_budget == 0 {
+                    return Err("--tune-budget needs a positive integer".into());
+                }
+                autotune = true;
+                run = true;
+            }
             "--node" => {
                 node = it
                     .next()
@@ -182,6 +210,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if schedule.is_some() && naive {
         return Err("--naive is a cold-path flag; --schedule always runs optimized".into());
     }
+    if autotune && naive {
+        return Err("--naive is a cold-path flag; --autotune always runs optimized".into());
+    }
     Ok(Options {
         program_path: positional[0].clone(),
         spec_path: positional[1].clone(),
@@ -190,6 +221,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         steps,
         naive,
         advise,
+        autotune,
+        tune_budget,
         node,
         overlap,
         simd,
@@ -306,15 +339,128 @@ fn drive(opts: &Options) -> Result<(), String> {
             }
         }
 
-        if opts.run && opts.steps == 1 && opts.schedule.is_none() {
+        if opts.run && opts.steps == 1 && opts.schedule.is_none() && !opts.autotune {
             run_and_verify(clause, &plan, &spec.decomps, opts)?;
         }
     }
-    if let Some(mode) = opts.schedule {
+    if opts.autotune {
+        run_autotune(&clauses, &spec.decomps, opts)?;
+    } else if let Some(mode) = opts.schedule {
         run_program_schedule(&clauses, &spec.decomps, mode, opts)?;
     } else if opts.steps > 1 {
         run_timestep_loop(&clauses, &spec.decomps, opts)?;
     }
+    Ok(())
+}
+
+/// Execute the whole program as a `--steps` timestep loop with the
+/// decomposition auto-tuner in the loop
+/// ([`DistSession::run_program_tuned`]), print what the tuner saw and
+/// decided, and verify the final state against the iterated sequential
+/// reference — tuning must never change a single bit of the result.
+fn run_autotune(
+    clauses: &[vcal_suite::core::Clause],
+    decomps: &vcal_suite::spmd::DecompMap,
+    opts: &Options,
+) -> Result<(), String> {
+    let mode = opts.schedule.unwrap_or_default();
+    let mode_name = match mode {
+        ScheduleMode::Seq => "seq",
+        ScheduleMode::Dag => "dag",
+    };
+    println!(
+        "--- autotune: {} step(s), schedule {mode_name}, budget {} ---",
+        opts.steps, opts.tune_budget
+    );
+    let steps: Vec<ProgramStep> = clauses.iter().cloned().map(ProgramStep::Clause).collect();
+    let mut env = Env::new();
+    for (name, dec) in decomps.iter() {
+        // deterministic mixed-sign initial data so guards fire both ways
+        env.insert(
+            name.clone(),
+            Array::from_fn(dec.extent(), |i| {
+                let v = i.scalar();
+                if v % 3 == 0 {
+                    -(v as f64)
+                } else {
+                    v as f64 * 0.5
+                }
+            }),
+        );
+    }
+
+    let mut reference = env.clone();
+    for _ in 0..opts.steps {
+        for clause in clauses {
+            reference.exec_clause(clause);
+        }
+    }
+
+    let mut session = DistSession::new(&env, decomps.clone())
+        .map_err(|e| e.to_string())?
+        .with_options(DistOptions {
+            overlap: opts.overlap,
+            simd: opts.simd,
+            transport: opts.transport,
+            ..DistOptions::default()
+        });
+    let topts = TuneOptions {
+        budget: opts.tune_budget,
+        ..TuneOptions::default()
+    };
+    let (report, tune) = session
+        .run_program_tuned(&steps, opts.steps, mode, topts, &NULL_TRACER)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "autotune: priced {} candidate(s) ({} tune-cache hits), model {}",
+        tune.candidates_priced,
+        tune.tune_cache_hits,
+        if tune.calibrated {
+            "calibrated from measured timings"
+        } else {
+            "uncalibrated (era-default ratios)"
+        }
+    );
+    println!("autotune: chosen layout: {}", tune.chosen);
+    if tune.switched {
+        println!(
+            "autotune: switched layout mid-loop — {} redistribution(s), \
+             predicted switch cost {:.0} ns amortized over the remaining steps",
+            tune.redistributions_inserted, tune.switch_cost_ns
+        );
+    } else {
+        println!("autotune: kept the incumbent layout (no profitable switch)");
+    }
+    println!(
+        "autotune: predicted step {:.0} ns (baseline {:.0} ns, worst candidate {:.0} ns); \
+         measured profile step {:.0} ns, model error {:.0}%",
+        tune.predicted_step_ns,
+        tune.baseline_step_ns,
+        tune.worst_step_ns,
+        tune.measured_step_ns,
+        tune.model_error * 100.0
+    );
+
+    let got = session.gather_all();
+    for name in decomps.keys() {
+        let diff = got
+            .get(name)
+            .ok_or_else(|| format!("array `{name}` lost"))?
+            .max_abs_diff(reference.get(name).ok_or("reference missing array")?);
+        if diff != 0.0 {
+            return Err(format!(
+                "VERIFICATION FAILED on `{name}` after {} steps: max |diff| = {diff}",
+                opts.steps
+            ));
+        }
+    }
+    println!(
+        "run: OK — autotuned {} step(s) x {} clause(s); result identical to the \
+         iterated sequential reference\n",
+        opts.steps,
+        report.steps.len()
+    );
     Ok(())
 }
 

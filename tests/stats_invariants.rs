@@ -19,8 +19,8 @@ use vcal_suite::core::func::Fn1;
 use vcal_suite::core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ordering};
 use vcal_suite::decomp::Decomp1;
 use vcal_suite::machine::{
-    run_distributed, CommMode, DistArray, DistOptions, ExecReport, FaultPlan, NodeStats,
-    RetryPolicy,
+    run_distributed, CommMode, DistArray, DistOptions, DistSession, ExecReport, FaultPlan,
+    NodeStats, ProgramReport, ProgramStep, RetryPolicy, ScheduleMode, TuneOptions, NULL_TRACER,
 };
 use vcal_suite::spmd::{DecompMap, SpmdPlan};
 
@@ -188,4 +188,87 @@ fn reliability_counters_fire_with_faults_and_quiet_predicate_flips() {
     assert!(!report.reliability_quiet());
     // a default NodeStats is quiet by construction
     assert!(NodeStats::default().reliability_quiet());
+}
+
+/// Tuner counters are quiet on every untuned path (default
+/// `ProgramReport`, `run_program` under both schedules) and consistent
+/// on the tuned path: the priced-candidate count covers at least the
+/// enumerated-plus-incumbent floor, cache hits never exceed the
+/// clause-price lookups made, and both reports agree.
+#[test]
+fn tuner_counters_quiet_untuned_and_consistent_tuned() {
+    let d = ProgramReport::default();
+    assert_eq!(
+        (
+            d.candidates_priced,
+            d.redistributions_inserted,
+            d.tune_cache_hits
+        ),
+        (0, 0, 0)
+    );
+
+    let n = 64i64;
+    let step = ProgramStep::Clause(Clause {
+        iter: IndexSet::range(1, n - 2),
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs: ArrayRef::d1("V", Fn1::identity()),
+        rhs: Expr::add(
+            Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+            Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+        ),
+    });
+    let steps = vec![step.clone(), step];
+    let mut env = Env::new();
+    for a in ["U", "V"] {
+        env.insert(
+            a,
+            Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+        );
+    }
+    let mut dm = DecompMap::new();
+    for a in ["U", "V"] {
+        dm.insert(a.into(), Decomp1::block(PMAX, Bounds::range(0, n - 1)));
+    }
+
+    // untuned program runs never touch the tuner counters
+    for schedule in [ScheduleMode::Seq, ScheduleMode::Dag] {
+        let mut session = DistSession::new(&env, dm.clone()).unwrap();
+        let r = session.run_program(&steps, schedule, &NULL_TRACER).unwrap();
+        assert_eq!(r.candidates_priced, 0, "{schedule:?}");
+        assert_eq!(r.redistributions_inserted, 0, "{schedule:?}");
+        assert_eq!(r.tune_cache_hits, 0, "{schedule:?}");
+    }
+
+    // tuned run: counters flow into both reports identically
+    let mut session = DistSession::new(&env, dm).unwrap();
+    let budget = 5;
+    let (report, tune) = session
+        .run_program_tuned(
+            &steps,
+            4,
+            ScheduleMode::Seq,
+            TuneOptions {
+                budget,
+                ..TuneOptions::default()
+            },
+            &NULL_TRACER,
+        )
+        .unwrap();
+    assert_eq!(report.candidates_priced, tune.candidates_priced);
+    assert_eq!(
+        report.redistributions_inserted,
+        tune.redistributions_inserted
+    );
+    assert_eq!(report.tune_cache_hits, tune.tune_cache_hits);
+    assert!(
+        tune.candidates_priced >= 2 && tune.candidates_priced <= budget as u64 + 1,
+        "priced {} with budget {budget} (+1 incumbent)",
+        tune.candidates_priced
+    );
+    // two identical clauses per candidate: the second is always a
+    // cache hit, so hits ≥ candidates and hits < total lookups (2 per
+    // candidate)
+    assert!(tune.tune_cache_hits >= tune.candidates_priced);
+    assert!(tune.tune_cache_hits < 2 * tune.candidates_priced);
 }

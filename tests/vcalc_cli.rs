@@ -229,6 +229,114 @@ fn schedule_flag_runs_both_modes_and_rejects_bad_values() {
 }
 
 #[test]
+fn autotune_runs_and_verifies() {
+    let p = write_temp("prog12.vc", PROGRAM);
+    let s = write_temp("spec13.dspec", SPEC);
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--autotune",
+        "--steps",
+        "6",
+    ]);
+    assert!(ok, "--autotune: {stderr}");
+    assert!(stdout.contains("--- autotune: 6 step(s)"), "{stdout}");
+    assert!(stdout.contains("autotune: priced"), "{stdout}");
+    assert!(stdout.contains("autotune: chosen layout:"), "{stdout}");
+    assert!(stdout.contains("run: OK"), "{stdout}");
+    assert!(
+        stdout.contains("identical to the iterated sequential reference"),
+        "{stdout}"
+    );
+    // the per-clause single-shot run must NOT also fire
+    assert!(
+        !stdout.contains("identical to the sequential reference\n\n--- autotune"),
+        "{stdout}"
+    );
+}
+
+/// A heavily misaligned layout over many steps makes the tuner switch
+/// mid-loop — the CLI must report the inserted redistribution and still
+/// verify bit-exactly.
+#[test]
+fn autotune_switches_misaligned_layout() {
+    let p = write_temp(
+        "prog13.vc",
+        "for i := 1 to 62 do V[i] := U[i-1] + U[i+1]; od;",
+    );
+    let s = write_temp(
+        "spec14.dspec",
+        "processors 4;\narray U[0 to 63] scatter;\narray V[0 to 63] scatter;\n",
+    );
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--autotune",
+        "--steps",
+        "500",
+    ]);
+    assert!(ok, "--autotune: {stderr}");
+    assert!(
+        stdout.contains("switched layout mid-loop"),
+        "500 steps of a scattered stencil must amortize a switch\n{stdout}"
+    );
+    assert!(stdout.contains("redistribution(s)"), "{stdout}");
+    assert!(stdout.contains("run: OK"), "{stdout}");
+}
+
+/// `--autotune` composes with `--schedule dag` and `--tune-budget`;
+/// bad budgets and the `--naive` conflict are rejected up front.
+#[test]
+fn autotune_flag_interactions() {
+    let p = write_temp("prog14.vc", MULTI_PROGRAM);
+    let s = write_temp("spec15.dspec", MULTI_SPEC);
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--autotune",
+        "--schedule",
+        "dag",
+        "--steps",
+        "4",
+        "--tune-budget",
+        "3",
+    ]);
+    assert!(ok, "--autotune --schedule dag: {stderr}");
+    assert!(stdout.contains("schedule dag, budget 3"), "{stdout}");
+    assert!(stdout.contains("run: OK"), "{stdout}");
+
+    // --tune-budget alone implies --autotune (and execution)
+    let (ok, stdout, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--tune-budget",
+        "2",
+    ]);
+    assert!(ok, "--tune-budget alone: {stderr}");
+    assert!(stdout.contains("--- autotune:"), "{stdout}");
+
+    for bad in ["0", "-3", "many"] {
+        let (ok, _, stderr) = vcalc(&[
+            p.to_str().unwrap(),
+            s.to_str().unwrap(),
+            "--tune-budget",
+            bad,
+        ]);
+        assert!(!ok, "--tune-budget {bad} must be rejected");
+        assert!(stderr.contains("positive integer"), "{stderr}");
+    }
+
+    let (ok, _, stderr) = vcalc(&[
+        p.to_str().unwrap(),
+        s.to_str().unwrap(),
+        "--autotune",
+        "--naive",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--naive is a cold-path flag"), "{stderr}");
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let p = write_temp("prog5.vc", "for i := 1 to");
     let s = write_temp("spec5.dspec", SPEC);
