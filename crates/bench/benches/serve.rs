@@ -1,0 +1,343 @@
+//! E19 — resident service throughput: shared caches + persistent pool
+//! vs per-request cold sessions.
+//!
+//! One `ServeHandle` per mode serves 8 concurrent client threads (two
+//! tenants × two programs, block layouts). The *warm* service runs the
+//! shared plan/DAG/tune cache hierarchy over one persistent worker
+//! pool; the *cold* service (`ServeConfig::cold`) gives every request a
+//! private session — empty caches, own pool — which is exactly what a
+//! per-request `vcalc run` invocation pays. Both modes answer the same
+//! requests; every response is verified bit-identical (`f64::to_bits`)
+//! against the sequential oracle before its timing counts.
+//!
+//! Acceptance bars:
+//! * with the pool as real worker OS processes over UDS, warm
+//!   throughput ≥ 3× cold at 8 concurrent clients;
+//! * steady-state warm requests never miss the plan cache, and hits
+//!   never cross tenants (each tenant pays its own cold builds);
+//! * every cold request rebuilds all of its plans (`plan_hits == 0`).
+//!
+//! The in-process pool configuration is reported alongside as the
+//! lower-bound contrast (thread spawn + plan build is all a cold
+//! in-proc request pays). Results land in
+//! `target/vcal-reports/BENCH_serve.json` and `BENCH_serve.json` at the
+//! repo root, and EXPERIMENTS.md E19.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::sync::Barrier;
+use std::thread;
+use std::time::{Duration, Instant};
+use vcal_bench::{write_report, ReportRow};
+use vcal_core::func::Fn1;
+use vcal_core::{Array, ArrayRef, Bounds, Clause, Env, Expr, Guard, IndexSet, Ix, Ordering};
+use vcal_decomp::Decomp1;
+use vcal_machine::{
+    DistOptions, ProgramStep, ServeClient, ServeConfig, ServeHandle, ServeRequest, ServiceStats,
+    TransportKind,
+};
+use vcal_spmd::DecompMap;
+
+const N: i64 = 256;
+const PMAX: i64 = 4;
+const CLIENTS: usize = 8;
+const REQS_PER_TRIAL: usize = 6;
+const TRIALS: usize = 4;
+
+fn par(lhs: ArrayRef, iter: IndexSet, rhs: Expr) -> ProgramStep {
+    ProgramStep::Clause(Clause {
+        iter,
+        ordering: Ordering::Par,
+        guard: Guard::Always,
+        lhs,
+        rhs,
+    })
+}
+
+/// Two distinct two-clause programs (stencil+copy over `U`/`T`,
+/// axpy+couple over `V`/`W`), mirroring the serve stress suite.
+fn program(prog_ix: usize) -> (Vec<ProgramStep>, Vec<&'static str>) {
+    if prog_ix == 0 {
+        let sweep = par(
+            ArrayRef::d1("U", Fn1::identity()),
+            IndexSet::range(1, N - 2),
+            Expr::mul(
+                Expr::add(
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+                ),
+                Expr::Lit(0.5),
+            ),
+        );
+        let copy = par(
+            ArrayRef::d1("T", Fn1::identity()),
+            IndexSet::range(0, N - 1),
+            Expr::mul(
+                Expr::Ref(ArrayRef::d1("U", Fn1::identity())),
+                Expr::Lit(2.0),
+            ),
+        );
+        (vec![sweep, copy], vec!["U", "T"])
+    } else {
+        let axpy = par(
+            ArrayRef::d1("V", Fn1::identity()),
+            IndexSet::range(0, N - 1),
+            Expr::add(
+                Expr::Ref(ArrayRef::d1("V", Fn1::identity())),
+                Expr::mul(
+                    Expr::Ref(ArrayRef::d1("W", Fn1::identity())),
+                    Expr::Lit(0.5),
+                ),
+            ),
+        );
+        let couple = par(
+            ArrayRef::d1("W", Fn1::identity()),
+            IndexSet::range(0, N - 1),
+            Expr::add(
+                Expr::mul(
+                    Expr::Ref(ArrayRef::d1("W", Fn1::identity())),
+                    Expr::Lit(2.0),
+                ),
+                Expr::Ref(ArrayRef::d1("V", Fn1::identity())),
+            ),
+        );
+        (vec![axpy, couple], vec!["V", "W"])
+    }
+}
+
+struct Shape {
+    req: ServeRequest,
+    want: BTreeMap<String, Vec<f64>>,
+}
+
+/// Build the request and its sequential oracle for one program.
+fn shape(prog_ix: usize) -> Shape {
+    let (steps, names) = program(prog_ix);
+    let extent = Bounds::range(0, N - 1);
+    let mut decomps = DecompMap::new();
+    let mut globals = BTreeMap::new();
+    let mut env = Env::new();
+    for (k, name) in names.iter().enumerate() {
+        decomps.insert((*name).to_string(), Decomp1::block(PMAX, extent));
+        let salt = prog_ix as i64 * 7 + k as i64 * 3 + 1;
+        let vals: Vec<f64> = (0..N)
+            .map(|i| ((i * 13 + salt) % 31) as f64 - 15.0)
+            .collect();
+        env.insert(
+            (*name).to_string(),
+            Array::from_fn(extent, |i| vals[i.scalar() as usize]),
+        );
+        globals.insert((*name).to_string(), vals);
+    }
+    for step in &steps {
+        if let ProgramStep::Clause(c) = step {
+            env.exec_clause(c);
+        }
+    }
+    let want = names
+        .iter()
+        .map(|name| {
+            let a = env.get(name).unwrap();
+            (
+                (*name).to_string(),
+                (0..N).map(|i| a.get(&Ix::d1(i))).collect(),
+            )
+        })
+        .collect();
+    let mut req = ServeRequest::new(steps, decomps, globals, 1);
+    req.deadline = Some(Duration::from_secs(120));
+    Shape { req, want }
+}
+
+fn verify(got: &BTreeMap<String, Vec<f64>>, want: &BTreeMap<String, Vec<f64>>, who: &str) {
+    for (name, w) in want {
+        let g = &got[name];
+        for (i, (a, b)) in g.iter().zip(w).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{who}: `{name}`[{i}] differs from the sequential oracle"
+            );
+        }
+    }
+}
+
+/// Drive both services with `CLIENTS` threads in interleaved trials
+/// (cold batch, then warm batch, per trial — same host-load windows)
+/// and return (best cold batch seconds, best warm batch seconds,
+/// warm-up stats, timed warm stats, timed cold stats).
+#[allow(clippy::type_complexity)]
+fn drive(
+    cold_addr: &str,
+    warm_addr: &str,
+) -> (
+    f64,
+    f64,
+    Vec<ServiceStats>,
+    Vec<ServiceStats>,
+    Vec<ServiceStats>,
+) {
+    // workers + the timing thread
+    let barrier = Barrier::new(CLIENTS + 1);
+    thread::scope(|scope| {
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let tenant = format!("tenant-{}", t % 2);
+                    let sh = shape((t / 2) % 2);
+                    let mut cold = ServeClient::connect(cold_addr, &tenant).expect("cold connect");
+                    let mut warm = ServeClient::connect(warm_addr, &tenant).expect("warm connect");
+                    // warm-up: outside the timed region, warms the
+                    // shared tiers (and proves both services correct)
+                    let mut warmup = Vec::new();
+                    for c in [&mut cold, &mut warm] {
+                        let r = c.request(&sh.req).expect("warm-up request");
+                        verify(&r.globals, &sh.want, &format!("client {t} warm-up"));
+                        warmup.push(r.service);
+                    }
+                    let mut cold_stats = Vec::new();
+                    let mut warm_stats = Vec::new();
+                    for _ in 0..TRIALS {
+                        for is_warm in [false, true] {
+                            barrier.wait(); // batch start
+                            for r in 0..REQS_PER_TRIAL {
+                                let c = if is_warm { &mut warm } else { &mut cold };
+                                let resp = c.request(&sh.req).expect("timed request");
+                                verify(&resp.globals, &sh.want, &format!("client {t} request {r}"));
+                                if is_warm {
+                                    warm_stats.push(resp.service);
+                                } else {
+                                    cold_stats.push(resp.service);
+                                }
+                            }
+                            barrier.wait(); // batch end
+                        }
+                    }
+                    (warmup, warm_stats, cold_stats)
+                })
+            })
+            .collect();
+
+        // the timing thread brackets each batch between the barriers
+        let (mut best_cold, mut best_warm) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..TRIALS {
+            for is_warm in [false, true] {
+                barrier.wait();
+                let t0 = Instant::now();
+                barrier.wait();
+                let secs = t0.elapsed().as_secs_f64();
+                if is_warm {
+                    best_warm = best_warm.min(secs);
+                } else {
+                    best_cold = best_cold.min(secs);
+                }
+            }
+        }
+        let (mut warmup, mut warm_stats, mut cold_stats) = (Vec::new(), Vec::new(), Vec::new());
+        for j in joins {
+            let (wu, ws, cs) = j.join().expect("client thread");
+            warmup.extend(wu);
+            warm_stats.extend(ws);
+            cold_stats.extend(cs);
+        }
+        (best_cold, best_warm, warmup, warm_stats, cold_stats)
+    })
+}
+
+fn bench_serve(_c: &mut Criterion) {
+    std::env::set_var("VCAL_WORKER_BIN", env!("CARGO_BIN_EXE_vcal-bench-worker"));
+    let mut rows = Vec::new();
+
+    for (pool_name, pool) in [
+        ("inproc", TransportKind::InProc),
+        ("uds", TransportKind::Uds),
+    ] {
+        let mk = |cold: bool| ServeConfig {
+            concurrency: CLIENTS,
+            opts: DistOptions {
+                transport: pool,
+                ..ServeConfig::default().opts
+            },
+            cold,
+            ..ServeConfig::default()
+        };
+        let cold_svc = ServeHandle::start(mk(true)).expect("cold service");
+        let warm_svc = ServeHandle::start(mk(false)).expect("warm service");
+
+        let (cold_secs, warm_secs, warmup, warm_stats, cold_stats) =
+            drive(cold_svc.addr(), warm_svc.addr());
+
+        let n_req = (CLIENTS * REQS_PER_TRIAL) as f64;
+        let speedup = cold_secs / warm_secs;
+        println!(
+            "[pool={pool_name}] {CLIENTS} clients x {REQS_PER_TRIAL} req: cold {:.2} ms/req, \
+             warm {:.2} ms/req ({speedup:.2}x)",
+            cold_secs / n_req * 1e3,
+            warm_secs / n_req * 1e3,
+        );
+
+        // steady-state warm requests never rebuild; cold always does
+        assert!(
+            warm_stats.iter().all(|s| s.plan_misses == 0),
+            "pool={pool_name}: a steady-state warm request missed the plan cache"
+        );
+        assert!(
+            cold_stats
+                .iter()
+                .all(|s| s.plan_hits == 0 && s.plan_misses == 2),
+            "pool={pool_name}: a cold request must rebuild exactly its two plans"
+        );
+        // isolation: the warm-up round pays one build per (tenant,
+        // clause) — hits can only have come from the owning tenant
+        let warm_svc_misses: u64 = warmup
+            .iter()
+            .skip(1)
+            .step_by(2) // warm-service entries interleave cold/warm per client
+            .map(|s| s.plan_misses)
+            .sum();
+        assert!(
+            warm_svc_misses >= 8,
+            "pool={pool_name}: 2 tenants x 2 programs x 2 clauses must each build \
+             their own plans, got {warm_svc_misses} warm-up misses"
+        );
+
+        if pool == TransportKind::Uds {
+            assert!(
+                speedup >= 3.0,
+                "E19 bar: warm shared service must be >= 3x per-request cold \
+                 sessions over a process pool, got {speedup:.2}x"
+            );
+        }
+        rows.push(ReportRow::new(
+            "BENCH_serve",
+            format!(
+                "{CLIENTS} concurrent clients, 2 tenants x 2 programs, pool={pool_name}: \
+                 s/request, cold per-request sessions -> warm shared service \
+                 (n={N} pmax={PMAX}, {} timed requests/batch)",
+                CLIENTS * REQS_PER_TRIAL
+            ),
+            cold_secs / n_req,
+            warm_secs / n_req,
+        ));
+
+        cold_svc.stop();
+        warm_svc.stop();
+    }
+
+    write_report("BENCH_serve", &rows);
+    // the acceptance numbers also live at the repo root, next to
+    // EXPERIMENTS.md, so E19 is traceable without a build
+    let local = std::path::Path::new("target")
+        .join("vcal-reports")
+        .join("BENCH_serve.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    if let Err(e) = std::fs::copy(&local, &root) {
+        eprintln!("warning: could not copy report to repo root: {e}");
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

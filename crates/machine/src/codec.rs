@@ -1508,6 +1508,230 @@ pub(crate) fn dec_ctrl(buf: &[u8]) -> R<Ctrl> {
     Ok(c)
 }
 
+// ---------------------------------------------------------------------
+// serve protocol: session hello, program requests, responses
+// ---------------------------------------------------------------------
+
+/// One client request to a resident `vcalc serve` service: a whole
+/// program (clauses and explicit redistributions), the decompositions,
+/// and the initial global array images. Like the worker protocol, the
+/// encoding is generative — plans, DAGs, and tuning decisions are all
+/// rebuilt server-side from this, where the shared caches can amortize
+/// them across every session that sends the same shapes.
+#[derive(Debug, Clone)]
+pub(crate) struct ReqMsg {
+    /// Client-chosen request ordinal, echoed on the response.
+    pub req_id: u64,
+    /// Timestep-loop iterations of the whole program.
+    pub n_steps: u64,
+    /// Schedule for the program ([`crate::session::ScheduleMode`]).
+    pub schedule: crate::session::ScheduleMode,
+    /// Run through [`crate::session::DistSession::run_program_tuned`].
+    pub autotune: bool,
+    /// Tuner candidate budget (autotune only).
+    pub tune_budget: usize,
+    /// Tuner profile steps (autotune only).
+    pub profile_steps: u64,
+    /// Tuner retune period; 0 = tune once (autotune only).
+    pub retune_every: u64,
+    /// Per-request deadline in milliseconds; 0 = the service default.
+    pub deadline_ms: u64,
+    /// The program.
+    pub steps: Vec<vcal_spmd::ProgramStep>,
+    /// Decomposition per array.
+    pub decomps: BTreeMap<String, Decomp1>,
+    /// Initial global image per array, flattened over the 1-D extent.
+    pub globals: BTreeMap<String, Vec<f64>>,
+}
+
+/// A successful serve response: final global images plus what the
+/// service's shared caches and admission queue did for this request.
+#[derive(Debug, Clone)]
+pub(crate) struct RespOk {
+    /// Final global image per array, flattened over the 1-D extent.
+    pub globals: BTreeMap<String, Vec<f64>>,
+    /// Service-level counters for this request.
+    pub service: crate::stats::ServiceStats,
+}
+
+/// One serve response, success or typed failure.
+#[derive(Debug, Clone)]
+pub(crate) struct RespMsg {
+    /// Echo of [`ReqMsg::req_id`].
+    pub req_id: u64,
+    /// The outcome.
+    pub res: Result<RespOk, MachineError>,
+}
+
+/// Encode the serve-session hello: wire version + tenant name.
+pub(crate) fn enc_shello(tenant: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(WIRE_VERSION);
+    e.str(tenant);
+    e.buf
+}
+
+/// Decode the serve-session hello.
+pub(crate) fn dec_shello(buf: &[u8]) -> R<(u32, String)> {
+    let mut d = Dec::new(buf);
+    let version = d.u32()?;
+    let tenant = d.str()?;
+    d.finish()?;
+    Ok((version, tenant))
+}
+
+fn enc_step(e: &mut Enc, s: &vcal_spmd::ProgramStep) -> R<()> {
+    match s {
+        vcal_spmd::ProgramStep::Clause(c) => {
+            e.u8(0);
+            enc_clause(e, c)?;
+        }
+        vcal_spmd::ProgramStep::Redistribute { array, to } => {
+            e.u8(1);
+            e.str(array);
+            enc_decomp(e, to);
+        }
+    }
+    Ok(())
+}
+
+fn dec_step(d: &mut Dec) -> R<vcal_spmd::ProgramStep> {
+    Ok(match d.u8()? {
+        0 => vcal_spmd::ProgramStep::Clause(dec_clause(d)?),
+        1 => vcal_spmd::ProgramStep::Redistribute {
+            array: d.str()?,
+            to: dec_decomp(d)?,
+        },
+        _ => return Err(bad("ProgramStep tag")),
+    })
+}
+
+pub(crate) fn enc_req(r: &ReqMsg) -> R<Vec<u8>> {
+    let mut e = Enc::new();
+    e.u64(r.req_id);
+    e.u64(r.n_steps);
+    e.u8(match r.schedule {
+        crate::session::ScheduleMode::Seq => 0,
+        crate::session::ScheduleMode::Dag => 1,
+    });
+    e.b(r.autotune);
+    e.us(r.tune_budget);
+    e.u64(r.profile_steps);
+    e.u64(r.retune_every);
+    e.u64(r.deadline_ms);
+    e.us(r.steps.len());
+    for s in &r.steps {
+        enc_step(&mut e, s)?;
+    }
+    enc_decomps(&mut e, &r.decomps);
+    enc_locals(&mut e, &r.globals);
+    Ok(e.buf)
+}
+
+pub(crate) fn dec_req(buf: &[u8]) -> R<ReqMsg> {
+    let mut d = Dec::new(buf);
+    let req_id = d.u64()?;
+    let n_steps = d.u64()?;
+    let schedule = match d.u8()? {
+        0 => crate::session::ScheduleMode::Seq,
+        1 => crate::session::ScheduleMode::Dag,
+        _ => return Err(bad("ScheduleMode tag")),
+    };
+    let autotune = d.b()?;
+    let tune_budget = d.us()?;
+    let profile_steps = d.u64()?;
+    let retune_every = d.u64()?;
+    let deadline_ms = d.u64()?;
+    let n = d.len()?;
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        steps.push(dec_step(&mut d)?);
+    }
+    let decomps = dec_decomps(&mut d)?;
+    let globals = dec_locals(&mut d)?;
+    d.finish()?;
+    Ok(ReqMsg {
+        req_id,
+        n_steps,
+        schedule,
+        autotune,
+        tune_budget,
+        profile_steps,
+        retune_every,
+        deadline_ms,
+        steps,
+        decomps,
+        globals,
+    })
+}
+
+fn enc_service(e: &mut Enc, s: &crate::stats::ServiceStats) {
+    for v in [
+        s.queue_wait_ns,
+        s.sessions_served,
+        s.plan_hits,
+        s.plan_misses,
+        s.dag_hits,
+        s.dag_misses,
+        s.tune_hits,
+        s.tune_misses,
+        s.evictions,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn dec_service(d: &mut Dec) -> R<crate::stats::ServiceStats> {
+    let mut s = crate::stats::ServiceStats::default();
+    for f in [
+        &mut s.queue_wait_ns,
+        &mut s.sessions_served,
+        &mut s.plan_hits,
+        &mut s.plan_misses,
+        &mut s.dag_hits,
+        &mut s.dag_misses,
+        &mut s.tune_hits,
+        &mut s.tune_misses,
+        &mut s.evictions,
+    ] {
+        *f = d.u64()?;
+    }
+    Ok(s)
+}
+
+pub(crate) fn enc_resp(r: &RespMsg) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(r.req_id);
+    match &r.res {
+        Ok(ok) => {
+            e.u8(0);
+            enc_locals(&mut e, &ok.globals);
+            enc_service(&mut e, &ok.service);
+        }
+        Err(err) => {
+            e.u8(1);
+            enc_err(&mut e, err);
+        }
+    }
+    e.buf
+}
+
+pub(crate) fn dec_resp(buf: &[u8]) -> R<RespMsg> {
+    let mut d = Dec::new(buf);
+    let req_id = d.u64()?;
+    let res = match d.u8()? {
+        0 => {
+            let globals = dec_locals(&mut d)?;
+            let service = dec_service(&mut d)?;
+            Ok(RespOk { globals, service })
+        }
+        1 => Err(dec_err(&mut d)?),
+        _ => return Err(bad("RespMsg outcome tag")),
+    };
+    d.finish()?;
+    Ok(RespMsg { req_id, res })
+}
+
 pub(crate) fn enc_frame_bytes(f: &Frame<Wire>) -> Vec<u8> {
     let mut e = Enc::new();
     enc_frame(&mut e, f);
@@ -1783,6 +2007,82 @@ mod tests {
             enc_frame_bytes(&Frame::Done { from: 1 }),
             "router-synthesized Done must be byte-identical to a real one"
         );
+    }
+
+    #[test]
+    fn serve_records_roundtrip() {
+        let mut decomps = BTreeMap::new();
+        decomps.insert(
+            "A".to_string(),
+            Decomp1::new(Distribution::Block { b: 25 }, 4, Bounds::range(0, 99)),
+        );
+        let mut globals = BTreeMap::new();
+        globals.insert("A".to_string(), vec![1.5, -2.0, f64::NAN]);
+        let req = ReqMsg {
+            req_id: 11,
+            n_steps: 6,
+            schedule: crate::session::ScheduleMode::Dag,
+            autotune: true,
+            tune_budget: 16,
+            profile_steps: 2,
+            retune_every: 3,
+            deadline_ms: 500,
+            steps: vec![
+                vcal_spmd::ProgramStep::Clause(sample_clause()),
+                vcal_spmd::ProgramStep::Redistribute {
+                    array: "A".into(),
+                    to: Decomp1::new(Distribution::Scatter, 4, Bounds::range(0, 99)),
+                },
+            ],
+            decomps,
+            globals: globals.clone(),
+        };
+        let bytes = enc_req(&req).expect("encodes");
+        let r2 = dec_req(&bytes).expect("decodes");
+        assert_eq!(r2.req_id, 11);
+        assert_eq!(r2.schedule, crate::session::ScheduleMode::Dag);
+        assert_eq!(r2.retune_every, 3);
+        assert_eq!(r2.decomps, req.decomps);
+        assert_eq!(r2.steps.len(), 2);
+        assert!(r2.globals["A"][2].is_nan(), "NaN survives bit-exactly");
+
+        let (v, tenant) = dec_shello(&enc_shello("acme")).expect("hello roundtrips");
+        assert_eq!((v, tenant.as_str()), (WIRE_VERSION, "acme"));
+
+        let ok = RespMsg {
+            req_id: 11,
+            res: Ok(RespOk {
+                globals,
+                service: crate::stats::ServiceStats {
+                    queue_wait_ns: 77,
+                    sessions_served: 3,
+                    plan_hits: 2,
+                    plan_misses: 1,
+                    dag_hits: 1,
+                    dag_misses: 0,
+                    tune_hits: 4,
+                    tune_misses: 12,
+                    evictions: 1,
+                },
+            }),
+        };
+        let r3 = dec_resp(&enc_resp(&ok)).expect("ok response roundtrips");
+        assert_eq!(r3.req_id, 11);
+        let got = r3.res.expect("ok arm");
+        assert_eq!(got.service.plan_hits, 2);
+        assert_eq!(got.service.queue_wait_ns, 77);
+        assert!(got.globals["A"][2].is_nan());
+
+        let bad_resp = RespMsg {
+            req_id: 12,
+            res: Err(MachineError::Transport {
+                node: -1,
+                detail: "admission: queue full".into(),
+            }),
+        };
+        let r4 = dec_resp(&enc_resp(&bad_resp)).expect("error response roundtrips");
+        let err = r4.res.expect_err("error arm");
+        assert!(format!("{err}").contains("admission: queue full"));
     }
 
     #[test]

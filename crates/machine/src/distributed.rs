@@ -57,7 +57,8 @@ use crate::net::ChaosPlan;
 use crate::obs::{trace_plan, EventKind, Phase, Tracer, NULL_TRACER};
 use crate::stats::{ExecReport, NodeStats};
 use crate::transport::{
-    await_until, AwaitFail, Endpoint, FaultPlan, Frame, RetryPolicy, TransportKind, WirePayload,
+    await_until, AwaitFail, Endpoint, FaultPlan, Frame, ProtoTimeouts, RetryPolicy, TransportKind,
+    WirePayload,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -204,6 +205,11 @@ pub struct DistOptions {
     /// a proxy between the workers and the router. Only meaningful on
     /// the socket backends; ignored under `InProc`.
     pub chaos: Option<ChaosPlan>,
+    /// Socket-backend protocol timeouts (heartbeat, spawn deadline, run
+    /// grace, job resend). Per-run before; service-level now, so a
+    /// resident `vcalc serve` can tighten failure detection without a
+    /// recompile. Ignored under [`TransportKind::InProc`].
+    pub timeouts: ProtoTimeouts,
 }
 
 impl Default for DistOptions {
@@ -217,6 +223,7 @@ impl Default for DistOptions {
             simd: SimdPolicy::default(),
             transport: TransportKind::default(),
             chaos: None,
+            timeouts: ProtoTimeouts::default(),
         }
     }
 }

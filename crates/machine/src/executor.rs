@@ -85,6 +85,27 @@ impl PreparedPlan {
     pub fn referenced(&self) -> &[String] {
         &self.referenced
     }
+
+    /// Rough resident size of the prepared tables — the byte charge the
+    /// bounded plan caches account against their budget. Dominated by
+    /// the compiled per-node run tables and the vectorized receive
+    /// addressing; a handful of machine words per run/origin entry, so
+    /// an estimate (not an allocator census) is plenty for LRU pressure.
+    pub fn approx_bytes(&self) -> usize {
+        let mut b = std::mem::size_of::<PreparedPlan>();
+        for node in &self.compiled.nodes {
+            b += node.modify.len() * 32;
+            for r in node.resides.iter().flatten() {
+                b += r.len() * 32;
+            }
+            b += node.origin.len() * 64;
+            b += (node.src_ord.len() + node.src_peers.len() + node.staging_runs.len()) * 8;
+        }
+        for np in &self.plan.nodes {
+            b += np.resides.len() * 128;
+        }
+        b
+    }
 }
 
 impl std::fmt::Debug for PreparedPlan {

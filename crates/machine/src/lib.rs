@@ -37,6 +37,7 @@ pub(crate) mod proc;
 pub mod redistribute;
 pub mod reduce;
 pub mod sequential;
+pub mod serve;
 pub mod session;
 pub mod shared;
 pub mod shared_nd;
@@ -62,14 +63,17 @@ pub use obs::{
     Phase, PhaseTiming, ReplayError, ReplaySummary, TraceLog, Tracer, HOST, NULL_TRACER,
 };
 pub use perfmodel::{CalibratedModel, CalibrationSample, PerfModel, PlanPrice, SimTime};
-pub use proc::worker_entry;
+pub use proc::{worker_entry, worker_entry_with};
 pub use redistribute::{run_redistribution, run_redistribution_opts, run_redistribution_traced};
 pub use reduce::{run_reduce_distributed, run_reduce_shared};
 pub use sequential::run_sequential;
+pub use serve::{ServeClient, ServeConfig, ServeHandle, ServeRequest, ServeResponse};
 pub use session::{DistSession, ProgramReport, ScheduleMode, TuneOptions, TuneReport};
 pub use shared::{run_shared, WriteStrategy};
 pub use shared_nd::run_shared_nd;
-pub use stats::{ExecReport, NodeStats};
+pub use stats::{ExecReport, NodeStats, ServiceStats};
 pub use topology::{price_traffic, Topology, TrafficCost};
-pub use transport::{CrashFault, FaultPlan, RetryPolicy, TransportKind};
-pub use vcal_spmd::{build_dag, ProgramDag, ProgramStep, SimdCensus, SimdMode, SimdPolicy};
+pub use transport::{CrashFault, FaultPlan, ProtoTimeouts, RetryPolicy, TransportKind};
+pub use vcal_spmd::{
+    build_dag, CacheBudget, ProgramDag, ProgramStep, SimdCensus, SimdMode, SimdPolicy,
+};

@@ -65,8 +65,18 @@ pub(crate) const K_HELLO_REJECT: u8 = 3;
 pub(crate) const K_DATA: u8 = 4;
 pub(crate) const K_CTRL: u8 = 5;
 pub(crate) const K_HEARTBEAT: u8 = 6;
+// the serve protocol (client ↔ resident service, DESIGN.md §18) shares
+// the frame layer but speaks its own kinds, so a worker dialing a serve
+// listener (or vice versa) fails loudly at the handshake
+pub(crate) const K_SHELLO: u8 = 7;
+pub(crate) const K_SHELLO_OK: u8 = 8;
+pub(crate) const K_SHELLO_REJECT: u8 = 9;
+pub(crate) const K_SREQ: u8 = 10;
+pub(crate) const K_SRESP: u8 = 11;
 
-/// How often an idle worker proves liveness between runs.
+/// How often an idle worker proves liveness between runs — the default;
+/// the service-level override travels on
+/// [`crate::transport::ProtoTimeouts`].
 pub(crate) const HEARTBEAT_IVL: Duration = Duration::from_millis(200);
 /// Reconnect budget of a worker link (attempts, with jittered
 /// exponential backoff between them).
@@ -238,7 +248,7 @@ impl NetListener {
 
     /// Non-blocking accept (the listener is bound non-blocking so
     /// accept loops can poll a shutdown flag).
-    fn accept(&self) -> std::io::Result<Option<Sock>> {
+    pub fn accept(&self) -> std::io::Result<Option<Sock>> {
         match &self.inner {
             Listener::Unix(l) => match l.accept() {
                 Ok((s, _)) => Ok(Some(Sock::Unix(s))),
@@ -489,7 +499,7 @@ impl Drop for Router {
 
 /// Mutex lock that survives a poisoned peer thread (the router must
 /// keep routing even if one reader panicked mid-lock).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -623,6 +633,9 @@ pub(crate) struct SockLink {
     pending_data: VecDeque<Frame<Wire>>,
     pending_ctrl: VecDeque<Ctrl>,
     reconnects: u32,
+    /// Idle-heartbeat interval (the [`HEARTBEAT_IVL`] default until the
+    /// spawning pool installs its service-level value).
+    hb_ivl: Duration,
 }
 
 impl SockLink {
@@ -638,9 +651,18 @@ impl SockLink {
             pending_data: VecDeque::new(),
             pending_ctrl: VecDeque::new(),
             reconnects: 0,
+            hb_ivl: HEARTBEAT_IVL,
         };
         link.dial_hello()?;
         Ok(link)
+    }
+
+    /// Override the idle-heartbeat interval (the worker subcommand's
+    /// optional fourth argument, from the host's `ProtoTimeouts`).
+    pub fn set_heartbeat_ivl(&mut self, ivl: Duration) {
+        if !ivl.is_zero() {
+            self.hb_ivl = ivl;
+        }
     }
 
     fn dial_hello(&mut self) -> Result<(), String> {
@@ -751,7 +773,7 @@ impl SockLink {
             if let Some(c) = self.pending_ctrl.pop_front() {
                 return Some(c);
             }
-            if !self.pump(HEARTBEAT_IVL) {
+            if !self.pump(self.hb_ivl) {
                 return None;
             }
             if self.pending_ctrl.is_empty() && idle_heartbeat && !self.send_kind(K_HEARTBEAT, &[]) {

@@ -39,7 +39,7 @@ use crate::executor::{
 use crate::net::{ChaosProxy, Router, RouterEvent, SockLink};
 use crate::obs::{trace_plan, EventKind, Phase, Tracer};
 use crate::stats::{ExecReport, NodeStats};
-use crate::transport::{Endpoint, TransportKind};
+use crate::transport::{Endpoint, ProtoTimeouts, TransportKind};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::{Child, Command, Stdio};
@@ -47,17 +47,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vcal_core::Clause;
 use vcal_spmd::{clause_signature, decomp_fingerprint, SpmdPlan};
-
-/// How long the pool waits for a spawned worker's handshake.
-const SPAWN_DEADLINE: Duration = Duration::from_secs(10);
-/// Extra wall-clock granted on top of the per-run protocol deadlines
-/// before the host declares a silent worker hung.
-const RUN_GRACE: Duration = Duration::from_secs(30);
-/// How often the host re-sends an unacknowledged Job (or re-answers a
-/// late Ready with Go). The control plane is reliable only within one
-/// connection, so a chaos sever can eat queued control frames; re-sends
-/// plus worker-side `run_id` dedupe make dispatch idempotent.
-const RESEND_IVL: Duration = Duration::from_secs(1);
 
 /// One node's outcome plus the trace events and per-phase timings its
 /// worker buffered during the run.
@@ -88,6 +77,10 @@ fn worker_bin() -> Result<std::path::PathBuf, MachineError> {
 pub(crate) struct ProcPool {
     kind: TransportKind,
     chaos: Option<crate::net::ChaosPlan>,
+    /// Protocol timeouts (spawn deadline, run grace, resend interval,
+    /// worker heartbeat) — service-level configuration, part of the
+    /// pool's cache identity so tightening them rebuilds the pool.
+    timeouts: ProtoTimeouts,
     pmax: usize,
     router: Router,
     /// Keeps the proxy's accept loop alive for reconnects.
@@ -123,6 +116,7 @@ impl ProcPool {
         kind: TransportKind,
         pmax: usize,
         chaos: Option<crate::net::ChaosPlan>,
+        timeouts: ProtoTimeouts,
     ) -> Result<ProcPool, MachineError> {
         let router = Router::bind(kind, pmax)?;
         let (proxy, dial_addr) = match chaos {
@@ -141,6 +135,7 @@ impl ProcPool {
         let mut pool = ProcPool {
             kind,
             chaos,
+            timeouts,
             pmax,
             router,
             _proxy: proxy,
@@ -167,6 +162,12 @@ impl ProcPool {
         self.chaos
     }
 
+    /// Protocol timeouts the pool was built with (part of its cache
+    /// identity — the worker heartbeat rides the spawn command line).
+    pub fn timeouts(&self) -> ProtoTimeouts {
+        self.timeouts
+    }
+
     /// Number of worker processes.
     pub fn pmax(&self) -> usize {
         self.pmax
@@ -187,6 +188,7 @@ impl ProcPool {
             .arg(&self.dial_addr)
             .arg(p.to_string())
             .arg(self.pmax.to_string())
+            .arg(self.timeouts.heartbeat_ivl.as_millis().to_string())
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .spawn()
@@ -202,7 +204,7 @@ impl ProcPool {
     /// surfacing early worker deaths as typed errors.
     fn await_hellos(&mut self, nodes: &[usize]) -> Result<(), MachineError> {
         let mut waiting: Vec<usize> = nodes.to_vec();
-        let deadline = Instant::now() + SPAWN_DEADLINE;
+        let deadline = Instant::now() + self.timeouts.spawn_deadline;
         while !waiting.is_empty() {
             if let Some(RouterEvent::Hello { node }) =
                 self.router.recv_event(Duration::from_millis(100))
@@ -372,7 +374,7 @@ impl ProcPool {
 
         // --- barrier (only after a dirty run): all purge before any send
         if handshake {
-            let deadline = Instant::now() + SPAWN_DEADLINE;
+            let deadline = Instant::now() + self.timeouts.spawn_deadline;
             let mut ready = vec![false; pmax];
             while (0..pmax).any(|p| running[p] && !ready[p]) {
                 match self.router.recv_event(Duration::from_millis(100)) {
@@ -395,7 +397,7 @@ impl ProcPool {
                             p,
                             format!("worker process exited at the purge barrier ({status})"),
                         );
-                    } else if job_sent[p].elapsed() > RESEND_IVL {
+                    } else if job_sent[p].elapsed() > self.timeouts.resend_ivl {
                         job_sent[p] = Instant::now();
                         let _ = self
                             .router
@@ -432,7 +434,8 @@ impl ProcPool {
         // so the host deadline is a backstop against dead/hung processes
         // the event loop below didn't already catch.
         let retry_budget = opts.retry.deadline.unwrap_or(Duration::ZERO);
-        let deadline = Instant::now() + opts.recv_timeout * 4 + retry_budget + RUN_GRACE;
+        let deadline =
+            Instant::now() + opts.recv_timeout * 4 + retry_budget + self.timeouts.run_grace;
         while (0..pmax).any(|p| running[p]) {
             match self.router.recv_event(Duration::from_millis(50)) {
                 Some(RouterEvent::Ctrl {
@@ -508,7 +511,7 @@ impl ProcPool {
                         p,
                         "worker made no progress before the run deadline".to_string(),
                     );
-                } else if job_sent[p].elapsed() > RESEND_IVL {
+                } else if job_sent[p].elapsed() > self.timeouts.resend_ivl {
                     job_sent[p] = Instant::now();
                     let _ = self
                         .router
@@ -611,7 +614,12 @@ pub(crate) fn run_one_shot(
         decomps.insert(name.clone(), da.decomp().clone());
     }
     let prepared = Arc::new(prepare_run(plan.clone(), clause, &decomps)?);
-    let mut pool = ProcPool::new(opts.transport, plan.pmax.max(0) as usize, opts.chaos)?;
+    let mut pool = ProcPool::new(
+        opts.transport,
+        plan.pmax.max(0) as usize,
+        opts.chaos,
+        opts.timeouts,
+    )?;
     pool.run(&prepared, clause, arrays, opts, tracer)
 }
 
@@ -622,10 +630,26 @@ pub(crate) fn run_one_shot(
 /// The body of a worker process (the `vcalc worker <addr> <node>
 /// <pmax>` subcommand): connect, handshake, then serve jobs until the
 /// host shuts the link down. Returns an error string suitable for
-/// stderr + nonzero exit.
+/// stderr + nonzero exit. Uses the default heartbeat interval; pools
+/// spawn workers through [`worker_entry_with`] to install the
+/// service-level one.
 pub fn worker_entry(addr: &str, node: i64, pmax: usize) -> Result<(), String> {
+    worker_entry_with(addr, node, pmax, ProtoTimeouts::default().heartbeat_ivl)
+}
+
+/// [`worker_entry`] with an explicit idle-heartbeat interval (the
+/// optional fourth `worker` subcommand argument, in milliseconds) — how
+/// the host's [`ProtoTimeouts::heartbeat_ivl`] reaches the worker
+/// process without a wire-format change.
+pub fn worker_entry_with(
+    addr: &str,
+    node: i64,
+    pmax: usize,
+    heartbeat_ivl: Duration,
+) -> Result<(), String> {
     let mut link = SockLink::connect(addr, node, pmax)
         .map_err(|e| format!("worker {node}: cannot join session: {e}"))?;
+    link.set_heartbeat_ivl(heartbeat_ivl);
     let mut cache: Vec<(u64, u64, Arc<PreparedPlan>)> = Vec::new();
     // last completed run, kept for idempotent re-dispatch: a duplicate
     // Job (the host never saw our result, or re-sent before it landed)
@@ -761,6 +785,7 @@ fn serve_job(
         simd: job.simd,
         transport: TransportKind::InProc, // the link IS the transport here
         chaos: None,
+        timeouts: ProtoTimeouts::default(),
     };
     reset_scratch(scratch, &prepared, p);
     let mut locals = job.locals;

@@ -10,11 +10,21 @@
 //! [`DistSession::redistribute`] and any decomposition change invalidate
 //! the cache. [`ExecReport::cache_hits`]/[`ExecReport::cache_misses`]
 //! report which path a run took.
+//!
+//! Every reuse tier — plan cache, DAG cache, tune cache — is a bounded
+//! LRU ([`vcal_spmd::BoundedLru`]) with an entry/byte budget, and each
+//! tier can be **owned** (the classic per-session caches) or **shared**:
+//! `vcalc serve` (DESIGN.md §18) hangs many concurrent sessions off one
+//! `Arc<Mutex<SessionCaches>>` and one worker pool, with a per-tenant
+//! namespace mixed into every key so tenants can never observe each
+//! other's cache fate. Budget-pressure evictions surface on
+//! [`ExecReport::evictions`] and [`ProgramReport::evictions`].
 
 use crate::darray::DistArray;
 use crate::distributed::{run_distributed, run_distributed_traced, DistOptions};
 use crate::error::MachineError;
 use crate::executor::{prepare_run, DistExecutor, PreparedPlan};
+use crate::net::lock;
 use crate::obs::{CollectingTracer, EventKind, Tracer, HOST, NULL_TRACER};
 use crate::perfmodel::{CalibratedModel, CalibrationSample};
 use crate::proc::ProcPool;
@@ -22,35 +32,199 @@ use crate::redistribute::{run_redistribution_opts, run_redistribution_traced};
 use crate::stats::ExecReport;
 use crate::transport::TransportKind;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use vcal_core::{Array, Clause, Env};
 use vcal_decomp::{Decomp1, RedistPlan};
 use vcal_spmd::{
     build_dag, candidate_for_assignment, clause_arrays, clause_signature, decomp_fingerprint,
-    describe_assignment, enumerate_candidates, program_signature, DecompMap, ProgramDag,
-    ProgramStep, SpmdPlan, TuneCandidate, TuneSpaceOptions,
+    describe_assignment, enumerate_candidates, program_signature, BoundedLru, CacheBudget,
+    DecompMap, ProgramDag, ProgramStep, SpmdPlan, TuneCandidate, TuneSpaceOptions,
 };
 
-/// One cached prepared plan, keyed by clause signature + decomposition
-/// fingerprint. The signature identifies *which* clause; the
-/// fingerprint covers the decompositions of exactly the arrays that
-/// clause touches, so redistributing an unrelated array does not evict.
+/// Cache key of every tier: `(tenant namespace, signature, decomposition
+/// fingerprint)`. Owned sessions use namespace 0; shared (serve-mode)
+/// sessions mix in the tenant fingerprint, so two tenants submitting the
+/// byte-identical program still occupy disjoint key spaces — the
+/// cross-tenant isolation guarantee is structural, not advisory.
+type CacheKey = (u64, u64, u64);
+
+/// Approximate resident bytes charged per DAG edge/wave entry.
+const DAG_ENTRY_BYTES: usize = 64;
+/// Flat byte charge per cached tune price (the entry is a key + an f64).
+const TUNE_ENTRY_BYTES: usize = 40;
+
+/// The three bounded reuse tiers a session consults, owned directly or
+/// shared behind a mutex by every session of a resident service.
 #[derive(Debug)]
-struct CacheEntry {
-    sig: u64,
-    fp: u64,
-    prepared: Arc<PreparedPlan>,
+pub(crate) struct SessionCaches {
+    /// Prepared plans by clause signature × clause-restricted fingerprint.
+    plans: BoundedLru<CacheKey, Arc<PreparedPlan>>,
+    /// Program dependence DAGs by program signature × fingerprint.
+    dags: BoundedLru<CacheKey, Arc<ProgramDag>>,
+    /// Tuner candidate prices by clause signature × candidate fingerprint.
+    tunes: BoundedLru<CacheKey, f64>,
 }
 
-/// One cached program dependence DAG, keyed like [`CacheEntry`] but at
-/// program granularity: the program signature identifies the step
-/// sequence, the fingerprint covers the decompositions of every array
-/// any step touches.
+impl SessionCaches {
+    /// Empty tiers sharing one budget (the tune tier gets a deeper entry
+    /// budget — its entries are 40 bytes, not kilobytes, and a candidate
+    /// sweep touches `budget × clauses` keys in one call).
+    pub(crate) fn new(budget: CacheBudget) -> SessionCaches {
+        let tune_budget = CacheBudget {
+            max_entries: budget.max_entries.saturating_mul(16),
+            max_bytes: budget.max_bytes,
+        };
+        SessionCaches {
+            plans: BoundedLru::new(budget),
+            dags: BoundedLru::new(budget),
+            tunes: BoundedLru::new(tune_budget),
+        }
+    }
+
+    /// Budget-pressure evictions across all three tiers, lifetime.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.plans.evictions() + self.dags.evictions() + self.tunes.evictions()
+    }
+}
+
+impl Default for SessionCaches {
+    fn default() -> Self {
+        SessionCaches::new(CacheBudget::default())
+    }
+}
+
+/// Where a session's caches live.
 #[derive(Debug)]
-struct DagCacheEntry {
-    sig: u64,
-    fp: u64,
-    dag: Arc<ProgramDag>,
+enum CacheHandle {
+    /// Classic: this session owns its tiers (namespace 0). Boxed so the
+    /// handle stays pointer-sized next to the shared arm.
+    Owned(Box<SessionCaches>),
+    /// Serve mode: tiers shared across sessions, keys namespaced by the
+    /// tenant fingerprint.
+    Shared {
+        caches: Arc<Mutex<SessionCaches>>,
+        ns: u64,
+    },
+}
+
+impl CacheHandle {
+    /// Run `f` against the tiers with this session's namespace. The
+    /// shared arm holds the mutex only for the closure — callers build
+    /// plans *outside* it so tenants never serialize behind each other's
+    /// planning.
+    fn with<R>(&mut self, f: impl FnOnce(&mut SessionCaches, u64) -> R) -> R {
+        match self {
+            CacheHandle::Owned(c) => f(c, 0),
+            CacheHandle::Shared { caches, ns } => f(&mut lock(caches), *ns),
+        }
+    }
+}
+
+/// The execution backends a session dispatches onto: the in-process
+/// thread pool and/or the socket-backend worker-process pool, created
+/// lazily and identified by `(backend, pmax, chaos, timeouts)`.
+#[derive(Debug, Default)]
+pub(crate) struct PoolState {
+    pool: Option<DistExecutor>,
+    procs: Option<ProcPool>,
+}
+
+impl PoolState {
+    /// Execute one prepared clause on whichever backend `opts` selects,
+    /// (re)creating the pool when its identity no longer matches.
+    fn run_clause(
+        &mut self,
+        prepared: &Arc<PreparedPlan>,
+        clause: &Clause,
+        arrays: &mut BTreeMap<String, DistArray>,
+        opts: DistOptions,
+        tracer: &dyn Tracer,
+    ) -> Result<ExecReport, MachineError> {
+        let pmax = prepared.plan().pmax;
+        if opts.transport != TransportKind::InProc {
+            // socket backend: real worker processes behind the router;
+            // the pool's identity is (backend, pmax, chaos plan, timeouts)
+            let want = pmax.max(0) as usize;
+            if self.procs.as_ref().is_some_and(|pp| {
+                pp.kind() != opts.transport
+                    || pp.pmax() != want
+                    || pp.chaos() != opts.chaos
+                    || pp.timeouts() != opts.timeouts
+            }) {
+                self.procs = None;
+            }
+            if self.procs.is_none() {
+                self.procs = Some(ProcPool::new(
+                    opts.transport,
+                    want,
+                    opts.chaos,
+                    opts.timeouts,
+                )?);
+            }
+            let procs = match self.procs.as_mut() {
+                Some(pp) => pp,
+                None => unreachable!("process pool created above"),
+            };
+            return procs.run(prepared, clause, arrays, opts, tracer);
+        }
+        self.inproc(pmax).run(prepared, arrays, opts, tracer)
+    }
+
+    /// Execute one DAG wave on the in-process pool (the socket backends
+    /// never reach here — their waves run member-by-member).
+    fn run_wave(
+        &mut self,
+        jobs: &[Arc<PreparedPlan>],
+        arrays: &mut BTreeMap<String, DistArray>,
+        opts: DistOptions,
+        tracer: &dyn Tracer,
+    ) -> Result<Vec<ExecReport>, MachineError> {
+        let pmax = jobs[0].plan().pmax;
+        let pool = self.inproc(pmax);
+        // a width-1 wave is just a single run — skip the wave machinery
+        // (per-job snapshots, staged commits) it exists to coordinate
+        if jobs.len() == 1 {
+            Ok(vec![pool.run(&jobs[0], arrays, opts, tracer)?])
+        } else {
+            pool.run_wave(jobs, arrays, opts, tracer)
+        }
+    }
+
+    /// The in-process pool for `pmax` nodes, recreated on a size change.
+    fn inproc(&mut self, pmax: i64) -> &mut DistExecutor {
+        if self
+            .pool
+            .as_ref()
+            .is_some_and(|pool| pool.pmax() != pmax.max(0) as usize)
+        {
+            self.pool = None;
+        }
+        self.pool.get_or_insert_with(|| DistExecutor::new(pmax))
+    }
+
+    /// OS pids of the live worker processes (empty off the socket
+    /// backends).
+    fn pids(&self) -> Vec<u32> {
+        self.procs.as_ref().map(ProcPool::pids).unwrap_or_default()
+    }
+}
+
+/// Where a session's execution pools live — owned, or shared by every
+/// session of a resident service (requests then serialize on the pool,
+/// which is the point: one pool, many tenants).
+#[derive(Debug)]
+enum PoolHandle {
+    Owned(Box<PoolState>),
+    Shared(Arc<Mutex<PoolState>>),
+}
+
+impl PoolHandle {
+    fn with<R>(&mut self, f: impl FnOnce(&mut PoolState) -> R) -> R {
+        match self {
+            PoolHandle::Owned(p) => f(p),
+            PoolHandle::Shared(m) => f(&mut lock(m)),
+        }
+    }
 }
 
 /// How [`DistSession::run_program`] orders a multi-clause program.
@@ -91,6 +265,9 @@ pub struct ProgramReport {
     /// Per-clause candidate prices served from the session's tune
     /// cache instead of being re-priced (0 outside the tuned path).
     pub tune_cache_hits: u64,
+    /// Cache entries (any tier) evicted by budget pressure during this
+    /// call — LRU retirement, not fingerprint invalidation.
+    pub evictions: u64,
 }
 
 /// Auto-tuner configuration for [`DistSession::run_program_tuned`].
@@ -103,6 +280,13 @@ pub struct TuneOptions {
     /// count. The first profiled step is cold (plans build); only warm
     /// profiles feed calibration when more than one step runs.
     pub profile_steps: u64,
+    /// Re-profile and re-tune every `N` steps (the `--retune-every`
+    /// flag): the timestep loop is cut into rounds of at most `N`
+    /// steps, each starting with a fresh profile→calibrate→price pass,
+    /// so a very long loop adapts to drift (cache effects, host load,
+    /// layout changes a previous round made). `None` tunes once for
+    /// the whole loop — the classic behavior.
+    pub retune_every: Option<u64>,
 }
 
 impl Default for TuneOptions {
@@ -110,6 +294,7 @@ impl Default for TuneOptions {
         TuneOptions {
             budget: 16,
             profile_steps: 2,
+            retune_every: None,
         }
     }
 }
@@ -117,15 +302,19 @@ impl Default for TuneOptions {
 /// What one auto-tuned program run decided and why.
 #[derive(Debug, Clone, Default)]
 pub struct TuneReport {
-    /// Candidate assignments priced with the calibrated model.
+    /// Candidate assignments priced with the calibrated model (summed
+    /// over every retune round).
     pub candidates_priced: u64,
     /// Per-clause prices served from the tune cache.
     pub tune_cache_hits: u64,
     /// Redistribution steps inserted (arrays whose layout switched).
     pub redistributions_inserted: u64,
-    /// Human description of the chosen assignment.
+    /// Tuning rounds executed (1 unless [`TuneOptions::retune_every`]
+    /// cut the loop).
+    pub rounds: u64,
+    /// Human description of the chosen assignment (last round's).
     pub chosen: String,
-    /// Whether the tuner switched away from the incumbent layout.
+    /// Whether any round switched away from its incumbent layout.
     pub switched: bool,
     /// Whether the model constants were fit from measured trace
     /// timings (`false`: degenerate profile, era-default ratios used).
@@ -146,30 +335,14 @@ pub struct TuneReport {
     pub model_error: f64,
 }
 
-/// One cached candidate-clause price, keyed by clause signature + the
-/// fingerprint of the candidate's decompositions restricted to that
-/// clause's arrays — so candidates differing only in arrays a clause
-/// does not touch share the price.
-#[derive(Debug)]
-struct TuneCacheEntry {
-    sig: u64,
-    fp: u64,
-    price_ns: f64,
-}
-
 /// Persistent distributed state for a whole program.
 #[derive(Debug)]
 pub struct DistSession {
     arrays: BTreeMap<String, DistArray>,
     decomps: DecompMap,
     opts: DistOptions,
-    cache: Vec<CacheEntry>,
-    dag_cache: Vec<DagCacheEntry>,
-    tune_cache: Vec<TuneCacheEntry>,
-    pool: Option<DistExecutor>,
-    /// Worker-process pool, used instead of `pool` when the options
-    /// select a socket backend ([`TransportKind::Uds`] / `Tcp`).
-    procs: Option<ProcPool>,
+    caches: CacheHandle,
+    pools: PoolHandle,
 }
 
 impl DistSession {
@@ -194,12 +367,39 @@ impl DistSession {
             arrays,
             decomps,
             opts: DistOptions::default(),
-            cache: Vec::new(),
-            dag_cache: Vec::new(),
-            tune_cache: Vec::new(),
-            pool: None,
-            procs: None,
+            caches: CacheHandle::Owned(Box::default()),
+            pools: PoolHandle::Owned(Box::default()),
         })
+    }
+
+    /// A serve-mode session: same distributed state as
+    /// [`DistSession::new`], but every cache tier and the worker pool
+    /// are shared with other sessions, and all cache keys carry the
+    /// tenant namespace `ns` (see DESIGN.md §18).
+    pub(crate) fn new_shared(
+        env: &Env,
+        decomps: DecompMap,
+        opts: DistOptions,
+        caches: Arc<Mutex<SessionCaches>>,
+        ns: u64,
+        pools: Arc<Mutex<PoolState>>,
+    ) -> Result<DistSession, MachineError> {
+        let mut s = DistSession::new(env, decomps)?;
+        s.opts = opts;
+        s.caches = CacheHandle::Shared { caches, ns };
+        s.pools = PoolHandle::Shared(pools);
+        Ok(s)
+    }
+
+    /// Replace the (owned) cache tiers with empty ones under `budget` —
+    /// builder form, for sessions expected to sweep many more distinct
+    /// clauses or layouts than the default budget holds. No-op on a
+    /// shared-cache session (the service owns that budget).
+    pub fn with_cache_budget(mut self, budget: CacheBudget) -> DistSession {
+        if let CacheHandle::Owned(c) = &mut self.caches {
+            **c = SessionCaches::new(budget);
+        }
+        self
     }
 
     /// Override the execution options (timeouts, fault injection).
@@ -243,31 +443,38 @@ impl DistSession {
     }
 
     /// Look up (or build and cache) the prepared plan for one clause.
-    /// Returns the plan and whether it was a cache hit.
+    /// Returns the plan, whether it was a cache hit, and how many
+    /// entries the insertion evicted under budget pressure.
     fn prepare_cached(
         &mut self,
         clause: &Clause,
-    ) -> Result<(Arc<PreparedPlan>, bool), MachineError> {
+    ) -> Result<(Arc<PreparedPlan>, bool, u64), MachineError> {
         let sig = clause_signature(clause);
         let names = clause_arrays(clause);
         let fp = decomp_fingerprint(&self.decomps, names.iter().map(String::as_str));
-        match self.cache.iter().find(|e| e.sig == sig && e.fp == fp) {
-            Some(e) => Ok((Arc::clone(&e.prepared), true)),
-            None => {
-                let plan = SpmdPlan::build(clause, &self.decomps)
-                    .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
-                let prepared = Arc::new(prepare_run(plan, clause, &self.decomps)?);
-                // one slot per clause: an entry with a stale fingerprint
-                // can never hit again (redistribute also clears outright)
-                self.cache.retain(|e| e.sig != sig);
-                self.cache.push(CacheEntry {
-                    sig,
-                    fp,
-                    prepared: Arc::clone(&prepared),
-                });
-                Ok((prepared, false))
-            }
+        if let Some(p) = self
+            .caches
+            .with(|c, ns| c.plans.get(&(ns, sig, fp)).cloned())
+        {
+            return Ok((p, true, 0));
         }
+        // build OUTSIDE the shared lock: planning is exactly the
+        // expensive part the cache exists to amortize, and one tenant's
+        // cold miss must not serialize every other tenant's lookups
+        let plan = SpmdPlan::build(clause, &self.decomps)
+            .map_err(|e| MachineError::PlanMismatch(e.to_string()))?;
+        let prepared = Arc::new(prepare_run(plan, clause, &self.decomps)?);
+        let bytes = prepared.approx_bytes();
+        // distinct fingerprints of one clause coexist (shared tiers see
+        // several layouts per tenant at once); a session's own stale
+        // entries are retired by redistribute, the only fingerprint
+        // churn an owned session can have. LRU pressure bounds the rest.
+        let evicted = self.caches.with(|c, ns| {
+            let before = c.plans.evictions();
+            c.plans.insert((ns, sig, fp), Arc::clone(&prepared), bytes);
+            c.plans.evictions() - before
+        });
+        Ok((prepared, false, evicted))
     }
 
     /// The cached warm path shared by [`DistSession::run`] and
@@ -277,62 +484,42 @@ impl DistSession {
         clause: &Clause,
         tracer: &dyn Tracer,
     ) -> Result<ExecReport, MachineError> {
-        let (prepared, hit) = self.prepare_cached(clause)?;
-        let pmax = prepared.plan().pmax;
-        if self.opts.transport != TransportKind::InProc {
-            // socket backend: real worker processes behind the router;
-            // the pool's identity is (backend, pmax, chaos plan)
-            let want = pmax.max(0) as usize;
-            if self.procs.as_ref().is_some_and(|pp| {
-                pp.kind() != self.opts.transport
-                    || pp.pmax() != want
-                    || pp.chaos() != self.opts.chaos
-            }) {
-                self.procs = None;
-            }
-            if self.procs.is_none() {
-                self.procs = Some(ProcPool::new(self.opts.transport, want, self.opts.chaos)?);
-            }
-            let procs = match self.procs.as_mut() {
-                Some(pp) => pp,
-                None => unreachable!("process pool created above"),
-            };
-            let mut report = procs.run(&prepared, clause, &mut self.arrays, self.opts, tracer)?;
-            report.cache_hits = u64::from(hit);
-            report.cache_misses = u64::from(!hit);
-            return Ok(report);
-        }
-        if self
-            .pool
-            .as_ref()
-            .is_some_and(|pool| pool.pmax() != pmax.max(0) as usize)
-        {
-            self.pool = None;
-        }
-        let pool = self.pool.get_or_insert_with(|| DistExecutor::new(pmax));
-        let mut report = pool.run(&prepared, &mut self.arrays, self.opts, tracer)?;
+        let (prepared, hit, evicted) = self.prepare_cached(clause)?;
+        let DistSession {
+            arrays,
+            opts,
+            pools,
+            ..
+        } = self;
+        let mut report = pools.with(|p| p.run_clause(&prepared, clause, arrays, *opts, tracer))?;
         report.cache_hits = u64::from(hit);
         report.cache_misses = u64::from(!hit);
+        report.evictions = evicted;
         Ok(report)
     }
 
     /// Look up (or build and cache) the dependence DAG for a program.
-    /// Returns the DAG and whether it was a cache hit.
-    fn dag_cached(&mut self, steps: &[ProgramStep]) -> (Arc<ProgramDag>, bool) {
+    /// Returns the DAG, whether it was a cache hit, and eviction count.
+    fn dag_cached(&mut self, steps: &[ProgramStep]) -> (Arc<ProgramDag>, bool, u64) {
         let sig = program_signature(steps);
         let names: BTreeSet<String> = steps.iter().flat_map(ProgramStep::arrays).collect();
         let fp = decomp_fingerprint(&self.decomps, names.iter().map(String::as_str));
-        if let Some(e) = self.dag_cache.iter().find(|e| e.sig == sig && e.fp == fp) {
-            return (Arc::clone(&e.dag), true);
+        if let Some(d) = self
+            .caches
+            .with(|c, ns| c.dags.get(&(ns, sig, fp)).cloned())
+        {
+            return (d, true, 0);
         }
         let dag = Arc::new(build_dag(steps, &self.decomps));
-        self.dag_cache.retain(|e| e.sig != sig);
-        self.dag_cache.push(DagCacheEntry {
-            sig,
-            fp,
-            dag: Arc::clone(&dag),
+        let bytes = (dag.edges.len() + steps.len()) * DAG_ENTRY_BYTES;
+        // as with plans: distinct fingerprints of one program coexist,
+        // so shared tiers serve several layouts per tenant concurrently
+        let evicted = self.caches.with(|c, ns| {
+            let before = c.dags.evictions();
+            c.dags.insert((ns, sig, fp), Arc::clone(&dag), bytes);
+            c.dags.evictions() - before
         });
-        (dag, false)
+        (dag, false, evicted)
     }
 
     /// Execute a whole multi-step program under a [`ScheduleMode`].
@@ -376,6 +563,7 @@ impl DistSession {
     ) -> Result<ProgramReport, MachineError> {
         let trace_on = tracer.enabled();
         let mut reports = Vec::with_capacity(steps.len());
+        let mut evictions = 0;
         for (s, step) in steps.iter().enumerate() {
             if trace_on {
                 tracer.record(HOST, EventKind::DagReady { step: s });
@@ -390,12 +578,14 @@ impl DistSession {
             if trace_on {
                 tracer.record(HOST, EventKind::ClauseEnd { step: s });
             }
+            evictions += report.evictions;
             reports.push(report);
         }
         Ok(ProgramReport {
             waves: steps.len(),
             dag_width: 1,
             steps: reports,
+            evictions,
             ..ProgramReport::default()
         })
     }
@@ -405,7 +595,7 @@ impl DistSession {
         steps: &[ProgramStep],
         tracer: &dyn Tracer,
     ) -> Result<ProgramReport, MachineError> {
-        let (dag, dag_hit) = self.dag_cached(steps);
+        let (dag, dag_hit, mut evictions) = self.dag_cached(steps);
         let trace_on = tracer.enabled();
         let mut reports: Vec<Option<ExecReport>> = (0..steps.len()).map(|_| None).collect();
         for wave in &dag.waves {
@@ -448,6 +638,7 @@ impl DistSession {
                     if trace_on {
                         tracer.record(HOST, EventKind::ClauseEnd { step: s });
                     }
+                    evictions += r.evictions;
                     reports[s] = Some(r);
                 }
                 continue;
@@ -458,32 +649,23 @@ impl DistSession {
             let mut jobs = Vec::with_capacity(clause_steps.len());
             let mut hits = Vec::with_capacity(clause_steps.len());
             for &(_, c) in &clause_steps {
-                let (prepared, hit) = self.prepare_cached(c)?;
+                let (prepared, hit, ev) = self.prepare_cached(c)?;
                 jobs.push(prepared);
                 hits.push(hit);
+                evictions += ev;
             }
-            let pmax = jobs[0].plan().pmax;
-            if self
-                .pool
-                .as_ref()
-                .is_some_and(|pool| pool.pmax() != pmax.max(0) as usize)
-            {
-                self.pool = None;
-            }
-            let pool = self.pool.get_or_insert_with(|| DistExecutor::new(pmax));
             if trace_on {
                 for &(s, _) in &clause_steps {
                     tracer.record(HOST, EventKind::ClauseBegin { step: s });
                 }
             }
-            // a width-1 wave is just a single run — skip the wave
-            // machinery (per-job snapshots, staged commits) it exists
-            // to coordinate
-            let wave_reports = if jobs.len() == 1 {
-                vec![pool.run(&jobs[0], &mut self.arrays, self.opts, tracer)?]
-            } else {
-                pool.run_wave(&jobs, &mut self.arrays, self.opts, tracer)?
-            };
+            let DistSession {
+                arrays,
+                opts,
+                pools,
+                ..
+            } = self;
+            let wave_reports = pools.with(|p| p.run_wave(&jobs, arrays, *opts, tracer))?;
             if trace_on {
                 for &(s, _) in &clause_steps {
                     tracer.record(HOST, EventKind::ClauseEnd { step: s });
@@ -503,6 +685,7 @@ impl DistSession {
             dag_width: dag.width(),
             dag_cache_hits: u64::from(dag_hit),
             dag_cache_misses: u64::from(!dag_hit),
+            evictions,
             ..ProgramReport::default()
         })
     }
@@ -524,13 +707,17 @@ impl DistSession {
             let sig = clause_signature(clause);
             let names = clause_arrays(clause);
             let fp = decomp_fingerprint(&cand.decomps, names.iter().map(String::as_str));
-            if let Some(e) = self.tune_cache.iter().find(|e| e.sig == sig && e.fp == fp) {
+            if let Some(p) = self
+                .caches
+                .with(|c, ns| c.tunes.get(&(ns, sig, fp)).copied())
+            {
                 *hits += 1;
-                total += e.price_ns;
+                total += p;
                 continue;
             }
             let price_ns = model.price_plan(plan, self.opts.mode).total_ns;
-            self.tune_cache.push(TuneCacheEntry { sig, fp, price_ns });
+            self.caches
+                .with(|c, ns| c.tunes.insert((ns, sig, fp), price_ns, TUNE_ENTRY_BYTES));
             total += price_ns;
         }
         total
@@ -553,6 +740,13 @@ impl DistSession {
     ///    changes, the redistributions are inserted (executed
     ///    immediately, mid-program) and the loop continues under the
     ///    new layout.
+    ///
+    /// With [`TuneOptions::retune_every`] set to `N`, the loop is cut
+    /// into rounds of at most `N` steps and the whole
+    /// profile→calibrate→price→switch pass reruns at each round
+    /// boundary, so very long loops re-adapt mid-flight; gains are
+    /// always amortized over *all* steps remaining in the loop, not
+    /// just the current round.
     ///
     /// Results are bitwise identical to running the same `n_steps`
     /// loop untuned — redistribution moves values without transforming
@@ -579,26 +773,78 @@ impl DistSession {
                 "tuned timestep loop needs at least one step".into(),
             ));
         }
+        for s in steps {
+            if let ProgramStep::Redistribute { array, .. } = s {
+                return Err(MachineError::PlanMismatch(format!(
+                    "cannot tune a program with an explicit redistribution (array `{array}`)"
+                )));
+            }
+        }
+        let mut tune = TuneReport::default();
+        let mut hits = 0u64;
+        let mut last_report = None;
+        let mut remaining_total = n_steps;
+        while remaining_total > 0 {
+            let round = match topts.retune_every {
+                Some(r) => r.max(1).min(remaining_total),
+                None => remaining_total,
+            };
+            self.tune_round(
+                steps,
+                round,
+                remaining_total,
+                schedule,
+                &topts,
+                tracer,
+                &mut tune,
+                &mut hits,
+                &mut last_report,
+            )?;
+            tune.rounds += 1;
+            remaining_total -= round;
+        }
+        let mut report = match last_report {
+            Some(r) => r,
+            None => self.run_program(steps, schedule, tracer)?,
+        };
+        report.candidates_priced = tune.candidates_priced;
+        report.redistributions_inserted = tune.redistributions_inserted;
+        report.tune_cache_hits = hits;
+        tune.tune_cache_hits = hits;
+        Ok((report, tune))
+    }
+
+    /// One profile→calibrate→price→switch→run round of the tuned loop:
+    /// executes `round` steps total, amortizing any layout switch over
+    /// `remaining_total` (the steps left in the *whole* loop, later
+    /// rounds included — a switch pays off across round boundaries).
+    #[allow(clippy::too_many_arguments)]
+    fn tune_round(
+        &mut self,
+        steps: &[ProgramStep],
+        round: u64,
+        remaining_total: u64,
+        schedule: ScheduleMode,
+        topts: &TuneOptions,
+        tracer: &dyn Tracer,
+        tune: &mut TuneReport,
+        hits: &mut u64,
+        last_report: &mut Option<ProgramReport>,
+    ) -> Result<(), MachineError> {
         let clauses: Vec<&Clause> = steps
             .iter()
-            .map(|s| match s {
-                ProgramStep::Clause(c) => Ok(c),
-                ProgramStep::Redistribute { array, .. } => {
-                    Err(MachineError::PlanMismatch(format!(
-                        "cannot tune a program with an explicit redistribution (array `{array}`)"
-                    )))
-                }
+            .filter_map(|s| match s {
+                ProgramStep::Clause(c) => Some(c),
+                ProgramStep::Redistribute { .. } => None,
             })
-            .collect::<Result<_, _>>()?;
-        let mut tune = TuneReport::default();
+            .collect();
 
         // 1. profile: run the leading steps traced, collect one
         // calibration sample per step. The first step is cold (plans
         // build, pools spawn) — when more than one profile step runs,
         // only the warm ones feed the fit.
-        let profile = topts.profile_steps.clamp(1, n_steps);
+        let profile = topts.profile_steps.clamp(1, round);
         let mut samples = Vec::new();
-        let mut last_report = None;
         let mut measured_ns = 0.0;
         for _ in 0..profile {
             let t = CollectingTracer::new();
@@ -616,7 +862,7 @@ impl DistSession {
                 sample.recv_elems += tot.msgs_received;
             }
             samples.push(sample);
-            last_report = Some(report);
+            *last_report = Some(report);
         }
         let warm_samples: &[CalibrationSample] = if samples.len() > 1 {
             &samples[1..]
@@ -675,12 +921,11 @@ impl DistSession {
             candidates.push(inc);
         }
 
-        let mut hits = 0u64;
         let mut best: Option<(f64, usize)> = None;
         let mut worst = 0.0f64;
         let mut baseline = 0.0f64;
         for (k, cand) in candidates.iter().enumerate() {
-            let price = self.price_candidate(&clauses, cand, &model, &mut hits);
+            let price = self.price_candidate(&clauses, cand, &model, hits);
             tune.candidates_priced += 1;
             if cand.fingerprint == incumbent_fp {
                 baseline = price;
@@ -704,8 +949,9 @@ impl DistSession {
             tune.model_error = (baseline - measured_ns).abs() / measured_ns;
         }
 
-        // 3. switch if the amortized gain beats the redistribution bill
-        let remaining = n_steps - profile;
+        // 3. switch if the gain, amortized over every step left in the
+        // whole loop, beats the redistribution bill
+        let horizon = remaining_total - profile;
         let chosen = &candidates[best_k];
         let mut redists: Vec<(String, Decomp1)> = Vec::new();
         let mut switch_cost = 0.0;
@@ -726,16 +972,16 @@ impl DistSession {
                 redists.push((name.clone(), to.clone()));
             }
         }
-        let gain = (baseline - best_price) * remaining as f64;
+        let gain = (baseline - best_price) * horizon as f64;
         let switch = !redists.is_empty() && gain > switch_cost;
         tune.chosen = describe_assignment(if switch {
             &chosen.decomps
         } else {
             &incumbent_dm
         });
-        tune.switched = switch;
+        tune.switched |= switch;
         if switch {
-            tune.switch_cost_ns = switch_cost;
+            tune.switch_cost_ns += switch_cost;
             for (name, to) in redists {
                 self.redistribute_traced(&name, to, tracer)?;
                 tune.redistributions_inserted += 1;
@@ -744,26 +990,18 @@ impl DistSession {
             tune.predicted_step_ns = baseline;
         }
 
-        // run the remaining steps under the (possibly new) layout
-        for _ in 0..remaining {
-            last_report = Some(self.run_program(steps, schedule, tracer)?);
+        // run the round's remaining steps under the (possibly new) layout
+        for _ in 0..(round - profile) {
+            *last_report = Some(self.run_program(steps, schedule, tracer)?);
         }
-        let mut report = match last_report {
-            Some(r) => r,
-            None => self.run_program(steps, schedule, tracer)?,
-        };
-        report.candidates_priced = tune.candidates_priced;
-        report.redistributions_inserted = tune.redistributions_inserted;
-        report.tune_cache_hits = hits;
-        tune.tune_cache_hits = hits;
-        Ok((report, tune))
+        Ok(())
     }
 
     /// OS process ids of the live worker processes, in node order —
     /// empty until a socket-backend run has spawned the pool. Exists so
     /// supervision tests can kill a specific worker mid-run.
-    pub fn worker_pids(&self) -> Vec<u32> {
-        self.procs.as_ref().map(ProcPool::pids).unwrap_or_default()
+    pub fn worker_pids(&mut self) -> Vec<u32> {
+        self.pools.with(|p| p.pids())
     }
 
     /// Execute a prebuilt plan (reuse across sweeps).
@@ -803,9 +1041,7 @@ impl DistSession {
         let (new_array, report) = run_redistribution_opts(&plan, current, self.opts)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
-        // the decomposition map changed: every cached plan whose
-        // fingerprint covers `name` is stale, so drop them all
-        self.cache.clear();
+        self.retire_plans();
         Ok(report)
     }
 
@@ -824,8 +1060,16 @@ impl DistSession {
         let (new_array, report) = run_redistribution_traced(&plan, current, self.opts, tracer)?;
         self.arrays.insert(name.to_string(), new_array);
         self.decomps.insert(name.to_string(), to);
-        self.cache.clear();
+        self.retire_plans();
         Ok(report)
+    }
+
+    /// The decomposition map changed: every cached plan of *this
+    /// session's namespace* whose fingerprint covers the moved array is
+    /// stale. Retire the whole namespace (cheap, safe); other tenants'
+    /// entries in a shared tier are untouched.
+    fn retire_plans(&mut self) {
+        self.caches.with(|c, ns| c.plans.retain(|k| k.0 != ns));
     }
 
     /// Gather one array back to a global image.
@@ -1039,5 +1283,144 @@ mod tests {
             DistSession::new(&env, dm),
             Err(MachineError::PlanMismatch(_))
         ));
+    }
+
+    /// A 1-entry plan-cache budget forces an eviction when a second
+    /// distinct clause arrives, and the eviction surfaces on the report
+    /// — while results stay bit-identical to the unbounded session.
+    #[test]
+    fn bounded_plan_cache_evicts_and_reports() {
+        use vcal_core::func::Fn1;
+        use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+        let n = 32i64;
+        let write = |lhs: &str, delta: f64| Clause {
+            iter: IndexSet::range(0, n - 1),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1(lhs, Fn1::identity()),
+            rhs: Expr::add(
+                Expr::Ref(ArrayRef::d1(lhs, Fn1::identity())),
+                Expr::Lit(delta),
+            ),
+        };
+        let (a, b) = (write("A", 1.0), write("B", 2.0));
+        let mut env = Env::new();
+        for name in ["A", "B"] {
+            env.insert(
+                name,
+                Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64),
+            );
+        }
+        let mut reference = env.clone();
+        for _ in 0..2 {
+            reference.exec_clause(&a);
+            reference.exec_clause(&b);
+        }
+        let mut dm = DecompMap::new();
+        for name in ["A", "B"] {
+            dm.insert(name.into(), Decomp1::block(2, Bounds::range(0, n - 1)));
+        }
+        let mut session = DistSession::new(&env, dm)
+            .unwrap()
+            .with_cache_budget(CacheBudget {
+                max_entries: 1,
+                max_bytes: usize::MAX,
+            });
+        session.run(&a).unwrap();
+        let rb = session.run(&b).unwrap();
+        assert_eq!(rb.evictions, 1, "B's insert must evict A's plan");
+        // A misses again (it was evicted), and evicts B in turn
+        let ra = session.run(&a).unwrap();
+        assert_eq!(ra.cache_hits, 0);
+        assert_eq!(ra.evictions, 1);
+        session.run(&b).unwrap();
+        for name in ["A", "B"] {
+            assert_eq!(
+                session
+                    .gather(name)
+                    .unwrap()
+                    .max_abs_diff(reference.get(name).unwrap()),
+                0.0,
+                "bounded cache changed results on `{name}`"
+            );
+        }
+    }
+
+    /// `retune_every` cuts the loop into rounds, every round re-profiles,
+    /// and the result stays bit-identical to the sequential reference.
+    #[test]
+    fn retune_rounds_match_reference() {
+        use vcal_core::func::Fn1;
+        use vcal_core::{ArrayRef, Expr, Guard, IndexSet, Ordering};
+        let n = 64i64;
+        let sweep = ProgramStep::Clause(Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("V", Fn1::identity()),
+            rhs: Expr::mul(
+                Expr::add(
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(-1))),
+                    Expr::Ref(ArrayRef::d1("U", Fn1::shift(1))),
+                ),
+                Expr::Lit(0.5),
+            ),
+        });
+        let back = ProgramStep::Clause(Clause {
+            iter: IndexSet::range(1, n - 2),
+            ordering: Ordering::Par,
+            guard: Guard::Always,
+            lhs: ArrayRef::d1("U", Fn1::identity()),
+            rhs: Expr::Ref(ArrayRef::d1("V", Fn1::identity())),
+        });
+        let steps = vec![sweep, back];
+        let n_steps = 10u64;
+        let mut env = Env::new();
+        for name in ["U", "V"] {
+            env.insert(
+                name,
+                Array::from_fn(Bounds::range(0, n - 1), |i| i.scalar() as f64 * 0.5 - 3.0),
+            );
+        }
+        let mut reference = env.clone();
+        for _ in 0..n_steps {
+            for s in &steps {
+                if let ProgramStep::Clause(c) = s {
+                    reference.exec_clause(c);
+                }
+            }
+        }
+        let mut dm = DecompMap::new();
+        for name in ["U", "V"] {
+            dm.insert(name.into(), Decomp1::scatter(4, Bounds::range(0, n - 1)));
+        }
+        let mut session = DistSession::new(&env, dm).unwrap();
+        let (report, tune) = session
+            .run_program_tuned(
+                &steps,
+                n_steps,
+                ScheduleMode::Seq,
+                TuneOptions {
+                    retune_every: Some(3),
+                    ..TuneOptions::default()
+                },
+                &NULL_TRACER,
+            )
+            .unwrap();
+        assert_eq!(tune.rounds, 4, "10 steps at retune-every 3 = 4 rounds");
+        assert!(
+            report.candidates_priced > 0,
+            "every round prices candidates"
+        );
+        for name in ["U", "V"] {
+            assert_eq!(
+                session
+                    .gather(name)
+                    .unwrap()
+                    .max_abs_diff(reference.get(name).unwrap()),
+                0.0,
+                "retuned loop diverged on `{name}`"
+            );
+        }
     }
 }

@@ -104,6 +104,9 @@ pub struct ExecReport {
     pub cache_hits: u64,
     /// Runs that had to build and prepare a fresh plan before executing.
     pub cache_misses: u64,
+    /// Plan-cache entries evicted by budget pressure while this run
+    /// inserted its plan (LRU retirement, not fingerprint invalidation).
+    pub evictions: u64,
 }
 
 impl ExecReport {
@@ -140,6 +143,34 @@ impl ExecReport {
             tail_elems: t.simd_tail_elems,
         }
     }
+}
+
+/// Service-level counters of one `vcalc serve` response: what the
+/// resident service's shared cache hierarchy and admission queue did
+/// for (and around) one request. Travels on the serve wire protocol
+/// and is surfaced by [`crate::serve::ServeClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Nanoseconds the request waited in the admission queue before a
+    /// concurrency slot opened.
+    pub queue_wait_ns: u64,
+    /// Requests this service completed so far, this one included.
+    pub sessions_served: u64,
+    /// Shared plan-cache hits while serving this request.
+    pub plan_hits: u64,
+    /// Shared plan-cache misses (plans built) while serving this request.
+    pub plan_misses: u64,
+    /// Shared DAG-cache hits while serving this request.
+    pub dag_hits: u64,
+    /// Shared DAG-cache misses while serving this request.
+    pub dag_misses: u64,
+    /// Shared tune-cache hits while serving this request.
+    pub tune_hits: u64,
+    /// Shared tune-cache misses while serving this request.
+    pub tune_misses: u64,
+    /// Budget-pressure evictions across all shared tiers during this
+    /// request.
+    pub evictions: u64,
 }
 
 #[cfg(test)]

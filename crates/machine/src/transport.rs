@@ -440,6 +440,56 @@ impl RetryPolicy {
     }
 }
 
+/// Service-level protocol timeouts for the socket backends.
+///
+/// These used to be compile-time constants (`HEARTBEAT_IVL`,
+/// `SPAWN_DEADLINE`, `RUN_GRACE`, `RESEND_IVL`), which meant a resident
+/// service could not tighten its failure detection without recompiling.
+/// They now travel on [`crate::DistOptions`]: the per-run machinery
+/// reads them from the options, the worker processes receive the
+/// heartbeat interval on their command line, and `vcalc serve` installs
+/// [`ProtoTimeouts::service`] to fail fast on wedged workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoTimeouts {
+    /// How often an idle worker emits a heartbeat frame (keeps
+    /// chaos-stalled links honest and the router's reader warm).
+    pub heartbeat_ivl: Duration,
+    /// How long the host waits for every spawned worker's HELLO.
+    pub spawn_deadline: Duration,
+    /// Slack added on top of the retry budget before the host declares
+    /// a run collection dead.
+    pub run_grace: Duration,
+    /// How long a dispatched job may go unacknowledged before the host
+    /// re-sends it (idempotent — workers dedupe by `run_id`).
+    pub resend_ivl: Duration,
+}
+
+impl Default for ProtoTimeouts {
+    fn default() -> Self {
+        ProtoTimeouts {
+            heartbeat_ivl: Duration::from_millis(200),
+            spawn_deadline: Duration::from_secs(10),
+            run_grace: Duration::from_secs(30),
+            resend_ivl: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ProtoTimeouts {
+    /// The tightened profile a resident service uses: a wedged worker
+    /// or a lost job is detected in hundreds of milliseconds instead of
+    /// tens of seconds, so one bad request cannot head-of-line-block
+    /// the admission queue for long.
+    pub fn service() -> ProtoTimeouts {
+        ProtoTimeouts {
+            heartbeat_ivl: Duration::from_millis(100),
+            spawn_deadline: Duration::from_secs(5),
+            run_grace: Duration::from_secs(5),
+            resend_ivl: Duration::from_millis(250),
+        }
+    }
+}
+
 /// Deterministically jitter one backoff interval: scale by a factor in
 /// `[1 − pct/100, 1]` derived from a hash of `(peer, attempt)`. Pure —
 /// the same `(policy, peer, attempt)` always waits the same time, so

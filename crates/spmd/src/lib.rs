@@ -23,6 +23,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod advisor;
+pub mod cache;
 pub mod comm;
 pub mod compiled;
 pub mod dag;
@@ -40,6 +41,7 @@ pub mod tuner;
 pub mod validate;
 
 pub use advisor::{advise, candidates_for, AdvisorOptions, Candidate};
+pub use cache::{BoundedLru, CacheBudget};
 pub use comm::{plan_comm, CommRun, NodeCommPlan, PairComm};
 pub use compiled::{
     clause_arrays, clause_signature, decomp_fingerprint, flatten_schedule, for_each_run,

@@ -45,12 +45,14 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 use vcal_suite::core::{Array, Env};
 use vcal_suite::lang;
 use vcal_suite::machine::{
     build_dag, replay_check, replay_check_dag, run_distributed, run_distributed_traced,
-    worker_entry, CollectingTracer, DistArray, DistOptions, DistSession, PerfModel, ProgramStep,
-    ScheduleMode, SimdPolicy, TransportKind, TuneOptions, NULL_TRACER,
+    worker_entry_with, CollectingTracer, DistArray, DistOptions, DistSession, PerfModel,
+    ProgramStep, ScheduleMode, ServeClient, ServeConfig, ServeHandle, ServeRequest, SimdPolicy,
+    TransportKind, TuneOptions, NULL_TRACER,
 };
 use vcal_suite::spmd::{emit, PlanSummary, SpmdPlan};
 
@@ -64,6 +66,7 @@ struct Options {
     advise: bool,
     autotune: bool,
     tune_budget: usize,
+    retune_every: Option<u64>,
     node: i64,
     overlap: bool,
     simd: SimdPolicy,
@@ -94,7 +97,22 @@ fn usage() -> &'static str {
      --schedule runs the whole program through the program-level scheduler:\n\
      `seq` keeps strict program order, `dag` dispatches independent clauses\n\
      concurrently as dependence-DAG waves. Results are bit-identical.\n\
-     (vcalc worker <addr> <node> <pmax> is the internal worker entry point.)"
+     --retune-every <N> re-profiles and re-tunes the --autotune loop every N\n\
+     steps instead of tuning once up front.\n\
+     \n\
+     vcalc serve [--transport uds|tcp] [--pool inproc|uds|tcp]\n\
+                 [--concurrency <N>] [--queue <N>] [--deadline-ms <N>]\n\
+                 [--cache-entries <N>] [--cache-bytes <N>] [--cold]\n\
+     starts the resident multi-session service (DESIGN.md §18): prints the\n\
+     dial address, then serves concurrent client sessions off one shared\n\
+     plan/DAG/tune cache hierarchy and one persistent worker pool.\n\
+     \n\
+     vcalc request <program> <spec> --connect <addr> [--tenant <name>]\n\
+                 [--steps <N>] [--schedule seq|dag] [--autotune]\n\
+                 [--tune-budget <K>] [--retune-every <N>] [--deadline-ms <N>]\n\
+     compiles the program locally, submits it to a running service, and\n\
+     verifies the response bit-exactly against the sequential reference.\n\
+     (vcalc worker <addr> <node> <pmax> [hb_ms] is the internal worker entry.)"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -106,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut advise = false;
     let mut autotune = false;
     let mut tune_budget = 16usize;
+    let mut retune_every = None;
     let mut node = 0i64;
     let mut overlap = true;
     let mut simd = SimdPolicy::default();
@@ -147,6 +166,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if tune_budget == 0 {
                     return Err("--tune-budget needs a positive integer".into());
                 }
+                autotune = true;
+                run = true;
+            }
+            "--retune-every" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--retune-every needs a value")?
+                    .parse()
+                    .map_err(|_| "--retune-every needs a positive integer")?;
+                if n == 0 {
+                    return Err("--retune-every needs a positive integer".into());
+                }
+                retune_every = Some(n);
                 autotune = true;
                 run = true;
             }
@@ -223,6 +255,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         advise,
         autotune,
         tune_budget,
+        retune_every,
         node,
         overlap,
         simd,
@@ -235,15 +268,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // internal: `vcalc worker <addr> <node> <pmax>` is the entry point
-    // the socket backends spawn for each node process
+    // internal: `vcalc worker <addr> <node> <pmax> [hb_ms]` is the entry
+    // point the socket backends spawn for each node process
     if args.first().map(String::as_str) == Some("worker") {
         return match worker_args(&args[1..])
-            .and_then(|(addr, node, pmax)| worker_entry(&addr, node, pmax))
+            .and_then(|(addr, node, pmax, hb)| worker_entry_with(&addr, node, pmax, hb))
         {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("vcalc worker: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match serve_args(&args[1..]).and_then(run_serve) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("vcalc serve: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("request") {
+        return match request_args(&args[1..]).and_then(|o| run_request_cmd(&o)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("vcalc request: {msg}");
                 ExitCode::FAILURE
             }
         };
@@ -264,9 +315,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn worker_args(rest: &[String]) -> Result<(String, i64, usize), String> {
-    if rest.len() != 3 {
-        return Err("usage: vcalc worker <addr> <node> <pmax>".into());
+fn worker_args(rest: &[String]) -> Result<(String, i64, usize, Duration), String> {
+    if rest.len() != 3 && rest.len() != 4 {
+        return Err("usage: vcalc worker <addr> <node> <pmax> [hb_ms]".into());
     }
     let node = rest[1]
         .parse::<i64>()
@@ -274,7 +325,271 @@ fn worker_args(rest: &[String]) -> Result<(String, i64, usize), String> {
     let pmax = rest[2]
         .parse::<usize>()
         .map_err(|_| "worker <pmax> must be a non-negative integer".to_string())?;
-    Ok((rest[0].clone(), node, pmax))
+    let hb = match rest.get(3) {
+        None => Duration::ZERO, // keep the built-in default interval
+        Some(ms) => Duration::from_millis(
+            ms.parse::<u64>()
+                .map_err(|_| "worker [hb_ms] must be a non-negative integer".to_string())?,
+        ),
+    };
+    Ok((rest[0].clone(), node, pmax, hb))
+}
+
+/// Parse `vcalc serve` flags into a [`ServeConfig`].
+fn serve_args(rest: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transport" => {
+                cfg.listen = it
+                    .next()
+                    .and_then(|v| TransportKind::parse(v))
+                    .filter(|k| *k != TransportKind::InProc)
+                    .ok_or("--transport needs `uds` or `tcp`")?;
+            }
+            "--pool" => {
+                cfg.opts.transport = it
+                    .next()
+                    .and_then(|v| TransportKind::parse(v))
+                    .ok_or("--pool needs `inproc`, `uds` or `tcp`")?;
+            }
+            "--concurrency" => {
+                cfg.concurrency = parse_pos(it.next(), "--concurrency")?;
+            }
+            "--queue" => {
+                cfg.queue_depth = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|_| "--queue needs a non-negative integer")?;
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline =
+                    Duration::from_millis(parse_pos(it.next(), "--deadline-ms")? as u64);
+            }
+            "--cache-entries" => {
+                cfg.cache_budget.max_entries = parse_pos(it.next(), "--cache-entries")?;
+            }
+            "--cache-bytes" => {
+                cfg.cache_budget.max_bytes = parse_pos(it.next(), "--cache-bytes")?;
+            }
+            "--cold" => cfg.cold = true,
+            other => return Err(format!("unknown serve flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_pos(v: Option<&String>, flag: &str) -> Result<usize, String> {
+    let n: usize = v
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a positive integer"))?;
+    if n == 0 {
+        return Err(format!("{flag} needs a positive integer"));
+    }
+    Ok(n)
+}
+
+/// Start the resident service and block until killed. The address line
+/// is printed (and flushed) first so supervisors can scrape it.
+fn run_serve(cfg: ServeConfig) -> Result<(), String> {
+    let handle = ServeHandle::start(cfg).map_err(|e| e.to_string())?;
+    println!("serve: listening on {}", handle.addr());
+    println!(
+        "serve: concurrency {}, queue {}, deadline {:?}, cache budget {} entries / {} bytes{}",
+        cfg.concurrency,
+        cfg.queue_depth,
+        cfg.default_deadline,
+        cfg.cache_budget.max_entries,
+        cfg.cache_budget.max_bytes,
+        if cfg.cold {
+            " [cold baseline mode]"
+        } else {
+            ""
+        }
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // resident: the accept loop runs on background threads; park until
+    // the process is killed
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+struct RequestOptions {
+    program_path: String,
+    spec_path: String,
+    connect: String,
+    tenant: String,
+    steps: u64,
+    schedule: ScheduleMode,
+    autotune: bool,
+    tune_budget: usize,
+    retune_every: Option<u64>,
+    deadline: Option<Duration>,
+}
+
+fn request_args(rest: &[String]) -> Result<RequestOptions, String> {
+    let mut positional = Vec::new();
+    let mut connect = None;
+    let mut tenant = "default".to_string();
+    let mut steps = 1u64;
+    let mut schedule = ScheduleMode::Seq;
+    let mut autotune = false;
+    let mut tune_budget = 16usize;
+    let mut retune_every = None;
+    let mut deadline = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(it.next().ok_or("--connect needs an address")?.clone()),
+            "--tenant" => tenant = it.next().ok_or("--tenant needs a name")?.clone(),
+            "--steps" => steps = parse_pos(it.next(), "--steps")? as u64,
+            "--schedule" => {
+                schedule = match it.next().map(String::as_str) {
+                    Some("seq") => ScheduleMode::Seq,
+                    Some("dag") => ScheduleMode::Dag,
+                    _ => return Err("--schedule needs `seq` or `dag`".into()),
+                };
+            }
+            "--autotune" => autotune = true,
+            "--tune-budget" => {
+                tune_budget = parse_pos(it.next(), "--tune-budget")?;
+                autotune = true;
+            }
+            "--retune-every" => {
+                retune_every = Some(parse_pos(it.next(), "--retune-every")? as u64);
+                autotune = true;
+            }
+            "--deadline-ms" => {
+                deadline = Some(Duration::from_millis(
+                    parse_pos(it.next(), "--deadline-ms")? as u64,
+                ));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return Err(format!("unknown request flag `{other}`\n{}", usage())),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("usage: vcalc request <program> <spec> --connect <addr> [...]".into());
+    }
+    Ok(RequestOptions {
+        program_path: positional[0].clone(),
+        spec_path: positional[1].clone(),
+        connect: connect.ok_or("vcalc request needs --connect <addr>")?,
+        tenant,
+        steps,
+        schedule,
+        autotune,
+        tune_budget,
+        retune_every,
+        deadline,
+    })
+}
+
+/// Compile a program locally, submit it to a running service, verify
+/// the response bit-exactly against the local sequential reference, and
+/// print the service-side counters.
+fn run_request_cmd(opts: &RequestOptions) -> Result<(), String> {
+    let program_src = std::fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    let spec_src = std::fs::read_to_string(&opts.spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.spec_path))?;
+    let clauses = lang::compile(&program_src).map_err(|e| e.to_string())?;
+    let spec = lang::parse_spec(&spec_src).map_err(|e| e.to_string())?;
+
+    // deterministic mixed-sign initial data so guards fire both ways —
+    // the same init every other vcalc execution path uses
+    let mut globals = BTreeMap::new();
+    let mut env = Env::new();
+    for (name, dec) in spec.decomps.iter() {
+        let b = dec.extent();
+        let arr = Array::from_fn(b, |i| {
+            let v = i.scalar();
+            if v % 3 == 0 {
+                -(v as f64)
+            } else {
+                v as f64 * 0.5
+            }
+        });
+        let lo = b.lo().scalar();
+        let hi = b.hi().scalar();
+        globals.insert(
+            name.clone(),
+            (lo..=hi)
+                .map(|i| arr.get(&vcal_suite::core::Ix::d1(i)))
+                .collect::<Vec<f64>>(),
+        );
+        env.insert(name.clone(), arr);
+    }
+
+    let mut reference = env;
+    for _ in 0..opts.steps {
+        for clause in &clauses {
+            reference.exec_clause(clause);
+        }
+    }
+
+    let steps: Vec<ProgramStep> = clauses.iter().cloned().map(ProgramStep::Clause).collect();
+    let req = ServeRequest {
+        steps,
+        decomps: spec.decomps.clone(),
+        globals,
+        n_steps: opts.steps,
+        schedule: opts.schedule,
+        autotune: opts.autotune,
+        tune: TuneOptions {
+            budget: opts.tune_budget,
+            retune_every: opts.retune_every,
+            ..TuneOptions::default()
+        },
+        deadline: opts.deadline,
+    };
+    let mut client =
+        ServeClient::connect(&opts.connect, &opts.tenant).map_err(|e| e.to_string())?;
+    let resp = client.request(&req).map_err(|e| e.to_string())?;
+
+    for (name, got) in &resp.globals {
+        let want = reference
+            .get(name)
+            .ok_or_else(|| format!("reference lost array `{name}`"))?;
+        let b = spec.decomps[name].extent();
+        let lo = b.lo().scalar();
+        for (k, v) in got.iter().enumerate() {
+            let w = want.get(&vcal_suite::core::Ix::d1(lo + k as i64));
+            if v.to_bits() != w.to_bits() {
+                return Err(format!(
+                    "VERIFICATION FAILED on `{name}`[{}]: service {v} != reference {w}",
+                    lo + k as i64
+                ));
+            }
+        }
+    }
+    let s = resp.service;
+    println!(
+        "request: OK — {} step(s) x {} clause(s) as tenant `{}`; result identical \
+         to the sequential reference",
+        opts.steps,
+        clauses.len(),
+        opts.tenant
+    );
+    println!(
+        "request: service counters: queue wait {} ns, session #{}, plan cache {}/{} \
+         hit/miss, dag cache {}/{}, tune cache {}/{}, {} eviction(s)",
+        s.queue_wait_ns,
+        s.sessions_served,
+        s.plan_hits,
+        s.plan_misses,
+        s.dag_hits,
+        s.dag_misses,
+        s.tune_hits,
+        s.tune_misses,
+        s.evictions
+    );
+    Ok(())
 }
 
 fn drive(opts: &Options) -> Result<(), String> {
@@ -406,6 +721,7 @@ fn run_autotune(
         });
     let topts = TuneOptions {
         budget: opts.tune_budget,
+        retune_every: opts.retune_every,
         ..TuneOptions::default()
     };
     let (report, tune) = session
@@ -413,8 +729,9 @@ fn run_autotune(
         .map_err(|e| e.to_string())?;
 
     println!(
-        "autotune: priced {} candidate(s) ({} tune-cache hits), model {}",
+        "autotune: priced {} candidate(s) over {} round(s) ({} tune-cache hits), model {}",
         tune.candidates_priced,
+        tune.rounds,
         tune.tune_cache_hits,
         if tune.calibrated {
             "calibrated from measured timings"
